@@ -1,0 +1,34 @@
+//! E17–E19 — dynamic-graph mining benches (the §9 challenge list):
+//! periodic-lane detection, time-respecting path mining, and event
+//! injection + fallout analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnet_bench::bench_transactions;
+use tnet_core::experiments::extensions::{run_events, run_paths, run_periodic};
+use tnet_dynamic::paths::PathConfig;
+
+fn bench_dynamic(c: &mut Criterion) {
+    let txns = bench_transactions();
+    let mut group = c.benchmark_group("dynamic_mining");
+    group.sample_size(10);
+    group.bench_function("periodic_lanes_e17", |b| {
+        b.iter(|| run_periodic(txns).lanes.len())
+    });
+    group.bench_function("time_respecting_paths_e18", |b| {
+        let cfg = PathConfig {
+            min_sep: 0,
+            max_sep: 3,
+            max_len: 2,
+            min_occurrences: 3,
+            max_instances: 500_000,
+        };
+        b.iter(|| run_paths(txns, &cfg).patterns.len())
+    });
+    group.bench_function("event_fallout_e19", |b| {
+        b.iter(|| run_events(txns).affected)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

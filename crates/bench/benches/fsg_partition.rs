@@ -1,0 +1,54 @@
+//! E5 — the §5.2.2 BF/DF partition sweep (Figures 2–3 setting).
+//!
+//! The paper swept partition counts 400/800/1200/1600 with support 240
+//! (BF) / 120 (DF). At bench scale the counts and supports shrink
+//! proportionally; the reported series is the same: patterns found per
+//! (strategy, partition count), with BF > DF and smaller counts giving
+//! more patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnet_bench::{bench_transactions, BENCH_SCALE};
+use tnet_data::binning::BinScheme;
+use tnet_data::od_graph::{build_od_graph, EdgeLabeling, VertexLabeling};
+use tnet_fsg::{mine_for_algorithm1, FsgConfig, Support};
+use tnet_partition::single_graph::mine_single_graph;
+use tnet_partition::split::Strategy;
+
+fn bench_partition_mining(c: &mut Criterion) {
+    let txns = bench_transactions();
+    let scheme = BinScheme::fit_width_transactions(txns);
+    let od = build_od_graph(txns, &scheme, EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let mut g = od.graph;
+    g.dedup_edges();
+
+    let scale = |n: usize, min: usize| ((n as f64 * BENCH_SCALE).round() as usize).max(min);
+    let mut group = c.benchmark_group("fsg_partition_sweep");
+    group.sample_size(10);
+    for k_full in [400usize, 800, 1200, 1600] {
+        let k = scale(k_full, 4);
+        for (strategy, support_full) in
+            [(Strategy::BreadthFirst, 240), (Strategy::DepthFirst, 120)]
+        {
+            let support = scale(support_full, 3);
+            let cfg = FsgConfig::default()
+                .with_support(Support::Count(support))
+                .with_max_edges(5);
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), format!("k{k_full}")),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        mine_single_graph(g, k, 1, strategy, 1, |t| {
+                            mine_for_algorithm1(t, &cfg)
+                        })
+                        .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_mining);
+criterion_main!(benches);

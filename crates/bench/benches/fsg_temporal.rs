@@ -1,0 +1,47 @@
+//! E9–E11 — the §6 temporal experiments (Tables 2–3, Figure 4, and the
+//! memory blow-up).
+//!
+//! Three benches: building the temporal partition (Table 2's input),
+//! mining the label-filtered subset (Table 3 / Figure 4 — the case that
+//! fit in the paper's 1 GB), and the aborted unfiltered run (the case
+//! that did not — measured up to the budget trip).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tnet_bench::bench_transactions;
+use tnet_data::binning::BinScheme;
+use tnet_fsg::{mine, FsgConfig, Support};
+use tnet_partition::temporal::{filter_by_vertex_labels, temporal_partition, TemporalOptions};
+
+fn bench_temporal(c: &mut Criterion) {
+    let txns = bench_transactions();
+    let scheme = BinScheme::fit_width_transactions(txns);
+
+    let mut group = c.benchmark_group("fsg_temporal");
+    group.sample_size(10);
+
+    group.bench_function("partition_table2", |b| {
+        b.iter(|| temporal_partition(txns, &scheme, &TemporalOptions::default()).len())
+    });
+
+    let transactions = temporal_partition(txns, &scheme, &TemporalOptions::default());
+    let filtered = filter_by_vertex_labels(transactions.clone(), 12);
+    let cfg_ok = FsgConfig::default()
+        .with_support(Support::Fraction(0.05))
+        .with_max_edges(5);
+    group.bench_function("mine_filtered_fig4", |b| {
+        b.iter(|| mine(&filtered, &cfg_ok).map(|o| o.patterns.len()).unwrap_or(0))
+    });
+
+    let cfg_oom = FsgConfig::default()
+        .with_support(Support::Fraction(0.05))
+        .with_max_edges(6)
+        .with_memory_budget(256 * 1024);
+    group.bench_function("mine_unfiltered_until_oom", |b| {
+        b.iter(|| mine(&transactions, &cfg_oom).is_err())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_temporal);
+criterion_main!(benches);

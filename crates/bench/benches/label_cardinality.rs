@@ -1,0 +1,40 @@
+//! E16 — the §8 label-cardinality blow-up: "the large number of distinct
+//! labels can cause very large candidate sets ... we also used the
+//! synthetic graph generator used in [FSG] to generate a set of graph
+//! transactions with a large number of distinct vertex labels; this
+//! produced the same out of memory problems."
+//!
+//! Benchmarks FSG over synthetic transaction sets sweeping the distinct
+//! vertex-label count at fixed support. Runtime (and the candidate
+//! counts recorded in MiningStats) grows steeply with label cardinality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnet_fsg::{mine, FsgConfig, Support};
+use tnet_graph::generate::{random_transactions, RandomGraphConfig};
+
+fn bench_label_cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_cardinality");
+    group.sample_size(10);
+    for vertex_labels in [1u32, 4, 16, 64] {
+        let cfg = RandomGraphConfig {
+            vertices: 20,
+            edges: 30,
+            vertex_labels,
+            edge_labels: 4,
+            self_loops: false,
+        };
+        let txns = random_transactions(30, &cfg, 9);
+        let fsg = FsgConfig::default()
+            .with_support(Support::Count(3))
+            .with_max_edges(4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vertex_labels}_vlabels")),
+            &txns,
+            |b, txns| b.iter(|| mine(txns, &fsg).map(|o| o.patterns.len()).unwrap_or(0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_label_cardinality);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E21 — Apriori (FSG) vs depth-first pattern growth (gSpan-style) on
+//! identical workloads. §8 blames FSG's per-level candidate sets for the
+//! memory failures; the DFS miner holds only its growth path. Identical
+//! outputs, contrasting profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tnet_bench::bench_transactions;
+use tnet_data::binning::BinScheme;
+use tnet_data::od_graph::{build_od_graph, EdgeLabeling, VertexLabeling};
+use tnet_fsg::{mine, FsgConfig, Support};
+use tnet_gspan::{mine_dfs, GspanConfig};
+use tnet_partition::split::{split_graph, Strategy};
+
+fn bench_miners(c: &mut Criterion) {
+    let txns = bench_transactions();
+    let scheme = BinScheme::fit_width_transactions(txns);
+    let od = build_od_graph(txns, &scheme, EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let mut g = od.graph;
+    g.dedup_edges();
+    let mut rng = StdRng::seed_from_u64(4);
+    let transactions = split_graph(&g, 10, Strategy::BreadthFirst, &mut rng);
+
+    let mut group = c.benchmark_group("miner_comparison");
+    group.sample_size(10);
+    for support in [4usize, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("fsg_apriori", format!("sup{support}")),
+            &transactions,
+            |b, t| {
+                let cfg = FsgConfig::default()
+                    .with_support(Support::Count(support))
+                    .with_max_edges(4);
+                b.iter(|| mine(t, &cfg).map(|o| o.patterns.len()).unwrap_or(0))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gspan_dfs", format!("sup{support}")),
+            &transactions,
+            |b, t| {
+                let cfg = GspanConfig {
+                    min_support: Support::Count(support),
+                    max_edges: 4,
+                };
+                b.iter(|| mine_dfs(t, &cfg).patterns.len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Ablation: BF vs DF vs multilevel (METIS-style) partitioning.
+//!
+//! The paper chose BF/DF over METIS "because they allow us to control
+//! the type of patterns preserved". This bench measures the trade-off
+//! DESIGN.md calls out: wall-clock per strategy here, and pattern recall
+//! per strategy in the accompanying `recall_by_partitioner` group (via
+//! planted patterns, footnote 2's methodology).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tnet_bench::bench_transactions;
+use tnet_data::binning::BinScheme;
+use tnet_data::od_graph::{build_od_graph, EdgeLabeling, VertexLabeling};
+use tnet_fsg::{mine_for_algorithm1, FsgConfig, Support};
+use tnet_graph::generate::{plant_patterns, shapes};
+use tnet_graph::iso::are_isomorphic;
+use tnet_partition::multilevel::split_graph_multilevel;
+use tnet_partition::split::{split_graph, Strategy};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let txns = bench_transactions();
+    let scheme = BinScheme::fit_width_transactions(txns);
+    let od = build_od_graph(txns, &scheme, EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let mut g = od.graph;
+    g.dedup_edges();
+
+    let mut group = c.benchmark_group("partitioner_split_time");
+    group.sample_size(10);
+    for k in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("breadth_first", k), &g, |b, g| {
+            b.iter(|| {
+                split_graph(g, k, Strategy::BreadthFirst, &mut StdRng::seed_from_u64(1)).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("depth_first", k), &g, |b, g| {
+            b.iter(|| {
+                split_graph(g, k, Strategy::DepthFirst, &mut StdRng::seed_from_u64(1)).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("multilevel", k), &g, |b, g| {
+            b.iter(|| split_graph_multilevel(g, k, &mut StdRng::seed_from_u64(1)).len())
+        });
+    }
+    group.finish();
+
+    // Pattern-preservation comparison on planted data (printed once —
+    // criterion measures the mining, the recall is the scientific
+    // payload).
+    let mut group = c.benchmark_group("recall_by_partitioner");
+    group.sample_size(10);
+    let patterns = vec![
+        shapes::hub_and_spoke(4, 0, 1),
+        shapes::chain(4, 0, 2),
+        shapes::cycle(3, 0, 3),
+    ];
+    let planted = plant_patterns(&patterns, 24, 80, 5, 11);
+    // Support proportional to the transaction count: each partitioner
+    // produces a different number of transactions (the multilevel
+    // partitioner makes exactly k; BF/DF can exceed it), so a fixed
+    // absolute count would be unsatisfiable for small k.
+    let recall_of = |transactions: &[tnet_graph::graph::Graph]| {
+        let support = (transactions.len() / 3).max(2);
+        let cfg = FsgConfig::default()
+            .with_support(Support::Count(support))
+            .with_max_edges(5);
+        let mined = mine_for_algorithm1(transactions, &cfg);
+        patterns
+            .iter()
+            .filter(|p| mined.iter().any(|(m, _)| are_isomorphic(m, p)))
+            .count()
+    };
+    for (name, splitter) in [
+        (
+            "breadth_first",
+            Box::new(|g: &tnet_graph::graph::Graph| {
+                split_graph(g, 6, Strategy::BreadthFirst, &mut StdRng::seed_from_u64(2))
+            }) as Box<dyn Fn(&tnet_graph::graph::Graph) -> Vec<tnet_graph::graph::Graph>>,
+        ),
+        (
+            "depth_first",
+            Box::new(|g: &tnet_graph::graph::Graph| {
+                split_graph(g, 6, Strategy::DepthFirst, &mut StdRng::seed_from_u64(2))
+            }),
+        ),
+        (
+            "multilevel",
+            Box::new(|g: &tnet_graph::graph::Graph| {
+                split_graph_multilevel(g, 6, &mut StdRng::seed_from_u64(2))
+            }),
+        ),
+    ] {
+        let transactions = splitter(&planted.graph);
+        println!(
+            "recall_by_partitioner/{name}: {}/{} planted patterns recovered",
+            recall_of(&transactions),
+            patterns.len()
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let t = splitter(&planted.graph);
+                recall_of(&t)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E8 — the footnote-2 recall simulation: "tests on simulated data
+//! constructed by joining subgraphs with known frequent patterns ... show
+//! recall rates in the 50% and above range with both depth-first and
+//! breadth-first partitioning, with better results for smaller graphs."
+//!
+//! Benchmarked per strategy and per noise level (bigger graphs = more
+//! noise edges = the paper's "smaller graphs do better" axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnet_core::experiments::structural::run_recall;
+use tnet_partition::split::Strategy;
+
+fn bench_recall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recall");
+    group.sample_size(10);
+    for strategy in [Strategy::BreadthFirst, Strategy::DepthFirst] {
+        for noise in [40usize, 120] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), format!("noise{noise}")),
+                &noise,
+                |b, &noise| {
+                    b.iter(|| {
+                        let r = run_recall(24, noise, 6, strategy, 17);
+                        r.recall()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recall);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E4 — the §5.1 Size-principle experiment: SUBDUE with the Size
+//! evaluation recovering a large substructure planted twice (the paper's
+//! 31-vertex/37-edge find, scaled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnet_core::experiments::structural::run_size_principle;
+
+fn bench_size_principle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("size_principle");
+    group.sample_size(10);
+    for (vertices, extra) in [(8usize, 2usize), (12, 3), (16, 4)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{vertices}v")),
+            &(vertices, extra),
+            |b, &(v, e)| b.iter(|| run_size_principle(v, e, 40, 5).found),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size_principle);
+criterion_main!(benches);

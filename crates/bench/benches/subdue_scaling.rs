@@ -1,0 +1,41 @@
+//! E2/E3 — SUBDUE runtime (Figure 1 setting + the §5.1 scaling story).
+//!
+//! The paper: 3.25 hours for MDL/beam-4/best-3 on 100 vertices & 561
+//! edges; days for the Size principle; months extrapolated for the full
+//! graph. We reproduce the *shape*: superlinear growth in graph size and
+//! Size costing a multiple of MDL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnet_bench::bench_transactions;
+use tnet_core::experiments::structural::truncated_structural_graph;
+use tnet_data::binning::BinScheme;
+use tnet_data::od_graph::EdgeLabeling;
+use tnet_subdue::{discover, EvalMethod, SubdueConfig};
+
+fn bench_subdue(c: &mut Criterion) {
+    let txns = bench_transactions();
+    let scheme = BinScheme::fit_width_transactions(txns);
+    let mut group = c.benchmark_group("subdue_scaling");
+    group.sample_size(10);
+    for vertices in [15usize, 25, 50] {
+        let g = truncated_structural_graph(txns, &scheme, EdgeLabeling::GrossWeight, vertices);
+        for eval in [EvalMethod::Mdl, EvalMethod::Size] {
+            let cfg = SubdueConfig {
+                beam_width: 4,
+                max_best: 3,
+                max_size: if eval == EvalMethod::Mdl { 10 } else { 12 },
+                eval,
+                ..Default::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(eval.name(), format!("{vertices}v_{}e", g.edge_count())),
+                &g,
+                |b, g| b.iter(|| discover(g, &cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subdue);
+criterion_main!(benches);

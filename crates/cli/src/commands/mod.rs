@@ -1,0 +1,83 @@
+//! CLI subcommand implementations. Each takes parsed [`crate::args::Args`]
+//! and writes its report to stdout, returning an error string on bad
+//! input.
+
+pub mod gen;
+pub mod lanes;
+pub mod mine;
+pub mod report;
+pub mod stats;
+pub mod subdue;
+pub mod temporal;
+
+use crate::args::ArgError;
+use std::fs::File;
+use std::io::BufReader;
+use tnet_data::model::Transaction;
+
+/// Loads transactions: from `--input <csv>` when present, otherwise
+/// generates synthetically with `--scale` / `--seed`.
+pub fn load_transactions(args: &crate::args::Args) -> Result<Vec<Transaction>, ArgError> {
+    if let Some(path) = args.get("input") {
+        let file =
+            File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+        return tnet_data::csv::read_csv(BufReader::new(file))
+            .map_err(|e| ArgError(e.to_string()));
+    }
+    let scale: f64 = args.get_parsed_or("scale", 0.02)?;
+    let seed: u64 = args.get_parsed_or("seed", 42)?;
+    if !(0.0..=1.0).contains(&scale) || scale <= 0.0 {
+        return Err(ArgError("--scale must be in (0, 1]".into()));
+    }
+    let cfg = tnet_data::synth::SynthConfig::scaled(scale).with_seed(seed);
+    Ok(tnet_data::synth::generate(&cfg).transactions)
+}
+
+/// Parses an edge-labeling name (`gw` / `th` / `td`).
+pub fn parse_labeling(name: &str) -> Result<tnet_data::od_graph::EdgeLabeling, ArgError> {
+    use tnet_data::od_graph::EdgeLabeling::*;
+    match name {
+        "gw" | "weight" => Ok(GrossWeight),
+        "th" | "hours" => Ok(TransitHours),
+        "td" | "distance" => Ok(TotalDistance),
+        other => Err(ArgError(format!(
+            "unknown labeling '{other}' (use gw, th, or td)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn synthetic_load() {
+        let a = Args::parse(&argv("stats --scale 0.01 --seed 7")).unwrap();
+        let txns = load_transactions(&a).unwrap();
+        assert!(!txns.is_empty());
+    }
+
+    #[test]
+    fn bad_scale_rejected() {
+        let a = Args::parse(&argv("stats --scale 2.0")).unwrap();
+        assert!(load_transactions(&a).is_err());
+    }
+
+    #[test]
+    fn missing_file_rejected() {
+        let a = Args::parse(&argv("stats --input /nonexistent.csv")).unwrap();
+        assert!(load_transactions(&a).is_err());
+    }
+
+    #[test]
+    fn labeling_names() {
+        assert!(parse_labeling("gw").is_ok());
+        assert!(parse_labeling("hours").is_ok());
+        assert!(parse_labeling("xx").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! `tnet report` — the full E1–E15 reproduction report plus the E17–E21
+//! extensions.
+
+use crate::args::{ArgError, Args};
+use crate::commands::load_transactions;
+use tnet_core::experiments::extensions::{run_events, run_paths, run_periodic};
+use tnet_core::pipeline::Pipeline;
+use tnet_dynamic::paths::PathConfig;
+
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.ensure_known(&["input", "scale", "seed", "extensions"])?;
+    let scale: f64 = args.get_parsed_or("scale", 0.05)?;
+    let seed: u64 = args.get_parsed_or("seed", 42)?;
+    let with_extensions = args.get_or("extensions", "true") == "true";
+
+    let pipeline = if args.get("input").is_some() {
+        Pipeline::from_transactions(load_transactions(args)?)
+    } else {
+        Pipeline::synthetic(scale, seed)
+    };
+    println!("{}", pipeline.full_report(scale, seed));
+
+    if with_extensions {
+        let txns = pipeline.transactions();
+        println!("{}", run_periodic(txns));
+        println!(
+            "{}",
+            run_paths(
+                txns,
+                &PathConfig {
+                    min_sep: 0,
+                    max_sep: 3,
+                    max_len: 2,
+                    min_occurrences: 3,
+                    max_instances: 1_000_000,
+                },
+            )
+        );
+        println!("{}", run_events(txns));
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! `tnet temporal` — the §6 temporal experiments: Table 2 summary,
+//! quiet-date filtering (Table 3), Figure 4 mining, and the §6.1 memory
+//! failure demonstration.
+
+use crate::args::{ArgError, Args};
+use crate::commands::load_transactions;
+use tnet_core::experiments::temporal::{
+    quiet_day_label_limit, run_fig4, run_fsg_oom, run_table2,
+};
+use tnet_fsg::Support;
+
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    args.ensure_known(&["input", "scale", "seed", "quiet-fraction", "budget-mb", "oom-support"])?;
+    let txns = load_transactions(args)?;
+    let quiet_fraction: f64 = args.get_parsed_or("quiet-fraction", 0.1)?;
+    if !(0.0..=1.0).contains(&quiet_fraction) {
+        return Err(ArgError("--quiet-fraction must be in [0, 1]".into()));
+    }
+    let budget_mb: usize = args.get_parsed_or("budget-mb", 256)?;
+    let oom_support: usize = args.get_parsed_or("oom-support", 8)?;
+
+    let t2 = run_table2(&txns);
+    println!("{t2}");
+    let limit = quiet_day_label_limit(&txns, quiet_fraction);
+    println!("quiet-date label limit ({quiet_fraction} quantile): {limit}");
+    println!("{}", run_fig4(&txns, limit));
+    println!(
+        "{}",
+        run_fsg_oom(&t2.transactions, Support::Count(oom_support), budget_mb << 20)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_on_synthetic() {
+        let argv: Vec<String> = ["temporal", "--scale", "0.02", "--budget-mb", "64"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&Args::parse(&argv).unwrap()).unwrap();
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end tests of the `tnet` binary: spawn the real executable and
+//! check exit codes and output shape (generate → stats → mine round
+//! trip through an actual CSV file on disk).
+
+use std::process::Command;
+
+fn tnet() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tnet"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = tnet().args(args).output().expect("spawn tnet");
+    assert!(
+        out.status.success(),
+        "tnet {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn help_lists_commands() {
+    let text = run_ok(&["help"]);
+    for cmd in ["gen", "stats", "mine", "subdue", "temporal", "lanes", "report"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = tnet().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn gen_stats_mine_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("tnet_cli_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("data.csv");
+    let csv_str = csv.to_str().unwrap();
+
+    let gen_out = run_ok(&["gen", "--scale", "0.01", "--seed", "7", "--out", csv_str]);
+    assert!(gen_out.contains("wrote"), "gen output: {gen_out}");
+    assert!(csv.exists());
+
+    let stats_out = run_ok(&["stats", "--input", csv_str]);
+    assert!(stats_out.contains("distinct OD pairs"));
+    assert!(stats_out.contains("out-degree"));
+
+    let mine_out = run_ok(&[
+        "mine",
+        "--input",
+        csv_str,
+        "--partitions",
+        "6",
+        "--support",
+        "3",
+        "--max-edges",
+        "3",
+        "--reps",
+        "1",
+    ]);
+    assert!(mine_out.contains("frequent patterns"), "mine: {mine_out}");
+    assert!(mine_out.contains("support"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn subdue_runs_on_synthetic() {
+    let out = run_ok(&[
+        "subdue", "--scale", "0.01", "--vertices", "20", "--eval", "size", "--max-size", "6",
+    ]);
+    assert!(out.contains("truncated graph"));
+    assert!(out.contains("#1:"), "expected a best substructure: {out}");
+}
+
+#[test]
+fn lanes_runs_on_synthetic() {
+    let out = run_ok(&["lanes", "--scale", "0.02"]);
+    assert!(out.contains("periodic lanes"));
+    assert!(out.contains("route patterns"));
+}
+
+#[test]
+fn bad_option_reports_error() {
+    let out = tnet()
+        .args(["stats", "--nonsense", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}

@@ -1,0 +1,229 @@
+//! §6 experiments: temporal partitioning summaries (Table 2), filtered
+//! mining (Table 3, Figure 4), and the FSG memory failure (E11).
+
+use crate::patterns::classify;
+use std::fmt;
+use tnet_data::binning::BinScheme;
+use tnet_data::model::Transaction;
+use tnet_fsg::{mine, FsgConfig, FsgError, Support};
+use tnet_graph::graph::Graph;
+use tnet_partition::summary::{summarize_set, TransactionSetSummary};
+use tnet_partition::temporal::{filter_by_vertex_labels, temporal_partition, TemporalOptions};
+
+/// E9 output: the Table 2 summary plus the partitioned transactions for
+/// downstream steps.
+pub struct Table2Result {
+    pub summary: TransactionSetSummary,
+    pub transactions: Vec<Graph>,
+}
+
+/// Runs E9: the full §6 pipeline (daily active-edge graphs → connected
+/// components → edge dedup → drop single-edge transactions) and its
+/// Table 2 summary.
+pub fn run_table2(txns: &[Transaction]) -> Table2Result {
+    let scheme = BinScheme::fit_width_transactions(txns);
+    let transactions = temporal_partition(txns, &scheme, &TemporalOptions::default());
+    Table2Result {
+        summary: summarize_set(&transactions),
+        transactions,
+    }
+}
+
+impl fmt::Display for Table2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== E9: temporally partitioned data (Table 2) ===")?;
+        write!(f, "{}", self.summary)
+    }
+}
+
+/// E10 output: Table 3 summary and the Figure 4 mining result.
+pub struct Fig4Result {
+    pub table3: TransactionSetSummary,
+    /// Frequent patterns at 5% support over the filtered set.
+    pub patterns: usize,
+    /// Patterns with a single edge ("most were small patterns").
+    pub single_edge_patterns: usize,
+    /// Largest pattern: (edges, shape name, support).
+    pub largest: Option<(usize, &'static str, usize)>,
+}
+
+/// Runs E10 the way §6.1 describes: keep only *dates* whose daily graph
+/// has fewer than `label_limit` distinct vertex labels (the paper used
+/// 200 — the quiet days), then run the component/dedup/size pipeline on
+/// those days, summarize (Table 3), and mine at 5% support (Figure 4).
+pub fn run_fig4(txns: &[Transaction], label_limit: usize) -> Fig4Result {
+    let scheme = BinScheme::fit_width_transactions(txns);
+    let quiet_days = filter_by_vertex_labels(
+        tnet_partition::temporal::daily_graphs(txns, &scheme),
+        label_limit,
+    );
+    let mut filtered: Vec<Graph> = quiet_days
+        .iter()
+        .flat_map(tnet_graph::traverse::split_components)
+        .collect();
+    for g in &mut filtered {
+        g.dedup_edges();
+    }
+    filtered.retain(|g| g.edge_count() >= 2);
+    let table3 = summarize_set(&filtered);
+    let cfg = FsgConfig::default()
+        .with_support(Support::Fraction(0.05))
+        .with_max_edges(5);
+    let out = mine(&filtered, &cfg).expect("filtered set must fit in memory");
+    let single_edge_patterns = out
+        .patterns
+        .iter()
+        .filter(|p| p.graph.edge_count() == 1)
+        .count();
+    let largest = out
+        .patterns
+        .iter()
+        .max_by_key(|p| p.graph.edge_count())
+        .map(|p| {
+            (
+                p.graph.edge_count(),
+                classify(&p.graph).name(),
+                p.support,
+            )
+        });
+    Fig4Result {
+        table3,
+        patterns: out.patterns.len(),
+        single_edge_patterns,
+        largest,
+    }
+}
+
+impl fmt::Display for Fig4Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== E10: filtered temporal mining (Table 3, Figure 4) ===")?;
+        write!(f, "{}", self.table3)?;
+        writeln!(f, "frequent patterns at 5% support: {} (paper: 22)", self.patterns)?;
+        writeln!(f, "single-edge patterns: {}", self.single_edge_patterns)?;
+        if let Some((edges, shape, support)) = self.largest {
+            writeln!(
+                f,
+                "largest pattern: {edges} edges, shape {shape}, support {support} (paper: 3-edge hub-and-spoke)"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Picks a `label_limit` for [`run_fig4`] as a quantile of the per-day
+/// distinct-vertex-label counts. The paper's 200 kept the quietest dates
+/// of its dataset; `fraction` ≈ 0.3 reproduces that selectivity at any
+/// scale.
+pub fn quiet_day_label_limit(txns: &[Transaction], fraction: f64) -> usize {
+    assert!((0.0..=1.0).contains(&fraction));
+    let scheme = BinScheme::fit_width_transactions(txns);
+    let mut counts: Vec<usize> = tnet_partition::temporal::daily_graphs(txns, &scheme)
+        .iter()
+        .map(|g| g.vertex_label_histogram().len())
+        .collect();
+    if counts.is_empty() {
+        return 1;
+    }
+    counts.sort_unstable();
+    let idx = ((counts.len() as f64 * fraction) as usize).min(counts.len() - 1);
+    (counts[idx] + 1).max(2)
+}
+
+/// E11 output.
+pub struct OomResult {
+    /// The error FSG aborted with (None means it unexpectedly succeeded).
+    pub error: Option<FsgError>,
+    pub budget: usize,
+}
+
+/// Runs E11: FSG over the *unfiltered* temporal transactions with a
+/// memory budget standing in for the paper's 1 GB Sparc. On paper-shaped
+/// data the candidate set explodes (thousands of distinct vertex labels)
+/// and mining aborts — "we were unable to run FSG on the entire data set
+/// due to insufficient memory / swap space".
+///
+/// `support`: the paper's effective threshold was 5% of 146 transactions
+/// ≈ 8 occurrences; at reduced scales pass an absolute count of similar
+/// magnitude so the level-1 vocabulary stays paper-shaped.
+pub fn run_fsg_oom(transactions: &[Graph], support: Support, budget: usize) -> OomResult {
+    let cfg = FsgConfig::default()
+        .with_support(support)
+        .with_max_edges(6)
+        .with_memory_budget(budget);
+    let error = mine(transactions, &cfg).err();
+    OomResult { error, budget }
+}
+
+impl fmt::Display for OomResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== E11: FSG on unfiltered temporal data (Sec 6.1) ===")?;
+        match &self.error {
+            Some(e) => writeln!(f, "mining aborted as in the paper: {e}"),
+            None => writeln!(
+                f,
+                "mining unexpectedly completed within {} bytes",
+                self.budget
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_data::synth::{generate, SynthConfig};
+
+    fn transactions(scale: f64) -> Vec<Transaction> {
+        generate(&SynthConfig::scaled(scale)).transactions
+    }
+
+    #[test]
+    fn table2_shape() {
+        let res = run_table2(&transactions(0.05));
+        let s = &res.summary;
+        assert!(s.transactions > 50, "expect many daily transactions");
+        assert!(s.distinct_vertex_labels > 50);
+        assert!(s.max_edges > 30, "big daily components expected");
+        // Bimodal sizes: plenty of small transactions and some big ones
+        // (Table 2's histogram had mass at both ends).
+        assert!(s.size_histogram[0] > 0, "small transactions expected");
+        let big: usize = s.size_histogram[2..].iter().sum();
+        assert!(big > 0, "large transactions expected");
+    }
+
+    #[test]
+    fn fig4_filtered_mining() {
+        let txns = transactions(0.05);
+        let limit = quiet_day_label_limit(&txns, 0.1);
+        let res = run_fig4(&txns, limit);
+        assert!(res.table3.transactions > 0, "filter kept nothing");
+        assert!(
+            res.table3.max_edges <= 150,
+            "filtered transactions should be small, got max {}",
+            res.table3.max_edges
+        );
+        assert!(res.patterns > 0, "expected some frequent patterns");
+        assert!(
+            res.single_edge_patterns * 2 >= res.patterns,
+            "most patterns should be small"
+        );
+        if let Some((edges, _, _)) = res.largest {
+            assert!(edges <= 5, "largest should stay small, got {edges}");
+        }
+    }
+
+    #[test]
+    fn fsg_exhausts_memory_on_unfiltered_data() {
+        let res0 = run_table2(&transactions(0.05));
+        // The paper's effective support was ~8 occurrences; keep that
+        // magnitude rather than a percentage of the inflated post-split
+        // transaction count.
+        let res = run_fsg_oom(&res0.transactions, Support::Count(8), 256 * 1024);
+        match res.error {
+            Some(FsgError::MemoryBudgetExceeded { level, .. }) => {
+                assert!(level >= 2);
+            }
+            None => panic!("expected the paper's out-of-memory failure"),
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The high-level knowledge-discovery pipeline: dataset → graphs →
+//! partitioning → miners → report.
+
+use crate::experiments::{conventional, structural, temporal};
+use tnet_data::binning::BinScheme;
+use tnet_data::model::Transaction;
+use tnet_data::od_graph::{build_od_graph, EdgeLabeling, OdGraph, VertexLabeling};
+use tnet_data::stats::{dataset_stats, DatasetStats};
+use tnet_data::synth::{generate, Dataset, SynthConfig};
+use tnet_partition::split::Strategy;
+
+/// One pipeline over a transaction dataset. Construction is cheap; each
+/// accessor builds what it needs.
+pub struct Pipeline {
+    transactions: Vec<Transaction>,
+    scheme: BinScheme,
+    /// Ground truth when the data came from the synthetic generator.
+    pub dataset: Option<Dataset>,
+}
+
+impl Pipeline {
+    /// Builds the pipeline over a synthetic dataset at `scale` of the
+    /// paper's published size (1.0 = 98,292 transactions).
+    pub fn synthetic(scale: f64, seed: u64) -> Pipeline {
+        let cfg = SynthConfig::scaled(scale).with_seed(seed);
+        let dataset = generate(&cfg);
+        let scheme = BinScheme::fit_width_transactions(&dataset.transactions);
+        Pipeline {
+            transactions: dataset.transactions.clone(),
+            scheme,
+            dataset: Some(dataset),
+        }
+    }
+
+    /// Builds the pipeline over externally supplied transactions (e.g.
+    /// parsed from CSV).
+    pub fn from_transactions(transactions: Vec<Transaction>) -> Pipeline {
+        let scheme = BinScheme::fit_width_transactions(&transactions);
+        Pipeline {
+            transactions,
+            scheme,
+            dataset: None,
+        }
+    }
+
+    /// Overrides the binning scheme.
+    pub fn with_scheme(mut self, scheme: BinScheme) -> Pipeline {
+        self.scheme = scheme;
+        self
+    }
+
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    pub fn scheme(&self) -> &BinScheme {
+        &self.scheme
+    }
+
+    /// E1: the §3 dataset description statistics.
+    pub fn dataset_stats(&self) -> DatasetStats {
+        dataset_stats(&self.transactions)
+    }
+
+    /// A labeled OD graph (`OD_GW` / `OD_TH` / `OD_TD`).
+    pub fn od_graph(&self, labeling: EdgeLabeling, vertices: VertexLabeling) -> OdGraph {
+        build_od_graph(&self.transactions, &self.scheme, labeling, vertices)
+    }
+
+    /// Runs every experiment at sizes proportionate to the dataset and
+    /// renders one combined text report. `scale` should match the value
+    /// given to [`Pipeline::synthetic`] so thresholds stay calibrated.
+    pub fn full_report(&self, scale: f64, seed: u64) -> String {
+        let mut out = String::new();
+        let txns = &self.transactions;
+        let s = |full: usize, min: usize| ((full as f64 * scale).round() as usize).max(min);
+
+        out.push_str("=== E1: dataset description (Sec 3) ===\n");
+        out.push_str(&self.dataset_stats().to_string());
+        out.push('\n');
+
+        out.push_str(&structural::run_fig1(txns, s(100, 40)).to_string());
+        out.push('\n');
+        out.push_str(&structural::render_scaling(&structural::run_subdue_scaling(
+            txns,
+            &[s(25, 10), s(50, 20), s(100, 40)],
+        )));
+        out.push('\n');
+        out.push_str(&structural::run_size_principle(14, 3, 60, seed).to_string());
+        out.push('\n');
+        out.push_str(&structural::render_sweep(&structural::run_partition_sweep(
+            txns,
+            EdgeLabeling::GrossWeight,
+            &[s(400, 6), s(800, 12), s(1200, 18), s(1600, 24)],
+            s(240, 4),
+            s(120, 3),
+            2,
+            5,
+            seed,
+        )));
+        out.push('\n');
+        out.push_str(
+            &structural::run_shape_mining(
+                txns,
+                EdgeLabeling::TransitHours,
+                Strategy::BreadthFirst,
+                s(800, 10),
+                s(240, 4),
+                2,
+                5,
+                seed,
+            )
+            .to_string(),
+        );
+        out.push('\n');
+        out.push_str(
+            &structural::run_shape_mining(
+                txns,
+                EdgeLabeling::TotalDistance,
+                Strategy::DepthFirst,
+                s(800, 10),
+                s(120, 3),
+                2,
+                5,
+                seed,
+            )
+            .to_string(),
+        );
+        out.push('\n');
+        for strategy in [Strategy::BreadthFirst, Strategy::DepthFirst] {
+            out.push_str(&structural::run_recall(24, 60, 6, strategy, seed).to_string());
+        }
+        out.push('\n');
+
+        let t2 = temporal::run_table2(txns);
+        out.push_str(&t2.to_string());
+        out.push('\n');
+        let label_limit = temporal::quiet_day_label_limit(txns, 0.1);
+        out.push_str(&temporal::run_fig4(txns, label_limit).to_string());
+        out.push('\n');
+        out.push_str(
+            &temporal::run_fsg_oom(
+                &t2.transactions,
+                tnet_fsg::Support::Count(8),
+                256 * 1024,
+            )
+            .to_string(),
+        );
+        out.push('\n');
+
+        out.push_str(&conventional::run_assoc(txns, 12).to_string());
+        out.push('\n');
+        out.push_str(&conventional::run_classify(txns).to_string());
+        out.push('\n');
+        out.push_str(&conventional::run_cluster(txns, 9, seed).to_string());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_pipeline_basics() {
+        let p = Pipeline::synthetic(0.01, 42);
+        let st = p.dataset_stats();
+        assert_eq!(st.transactions, p.transactions().len());
+        let g = p.od_graph(EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+        assert_eq!(g.graph.edge_count(), st.transactions);
+        assert!(p.dataset.is_some());
+    }
+
+    #[test]
+    fn from_transactions_roundtrip() {
+        let source = Pipeline::synthetic(0.01, 1);
+        let p = Pipeline::from_transactions(source.transactions().to_vec());
+        assert!(p.dataset.is_none());
+        assert_eq!(
+            p.dataset_stats().distinct_od_pairs,
+            source.dataset_stats().distinct_od_pairs
+        );
+    }
+}

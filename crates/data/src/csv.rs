@@ -1,0 +1,180 @@
+//! Plain CSV serialization of transaction datasets.
+//!
+//! The schema mirrors Table 1 column-for-column. Hand-rolled writer and
+//! parser: the format is fixed, all fields are numeric or a two-value
+//! enum, and no quoting/escaping is ever needed.
+
+use crate::model::{Date, LatLon, TransMode, Transaction};
+use std::io::{self, BufRead, Write};
+
+/// The CSV header row (Table 1 column names).
+pub const HEADER: &str = "ID,REQ_PICKUP_DT,REQ_DELIVERY_DT,ORIGIN_LATITUDE,ORIGIN_LONGITUDE,\
+DEST_LATITUDE,DEST_LONGITUDE,TOTAL_DISTANCE,GROSS_WEIGHT,MOVE_TRANSIT_HOURS,TRANS_MODE";
+
+/// Writes transactions as CSV (header + one row each). Dates are emitted
+/// as day offsets from the dataset epoch.
+pub fn write_csv(txns: &[Transaction], mut w: impl Write) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for t in txns {
+        writeln!(
+            w,
+            "{},{},{},{:.1},{:.1},{:.1},{:.1},{:.2},{:.1},{:.2},{}",
+            t.id,
+            t.req_pickup.day(),
+            t.req_delivery.day(),
+            t.origin.lat(),
+            t.origin.lon(),
+            t.dest.lat(),
+            t.dest.lon(),
+            t.total_distance,
+            t.gross_weight,
+            t.transit_hours,
+            t.mode
+        )?;
+    }
+    Ok(())
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug)]
+pub struct CsvError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Reads transactions from CSV produced by [`write_csv`] (header
+/// required).
+pub fn read_csv(r: impl BufRead) -> Result<Vec<Transaction>, CsvError> {
+    let mut txns = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| CsvError {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if line != HEADER {
+                return Err(CsvError {
+                    line: lineno,
+                    message: "unexpected header".into(),
+                });
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 11 {
+            return Err(CsvError {
+                line: lineno,
+                message: format!("expected 11 fields, got {}", fields.len()),
+            });
+        }
+        let err = |m: &str| CsvError {
+            line: lineno,
+            message: m.to_string(),
+        };
+        let parse_f = |s: &str, name: &str| -> Result<f64, CsvError> {
+            s.parse::<f64>().map_err(|_| err(&format!("bad {name}: {s}")))
+        };
+        txns.push(Transaction {
+            id: fields[0].parse().map_err(|_| err("bad ID"))?,
+            req_pickup: Date(fields[1].parse().map_err(|_| err("bad pickup date"))?),
+            req_delivery: Date(fields[2].parse().map_err(|_| err("bad delivery date"))?),
+            origin: LatLon::new(
+                parse_f(fields[3], "origin latitude")?,
+                parse_f(fields[4], "origin longitude")?,
+            ),
+            dest: LatLon::new(
+                parse_f(fields[5], "dest latitude")?,
+                parse_f(fields[6], "dest longitude")?,
+            ),
+            total_distance: parse_f(fields[7], "distance")?,
+            gross_weight: parse_f(fields[8], "weight")?,
+            transit_hours: parse_f(fields[9], "transit hours")?,
+            mode: TransMode::parse(fields[10]).ok_or_else(|| err("bad mode"))?,
+        });
+    }
+    Ok(txns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Transaction> {
+        vec![
+            Transaction {
+                id: 7,
+                req_pickup: Date(10),
+                req_delivery: Date(12),
+                origin: LatLon::new(44.5, -88.0),
+                dest: LatLon::new(41.9, -87.6),
+                total_distance: 212.5,
+                gross_weight: 32_000.0,
+                transit_hours: 6.25,
+                mode: TransMode::Truckload,
+            },
+            Transaction {
+                id: 8,
+                req_pickup: Date(11),
+                req_delivery: Date(15),
+                origin: LatLon::new(41.9, -87.6),
+                dest: LatLon::new(39.1, -84.5),
+                total_distance: 296.0,
+                gross_weight: 900.0,
+                transit_hours: 30.0,
+                mode: TransMode::LessThanTruckload,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let txns = sample();
+        let mut buf = Vec::new();
+        write_csv(&txns, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, txns);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = read_csv("wrong,header\n".as_bytes()).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let input = format!("{HEADER}\n1,2,3\n");
+        let e = read_csv(input.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("11 fields"));
+    }
+
+    #[test]
+    fn rejects_bad_mode() {
+        let input = format!("{HEADER}\n1,0,1,44.5,-88.0,41.9,-87.6,200,30000,8,AIR\n");
+        let e = read_csv(input.as_bytes()).unwrap_err();
+        assert!(e.message.contains("mode"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let mut buf = Vec::new();
+        write_csv(&sample(), &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        assert_eq!(read_csv(buf.as_slice()).unwrap().len(), 2);
+    }
+}

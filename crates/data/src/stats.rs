@@ -1,0 +1,157 @@
+//! Dataset statistics — the §3 description numbers.
+
+use crate::model::Transaction;
+use std::collections::{HashMap, HashSet};
+
+/// Statistics matching the paper's dataset description: "4038 distinct
+/// latitude-longitude pairs ... 1797 distinct origins and 3770 distinct
+/// destinations ... 20,900 distinct OD pairs".
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    pub transactions: usize,
+    pub distinct_locations: usize,
+    pub distinct_origins: usize,
+    pub distinct_destinations: usize,
+    /// Locations appearing as both an origin and a destination.
+    pub both_roles: usize,
+    pub distinct_od_pairs: usize,
+    /// (min, max, mean) out-degree over origins, in the simple OD-pair
+    /// graph (distinct destination count per origin).
+    pub out_degree: (usize, usize, f64),
+    /// (min, max, mean) in-degree over destinations.
+    pub in_degree: (usize, usize, f64),
+    /// Observation window: (first pickup day, last delivery day).
+    pub date_span: (u32, u32),
+}
+
+/// Computes [`DatasetStats`] for a transaction set.
+///
+/// # Panics
+/// Panics if `txns` is empty.
+pub fn dataset_stats(txns: &[Transaction]) -> DatasetStats {
+    assert!(!txns.is_empty(), "empty dataset");
+    let mut origins = HashSet::new();
+    let mut dests = HashSet::new();
+    let mut pairs = HashSet::new();
+    let mut first_day = u32::MAX;
+    let mut last_day = 0u32;
+    for t in txns {
+        origins.insert(t.origin);
+        dests.insert(t.dest);
+        pairs.insert(t.od_pair());
+        first_day = first_day.min(t.req_pickup.day());
+        last_day = last_day.max(t.req_delivery.day());
+    }
+    let mut out_deg: HashMap<_, HashSet<_>> = HashMap::new();
+    let mut in_deg: HashMap<_, HashSet<_>> = HashMap::new();
+    for &(o, d) in &pairs {
+        out_deg.entry(o).or_default().insert(d);
+        in_deg.entry(d).or_default().insert(o);
+    }
+    let degree_stats = |m: &HashMap<_, HashSet<_>>| {
+        let mut min = usize::MAX;
+        let mut max = 0;
+        let mut sum = 0;
+        for s in m.values() {
+            min = min.min(s.len());
+            max = max.max(s.len());
+            sum += s.len();
+        }
+        (min, max, sum as f64 / m.len() as f64)
+    };
+    let locations: HashSet<_> = origins.union(&dests).copied().collect();
+    DatasetStats {
+        transactions: txns.len(),
+        distinct_locations: locations.len(),
+        distinct_origins: origins.len(),
+        distinct_destinations: dests.len(),
+        both_roles: origins.intersection(&dests).count(),
+        distinct_od_pairs: pairs.len(),
+        out_degree: degree_stats(&out_deg),
+        in_degree: degree_stats(&in_deg),
+        date_span: (first_day, last_day),
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "transactions:          {}", self.transactions)?;
+        writeln!(f, "distinct locations:    {}", self.distinct_locations)?;
+        writeln!(f, "distinct origins:      {}", self.distinct_origins)?;
+        writeln!(f, "distinct destinations: {}", self.distinct_destinations)?;
+        writeln!(f, "both roles:            {}", self.both_roles)?;
+        writeln!(f, "distinct OD pairs:     {}", self.distinct_od_pairs)?;
+        writeln!(
+            f,
+            "out-degree:            min {} max {} avg {:.1}",
+            self.out_degree.0, self.out_degree.1, self.out_degree.2
+        )?;
+        writeln!(
+            f,
+            "in-degree:             min {} max {} avg {:.1}",
+            self.in_degree.0, self.in_degree.1, self.in_degree.2
+        )?;
+        writeln!(
+            f,
+            "date span (days):      {}..{}",
+            self.date_span.0, self.date_span.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Date, LatLon, TransMode};
+
+    fn txn(id: u64, o: (f64, f64), d: (f64, f64), day: u32) -> Transaction {
+        Transaction {
+            id,
+            req_pickup: Date(day),
+            req_delivery: Date(day + 1),
+            origin: LatLon::new(o.0, o.1),
+            dest: LatLon::new(d.0, d.1),
+            total_distance: 100.0,
+            gross_weight: 20_000.0,
+            transit_hours: 10.0,
+            mode: TransMode::Truckload,
+        }
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        // a->b, a->c, b->c; plus a second a->b shipment (same pair).
+        let a = (40.0, -88.0);
+        let b = (41.0, -87.0);
+        let c = (42.0, -86.0);
+        let txns = vec![
+            txn(1, a, b, 0),
+            txn(2, a, c, 3),
+            txn(3, b, c, 5),
+            txn(4, a, b, 9),
+        ];
+        let s = dataset_stats(&txns);
+        assert_eq!(s.transactions, 4);
+        assert_eq!(s.distinct_locations, 3);
+        assert_eq!(s.distinct_origins, 2); // a, b
+        assert_eq!(s.distinct_destinations, 2); // b, c
+        assert_eq!(s.both_roles, 1); // b
+        assert_eq!(s.distinct_od_pairs, 3);
+        assert_eq!(s.out_degree, (1, 2, 1.5)); // a:2, b:1
+        assert_eq!(s.in_degree, (1, 2, 1.5)); // b:1, c:2
+        assert_eq!(s.date_span, (0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        dataset_stats(&[]);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let txt = dataset_stats(&[txn(1, (40.0, -88.0), (41.0, -87.0), 2)]).to_string();
+        assert!(txt.contains("distinct OD pairs:     1"));
+        assert!(txt.contains("out-degree"));
+    }
+}

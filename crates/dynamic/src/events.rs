@@ -1,0 +1,269 @@
+//! Events and their fallout — §9: "Incorporating the notion of events
+//! into a graph is another interesting problem ... weather incidents that
+//! cause longer delays or even closure of some roads ... As a first cut,
+//! it is quite natural to represent events as a change in the value of a
+//! set of nodes and links. ... Analysis of the fallout of
+//! temporal/spatial events could lead to figuring out the nature of
+//! causality between emergent patterns and a triggering event."
+//!
+//! [`inject_event`] applies an event to a transaction set (the "change in
+//! the value of a set of nodes and links"); [`pattern_fallout`] compares
+//! the frequent edge-pattern distribution before and after, surfacing the
+//! emergent and suppressed patterns.
+
+use std::collections::HashMap;
+use tnet_data::binning::BinScheme;
+use tnet_data::model::{Date, LatLon, Transaction};
+
+/// What an event does to the shipments it touches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// Weather: transit hours multiplied by `slow_factor` (>= 1.0) and
+    /// delivery dates pushed accordingly.
+    WeatherDelay { slow_factor: f64 },
+    /// Road closure: shipments rerouted, multiplying distance by
+    /// `detour_factor` (>= 1.0) with the matching time increase.
+    RoadClosure { detour_factor: f64 },
+}
+
+/// A spatially and temporally scoped event.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    pub kind: EventKind,
+    /// Center of the affected region.
+    pub center: LatLon,
+    /// Shipments whose origin or destination lies within this many miles
+    /// of the center are affected.
+    pub radius_miles: f64,
+    /// Active window (inclusive): shipments picked up inside it are
+    /// affected.
+    pub from: Date,
+    pub to: Date,
+}
+
+impl Event {
+    /// True if the event touches this transaction.
+    pub fn affects(&self, t: &Transaction) -> bool {
+        if t.req_pickup < self.from || t.req_pickup > self.to {
+            return false;
+        }
+        t.origin.haversine_miles(self.center) <= self.radius_miles
+            || t.dest.haversine_miles(self.center) <= self.radius_miles
+    }
+}
+
+/// Applies the event, returning the perturbed transaction set and the
+/// number of shipments affected.
+pub fn inject_event(txns: &[Transaction], event: &Event) -> (Vec<Transaction>, usize) {
+    let mut affected = 0usize;
+    let out = txns
+        .iter()
+        .map(|t| {
+            if !event.affects(t) {
+                return t.clone();
+            }
+            affected += 1;
+            let mut t = t.clone();
+            match event.kind {
+                EventKind::WeatherDelay { slow_factor } => {
+                    assert!(slow_factor >= 1.0, "events only slow shipments down");
+                    t.transit_hours *= slow_factor;
+                }
+                EventKind::RoadClosure { detour_factor } => {
+                    assert!(detour_factor >= 1.0);
+                    t.total_distance *= detour_factor;
+                    t.transit_hours *= detour_factor;
+                }
+            }
+            // Delivery date follows the slower transit.
+            let days = (t.transit_hours / 24.0).ceil() as u32;
+            let min_delivery = t.req_pickup.plus_days(days);
+            if t.req_delivery < min_delivery {
+                t.req_delivery = min_delivery;
+            }
+            t
+        })
+        .collect();
+    (out, affected)
+}
+
+/// A frequent-pattern shift caused by an event: a transit-hours bin whose
+/// shipment count changed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinShift {
+    pub bin: u32,
+    pub before: usize,
+    pub after: usize,
+}
+
+/// The before/after comparison.
+#[derive(Clone, Debug)]
+pub struct FalloutReport {
+    pub affected_transactions: usize,
+    /// Mean added transit hours over affected shipments.
+    pub mean_added_hours: f64,
+    /// Hour-bin populations that changed (emergent where `after >
+    /// before`, suppressed where `after < before`).
+    pub shifted_bins: Vec<BinShift>,
+}
+
+impl FalloutReport {
+    /// Bins that gained shipments — the "emergent patterns".
+    pub fn emergent(&self) -> impl Iterator<Item = &BinShift> {
+        self.shifted_bins.iter().filter(|s| s.after > s.before)
+    }
+
+    /// Bins that lost shipments.
+    pub fn suppressed(&self) -> impl Iterator<Item = &BinShift> {
+        self.shifted_bins.iter().filter(|s| s.after < s.before)
+    }
+}
+
+/// Quantifies an event's fallout on the edge-label (transit-hours bin)
+/// distribution — the §9 "bounce effect" probe.
+pub fn pattern_fallout(
+    before: &[Transaction],
+    after: &[Transaction],
+    scheme: &BinScheme,
+) -> FalloutReport {
+    assert_eq!(before.len(), after.len(), "compare like with like");
+    let hist = |txns: &[Transaction]| -> HashMap<u32, usize> {
+        let mut h = HashMap::new();
+        for t in txns {
+            *h.entry(scheme.hours.bin(t.transit_hours)).or_insert(0) += 1;
+        }
+        h
+    };
+    let hb = hist(before);
+    let ha = hist(after);
+    let mut affected = 0usize;
+    let mut added_hours = 0.0;
+    for (b, a) in before.iter().zip(after) {
+        if (a.transit_hours - b.transit_hours).abs() > 1e-9 {
+            affected += 1;
+            added_hours += a.transit_hours - b.transit_hours;
+        }
+    }
+    let mut bins: Vec<u32> = hb.keys().chain(ha.keys()).copied().collect();
+    bins.sort_unstable();
+    bins.dedup();
+    let shifted_bins = bins
+        .into_iter()
+        .filter_map(|bin| {
+            let before = hb.get(&bin).copied().unwrap_or(0);
+            let after = ha.get(&bin).copied().unwrap_or(0);
+            (before != after).then_some(BinShift { bin, before, after })
+        })
+        .collect();
+    FalloutReport {
+        affected_transactions: affected,
+        mean_added_hours: if affected > 0 {
+            added_hours / affected as f64
+        } else {
+            0.0
+        },
+        shifted_bins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_data::model::TransMode;
+
+    fn txn(id: u64, day: u32, o: (f64, f64), d: (f64, f64), hours: f64) -> Transaction {
+        Transaction {
+            id,
+            req_pickup: Date(day),
+            req_delivery: Date(day + 2),
+            origin: LatLon::new(o.0, o.1),
+            dest: LatLon::new(d.0, d.1),
+            total_distance: 300.0,
+            gross_weight: 20_000.0,
+            transit_hours: hours,
+            mode: TransMode::Truckload,
+        }
+    }
+
+    const GREEN_BAY: (f64, f64) = (44.5, -88.0);
+    const CHICAGO: (f64, f64) = (41.9, -87.6);
+    const HOUSTON: (f64, f64) = (29.8, -95.4);
+    const ATLANTA: (f64, f64) = (33.7, -84.4);
+
+    fn blizzard() -> Event {
+        Event {
+            kind: EventKind::WeatherDelay { slow_factor: 2.0 },
+            center: LatLon::new(43.0, -88.0),
+            radius_miles: 250.0,
+            from: Date(10),
+            to: Date(12),
+        }
+    }
+
+    #[test]
+    fn event_scoping_space_and_time() {
+        let e = blizzard();
+        let in_both = txn(1, 11, GREEN_BAY, CHICAGO, 8.0);
+        let wrong_time = txn(2, 20, GREEN_BAY, CHICAGO, 8.0);
+        let wrong_place = txn(3, 11, HOUSTON, ATLANTA, 18.0);
+        assert!(e.affects(&in_both));
+        assert!(!e.affects(&wrong_time));
+        assert!(!e.affects(&wrong_place));
+    }
+
+    #[test]
+    fn weather_slows_affected_shipments() {
+        let txns = vec![
+            txn(1, 11, GREEN_BAY, CHICAGO, 8.0),
+            txn(2, 11, HOUSTON, ATLANTA, 18.0),
+        ];
+        let (after, n) = inject_event(&txns, &blizzard());
+        assert_eq!(n, 1);
+        assert_eq!(after[0].transit_hours, 16.0);
+        assert_eq!(after[1].transit_hours, 18.0);
+        assert!(after[0].req_delivery >= after[0].req_pickup.plus_days(1));
+    }
+
+    #[test]
+    fn road_closure_adds_distance() {
+        let e = Event {
+            kind: EventKind::RoadClosure { detour_factor: 1.5 },
+            ..blizzard()
+        };
+        let txns = vec![txn(1, 11, GREEN_BAY, CHICAGO, 8.0)];
+        let (after, n) = inject_event(&txns, &e);
+        assert_eq!(n, 1);
+        assert_eq!(after[0].total_distance, 450.0);
+        assert_eq!(after[0].transit_hours, 12.0);
+    }
+
+    #[test]
+    fn fallout_reports_bin_shifts() {
+        let scheme = BinScheme::paper_defaults(); // 10 hour-bins over 0..200
+        let txns: Vec<Transaction> = (0..10)
+            .map(|i| txn(i, 11, GREEN_BAY, CHICAGO, 15.0))
+            .collect();
+        let (after, _) = inject_event(&txns, &blizzard());
+        let report = pattern_fallout(&txns, &after, &scheme);
+        assert_eq!(report.affected_transactions, 10);
+        assert!((report.mean_added_hours - 15.0).abs() < 1e-9);
+        // 15h -> 30h crosses the 20h bin boundary: one bin suppressed,
+        // one emergent.
+        assert_eq!(report.emergent().count(), 1);
+        assert_eq!(report.suppressed().count(), 1);
+        let emergent = report.emergent().next().unwrap();
+        assert_eq!(emergent.after, 10);
+        assert_eq!(emergent.before, 0);
+    }
+
+    #[test]
+    fn no_event_no_fallout() {
+        let txns = vec![txn(1, 1, HOUSTON, ATLANTA, 18.0)];
+        let (after, n) = inject_event(&txns, &blizzard());
+        assert_eq!(n, 0);
+        let report = pattern_fallout(&txns, &after, &BinScheme::paper_defaults());
+        assert_eq!(report.affected_transactions, 0);
+        assert_eq!(report.mean_added_hours, 0.0);
+        assert!(report.shifted_bins.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # tnet-dynamic
+//!
+//! Dynamic-graph mining — the paper's §9 research challenge, built out:
+//! "one of the biggest challenge problems is how to do mining of dynamic
+//! graphs, where a dynamic graph is defined as a graph for which an edge
+//! / vertex exists only for certain periods of times."
+//!
+//! * [`periodic`] — periodic lane detection (weekly replenishment runs
+//!   and similar; "periodicity in routes ... could be important
+//!   factors");
+//! * [`paths`] — frequently repeated time-respecting connection paths,
+//!   with minimum/maximum separation between the legs and cycle
+//!   detection ("knowing that the cycle exists over a space of a week");
+//! * [`events`] — event injection and before/after emergent-pattern
+//!   analysis ("analysis of the fallout of temporal/spatial events").
+//!
+//! ```
+//! use tnet_dynamic::periodic::{periodic_lanes, PeriodicConfig};
+//! use tnet_data::synth::{generate, SynthConfig};
+//!
+//! let ds = generate(&SynthConfig::scaled(0.02));
+//! let lanes = periodic_lanes(&ds.transactions, &PeriodicConfig::default());
+//! // The generator plants weekly lanes; the detector recovers them.
+//! assert!(lanes.iter().any(|l| l.period_days == 7));
+//! ```
+
+pub mod events;
+pub mod paths;
+pub mod periodic;
+
+pub use events::{inject_event, pattern_fallout, Event, EventKind, FalloutReport};
+pub use paths::{frequent_paths, PathConfig, PathMiningResult, PathPattern};
+pub use periodic::{periodic_lanes, PeriodicConfig, PeriodicLane};

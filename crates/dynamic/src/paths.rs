@@ -1,0 +1,316 @@
+//! Time-respecting path patterns — §9: "One example is to find
+//! frequently repeated connection paths, where the entire path is not
+//! connected at any given time instant but adjacent edges and vertices
+//! always co-exist ... not only must the pattern occur within a time
+//! window, but the transactions composing the pattern must be separated
+//! by a minimum or maximum time."
+//!
+//! A *time-respecting path* is a sequence of shipments t1..tk with
+//! `dest(ti) == origin(ti+1)` and
+//! `min_sep <= pickup(ti+1) − delivery(ti) <= max_sep` (in days). The
+//! location sequence of such a path is a candidate repeated route; a
+//! pattern is frequent when instances *starting at distinct dates* reach
+//! the support threshold.
+
+use std::collections::HashMap;
+use tnet_data::model::{Date, LatLon, Transaction};
+
+/// Search parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PathConfig {
+    /// Minimum days between a leg's delivery and the next pickup.
+    pub min_sep: i64,
+    /// Maximum days between a leg's delivery and the next pickup.
+    pub max_sep: i64,
+    /// Path length in legs (edges); patterns of 2..=max_len are mined.
+    pub max_len: usize,
+    /// Minimum number of distinct start dates.
+    pub min_occurrences: usize,
+    /// Cap on enumerated path instances (guards combinatorial blow-up on
+    /// pathological inputs; hitting the cap truncates, reported via
+    /// [`PathMiningResult::truncated`]).
+    pub max_instances: usize,
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        PathConfig {
+            min_sep: 0,
+            max_sep: 3,
+            max_len: 3,
+            min_occurrences: 3,
+            max_instances: 2_000_000,
+        }
+    }
+}
+
+/// A frequent time-respecting route.
+#[derive(Clone, Debug)]
+pub struct PathPattern {
+    /// The location sequence (len = legs + 1).
+    pub locations: Vec<LatLon>,
+    /// Distinct start dates on which an instance begins.
+    pub start_dates: Vec<Date>,
+    /// Total instances found (may exceed start-date count).
+    pub instances: usize,
+    /// True if the route returns to its first location (a §1 "circular
+    /// route").
+    pub is_cycle: bool,
+}
+
+impl PathPattern {
+    pub fn legs(&self) -> usize {
+        self.locations.len() - 1
+    }
+
+    pub fn support(&self) -> usize {
+        self.start_dates.len()
+    }
+}
+
+/// Mining output.
+#[derive(Clone, Debug)]
+pub struct PathMiningResult {
+    /// Frequent patterns, highest support first.
+    pub patterns: Vec<PathPattern>,
+    /// True if enumeration hit [`PathConfig::max_instances`].
+    pub truncated: bool,
+}
+
+/// Mines frequent time-respecting routes.
+pub fn frequent_paths(txns: &[Transaction], cfg: &PathConfig) -> PathMiningResult {
+    assert!(cfg.max_len >= 2, "paths need at least two legs");
+    assert!(cfg.min_sep <= cfg.max_sep, "separation window inverted");
+    // Index shipments by origin, sorted by pickup date for windowed scans.
+    let mut by_origin: HashMap<LatLon, Vec<&Transaction>> = HashMap::new();
+    for t in txns {
+        by_origin.entry(t.origin).or_default().push(t);
+    }
+    for list in by_origin.values_mut() {
+        list.sort_by_key(|t| t.req_pickup);
+    }
+
+    // Accumulator: location sequence -> (distinct start dates, count).
+    let mut acc: HashMap<Vec<LatLon>, (Vec<Date>, usize)> = HashMap::new();
+    let mut budget = cfg.max_instances;
+    let mut truncated = false;
+
+    // DFS over time-respecting continuations.
+    fn extend<'a>(
+        current: &mut Vec<&'a Transaction>,
+        by_origin: &HashMap<LatLon, Vec<&'a Transaction>>,
+        cfg: &PathConfig,
+        acc: &mut HashMap<Vec<LatLon>, (Vec<Date>, usize)>,
+        budget: &mut usize,
+        truncated: &mut bool,
+    ) {
+        if *budget == 0 {
+            *truncated = true;
+            return;
+        }
+        let last = current.last().unwrap();
+        if current.len() >= 2 {
+            *budget -= 1;
+            let mut locs: Vec<LatLon> = current.iter().map(|t| t.origin).collect();
+            locs.push(last.dest);
+            let entry = acc.entry(locs).or_default();
+            let start = current[0].req_pickup;
+            if !entry.0.contains(&start) {
+                entry.0.push(start);
+            }
+            entry.1 += 1;
+        }
+        if current.len() >= cfg.max_len {
+            return;
+        }
+        let Some(nexts) = by_origin.get(&last.dest) else {
+            return;
+        };
+        let lo = last.req_delivery.day() as i64 + cfg.min_sep;
+        let hi = last.req_delivery.day() as i64 + cfg.max_sep;
+        // Binary search to the window start, then scan.
+        let start_idx = nexts.partition_point(|t| (t.req_pickup.day() as i64) < lo);
+        for &t in &nexts[start_idx..] {
+            if t.req_pickup.day() as i64 > hi {
+                break;
+            }
+            if current.iter().any(|c| c.id == t.id) {
+                continue; // a truck cannot reuse the same shipment
+            }
+            current.push(t);
+            extend(current, by_origin, cfg, acc, budget, truncated);
+            current.pop();
+        }
+    }
+
+    for t in txns {
+        let mut current = vec![t];
+        extend(
+            &mut current,
+            &by_origin,
+            cfg,
+            &mut acc,
+            &mut budget,
+            &mut truncated,
+        );
+    }
+
+    let mut patterns: Vec<PathPattern> = acc
+        .into_iter()
+        .filter(|(_, (starts, _))| starts.len() >= cfg.min_occurrences)
+        .map(|(locations, (mut start_dates, instances))| {
+            start_dates.sort_unstable();
+            let is_cycle = locations.first() == locations.last();
+            PathPattern {
+                locations,
+                start_dates,
+                instances,
+                is_cycle,
+            }
+        })
+        .collect();
+    patterns.sort_by(|a, b| {
+        b.support()
+            .cmp(&a.support())
+            .then(b.legs().cmp(&a.legs()))
+    });
+    PathMiningResult {
+        patterns,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_data::model::TransMode;
+
+    fn txn(id: u64, day: u32, o: (f64, f64), d: (f64, f64)) -> Transaction {
+        Transaction {
+            id,
+            req_pickup: Date(day),
+            req_delivery: Date(day + 1),
+            origin: LatLon::new(o.0, o.1),
+            dest: LatLon::new(d.0, d.1),
+            total_distance: 100.0,
+            gross_weight: 20_000.0,
+            transit_hours: 10.0,
+            mode: TransMode::Truckload,
+        }
+    }
+
+    const A: (f64, f64) = (44.5, -88.0);
+    const B: (f64, f64) = (41.9, -87.6);
+    const C: (f64, f64) = (39.1, -84.5);
+
+    /// A->B then B->C within the lag window, repeated weekly.
+    fn weekly_route(weeks: u32) -> Vec<Transaction> {
+        let mut txns = Vec::new();
+        let mut id = 0;
+        for w in 0..weeks {
+            let d0 = w * 7;
+            txns.push(txn(id, d0, A, B));
+            id += 1;
+            txns.push(txn(id, d0 + 2, B, C)); // pickup 1 day after delivery
+            id += 1;
+        }
+        txns
+    }
+
+    #[test]
+    fn repeated_route_found() {
+        let txns = weekly_route(4);
+        let out = frequent_paths(&txns, &PathConfig::default());
+        assert!(!out.truncated);
+        let route = out
+            .patterns
+            .iter()
+            .find(|p| p.legs() == 2)
+            .expect("A->B->C route");
+        assert_eq!(route.support(), 4);
+        assert_eq!(route.instances, 4);
+        assert_eq!(route.locations[0], LatLon::new(A.0, A.1));
+        assert_eq!(route.locations[2], LatLon::new(C.0, C.1));
+        assert!(!route.is_cycle);
+    }
+
+    #[test]
+    fn separation_window_enforced() {
+        // Second leg picks up 10 days after delivery: outside max_sep 3.
+        let mut txns = Vec::new();
+        for w in 0..4u32 {
+            txns.push(txn(w as u64 * 2, w * 20, A, B));
+            txns.push(txn(w as u64 * 2 + 1, w * 20 + 11, B, C));
+        }
+        let out = frequent_paths(&txns, &PathConfig::default());
+        assert!(out.patterns.iter().all(|p| p.legs() < 2));
+        // Widening the window finds it.
+        let wide = frequent_paths(
+            &txns,
+            &PathConfig {
+                max_sep: 12,
+                ..Default::default()
+            },
+        );
+        assert!(wide.patterns.iter().any(|p| p.legs() == 2));
+    }
+
+    #[test]
+    fn min_sep_excludes_close_chains() {
+        let txns = weekly_route(4);
+        // Window [delivery+3, delivery+4]: this week's B->C departs 1 day
+        // after delivery (too soon) and next week's departs 8 days after
+        // (too late) — no 2-leg pattern survives.
+        let out = frequent_paths(
+            &txns,
+            &PathConfig {
+                min_sep: 3,
+                max_sep: 4,
+                ..Default::default()
+            },
+        );
+        assert!(out.patterns.iter().all(|p| p.legs() < 2));
+    }
+
+    #[test]
+    fn cycles_flagged() {
+        // A->B->A weekly: "a cycle ... exists over a space of a week".
+        let mut txns = Vec::new();
+        let mut id = 0;
+        for w in 0..4u32 {
+            txns.push(txn(id, w * 7, A, B));
+            id += 1;
+            txns.push(txn(id, w * 7 + 2, B, A));
+            id += 1;
+        }
+        let out = frequent_paths(&txns, &PathConfig::default());
+        let cycle = out
+            .patterns
+            .iter()
+            .find(|p| p.is_cycle)
+            .expect("weekly A->B->A cycle");
+        assert_eq!(cycle.legs(), 2);
+        assert_eq!(cycle.support(), 4);
+    }
+
+    #[test]
+    fn instance_budget_reports_truncation() {
+        let txns = weekly_route(6);
+        let out = frequent_paths(
+            &txns,
+            &PathConfig {
+                max_instances: 2,
+                min_occurrences: 1,
+                ..Default::default()
+            },
+        );
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = frequent_paths(&[], &PathConfig::default());
+        assert!(out.patterns.is_empty());
+        assert!(!out.truncated);
+    }
+}

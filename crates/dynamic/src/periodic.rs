@@ -1,0 +1,169 @@
+//! Periodic lane detection — §9: "Concepts such as periodicity in
+//! routes, or expectation of changes over time, could be important
+//! factors."
+//!
+//! A *lane* is one OD pair; its shipment history is the sorted multiset
+//! of pickup days. A lane is periodic when one gap value dominates the
+//! consecutive-gap distribution (e.g. weekly replenishment runs).
+
+use std::collections::HashMap;
+use tnet_data::model::{LatLon, Transaction};
+
+/// A detected periodic lane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeriodicLane {
+    pub origin: LatLon,
+    pub dest: LatLon,
+    /// Dominant gap between consecutive shipments, in days.
+    pub period_days: u32,
+    /// Number of shipments on the lane.
+    pub occurrences: usize,
+    /// Fraction of consecutive gaps within `tolerance` of the period.
+    pub regularity: f64,
+}
+
+/// Detection parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PeriodicConfig {
+    /// Minimum shipments on a lane before periodicity is considered.
+    pub min_occurrences: usize,
+    /// A gap counts as matching the period when within this many days.
+    pub tolerance: u32,
+    /// Minimum regularity to report the lane.
+    pub min_regularity: f64,
+    /// Ignore candidate periods shorter than this (every lane is
+    /// trivially "periodic" at gap 0 when same-day shipments repeat).
+    pub min_period: u32,
+}
+
+impl Default for PeriodicConfig {
+    fn default() -> Self {
+        PeriodicConfig {
+            min_occurrences: 4,
+            tolerance: 1,
+            min_regularity: 0.6,
+            min_period: 2,
+        }
+    }
+}
+
+/// Finds periodic lanes, strongest regularity first.
+pub fn periodic_lanes(txns: &[Transaction], cfg: &PeriodicConfig) -> Vec<PeriodicLane> {
+    let mut by_lane: HashMap<(LatLon, LatLon), Vec<u32>> = HashMap::new();
+    for t in txns {
+        by_lane.entry(t.od_pair()).or_default().push(t.req_pickup.day());
+    }
+    let mut out = Vec::new();
+    for ((origin, dest), mut days) in by_lane {
+        if days.len() < cfg.min_occurrences {
+            continue;
+        }
+        days.sort_unstable();
+        days.dedup();
+        if days.len() < cfg.min_occurrences {
+            continue;
+        }
+        let gaps: Vec<u32> = days.windows(2).map(|w| w[1] - w[0]).collect();
+        // Dominant gap by histogram vote.
+        let mut hist: HashMap<u32, usize> = HashMap::new();
+        for &g in &gaps {
+            if g >= cfg.min_period {
+                *hist.entry(g).or_insert(0) += 1;
+            }
+        }
+        let Some((&period, _)) = hist.iter().max_by_key(|&(_, &c)| c) else {
+            continue;
+        };
+        let matching = gaps
+            .iter()
+            .filter(|&&g| g.abs_diff(period) <= cfg.tolerance)
+            .count();
+        let regularity = matching as f64 / gaps.len() as f64;
+        if regularity >= cfg.min_regularity {
+            out.push(PeriodicLane {
+                origin,
+                dest,
+                period_days: period,
+                occurrences: days.len(),
+                regularity,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.regularity
+            .partial_cmp(&a.regularity)
+            .unwrap()
+            .then(b.occurrences.cmp(&a.occurrences))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_data::model::{Date, TransMode};
+
+    fn txn(id: u64, day: u32, o: (f64, f64), d: (f64, f64)) -> Transaction {
+        Transaction {
+            id,
+            req_pickup: Date(day),
+            req_delivery: Date(day + 1),
+            origin: LatLon::new(o.0, o.1),
+            dest: LatLon::new(d.0, d.1),
+            total_distance: 100.0,
+            gross_weight: 20_000.0,
+            transit_hours: 10.0,
+            mode: TransMode::Truckload,
+        }
+    }
+
+    const A: (f64, f64) = (44.5, -88.0);
+    const B: (f64, f64) = (41.9, -87.6);
+    const C: (f64, f64) = (39.1, -84.5);
+
+    #[test]
+    fn weekly_lane_detected() {
+        let mut txns: Vec<Transaction> = (0..8)
+            .map(|i| txn(i, 3 + 7 * i as u32, A, B))
+            .collect();
+        // A noisy lane that should not qualify.
+        for (i, day) in [0u32, 3, 4, 11, 29, 30, 55].iter().enumerate() {
+            txns.push(txn(100 + i as u64, *day, B, C));
+        }
+        let lanes = periodic_lanes(&txns, &PeriodicConfig::default());
+        assert_eq!(lanes.len(), 1);
+        let lane = &lanes[0];
+        assert_eq!(lane.period_days, 7);
+        assert_eq!(lane.occurrences, 8);
+        assert!((lane.regularity - 1.0).abs() < 1e-12);
+        assert_eq!(lane.origin, LatLon::new(A.0, A.1));
+    }
+
+    #[test]
+    fn tolerance_absorbs_jitter() {
+        // Gaps of 6/7/8 days still read as weekly with tolerance 1.
+        let days = [0u32, 6, 13, 21, 28, 34];
+        let txns: Vec<Transaction> = days
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| txn(i as u64, d, A, B))
+            .collect();
+        let lanes = periodic_lanes(&txns, &PeriodicConfig::default());
+        assert_eq!(lanes.len(), 1);
+        assert!(lanes[0].regularity >= 0.8);
+    }
+
+    #[test]
+    fn sparse_lanes_skipped() {
+        let txns = vec![txn(1, 0, A, B), txn(2, 7, A, B)];
+        assert!(periodic_lanes(&txns, &PeriodicConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn same_day_repeats_do_not_fake_period() {
+        // Many same-day shipments then nothing: dedup removes the gap-0
+        // noise; remaining occurrences below threshold.
+        let txns: Vec<Transaction> = (0..6).map(|i| txn(i, 10, A, B)).collect();
+        assert!(periodic_lanes(&txns, &PeriodicConfig::default()).is_empty());
+    }
+}

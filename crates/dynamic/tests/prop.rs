@@ -1,0 +1,165 @@
+//! Property tests for dynamic-graph mining: every reported route pattern
+//! must be realizable by an actual time-respecting instance, periodic
+//! lanes must honour their thresholds, and event injection must be
+//! conservative (only slows, never loses shipments).
+
+use proptest::prelude::*;
+use tnet_data::binning::BinScheme;
+use tnet_data::model::{Date, LatLon, TransMode, Transaction};
+use tnet_dynamic::events::{inject_event, pattern_fallout, Event, EventKind};
+use tnet_dynamic::paths::{frequent_paths, PathConfig};
+use tnet_dynamic::periodic::{periodic_lanes, PeriodicConfig};
+
+/// Strategy: a small random transaction set over a handful of locations.
+fn raw_txns() -> impl Strategy<Value = Vec<(usize, usize, u32, u32)>> {
+    // (origin idx, dest idx, pickup day, duration days)
+    proptest::collection::vec((0usize..6, 0usize..6, 0u32..60, 0u32..4), 1..60)
+}
+
+fn locations() -> Vec<LatLon> {
+    vec![
+        LatLon::new(44.5, -88.0),
+        LatLon::new(41.9, -87.6),
+        LatLon::new(39.1, -84.5),
+        LatLon::new(33.7, -84.4),
+        LatLon::new(29.8, -95.4),
+        LatLon::new(40.7, -74.0),
+    ]
+}
+
+fn build(raw: &[(usize, usize, u32, u32)]) -> Vec<Transaction> {
+    let locs = locations();
+    raw.iter()
+        .enumerate()
+        .filter(|(_, &(o, d, _, _))| o != d)
+        .map(|(i, &(o, d, day, dur))| Transaction {
+            id: i as u64 + 1,
+            req_pickup: Date(day),
+            req_delivery: Date(day + dur),
+            origin: locs[o],
+            dest: locs[d],
+            total_distance: 100.0 + (o * 7 + d) as f64 * 50.0,
+            gross_weight: 20_000.0,
+            transit_hours: 10.0 + dur as f64 * 24.0,
+            mode: TransMode::Truckload,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every frequent route's location sequence is chainable: consecutive
+    /// stops are linked by some transaction pair satisfying the lag
+    /// window (existence re-verified from raw data).
+    #[test]
+    fn route_patterns_are_realizable(raw in raw_txns()) {
+        let txns = build(&raw);
+        prop_assume!(!txns.is_empty());
+        let cfg = PathConfig {
+            min_sep: 0,
+            max_sep: 5,
+            max_len: 2,
+            min_occurrences: 1,
+            max_instances: 100_000,
+        };
+        let out = frequent_paths(&txns, &cfg);
+        for p in &out.patterns {
+            prop_assert!(p.legs() >= 2);
+            prop_assert!(p.support() >= 1);
+            prop_assert!(p.instances >= p.support());
+            // Re-verify one chainable instance exists.
+            let mut found = false;
+            for a in &txns {
+                if a.origin != p.locations[0] || a.dest != p.locations[1] {
+                    continue;
+                }
+                for b in &txns {
+                    if b.id == a.id || b.origin != p.locations[1] || b.dest != p.locations[2] {
+                        continue;
+                    }
+                    let lag = b.req_pickup.days_since(a.req_delivery);
+                    if (cfg.min_sep..=cfg.max_sep).contains(&lag) {
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    break;
+                }
+            }
+            prop_assert!(found, "unrealizable pattern {:?}", p.locations);
+            prop_assert_eq!(p.is_cycle, p.locations.first() == p.locations.last());
+        }
+    }
+
+    /// Periodic lanes meet their occurrence and regularity thresholds
+    /// when re-checked against the raw shipment dates.
+    #[test]
+    fn periodic_lanes_verified(raw in raw_txns()) {
+        let txns = build(&raw);
+        prop_assume!(!txns.is_empty());
+        let cfg = PeriodicConfig {
+            min_occurrences: 3,
+            tolerance: 1,
+            min_regularity: 0.5,
+            min_period: 2,
+        };
+        for lane in periodic_lanes(&txns, &cfg) {
+            let mut days: Vec<u32> = txns
+                .iter()
+                .filter(|t| t.origin == lane.origin && t.dest == lane.dest)
+                .map(|t| t.req_pickup.day())
+                .collect();
+            days.sort_unstable();
+            days.dedup();
+            prop_assert_eq!(days.len(), lane.occurrences);
+            prop_assert!(lane.occurrences >= cfg.min_occurrences);
+            let gaps: Vec<u32> = days.windows(2).map(|w| w[1] - w[0]).collect();
+            let matching = gaps
+                .iter()
+                .filter(|&&g| g.abs_diff(lane.period_days) <= cfg.tolerance)
+                .count();
+            let reg = matching as f64 / gaps.len() as f64;
+            prop_assert!((reg - lane.regularity).abs() < 1e-9);
+            prop_assert!(lane.regularity >= cfg.min_regularity);
+            prop_assert!(lane.period_days >= cfg.min_period);
+        }
+    }
+
+    /// Event injection: same shipment count, transit never decreases,
+    /// delivery never precedes pickup, and fallout accounting matches.
+    #[test]
+    fn events_are_conservative(raw in raw_txns(), radius in 100.0f64..2000.0) {
+        let txns = build(&raw);
+        prop_assume!(!txns.is_empty());
+        let event = Event {
+            kind: EventKind::WeatherDelay { slow_factor: 1.7 },
+            center: LatLon::new(41.0, -88.0),
+            radius_miles: radius,
+            from: Date(10),
+            to: Date(40),
+        };
+        let (after, affected) = inject_event(&txns, &event);
+        prop_assert_eq!(after.len(), txns.len());
+        let mut changed = 0;
+        for (b, a) in txns.iter().zip(&after) {
+            prop_assert!(a.transit_hours >= b.transit_hours - 1e-9);
+            prop_assert!(a.req_delivery >= a.req_pickup);
+            prop_assert_eq!(a.id, b.id);
+            if (a.transit_hours - b.transit_hours).abs() > 1e-9 {
+                changed += 1;
+            }
+        }
+        prop_assert_eq!(changed, affected);
+        let report = pattern_fallout(&txns, &after, &BinScheme::paper_defaults());
+        prop_assert_eq!(report.affected_transactions, affected);
+        // Bin-shift bookkeeping conserves mass.
+        let gained: isize = report
+            .shifted_bins
+            .iter()
+            .map(|s| s.after as isize - s.before as isize)
+            .sum();
+        prop_assert_eq!(gained, 0, "bin shifts must conserve shipments");
+    }
+}

@@ -1,0 +1,238 @@
+//! Candidate generation by single-edge extension.
+//!
+//! Level-(k+1) candidates are produced from each frequent level-k pattern
+//! by attaching one more edge in every way compatible with the frequent
+//! single-edge vocabulary:
+//!
+//! * from an existing vertex to a **new** vertex (and the mirror
+//!   direction),
+//! * between two **existing** vertices (closing a cycle),
+//! * as a **self-loop** on an existing vertex.
+//!
+//! Every connected (k+1)-edge graph contains a connected k-edge subgraph
+//! from which it is one such extension away (remove any non-bridge edge,
+//! or a leaf edge), so extension enumeration is complete for connected
+//! patterns. Duplicates across parents are collapsed by isomorphism
+//! class. This replaces FSG's core-join candidate generator with an
+//! equivalent-but-simpler scheme (documented in DESIGN.md); Apriori-style
+//! downward-closure pruning is applied separately by the miner.
+
+use tnet_graph::canon::IsoClassMap;
+use tnet_graph::graph::{ELabel, Graph, VLabel};
+
+/// A frequent single-edge "vocabulary" entry: source vertex label, edge
+/// label, destination vertex label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeVocab {
+    pub src: VLabel,
+    pub label: ELabel,
+    pub dst: VLabel,
+}
+
+/// Generates all one-edge extensions of `pattern` using `vocab`,
+/// deduplicated by isomorphism class. The `payload` stored with each
+/// candidate is the parent's index, letting the miner seed support
+/// counting from the parent's TID list.
+pub fn extend_pattern(
+    pattern: &Graph,
+    vocab: &[EdgeVocab],
+    parent_idx: usize,
+    acc: &mut IsoClassMap<Vec<usize>>,
+) {
+    let vertices: Vec<_> = pattern.vertices().collect();
+    for &v in &vertices {
+        let vl = pattern.vertex_label(v);
+        for ev in vocab {
+            // v --(label)--> new vertex
+            if ev.src == vl {
+                let mut g = pattern.clone();
+                let nv = g.add_vertex(ev.dst);
+                g.add_edge(v, nv, ev.label);
+                acc.entry_or_insert_with(&g, Vec::new).push(parent_idx);
+                // v --(label)--> existing vertex u (cycle-closing) and
+                // self-loop when src == dst labels allow it.
+                for &u in &vertices {
+                    if pattern.vertex_label(u) != ev.dst {
+                        continue;
+                    }
+                    // Skip if this exact simple edge already exists:
+                    // patterns are simple graphs (FSG's model).
+                    let exists = pattern.out_edges(v).any(|e| {
+                        let (_, d, l) = pattern.edge(e);
+                        d == u && l == ev.label
+                    });
+                    if exists {
+                        continue;
+                    }
+                    let mut g = pattern.clone();
+                    g.add_edge(v, u, ev.label);
+                    acc.entry_or_insert_with(&g, Vec::new).push(parent_idx);
+                }
+            }
+            // new vertex --(label)--> v  (the mirror case; existing-to-
+            // existing was covered above from the source side).
+            if ev.dst == vl {
+                let mut g = pattern.clone();
+                let nv = g.add_vertex(ev.src);
+                g.add_edge(nv, v, ev.label);
+                acc.entry_or_insert_with(&g, Vec::new).push(parent_idx);
+            }
+        }
+    }
+}
+
+/// Builds the two-vertex single-edge pattern graph for a vocabulary
+/// entry. (Self-loop level-1 patterns — one vertex, one loop — are a
+/// different iso class and are enumerated separately by the miner.)
+pub fn vocab_graph(ev: EdgeVocab) -> Graph {
+    let mut g = Graph::new();
+    let s = g.add_vertex(ev.src);
+    let d = g.add_vertex(ev.dst);
+    g.add_edge(s, d, ev.label);
+    g
+}
+
+/// All connected k-edge subgraphs of `g` obtained by deleting exactly one
+/// edge (dropping orphaned vertices). Used for downward-closure checks:
+/// disconnecting deletions are skipped because FSG's frequent set only
+/// contains connected patterns.
+pub fn connected_sub_patterns(g: &Graph) -> Vec<Graph> {
+    let edges: Vec<_> = g.edges().collect();
+    let mut out = Vec::new();
+    for &skip in &edges {
+        let keep: Vec<_> = edges.iter().copied().filter(|&e| e != skip).collect();
+        if keep.is_empty() {
+            continue;
+        }
+        let (sub, _) = g.edge_subgraph(&keep);
+        if tnet_graph::traverse::is_connected(&sub) {
+            out.push(sub);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_graph::generate::shapes;
+    use tnet_graph::iso::are_isomorphic;
+
+    fn uniform_vocab() -> Vec<EdgeVocab> {
+        vec![EdgeVocab {
+            src: VLabel(0),
+            label: ELabel(1),
+            dst: VLabel(0),
+        }]
+    }
+
+    #[test]
+    fn extending_single_edge() {
+        let base = shapes::chain(1, 0, 1); // a -> b
+        let mut acc: IsoClassMap<Vec<usize>> = IsoClassMap::new();
+        extend_pattern(&base, &uniform_vocab(), 0, &mut acc);
+        // Distinct 2-edge classes over uniform labels:
+        //   chain a->b->c, fork a->b & a->c, join a->c & b->c,
+        //   head-chain c->a->b, 2-cycle a->b->a, parallel? (skipped),
+        //   self-loops are not in vocab-extension from two-vertex... let's
+        //   just assert the well-known shapes are present.
+        let chain2 = shapes::chain(2, 0, 1);
+        let fork = shapes::hub_and_spoke(2, 0, 1);
+        let cycle2 = shapes::cycle(2, 0, 1);
+        assert!(acc.contains(&chain2));
+        assert!(acc.contains(&fork));
+        assert!(acc.contains(&cycle2));
+        // Every candidate is connected and has exactly 2 edges. The same
+        // iso class can be reached by several extension routes, so the
+        // parent list may repeat the index.
+        for (g, parents) in acc.iter() {
+            assert_eq!(g.edge_count(), 2);
+            assert!(tnet_graph::traverse::is_connected(g));
+            assert!(parents.iter().all(|&p| p == 0));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_simple_edges() {
+        let base = shapes::chain(1, 0, 1);
+        let mut acc: IsoClassMap<Vec<usize>> = IsoClassMap::new();
+        extend_pattern(&base, &uniform_vocab(), 0, &mut acc);
+        for (g, _) in acc.iter() {
+            let mut seen = std::collections::HashSet::new();
+            for e in g.edges() {
+                assert!(seen.insert(g.edge(e)), "parallel edge in candidate");
+            }
+        }
+    }
+
+    #[test]
+    fn label_constraints_respected() {
+        // Vocabulary only allows 1 --e--> 2; base pattern is 1 --e--> 2.
+        let vocab = vec![EdgeVocab {
+            src: VLabel(1),
+            label: ELabel(0),
+            dst: VLabel(2),
+        }];
+        let mut base = Graph::new();
+        let a = base.add_vertex(VLabel(1));
+        let b = base.add_vertex(VLabel(2));
+        base.add_edge(a, b, ELabel(0));
+        let mut acc: IsoClassMap<Vec<usize>> = IsoClassMap::new();
+        extend_pattern(&base, &vocab, 7, &mut acc);
+        // Possible: new 2-labeled sink from a; new 1-labeled source into b.
+        assert_eq!(acc.len(), 2);
+        for (g, parents) in acc.iter() {
+            assert!(parents.iter().all(|&p| p == 7));
+            for e in g.edges() {
+                let (s, d, l) = g.edge(e);
+                assert_eq!(g.vertex_label(s), VLabel(1));
+                assert_eq!(g.vertex_label(d), VLabel(2));
+                assert_eq!(l, ELabel(0));
+            }
+        }
+    }
+
+    #[test]
+    fn parents_accumulate_across_patterns() {
+        let base = shapes::chain(1, 0, 1);
+        let mut acc: IsoClassMap<Vec<usize>> = IsoClassMap::new();
+        extend_pattern(&base, &uniform_vocab(), 0, &mut acc);
+        extend_pattern(&base, &uniform_vocab(), 3, &mut acc);
+        for (_, parents) in acc.iter() {
+            assert!(parents.contains(&0) && parents.contains(&3));
+        }
+    }
+
+    #[test]
+    fn sub_patterns_of_chain() {
+        let g = shapes::chain(3, 0, 1); // 3 edges
+        let subs = connected_sub_patterns(&g);
+        // Deleting an end edge keeps connectivity (2 ways); deleting the
+        // middle edge disconnects (skipped).
+        assert_eq!(subs.len(), 2);
+        for s in &subs {
+            assert!(are_isomorphic(s, &shapes::chain(2, 0, 1)));
+        }
+    }
+
+    #[test]
+    fn sub_patterns_of_cycle() {
+        let g = shapes::cycle(4, 0, 1);
+        let subs = connected_sub_patterns(&g);
+        assert_eq!(subs.len(), 4); // every deletion leaves a path
+        for s in &subs {
+            assert!(are_isomorphic(s, &shapes::chain(3, 0, 1)));
+        }
+    }
+
+    #[test]
+    fn vocab_graph_shape() {
+        let g = vocab_graph(EdgeVocab {
+            src: VLabel(1),
+            label: ELabel(5),
+            dst: VLabel(1),
+        });
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

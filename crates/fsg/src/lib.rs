@@ -1,0 +1,30 @@
+//! # tnet-fsg
+//!
+//! An Apriori-style frequent-subgraph miner over sets of labeled directed
+//! graph transactions — a from-scratch reproduction of FSG (Kuramochi &
+//! Karypis 2001) as used in the ICDE 2005 transportation-mining paper.
+//!
+//! Pipeline per level: single-edge extension candidate generation
+//! ([`extend`]), downward-closure pruning, VF2 support counting with
+//! parent TID lists, iso-class pattern identity. A configurable memory
+//! budget reproduces the paper's §6.1 out-of-memory failure mode as a
+//! typed error.
+//!
+//! ```
+//! use tnet_fsg::{mine, FsgConfig, Support};
+//! use tnet_graph::generate::shapes;
+//!
+//! let txns: Vec<_> = (0..4).map(|_| shapes::hub_and_spoke(3, 0, 1)).collect();
+//! let out = mine(&txns, &FsgConfig::default().with_support(Support::Count(4))).unwrap();
+//! // The 3-spoke hub (and all its sub-hubs/edges) occur in all four.
+//! assert!(out.patterns.iter().any(|p| p.graph.edge_count() == 3));
+//! ```
+
+pub mod extend;
+pub mod maximal;
+pub mod miner;
+pub mod types;
+
+pub use maximal::{filter_patterns, filter_with_report, Keep, Reduction};
+pub use miner::{mine, mine_for_algorithm1};
+pub use types::{FrequentPattern, FsgConfig, FsgError, FsgOutput, MiningStats, Support};

@@ -1,0 +1,153 @@
+//! Maximal frequent patterns.
+//!
+//! §9 of the paper: "Recent work in finding maximal graph patterns,
+//! i.e., ignoring sub-patterns of a frequent pattern, may address this
+//! challenge" — the challenge being that even at high support levels the
+//! miners drown the analyst in trivial sub-patterns. This module filters
+//! a mined pattern set down to the patterns not contained in any other
+//! mined pattern (optionally requiring equal support for the stricter
+//! *closed*-pattern notion).
+
+use crate::types::FrequentPattern;
+use tnet_graph::iso::has_embedding;
+
+/// Filtering mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keep {
+    /// Keep patterns not sub-isomorphic to any other pattern in the set.
+    Maximal,
+    /// Keep patterns with no super-pattern *of equal support* in the set
+    /// (closed patterns: the lossless compression of the result).
+    Closed,
+}
+
+/// Filters `patterns` down to the maximal (or closed) ones. Quadratic in
+/// the pattern count with early size pruning — pattern sets from the
+/// paper's workloads are hundreds, not millions.
+pub fn filter_patterns(patterns: &[FrequentPattern], keep: Keep) -> Vec<FrequentPattern> {
+    let mut kept = Vec::new();
+    for (i, p) in patterns.iter().enumerate() {
+        let dominated = patterns.iter().enumerate().any(|(j, q)| {
+            if i == j || q.graph.edge_count() <= p.graph.edge_count() {
+                return false;
+            }
+            let support_ok = match keep {
+                Keep::Maximal => true,
+                Keep::Closed => q.support == p.support,
+            };
+            support_ok && has_embedding(&p.graph, &q.graph)
+        });
+        if !dominated {
+            kept.push(p.clone());
+        }
+    }
+    kept
+}
+
+/// Summary of how much a filter shrank a result set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Reduction {
+    pub before: usize,
+    pub after: usize,
+}
+
+impl Reduction {
+    /// `after / before` — the surviving fraction.
+    pub fn ratio(&self) -> f64 {
+        if self.before == 0 {
+            return 1.0;
+        }
+        self.after as f64 / self.before as f64
+    }
+}
+
+/// Convenience: filter and report the reduction.
+pub fn filter_with_report(
+    patterns: &[FrequentPattern],
+    keep: Keep,
+) -> (Vec<FrequentPattern>, Reduction) {
+    let kept = filter_patterns(patterns, keep);
+    let r = Reduction {
+        before: patterns.len(),
+        after: kept.len(),
+    };
+    (kept, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::mine;
+    use crate::types::{FsgConfig, Support};
+    use tnet_graph::generate::shapes;
+    use tnet_graph::graph::Graph;
+    use tnet_graph::iso::are_isomorphic;
+
+    fn mined_chains() -> Vec<FrequentPattern> {
+        // 4 identical 4-edge chains: every sub-chain is frequent with
+        // support 4; only the full chain is maximal.
+        let txns: Vec<Graph> = (0..4).map(|_| shapes::chain(4, 0, 1)).collect();
+        mine(
+            &txns,
+            &FsgConfig::default()
+                .with_support(Support::Count(4))
+                .with_max_edges(4),
+        )
+        .unwrap()
+        .patterns
+    }
+
+    #[test]
+    fn maximal_keeps_only_longest_chain() {
+        let patterns = mined_chains();
+        assert!(patterns.len() >= 4);
+        let (maximal, r) = filter_with_report(&patterns, Keep::Maximal);
+        assert_eq!(maximal.len(), 1);
+        assert!(are_isomorphic(&maximal[0].graph, &shapes::chain(4, 0, 1)));
+        assert_eq!(r.before, patterns.len());
+        assert_eq!(r.after, 1);
+        assert!(r.ratio() < 0.5);
+    }
+
+    #[test]
+    fn closed_equals_maximal_when_supports_equal() {
+        let patterns = mined_chains();
+        let closed = filter_patterns(&patterns, Keep::Closed);
+        let maximal = filter_patterns(&patterns, Keep::Maximal);
+        assert_eq!(closed.len(), maximal.len());
+    }
+
+    #[test]
+    fn closed_keeps_support_steps() {
+        // 3 transactions have the 2-chain, only 2 have the 3-chain: the
+        // 2-chain is closed (its super-pattern has lower support) but not
+        // maximal.
+        let txns = vec![
+            shapes::chain(2, 0, 1),
+            shapes::chain(3, 0, 1),
+            shapes::chain(3, 0, 1),
+        ];
+        let patterns = mine(
+            &txns,
+            &FsgConfig::default()
+                .with_support(Support::Count(2))
+                .with_max_edges(3),
+        )
+        .unwrap()
+        .patterns;
+        let closed = filter_patterns(&patterns, Keep::Closed);
+        let maximal = filter_patterns(&patterns, Keep::Maximal);
+        assert!(closed.len() > maximal.len());
+        assert!(closed
+            .iter()
+            .any(|p| are_isomorphic(&p.graph, &shapes::chain(2, 0, 1)) && p.support == 3));
+        assert_eq!(maximal.len(), 1);
+    }
+
+    #[test]
+    fn empty_set() {
+        assert!(filter_patterns(&[], Keep::Maximal).is_empty());
+        let r = filter_with_report(&[], Keep::Closed).1;
+        assert_eq!(r.ratio(), 1.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Configuration, results, and instrumentation types for the FSG miner.
+
+use tnet_graph::graph::Graph;
+
+/// Minimum support specification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Support {
+    /// Absolute number of transactions.
+    Count(usize),
+    /// Fraction of the transaction set (FSG's `s·|D|`), in (0, 1].
+    Fraction(f64),
+}
+
+impl Support {
+    /// Resolves to an absolute count for `n` transactions (at least 1).
+    pub fn resolve(self, n: usize) -> usize {
+        match self {
+            Support::Count(c) => c.max(1),
+            Support::Fraction(f) => {
+                assert!(f > 0.0 && f <= 1.0, "support fraction out of range");
+                ((f * n as f64).ceil() as usize).max(1)
+            }
+        }
+    }
+}
+
+/// Miner configuration.
+#[derive(Clone, Debug)]
+pub struct FsgConfig {
+    pub min_support: Support,
+    /// Stop after patterns of this many edges.
+    pub max_edges: usize,
+    /// Abort with [`FsgError::MemoryBudgetExceeded`] when the estimated
+    /// size of a level's candidate set crosses this many bytes. `None`
+    /// disables the check. This reproduces the paper's §6.1 observation —
+    /// "we were unable to run FSG on the entire data set due to
+    /// insufficient memory" — as a deterministic, recoverable error
+    /// instead of host OOM.
+    pub memory_budget: Option<usize>,
+}
+
+impl Default for FsgConfig {
+    fn default() -> Self {
+        FsgConfig {
+            min_support: Support::Fraction(0.05),
+            max_edges: 10,
+            memory_budget: None,
+        }
+    }
+}
+
+impl FsgConfig {
+    /// Sets the minimum support.
+    pub fn with_support(mut self, s: Support) -> Self {
+        self.min_support = s;
+        self
+    }
+
+    /// Sets the maximum pattern size in edges.
+    pub fn with_max_edges(mut self, n: usize) -> Self {
+        self.max_edges = n;
+        self
+    }
+
+    /// Sets the candidate-set memory budget in bytes.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+}
+
+/// A mined frequent connected subgraph.
+#[derive(Clone, Debug)]
+pub struct FrequentPattern {
+    /// Representative graph of the isomorphism class.
+    pub graph: Graph,
+    /// Number of supporting transactions.
+    pub support: usize,
+    /// Indices of the supporting transactions (ascending).
+    pub tids: Vec<u32>,
+}
+
+impl FrequentPattern {
+    pub fn edges(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+/// Per-run instrumentation (drives the §8 analysis benches).
+#[derive(Clone, Debug, Default)]
+pub struct MiningStats {
+    /// Candidates generated at each level (level 1 = single edges).
+    pub candidates_per_level: Vec<usize>,
+    /// Frequent patterns surviving at each level.
+    pub frequent_per_level: Vec<usize>,
+    /// Candidates eliminated by downward-closure pruning.
+    pub closure_pruned: usize,
+    /// Subgraph-isomorphism (support-count) tests executed.
+    pub iso_tests: usize,
+    /// Peak estimated candidate-set bytes across levels.
+    pub peak_candidate_bytes: usize,
+}
+
+impl MiningStats {
+    pub fn total_candidates(&self) -> usize {
+        self.candidates_per_level.iter().sum()
+    }
+
+    pub fn total_frequent(&self) -> usize {
+        self.frequent_per_level.iter().sum()
+    }
+}
+
+/// Successful mining output.
+#[derive(Clone, Debug)]
+pub struct FsgOutput {
+    /// All frequent connected patterns, largest-support first.
+    pub patterns: Vec<FrequentPattern>,
+    pub stats: MiningStats,
+}
+
+/// Mining failure.
+#[derive(Clone, Debug)]
+pub enum FsgError {
+    /// The candidate set at `level` was estimated at `estimated_bytes`,
+    /// above the configured budget. `partial_stats` covers the completed
+    /// levels.
+    MemoryBudgetExceeded {
+        level: usize,
+        estimated_bytes: usize,
+        budget: usize,
+        partial_stats: MiningStats,
+    },
+}
+
+impl std::fmt::Display for FsgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsgError::MemoryBudgetExceeded {
+                level,
+                estimated_bytes,
+                budget,
+                ..
+            } => write!(
+                f,
+                "candidate set at level {level} needs ~{estimated_bytes} bytes, budget is {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FsgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_resolution() {
+        assert_eq!(Support::Count(5).resolve(100), 5);
+        assert_eq!(Support::Count(0).resolve(100), 1);
+        assert_eq!(Support::Fraction(0.05).resolve(100), 5);
+        assert_eq!(Support::Fraction(0.05).resolve(53), 3); // ceil(2.65)
+        assert_eq!(Support::Fraction(1.0).resolve(10), 10);
+        assert_eq!(Support::Fraction(0.001).resolve(10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_fraction() {
+        Support::Fraction(1.5).resolve(10);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = FsgConfig::default()
+            .with_support(Support::Count(3))
+            .with_max_edges(4)
+            .with_memory_budget(1 << 20);
+        assert_eq!(c.min_support, Support::Count(3));
+        assert_eq!(c.max_edges, 4);
+        assert_eq!(c.memory_budget, Some(1 << 20));
+    }
+
+    #[test]
+    fn stats_totals() {
+        let s = MiningStats {
+            candidates_per_level: vec![3, 5],
+            frequent_per_level: vec![2, 1],
+            ..Default::default()
+        };
+        assert_eq!(s.total_candidates(), 8);
+        assert_eq!(s.total_frequent(), 3);
+    }
+}

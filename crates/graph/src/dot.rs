@@ -1,0 +1,110 @@
+//! Rendering graphs as Graphviz DOT and compact one-line descriptions.
+//!
+//! The paper presents every discovered pattern as a small figure
+//! (Figures 1–4); these helpers regenerate equivalent artifacts.
+
+use crate::graph::{Graph, VertexId};
+use std::fmt::Write as _;
+
+/// Renders a graph as Graphviz DOT (`digraph`), labeling vertices with
+/// their vertex label and edges with their edge label.
+///
+/// `name` must be a valid DOT identifier (alphanumeric/underscore).
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {name} {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for v in g.vertices() {
+        let _ = writeln!(s, "  n{} [label=\"{}\"];", v.0, g.vertex_label(v).0);
+    }
+    for e in g.edges() {
+        let (src, dst, l) = g.edge(e);
+        let _ = writeln!(s, "  n{} -> n{} [label=\"{}\"];", src.0, dst.0, l.0);
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// A compact, deterministic one-line rendering of a graph's structure:
+/// `v:<sorted vertex labels> e:<sorted "srcIdx-[lbl]->dstIdx" entries>`
+/// using a BFS renumbering from the lowest vertex id. Two renderings being
+/// equal does *not* prove isomorphism; this is for logs and reports.
+pub fn to_compact(g: &Graph) -> String {
+    let mut vlabels: Vec<u32> = g.vertices().map(|v| g.vertex_label(v).0).collect();
+    vlabels.sort_unstable();
+    // Deterministic vertex renumbering by id order.
+    let ids: Vec<VertexId> = g.vertices().collect();
+    let index_of = |v: VertexId| ids.iter().position(|&x| x == v).unwrap();
+    let mut edges: Vec<String> = g
+        .edges()
+        .map(|e| {
+            let (s, d, l) = g.edge(e);
+            format!("{}-[{}]->{}", index_of(s), l.0, index_of(d))
+        })
+        .collect();
+    edges.sort_unstable();
+    format!(
+        "v[{}] e[{}]",
+        vlabels
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        edges.join(" ")
+    )
+}
+
+/// An ASCII-art adjacency rendering for small patterns — the report
+/// format used by the experiment binaries.
+pub fn to_ascii(g: &Graph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "pattern: {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    );
+    for e in g.edges() {
+        let (src, dst, l) = g.edge(e);
+        let _ = writeln!(
+            s,
+            "  ({}:{}) --[{}]--> ({}:{})",
+            src.0,
+            g.vertex_label(src).0,
+            l.0,
+            dst.0,
+            g.vertex_label(dst).0
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::shapes;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let g = shapes::hub_and_spoke(2, 5, 9);
+        let dot = to_dot(&g, "hub");
+        assert!(dot.starts_with("digraph hub {"));
+        assert_eq!(dot.matches("label=\"5\"").count(), 3); // 3 vertices
+        assert_eq!(dot.matches("label=\"9\"").count(), 2); // 2 edges
+        assert_eq!(dot.matches("->").count(), 2);
+    }
+
+    #[test]
+    fn compact_is_deterministic() {
+        let g = shapes::chain(3, 0, 1);
+        assert_eq!(to_compact(&g), to_compact(&g.clone()));
+        assert!(to_compact(&g).contains("0-[1]->1"));
+    }
+
+    #[test]
+    fn ascii_mentions_counts() {
+        let g = shapes::cycle(3, 0, 2);
+        let a = to_ascii(&g);
+        assert!(a.contains("3 vertices, 3 edges"));
+    }
+}

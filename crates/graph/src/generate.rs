@@ -1,0 +1,298 @@
+//! Random graph generators and planted-pattern construction.
+//!
+//! Two consumers:
+//!
+//! * the **recall experiment** (paper footnote 2): "simulated data
+//!   constructed by joining subgraphs with known frequent patterns to form
+//!   a single graph, and then partitioned" — [`plant_patterns`];
+//! * the **label-cardinality experiment** (§8): the authors used FSG's
+//!   synthetic transaction generator with many distinct vertex labels to
+//!   show candidate-set explosion — [`random_transactions`].
+
+use crate::graph::{ELabel, Graph, VLabel, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for uniform random labeled digraphs.
+#[derive(Clone, Debug)]
+pub struct RandomGraphConfig {
+    pub vertices: usize,
+    pub edges: usize,
+    /// Vertex labels drawn uniformly from `0..vertex_labels`.
+    pub vertex_labels: u32,
+    /// Edge labels drawn uniformly from `0..edge_labels`.
+    pub edge_labels: u32,
+    /// Allow self loops.
+    pub self_loops: bool,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        RandomGraphConfig {
+            vertices: 20,
+            edges: 40,
+            vertex_labels: 1,
+            edge_labels: 4,
+            self_loops: false,
+        }
+    }
+}
+
+/// Generates a random labeled directed multigraph.
+pub fn random_graph(cfg: &RandomGraphConfig, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_graph_with(cfg, &mut rng)
+}
+
+/// As [`random_graph`], drawing from a caller-supplied RNG.
+pub fn random_graph_with(cfg: &RandomGraphConfig, rng: &mut impl Rng) -> Graph {
+    let mut g = Graph::with_capacity(cfg.vertices, cfg.edges);
+    let vs: Vec<VertexId> = (0..cfg.vertices)
+        .map(|_| g.add_vertex(VLabel(rng.gen_range(0..cfg.vertex_labels.max(1)))))
+        .collect();
+    if vs.is_empty() {
+        return g;
+    }
+    let mut added = 0usize;
+    while added < cfg.edges {
+        let s = vs[rng.gen_range(0..vs.len())];
+        let d = vs[rng.gen_range(0..vs.len())];
+        if !cfg.self_loops && s == d && vs.len() > 1 {
+            continue;
+        }
+        g.add_edge(s, d, ELabel(rng.gen_range(0..cfg.edge_labels.max(1))));
+        added += 1;
+    }
+    g
+}
+
+/// A set of independent random graph transactions (FSG-style synthetic
+/// workload). `vertex_labels` is the key knob for reproducing the §8
+/// candidate-explosion result.
+pub fn random_transactions(
+    count: usize,
+    cfg: &RandomGraphConfig,
+    seed: u64,
+) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| random_graph_with(cfg, &mut rng)).collect()
+}
+
+/// Result of [`plant_patterns`]: the composite graph plus the planted
+/// pattern templates (for recall measurement).
+pub struct Planted {
+    /// One large graph containing `copies_per_pattern` disjoint copies of
+    /// each pattern, plus `noise_edges` random background edges stitched
+    /// between copies.
+    pub graph: Graph,
+    /// The pattern templates, in the order given.
+    pub patterns: Vec<Graph>,
+}
+
+/// Builds a single graph containing `copies` disjoint copies of every
+/// pattern in `patterns`, then adds `noise_edges` random edges between
+/// arbitrary vertices to stitch the copies into one connected-ish graph
+/// (mirroring the recall simulation of footnote 2).
+///
+/// Noise edges use labels `0..noise_edge_labels`, vertices keep their
+/// pattern labels.
+pub fn plant_patterns(
+    patterns: &[Graph],
+    copies: usize,
+    noise_edges: usize,
+    noise_edge_labels: u32,
+    seed: u64,
+) -> Planted {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    for pat in patterns {
+        for _ in 0..copies {
+            // Disjoint copy of the pattern.
+            let mut vmap: Vec<(VertexId, VertexId)> = Vec::new();
+            for v in pat.vertices() {
+                let nv = g.add_vertex(pat.vertex_label(v));
+                vmap.push((v, nv));
+            }
+            let lookup = |v: VertexId| vmap.iter().find(|(o, _)| *o == v).unwrap().1;
+            for e in pat.edges() {
+                let (s, d, l) = pat.edge(e);
+                g.add_edge(lookup(s), lookup(d), l);
+            }
+        }
+    }
+    let vs: Vec<VertexId> = g.vertices().collect();
+    if vs.len() > 1 {
+        for _ in 0..noise_edges {
+            let s = vs[rng.gen_range(0..vs.len())];
+            let mut d = vs[rng.gen_range(0..vs.len())];
+            while d == s {
+                d = vs[rng.gen_range(0..vs.len())];
+            }
+            g.add_edge(s, d, ELabel(rng.gen_range(0..noise_edge_labels.max(1))));
+        }
+    }
+    Planted {
+        graph: g,
+        patterns: patterns.to_vec(),
+    }
+}
+
+/// Convenience constructors for the paper's "known good shapes" (§1):
+/// hubs, chains, and cycles.
+pub mod shapes {
+    use super::*;
+
+    /// Hub-and-spoke: one center with `spokes` outgoing edges, all edges
+    /// labeled `elabel`, all vertices labeled `vlabel`.
+    pub fn hub_and_spoke(spokes: usize, vlabel: u32, elabel: u32) -> Graph {
+        let mut g = Graph::new();
+        let hub = g.add_vertex(VLabel(vlabel));
+        for _ in 0..spokes {
+            let s = g.add_vertex(VLabel(vlabel));
+            g.add_edge(hub, s, ELabel(elabel));
+        }
+        g
+    }
+
+    /// Directed chain of `edges` edges (a "route": pick up and deliver at
+    /// each stop), uniform labels.
+    pub fn chain(edges: usize, vlabel: u32, elabel: u32) -> Graph {
+        let mut g = Graph::new();
+        let mut prev = g.add_vertex(VLabel(vlabel));
+        for _ in 0..edges {
+            let next = g.add_vertex(VLabel(vlabel));
+            g.add_edge(prev, next, ELabel(elabel));
+            prev = next;
+        }
+        g
+    }
+
+    /// Directed cycle of `len` vertices ("circular route ... regularly
+    /// return home"), uniform labels.
+    pub fn cycle(len: usize, vlabel: u32, elabel: u32) -> Graph {
+        assert!(len >= 2);
+        let mut g = Graph::new();
+        let vs: Vec<_> = (0..len).map(|_| g.add_vertex(VLabel(vlabel))).collect();
+        for i in 0..len {
+            g.add_edge(vs[i], vs[(i + 1) % len], ELabel(elabel));
+        }
+        g
+    }
+
+    /// Bow-tie (§5's motivating hypothetical): `fan` small loads
+    /// converging on a point, one heavy long-haul edge to a distant point,
+    /// `fan` small loads diverging there. Edge labels: `small` for the
+    /// fan edges, `large` for the middle edge.
+    pub fn bow_tie(fan: usize, vlabel: u32, small: u32, large: u32) -> Graph {
+        let mut g = Graph::new();
+        let left = g.add_vertex(VLabel(vlabel));
+        let right = g.add_vertex(VLabel(vlabel));
+        g.add_edge(left, right, ELabel(large));
+        for _ in 0..fan {
+            let a = g.add_vertex(VLabel(vlabel));
+            g.add_edge(a, left, ELabel(small));
+            let b = g.add_vertex(VLabel(vlabel));
+            g.add_edge(right, b, ELabel(small));
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iso::{count_disjoint, has_embedding};
+
+    #[test]
+    fn random_graph_respects_config() {
+        let cfg = RandomGraphConfig {
+            vertices: 30,
+            edges: 55,
+            vertex_labels: 3,
+            edge_labels: 5,
+            self_loops: false,
+        };
+        let g = random_graph(&cfg, 1);
+        assert_eq!(g.vertex_count(), 30);
+        assert_eq!(g.edge_count(), 55);
+        for e in g.edges() {
+            let (s, d, l) = g.edge(e);
+            assert_ne!(s, d, "self loops disabled");
+            assert!(l.0 < 5);
+        }
+        for v in g.vertices() {
+            assert!(g.vertex_label(v).0 < 3);
+        }
+    }
+
+    #[test]
+    fn random_graph_deterministic_by_seed() {
+        let cfg = RandomGraphConfig::default();
+        let a = random_graph(&cfg, 99);
+        let b = random_graph(&cfg, 99);
+        let ea: Vec<_> = a.edges().map(|e| a.edge(e)).collect();
+        let eb: Vec<_> = b.edges().map(|e| b.edge(e)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn transactions_count() {
+        let txns = random_transactions(7, &RandomGraphConfig::default(), 3);
+        assert_eq!(txns.len(), 7);
+    }
+
+    #[test]
+    fn planted_patterns_present() {
+        let pats = vec![
+            shapes::hub_and_spoke(3, 0, 1),
+            shapes::chain(4, 0, 2),
+            shapes::cycle(3, 0, 3),
+        ];
+        let planted = plant_patterns(&pats, 5, 20, 1, 7);
+        let expect_v: usize = pats.iter().map(|p| p.vertex_count()).sum::<usize>() * 5;
+        let expect_e_min: usize = pats.iter().map(|p| p.edge_count()).sum::<usize>() * 5;
+        assert_eq!(planted.graph.vertex_count(), expect_v);
+        assert_eq!(planted.graph.edge_count(), expect_e_min + 20);
+        for p in &pats {
+            assert!(has_embedding(p, &planted.graph));
+            assert!(count_disjoint(p, &planted.graph) >= 5);
+        }
+    }
+
+    #[test]
+    fn shape_constructors() {
+        let h = shapes::hub_and_spoke(4, 0, 1);
+        assert_eq!(h.vertex_count(), 5);
+        assert_eq!(h.edge_count(), 4);
+        let hub = h.vertices().find(|&v| h.out_degree(v) == 4).unwrap();
+        assert_eq!(h.in_degree(hub), 0);
+
+        let c = shapes::chain(3, 0, 1);
+        assert_eq!(c.vertex_count(), 4);
+        assert_eq!(c.edge_count(), 3);
+
+        let cy = shapes::cycle(4, 0, 1);
+        assert_eq!(cy.vertex_count(), 4);
+        assert_eq!(cy.edge_count(), 4);
+        for v in cy.vertices() {
+            assert_eq!(cy.out_degree(v), 1);
+            assert_eq!(cy.in_degree(v), 1);
+        }
+
+        let bt = shapes::bow_tie(3, 0, 1, 2);
+        assert_eq!(bt.vertex_count(), 8);
+        assert_eq!(bt.edge_count(), 7);
+    }
+
+    #[test]
+    fn single_vertex_random_graph_allows_loops_only_if_enabled() {
+        let cfg = RandomGraphConfig {
+            vertices: 1,
+            edges: 2,
+            self_loops: true,
+            ..Default::default()
+        };
+        let g = random_graph(&cfg, 5);
+        assert_eq!(g.edge_count(), 2);
+    }
+}

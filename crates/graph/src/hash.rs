@@ -1,0 +1,119 @@
+//! A fast, non-cryptographic hasher for integer-keyed maps.
+//!
+//! The mining workloads in this workspace hash small integers (vertex ids,
+//! label ids, packed edge tuples) billions of times. The standard library's
+//! SipHash is collision-resistant but slow for such keys; the classic
+//! "Fx" multiply-xor hash used by rustc is a far better fit and is small
+//! enough to implement here rather than pull in a dependency.
+//!
+//! HashDoS resistance is irrelevant: all inputs are produced by our own
+//! generators and miners, never by an adversary.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hasher: `state = (state.rotate_left(5) ^ word) * SEED`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        let h: Vec<u64> = (0u64..64).map(|v| hash_of(&v)).collect();
+        let distinct: FxHashSet<u64> = h.iter().copied().collect();
+        assert_eq!(distinct.len(), 64);
+    }
+
+    #[test]
+    fn byte_slices_with_remainders() {
+        // 0..=16 bytes exercises the chunked path and all remainder lengths.
+        let data: Vec<u8> = (0u8..17).collect();
+        let mut seen = FxHashSet::default();
+        for len in 0..=data.len() {
+            seen.insert(hash_of(&&data[..len]));
+        }
+        assert_eq!(seen.len(), 18, "each prefix length should hash distinctly");
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000 {
+            assert_eq!(m[&i], i * 2);
+        }
+    }
+}

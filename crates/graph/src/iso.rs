@@ -1,0 +1,596 @@
+//! Subgraph monomorphism and graph isomorphism (VF2-style backtracking).
+//!
+//! Both miners reduce to the same primitive: *does pattern `P` occur in
+//! graph `G`?* — where an occurrence is an injective mapping of `P`'s
+//! vertices into `G`'s vertices that preserves vertex labels and maps every
+//! directed labeled edge of `P` onto a distinct directed labeled edge of
+//! `G` (§4 of the paper spells out this definition).
+//!
+//! The implementation is a VF2-flavoured backtracking search:
+//!
+//! * pattern vertices are matched in a connectivity-first order, so every
+//!   vertex after the first is constrained by at least one already-matched
+//!   neighbour (unless the pattern is disconnected);
+//! * candidates for a constrained vertex are drawn from the adjacency of
+//!   the already-mapped anchor, not from all of `G`;
+//! * label and degree feasibility prune before recursion.
+//!
+//! Parallel edges are handled by multiplicity counting: if `P` has `k`
+//! edges `(u, v, l)`, the image pair must carry at least `k` such edges.
+
+use crate::graph::{ELabel, Graph, VLabel, VertexId};
+use crate::hash::{FxHashMap, FxHashSet};
+
+/// One occurrence of a pattern: `assignment[i]` is the target vertex that
+/// pattern vertex `i` (in dense order after `search_order`) maps to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Embedding {
+    /// Pattern vertex -> target vertex.
+    pub map: FxHashMap<VertexId, VertexId>,
+}
+
+impl Embedding {
+    /// The set of target vertices used by this embedding.
+    pub fn target_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.map.values().copied()
+    }
+
+    /// True if the two embeddings share any target vertex.
+    pub fn overlaps(&self, other: &Embedding) -> bool {
+        let mine: FxHashSet<VertexId> = self.map.values().copied().collect();
+        other.map.values().any(|v| mine.contains(v))
+    }
+}
+
+/// Controls how many embeddings [`Matcher::find`] collects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Find {
+    /// Stop after the first embedding (existence check).
+    First,
+    /// Collect at most this many embeddings.
+    AtMost(usize),
+    /// Collect all embeddings (beware combinatorial blow-up on symmetric
+    /// patterns).
+    All,
+}
+
+struct SearchPlan {
+    /// Pattern vertices in match order.
+    order: Vec<VertexId>,
+    /// For `order[i]` (i > 0): edges to already-matched pattern vertices,
+    /// as `(matched_vertex, label, outgoing_from_new)` with multiplicity.
+    back_edges: Vec<Vec<(VertexId, ELabel, bool)>>,
+    /// Anchor for candidate generation: Some((matched vertex, label,
+    /// new_is_dst)) — the new vertex must be adjacent to this one.
+    anchor: Vec<Option<(VertexId, ELabel, bool)>>,
+    /// Symmetry breaking for "twin" leaves — pattern vertices of degree 1
+    /// hanging off the same anchor with identical labels/direction are
+    /// interchangeable, so their images are forced into ascending id
+    /// order. `twin_prev[i] = Some(j)` requires
+    /// `assignment[i] > assignment[j]`. Without this, a failing match of
+    /// a k-spoke hub explores k! equivalent orderings.
+    twin_prev: Vec<Option<usize>>,
+}
+
+fn build_plan(pattern: &Graph) -> SearchPlan {
+    let mut order: Vec<VertexId> = Vec::with_capacity(pattern.vertex_count());
+    let mut placed: FxHashSet<VertexId> = FxHashSet::default();
+    let all: Vec<VertexId> = pattern.vertices().collect();
+
+    // Start from the highest-degree vertex: it constrains the search most.
+    if let Some(&start) = all.iter().max_by_key(|&&v| pattern.degree(v)) {
+        order.push(start);
+        placed.insert(start);
+    }
+    while order.len() < all.len() {
+        // Prefer a vertex adjacent to the already-placed set with maximal
+        // connectivity into it; fall back to any unplaced vertex
+        // (disconnected patterns).
+        let next = all
+            .iter()
+            .copied()
+            .filter(|v| !placed.contains(v))
+            .max_by_key(|&v| {
+                pattern
+                    .incident_edges(v)
+                    .filter(|&e| {
+                        let (s, d, _) = pattern.edge(e);
+                        let other = if s == v { d } else { s };
+                        placed.contains(&other)
+                    })
+                    .count()
+            })
+            .expect("unplaced vertex must exist");
+        order.push(next);
+        placed.insert(next);
+    }
+
+    let pos: FxHashMap<VertexId, usize> =
+        order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut back_edges = vec![Vec::new(); order.len()];
+    let mut anchor = vec![None; order.len()];
+    for (i, &v) in order.iter().enumerate() {
+        for e in pattern.out_edges(v) {
+            let (_, d, l) = pattern.edge(e);
+            if pos[&d] < i {
+                back_edges[i].push((d, l, true));
+            }
+        }
+        for e in pattern.in_edges(v) {
+            let (s, _, l) = pattern.edge(e);
+            if pos[&s] < i {
+                back_edges[i].push((s, l, false));
+            }
+        }
+        if let Some(&(m, l, out)) = back_edges[i].first() {
+            // If the new vertex has an outgoing back edge v->m, then in the
+            // target the candidate is an *in*-neighbor source... careful:
+            // back edge (m, l, true) means pattern edge v -> m. Candidates
+            // for v are target vertices with an edge into image(m).
+            anchor[i] = Some((m, l, out));
+        }
+    }
+    // Twin detection: degree-1 vertices with identical
+    // (anchor, direction, edge label, vertex label) signatures.
+    let mut twin_prev = vec![None; order.len()];
+    let signature = |i: usize| -> Option<(VertexId, bool, ELabel, VLabel)> {
+        let v = order[i];
+        if pattern.degree(v) != 1 || back_edges[i].len() != 1 {
+            return None;
+        }
+        let (m, l, out) = back_edges[i][0];
+        Some((m, out, l, pattern.vertex_label(v)))
+    };
+    for i in 1..order.len() {
+        let Some(sig) = signature(i) else { continue };
+        for j in (1..i).rev() {
+            if signature(j) == Some(sig) {
+                twin_prev[i] = Some(j);
+                break;
+            }
+        }
+    }
+    SearchPlan {
+        order,
+        back_edges,
+        anchor,
+        twin_prev,
+    }
+}
+
+/// Reusable matcher for one pattern against many targets.
+///
+/// Building the matcher precomputes the pattern's search plan and label
+/// requirements; [`Matcher::find`] then runs against any target graph.
+pub struct Matcher {
+    plan: SearchPlan,
+    vlabels: Vec<VLabel>,
+    /// Pattern edge multiplicities keyed by (src, dst, label) — used to
+    /// require sufficient parallel-edge counts in the target.
+    multiplicity: FxHashMap<(VertexId, VertexId, ELabel), usize>,
+    pattern_degrees: FxHashMap<VertexId, (usize, usize)>,
+}
+
+impl Matcher {
+    /// Prepares a matcher for `pattern`. Cheap for the small patterns the
+    /// miners produce; reuse it across transactions.
+    pub fn new(pattern: &Graph) -> Self {
+        let plan = build_plan(pattern);
+        let vlabels = plan
+            .order
+            .iter()
+            .map(|&v| pattern.vertex_label(v))
+            .collect();
+        let mut multiplicity: FxHashMap<(VertexId, VertexId, ELabel), usize> =
+            FxHashMap::default();
+        for e in pattern.edges() {
+            *multiplicity.entry(pattern.edge(e)).or_insert(0) += 1;
+        }
+        let pattern_degrees = pattern
+            .vertices()
+            .map(|v| (v, (pattern.out_degree(v), pattern.in_degree(v))))
+            .collect();
+        Matcher {
+            plan,
+            vlabels,
+            multiplicity,
+            pattern_degrees,
+        }
+    }
+
+    /// Searches for embeddings of the pattern in `target`.
+    ///
+    /// Embeddings are enumerated *up to twin-leaf permutation*:
+    /// interchangeable degree-1 pattern vertices (same anchor, labels,
+    /// direction) are assigned in ascending target-id order, so each
+    /// unordered choice of their images appears exactly once. Existence,
+    /// supports, and disjoint counts are unaffected; only the raw
+    /// embedding multiplicity of symmetric patterns is reduced.
+    pub fn find(&self, target: &Graph, mode: Find) -> Vec<Embedding> {
+        let limit = match mode {
+            Find::First => 1,
+            Find::AtMost(n) => n,
+            Find::All => usize::MAX,
+        };
+        if limit == 0 || self.plan.order.is_empty() {
+            return Vec::new();
+        }
+        let mut results = Vec::new();
+        let mut assignment: Vec<VertexId> = Vec::with_capacity(self.plan.order.len());
+        let mut used: FxHashSet<VertexId> = FxHashSet::default();
+        self.recurse(target, &mut assignment, &mut used, &mut results, limit);
+        results
+    }
+
+    /// True if at least one embedding exists.
+    pub fn matches(&self, target: &Graph) -> bool {
+        !self.find(target, Find::First).is_empty()
+    }
+
+    fn image(&self, assignment: &[VertexId], pv: VertexId) -> VertexId {
+        let idx = self
+            .plan
+            .order
+            .iter()
+            .position(|&v| v == pv)
+            .expect("back edge to unmatched vertex");
+        assignment[idx]
+    }
+
+    fn feasible(
+        &self,
+        target: &Graph,
+        assignment: &[VertexId],
+        depth: usize,
+        candidate: VertexId,
+    ) -> bool {
+        if target.vertex_label(candidate) != self.vlabels[depth] {
+            return false;
+        }
+        let pv = self.plan.order[depth];
+        let (pout, pin) = self.pattern_degrees[&pv];
+        if target.out_degree(candidate) < pout || target.in_degree(candidate) < pin {
+            return false;
+        }
+        // Self-loops never appear as back edges (they connect a vertex to
+        // itself, not to an earlier one), so verify them here.
+        for (&(s, d, l), &need) in &self.multiplicity {
+            if s == pv && d == pv {
+                let have = target
+                    .out_edges(candidate)
+                    .filter(|&e| {
+                        let (_, dd, ll) = target.edge(e);
+                        dd == candidate && ll == l
+                    })
+                    .count();
+                if have < need {
+                    return false;
+                }
+            }
+        }
+        // Every pattern back edge must have enough parallel target edges.
+        for &(m, _l, out) in &self.plan.back_edges[depth] {
+            let tm = self.image(assignment, m);
+            let (ps, pd) = if out { (pv, m) } else { (m, pv) };
+            let (ts, td) = if out { (candidate, tm) } else { (tm, candidate) };
+            // Sum multiplicity over labels for this ordered pair once per
+            // distinct (pair,label); recomputing per back edge is fine for
+            // the tiny patterns in play.
+            for (&(s, d, l), &need) in &self.multiplicity {
+                if s == ps && d == pd {
+                    let have = target
+                        .out_edges(ts)
+                        .filter(|&e| {
+                            let (_, dd, ll) = target.edge(e);
+                            dd == td && ll == l
+                        })
+                        .count();
+                    if have < need {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn recurse(
+        &self,
+        target: &Graph,
+        assignment: &mut Vec<VertexId>,
+        used: &mut FxHashSet<VertexId>,
+        results: &mut Vec<Embedding>,
+        limit: usize,
+    ) -> bool {
+        let depth = assignment.len();
+        if depth == self.plan.order.len() {
+            let map = self
+                .plan
+                .order
+                .iter()
+                .copied()
+                .zip(assignment.iter().copied())
+                .collect();
+            results.push(Embedding { map });
+            return results.len() >= limit;
+        }
+        let candidates: Vec<VertexId> = match self.plan.anchor[depth] {
+            Some((m, l, out)) => {
+                let tm = self.image(assignment, m);
+                if out {
+                    // pattern edge new->m: candidates are sources of
+                    // in-edges of image(m) with label l.
+                    target
+                        .in_edges(tm)
+                        .filter(|&e| target.edge_label(e) == l)
+                        .map(|e| target.edge_src(e))
+                        .collect()
+                } else {
+                    target
+                        .out_edges(tm)
+                        .filter(|&e| target.edge_label(e) == l)
+                        .map(|e| target.edge_dst(e))
+                        .collect()
+                }
+            }
+            None => target.vertices().collect(),
+        };
+        let twin_floor = self.plan.twin_prev[depth].map(|j| assignment[j]);
+        let mut local_seen: FxHashSet<VertexId> = FxHashSet::default();
+        for c in candidates {
+            if used.contains(&c) || !local_seen.insert(c) {
+                continue;
+            }
+            // Interchangeable twin leaves: only ascending-id assignments
+            // (each unordered choice of images is explored once).
+            if twin_floor.is_some_and(|f| c <= f) {
+                continue;
+            }
+            if !self.feasible(target, assignment, depth, c) {
+                continue;
+            }
+            assignment.push(c);
+            used.insert(c);
+            let done = self.recurse(target, assignment, used, results, limit);
+            assignment.pop();
+            used.remove(&c);
+            if done {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Existence check: does `pattern` occur in `target` (per §4's definition)?
+pub fn has_embedding(pattern: &Graph, target: &Graph) -> bool {
+    if pattern.vertex_count() > target.vertex_count()
+        || pattern.edge_count() > target.edge_count()
+    {
+        return false;
+    }
+    Matcher::new(pattern).matches(target)
+}
+
+/// All embeddings of `pattern` in `target` (use with care on symmetric
+/// patterns in dense targets).
+pub fn find_embeddings(pattern: &Graph, target: &Graph, mode: Find) -> Vec<Embedding> {
+    Matcher::new(pattern).find(target, mode)
+}
+
+/// Exact isomorphism of two labeled directed multigraphs.
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    if a.vertex_label_histogram() != b.vertex_label_histogram()
+        || a.edge_label_histogram() != b.edge_label_histogram()
+    {
+        return false;
+    }
+    // A monomorphism between same-size graphs with equal edge counts is a
+    // bijection on vertices; equal per-pair multiplicities then force edge
+    // bijectivity too (each pair's multiplicity in b is >= that of a, and
+    // totals agree).
+    has_embedding(a, b)
+}
+
+/// Greedily selects a maximal set of pairwise vertex-disjoint embeddings
+/// from `embeddings`, preferring earlier entries. SUBDUE counts pattern
+/// instances "without allowing overlap" — this is that filter.
+pub fn disjoint_subset(embeddings: &[Embedding]) -> Vec<Embedding> {
+    let mut used: FxHashSet<VertexId> = FxHashSet::default();
+    let mut out = Vec::new();
+    for emb in embeddings {
+        if emb.target_vertices().any(|v| used.contains(&v)) {
+            continue;
+        }
+        used.extend(emb.target_vertices());
+        out.push(emb.clone());
+    }
+    out
+}
+
+/// Counts vertex-disjoint occurrences of `pattern` in `target` by greedy
+/// selection over all embeddings.
+pub fn count_disjoint(pattern: &Graph, target: &Graph) -> usize {
+    let all = find_embeddings(pattern, target, Find::All);
+    disjoint_subset(&all).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ELabel, VLabel};
+
+    fn path(labels: &[u32], elabels: &[u32]) -> Graph {
+        assert_eq!(labels.len(), elabels.len() + 1);
+        let mut g = Graph::new();
+        let vs: Vec<VertexId> = labels.iter().map(|&l| g.add_vertex(VLabel(l))).collect();
+        for (i, &el) in elabels.iter().enumerate() {
+            g.add_edge(vs[i], vs[i + 1], ELabel(el));
+        }
+        g
+    }
+
+    #[test]
+    fn path_in_path() {
+        let p = path(&[0, 0], &[5]);
+        let t = path(&[0, 0, 0], &[5, 5]);
+        assert!(has_embedding(&p, &t));
+        let all = find_embeddings(&p, &t, Find::All);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn label_mismatch_blocks() {
+        let p = path(&[0, 0], &[5]);
+        let t = path(&[0, 0], &[6]);
+        assert!(!has_embedding(&p, &t));
+        let t2 = path(&[0, 1], &[5]);
+        assert!(!has_embedding(&p, &t2));
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut t = Graph::new();
+        let a = t.add_vertex(VLabel(0));
+        let b = t.add_vertex(VLabel(0));
+        t.add_edge(a, b, ELabel(0));
+        let mut p = Graph::new();
+        let x = p.add_vertex(VLabel(0));
+        let y = p.add_vertex(VLabel(0));
+        p.add_edge(y, x, ELabel(0)); // same shape, same direction class
+        assert!(has_embedding(&p, &t)); // x:=b, y:=a works
+        // but a 2-cycle pattern must not embed in a single directed edge
+        let mut c = Graph::new();
+        let u = c.add_vertex(VLabel(0));
+        let v = c.add_vertex(VLabel(0));
+        c.add_edge(u, v, ELabel(0));
+        c.add_edge(v, u, ELabel(0));
+        assert!(!has_embedding(&c, &t));
+    }
+
+    #[test]
+    fn injective_vertices() {
+        // Pattern: two distinct out-edges from a hub; target has only one.
+        let mut p = Graph::new();
+        let h = p.add_vertex(VLabel(0));
+        let a = p.add_vertex(VLabel(0));
+        let b = p.add_vertex(VLabel(0));
+        p.add_edge(h, a, ELabel(0));
+        p.add_edge(h, b, ELabel(0));
+        let t = path(&[0, 0], &[0]);
+        assert!(!has_embedding(&p, &t));
+    }
+
+    #[test]
+    fn parallel_edge_multiplicity() {
+        let mut p = Graph::new();
+        let a = p.add_vertex(VLabel(0));
+        let b = p.add_vertex(VLabel(0));
+        p.add_edge(a, b, ELabel(1));
+        p.add_edge(a, b, ELabel(1));
+        // Target with a single such edge: no match.
+        let mut t1 = Graph::new();
+        let x = t1.add_vertex(VLabel(0));
+        let y = t1.add_vertex(VLabel(0));
+        t1.add_edge(x, y, ELabel(1));
+        assert!(!has_embedding(&p, &t1));
+        // Target with two parallel edges: match.
+        t1.add_edge(x, y, ELabel(1));
+        assert!(has_embedding(&p, &t1));
+    }
+
+    #[test]
+    fn hub_and_spoke_embeds() {
+        // 3-spoke hub pattern inside a 5-spoke hub target.
+        let mut p = Graph::new();
+        let h = p.add_vertex(VLabel(0));
+        for _ in 0..3 {
+            let s = p.add_vertex(VLabel(0));
+            p.add_edge(h, s, ELabel(2));
+        }
+        let mut t = Graph::new();
+        let th = t.add_vertex(VLabel(0));
+        for _ in 0..5 {
+            let s = t.add_vertex(VLabel(0));
+            t.add_edge(th, s, ELabel(2));
+        }
+        assert!(has_embedding(&p, &t));
+        // Twin-leaf symmetry breaking: C(5,3) = 10 unordered spoke
+        // choices (not 5*4*3 = 60 ordered ones).
+        assert_eq!(find_embeddings(&p, &t, Find::All).len(), 10);
+        assert_eq!(find_embeddings(&p, &t, Find::AtMost(7)).len(), 7);
+    }
+
+    #[test]
+    fn isomorphism_positive_and_negative() {
+        let a = path(&[1, 2, 3], &[7, 8]);
+        let b = path(&[1, 2, 3], &[7, 8]);
+        assert!(are_isomorphic(&a, &b));
+        let c = path(&[1, 2, 3], &[8, 7]);
+        assert!(!are_isomorphic(&a, &c));
+        let d = path(&[3, 2, 1], &[8, 7]); // reversed path = same graph? No:
+        // d's edges: 3-[8]->2, 2-[7]->1; a's: 1-[7]->2, 2-[8]->3. Relabel
+        // mapping 1<->3 sends a's 1-[7]->2 to 3-[7]->2 which d lacks.
+        assert!(!are_isomorphic(&a, &d));
+    }
+
+    #[test]
+    fn isomorphism_cycle_rotation() {
+        let mk = |rot: usize| {
+            let mut g = Graph::new();
+            let vs: Vec<_> = (0..4).map(|_| g.add_vertex(VLabel(0))).collect();
+            for i in 0..4 {
+                g.add_edge(vs[(i + rot) % 4], vs[(i + rot + 1) % 4], ELabel(i as u32 % 2));
+            }
+            g
+        };
+        assert!(are_isomorphic(&mk(0), &mk(2)));
+    }
+
+    #[test]
+    fn disjoint_count() {
+        // Target: two separate a->b edges; pattern: one a->b edge.
+        let mut t = Graph::new();
+        for _ in 0..2 {
+            let a = t.add_vertex(VLabel(0));
+            let b = t.add_vertex(VLabel(0));
+            t.add_edge(a, b, ELabel(0));
+        }
+        let p = path(&[0, 0], &[0]);
+        assert_eq!(count_disjoint(&p, &t), 2);
+        // A 3-vertex chain target holds only one disjoint 2-vertex edge
+        // pattern... actually chain a->b->c has 2 embeddings sharing b.
+        let chain = path(&[0, 0, 0], &[0, 0]);
+        assert_eq!(count_disjoint(&p, &chain), 1);
+    }
+
+    #[test]
+    fn empty_pattern_no_embeddings() {
+        let p = Graph::new();
+        let t = path(&[0, 0], &[0]);
+        assert!(find_embeddings(&p, &t, Find::All).is_empty());
+    }
+
+    #[test]
+    fn disconnected_pattern() {
+        // Pattern: two isolated edges; target has them.
+        let mut p = Graph::new();
+        let a = p.add_vertex(VLabel(1));
+        let b = p.add_vertex(VLabel(2));
+        p.add_edge(a, b, ELabel(0));
+        let c = p.add_vertex(VLabel(3));
+        let d = p.add_vertex(VLabel(4));
+        p.add_edge(c, d, ELabel(0));
+        let mut t = Graph::new();
+        let ta = t.add_vertex(VLabel(1));
+        let tb = t.add_vertex(VLabel(2));
+        let tc = t.add_vertex(VLabel(3));
+        let td = t.add_vertex(VLabel(4));
+        t.add_edge(ta, tb, ELabel(0));
+        t.add_edge(tc, td, ELabel(0));
+        assert!(has_embedding(&p, &t));
+    }
+}

@@ -1,0 +1,130 @@
+//! Degree and size statistics (the §3 dataset-description numbers).
+
+use crate::graph::Graph;
+
+/// Minimum / maximum / mean of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+}
+
+impl DegreeStats {
+    fn from_iter(values: impl Iterator<Item = usize>) -> Option<DegreeStats> {
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut n = 0usize;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            n += 1;
+        }
+        (n > 0).then(|| DegreeStats {
+            min,
+            max,
+            mean: sum as f64 / n as f64,
+        })
+    }
+}
+
+/// Summary of a graph, mirroring the §3 description: vertex/edge counts,
+/// distinct labels, and in/out-degree ranges.
+#[derive(Clone, Debug)]
+pub struct GraphSummary {
+    pub vertices: usize,
+    pub edges: usize,
+    pub distinct_vertex_labels: usize,
+    pub distinct_edge_labels: usize,
+    /// Out-degree over vertices with out-degree >= 1 (the paper reports a
+    /// minimum out-degree of 1: pure destinations are excluded).
+    pub out_degree: Option<DegreeStats>,
+    /// In-degree over vertices with in-degree >= 1.
+    pub in_degree: Option<DegreeStats>,
+}
+
+/// Computes a [`GraphSummary`].
+pub fn summarize(g: &Graph) -> GraphSummary {
+    GraphSummary {
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        distinct_vertex_labels: g.vertex_label_histogram().len(),
+        distinct_edge_labels: g.edge_label_histogram().len(),
+        out_degree: DegreeStats::from_iter(
+            g.vertices().map(|v| g.out_degree(v)).filter(|&d| d > 0),
+        ),
+        in_degree: DegreeStats::from_iter(
+            g.vertices().map(|v| g.in_degree(v)).filter(|&d| d > 0),
+        ),
+    }
+}
+
+impl std::fmt::Display for GraphSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "|V| = {}, |E| = {}", self.vertices, self.edges)?;
+        writeln!(
+            f,
+            "distinct labels: {} vertex, {} edge",
+            self.distinct_vertex_labels, self.distinct_edge_labels
+        )?;
+        if let Some(d) = self.out_degree {
+            writeln!(
+                f,
+                "out-degree (senders): min {} max {} avg {:.1}",
+                d.min, d.max, d.mean
+            )?;
+        }
+        if let Some(d) = self.in_degree {
+            writeln!(
+                f,
+                "in-degree (receivers): min {} max {} avg {:.1}",
+                d.min, d.max, d.mean
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::shapes;
+    use crate::graph::{ELabel, VLabel};
+
+    #[test]
+    fn summary_of_hub() {
+        let g = shapes::hub_and_spoke(4, 0, 1);
+        let s = summarize(&g);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.distinct_vertex_labels, 1);
+        assert_eq!(s.distinct_edge_labels, 1);
+        let out = s.out_degree.unwrap();
+        assert_eq!((out.min, out.max), (4, 4)); // only the hub sends
+        assert!((out.mean - 4.0).abs() < 1e-12);
+        let inn = s.in_degree.unwrap();
+        assert_eq!((inn.min, inn.max), (1, 1));
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let g = Graph::new();
+        let s = summarize(&g);
+        assert_eq!(s.vertices, 0);
+        assert!(s.out_degree.is_none());
+        assert!(s.in_degree.is_none());
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(VLabel(0));
+        let b = g.add_vertex(VLabel(1));
+        g.add_edge(a, b, ELabel(2));
+        let txt = summarize(&g).to_string();
+        assert!(txt.contains("|V| = 2"));
+        assert!(txt.contains("out-degree"));
+    }
+}

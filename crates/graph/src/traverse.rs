@@ -1,0 +1,217 @@
+//! Traversals and connectivity.
+//!
+//! All traversals treat the graph as *weakly* connected (edges are walked in
+//! both directions) — that is what both SUBDUE's expansion and the paper's
+//! partitioners need: a truck route is "connected" regardless of edge
+//! direction.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+use crate::hash::FxHashSet;
+use std::collections::VecDeque;
+
+/// Vertices reachable from `start` following edges in either direction,
+/// in breadth-first order (including `start`).
+pub fn bfs_reachable(g: &Graph, start: VertexId) -> Vec<VertexId> {
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for e in g.incident_edges(v) {
+            let (s, d, _) = g.edge(e);
+            let other = if s == v { d } else { s };
+            if seen.insert(other) {
+                queue.push_back(other);
+            }
+        }
+    }
+    order
+}
+
+/// Vertices reachable from `start` (either direction), depth-first
+/// preorder.
+pub fn dfs_reachable(g: &Graph, start: VertexId) -> Vec<VertexId> {
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v) {
+            continue;
+        }
+        order.push(v);
+        for e in g.incident_edges(v) {
+            let (s, d, _) = g.edge(e);
+            let other = if s == v { d } else { s };
+            if !seen.contains(&other) {
+                stack.push(other);
+            }
+        }
+    }
+    order
+}
+
+/// Weakly connected components; each component is a sorted vector of
+/// vertex ids. Components are returned largest first.
+pub fn connected_components(g: &Graph) -> Vec<Vec<VertexId>> {
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    let mut comps = Vec::new();
+    for v in g.vertices() {
+        if seen.contains(&v) {
+            continue;
+        }
+        let mut comp = bfs_reachable(g, v);
+        for &u in &comp {
+            seen.insert(u);
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    comps
+}
+
+/// True if every live vertex is reachable from every other ignoring
+/// direction. The empty graph and single vertices count as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    match g.vertices().next() {
+        None => true,
+        Some(v0) => bfs_reachable(g, v0).len() == g.vertex_count(),
+    }
+}
+
+/// Splits a graph into one graph per weakly connected component.
+///
+/// Used by temporal partitioning (§6): "we further broke each disconnected
+/// graph transaction into multiple connected graph transactions".
+pub fn split_components(g: &Graph) -> Vec<Graph> {
+    connected_components(g)
+        .into_iter()
+        .map(|comp| g.induced_subgraph(&comp).0)
+        .collect()
+}
+
+/// Edges on a shortest (undirected) path from `a` to `b`, or `None` if
+/// unreachable. Useful for diagnostics and pattern rendering.
+pub fn shortest_path(g: &Graph, a: VertexId, b: VertexId) -> Option<Vec<EdgeId>> {
+    if a == b {
+        return Some(Vec::new());
+    }
+    let mut prev: std::collections::HashMap<VertexId, (VertexId, EdgeId)> =
+        std::collections::HashMap::new();
+    let mut queue = VecDeque::new();
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    seen.insert(a);
+    queue.push_back(a);
+    while let Some(v) = queue.pop_front() {
+        for e in g.incident_edges(v) {
+            let (s, d, _) = g.edge(e);
+            let other = if s == v { d } else { s };
+            if seen.insert(other) {
+                prev.insert(other, (v, e));
+                if other == b {
+                    let mut path = Vec::new();
+                    let mut cur = b;
+                    while cur != a {
+                        let (p, pe) = prev[&cur];
+                        path.push(pe);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(other);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ELabel, VLabel};
+
+    /// Two components: a directed path a->b->c and an isolated pair d->e.
+    fn two_components() -> (Graph, [VertexId; 5]) {
+        let mut g = Graph::new();
+        let a = g.add_vertex(VLabel(0));
+        let b = g.add_vertex(VLabel(0));
+        let c = g.add_vertex(VLabel(0));
+        let d = g.add_vertex(VLabel(0));
+        let e = g.add_vertex(VLabel(0));
+        g.add_edge(a, b, ELabel(0));
+        g.add_edge(b, c, ELabel(0));
+        g.add_edge(d, e, ELabel(0));
+        (g, [a, b, c, d, e])
+    }
+
+    #[test]
+    fn bfs_ignores_direction() {
+        let (g, [a, b, c, ..]) = two_components();
+        // Starting from c we can still reach a by walking edges backwards.
+        let r = bfs_reachable(&g, c);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&a) && r.contains(&b));
+    }
+
+    #[test]
+    fn dfs_matches_bfs_reachability() {
+        let (g, [a, ..]) = two_components();
+        let mut bfs = bfs_reachable(&g, a);
+        let mut dfs = dfs_reachable(&g, a);
+        bfs.sort_unstable();
+        dfs.sort_unstable();
+        assert_eq!(bfs, dfs);
+    }
+
+    #[test]
+    fn components_largest_first() {
+        let (g, _) = two_components();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+    }
+
+    #[test]
+    fn connectivity() {
+        let (mut g, [_, _, _, d, e]) = two_components();
+        assert!(!is_connected(&g));
+        g.remove_vertex(d);
+        g.remove_vertex(e);
+        assert!(is_connected(&g));
+        let empty = Graph::new();
+        assert!(is_connected(&empty));
+    }
+
+    #[test]
+    fn split_into_component_graphs() {
+        let (g, _) = two_components();
+        let parts = split_components(&g);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].vertex_count(), 3);
+        assert_eq!(parts[0].edge_count(), 2);
+        assert_eq!(parts[1].vertex_count(), 2);
+        assert_eq!(parts[1].edge_count(), 1);
+    }
+
+    #[test]
+    fn shortest_path_basic() {
+        let (g, [a, _, c, d, _]) = two_components();
+        let p = shortest_path(&g, a, c).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(shortest_path(&g, a, d).is_none());
+        assert_eq!(shortest_path(&g, a, a).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn isolated_vertex_is_own_component() {
+        let mut g = Graph::new();
+        g.add_vertex(VLabel(0));
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the graph substrate.
+//!
+//! Invariants verified here underpin the correctness of both miners:
+//! isomorphism must be an equivalence relation blind to vertex numbering,
+//! and the invariant hash must never separate isomorphic graphs.
+
+use proptest::prelude::*;
+use tnet_graph::canon::invariant_hash;
+use tnet_graph::graph::{ELabel, Graph, VLabel, VertexId};
+use tnet_graph::iso::{are_isomorphic, find_embeddings, has_embedding, Find};
+use tnet_graph::traverse::{connected_components, is_connected, split_components};
+
+/// A generated edge: (src index, dst index, edge label).
+type RawEdge = (usize, usize, u32);
+
+/// Strategy: a small random labeled digraph as (vertex labels, edges).
+fn raw_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = (Vec<u32>, Vec<RawEdge>)> {
+    (1..=max_v).prop_flat_map(move |nv| {
+        let vlabels = proptest::collection::vec(0u32..3, nv);
+        let edges = proptest::collection::vec((0..nv, 0..nv, 0u32..3), 0..=max_e);
+        (vlabels, edges)
+    })
+}
+
+fn build(vlabels: &[u32], edges: &[RawEdge]) -> Graph {
+    let mut g = Graph::new();
+    let vs: Vec<VertexId> = vlabels.iter().map(|&l| g.add_vertex(VLabel(l))).collect();
+    for &(s, d, l) in edges {
+        g.add_edge(vs[s], vs[d], ELabel(l));
+    }
+    g
+}
+
+/// Builds the same graph with vertices inserted in permuted order.
+fn build_permuted(vlabels: &[u32], edges: &[RawEdge], perm: &[usize]) -> Graph {
+    let mut g = Graph::new();
+    // position_of[original index] = new VertexId
+    let mut ids: Vec<Option<VertexId>> = vec![None; vlabels.len()];
+    for &orig in perm {
+        ids[orig] = Some(g.add_vertex(VLabel(vlabels[orig])));
+    }
+    for &(s, d, l) in edges {
+        g.add_edge(ids[s].unwrap(), ids[d].unwrap(), ELabel(l));
+    }
+    g
+}
+
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    // Simple deterministic Fisher-Yates with an LCG; proptest's seed
+    // variety comes from the graph strategy itself.
+    let mut v: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    for i in (1..n).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Isomorphism is reflexive.
+    #[test]
+    fn iso_reflexive((vl, es) in raw_graph(7, 12)) {
+        let g = build(&vl, &es);
+        prop_assert!(are_isomorphic(&g, &g));
+    }
+
+    /// Renumbering vertices never changes the isomorphism class or the
+    /// invariant hash.
+    #[test]
+    fn iso_invariant_under_permutation((vl, es) in raw_graph(7, 12), seed in 0u64..1000) {
+        let g = build(&vl, &es);
+        let perm = permutation(vl.len(), seed);
+        let h = build_permuted(&vl, &es, &perm);
+        prop_assert!(are_isomorphic(&g, &h));
+        prop_assert_eq!(invariant_hash(&g), invariant_hash(&h));
+    }
+
+    /// Unequal invariant hashes imply non-isomorphism (contrapositive of
+    /// hash soundness): whenever the exact check says isomorphic, hashes
+    /// agree.
+    #[test]
+    fn hash_sound((vl1, es1) in raw_graph(5, 8), (vl2, es2) in raw_graph(5, 8)) {
+        let a = build(&vl1, &es1);
+        let b = build(&vl2, &es2);
+        if are_isomorphic(&a, &b) {
+            prop_assert_eq!(invariant_hash(&a), invariant_hash(&b));
+        }
+    }
+
+    /// Every graph embeds in itself, and single-edge subpatterns embed.
+    #[test]
+    fn self_embedding((vl, es) in raw_graph(6, 10)) {
+        let g = build(&vl, &es);
+        if g.edge_count() > 0 {
+            prop_assert!(has_embedding(&g, &g));
+            // Each single edge of g is a pattern occurring in g.
+            for e in g.edges() {
+                let (sub, _) = g.edge_subgraph(&[e]);
+                prop_assert!(has_embedding(&sub, &g));
+            }
+        }
+    }
+
+    /// Embeddings map pattern edges onto existing target edges with
+    /// matching labels (spot-check of the §4 definition).
+    #[test]
+    fn embeddings_are_valid((vl, es) in raw_graph(5, 8)) {
+        let g = build(&vl, &es);
+        let edges: Vec<_> = g.edges().collect();
+        if edges.len() >= 2 {
+            let (pat, _) = g.edge_subgraph(&edges[..2]);
+            for emb in find_embeddings(&pat, &g, Find::AtMost(16)) {
+                for pe in pat.edges() {
+                    let (ps, pd, pl) = pat.edge(pe);
+                    let ts = emb.map[&ps];
+                    let td = emb.map[&pd];
+                    let found = g.out_edges(ts).any(|te| {
+                        let (_, d2, l2) = g.edge(te);
+                        d2 == td && l2 == pl
+                    });
+                    prop_assert!(found, "pattern edge not realized in target");
+                }
+                // Injectivity.
+                let mut seen = std::collections::HashSet::new();
+                for tv in emb.map.values() {
+                    prop_assert!(seen.insert(*tv));
+                }
+            }
+        }
+    }
+
+    /// Components partition the vertex set, and splitting preserves edge
+    /// totals.
+    #[test]
+    fn components_partition((vl, es) in raw_graph(8, 12)) {
+        let g = build(&vl, &es);
+        let comps = connected_components(&g);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.vertex_count());
+        let mut seen = std::collections::HashSet::new();
+        for c in &comps {
+            for v in c {
+                prop_assert!(seen.insert(*v), "vertex in two components");
+            }
+        }
+        let parts = split_components(&g);
+        let esum: usize = parts.iter().map(|p| p.edge_count()).sum();
+        prop_assert_eq!(esum, g.edge_count());
+        for p in &parts {
+            prop_assert!(is_connected(p));
+        }
+    }
+
+    /// dedup_edges removes exactly the duplicate (src,dst,label) triples.
+    #[test]
+    fn dedup_is_exact((vl, es) in raw_graph(6, 14)) {
+        let mut g = build(&vl, &es);
+        let before = g.edge_count();
+        let mut triples = std::collections::HashSet::new();
+        let mut expect_removed = 0;
+        for e in g.edges() {
+            if !triples.insert(g.edge(e)) {
+                expect_removed += 1;
+            }
+        }
+        let removed = g.dedup_edges();
+        prop_assert_eq!(removed, expect_removed);
+        prop_assert_eq!(g.edge_count(), before - removed);
+        // Idempotent.
+        prop_assert_eq!(g.dedup_edges(), 0);
+    }
+
+    /// compact() preserves the isomorphism class.
+    #[test]
+    fn compact_preserves_structure((vl, es) in raw_graph(7, 12), kill in proptest::collection::vec(any::<prop::sample::Index>(), 0..3)) {
+        let mut g = build(&vl, &es);
+        let vs: Vec<_> = g.vertices().collect();
+        for idx in kill {
+            let v = *idx.get(&vs);
+            g.remove_vertex(v);
+        }
+        if g.vertex_count() == 0 { return Ok(()); }
+        let before = g.clone();
+        g.compact();
+        prop_assert!(are_isomorphic(&before, &g));
+    }
+}

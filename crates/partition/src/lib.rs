@@ -1,0 +1,28 @@
+//! # tnet-partition
+//!
+//! Partitioning strategies that turn a single transportation network
+//! graph into graph-transaction sets mineable by FSG-style algorithms:
+//!
+//! * [`split`] — Algorithm 2: breadth-first / depth-first structural
+//!   partitioning (§5.2.1);
+//! * [`single_graph`] — Algorithm 1: repeated split-and-mine with
+//!   iso-class union (§5.2);
+//! * [`temporal`] — per-day active-edge partitioning with component
+//!   splitting, edge dedup, and size filtering (§6);
+//! * [`summary`] — transaction-set summaries in the exact shape of the
+//!   paper's Tables 2 and 3.
+
+pub mod multilevel;
+pub mod single_graph;
+pub mod split;
+pub mod summary;
+pub mod temporal;
+
+pub use multilevel::{
+    multilevel_partition, split_by_partition, split_graph_multilevel, MultilevelConfig,
+    VertexPartition,
+};
+pub use single_graph::{mine_single_graph, SingleGraphPattern};
+pub use split::{split_graph, Strategy};
+pub use summary::{summarize_set, TransactionSetSummary};
+pub use temporal::{daily_graphs, filter_by_vertex_labels, temporal_partition, TemporalOptions};

@@ -1,0 +1,169 @@
+//! Transaction-set summaries — the exact row layout of Tables 2 and 3.
+
+use tnet_graph::graph::Graph;
+use tnet_graph::hash::FxHashSet;
+
+/// Summary of a set of graph transactions, with every field Table 2 /
+/// Table 3 reports plus the paper's size histogram buckets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransactionSetSummary {
+    pub transactions: usize,
+    pub distinct_edge_labels: usize,
+    pub distinct_vertex_labels: usize,
+    pub avg_edges: f64,
+    pub avg_vertices: f64,
+    pub max_edges: usize,
+    pub max_vertices: usize,
+    /// Counts of transactions whose edge count falls in the paper's
+    /// buckets: [1,10), [10,100), [100,1000), [1000,2000), [2000,5000),
+    /// and >= 5000 (the paper's data never reaches the last bucket).
+    pub size_histogram: [usize; 6],
+}
+
+/// Bucket boundaries used by [`summarize_set`] (upper-exclusive).
+pub const SIZE_BUCKETS: [(usize, usize); 6] = [
+    (1, 10),
+    (10, 100),
+    (100, 1000),
+    (1000, 2000),
+    (2000, 5000),
+    (5000, usize::MAX),
+];
+
+/// Computes a [`TransactionSetSummary`].
+pub fn summarize_set(graphs: &[Graph]) -> TransactionSetSummary {
+    let mut elabels: FxHashSet<u32> = FxHashSet::default();
+    let mut vlabels: FxHashSet<u32> = FxHashSet::default();
+    let mut esum = 0usize;
+    let mut vsum = 0usize;
+    let mut emax = 0usize;
+    let mut vmax = 0usize;
+    let mut hist = [0usize; 6];
+    for g in graphs {
+        for e in g.edges() {
+            elabels.insert(g.edge_label(e).0);
+        }
+        for v in g.vertices() {
+            vlabels.insert(g.vertex_label(v).0);
+        }
+        let ec = g.edge_count();
+        esum += ec;
+        vsum += g.vertex_count();
+        emax = emax.max(ec);
+        vmax = vmax.max(g.vertex_count());
+        for (i, &(lo, hi)) in SIZE_BUCKETS.iter().enumerate() {
+            if ec >= lo && ec < hi {
+                hist[i] += 1;
+                break;
+            }
+        }
+    }
+    let n = graphs.len().max(1) as f64;
+    TransactionSetSummary {
+        transactions: graphs.len(),
+        distinct_edge_labels: elabels.len(),
+        distinct_vertex_labels: vlabels.len(),
+        avg_edges: esum as f64 / n,
+        avg_vertices: vsum as f64 / n,
+        max_edges: emax,
+        max_vertices: vmax,
+        size_histogram: hist,
+    }
+}
+
+impl std::fmt::Display for TransactionSetSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Number of Input Transactions: {}", self.transactions)?;
+        writeln!(f, "Number of Distinct Edge Labels: {}", self.distinct_edge_labels)?;
+        writeln!(
+            f,
+            "Number of Distinct Vertex Labels: {}",
+            self.distinct_vertex_labels
+        )?;
+        writeln!(
+            f,
+            "Average Number of Edges In a Transaction: {:.0}",
+            self.avg_edges
+        )?;
+        writeln!(
+            f,
+            "Average Number of Vertices In a Transaction: {:.0}",
+            self.avg_vertices
+        )?;
+        writeln!(f, "Max Number of Edges In a Transaction: {}", self.max_edges)?;
+        writeln!(
+            f,
+            "Max Number of Vertices In a Transaction: {}",
+            self.max_vertices
+        )?;
+        for (i, &(lo, hi)) in SIZE_BUCKETS.iter().enumerate() {
+            if hi == usize::MAX {
+                if self.size_histogram[i] > 0 {
+                    writeln!(
+                        f,
+                        "The Number of Graph Transactions with Size {lo}+: {}",
+                        self.size_histogram[i]
+                    )?;
+                }
+            } else {
+                writeln!(
+                    f,
+                    "The Number of Graph Transactions with Size between {lo} to {hi}: {}",
+                    self.size_histogram[i]
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_graph::generate::shapes;
+
+    #[test]
+    fn summary_fields() {
+        let graphs = vec![
+            shapes::chain(2, 0, 1),         // 2 edges, 3 vertices
+            shapes::hub_and_spoke(12, 1, 2), // 12 edges, 13 vertices
+        ];
+        let s = summarize_set(&graphs);
+        assert_eq!(s.transactions, 2);
+        assert_eq!(s.distinct_edge_labels, 2);
+        assert_eq!(s.distinct_vertex_labels, 2);
+        assert_eq!(s.avg_edges, 7.0);
+        assert_eq!(s.avg_vertices, 8.0);
+        assert_eq!(s.max_edges, 12);
+        assert_eq!(s.max_vertices, 13);
+        assert_eq!(s.size_histogram, [1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let graphs = vec![
+            shapes::chain(1, 0, 0),
+            shapes::chain(9, 0, 0),
+            shapes::chain(10, 0, 0),
+            shapes::chain(150, 0, 0),
+        ];
+        let s = summarize_set(&graphs);
+        assert_eq!(s.size_histogram, [2, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = summarize_set(&[]);
+        assert_eq!(s.transactions, 0);
+        assert_eq!(s.avg_edges, 0.0);
+        assert_eq!(s.size_histogram, [0; 6]);
+    }
+
+    #[test]
+    fn display_matches_paper_layout() {
+        let graphs = vec![shapes::chain(2, 0, 1)];
+        let txt = summarize_set(&graphs).to_string();
+        assert!(txt.contains("Number of Input Transactions: 1"));
+        assert!(txt.contains("Size between 1 to 10: 1"));
+    }
+}

@@ -1,0 +1,240 @@
+//! §6 temporal partitioning: one graph transaction per day.
+//!
+//! "we partitioned each graph into a set of graph transactions based on
+//! date. Each graph represented all active OD pairs on that date" — a
+//! transaction is active on day `d` when `pickup <= d <= delivery`.
+//! Vertices carry unique per-location labels; edges carry gross-weight
+//! bins. The §6 pipeline then:
+//!
+//! 1. splits disconnected daily graphs into connected components,
+//! 2. removes duplicate edges (FSG operates on simple graphs),
+//! 3. drops single-edge transactions ("not producing interesting
+//!    patterns").
+
+use std::collections::HashMap;
+use tnet_data::binning::BinScheme;
+use tnet_data::model::{LatLon, Transaction};
+use tnet_graph::graph::{ELabel, Graph, VLabel, VertexId};
+use tnet_graph::traverse::split_components;
+
+/// Options for the §6 pipeline.
+#[derive(Clone, Debug)]
+pub struct TemporalOptions {
+    /// Split each daily graph into weakly connected components.
+    pub split_components: bool,
+    /// Remove duplicate `(src, dst, label)` edges within a transaction.
+    pub dedup_edges: bool,
+    /// Drop transactions with fewer than this many edges (the paper drops
+    /// single-edge transactions, i.e. `min_edges = 2`).
+    pub min_edges: usize,
+}
+
+impl Default for TemporalOptions {
+    fn default() -> Self {
+        TemporalOptions {
+            split_components: true,
+            dedup_edges: true,
+            min_edges: 2,
+        }
+    }
+}
+
+/// The per-day graph transactions before the component/dedup pipeline —
+/// what Table 2 summarizes.
+pub fn daily_graphs(txns: &[Transaction], scheme: &BinScheme) -> Vec<Graph> {
+    if txns.is_empty() {
+        return Vec::new();
+    }
+    // Global location -> label mapping so "the same edge ... may appear in
+    // several graph transactions" with identical labels across days.
+    let mut loc_label: HashMap<LatLon, u32> = HashMap::new();
+    let mut next = 0u32;
+    let mut label_of = |loc: LatLon| -> u32 {
+        *loc_label.entry(loc).or_insert_with(|| {
+            let l = next;
+            next += 1;
+            l
+        })
+    };
+    let first = txns.iter().map(|t| t.req_pickup).min().unwrap();
+    let last = txns.iter().map(|t| t.req_delivery).max().unwrap();
+
+    // Bucket transactions by active day to avoid a full scan per day.
+    let span = (last.day() - first.day() + 1) as usize;
+    let mut by_day: Vec<Vec<&Transaction>> = vec![Vec::new(); span];
+    for t in txns {
+        for d in t.req_pickup.day()..=t.req_delivery.day() {
+            by_day[(d - first.day()) as usize].push(t);
+        }
+    }
+
+    let mut out = Vec::with_capacity(span);
+    for day_txns in &by_day {
+        let mut g = Graph::new();
+        let mut vertex_of: HashMap<LatLon, VertexId> = HashMap::new();
+        for t in day_txns {
+            for loc in [t.origin, t.dest] {
+                if !vertex_of.contains_key(&loc) {
+                    let v = g.add_vertex(VLabel(label_of(loc)));
+                    vertex_of.insert(loc, v);
+                }
+            }
+            g.add_edge(
+                vertex_of[&t.origin],
+                vertex_of[&t.dest],
+                ELabel(scheme.weight.bin(t.gross_weight)),
+            );
+        }
+        if g.edge_count() > 0 {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Runs the full §6 pipeline: daily graphs → component split → edge dedup
+/// → minimum-size filter. Returns the FSG-ready transaction set.
+pub fn temporal_partition(
+    txns: &[Transaction],
+    scheme: &BinScheme,
+    opts: &TemporalOptions,
+) -> Vec<Graph> {
+    let mut graphs = daily_graphs(txns, scheme);
+    if opts.split_components {
+        graphs = graphs.iter().flat_map(split_components).collect();
+    }
+    if opts.dedup_edges {
+        for g in &mut graphs {
+            g.dedup_edges();
+        }
+    }
+    graphs.retain(|g| g.edge_count() >= opts.min_edges);
+    graphs
+}
+
+/// Keeps only transactions whose distinct-vertex-label count is below
+/// `limit` — the paper's workaround for FSG's memory exhaustion ("when we
+/// limited the data to dates with fewer than 200 distinct vertex labels").
+pub fn filter_by_vertex_labels(graphs: Vec<Graph>, limit: usize) -> Vec<Graph> {
+    graphs
+        .into_iter()
+        .filter(|g| g.vertex_label_histogram().len() < limit)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_data::model::{Date, TransMode};
+
+    fn txn(id: u64, o: (f64, f64), d: (f64, f64), pickup: u32, delivery: u32, w: f64) -> Transaction {
+        Transaction {
+            id,
+            req_pickup: Date(pickup),
+            req_delivery: Date(delivery),
+            origin: LatLon::new(o.0, o.1),
+            dest: LatLon::new(d.0, d.1),
+            total_distance: 150.0,
+            gross_weight: w,
+            transit_hours: 12.0,
+            mode: TransMode::Truckload,
+        }
+    }
+
+    const A: (f64, f64) = (44.5, -88.0);
+    const B: (f64, f64) = (41.9, -87.6);
+    const C: (f64, f64) = (39.1, -84.5);
+    const D: (f64, f64) = (33.7, -84.4);
+    const E: (f64, f64) = (29.8, -95.4);
+
+    #[test]
+    fn active_window_spans_days() {
+        // One shipment active days 2..=4 appears in three daily graphs.
+        let txns = vec![txn(1, A, B, 2, 4, 30_000.0)];
+        let graphs = daily_graphs(&txns, &BinScheme::paper_defaults());
+        assert_eq!(graphs.len(), 3);
+        for g in &graphs {
+            assert_eq!(g.edge_count(), 1);
+            assert_eq!(g.vertex_count(), 2);
+        }
+    }
+
+    #[test]
+    fn location_labels_consistent_across_days() {
+        let txns = vec![txn(1, A, B, 0, 0, 30_000.0), txn(2, A, C, 3, 3, 30_000.0)];
+        let graphs = daily_graphs(&txns, &BinScheme::paper_defaults());
+        assert_eq!(graphs.len(), 2);
+        // A's label must be identical in both daily graphs.
+        let label_a_day0 = {
+            let g = &graphs[0];
+            let e = g.edges().next().unwrap();
+            g.vertex_label(g.edge_src(e))
+        };
+        let label_a_day3 = {
+            let g = &graphs[1];
+            let e = g.edges().next().unwrap();
+            g.vertex_label(g.edge_src(e))
+        };
+        assert_eq!(label_a_day0, label_a_day3);
+    }
+
+    #[test]
+    fn pipeline_splits_components_and_filters() {
+        // Day 0: two disconnected 2-edge structures + one isolated edge.
+        let txns = vec![
+            txn(1, A, B, 0, 0, 30_000.0),
+            txn(2, B, C, 0, 0, 30_000.0),
+            txn(3, D, E, 0, 0, 30_000.0),
+        ];
+        let parts = temporal_partition(&txns, &BinScheme::paper_defaults(), &TemporalOptions::default());
+        // Component {A,B,C} has 2 edges (kept); component {D,E} has 1
+        // edge (dropped).
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].edge_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_removed() {
+        // Two same-day same-pair same-bin shipments collapse to one edge;
+        // a third edge keeps the transaction above min_edges.
+        let txns = vec![
+            txn(1, A, B, 0, 0, 30_000.0),
+            txn(2, A, B, 0, 0, 31_000.0), // same weight bin
+            txn(3, B, C, 0, 0, 30_000.0),
+        ];
+        let parts = temporal_partition(&txns, &BinScheme::paper_defaults(), &TemporalOptions::default());
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].edge_count(), 2);
+    }
+
+    #[test]
+    fn different_bins_are_not_duplicates() {
+        let txns = vec![
+            txn(1, A, B, 0, 0, 30_000.0),
+            txn(2, A, B, 0, 0, 800_000.0), // very heavy: different bin
+        ];
+        let parts = temporal_partition(&txns, &BinScheme::paper_defaults(), &TemporalOptions::default());
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].edge_count(), 2);
+    }
+
+    #[test]
+    fn vertex_label_filter() {
+        let txns = vec![
+            txn(1, A, B, 0, 0, 30_000.0),
+            txn(2, B, C, 0, 0, 30_000.0),
+            txn(3, C, D, 1, 1, 30_000.0),
+            txn(4, D, E, 1, 1, 30_000.0),
+        ];
+        let parts = temporal_partition(&txns, &BinScheme::paper_defaults(), &TemporalOptions::default());
+        assert_eq!(parts.len(), 2);
+        let kept = filter_by_vertex_labels(parts, 3);
+        assert!(kept.is_empty(), "both transactions have 3 distinct labels");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(daily_graphs(&[], &BinScheme::paper_defaults()).is_empty());
+        assert!(temporal_partition(&[], &BinScheme::paper_defaults(), &TemporalOptions::default()).is_empty());
+    }
+}

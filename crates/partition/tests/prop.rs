@@ -1,0 +1,95 @@
+//! Property tests for the partitioners: Algorithm 2 must conserve the
+//! labeled edge multiset for any graph, any partition count, and both
+//! strategies — the foundation of the "frequent in a partition ⇒
+//! frequent in the graph" argument.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tnet_graph::graph::{ELabel, Graph, VLabel, VertexId};
+use tnet_partition::split::{split_graph, Strategy as SplitStrategy};
+
+type RawEdge = (usize, usize, u32);
+
+fn raw_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = (Vec<u32>, Vec<RawEdge>)> {
+    (2..=max_v).prop_flat_map(move |nv| {
+        let vlabels = proptest::collection::vec(0u32..2, nv);
+        let edges = proptest::collection::vec((0..nv, 0..nv, 0u32..4), 1..=max_e);
+        (vlabels, edges)
+    })
+}
+
+fn build(vlabels: &[u32], edges: &[RawEdge]) -> Graph {
+    let mut g = Graph::new();
+    let vs: Vec<VertexId> = vlabels.iter().map(|&l| g.add_vertex(VLabel(l))).collect();
+    for &(s, d, l) in edges {
+        g.add_edge(vs[s], vs[d], ELabel(l));
+    }
+    g
+}
+
+fn labeled_edge_multiset(g: &Graph) -> Vec<(u32, u32, u32)> {
+    let mut v: Vec<(u32, u32, u32)> = g
+        .edges()
+        .map(|e| {
+            let (s, d, l) = g.edge(e);
+            (g.vertex_label(s).0, l.0, g.vertex_label(d).0)
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every edge lands in exactly one transaction, with labels intact.
+    #[test]
+    fn split_conserves_edges(
+        (vl, es) in raw_graph(10, 25),
+        k in 1usize..6,
+        bf in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let g = build(&vl, &es);
+        let strategy = if bf { SplitStrategy::BreadthFirst } else { SplitStrategy::DepthFirst };
+        let parts = split_graph(&g, k, strategy, &mut StdRng::seed_from_u64(seed));
+        let total: usize = parts.iter().map(|p| p.edge_count()).sum();
+        prop_assert_eq!(total, g.edge_count());
+        let mut got: Vec<(u32, u32, u32)> = Vec::new();
+        for p in &parts {
+            got.extend(labeled_edge_multiset(p));
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, labeled_edge_multiset(&g));
+    }
+
+    /// No transaction contains orphan vertices, and none is empty.
+    #[test]
+    fn split_transactions_are_clean(
+        (vl, es) in raw_graph(10, 25),
+        k in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let g = build(&vl, &es);
+        let parts = split_graph(&g, k, SplitStrategy::BreadthFirst, &mut StdRng::seed_from_u64(seed));
+        for p in &parts {
+            prop_assert!(p.edge_count() > 0);
+            for v in p.vertices() {
+                prop_assert!(p.incident_edges(v).next().is_some());
+            }
+        }
+    }
+
+    /// Larger k never yields fewer transactions (up to the edge supply).
+    #[test]
+    fn partition_count_tracks_k(
+        (vl, es) in raw_graph(10, 30),
+        seed in 0u64..200,
+    ) {
+        let g = build(&vl, &es);
+        let n1 = split_graph(&g, 2, SplitStrategy::DepthFirst, &mut StdRng::seed_from_u64(seed)).len();
+        let n2 = split_graph(&g, 8, SplitStrategy::DepthFirst, &mut StdRng::seed_from_u64(seed)).len();
+        prop_assert!(n2 >= n1.min(g.edge_count()) || n2 == g.edge_count());
+    }
+}

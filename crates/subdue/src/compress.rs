@@ -1,0 +1,216 @@
+//! Graph compression and hierarchical discovery.
+//!
+//! "By replacing previously discovered substructures in the data,
+//! multiple passes produce a hierarchical description of the structural
+//! regularities in the data."
+
+use crate::discover::{discover, SubdueConfig, SubdueOutput};
+use crate::substructure::Substructure;
+use tnet_graph::graph::{Graph, VLabel, VertexId};
+use tnet_graph::hash::FxHashMap;
+
+/// Replaces each vertex-disjoint instance of `sub` in `g` with a single
+/// marker vertex labeled `marker`. Edges between an instance and the rest
+/// of the graph are re-attached to the marker vertex; edges internal to an
+/// instance disappear. Returns the compressed graph.
+pub fn compress(g: &Graph, sub: &Substructure, marker: VLabel) -> Graph {
+    let disjoint = sub.disjoint_instances();
+    // Map every absorbed vertex to its instance index, and collect the
+    // edges that belong to the instances. Only those edges disappear: a
+    // parallel edge between two absorbed vertices that is *not* part of
+    // the instance is real traffic and re-attaches to the marker (as a
+    // self-loop when both endpoints collapse into one instance).
+    let mut absorbed: FxHashMap<VertexId, usize> = FxHashMap::default();
+    let mut absorbed_edges: tnet_graph::hash::FxHashSet<tnet_graph::graph::EdgeId> =
+        Default::default();
+    for (i, inst) in disjoint.iter().enumerate() {
+        for &v in &inst.vertices {
+            absorbed.insert(v, i);
+        }
+        absorbed_edges.extend(inst.edges.iter().copied());
+    }
+    let mut out = Graph::new();
+    let mut vmap: FxHashMap<VertexId, VertexId> = FxHashMap::default();
+    let mut markers: Vec<Option<VertexId>> = vec![None; disjoint.len()];
+    // Keep untouched vertices.
+    for v in g.vertices() {
+        if !absorbed.contains_key(&v) {
+            vmap.insert(v, out.add_vertex(g.vertex_label(v)));
+        }
+    }
+    let mut marker_of = |i: usize, out: &mut Graph| -> VertexId {
+        if let Some(m) = markers[i] {
+            m
+        } else {
+            let m = out.add_vertex(marker);
+            markers[i] = Some(m);
+            m
+        }
+    };
+    for e in g.edges() {
+        if absorbed_edges.contains(&e) {
+            continue; // an instance's own edge: absorbed
+        }
+        let (s, d, l) = g.edge(e);
+        let ns = match absorbed.get(&s) {
+            Some(&i) => marker_of(i, &mut out),
+            None => vmap[&s],
+        };
+        let nd = match absorbed.get(&d) {
+            Some(&j) => marker_of(j, &mut out),
+            None => vmap[&d],
+        };
+        out.add_edge(ns, nd, l);
+    }
+    // Instances with no external edges still need their marker vertex.
+    for i in 0..disjoint.len() {
+        marker_of(i, &mut out);
+    }
+    out
+}
+
+/// One level of a hierarchical description.
+#[derive(Clone, Debug)]
+pub struct HierarchyLevel {
+    /// Best substructure discovered at this level.
+    pub substructure: Substructure,
+    /// Marker label it was replaced with.
+    pub marker: VLabel,
+    /// Graph size (vertices + edges) after compression.
+    pub compressed_size: usize,
+    /// Full discovery output of the pass.
+    pub output: SubdueOutput,
+}
+
+/// Runs `passes` discover-and-compress rounds, producing SUBDUE's
+/// hierarchical description. Stops early when a pass finds nothing or
+/// compression stops shrinking the graph. Marker labels start above the
+/// graph's current maximum vertex label.
+pub fn hierarchical(g: &Graph, cfg: &SubdueConfig, passes: usize) -> Vec<HierarchyLevel> {
+    let mut current = g.clone();
+    let mut levels = Vec::new();
+    let mut next_marker = current
+        .vertex_label_histogram()
+        .keys()
+        .map(|l| l.0)
+        .max()
+        .map_or(0, |m| m + 1);
+    for _ in 0..passes {
+        let out = discover(&current, cfg);
+        let Some(best) = out.best.first().cloned() else {
+            break;
+        };
+        if best.value <= 1.0 {
+            break; // no longer compressing
+        }
+        let marker = VLabel(next_marker);
+        next_marker += 1;
+        let compressed = compress(&current, &best, marker);
+        if compressed.size() >= current.size() {
+            break;
+        }
+        levels.push(HierarchyLevel {
+            substructure: best,
+            marker,
+            compressed_size: compressed.size(),
+            output: out,
+        });
+        current = compressed;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalMethod;
+    use crate::substructure::{expand, initial_substructures};
+    use tnet_graph::generate::{plant_patterns, shapes};
+    use tnet_graph::graph::ELabel;
+
+    /// Two disjoint a->b edges plus a bridge b1->a2.
+    fn bridge_graph() -> Graph {
+        let mut g = Graph::new();
+        let a1 = g.add_vertex(VLabel(0));
+        let b1 = g.add_vertex(VLabel(0));
+        let a2 = g.add_vertex(VLabel(0));
+        let b2 = g.add_vertex(VLabel(0));
+        g.add_edge(a1, b1, ELabel(0));
+        g.add_edge(a2, b2, ELabel(0));
+        g.add_edge(b1, a2, ELabel(5));
+        g
+    }
+
+    #[test]
+    fn compress_replaces_instances_and_reattaches() {
+        let g = bridge_graph();
+        // Substructure: the 1-edge label-0 pattern with its 2 instances.
+        let init = initial_substructures(&g);
+        let subs = expand(&g, &init[0]);
+        let sub = subs
+            .iter()
+            .find(|s| s.pattern.edge_label(s.pattern.edges().next().unwrap()) == ELabel(0))
+            .unwrap();
+        assert_eq!(sub.disjoint_count(), 2);
+        let compressed = compress(&g, sub, VLabel(99));
+        // Two marker vertices joined by the bridge edge.
+        assert_eq!(compressed.vertex_count(), 2);
+        assert_eq!(compressed.edge_count(), 1);
+        let e = compressed.edges().next().unwrap();
+        assert_eq!(compressed.edge_label(e), ELabel(5));
+        for v in compressed.vertices() {
+            assert_eq!(compressed.vertex_label(v), VLabel(99));
+        }
+    }
+
+    #[test]
+    fn compress_keeps_untouched_parts() {
+        let mut g = bridge_graph();
+        let iso = g.add_vertex(VLabel(7)); // unrelated vertex
+        let b2 = g.vertices().nth(3).unwrap();
+        g.add_edge(b2, iso, ELabel(9));
+        let init = initial_substructures(&g);
+        let subs = expand(&g, &init[0]);
+        let sub = subs
+            .iter()
+            .find(|s| {
+                s.pattern.edge_label(s.pattern.edges().next().unwrap()) == ELabel(0)
+                    && s.disjoint_count() == 2
+            })
+            .unwrap();
+        let compressed = compress(&g, sub, VLabel(99));
+        // 2 markers + label-7 vertex; bridge + external edge survive.
+        assert_eq!(compressed.vertex_count(), 3);
+        assert_eq!(compressed.edge_count(), 2);
+        assert!(compressed
+            .vertices()
+            .any(|v| compressed.vertex_label(v) == VLabel(7)));
+    }
+
+    #[test]
+    fn hierarchical_compresses_planted_structure() {
+        let planted = plant_patterns(&[shapes::hub_and_spoke(3, 0, 1)], 6, 4, 2, 5);
+        let cfg = SubdueConfig {
+            eval: EvalMethod::Size,
+            beam_width: 6,
+            max_best: 3,
+            max_size: 8,
+            ..Default::default()
+        };
+        let levels = hierarchical(&planted.graph, &cfg, 3);
+        assert!(!levels.is_empty());
+        assert!(levels[0].compressed_size < planted.graph.size());
+        // Sizes shrink monotonically across levels.
+        for w in levels.windows(2) {
+            assert!(w[1].compressed_size < w[0].compressed_size);
+        }
+    }
+
+    #[test]
+    fn hierarchical_stops_on_incompressible() {
+        // A single edge cannot compress (needs >= 2 instances).
+        let g = shapes::chain(1, 0, 1);
+        let levels = hierarchical(&g, &SubdueConfig::default(), 3);
+        assert!(levels.is_empty());
+    }
+}

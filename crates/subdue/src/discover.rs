@@ -1,0 +1,255 @@
+//! Beam-search substructure discovery (the SUBDUE main loop).
+//!
+//! Keeps a value-ordered open list truncated to `beam_width`, repeatedly
+//! expands the best substructure by one edge, and collects the best
+//! `max_best` substructures seen anywhere in the search. Termination: the
+//! open list empties, patterns reach `max_size`, or the expansion budget
+//! (`limit`) runs out.
+
+use crate::eval::{evaluate, EvalMethod, GraphContext};
+use crate::substructure::{expand, initial_substructures, Substructure};
+use std::time::{Duration, Instant};
+use tnet_graph::graph::Graph;
+
+/// Search configuration.
+#[derive(Clone, Debug)]
+pub struct SubdueConfig {
+    /// Open-list width.
+    pub beam_width: usize,
+    /// How many best substructures to report.
+    pub max_best: usize,
+    /// Maximum pattern size in SUBDUE units (vertices + edges).
+    pub max_size: usize,
+    /// Maximum substructure expansions before stopping. `None` uses
+    /// SUBDUE's own default of half the input graph's size
+    /// (vertices + edges) — the knob that keeps beam search from
+    /// exploring `beam^depth` candidates on dense graphs.
+    pub limit: Option<usize>,
+    pub eval: EvalMethod,
+    /// Ignore substructures with fewer than this many disjoint instances
+    /// (size-1 reporting noise filter; SUBDUE's minimum is 2 — a pattern
+    /// seen once compresses nothing).
+    pub min_instances: usize,
+}
+
+impl Default for SubdueConfig {
+    fn default() -> Self {
+        SubdueConfig {
+            beam_width: 4,
+            max_best: 3,
+            max_size: 15,
+            limit: None,
+            eval: EvalMethod::Mdl,
+            min_instances: 2,
+        }
+    }
+}
+
+/// Discovery output.
+#[derive(Clone, Debug)]
+pub struct SubdueOutput {
+    /// Best substructures, highest value first.
+    pub best: Vec<Substructure>,
+    /// Number of substructures expanded.
+    pub expanded: usize,
+    /// Number of candidate substructures evaluated.
+    pub evaluated: usize,
+    pub runtime: Duration,
+}
+
+/// Runs SUBDUE discovery on a single graph.
+pub fn discover(g: &Graph, cfg: &SubdueConfig) -> SubdueOutput {
+    assert!(cfg.beam_width > 0 && cfg.max_best > 0);
+    let start = Instant::now();
+    let ctx = GraphContext::of(g);
+    // SUBDUE's default expansion budget: half the input size.
+    let limit = cfg.limit.unwrap_or_else(|| (g.size() / 2).max(8));
+    let mut open: Vec<Substructure> = initial_substructures(g);
+    for s in &mut open {
+        s.value = 0.0; // single vertices never compress
+    }
+    let mut best: Vec<Substructure> = Vec::new();
+    let mut expanded = 0usize;
+    let mut evaluated = 0usize;
+
+    while let Some(parent) = open.pop() {
+        if expanded >= limit {
+            break;
+        }
+        if parent.size() + 1 > cfg.max_size {
+            continue;
+        }
+        expanded += 1;
+        let children = expand(g, &parent);
+        for mut child in children {
+            evaluated += 1;
+            if child.disjoint_count() < cfg.min_instances {
+                continue;
+            }
+            child.value = evaluate(cfg.eval, &ctx, &child);
+            consider_best(&mut best, &child, cfg.max_best);
+            if child.size() < cfg.max_size {
+                insert_beam(&mut open, child, cfg.beam_width);
+            }
+        }
+    }
+
+    SubdueOutput {
+        best,
+        expanded,
+        evaluated,
+        runtime: start.elapsed(),
+    }
+}
+
+/// Keeps `open` ascending by value (pop takes the best) and truncated to
+/// the beam width (dropping the worst from the front).
+fn insert_beam(open: &mut Vec<Substructure>, sub: Substructure, beam: usize) {
+    let pos = open.partition_point(|s| s.value <= sub.value);
+    open.insert(pos, sub);
+    if open.len() > beam {
+        open.remove(0);
+    }
+}
+
+/// Maintains the global best list (descending by value).
+fn consider_best(best: &mut Vec<Substructure>, cand: &Substructure, max_best: usize) {
+    let pos = best.partition_point(|s| s.value >= cand.value);
+    if pos >= max_best {
+        return;
+    }
+    best.insert(pos, cand.clone());
+    best.truncate(max_best);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_graph::generate::{plant_patterns, shapes};
+    use tnet_graph::graph::{ELabel, VLabel};
+    use tnet_graph::iso::{are_isomorphic, has_embedding};
+
+    fn repeated_edges_graph(n: usize) -> Graph {
+        let mut g = Graph::new();
+        for _ in 0..n {
+            let a = g.add_vertex(VLabel(0));
+            let b = g.add_vertex(VLabel(0));
+            g.add_edge(a, b, ELabel(0));
+        }
+        g
+    }
+
+    #[test]
+    fn finds_the_repeated_edge() {
+        let g = repeated_edges_graph(10);
+        let out = discover(&g, &SubdueConfig::default());
+        assert!(!out.best.is_empty());
+        let top = &out.best[0];
+        assert_eq!(top.pattern.edge_count(), 1);
+        assert_eq!(top.disjoint_count(), 10);
+        assert!(top.value > 1.0, "compression ratio should exceed 1");
+        assert!(out.expanded > 0 && out.evaluated > 0);
+    }
+
+    #[test]
+    fn finds_repeated_multi_edge_structure() {
+        // 6 disjoint copies of a 3-spoke hub, no noise.
+        let planted = plant_patterns(&[shapes::hub_and_spoke(3, 0, 1)], 6, 0, 1, 1);
+        let cfg = SubdueConfig {
+            beam_width: 6,
+            max_best: 3,
+            max_size: 8,
+            eval: EvalMethod::Size,
+            ..Default::default()
+        };
+        let out = discover(&planted.graph, &cfg);
+        let top = &out.best[0];
+        assert!(
+            are_isomorphic(&top.pattern, &shapes::hub_and_spoke(3, 0, 1)),
+            "expected the full hub, got {:?}",
+            top.pattern
+        );
+        assert_eq!(top.disjoint_count(), 6);
+    }
+
+    #[test]
+    fn best_patterns_occur_in_graph() {
+        let planted = plant_patterns(
+            &[shapes::chain(3, 0, 2), shapes::cycle(3, 0, 1)],
+            4,
+            10,
+            3,
+            7,
+        );
+        let out = discover(
+            &planted.graph,
+            &SubdueConfig {
+                eval: EvalMethod::Size,
+                beam_width: 8,
+                max_best: 5,
+                ..Default::default()
+            },
+        );
+        for s in &out.best {
+            assert!(has_embedding(&s.pattern, &planted.graph));
+            assert!(s.disjoint_count() >= 2);
+        }
+    }
+
+    #[test]
+    fn respects_max_size() {
+        let g = repeated_edges_graph(6);
+        let out = discover(
+            &g,
+            &SubdueConfig {
+                max_size: 3, // one edge + two vertices
+                ..Default::default()
+            },
+        );
+        for s in &out.best {
+            assert!(s.size() <= 3);
+        }
+    }
+
+    #[test]
+    fn respects_expansion_limit() {
+        let planted = plant_patterns(&[shapes::hub_and_spoke(4, 0, 1)], 5, 30, 4, 3);
+        let unlimited = discover(&planted.graph, &SubdueConfig::default());
+        let limited = discover(
+            &planted.graph,
+            &SubdueConfig {
+                limit: Some(2),
+                ..Default::default()
+            },
+        );
+        assert!(limited.expanded <= 2);
+        assert!(limited.expanded <= unlimited.expanded);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let out = discover(&Graph::new(), &SubdueConfig::default());
+        assert!(out.best.is_empty());
+        assert_eq!(out.expanded, 0);
+    }
+
+    #[test]
+    fn beam_insertion_order() {
+        let mk = |v: f64| {
+            let mut g = Graph::new();
+            g.add_vertex(VLabel(0));
+            Substructure {
+                pattern: g,
+                instances: vec![],
+                value: v,
+            }
+        };
+        let mut open = Vec::new();
+        for v in [0.5, 2.0, 1.0, 3.0] {
+            insert_beam(&mut open, mk(v), 3);
+        }
+        let values: Vec<f64> = open.iter().map(|s| s.value).collect();
+        assert_eq!(values, vec![1.0, 2.0, 3.0]); // 0.5 evicted, ascending
+        assert_eq!(open.pop().unwrap().value, 3.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Substructures and instance-based expansion.
+//!
+//! SUBDUE represents a candidate as a pattern graph *plus the concrete
+//! list of its instances* in the input graph. Expansion never runs a
+//! global subgraph-isomorphism search: each instance is extended by one
+//! adjacent edge, and the extended instances are regrouped by the
+//! isomorphism class of their induced pattern. This is the core trick
+//! that lets SUBDUE walk a single large graph.
+
+use tnet_graph::canon::IsoClassMap;
+use tnet_graph::graph::{EdgeId, Graph, VertexId};
+use tnet_graph::hash::{FxHashMap, FxHashSet};
+
+/// One concrete occurrence of a pattern: the target vertices and edges it
+/// covers. Vertex and edge lists are kept sorted so instances can be
+/// deduplicated structurally.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Instance {
+    pub vertices: Vec<VertexId>,
+    pub edges: Vec<EdgeId>,
+}
+
+impl Instance {
+    /// A single-vertex instance.
+    pub fn vertex(v: VertexId) -> Instance {
+        Instance {
+            vertices: vec![v],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Extends by one edge (and possibly one new endpoint), keeping the
+    /// lists sorted. Returns `None` if the edge is already present.
+    pub fn extended(&self, g: &Graph, e: EdgeId) -> Option<Instance> {
+        if self.edges.binary_search(&e).is_ok() {
+            return None;
+        }
+        let (s, d, _) = g.edge(e);
+        let mut vertices = self.vertices.clone();
+        for v in [s, d] {
+            if let Err(pos) = vertices.binary_search(&v) {
+                vertices.insert(pos, v);
+            }
+        }
+        let mut edges = self.edges.clone();
+        let pos = edges.binary_search(&e).unwrap_err();
+        edges.insert(pos, e);
+        Some(Instance { vertices, edges })
+    }
+
+    /// True if this instance shares a vertex with `other`.
+    pub fn overlaps(&self, other: &Instance) -> bool {
+        // Both sorted: linear merge scan.
+        let (mut i, mut j) = (0, 0);
+        while i < self.vertices.len() && j < other.vertices.len() {
+            match self.vertices[i].cmp(&other.vertices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// The pattern graph this instance realizes in `g` (labels copied).
+    pub fn pattern(&self, g: &Graph) -> Graph {
+        if self.edges.is_empty() {
+            let mut p = Graph::new();
+            for &v in &self.vertices {
+                p.add_vertex(g.vertex_label(v));
+            }
+            return p;
+        }
+        let (sub, vmap) = g.edge_subgraph(&self.edges);
+        debug_assert_eq!(vmap.len(), self.vertices.len());
+        sub
+    }
+}
+
+/// A pattern with its instances in the input graph.
+#[derive(Clone, Debug)]
+pub struct Substructure {
+    pub pattern: Graph,
+    /// All discovered instances (may mutually overlap).
+    pub instances: Vec<Instance>,
+    /// Evaluation score (set by the search; higher is better).
+    pub value: f64,
+}
+
+impl Substructure {
+    /// Size of the pattern as SUBDUE counts it: vertices + edges.
+    pub fn size(&self) -> usize {
+        self.pattern.size()
+    }
+
+    /// Greedy maximal set of pairwise vertex-disjoint instances ("without
+    /// allowing overlap", as the paper's experiments ran).
+    pub fn disjoint_instances(&self) -> Vec<&Instance> {
+        let mut used: FxHashSet<VertexId> = FxHashSet::default();
+        let mut out = Vec::new();
+        for inst in &self.instances {
+            if inst.vertices.iter().any(|v| used.contains(v)) {
+                continue;
+            }
+            used.extend(inst.vertices.iter().copied());
+            out.push(inst);
+        }
+        out
+    }
+
+    /// Number of vertex-disjoint instances.
+    pub fn disjoint_count(&self) -> usize {
+        self.disjoint_instances().len()
+    }
+}
+
+/// The initial substructure list: one per distinct vertex label, each
+/// holding every vertex with that label as an instance. Ordered by
+/// descending instance count.
+pub fn initial_substructures(g: &Graph) -> Vec<Substructure> {
+    let mut by_label: FxHashMap<u32, Vec<Instance>> = FxHashMap::default();
+    for v in g.vertices() {
+        by_label
+            .entry(g.vertex_label(v).0)
+            .or_default()
+            .push(Instance::vertex(v));
+    }
+    let mut out: Vec<Substructure> = by_label
+        .into_values()
+        .map(|instances| {
+            let pattern = instances[0].pattern(g);
+            Substructure {
+                pattern,
+                instances,
+                value: 0.0,
+            }
+        })
+        .collect();
+    out.sort_by_key(|s| std::cmp::Reverse(s.instances.len()));
+    out
+}
+
+/// Cap on instances kept per substructure. Dense uniformly-labeled
+/// graphs have combinatorially many embeddings of symmetric patterns
+/// (e.g. 2-edge paths through a hub); keeping them all makes expansion
+/// quadratic-and-worse. Real SUBDUE applies the same kind of cap. The
+/// cap only weakens instance counts (values become lower bounds), never
+/// reports false instances.
+pub const MAX_INSTANCES: usize = 4_000;
+
+/// Expands a substructure: every instance is grown by every adjacent
+/// unused edge; the grown instances are regrouped by pattern isomorphism
+/// class. Instances identical as vertex/edge sets are deduplicated;
+/// groups are truncated at [`MAX_INSTANCES`].
+pub fn expand(g: &Graph, sub: &Substructure) -> Vec<Substructure> {
+    let mut groups: IsoClassMap<Vec<Instance>> = IsoClassMap::new();
+    let mut seen: FxHashSet<(u64, usize)> = FxHashSet::default();
+    for inst in &sub.instances {
+        for &v in &inst.vertices {
+            for e in g.incident_edges(v) {
+                let Some(grown) = inst.extended(g, e) else {
+                    continue;
+                };
+                // Cheap structural dedup across the whole expansion:
+                // hash of the sorted edge list (+ vertex count) is exact
+                // because edge ids are unique.
+                let h = {
+                    use std::hash::{Hash, Hasher};
+                    let mut hasher = tnet_graph::hash::FxHasher::default();
+                    grown.edges.hash(&mut hasher);
+                    hasher.finish() ^ grown.vertices.len() as u64
+                };
+                if !seen.insert((h, grown.edges.len())) {
+                    continue;
+                }
+                let pattern = grown.pattern(g);
+                let group = groups.entry_or_insert_with(&pattern, Vec::new);
+                if group.len() < MAX_INSTANCES {
+                    group.push(grown);
+                }
+            }
+        }
+    }
+    groups
+        .into_iter_pairs()
+        .map(|(pattern, instances)| Substructure {
+            pattern,
+            instances,
+            value: 0.0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_graph::generate::shapes;
+    use tnet_graph::graph::{ELabel, VLabel};
+    use tnet_graph::iso::are_isomorphic;
+
+    #[test]
+    fn instance_extension_sorted_and_deduped() {
+        let g = shapes::chain(2, 0, 1);
+        let v0 = g.vertices().next().unwrap();
+        let e0 = g.edges().next().unwrap();
+        let inst = Instance::vertex(v0);
+        let grown = inst.extended(&g, e0).unwrap();
+        assert_eq!(grown.vertices.len(), 2);
+        assert_eq!(grown.edges, vec![e0]);
+        assert!(grown.extended(&g, e0).is_none(), "edge reuse rejected");
+        assert!(grown.vertices.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Instance {
+            vertices: vec![VertexId(0), VertexId(2)],
+            edges: vec![],
+        };
+        let b = Instance {
+            vertices: vec![VertexId(1), VertexId(2)],
+            edges: vec![],
+        };
+        let c = Instance {
+            vertices: vec![VertexId(3)],
+            edges: vec![],
+        };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn initial_substructures_by_label() {
+        let mut g = Graph::new();
+        for i in 0..5 {
+            g.add_vertex(VLabel(i % 2));
+        }
+        let init = initial_substructures(&g);
+        assert_eq!(init.len(), 2);
+        assert_eq!(init[0].instances.len(), 3); // label 0: vertices 0,2,4
+        assert_eq!(init[1].instances.len(), 2);
+    }
+
+    #[test]
+    fn expansion_of_uniform_hub() {
+        let g = shapes::hub_and_spoke(4, 0, 1);
+        let init = initial_substructures(&g);
+        assert_eq!(init.len(), 1);
+        assert_eq!(init[0].instances.len(), 5);
+        let expanded = expand(&g, &init[0]);
+        // Only one 1-edge pattern class exists (0 -1-> 0); 4 instances.
+        assert_eq!(expanded.len(), 1);
+        assert_eq!(expanded[0].instances.len(), 4);
+        assert_eq!(expanded[0].pattern.edge_count(), 1);
+    }
+
+    #[test]
+    fn expansion_groups_by_label() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(VLabel(0));
+        let b = g.add_vertex(VLabel(0));
+        let c = g.add_vertex(VLabel(0));
+        g.add_edge(a, b, ELabel(1));
+        g.add_edge(b, c, ELabel(2));
+        let init = initial_substructures(&g);
+        let expanded = expand(&g, &init[0]);
+        assert_eq!(expanded.len(), 2, "two distinct edge-label classes");
+        for s in &expanded {
+            assert_eq!(s.instances.len(), 1);
+        }
+    }
+
+    #[test]
+    fn two_step_expansion_reaches_two_edge_patterns() {
+        let g = shapes::chain(4, 0, 1);
+        let init = initial_substructures(&g);
+        let one_edge = expand(&g, &init[0]);
+        assert_eq!(one_edge.len(), 1);
+        let two_edge: Vec<Substructure> = expand(&g, &one_edge[0]);
+        // Chains only: the 2-edge path pattern.
+        assert_eq!(two_edge.len(), 1);
+        assert!(are_isomorphic(&two_edge[0].pattern, &shapes::chain(2, 0, 1)));
+        assert_eq!(two_edge[0].instances.len(), 3);
+    }
+
+    #[test]
+    fn disjoint_instances_greedy() {
+        let g = shapes::chain(3, 0, 1); // v0-v1-v2-v3
+        let init = initial_substructures(&g);
+        let one_edge = expand(&g, &init[0]);
+        let sub = &one_edge[0];
+        assert_eq!(sub.instances.len(), 3);
+        assert_eq!(sub.disjoint_count(), 2); // e0 and e2
+    }
+
+    #[test]
+    fn pattern_of_vertex_instance() {
+        let mut g = Graph::new();
+        let v = g.add_vertex(VLabel(9));
+        let p = Instance::vertex(v).pattern(&g);
+        assert_eq!(p.vertex_count(), 1);
+        assert_eq!(p.edge_count(), 0);
+        assert_eq!(p.vertex_label(p.vertices().next().unwrap()), VLabel(9));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for SUBDUE: discovered substructures must be real
+//! (instances actually realize the pattern), disjoint instance sets must
+//! be disjoint, and compression must conserve the untouched part of the
+//! graph.
+
+use proptest::prelude::*;
+use tnet_graph::graph::{ELabel, Graph, VLabel, VertexId};
+use tnet_graph::iso::has_embedding;
+use tnet_subdue::{compress, discover, EvalMethod, SubdueConfig};
+
+type RawEdge = (usize, usize, u32);
+
+fn raw_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = (Vec<u32>, Vec<RawEdge>)> {
+    (2..=max_v).prop_flat_map(move |nv| {
+        let vlabels = proptest::collection::vec(0u32..2, nv);
+        let edges = proptest::collection::vec((0..nv, 0..nv, 0u32..3), 1..=max_e);
+        (vlabels, edges)
+    })
+}
+
+fn build(vlabels: &[u32], edges: &[RawEdge]) -> Graph {
+    let mut g = Graph::new();
+    let vs: Vec<VertexId> = vlabels.iter().map(|&l| g.add_vertex(VLabel(l))).collect();
+    for &(s, d, l) in edges {
+        g.add_edge(vs[s], vs[d], ELabel(l));
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every reported substructure occurs in the graph; every instance
+    /// realizes the pattern (size match) and disjoint instances are
+    /// vertex-disjoint.
+    #[test]
+    fn substructures_are_real((vl, es) in raw_graph(8, 14), size_eval in any::<bool>()) {
+        let g = build(&vl, &es);
+        let cfg = SubdueConfig {
+            eval: if size_eval { EvalMethod::Size } else { EvalMethod::Mdl },
+            beam_width: 4,
+            max_best: 4,
+            max_size: 8,
+            ..Default::default()
+        };
+        let out = discover(&g, &cfg);
+        for sub in &out.best {
+            prop_assert!(has_embedding(&sub.pattern, &g));
+            prop_assert!(sub.disjoint_count() >= 2);
+            for inst in &sub.instances {
+                prop_assert_eq!(inst.vertices.len(), sub.pattern.vertex_count());
+                prop_assert_eq!(inst.edges.len(), sub.pattern.edge_count());
+            }
+            let disjoint = sub.disjoint_instances();
+            let mut used = std::collections::HashSet::new();
+            for inst in &disjoint {
+                for v in &inst.vertices {
+                    prop_assert!(used.insert(*v), "overlapping 'disjoint' instances");
+                }
+            }
+            prop_assert!(sub.value.is_finite());
+        }
+    }
+
+    /// Compression: marker count equals disjoint instance count, and the
+    /// compressed graph never gains size.
+    #[test]
+    fn compression_accounting((vl, es) in raw_graph(8, 14)) {
+        let g = build(&vl, &es);
+        let out = discover(
+            &g,
+            &SubdueConfig {
+                eval: EvalMethod::Size,
+                max_size: 6,
+                ..Default::default()
+            },
+        );
+        if let Some(best) = out.best.first() {
+            let n = best.disjoint_count();
+            let marker = VLabel(999);
+            let compressed = compress(&g, best, marker);
+            let markers = compressed
+                .vertices()
+                .filter(|&v| compressed.vertex_label(v) == marker)
+                .count();
+            prop_assert_eq!(markers, n);
+            prop_assert!(compressed.size() <= g.size());
+            // Exact arithmetic: vertices drop by n*(pv-1), edges by n*pe.
+            let pv = best.pattern.vertex_count();
+            let pe = best.pattern.edge_count();
+            prop_assert_eq!(compressed.vertex_count(), g.vertex_count() - n * (pv - 1));
+            prop_assert_eq!(compressed.edge_count(), g.edge_count() - n * pe);
+        }
+    }
+}

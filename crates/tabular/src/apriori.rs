@@ -1,0 +1,355 @@
+//! Apriori frequent-itemset and association-rule mining (§7.1).
+//!
+//! Items are `(column, value)` pairs over the nominal columns of a table;
+//! numeric columns must be discretized first. Rule rendering matches the
+//! paper's notation, e.g.
+//! `ORIGIN_LONGITUDE(X,(-84.76,-75.43]) -> ORIGIN_LATITUDE(X,(39.8,44.08])`.
+
+use crate::table::{Column, Table};
+use std::collections::HashMap;
+
+/// An item: nominal column index and value index within it.
+pub type Item = (u16, u32);
+
+/// A frequent itemset with its absolute support.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ItemSet {
+    /// Sorted items.
+    pub items: Vec<Item>,
+    pub support: usize,
+}
+
+/// An association rule `antecedent -> consequent` (single-item
+/// consequent, Weka's default style for readable output).
+#[derive(Clone, Debug)]
+pub struct Rule {
+    pub antecedent: Vec<Item>,
+    pub consequent: Item,
+    pub support: usize,
+    pub confidence: f64,
+    pub lift: f64,
+}
+
+/// Mining parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AprioriConfig {
+    /// Minimum support as a fraction of rows.
+    pub min_support: f64,
+    /// Minimum rule confidence.
+    pub min_confidence: f64,
+    /// Maximum itemset size.
+    pub max_items: usize,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        AprioriConfig {
+            min_support: 0.1,
+            min_confidence: 0.8,
+            max_items: 4,
+        }
+    }
+}
+
+/// Row representation: the item present in each nominal column.
+fn rows_as_items(t: &Table) -> (Vec<Vec<Item>>, Vec<u16>) {
+    let nominal_cols: Vec<u16> = (0..t.column_count())
+        .filter(|&i| !t.column(i).is_numeric())
+        .map(|i| i as u16)
+        .collect();
+    let mut rows = vec![Vec::with_capacity(nominal_cols.len()); t.rows()];
+    for &c in &nominal_cols {
+        if let Column::Nominal { values, .. } = t.column(c as usize) {
+            for (r, &v) in values.iter().enumerate() {
+                rows[r].push((c, v));
+            }
+        }
+    }
+    (rows, nominal_cols)
+}
+
+fn row_contains(row: &[Item], items: &[Item]) -> bool {
+    items.iter().all(|it| row.contains(it))
+}
+
+/// Mines frequent itemsets (size >= 1) with the Apriori levelwise scheme.
+pub fn frequent_itemsets(t: &Table, cfg: &AprioriConfig) -> Vec<ItemSet> {
+    let (rows, _) = rows_as_items(t);
+    let min_count = ((cfg.min_support * t.rows() as f64).ceil() as usize).max(1);
+
+    // Level 1.
+    let mut counts: HashMap<Item, usize> = HashMap::new();
+    for row in &rows {
+        for &it in row {
+            *counts.entry(it).or_insert(0) += 1;
+        }
+    }
+    let mut frequent: Vec<ItemSet> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .map(|(it, c)| ItemSet {
+            items: vec![it],
+            support: c,
+        })
+        .collect();
+    frequent.sort_by(|a, b| a.items.cmp(&b.items));
+    let mut all = frequent.clone();
+
+    let mut level = 1usize;
+    while !frequent.is_empty() && level < cfg.max_items {
+        level += 1;
+        // Join step: pairs sharing the first level-1 items.
+        let mut candidates: Vec<Vec<Item>> = Vec::new();
+        for i in 0..frequent.len() {
+            for j in (i + 1)..frequent.len() {
+                let a = &frequent[i].items;
+                let b = &frequent[j].items;
+                if a[..level - 2] != b[..level - 2] {
+                    continue;
+                }
+                let (last_a, last_b) = (a[level - 2], b[level - 2]);
+                if last_a.0 == last_b.0 {
+                    continue; // same column twice: impossible itemset
+                }
+                let mut cand = a.clone();
+                cand.push(last_b.max(last_a));
+                // Normalize ordering (a is sorted; last_b > last_a given j > i).
+                cand.sort_unstable();
+                candidates.push(cand);
+            }
+        }
+        candidates.sort();
+        candidates.dedup();
+        // Prune: all (k-1)-subsets frequent.
+        let prev: std::collections::HashSet<&[Item]> =
+            frequent.iter().map(|f| f.items.as_slice()).collect();
+        candidates.retain(|cand| {
+            (0..cand.len()).all(|skip| {
+                let sub: Vec<Item> = cand
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != skip)
+                    .map(|(_, &it)| it)
+                    .collect();
+                prev.contains(sub.as_slice())
+            })
+        });
+        // Count.
+        let mut next: Vec<ItemSet> = Vec::new();
+        for cand in candidates {
+            let support = rows.iter().filter(|r| row_contains(r, &cand)).count();
+            if support >= min_count {
+                next.push(ItemSet {
+                    items: cand,
+                    support,
+                });
+            }
+        }
+        next.sort_by(|a, b| a.items.cmp(&b.items));
+        all.extend(next.iter().cloned());
+        frequent = next;
+    }
+    all
+}
+
+/// Generates single-consequent rules from frequent itemsets.
+pub fn mine_rules(t: &Table, cfg: &AprioriConfig) -> Vec<Rule> {
+    let itemsets = frequent_itemsets(t, cfg);
+    let support_of: HashMap<&[Item], usize> = itemsets
+        .iter()
+        .map(|is| (is.items.as_slice(), is.support))
+        .collect();
+    let n = t.rows() as f64;
+    let mut rules = Vec::new();
+    for is in itemsets.iter().filter(|is| is.items.len() >= 2) {
+        for (k, &consequent) in is.items.iter().enumerate() {
+            let antecedent: Vec<Item> = is
+                .items
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != k)
+                .map(|(_, &it)| it)
+                .collect();
+            let Some(&ant_support) = support_of.get(antecedent.as_slice()) else {
+                continue;
+            };
+            let confidence = is.support as f64 / ant_support as f64;
+            if confidence < cfg.min_confidence {
+                continue;
+            }
+            let Some(&cons_support) = support_of.get(&[consequent][..]) else {
+                continue;
+            };
+            let lift = confidence / (cons_support as f64 / n);
+            rules.push(Rule {
+                antecedent,
+                consequent,
+                support: is.support,
+                confidence,
+                lift,
+            });
+        }
+    }
+    rules.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap());
+    rules
+}
+
+/// Renders an item as `COLUMN(X,value)`.
+pub fn render_item(t: &Table, item: Item) -> String {
+    let name = &t.names()[item.0 as usize];
+    let value = match t.column(item.0 as usize) {
+        Column::Nominal { names, .. } => names[item.1 as usize].clone(),
+        Column::Numeric(_) => unreachable!("items come from nominal columns"),
+    };
+    format!("{name}(X,{value})")
+}
+
+/// Renders a rule in the paper's notation.
+pub fn render_rule(t: &Table, rule: &Rule) -> String {
+    let ant: Vec<String> = rule.antecedent.iter().map(|&i| render_item(t, i)).collect();
+    format!(
+        "{} -> {}  [sup={}, conf={:.2}, lift={:.2}]",
+        ant.join(" & "),
+        render_item(t, rule.consequent),
+        rule.support,
+        rule.confidence,
+        rule.lift
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// weather-ish toy table: strong rule c0=0 -> c1=0.
+    fn toy() -> Table {
+        let mut t = Table::new();
+        t.add_column(
+            "A",
+            Column::Nominal {
+                values: vec![0, 0, 0, 0, 1, 1, 1, 1, 0, 0],
+                names: vec!["x".into(), "y".into()],
+            },
+        );
+        t.add_column(
+            "B",
+            Column::Nominal {
+                values: vec![0, 0, 0, 0, 1, 1, 0, 1, 0, 0],
+                names: vec!["p".into(), "q".into()],
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn level1_counts() {
+        let sets = frequent_itemsets(
+            &toy(),
+            &AprioriConfig {
+                min_support: 0.3,
+                ..Default::default()
+            },
+        );
+        let a0 = sets.iter().find(|s| s.items == vec![(0, 0)]).unwrap();
+        assert_eq!(a0.support, 6);
+        let b1 = sets.iter().find(|s| s.items == vec![(1, 1)]).unwrap();
+        assert_eq!(b1.support, 3);
+    }
+
+    #[test]
+    fn pair_itemsets_and_antitone_support() {
+        let sets = frequent_itemsets(
+            &toy(),
+            &AprioriConfig {
+                min_support: 0.2,
+                ..Default::default()
+            },
+        );
+        let pair = sets
+            .iter()
+            .find(|s| s.items == vec![(0, 0), (1, 0)])
+            .unwrap();
+        assert_eq!(pair.support, 6);
+        // Support of any superset never exceeds its subsets'.
+        for s in sets.iter().filter(|s| s.items.len() == 2) {
+            for &it in &s.items {
+                let single = sets.iter().find(|x| x.items == vec![it]).unwrap();
+                assert!(single.support >= s.support);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_rule_found() {
+        let rules = mine_rules(
+            &toy(),
+            &AprioriConfig {
+                min_support: 0.2,
+                min_confidence: 0.9,
+                max_items: 2,
+            },
+        );
+        // A=x -> B=p holds 6/6.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![(0, 0)] && r.consequent == (1, 0))
+            .expect("rule A=x -> B=p");
+        assert!((r.confidence - 1.0).abs() < 1e-12);
+        assert!(r.lift > 1.0);
+    }
+
+    #[test]
+    fn confidence_threshold_filters() {
+        let strict = mine_rules(
+            &toy(),
+            &AprioriConfig {
+                min_support: 0.2,
+                min_confidence: 0.99,
+                max_items: 2,
+            },
+        );
+        let lax = mine_rules(
+            &toy(),
+            &AprioriConfig {
+                min_support: 0.2,
+                min_confidence: 0.5,
+                max_items: 2,
+            },
+        );
+        assert!(strict.len() < lax.len());
+        for r in &strict {
+            assert!(r.confidence >= 0.99);
+        }
+    }
+
+    #[test]
+    fn rendering() {
+        let t = toy();
+        let rules = mine_rules(
+            &t,
+            &AprioriConfig {
+                min_support: 0.2,
+                min_confidence: 0.9,
+                max_items: 2,
+            },
+        );
+        let txt = render_rule(&t, &rules[0]);
+        assert!(txt.contains("(X,"));
+        assert!(txt.contains("->"));
+        assert!(txt.contains("conf="));
+    }
+
+    #[test]
+    fn numeric_columns_ignored() {
+        let mut t = toy();
+        t.add_column("num", Column::Numeric(vec![1.0; 10]));
+        let sets = frequent_itemsets(&t, &AprioriConfig::default());
+        assert!(sets.iter().all(|s| s.items.iter().all(|&(c, _)| c < 2)));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new();
+        assert!(frequent_itemsets(&t, &AprioriConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Pearson correlation over numeric columns (the §7.2 observation that
+//! TOTAL_DISTANCE correlates with the latitude attributes more strongly
+//! than with MOVE_TRANSIT_HOURS).
+
+use crate::table::{Column, Table};
+
+/// Pearson correlation coefficient of two equally-long slices. Returns
+/// 0.0 when either side is constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let ma = a.iter().sum::<f64>() / nf;
+    let mb = b.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Correlation of two named numeric columns.
+///
+/// # Panics
+/// Panics if either column is missing or non-numeric.
+pub fn column_correlation(t: &Table, a: &str, b: &str) -> f64 {
+    let ca = t
+        .column_by_name(a)
+        .as_numeric()
+        .unwrap_or_else(|| panic!("{a} not numeric"));
+    let cb = t
+        .column_by_name(b)
+        .as_numeric()
+        .unwrap_or_else(|| panic!("{b} not numeric"));
+    pearson(ca, cb)
+}
+
+/// Full correlation matrix over the table's numeric columns. Returns the
+/// column names and the symmetric matrix.
+pub fn correlation_matrix(t: &Table) -> (Vec<String>, Vec<Vec<f64>>) {
+    let mut names = Vec::new();
+    let mut cols: Vec<&[f64]> = Vec::new();
+    for (i, name) in t.names().iter().enumerate() {
+        if let Column::Numeric(v) = t.column(i) {
+            names.push(name.clone());
+            cols.push(v);
+        }
+    }
+    let k = cols.len();
+    let mut m = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        m[i][i] = 1.0;
+        for j in (i + 1)..k {
+            let c = pearson(cols[i], cols[j]);
+            m[i][j] = c;
+            m[j][i] = c;
+        }
+    }
+    (names, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlations() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let mut t = Table::new();
+        t.add_column("a", Column::Numeric(vec![1.0, 2.0, 3.0, 5.0]));
+        t.add_column("b", Column::Numeric(vec![2.0, 1.0, 4.0, 4.0]));
+        t.add_column("c", Column::Numeric(vec![9.0, 7.0, 1.0, 0.0]));
+        let (names, m) = correlation_matrix(&t);
+        assert_eq!(names.len(), 3);
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+                assert!(m[i][j].abs() <= 1.0 + 1e-12);
+            }
+        }
+        assert!((column_correlation(&t, "a", "b") - m[0][1]).abs() < 1e-12);
+    }
+}

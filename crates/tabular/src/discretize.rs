@@ -1,0 +1,150 @@
+//! Discretizing numeric columns into nominal interval columns — the
+//! preprocessing behind §7.1's "Discretize original data set and run
+//! Apriori".
+
+use crate::table::{Column, Table};
+
+/// Equal-width cut points over a numeric column's observed range.
+fn equal_width_cuts(values: &[f64], bins: usize) -> Vec<f64> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || hi <= lo {
+        return vec![];
+    }
+    let w = (hi - lo) / bins as f64;
+    (1..bins).map(|i| lo + w * i as f64).collect()
+}
+
+/// Equal-frequency cut points (distinct-value aware).
+fn equal_frequency_cuts(values: &[f64], bins: usize) -> Vec<f64> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return vec![];
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    let mut cuts: Vec<f64> = Vec::new();
+    for i in 1..bins {
+        let mut j = (i * n / bins).min(n - 1);
+        while j < n && cuts.last().is_some_and(|&c| sorted[j] <= c) {
+            j += 1;
+        }
+        if j < n && sorted[j] > sorted[0] {
+            cuts.push(sorted[j]);
+        }
+    }
+    cuts.dedup();
+    cuts
+}
+
+/// Discretization strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discretization {
+    EqualWidth(usize),
+    EqualFrequency(usize),
+}
+
+/// Converts a numeric column to a nominal interval column. Interval names
+/// use Weka's rendering: `(-inf, c1]`, `(c1, c2]`, …, `(ck, inf)`.
+pub fn discretize_column(values: &[f64], strategy: Discretization) -> Column {
+    let cuts = match strategy {
+        Discretization::EqualWidth(b) => equal_width_cuts(values, b.max(1)),
+        Discretization::EqualFrequency(b) => equal_frequency_cuts(values, b.max(1)),
+    };
+    let mut names = Vec::with_capacity(cuts.len() + 1);
+    if cuts.is_empty() {
+        names.push("(-inf, inf)".to_string());
+    } else {
+        names.push(format!("(-inf, {:.2}]", cuts[0]));
+        for w in cuts.windows(2) {
+            names.push(format!("({:.2}, {:.2}]", w[0], w[1]));
+        }
+        names.push(format!("({:.2}, inf)", cuts[cuts.len() - 1]));
+    }
+    let assigned = values
+        .iter()
+        .map(|&v| cuts.partition_point(|&c| c < v) as u32)
+        .collect();
+    Column::Nominal {
+        values: assigned,
+        names,
+    }
+}
+
+/// Discretizes every numeric column of a table in place-ish (returns a
+/// new table; nominal columns pass through unchanged).
+pub fn discretize_table(t: &Table, strategy: Discretization) -> Table {
+    let mut out = Table::new();
+    for (i, name) in t.names().iter().enumerate() {
+        let col = match t.column(i) {
+            Column::Numeric(v) => discretize_column(v, strategy),
+            c @ Column::Nominal { .. } => c.clone(),
+        };
+        out.add_column(name, col);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_assignment() {
+        let col = discretize_column(&[0.0, 5.0, 10.0], Discretization::EqualWidth(2));
+        let (vals, names) = col.as_nominal().unwrap();
+        assert_eq!(names.len(), 2);
+        assert_eq!(vals, &[0, 0, 1]); // cut at 5.0; v < c goes low, 5.0 -> (.., 5]
+        assert!(names[0].starts_with("(-inf"));
+        assert!(names[1].ends_with("inf)"));
+    }
+
+    #[test]
+    fn boundary_goes_to_lower_interval() {
+        // Weka-style intervals are upper-closed.
+        let col = discretize_column(&[0.0, 4.0, 8.0], Discretization::EqualWidth(2));
+        let (vals, _) = col.as_nominal().unwrap();
+        assert_eq!(vals[1], 0, "4.0 lands in (-inf, 4]");
+    }
+
+    #[test]
+    fn constant_column_single_interval() {
+        let col = discretize_column(&[3.0; 5], Discretization::EqualWidth(4));
+        let (vals, names) = col.as_nominal().unwrap();
+        assert_eq!(names.len(), 1);
+        assert!(vals.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn equal_frequency_balances() {
+        let values: Vec<f64> = (0..90).map(|i| i as f64).collect();
+        let col = discretize_column(&values, Discretization::EqualFrequency(3));
+        let (vals, names) = col.as_nominal().unwrap();
+        assert_eq!(names.len(), 3);
+        let counts = [0, 1, 2].map(|k| vals.iter().filter(|&&v| v == k).count());
+        for c in counts {
+            assert!((25..=35).contains(&c));
+        }
+    }
+
+    #[test]
+    fn table_discretization_preserves_nominal() {
+        let mut t = Table::new();
+        t.add_column("x", Column::Numeric(vec![1.0, 2.0, 3.0, 4.0]));
+        t.add_column(
+            "c",
+            Column::Nominal {
+                values: vec![0, 1, 0, 1],
+                names: vec!["a".into(), "b".into()],
+            },
+        );
+        let d = discretize_table(&t, Discretization::EqualWidth(2));
+        assert!(!d.column_by_name("x").is_numeric());
+        assert_eq!(d.column_by_name("c"), t.column_by_name("c"));
+    }
+}

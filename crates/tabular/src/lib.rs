@@ -1,0 +1,42 @@
+//! # tnet-tabular
+//!
+//! Conventional data-mining substrate — the Weka stand-in for the ICDE
+//! 2005 paper's §7 experiments:
+//!
+//! * [`table`] — a small column-typed table (numeric / nominal);
+//! * [`discretize`] — equal-width / equal-frequency discretization with
+//!   Weka-style interval names;
+//! * [`apriori`] — frequent itemsets + association rules
+//!   (support/confidence/lift);
+//! * [`tree`] — a C4.5-style gain-ratio decision tree (the "J4.8"
+//!   experiments);
+//! * [`em`] — diagonal-covariance Gaussian-mixture EM clustering;
+//! * [`correlate`] — Pearson correlations.
+//!
+//! ```
+//! use tnet_tabular::table::{Column, Table};
+//! use tnet_tabular::tree::{DecisionTree, TreeConfig};
+//!
+//! let mut t = Table::new();
+//! t.add_column("weight", Column::Numeric(vec![500.0, 800.0, 30_000.0, 41_000.0]));
+//! t.add_column("mode", Column::Nominal {
+//!     values: vec![0, 0, 1, 1],
+//!     names: vec!["LTL".into(), "TL".into()],
+//! });
+//! let tree = DecisionTree::train(&t, "mode", &TreeConfig { min_split: 2, ..Default::default() });
+//! assert_eq!(tree.accuracy(&t), 1.0);
+//! ```
+
+pub mod apriori;
+pub mod correlate;
+pub mod discretize;
+pub mod em;
+pub mod table;
+pub mod tree;
+
+pub use apriori::{frequent_itemsets, mine_rules, AprioriConfig, ItemSet, Rule};
+pub use correlate::{column_correlation, correlation_matrix, pearson};
+pub use discretize::{discretize_column, discretize_table, Discretization};
+pub use em::{fit as em_fit, EmConfig, EmModel};
+pub use table::{Column, Table};
+pub use tree::{DecisionTree, TreeConfig};

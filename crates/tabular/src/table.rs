@@ -1,0 +1,230 @@
+//! A small column-typed table — the "pure transactional form" of §7.
+//!
+//! Columns are either numeric (`f64`) or nominal (small categorical
+//! alphabet with interned value names). All §7 algorithms (Apriori, the
+//! decision tree, EM) operate on this type.
+
+/// Data of one column.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Column {
+    Numeric(Vec<f64>),
+    /// Category index per row plus the category names.
+    Nominal { values: Vec<u32>, names: Vec<String> },
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Nominal { values, .. } => values.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for numeric columns.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Column::Numeric(_))
+    }
+
+    /// Numeric values, or `None` for nominal columns.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numeric(v) => Some(v),
+            Column::Nominal { .. } => None,
+        }
+    }
+
+    /// Nominal `(values, names)`, or `None` for numeric columns.
+    pub fn as_nominal(&self) -> Option<(&[u32], &[String])> {
+        match self {
+            Column::Nominal { values, names } => Some((values, names)),
+            Column::Numeric(_) => None,
+        }
+    }
+}
+
+/// A named-column table with uniform row count.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    names: Vec<String>,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Table {
+        Table::default()
+    }
+
+    /// Adds a column.
+    ///
+    /// # Panics
+    /// Panics on duplicate names or row-count mismatch with existing
+    /// columns.
+    pub fn add_column(&mut self, name: &str, col: Column) -> &mut Self {
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate column {name}"
+        );
+        if self.columns.is_empty() {
+            self.rows = col.len();
+        } else {
+            assert_eq!(col.len(), self.rows, "row count mismatch for {name}");
+        }
+        self.names.push(name.to_string());
+        self.columns.push(col);
+        self
+    }
+
+    /// Number of rows (uniform across columns).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names, in insertion order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Column by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    ///
+    /// # Panics
+    /// Panics if absent.
+    pub fn column_by_name(&self, name: &str) -> &Column {
+        let idx = self
+            .index_of(name)
+            .unwrap_or_else(|| panic!("no column {name}"));
+        &self.columns[idx]
+    }
+
+    /// A new table with only the named columns (order preserved as
+    /// given).
+    pub fn select(&self, names: &[&str]) -> Table {
+        let mut t = Table::new();
+        for &n in names {
+            t.add_column(n, self.column_by_name(n).clone());
+        }
+        t
+    }
+
+    /// A new table containing only the given row indices.
+    pub fn filter_rows(&self, keep: &[usize]) -> Table {
+        let mut t = Table::new();
+        for (name, col) in self.names.iter().zip(&self.columns) {
+            let col = match col {
+                Column::Numeric(v) => Column::Numeric(keep.iter().map(|&i| v[i]).collect()),
+                Column::Nominal { values, names } => Column::Nominal {
+                    values: keep.iter().map(|&i| values[i]).collect(),
+                    names: names.clone(),
+                },
+            };
+            t.add_column(name, col);
+        }
+        t
+    }
+
+    /// Splits rows into (train, test) by a deterministic interleave:
+    /// every `1/test_fraction`-th row goes to test. Deterministic so
+    /// experiments are reproducible without threading RNGs through.
+    pub fn split(&self, test_fraction: f64) -> (Table, Table) {
+        assert!(test_fraction > 0.0 && test_fraction < 1.0);
+        let period = (1.0 / test_fraction).round().max(2.0) as usize;
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for i in 0..self.rows {
+            if i % period == period - 1 {
+                test.push(i);
+            } else {
+                train.push(i);
+            }
+        }
+        (self.filter_rows(&train), self.filter_rows(&test))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new();
+        t.add_column("x", Column::Numeric(vec![1.0, 2.0, 3.0, 4.0]));
+        t.add_column(
+            "c",
+            Column::Nominal {
+                values: vec![0, 1, 0, 1],
+                names: vec!["a".into(), "b".into()],
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = sample();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.column_count(), 2);
+        assert_eq!(t.index_of("c"), Some(1));
+        assert!(t.column(0).is_numeric());
+        assert_eq!(t.column_by_name("x").as_numeric().unwrap()[2], 3.0);
+        let (vals, names) = t.column_by_name("c").as_nominal().unwrap();
+        assert_eq!(vals, &[0, 1, 0, 1]);
+        assert_eq!(names[1], "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_column_rejected() {
+        let mut t = sample();
+        t.add_column("x", Column::Numeric(vec![0.0; 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn ragged_rejected() {
+        let mut t = sample();
+        t.add_column("y", Column::Numeric(vec![0.0; 3]));
+    }
+
+    #[test]
+    fn select_and_filter() {
+        let t = sample();
+        let s = t.select(&["c"]);
+        assert_eq!(s.column_count(), 1);
+        assert_eq!(s.rows(), 4);
+        let f = t.filter_rows(&[0, 3]);
+        assert_eq!(f.rows(), 2);
+        assert_eq!(f.column_by_name("x").as_numeric().unwrap(), &[1.0, 4.0]);
+        assert_eq!(f.column_by_name("c").as_nominal().unwrap().0, &[0, 1]);
+    }
+
+    #[test]
+    fn split_is_partition() {
+        let mut t = Table::new();
+        t.add_column("x", Column::Numeric((0..100).map(|i| i as f64).collect()));
+        let (train, test) = t.split(0.25);
+        assert_eq!(train.rows() + test.rows(), 100);
+        assert_eq!(test.rows(), 25);
+    }
+}

@@ -1,0 +1,609 @@
+//! A C4.5-style decision-tree classifier (the §7.2 "J4.8" stand-in).
+//!
+//! Gain-ratio splits, multiway branches on nominal attributes, binary
+//! threshold splits on numeric attributes, depth/leaf-size stopping.
+
+use crate::table::{Column, Table};
+
+/// Upper bound on candidate thresholds evaluated per numeric attribute
+/// (quantile-spaced); keeps training near O(rows·attrs·log) like J4.8's
+/// practical behaviour.
+const MAX_NUMERIC_CANDIDATES: usize = 48;
+
+/// Tree configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    /// Do not split nodes smaller than this.
+    pub min_split: usize,
+    /// Minimum information gain to accept a split.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_split: 4,
+            min_gain: 1e-4,
+        }
+    }
+}
+
+/// A trained tree node.
+#[derive(Clone, Debug)]
+pub enum Node {
+    Leaf {
+        class: u32,
+        /// Training rows that reached this leaf.
+        count: usize,
+    },
+    Numeric {
+        col: usize,
+        threshold: f64,
+        le: Box<Node>,
+        gt: Box<Node>,
+    },
+    Nominal {
+        col: usize,
+        /// One child per category value; missing categories fall back to
+        /// `majority`.
+        children: Vec<Option<Box<Node>>>,
+        majority: u32,
+    },
+}
+
+/// A trained classifier for one nominal target column.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    root: Node,
+    target_col: usize,
+    class_names: Vec<String>,
+}
+
+fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+fn class_counts(target: &[u32], rows: &[usize], classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; classes];
+    for &r in rows {
+        counts[target[r] as usize] += 1;
+    }
+    counts
+}
+
+fn majority(counts: &[usize]) -> u32 {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0)
+}
+
+struct Split {
+    gain_ratio: f64,
+    gain: f64,
+    kind: SplitKind,
+}
+
+enum SplitKind {
+    Numeric { col: usize, threshold: f64 },
+    Nominal { col: usize },
+}
+
+impl DecisionTree {
+    /// Trains on `table` predicting the nominal column `target`.
+    ///
+    /// # Panics
+    /// Panics if `target` is missing, not nominal, or the table is empty.
+    pub fn train(table: &Table, target: &str, cfg: &TreeConfig) -> DecisionTree {
+        let target_col = table
+            .index_of(target)
+            .unwrap_or_else(|| panic!("no column {target}"));
+        let (tvalues, tnames) = table
+            .column(target_col)
+            .as_nominal()
+            .expect("target must be nominal");
+        assert!(table.rows() > 0, "empty training table");
+        let rows: Vec<usize> = (0..table.rows()).collect();
+        let root = build(
+            table,
+            target_col,
+            tvalues,
+            tnames.len(),
+            &rows,
+            cfg,
+            cfg.max_depth,
+        );
+        DecisionTree {
+            root,
+            target_col,
+            class_names: tnames.to_vec(),
+        }
+    }
+
+    /// Predicted class index for row `r` of `table` (which must have the
+    /// same column layout as the training table).
+    pub fn predict(&self, table: &Table, r: usize) -> u32 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class, .. } => return *class,
+                Node::Numeric {
+                    col,
+                    threshold,
+                    le,
+                    gt,
+                } => {
+                    let v = table.column(*col).as_numeric().expect("numeric col")[r];
+                    node = if v <= *threshold { le } else { gt };
+                }
+                Node::Nominal {
+                    col,
+                    children,
+                    majority,
+                } => {
+                    let v = table.column(*col).as_nominal().expect("nominal col").0[r] as usize;
+                    match children.get(v).and_then(|c| c.as_deref()) {
+                        Some(child) => node = child,
+                        None => return *majority,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accuracy over all rows of `table`.
+    pub fn accuracy(&self, table: &Table) -> f64 {
+        let (truth, _) = table.column(self.target_col).as_nominal().unwrap();
+        let correct = (0..table.rows())
+            .filter(|&r| self.predict(table, r) == truth[r])
+            .count();
+        correct as f64 / table.rows().max(1) as f64
+    }
+
+    /// Confusion matrix: `m[actual][predicted]`.
+    pub fn confusion(&self, table: &Table) -> Vec<Vec<usize>> {
+        let k = self.class_names.len();
+        let mut m = vec![vec![0usize; k]; k];
+        let (truth, _) = table.column(self.target_col).as_nominal().unwrap();
+        for r in 0..table.rows() {
+            m[truth[r] as usize][self.predict(table, r) as usize] += 1;
+        }
+        m
+    }
+
+    /// Column index of the root split, or `None` for a stump.
+    pub fn root_attribute(&self) -> Option<usize> {
+        match &self.root {
+            Node::Leaf { .. } => None,
+            Node::Numeric { col, .. } | Node::Nominal { col, .. } => Some(*col),
+        }
+    }
+
+    /// How many split nodes use each column (column index -> count).
+    /// A proxy for attribute importance: attributes the tree leans on
+    /// appear in many splits.
+    pub fn split_counts(&self) -> std::collections::HashMap<usize, usize> {
+        fn walk(n: &Node, acc: &mut std::collections::HashMap<usize, usize>) {
+            match n {
+                Node::Leaf { .. } => {}
+                Node::Numeric { col, le, gt, .. } => {
+                    *acc.entry(*col).or_insert(0) += 1;
+                    walk(le, acc);
+                    walk(gt, acc);
+                }
+                Node::Nominal { col, children, .. } => {
+                    *acc.entry(*col).or_insert(0) += 1;
+                    for child in children.iter().flatten() {
+                        walk(child, acc);
+                    }
+                }
+            }
+        }
+        let mut acc = std::collections::HashMap::new();
+        walk(&self.root, &mut acc);
+        acc
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Numeric { le, gt, .. } => 1 + walk(le) + walk(gt),
+                Node::Nominal { children, .. } => {
+                    1 + children
+                        .iter()
+                        .flatten()
+                        .map(|c| walk(c))
+                        .sum::<usize>()
+                }
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Names of the target classes, indexed by class id.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Text rendering (indented splits, class leaves).
+    pub fn render(&self, table: &Table) -> String {
+        let mut s = String::new();
+        self.render_node(&self.root, table, 0, &mut s);
+        s
+    }
+
+    fn render_node(&self, n: &Node, table: &Table, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        match n {
+            Node::Leaf { class, count } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}=> {} ({count})",
+                    self.class_names[*class as usize]
+                );
+            }
+            Node::Numeric {
+                col,
+                threshold,
+                le,
+                gt,
+            } => {
+                let name = &table.names()[*col];
+                let _ = writeln!(out, "{pad}{name} <= {threshold:.2}:");
+                self.render_node(le, table, depth + 1, out);
+                let _ = writeln!(out, "{pad}{name} > {threshold:.2}:");
+                self.render_node(gt, table, depth + 1, out);
+            }
+            Node::Nominal { col, children, .. } => {
+                let name = &table.names()[*col];
+                let value_names = table.column(*col).as_nominal().unwrap().1;
+                for (v, child) in children.iter().enumerate() {
+                    if let Some(child) = child {
+                        let _ = writeln!(out, "{pad}{name} = {}:", value_names[v]);
+                        self.render_node(child, table, depth + 1, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn build(
+    table: &Table,
+    target_col: usize,
+    target: &[u32],
+    classes: usize,
+    rows: &[usize],
+    cfg: &TreeConfig,
+    depth_left: usize,
+) -> Node {
+    let counts = class_counts(target, rows, classes);
+    let node_entropy = entropy(&counts);
+    let leaf = Node::Leaf {
+        class: majority(&counts),
+        count: rows.len(),
+    };
+    if depth_left == 0 || rows.len() < cfg.min_split || node_entropy == 0.0 {
+        return leaf;
+    }
+    let mut best: Option<Split> = None;
+    for col in 0..table.column_count() {
+        if col == target_col {
+            continue;
+        }
+        let split = match table.column(col) {
+            Column::Numeric(values) => {
+                best_numeric_split(values, target, classes, rows, node_entropy, col)
+            }
+            Column::Nominal { values, names } => {
+                nominal_split(values, names.len(), target, classes, rows, node_entropy, col)
+            }
+        };
+        if let Some(s) = split {
+            if best.as_ref().is_none_or(|b| s.gain_ratio > b.gain_ratio) {
+                best = Some(s);
+            }
+        }
+    }
+    let Some(split) = best else { return leaf };
+    if split.gain < cfg.min_gain {
+        return leaf;
+    }
+    match split.kind {
+        SplitKind::Numeric { col, threshold } => {
+            let values = table.column(col).as_numeric().unwrap();
+            let (le_rows, gt_rows): (Vec<usize>, Vec<usize>) =
+                rows.iter().partition(|&&r| values[r] <= threshold);
+            if le_rows.is_empty() || gt_rows.is_empty() {
+                return leaf;
+            }
+            Node::Numeric {
+                col,
+                threshold,
+                le: Box::new(build(
+                    table, target_col, target, classes, &le_rows, cfg, depth_left - 1,
+                )),
+                gt: Box::new(build(
+                    table, target_col, target, classes, &gt_rows, cfg, depth_left - 1,
+                )),
+            }
+        }
+        SplitKind::Nominal { col } => {
+            let (values, names) = table.column(col).as_nominal().unwrap();
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+            for &r in rows {
+                buckets[values[r] as usize].push(r);
+            }
+            let children = buckets
+                .iter()
+                .map(|bucket| {
+                    (!bucket.is_empty()).then(|| {
+                        Box::new(build(
+                            table, target_col, target, classes, bucket, cfg, depth_left - 1,
+                        ))
+                    })
+                })
+                .collect();
+            Node::Nominal {
+                col,
+                children,
+                majority: majority(&counts),
+            }
+        }
+    }
+}
+
+fn gain_ratio_of(parent_entropy: f64, partitions: &[Vec<usize>], total: usize) -> (f64, f64) {
+    let n = total as f64;
+    let mut weighted = 0.0;
+    let mut split_info = 0.0;
+    for part_counts in partitions {
+        let part_total: usize = part_counts.iter().sum();
+        if part_total == 0 {
+            continue;
+        }
+        let w = part_total as f64 / n;
+        weighted += w * entropy(part_counts);
+        split_info -= w * w.log2();
+    }
+    let gain = parent_entropy - weighted;
+    let ratio = if split_info > 1e-9 {
+        gain / split_info
+    } else {
+        0.0
+    };
+    (gain, ratio)
+}
+
+fn best_numeric_split(
+    values: &[f64],
+    target: &[u32],
+    classes: usize,
+    rows: &[usize],
+    parent_entropy: f64,
+    col: usize,
+) -> Option<Split> {
+    let mut sorted: Vec<f64> = rows.iter().map(|&r| values[r]).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.dedup();
+    if sorted.len() < 2 {
+        return None;
+    }
+    // Candidate thresholds: midpoints, quantile-limited.
+    let step = (sorted.len() / MAX_NUMERIC_CANDIDATES).max(1);
+    let mut best: Option<Split> = None;
+    for i in (0..sorted.len() - 1).step_by(step) {
+        let threshold = (sorted[i] + sorted[i + 1]) / 2.0;
+        let mut le = vec![0usize; classes];
+        let mut gt = vec![0usize; classes];
+        for &r in rows {
+            if values[r] <= threshold {
+                le[target[r] as usize] += 1;
+            } else {
+                gt[target[r] as usize] += 1;
+            }
+        }
+        let (gain, ratio) = gain_ratio_of(parent_entropy, &[le, gt], rows.len());
+        if best.as_ref().is_none_or(|b| ratio > b.gain_ratio) {
+            best = Some(Split {
+                gain_ratio: ratio,
+                gain,
+                kind: SplitKind::Numeric { col, threshold },
+            });
+        }
+    }
+    best
+}
+
+fn nominal_split(
+    values: &[u32],
+    arity: usize,
+    target: &[u32],
+    classes: usize,
+    rows: &[usize],
+    parent_entropy: f64,
+    col: usize,
+) -> Option<Split> {
+    if arity < 2 {
+        return None;
+    }
+    let mut partitions = vec![vec![0usize; classes]; arity];
+    for &r in rows {
+        partitions[values[r] as usize][target[r] as usize] += 1;
+    }
+    let (gain, ratio) = gain_ratio_of(parent_entropy, &partitions, rows.len());
+    Some(Split {
+        gain_ratio: ratio,
+        gain,
+        kind: SplitKind::Nominal { col },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A table where class == (x > 5), plus a noise column.
+    fn threshold_table(n: usize) -> Table {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let noise: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64).collect();
+        let classes: Vec<u32> = xs.iter().map(|&x| u32::from(x > 5.0)).collect();
+        let mut t = Table::new();
+        t.add_column("x", Column::Numeric(xs));
+        t.add_column("noise", Column::Numeric(noise));
+        t.add_column(
+            "class",
+            Column::Nominal {
+                values: classes,
+                names: vec!["low".into(), "high".into()],
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn learns_numeric_threshold() {
+        let t = threshold_table(40);
+        let tree = DecisionTree::train(&t, "class", &TreeConfig::default());
+        assert_eq!(tree.accuracy(&t), 1.0);
+        assert_eq!(tree.root_attribute(), Some(0), "x must be the root split");
+    }
+
+    #[test]
+    fn learns_nominal_rule() {
+        // class = color
+        let mut t = Table::new();
+        t.add_column(
+            "color",
+            Column::Nominal {
+                values: vec![0, 1, 2, 0, 1, 2, 0, 1],
+                names: vec!["r".into(), "g".into(), "b".into()],
+            },
+        );
+        t.add_column(
+            "class",
+            Column::Nominal {
+                values: vec![0, 1, 1, 0, 1, 1, 0, 1],
+                names: vec!["no".into(), "yes".into()],
+            },
+        );
+        let tree = DecisionTree::train(
+            &t,
+            "class",
+            &TreeConfig {
+                min_split: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(tree.accuracy(&t), 1.0);
+        assert_eq!(tree.root_attribute(), Some(0));
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let mut t = Table::new();
+        t.add_column("x", Column::Numeric(vec![1.0, 2.0, 3.0]));
+        t.add_column(
+            "class",
+            Column::Nominal {
+                values: vec![0, 0, 0],
+                names: vec!["only".into()],
+            },
+        );
+        let tree = DecisionTree::train(&t, "class", &TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.root_attribute(), None);
+        assert_eq!(tree.accuracy(&t), 1.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let t = threshold_table(60);
+        let stump_cfg = TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
+        let tree = DecisionTree::train(&t, "class", &stump_cfg);
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn generalizes_to_test_split() {
+        let t = threshold_table(100);
+        let (train, test) = t.split(0.3);
+        let tree = DecisionTree::train(&train, "class", &TreeConfig::default());
+        assert!(tree.accuracy(&test) > 0.9);
+    }
+
+    #[test]
+    fn confusion_matrix_sums_to_rows() {
+        let t = threshold_table(50);
+        let tree = DecisionTree::train(&t, "class", &TreeConfig::default());
+        let m = tree.confusion(&t);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 50);
+        // Perfect classifier: off-diagonal zero.
+        assert_eq!(m[0][1] + m[1][0], 0);
+    }
+
+    #[test]
+    fn render_contains_split_and_classes() {
+        let t = threshold_table(30);
+        let tree = DecisionTree::train(&t, "class", &TreeConfig::default());
+        let txt = tree.render(&t);
+        assert!(txt.contains("x <="));
+        assert!(txt.contains("=> high") || txt.contains("=> low"));
+    }
+
+    #[test]
+    fn noisy_labels_cap_accuracy() {
+        // Flip ~10% of labels: accuracy should be high but typically
+        // below perfect on a depth-limited tree.
+        let t = threshold_table(200);
+        let Column::Nominal { values, .. } = t.column_by_name("class").clone() else {
+            unreachable!()
+        };
+        let mut noisy = values.clone();
+        for i in (0..200).step_by(10) {
+            noisy[i] ^= 1;
+        }
+        let mut t2 = Table::new();
+        t2.add_column("x", t.column_by_name("x").clone());
+        t2.add_column(
+            "class",
+            Column::Nominal {
+                values: noisy,
+                names: vec!["low".into(), "high".into()],
+            },
+        );
+        let tree = DecisionTree::train(
+            &t2,
+            "class",
+            &TreeConfig {
+                max_depth: 2,
+                ..Default::default()
+            },
+        );
+        let acc = tree.accuracy(&t2);
+        assert!((0.85..1.0).contains(&acc), "got {acc}");
+    }
+}

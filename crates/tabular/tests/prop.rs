@@ -1,0 +1,156 @@
+//! Property tests for the tabular miners.
+
+use proptest::prelude::*;
+use tnet_tabular::apriori::{frequent_itemsets, AprioriConfig};
+use tnet_tabular::correlate::pearson;
+use tnet_tabular::discretize::{discretize_column, Discretization};
+use tnet_tabular::em::{fit as em_fit, EmConfig};
+use tnet_tabular::table::{Column, Table};
+use tnet_tabular::tree::{DecisionTree, TreeConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Discretization is total and monotone: larger values never land in
+    /// smaller bins.
+    #[test]
+    fn discretize_monotone(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 2..60),
+        bins in 1usize..10,
+        equal_freq in any::<bool>(),
+    ) {
+        let strategy = if equal_freq {
+            Discretization::EqualFrequency(bins)
+        } else {
+            Discretization::EqualWidth(bins)
+        };
+        let col = discretize_column(&values, strategy);
+        let (assigned, names) = col.as_nominal().unwrap();
+        prop_assert_eq!(assigned.len(), values.len());
+        for &a in assigned {
+            prop_assert!((a as usize) < names.len());
+        }
+        // Sort values and check bin monotonicity.
+        let mut pairs: Vec<(f64, u32)> =
+            values.drain(..).zip(assigned.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "bin not monotone");
+        }
+    }
+
+    /// Pearson stays in [-1, 1] and is symmetric.
+    #[test]
+    fn pearson_bounds(
+        a in proptest::collection::vec(-1e3f64..1e3, 2..40),
+        b_seed in proptest::collection::vec(-1e3f64..1e3, 2..40),
+    ) {
+        let n = a.len().min(b_seed.len());
+        let (a, b) = (&a[..n], &b_seed[..n]);
+        let r = pearson(a, b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        prop_assert!((r - pearson(b, a)).abs() < 1e-12);
+    }
+
+    /// A trained tree never does worse on its own training data than
+    /// predicting the majority class.
+    #[test]
+    fn tree_beats_majority(
+        xs in proptest::collection::vec(0.0f64..100.0, 8..50),
+        threshold in 10.0f64..90.0,
+        flip_every in 3usize..10,
+    ) {
+        let classes: Vec<u32> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let base = u32::from(x > threshold);
+                if i % flip_every == 0 { base ^ 1 } else { base }
+            })
+            .collect();
+        let majority = {
+            let ones: usize = classes.iter().map(|&c| c as usize).sum();
+            (ones.max(classes.len() - ones)) as f64 / classes.len() as f64
+        };
+        let mut t = Table::new();
+        t.add_column("x", Column::Numeric(xs));
+        t.add_column(
+            "class",
+            Column::Nominal {
+                values: classes,
+                names: vec!["a".into(), "b".into()],
+            },
+        );
+        let tree = DecisionTree::train(&t, "class", &TreeConfig::default());
+        prop_assert!(tree.accuracy(&t) + 1e-9 >= majority);
+    }
+
+    /// Apriori support is antitone: every 2-itemset's support is bounded
+    /// by each member's.
+    #[test]
+    fn apriori_antitone(
+        col_a in proptest::collection::vec(0u32..3, 10..40),
+        col_b_seed in proptest::collection::vec(0u32..3, 10..40),
+    ) {
+        let n = col_a.len().min(col_b_seed.len());
+        let mut t = Table::new();
+        t.add_column(
+            "A",
+            Column::Nominal {
+                values: col_a[..n].to_vec(),
+                names: vec!["0".into(), "1".into(), "2".into()],
+            },
+        );
+        t.add_column(
+            "B",
+            Column::Nominal {
+                values: col_b_seed[..n].to_vec(),
+                names: vec!["0".into(), "1".into(), "2".into()],
+            },
+        );
+        let sets = frequent_itemsets(
+            &t,
+            &AprioriConfig {
+                min_support: 0.05,
+                min_confidence: 0.5,
+                max_items: 2,
+            },
+        );
+        for s in sets.iter().filter(|s| s.items.len() == 2) {
+            for &it in &s.items {
+                if let Some(single) = sets.iter().find(|x| x.items == vec![it]) {
+                    prop_assert!(single.support >= s.support);
+                }
+            }
+        }
+    }
+
+    /// EM assigns every row, sizes sum to n, and the likelihood trace is
+    /// non-decreasing.
+    #[test]
+    fn em_invariants(
+        data in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 6..40),
+        k in 1usize..4,
+    ) {
+        prop_assume!(data.len() >= k);
+        let mut t = Table::new();
+        t.add_column("x", Column::Numeric(data.iter().map(|p| p.0).collect()));
+        t.add_column("y", Column::Numeric(data.iter().map(|p| p.1).collect()));
+        let model = em_fit(
+            &t,
+            &EmConfig {
+                clusters: k,
+                max_iterations: 15,
+                tolerance: 0.0,
+                seed: 3,
+            },
+        );
+        prop_assert_eq!(model.assignments.len(), data.len());
+        prop_assert_eq!(model.sizes.iter().sum::<usize>(), data.len());
+        for w in model.trace.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6, "log-likelihood decreased");
+        }
+        let wsum: f64 = model.weights.iter().sum();
+        prop_assert!((wsum - 1.0).abs() < 1e-6);
+    }
+}

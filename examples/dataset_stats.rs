@@ -1,0 +1,29 @@
+//! E1 — prints the §3 dataset-description statistics for the synthetic
+//! dataset, side by side with the paper's published numbers. Run at
+//! scale 1.0 to verify the full calibration:
+//!
+//! ```text
+//! cargo run --release --example dataset_stats -- 1.0
+//! ```
+
+use tnet_core::pipeline::Pipeline;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    eprintln!("generating at scale {scale} ...");
+    let pipeline = Pipeline::synthetic(scale, 42);
+    let st = pipeline.dataset_stats();
+    println!("--- measured (scale {scale}) ---");
+    println!("{st}");
+    println!("--- paper (Sec 3, scale 1.0) ---");
+    println!("transactions:          98292");
+    println!("distinct locations:    4038");
+    println!("distinct origins:      1797");
+    println!("distinct destinations: 3770");
+    println!("distinct OD pairs:     20900");
+    println!("out-degree:            min 1 max 2373 avg 12");
+    println!("in-degree:             min 1 max 832 avg 6");
+}

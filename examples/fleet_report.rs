@@ -1,0 +1,19 @@
+//! Fleet analytics: the paper's §7 conventional-mining story as one
+//! report — association rules, mode classification, and EM clustering
+//! with short-haul / long-haul / air-freight labeling.
+//!
+//! ```text
+//! cargo run --release --example fleet_report
+//! ```
+
+use tnet_core::experiments::conventional::{run_assoc, run_classify, run_cluster};
+use tnet_core::pipeline::Pipeline;
+
+fn main() {
+    let pipeline = Pipeline::synthetic(0.05, 42);
+    let txns = pipeline.transactions();
+
+    println!("{}", run_assoc(txns, 12));
+    println!("{}", run_classify(txns));
+    println!("{}", run_cluster(txns, 9, 7));
+}

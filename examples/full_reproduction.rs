@@ -1,0 +1,25 @@
+//! Full reproduction: runs every experiment (E1–E15) and prints one
+//! combined report. The first CLI argument sets the dataset scale
+//! (fraction of the paper's 98,292 transactions; default 0.05 — use
+//! larger values for closer-to-paper numbers, at more runtime).
+//!
+//! ```text
+//! cargo run --release --example full_reproduction -- 0.05
+//! ```
+
+use tnet_core::pipeline::Pipeline;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    assert!(
+        scale > 0.0 && scale <= 1.0,
+        "scale must be in (0, 1], got {scale}"
+    );
+    eprintln!("generating dataset at scale {scale} and running E1..E15 ...");
+    let pipeline = Pipeline::synthetic(scale, 42);
+    let report = pipeline.full_report(scale, 42);
+    println!("{report}");
+}

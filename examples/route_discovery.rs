@@ -1,0 +1,65 @@
+//! Route discovery: the paper's §5 scenario end-to-end.
+//!
+//! Finds (a) hub-and-spoke delivery fans with breadth-first partitioning
+//! on the transit-hours graph (Figure 2) and (b) repeated
+//! pickup-and-deliver chain routes with depth-first partitioning on the
+//! distance graph (Figure 3), then renders the best of each as Graphviz
+//! DOT so they can be compared against the paper's figures.
+//!
+//! ```text
+//! cargo run --release --example route_discovery
+//! ```
+
+use tnet_core::experiments::structural::run_shape_mining;
+use tnet_core::patterns::{classify, PatternShape};
+use tnet_core::pipeline::Pipeline;
+use tnet_data::od_graph::EdgeLabeling;
+use tnet_partition::split::Strategy;
+
+fn main() {
+    let pipeline = Pipeline::synthetic(0.03, 42);
+    let txns = pipeline.transactions();
+
+    // Figure 2: breadth-first partitioning favours bushy patterns.
+    let bf = run_shape_mining(
+        txns,
+        EdgeLabeling::TransitHours,
+        Strategy::BreadthFirst,
+        12,
+        5,
+        2,
+        6,
+        7,
+    );
+    println!("{bf}");
+    if let Some(best) = bf
+        .patterns
+        .iter()
+        .find(|p| matches!(classify(&p.pattern), PatternShape::HubAndSpoke { .. }))
+    {
+        println!("best hub pattern as DOT:");
+        println!("{}", tnet_graph::dot::to_dot(&best.pattern, "hub"));
+    }
+
+    // Figure 3: depth-first partitioning favours chains — routes that
+    // pick up and deliver at each stop, keeping the truck utilized.
+    let df = run_shape_mining(
+        txns,
+        EdgeLabeling::TotalDistance,
+        Strategy::DepthFirst,
+        12,
+        4,
+        2,
+        6,
+        7,
+    );
+    println!("{df}");
+    if let Some(best) = df
+        .patterns
+        .iter()
+        .find(|p| matches!(classify(&p.pattern), PatternShape::Chain { edges } if edges >= 2))
+    {
+        println!("best chain pattern as DOT:");
+        println!("{}", tnet_graph::dot::to_dot(&best.pattern, "route"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Integration: CSV persistence round-trips through the pipeline, and
+//! SUBDUE's hierarchical compression interoperates with graphs built
+//! from real(istic) transaction data.
+
+use tnet_core::pipeline::Pipeline;
+use tnet_data::csv::{read_csv, write_csv};
+use tnet_data::od_graph::{EdgeLabeling, VertexLabeling};
+use tnet_subdue::{hierarchical, EvalMethod, SubdueConfig};
+
+#[test]
+fn csv_roundtrip_preserves_pipeline_results() {
+    let p = Pipeline::synthetic(0.01, 42);
+    let mut buf = Vec::new();
+    write_csv(p.transactions(), &mut buf).unwrap();
+    let back = read_csv(buf.as_slice()).unwrap();
+    assert_eq!(back.len(), p.transactions().len());
+    let p2 = Pipeline::from_transactions(back);
+    let (a, b) = (p.dataset_stats(), p2.dataset_stats());
+    assert_eq!(a.distinct_locations, b.distinct_locations);
+    assert_eq!(a.distinct_od_pairs, b.distinct_od_pairs);
+    assert_eq!(a.out_degree, b.out_degree);
+    // Graphs built from both ends match in size.
+    let g1 = p.od_graph(EdgeLabeling::TotalDistance, VertexLabeling::ByLocation);
+    let g2 = p2.od_graph(EdgeLabeling::TotalDistance, VertexLabeling::ByLocation);
+    assert_eq!(g1.graph.edge_count(), g2.graph.edge_count());
+    assert_eq!(g1.graph.vertex_count(), g2.graph.vertex_count());
+}
+
+#[test]
+fn hierarchical_compression_on_od_graph() {
+    let p = Pipeline::synthetic(0.01, 42);
+    let od = p.od_graph(EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let mut g = od.graph;
+    g.dedup_edges();
+    let cfg = SubdueConfig {
+        eval: EvalMethod::Size,
+        beam_width: 4,
+        max_best: 2,
+        max_size: 5,
+        ..Default::default()
+    };
+    let levels = hierarchical(&g, &cfg, 3);
+    assert!(!levels.is_empty(), "OD graphs should compress");
+    let mut prev = g.size();
+    for level in &levels {
+        assert!(level.compressed_size < prev, "each pass must shrink");
+        prev = level.compressed_size;
+        assert!(level.substructure.value > 1.0);
+    }
+}

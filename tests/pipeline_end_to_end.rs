@@ -1,0 +1,153 @@
+//! End-to-end integration: dataset → OD graphs → both miners → shapes.
+//! Spans tnet-data, tnet-graph, tnet-partition, tnet-fsg, tnet-subdue,
+//! and tnet-core.
+
+use tnet_core::patterns::{classify, PatternShape};
+use tnet_core::pipeline::Pipeline;
+use tnet_data::od_graph::{EdgeLabeling, VertexLabeling};
+use tnet_fsg::{mine_for_algorithm1, FsgConfig, Support};
+use tnet_graph::iso::has_embedding;
+use tnet_partition::single_graph::mine_single_graph;
+use tnet_partition::split::Strategy;
+use tnet_subdue::{discover, EvalMethod, SubdueConfig};
+
+#[test]
+fn dataset_statistics_track_config() {
+    let p = Pipeline::synthetic(0.02, 42);
+    let st = p.dataset_stats();
+    // The scaled generator preserves the paper's structural ratios.
+    assert_eq!(st.transactions, p.transactions().len());
+    assert!(st.distinct_origins < st.distinct_destinations);
+    assert!(st.both_roles > 0, "some locations play both roles");
+    // (The paper's exact min-degree of 1 emerges at full scale; reduced
+    // scale guarantees only the ordering.)
+    assert!(st.out_degree.0 as f64 <= st.out_degree.2);
+    assert!(st.in_degree.0 as f64 <= st.in_degree.2);
+    // Full scale: max 2373 vs mean 12 (ratio ~200). The scaled mega hub
+    // keeps a clear multiple of the mean.
+    assert!(
+        st.out_degree.1 as f64 > st.out_degree.2 * 3.0,
+        "mega-hub skew: max {} vs mean {}",
+        st.out_degree.1,
+        st.out_degree.2
+    );
+    assert!(st.distinct_od_pairs < st.transactions, "repeat deliveries");
+}
+
+#[test]
+fn od_graphs_share_structure_and_differ_in_labels() {
+    let p = Pipeline::synthetic(0.01, 42);
+    let gw = p.od_graph(EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let th = p.od_graph(EdgeLabeling::TransitHours, VertexLabeling::Uniform);
+    assert_eq!(gw.graph.vertex_count(), th.graph.vertex_count());
+    assert_eq!(gw.graph.edge_count(), th.graph.edge_count());
+    // Same endpoints, different label streams.
+    let gw_labels: Vec<u32> = gw.graph.edges().map(|e| gw.graph.edge_label(e).0).collect();
+    let th_labels: Vec<u32> = th.graph.edges().map(|e| th.graph.edge_label(e).0).collect();
+    assert_ne!(gw_labels, th_labels);
+}
+
+#[test]
+fn mined_patterns_occur_in_source_graph() {
+    let p = Pipeline::synthetic(0.015, 42);
+    let od = p.od_graph(EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let mut g = od.graph;
+    g.dedup_edges();
+    let cfg = FsgConfig::default()
+        .with_support(Support::Count(4))
+        .with_max_edges(4);
+    let patterns = mine_single_graph(&g, 8, 1, Strategy::BreadthFirst, 2, |t| {
+        mine_for_algorithm1(t, &cfg)
+    });
+    assert!(!patterns.is_empty());
+    for p in patterns.iter().take(20) {
+        assert!(
+            has_embedding(&p.pattern, &g),
+            "mined pattern must occur in the source graph"
+        );
+    }
+}
+
+#[test]
+fn both_miners_agree_on_obvious_structure() {
+    // The OD graph's most repeated single-edge pattern should be found
+    // frequent by FSG and compressive by SUBDUE.
+    let p = Pipeline::synthetic(0.01, 42);
+    let od = p.od_graph(EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let mut g = od.graph;
+    g.dedup_edges();
+
+    let cfg = FsgConfig::default()
+        .with_support(Support::Count(5))
+        .with_max_edges(2);
+    let fsg_patterns = mine_single_graph(&g, 6, 1, Strategy::DepthFirst, 3, |t| {
+        mine_for_algorithm1(t, &cfg)
+    });
+    let top_fsg = fsg_patterns
+        .iter()
+        .filter(|p| p.pattern.edge_count() == 1)
+        .max_by_key(|p| p.support)
+        .expect("some 1-edge frequent pattern");
+
+    let out = discover(
+        &g,
+        &SubdueConfig {
+            eval: EvalMethod::Size,
+            max_size: 4,
+            ..Default::default()
+        },
+    );
+    let top_subdue = &out.best[0];
+
+    // Agreement: the dominant single-edge label by FSG support must be
+    // the label SUBDUE's best compressor is built from.
+    let l1 = top_fsg
+        .pattern
+        .edge_label(top_fsg.pattern.edges().next().unwrap());
+    assert!(top_subdue.pattern.edge_count() >= 1);
+    assert!(
+        top_subdue
+            .pattern
+            .edges()
+            .any(|e| top_subdue.pattern.edge_label(e) == l1),
+        "miners disagree on the dominant edge label"
+    );
+}
+
+#[test]
+fn shape_classification_over_mined_output() {
+    let p = Pipeline::synthetic(0.02, 42);
+    let od = p.od_graph(EdgeLabeling::TransitHours, VertexLabeling::Uniform);
+    let mut g = od.graph;
+    g.dedup_edges();
+    let cfg = FsgConfig::default()
+        .with_support(Support::Count(4))
+        .with_max_edges(4);
+    let patterns = mine_single_graph(&g, 8, 2, Strategy::BreadthFirst, 5, |t| {
+        mine_for_algorithm1(t, &cfg)
+    });
+    // Every mined pattern classifies into the taxonomy without panicking,
+    // and at least one recognizable transportation shape appears.
+    let mut recognized = 0;
+    for pat in &patterns {
+        if classify(&pat.pattern) != PatternShape::Other {
+            recognized += 1;
+        }
+    }
+    assert!(recognized > 0, "no recognizable shapes in mined output");
+}
+
+#[test]
+fn full_report_smoke() {
+    // The complete E1..E15 run at a tiny scale must succeed and mention
+    // every experiment header.
+    let p = Pipeline::synthetic(0.012, 42);
+    let report = p.full_report(0.012, 42);
+    for header in [
+        "E1:", "E2:", "E3:", "E4:", "E5:", "E8:", "E9:", "E10:", "E11:", "E12:", "E13:",
+        "E14/E15:",
+    ] {
+        assert!(report.contains(header), "report missing {header}");
+    }
+    assert!(report.contains("Figures 2/3"));
+}
