@@ -1,0 +1,17 @@
+#!/bin/bash
+# Tier-1 gate: formatting, lints, and the offline build+test the paper
+# reproduction is judged by. Runs with no network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release --workspace --offline
+cargo test -q --workspace --offline
+
+echo "ci.sh: all green"

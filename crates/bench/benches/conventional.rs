@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use tnet_bench::bench_transactions;
 use tnet_core::experiments::conventional::{run_assoc, run_classify, run_cluster};
+use tnet_exec::Exec;
 
 fn bench_conventional(c: &mut Criterion) {
     let txns = bench_transactions();
@@ -17,7 +18,7 @@ fn bench_conventional(c: &mut Criterion) {
         b.iter(|| run_classify(txns).mode_accuracy)
     });
     group.bench_function("em_cluster_e14_e15", |b| {
-        b.iter(|| run_cluster(txns, 9, 7).rows.len())
+        b.iter(|| run_cluster(txns, 9, 7, &Exec::default()).rows.len())
     });
     group.finish();
 }

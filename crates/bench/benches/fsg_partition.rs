@@ -10,7 +10,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tnet_bench::{bench_transactions, BENCH_SCALE};
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{build_od_graph, EdgeLabeling, VertexLabeling};
-use tnet_fsg::{mine_for_algorithm1, FsgConfig, Support};
+use tnet_exec::Exec;
+use tnet_fsg::{mine_for_algorithm1_with, FsgConfig, Support};
 use tnet_partition::single_graph::mine_single_graph;
 use tnet_partition::split::Strategy;
 
@@ -33,18 +34,23 @@ fn bench_partition_mining(c: &mut Criterion) {
             let cfg = FsgConfig::default()
                 .with_support(Support::Count(support))
                 .with_max_edges(5);
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), format!("k{k_full}")),
-                &g,
-                |b, g| {
-                    b.iter(|| {
-                        mine_single_graph(g, k, 1, strategy, 1, |t| {
-                            mine_for_algorithm1(t, &cfg)
+            // Sequential vs 4-thread pool: same byte-identical output, the
+            // latter should run the sweep at least ~2x faster.
+            for threads in [1usize, 4] {
+                let exec = Exec::new(threads);
+                group.bench_with_input(
+                    BenchmarkId::new(strategy.name(), format!("k{k_full}_t{threads}")),
+                    &g,
+                    |b, g| {
+                        b.iter(|| {
+                            mine_single_graph(g, k, 1, strategy, 1, &exec, |t, e| {
+                                mine_for_algorithm1_with(t, &cfg, e)
+                            })
+                            .len()
                         })
-                        .len()
-                    })
-                },
-            );
+                    },
+                );
+            }
         }
     }
     group.finish();

@@ -7,8 +7,7 @@
 //! planted patterns, footnote 2's methodology).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tnet_graph::rng::StdRng;
 use tnet_bench::bench_transactions;
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{build_od_graph, EdgeLabeling, VertexLabeling};

@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tnet_core::experiments::structural::run_recall;
+use tnet_exec::Exec;
 use tnet_partition::split::Strategy;
 
 fn bench_recall(c: &mut Criterion) {
@@ -20,7 +21,7 @@ fn bench_recall(c: &mut Criterion) {
                 &noise,
                 |b, &noise| {
                     b.iter(|| {
-                        let r = run_recall(24, noise, 6, strategy, 17);
+                        let r = run_recall(24, noise, 6, strategy, 17, &Exec::default());
                         r.recall()
                     })
                 },

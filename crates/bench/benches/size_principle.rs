@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tnet_core::experiments::structural::run_size_principle;
+use tnet_exec::Exec;
 
 fn bench_size_principle(c: &mut Criterion) {
     let mut group = c.benchmark_group("size_principle");
@@ -12,7 +13,7 @@ fn bench_size_principle(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{vertices}v")),
             &(vertices, extra),
-            |b, &(v, e)| b.iter(|| run_size_principle(v, e, 40, 5).found),
+            |b, &(v, e)| b.iter(|| run_size_principle(v, e, 40, 5, &Exec::default()).found),
         );
     }
     group.finish();

@@ -3,6 +3,7 @@
 //! external dependency; the option surface is small and fixed.
 
 use std::collections::HashMap;
+use tnet_exec::{Exec, Threads};
 
 /// Parsed command line: a subcommand, positional arguments, and
 /// `--key value` options.
@@ -90,6 +91,23 @@ impl Args {
             .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'")))
     }
 
+    /// Builds the execution pool from `--threads` (falling back to
+    /// `TNET_THREADS`, then hardware parallelism).
+    pub fn exec(&self) -> Result<Exec, ArgError> {
+        match self.get("threads") {
+            None => Ok(Exec::from_threads(Threads::auto())),
+            Some(v) => {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--threads: cannot parse '{v}'")))?;
+                if n == 0 {
+                    return Err(ArgError("--threads must be at least 1".into()));
+                }
+                Ok(Exec::from_threads(Threads::exact(n)))
+            }
+        }
+    }
+
     /// Rejects unknown options (call after reading the known set).
     pub fn ensure_known(&self, known: &[&str]) -> Result<(), ArgError> {
         for key in self.options.keys() {
@@ -146,6 +164,16 @@ mod tests {
         let a = Args::parse(&argv("gen --scale abc")).unwrap();
         assert!(a.get_parsed_or("scale", 1.0f64).is_err());
         assert!(a.require_parsed::<f64>("seed").is_err());
+    }
+
+    #[test]
+    fn threads_option_builds_pool() {
+        let a = Args::parse(&argv("mine --threads 3")).unwrap();
+        assert_eq!(a.exec().unwrap().threads(), 3);
+        let a = Args::parse(&argv("mine --threads 0")).unwrap();
+        assert!(a.exec().is_err());
+        let a = Args::parse(&argv("mine --threads lots")).unwrap();
+        assert!(a.exec().is_err());
     }
 
     #[test]

@@ -40,29 +40,25 @@ mod tests {
         let dir = std::env::temp_dir().join("tnet_cli_gen_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.csv");
-        let argv: Vec<String> = [
-            "gen",
-            "--scale",
-            "0.01",
-            "--out",
-            path.to_str().unwrap(),
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        let argv: Vec<String> = ["gen", "--scale", "0.01", "--out", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let args = Args::parse(&argv).unwrap();
         run(&args).unwrap();
-        let back = tnet_data::csv::read_csv(std::io::BufReader::new(
-            std::fs::File::open(&path).unwrap(),
-        ))
-        .unwrap();
+        let back =
+            tnet_data::csv::read_csv(std::io::BufReader::new(std::fs::File::open(&path).unwrap()))
+                .unwrap();
         assert!(!back.is_empty());
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn rejects_unknown_flag() {
-        let argv: Vec<String> = ["gen", "--bogus", "1"].iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = ["gen", "--bogus", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let args = Args::parse(&argv).unwrap();
         assert!(run(&args).is_err());
     }

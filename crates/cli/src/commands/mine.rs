@@ -7,7 +7,7 @@ use crate::commands::{load_transactions, parse_labeling};
 use tnet_core::patterns::{classify, interestingness};
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{build_od_graph, VertexLabeling};
-use tnet_fsg::{mine_for_algorithm1, FsgConfig, Support};
+use tnet_fsg::{mine_for_algorithm1_with, FsgConfig, Support};
 use tnet_partition::single_graph::mine_single_graph;
 use tnet_partition::split::Strategy;
 
@@ -25,7 +25,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "top",
         "maximal",
         "dot-dir",
+        "threads",
     ])?;
+    let exec = args.exec()?;
     let txns = load_transactions(args)?;
     let labeling = parse_labeling(args.get_or("labeling", "gw"))?;
     let strategy = match args.get_or("strategy", "bf") {
@@ -55,8 +57,8 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         .with_support(Support::Count(support))
         .with_max_edges(max_edges)
         .with_memory_budget(512 << 20);
-    let mut patterns = mine_single_graph(&g, partitions, reps, strategy, 42, |t| {
-        mine_for_algorithm1(t, &cfg)
+    let mut patterns = mine_single_graph(&g, partitions, reps, strategy, 42, &exec, |t, e| {
+        mine_for_algorithm1_with(t, &cfg, e)
     });
     println!(
         "{} frequent patterns ({} partitioning, {} partitions, support {support})",
@@ -99,8 +101,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     }
     // Optional Graphviz export of the top patterns.
     if let Some(dir) = args.get("dot-dir") {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| ArgError(format!("cannot create {dir}: {e}")))?;
+        std::fs::create_dir_all(dir).map_err(|e| ArgError(format!("cannot create {dir}: {e}")))?;
         for (i, p) in patterns.iter().take(top).enumerate() {
             let name = format!("pattern_{i:03}");
             let path = std::path::Path::new(dir).join(format!("{name}.dot"));
@@ -109,6 +110,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         }
         println!("wrote {} .dot files to {dir}", patterns.len().min(top));
     }
+    eprintln!("[exec] {} threads: {}", exec.threads(), exec.counters());
     Ok(())
 }
 
@@ -119,8 +121,17 @@ mod tests {
     #[test]
     fn mines_synthetic() {
         let argv: Vec<String> = [
-            "mine", "--scale", "0.01", "--partitions", "6", "--support", "3", "--max-edges",
-            "3", "--reps", "1",
+            "mine",
+            "--scale",
+            "0.01",
+            "--partitions",
+            "6",
+            "--support",
+            "3",
+            "--max-edges",
+            "3",
+            "--reps",
+            "1",
         ]
         .iter()
         .map(|s| s.to_string())

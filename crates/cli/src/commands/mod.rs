@@ -19,10 +19,8 @@ use tnet_data::model::Transaction;
 /// generates synthetically with `--scale` / `--seed`.
 pub fn load_transactions(args: &crate::args::Args) -> Result<Vec<Transaction>, ArgError> {
     if let Some(path) = args.get("input") {
-        let file =
-            File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
-        return tnet_data::csv::read_csv(BufReader::new(file))
-            .map_err(|e| ArgError(e.to_string()));
+        let file = File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+        return tnet_data::csv::read_csv(BufReader::new(file)).map_err(|e| ArgError(e.to_string()));
     }
     let scale: f64 = args.get_parsed_or("scale", 0.02)?;
     let seed: u64 = args.get_parsed_or("seed", 42)?;

@@ -8,7 +8,8 @@ use tnet_core::pipeline::Pipeline;
 use tnet_dynamic::paths::PathConfig;
 
 pub fn run(args: &Args) -> Result<(), ArgError> {
-    args.ensure_known(&["input", "scale", "seed", "extensions"])?;
+    args.ensure_known(&["input", "scale", "seed", "extensions", "threads"])?;
+    let exec = args.exec()?;
     let scale: f64 = args.get_parsed_or("scale", 0.05)?;
     let seed: u64 = args.get_parsed_or("seed", 42)?;
     let with_extensions = args.get_or("extensions", "true") == "true";
@@ -18,7 +19,9 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     } else {
         Pipeline::synthetic(scale, seed)
     };
-    println!("{}", pipeline.full_report(scale, seed));
+    println!("{}", pipeline.full_report_with(scale, seed, &exec));
+    // Observability only — stderr, so the report text stays byte-stable.
+    eprintln!("[exec] {} threads: {}", exec.threads(), exec.counters());
 
     if with_extensions {
         let txns = pipeline.transactions();

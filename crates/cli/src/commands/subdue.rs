@@ -6,13 +6,14 @@ use crate::commands::{load_transactions, parse_labeling};
 use tnet_core::experiments::structural::truncated_structural_graph;
 use tnet_core::patterns::classify;
 use tnet_data::binning::BinScheme;
-use tnet_subdue::{discover, hierarchical, EvalMethod, SubdueConfig};
+use tnet_subdue::{discover_with, hierarchical, EvalMethod, SubdueConfig};
 
 pub fn run(args: &Args) -> Result<(), ArgError> {
     args.ensure_known(&[
         "input", "scale", "seed", "labeling", "vertices", "eval", "beam", "best", "max-size",
-        "passes",
+        "passes", "threads",
     ])?;
+    let exec = args.exec()?;
     let txns = load_transactions(args)?;
     let labeling = parse_labeling(args.get_or("labeling", "gw"))?;
     let vertices: usize = args.get_parsed_or("vertices", 60)?;
@@ -41,7 +42,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     );
 
     if passes <= 1 {
-        let out = discover(&g, &cfg);
+        let out = discover_with(&g, &cfg, &exec);
         println!(
             "expanded {} substructures, evaluated {}, runtime {:?}",
             out.expanded, out.evaluated, out.runtime
@@ -82,7 +83,14 @@ mod tests {
     #[test]
     fn discovers_on_synthetic() {
         let argv: Vec<String> = [
-            "subdue", "--scale", "0.01", "--vertices", "25", "--eval", "size", "--max-size",
+            "subdue",
+            "--scale",
+            "0.01",
+            "--vertices",
+            "25",
+            "--eval",
+            "size",
+            "--max-size",
             "6",
         ]
         .iter()
@@ -94,8 +102,17 @@ mod tests {
     #[test]
     fn hierarchical_passes() {
         let argv: Vec<String> = [
-            "subdue", "--scale", "0.01", "--vertices", "20", "--eval", "size", "--max-size",
-            "5", "--passes", "2",
+            "subdue",
+            "--scale",
+            "0.01",
+            "--vertices",
+            "20",
+            "--eval",
+            "size",
+            "--max-size",
+            "5",
+            "--passes",
+            "2",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -4,13 +4,20 @@
 
 use crate::args::{ArgError, Args};
 use crate::commands::load_transactions;
-use tnet_core::experiments::temporal::{
-    quiet_day_label_limit, run_fig4, run_fsg_oom, run_table2,
-};
+use tnet_core::experiments::temporal::{quiet_day_label_limit, run_fig4, run_fsg_oom, run_table2};
 use tnet_fsg::Support;
 
 pub fn run(args: &Args) -> Result<(), ArgError> {
-    args.ensure_known(&["input", "scale", "seed", "quiet-fraction", "budget-mb", "oom-support"])?;
+    args.ensure_known(&[
+        "input",
+        "scale",
+        "seed",
+        "quiet-fraction",
+        "budget-mb",
+        "oom-support",
+        "threads",
+    ])?;
+    let exec = args.exec()?;
     let txns = load_transactions(args)?;
     let quiet_fraction: f64 = args.get_parsed_or("quiet-fraction", 0.1)?;
     if !(0.0..=1.0).contains(&quiet_fraction) {
@@ -23,10 +30,15 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     println!("{t2}");
     let limit = quiet_day_label_limit(&txns, quiet_fraction);
     println!("quiet-date label limit ({quiet_fraction} quantile): {limit}");
-    println!("{}", run_fig4(&txns, limit));
+    println!("{}", run_fig4(&txns, limit, &exec));
     println!(
         "{}",
-        run_fsg_oom(&t2.transactions, Support::Count(oom_support), budget_mb << 20)
+        run_fsg_oom(
+            &t2.transactions,
+            Support::Count(oom_support),
+            budget_mb << 20,
+            &exec,
+        )
     );
     Ok(())
 }

@@ -43,6 +43,10 @@ COMMANDS:
     report    the full E1..E15 report (+E17..E21 extensions)
               --scale F --seed N --extensions true|false
     help      this message
+
+mine, subdue, temporal and report also take --threads N to size the
+worker pool (default: TNET_THREADS, then the hardware thread count).
+Results are identical at any thread count.
 ";
 
 fn main() {

@@ -21,7 +21,9 @@ fn run_ok(args: &[&str]) -> String {
 #[test]
 fn help_lists_commands() {
     let text = run_ok(&["help"]);
-    for cmd in ["gen", "stats", "mine", "subdue", "temporal", "lanes", "report"] {
+    for cmd in [
+        "gen", "stats", "mine", "subdue", "temporal", "lanes", "report",
+    ] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -70,7 +72,15 @@ fn gen_stats_mine_roundtrip() {
 #[test]
 fn subdue_runs_on_synthetic() {
     let out = run_ok(&[
-        "subdue", "--scale", "0.01", "--vertices", "20", "--eval", "size", "--max-size", "6",
+        "subdue",
+        "--scale",
+        "0.01",
+        "--vertices",
+        "20",
+        "--eval",
+        "size",
+        "--max-size",
+        "6",
     ]);
     assert!(out.contains("truncated graph"));
     assert!(out.contains("#1:"), "expected a best substructure: {out}");
@@ -85,10 +95,7 @@ fn lanes_runs_on_synthetic() {
 
 #[test]
 fn bad_option_reports_error() {
-    let out = tnet()
-        .args(["stats", "--nonsense", "1"])
-        .output()
-        .unwrap();
+    let out = tnet().args(["stats", "--nonsense", "1"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
 }

@@ -4,10 +4,11 @@
 use crate::to_table::transactions_to_table;
 use std::fmt;
 use tnet_data::model::Transaction;
+use tnet_exec::Exec;
 use tnet_tabular::apriori::{mine_rules, render_rule, AprioriConfig, Rule};
 use tnet_tabular::correlate::column_correlation;
 use tnet_tabular::discretize::{discretize_table, Discretization};
-use tnet_tabular::em::{fit as em_fit, EmConfig};
+use tnet_tabular::em::{fit_with as em_fit_with, EmConfig};
 use tnet_tabular::table::Table;
 use tnet_tabular::tree::{DecisionTree, TreeConfig};
 
@@ -249,9 +250,9 @@ pub struct ClusterResult {
 /// then labels clusters by their Figure 6 profile. Distance > 2,500 miles
 /// with < 24 mean hours marks the air cluster; otherwise 600 miles
 /// separates short from long haul.
-pub fn run_cluster(txns: &[Transaction], k: usize, seed: u64) -> ClusterResult {
+pub fn run_cluster(txns: &[Transaction], k: usize, seed: u64, exec: &Exec) -> ClusterResult {
     let table = transactions_to_table(txns);
-    let model = em_fit(
+    let model = em_fit_with(
         &table,
         &EmConfig {
             clusters: k,
@@ -259,6 +260,7 @@ pub fn run_cluster(txns: &[Transaction], k: usize, seed: u64) -> ClusterResult {
             tolerance: 1e-4,
             seed,
         },
+        exec,
     );
     let mut rows: Vec<ClusterRow> = (0..k)
         .filter(|&c| model.sizes[c] > 0)
@@ -364,10 +366,14 @@ mod tests {
 
     #[test]
     fn cluster_finds_air_outliers_and_haul_split() {
-        let res = run_cluster(&data(), 9, 7);
+        let res = run_cluster(&data(), 9, 7, &Exec::new(2));
         assert!(res.air_cluster.is_some(), "air-freight cluster expected");
         let air = &res.rows[res.air_cluster.unwrap()];
-        assert!(air.size <= 20, "air cluster should be tiny, got {}", air.size);
+        assert!(
+            air.size <= 20,
+            "air cluster should be tiny, got {}",
+            air.size
+        );
         assert!(air.mean_distance > 2_500.0);
         assert!(air.mean_hours < 24.0);
         // Both short- and long-haul groups present.
@@ -384,7 +390,7 @@ mod tests {
     fn displays_render() {
         let txt = run_classify(&data()).to_string();
         assert!(txt.contains("TRANS_MODE test accuracy"));
-        let txt = run_cluster(&data(), 5, 7).to_string();
+        let txt = run_cluster(&data(), 5, 7, &Exec::new(2)).to_string();
         assert!(txt.contains("mean_distance"));
     }
 }

@@ -15,10 +15,11 @@ use tnet_data::model::{Date, LatLon, Transaction};
 use tnet_dynamic::events::{inject_event, pattern_fallout, Event, EventKind, FalloutReport};
 use tnet_dynamic::paths::{frequent_paths, PathConfig, PathPattern};
 use tnet_dynamic::periodic::{periodic_lanes, PeriodicConfig, PeriodicLane};
+use tnet_exec::Exec;
 use tnet_fsg::maximal::{filter_with_report, Keep, Reduction};
-use tnet_fsg::{mine, FsgConfig, Support};
+use tnet_fsg::{mine, mine_with, FsgConfig, Support};
 use tnet_graph::graph::Graph;
-use tnet_gspan::{mine_dfs, GspanConfig};
+use tnet_gspan::{mine_dfs_with, GspanConfig};
 
 // ---------------------------------------------------------------------------
 // E17 — periodic lanes
@@ -189,9 +190,7 @@ pub struct MaximalResult {
 /// and closed filters shrink the result — the paper's suggested answer
 /// to "many of these patterns turn out to be trivial or uninteresting".
 pub fn run_maximal(transactions: &[Graph], support: Support) -> MaximalResult {
-    let cfg = FsgConfig::default()
-        .with_support(support)
-        .with_max_edges(5);
+    let cfg = FsgConfig::default().with_support(support).with_max_edges(5);
     let out = mine(transactions, &cfg).expect("mining within budget");
     let (_, maximal) = filter_with_report(&out.patterns, Keep::Maximal);
     let (_, closed) = filter_with_report(&out.patterns, Keep::Closed);
@@ -229,18 +228,24 @@ pub struct MinerComparison {
 
 /// Runs E21: both miners on the same transactions; outputs must agree,
 /// memory profiles must contrast.
-pub fn run_miner_comparison(transactions: &[Graph], support: Support) -> MinerComparison {
-    let fsg_out = mine(
+pub fn run_miner_comparison(
+    transactions: &[Graph],
+    support: Support,
+    exec: &Exec,
+) -> MinerComparison {
+    let fsg_out = mine_with(
         transactions,
         &FsgConfig::default().with_support(support).with_max_edges(4),
+        exec,
     )
     .expect("within budget");
-    let gspan_out = mine_dfs(
+    let gspan_out = mine_dfs_with(
         transactions,
         &GspanConfig {
             min_support: support,
             max_edges: 4,
         },
+        exec,
     );
     MinerComparison {
         patterns_fsg: fsg_out.patterns.len(),
@@ -258,7 +263,10 @@ pub fn run_miner_comparison(transactions: &[Graph], support: Support) -> MinerCo
 
 impl fmt::Display for MinerComparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== E21: Apriori (FSG) vs pattern growth (gSpan-style) ===")?;
+        writeln!(
+            f,
+            "=== E21: Apriori (FSG) vs pattern growth (gSpan-style) ==="
+        )?;
         writeln!(
             f,
             "patterns: FSG {} vs DFS {}; peak memory: {} candidates (FSG level) vs {} stack depth (DFS)",
@@ -288,7 +296,7 @@ mod tests {
         );
         let mut g = od.graph;
         g.dedup_edges();
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+        let mut rng = tnet_graph::rng::StdRng::seed_from_u64(4);
         split_graph(&g, 10, Strategy::BreadthFirst, &mut rng)
     }
 
@@ -327,9 +335,15 @@ mod tests {
     #[test]
     fn event_fallout_measured() {
         let res = run_events(&data(0.04));
-        assert!(res.affected > 0, "blizzard over the corridor must hit lanes");
+        assert!(
+            res.affected > 0,
+            "blizzard over the corridor must hit lanes"
+        );
         assert!(res.fallout.mean_added_hours > 0.0);
-        assert!(res.fallout.emergent().count() > 0, "slowdowns shift bins up");
+        assert!(
+            res.fallout.emergent().count() > 0,
+            "slowdowns shift bins up"
+        );
     }
 
     #[test]
@@ -348,8 +362,11 @@ mod tests {
     #[test]
     fn miners_agree_with_contrasting_memory() {
         let txns = graph_transactions(0.015);
-        let res = run_miner_comparison(&txns, Support::Count(4));
-        assert_eq!(res.patterns_fsg, res.patterns_gspan, "output sets must match");
+        let res = run_miner_comparison(&txns, Support::Count(4), &Exec::new(2));
+        assert_eq!(
+            res.patterns_fsg, res.patterns_gspan,
+            "output sets must match"
+        );
         assert!(
             res.gspan_max_depth <= 4,
             "DFS keeps only the growth path in memory"

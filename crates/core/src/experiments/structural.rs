@@ -2,20 +2,20 @@
 //! BF/DF partitions (E5–E8).
 
 use crate::patterns::{classify, PatternShape};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::fmt;
 use std::time::Duration;
 use tnet_data::binning::BinScheme;
 use tnet_data::model::Transaction;
 use tnet_data::od_graph::{build_od_graph, EdgeLabeling, VertexLabeling};
-use tnet_fsg::{mine_for_algorithm1, FsgConfig, Support};
+use tnet_exec::Exec;
+use tnet_fsg::{mine_for_algorithm1_with, FsgConfig, Support};
 use tnet_graph::generate::{plant_patterns, shapes};
 use tnet_graph::graph::{ELabel, Graph, VLabel, VertexId};
 use tnet_graph::iso::are_isomorphic;
+use tnet_graph::rng::StdRng;
 use tnet_partition::single_graph::{mine_single_graph, SingleGraphPattern};
 use tnet_partition::split::Strategy;
-use tnet_subdue::{discover, EvalMethod, SubdueConfig};
+use tnet_subdue::{discover_with, EvalMethod, SubdueConfig};
 
 /// Builds the paper's truncated experiment graph: the `n` highest-degree
 /// vertices of the OD graph with all edges among them ("selecting the
@@ -55,7 +55,7 @@ pub struct Fig1Result {
 
 /// Runs E2: SUBDUE with the MDL principle, beam 4, best 3, on a
 /// truncated uniform-label `OD_GW` graph of `vertices` vertices.
-pub fn run_fig1(txns: &[Transaction], vertices: usize) -> Fig1Result {
+pub fn run_fig1(txns: &[Transaction], vertices: usize, exec: &Exec) -> Fig1Result {
     let scheme = BinScheme::fit_width_transactions(txns);
     let g = truncated_structural_graph(txns, &scheme, EdgeLabeling::GrossWeight, vertices);
     let cfg = SubdueConfig {
@@ -65,7 +65,7 @@ pub fn run_fig1(txns: &[Transaction], vertices: usize) -> Fig1Result {
         eval: EvalMethod::Mdl,
         ..Default::default()
     };
-    let out = discover(&g, &cfg);
+    let out = discover_with(&g, &cfg, exec);
     let best: Vec<(Graph, usize, f64)> = out
         .best
         .iter()
@@ -129,13 +129,12 @@ pub struct ScalingRow {
 /// Runs E3: SUBDUE (MDL and Size) on truncated graphs of increasing
 /// vertex counts; the paper's observation is superlinear runtime growth
 /// and Size costing more than MDL at the same settings.
-pub fn run_subdue_scaling(txns: &[Transaction], sizes: &[usize]) -> Vec<ScalingRow> {
+pub fn run_subdue_scaling(txns: &[Transaction], sizes: &[usize], exec: &Exec) -> Vec<ScalingRow> {
     let scheme = BinScheme::fit_width_transactions(txns);
     sizes
         .iter()
         .map(|&n| {
-            let g =
-                truncated_structural_graph(txns, &scheme, EdgeLabeling::TotalDistance, n);
+            let g = truncated_structural_graph(txns, &scheme, EdgeLabeling::TotalDistance, n);
             let mk = |eval: EvalMethod, max_size: usize| SubdueConfig {
                 beam_width: 4,
                 max_best: 3,
@@ -145,8 +144,8 @@ pub fn run_subdue_scaling(txns: &[Transaction], sizes: &[usize]) -> Vec<ScalingR
             };
             // Size principle hunts bigger substructures (the paper ran it
             // with larger limits, which is exactly why it took days).
-            let mdl = discover(&g, &mk(EvalMethod::Mdl, 10));
-            let size = discover(&g, &mk(EvalMethod::Size, 14));
+            let mdl = discover_with(&g, &mk(EvalMethod::Mdl, 10), exec);
+            let size = discover_with(&g, &mk(EvalMethod::Size, 14), exec);
             ScalingRow {
                 vertices: g.vertex_count(),
                 edges: g.edge_count(),
@@ -203,16 +202,12 @@ pub fn random_connected_pattern(
     edge_labels: u32,
     seed: u64,
 ) -> Graph {
-    use rand::Rng;
+    use tnet_graph::rng::Rng;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::new();
     let vs: Vec<VertexId> = (0..vertices).map(|_| g.add_vertex(VLabel(0))).collect();
     for i in 1..vertices {
-        g.add_edge(
-            vs[i - 1],
-            vs[i],
-            ELabel(rng.gen_range(0..edge_labels)),
-        );
+        g.add_edge(vs[i - 1], vs[i], ELabel(rng.gen_range(0..edge_labels)));
     }
     let mut added = 0;
     while added < extra_edges {
@@ -235,10 +230,18 @@ pub fn run_size_principle(
     pattern_extra_edges: usize,
     noise_edges: usize,
     seed: u64,
+    exec: &Exec,
 ) -> SizePrincipleResult {
     let edge_labels = 14;
-    let pattern = random_connected_pattern(pattern_vertices, pattern_extra_edges, edge_labels, seed);
-    let planted = plant_patterns(&[pattern.clone()], 2, noise_edges, edge_labels, seed + 1);
+    let pattern =
+        random_connected_pattern(pattern_vertices, pattern_extra_edges, edge_labels, seed);
+    let planted = plant_patterns(
+        std::slice::from_ref(&pattern),
+        2,
+        noise_edges,
+        edge_labels,
+        seed + 1,
+    );
     let cfg = SubdueConfig {
         beam_width: 8,
         max_best: 5,
@@ -246,11 +249,8 @@ pub fn run_size_principle(
         eval: EvalMethod::Size,
         ..Default::default()
     };
-    let out = discover(&planted.graph, &cfg);
-    let largest = out
-        .best
-        .iter()
-        .max_by_key(|s| s.pattern.edge_count());
+    let out = discover_with(&planted.graph, &cfg, exec);
+    let largest = out.best.iter().max_by_key(|s| s.pattern.edge_count());
     let (le, lv, li) = largest
         .map(|s| {
             (
@@ -272,7 +272,10 @@ pub fn run_size_principle(
 
 impl fmt::Display for SizePrincipleResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== E4: Size principle on planted structure (Sec 5.1) ===")?;
+        writeln!(
+            f,
+            "=== E4: Size principle on planted structure (Sec 5.1) ==="
+        )?;
         writeln!(
             f,
             "largest best pattern: {} vertices / {} edges, {} disjoint instances (runtime {:?})",
@@ -309,6 +312,7 @@ pub fn run_partition_sweep(
     repetitions: usize,
     max_edges: usize,
     seed: u64,
+    exec: &Exec,
 ) -> Vec<SweepRow> {
     let scheme = BinScheme::fit_width_transactions(txns);
     let od = build_od_graph(txns, &scheme, labeling, VertexLabeling::Uniform);
@@ -328,8 +332,8 @@ pub fn run_partition_sweep(
                 .with_support(Support::Count(support))
                 .with_max_edges(max_edges)
                 .with_memory_budget(512 << 20);
-            let found = mine_single_graph(&g, k, repetitions, strategy, seed, |t| {
-                mine_for_algorithm1(t, &cfg)
+            let found = mine_single_graph(&g, k, repetitions, strategy, seed, exec, |t, e| {
+                mine_for_algorithm1_with(t, &cfg, e)
             });
             rows.push(SweepRow {
                 strategy,
@@ -401,6 +405,7 @@ pub fn run_shape_mining(
     repetitions: usize,
     max_edges: usize,
     seed: u64,
+    exec: &Exec,
 ) -> ShapeMiningResult {
     let scheme = BinScheme::fit_width_transactions(txns);
     let od = build_od_graph(txns, &scheme, labeling, VertexLabeling::Uniform);
@@ -410,22 +415,18 @@ pub fn run_shape_mining(
         .with_support(Support::Count(support))
         .with_max_edges(max_edges)
         .with_memory_budget(512 << 20);
-    let patterns = mine_single_graph(&g, partitions, repetitions, strategy, seed, |t| {
-        mine_for_algorithm1(t, &cfg)
+    let patterns = mine_single_graph(&g, partitions, repetitions, strategy, seed, exec, |t, e| {
+        mine_for_algorithm1_with(t, &cfg, e)
     });
     let mut best_hub = None;
     let mut best_chain = None;
     for p in &patterns {
         match classify(&p.pattern) {
-            PatternShape::HubAndSpoke { spokes } => {
-                if best_hub.is_none_or(|(s, _)| spokes > s) {
-                    best_hub = Some((spokes, p.support));
-                }
+            PatternShape::HubAndSpoke { spokes } if best_hub.is_none_or(|(s, _)| spokes > s) => {
+                best_hub = Some((spokes, p.support));
             }
-            PatternShape::Chain { edges } => {
-                if best_chain.is_none_or(|(e, _)| edges > e) {
-                    best_chain = Some((edges, p.support));
-                }
+            PatternShape::Chain { edges } if best_chain.is_none_or(|(e, _)| edges > e) => {
+                best_chain = Some((edges, p.support));
             }
             _ => {}
         }
@@ -449,7 +450,10 @@ impl fmt::Display for ShapeMiningResult {
         )?;
         writeln!(f, "frequent patterns: {}", self.patterns.len())?;
         if let Some((spokes, support)) = self.best_hub {
-            writeln!(f, "largest hub-and-spoke: {spokes} spokes (support {support})")?;
+            writeln!(
+                f,
+                "largest hub-and-spoke: {spokes} spokes (support {support})"
+            )?;
         }
         if let Some((edges, support)) = self.best_chain {
             writeln!(f, "longest chain: {edges} edges (support {support})")?;
@@ -496,6 +500,7 @@ pub fn run_recall(
     partitions: usize,
     strategy: Strategy,
     seed: u64,
+    exec: &Exec,
 ) -> RecallResult {
     let planted_patterns = vec![
         shapes::hub_and_spoke(3, 0, 1),
@@ -516,7 +521,8 @@ pub fn run_recall(
         3,
         strategy,
         seed + 1,
-        |t| mine_for_algorithm1(t, &cfg),
+        exec,
+        |t, e| mine_for_algorithm1_with(t, &cfg, e),
     );
     let recovered = planted_patterns
         .iter()
@@ -558,7 +564,7 @@ mod tests {
     #[test]
     fn fig1_mdl_compresses_with_frequent_patterns() {
         let txns = data(0.03);
-        let res = run_fig1(&txns, 40);
+        let res = run_fig1(&txns, 40, &Exec::new(2));
         assert!(!res.best.is_empty());
         // SUBDUE/MDL returns repeated (no-overlap) substructures; the
         // top one is "very frequent" like the paper's Figure 1 finds.
@@ -574,7 +580,7 @@ mod tests {
 
     #[test]
     fn scaling_rows_grow() {
-        let rows = run_subdue_scaling(&data(0.02), &[15, 30, 60]);
+        let rows = run_subdue_scaling(&data(0.02), &[15, 30, 60], &Exec::new(2));
         assert_eq!(rows.len(), 3);
         assert!(rows[0].vertices < rows[2].vertices);
         // More vertices => strictly more (or equal) expansion work for
@@ -586,7 +592,7 @@ mod tests {
     fn size_principle_recovers_planted() {
         // Scaled-down version of the 31v/37e find: 12 vertices, 3 extra
         // edges (14 edges total), planted twice among 40 noise edges.
-        let res = run_size_principle(12, 3, 40, 5);
+        let res = run_size_principle(12, 3, 40, 5, &Exec::new(2));
         assert!(
             res.found,
             "size principle should recover the planted structure: {} edges, {} instances",
@@ -605,10 +611,16 @@ mod tests {
             1,
             4,
             11,
+            &Exec::new(2),
         );
         assert_eq!(rows.len(), 4);
         for r in &rows {
-            assert!(r.patterns > 0, "{:?} k={} found nothing", r.strategy, r.partitions);
+            assert!(
+                r.patterns > 0,
+                "{:?} k={} found nothing",
+                r.strategy,
+                r.partitions
+            );
         }
         // The paper: fewer partitions (larger transactions) => more
         // frequent patterns, per strategy.
@@ -637,6 +649,7 @@ mod tests {
             2,
             5,
             3,
+            &Exec::new(2),
         );
         let (spokes, support) = res.best_hub.expect("BF should find hub-and-spoke");
         assert!(spokes >= 3, "expect >=3 spokes, got {spokes}");
@@ -655,6 +668,7 @@ mod tests {
             2,
             5,
             3,
+            &Exec::new(2),
         );
         let (edges, _) = res.best_chain.expect("DF should find chains");
         assert!(edges >= 2, "expect chain of >=2 edges, got {edges}");
@@ -663,7 +677,7 @@ mod tests {
     #[test]
     fn recall_meets_footnote_two() {
         for strategy in [Strategy::BreadthFirst, Strategy::DepthFirst] {
-            let res = run_recall(24, 60, 6, strategy, 17);
+            let res = run_recall(24, 60, 6, strategy, 17, &Exec::new(2));
             assert!(
                 res.recall() >= 0.5,
                 "{} recall below 50%: {}/{}",

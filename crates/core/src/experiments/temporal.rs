@@ -5,7 +5,8 @@ use crate::patterns::classify;
 use std::fmt;
 use tnet_data::binning::BinScheme;
 use tnet_data::model::Transaction;
-use tnet_fsg::{mine, FsgConfig, FsgError, Support};
+use tnet_exec::Exec;
+use tnet_fsg::{mine_with, FsgConfig, FsgError, Support};
 use tnet_graph::graph::Graph;
 use tnet_partition::summary::{summarize_set, TransactionSetSummary};
 use tnet_partition::temporal::{filter_by_vertex_labels, temporal_partition, TemporalOptions};
@@ -51,7 +52,7 @@ pub struct Fig4Result {
 /// has fewer than `label_limit` distinct vertex labels (the paper used
 /// 200 — the quiet days), then run the component/dedup/size pipeline on
 /// those days, summarize (Table 3), and mine at 5% support (Figure 4).
-pub fn run_fig4(txns: &[Transaction], label_limit: usize) -> Fig4Result {
+pub fn run_fig4(txns: &[Transaction], label_limit: usize, exec: &Exec) -> Fig4Result {
     let scheme = BinScheme::fit_width_transactions(txns);
     let quiet_days = filter_by_vertex_labels(
         tnet_partition::temporal::daily_graphs(txns, &scheme),
@@ -69,7 +70,7 @@ pub fn run_fig4(txns: &[Transaction], label_limit: usize) -> Fig4Result {
     let cfg = FsgConfig::default()
         .with_support(Support::Fraction(0.05))
         .with_max_edges(5);
-    let out = mine(&filtered, &cfg).expect("filtered set must fit in memory");
+    let out = mine_with(&filtered, &cfg, exec).expect("filtered set must fit in memory");
     let single_edge_patterns = out
         .patterns
         .iter()
@@ -79,13 +80,7 @@ pub fn run_fig4(txns: &[Transaction], label_limit: usize) -> Fig4Result {
         .patterns
         .iter()
         .max_by_key(|p| p.graph.edge_count())
-        .map(|p| {
-            (
-                p.graph.edge_count(),
-                classify(&p.graph).name(),
-                p.support,
-            )
-        });
+        .map(|p| (p.graph.edge_count(), classify(&p.graph).name(), p.support));
     Fig4Result {
         table3,
         patterns: out.patterns.len(),
@@ -96,9 +91,16 @@ pub fn run_fig4(txns: &[Transaction], label_limit: usize) -> Fig4Result {
 
 impl fmt::Display for Fig4Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== E10: filtered temporal mining (Table 3, Figure 4) ===")?;
+        writeln!(
+            f,
+            "=== E10: filtered temporal mining (Table 3, Figure 4) ==="
+        )?;
         write!(f, "{}", self.table3)?;
-        writeln!(f, "frequent patterns at 5% support: {} (paper: 22)", self.patterns)?;
+        writeln!(
+            f,
+            "frequent patterns at 5% support: {} (paper: 22)",
+            self.patterns
+        )?;
         writeln!(f, "single-edge patterns: {}", self.single_edge_patterns)?;
         if let Some((edges, shape, support)) = self.largest {
             writeln!(
@@ -145,12 +147,19 @@ pub struct OomResult {
 /// `support`: the paper's effective threshold was 5% of 146 transactions
 /// ≈ 8 occurrences; at reduced scales pass an absolute count of similar
 /// magnitude so the level-1 vocabulary stays paper-shaped.
-pub fn run_fsg_oom(transactions: &[Graph], support: Support, budget: usize) -> OomResult {
+pub fn run_fsg_oom(
+    transactions: &[Graph],
+    support: Support,
+    budget: usize,
+    exec: &Exec,
+) -> OomResult {
     let cfg = FsgConfig::default()
         .with_support(support)
         .with_max_edges(6)
         .with_memory_budget(budget);
-    let error = mine(transactions, &cfg).err();
+    // The abort cancels `exec`'s token — hand the miner a child handle so
+    // a budget trip doesn't wedge the caller's whole pool.
+    let error = mine_with(transactions, &cfg, &exec.child()).err();
     OomResult { error, budget }
 }
 
@@ -195,7 +204,7 @@ mod tests {
     fn fig4_filtered_mining() {
         let txns = transactions(0.05);
         let limit = quiet_day_label_limit(&txns, 0.1);
-        let res = run_fig4(&txns, limit);
+        let res = run_fig4(&txns, limit, &Exec::new(2));
         assert!(res.table3.transactions > 0, "filter kept nothing");
         assert!(
             res.table3.max_edges <= 150,
@@ -218,12 +227,17 @@ mod tests {
         // The paper's effective support was ~8 occurrences; keep that
         // magnitude rather than a percentage of the inflated post-split
         // transaction count.
-        let res = run_fsg_oom(&res0.transactions, Support::Count(8), 256 * 1024);
+        let res = run_fsg_oom(
+            &res0.transactions,
+            Support::Count(8),
+            256 * 1024,
+            &Exec::new(2),
+        );
         match res.error {
             Some(FsgError::MemoryBudgetExceeded { level, .. }) => {
                 assert!(level >= 2);
             }
-            None => panic!("expected the paper's out-of-memory failure"),
+            other => panic!("expected the paper's out-of-memory failure, got {other:?}"),
         }
     }
 }

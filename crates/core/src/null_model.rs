@@ -14,11 +14,9 @@
 //! null are structural artifacts, while patterns whose support collapses
 //! carry real label information.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use tnet_graph::graph::{ELabel, Graph};
 use tnet_graph::iso::Matcher;
+use tnet_graph::rng::{SliceRandom, StdRng};
 
 /// A pattern's observed-vs-null comparison.
 #[derive(Clone, Debug)]
@@ -86,10 +84,7 @@ pub fn null_model_score(
 ) -> NullModelScore {
     assert!(replicas > 0, "need at least one replica");
     let matcher = Matcher::new(pattern);
-    let observed_support = transactions
-        .iter()
-        .filter(|t| matcher.matches(t))
-        .count();
+    let observed_support = transactions.iter().filter(|t| matcher.matches(t)).count();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut supports = Vec::with_capacity(replicas);
     for _ in 0..replicas {
@@ -103,8 +98,8 @@ pub fn null_model_score(
         supports.push(support as f64);
     }
     let mean = supports.iter().sum::<f64>() / replicas as f64;
-    let var = supports.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-        / (replicas.max(2) - 1) as f64;
+    let var =
+        supports.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (replicas.max(2) - 1) as f64;
     NullModelScore {
         observed_support,
         expected_support: mean,

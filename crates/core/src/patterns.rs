@@ -121,11 +121,7 @@ pub fn classify(g: &Graph) -> PatternShape {
 
 fn detect_bow_tie(g: &Graph, vs: &[VertexId]) -> Option<PatternShape> {
     // Find the unique "waist" edge between two internal vertices.
-    let internal: Vec<VertexId> = vs
-        .iter()
-        .copied()
-        .filter(|&v| g.degree(v) >= 3)
-        .collect();
+    let internal: Vec<VertexId> = vs.iter().copied().filter(|&v| g.degree(v) >= 3).collect();
     if internal.len() != 2 {
         return None;
     }
@@ -145,10 +141,8 @@ fn detect_bow_tie(g: &Graph, vs: &[VertexId]) -> Option<PatternShape> {
         .filter(|&&v| v != l && v != r)
         .all(|&v| g.degree(v) == 1);
     let structure_ok = g.out_degree(l) == 1 && g.in_degree(r) == 1;
-    (fan_in >= 2 && fan_out >= 2 && leaves_ok && structure_ok).then_some(PatternShape::BowTie {
-        fan_in,
-        fan_out,
-    })
+    (fan_in >= 2 && fan_out >= 2 && leaves_ok && structure_ok)
+        .then_some(PatternShape::BowTie { fan_in, fan_out })
 }
 
 /// Detects deadheading evidence in a pattern: ordered vertex pairs with

@@ -7,6 +7,7 @@ use tnet_data::model::Transaction;
 use tnet_data::od_graph::{build_od_graph, EdgeLabeling, OdGraph, VertexLabeling};
 use tnet_data::stats::{dataset_stats, DatasetStats};
 use tnet_data::synth::{generate, Dataset, SynthConfig};
+use tnet_exec::Exec;
 use tnet_partition::split::Strategy;
 
 /// One pipeline over a transaction dataset. Construction is cheap; each
@@ -70,90 +71,113 @@ impl Pipeline {
     /// Runs every experiment at sizes proportionate to the dataset and
     /// renders one combined text report. `scale` should match the value
     /// given to [`Pipeline::synthetic`] so thresholds stay calibrated.
+    /// Equivalent to [`Pipeline::full_report_with`] on the default
+    /// (`--threads` / `TNET_THREADS` / hardware) pool.
     pub fn full_report(&self, scale: f64, seed: u64) -> String {
-        let mut out = String::new();
+        self.full_report_with(scale, seed, &Exec::default())
+    }
+
+    /// As [`Pipeline::full_report`], running the experiment sections
+    /// across `exec`'s workers. Each section is an independent experiment
+    /// block and receives a child handle with a proportional slice of the
+    /// thread budget for its own inner parallelism; blocks are assembled
+    /// in section order, so the report text is identical at any thread
+    /// count.
+    pub fn full_report_with(&self, scale: f64, seed: u64, exec: &Exec) -> String {
         let txns = &self.transactions;
         let s = |full: usize, min: usize| ((full as f64 * scale).round() as usize).max(min);
 
-        out.push_str("=== E1: dataset description (Sec 3) ===\n");
-        out.push_str(&self.dataset_stats().to_string());
-        out.push('\n');
-
-        out.push_str(&structural::run_fig1(txns, s(100, 40)).to_string());
-        out.push('\n');
-        out.push_str(&structural::render_scaling(&structural::run_subdue_scaling(
-            txns,
-            &[s(25, 10), s(50, 20), s(100, 40)],
-        )));
-        out.push('\n');
-        out.push_str(&structural::run_size_principle(14, 3, 60, seed).to_string());
-        out.push('\n');
-        out.push_str(&structural::render_sweep(&structural::run_partition_sweep(
-            txns,
-            EdgeLabeling::GrossWeight,
-            &[s(400, 6), s(800, 12), s(1200, 18), s(1600, 24)],
-            s(240, 4),
-            s(120, 3),
-            2,
-            5,
-            seed,
-        )));
-        out.push('\n');
-        out.push_str(
-            &structural::run_shape_mining(
-                txns,
-                EdgeLabeling::TransitHours,
-                Strategy::BreadthFirst,
-                s(800, 10),
-                s(240, 4),
-                2,
-                5,
-                seed,
-            )
-            .to_string(),
-        );
-        out.push('\n');
-        out.push_str(
-            &structural::run_shape_mining(
-                txns,
-                EdgeLabeling::TotalDistance,
-                Strategy::DepthFirst,
-                s(800, 10),
-                s(120, 3),
-                2,
-                5,
-                seed,
-            )
-            .to_string(),
-        );
-        out.push('\n');
-        for strategy in [Strategy::BreadthFirst, Strategy::DepthFirst] {
-            out.push_str(&structural::run_recall(24, 60, 6, strategy, seed).to_string());
-        }
-        out.push('\n');
-
-        let t2 = temporal::run_table2(txns);
-        out.push_str(&t2.to_string());
-        out.push('\n');
-        let label_limit = temporal::quiet_day_label_limit(txns, 0.1);
-        out.push_str(&temporal::run_fig4(txns, label_limit).to_string());
-        out.push('\n');
-        out.push_str(
-            &temporal::run_fsg_oom(
-                &t2.transactions,
-                tnet_fsg::Support::Count(8),
-                256 * 1024,
-            )
-            .to_string(),
-        );
-        out.push('\n');
-
-        out.push_str(&conventional::run_assoc(txns, 12).to_string());
-        out.push('\n');
-        out.push_str(&conventional::run_classify(txns).to_string());
-        out.push('\n');
-        out.push_str(&conventional::run_cluster(txns, 9, seed).to_string());
-        out
+        type Section<'a> = Box<dyn Fn(&Exec) -> String + Sync + 'a>;
+        let sections: Vec<Section> = vec![
+            Box::new(|_| {
+                format!(
+                    "=== E1: dataset description (Sec 3) ===\n{}\n",
+                    self.dataset_stats()
+                )
+            }),
+            Box::new(move |e| format!("{}\n", structural::run_fig1(txns, s(100, 40), e))),
+            Box::new(move |e| {
+                let rows =
+                    structural::run_subdue_scaling(txns, &[s(25, 10), s(50, 20), s(100, 40)], e);
+                format!("{}\n", structural::render_scaling(&rows))
+            }),
+            Box::new(move |e| format!("{}\n", structural::run_size_principle(14, 3, 60, seed, e))),
+            Box::new(move |e| {
+                let rows = structural::run_partition_sweep(
+                    txns,
+                    EdgeLabeling::GrossWeight,
+                    &[s(400, 6), s(800, 12), s(1200, 18), s(1600, 24)],
+                    s(240, 4),
+                    s(120, 3),
+                    2,
+                    5,
+                    seed,
+                    e,
+                );
+                format!("{}\n", structural::render_sweep(&rows))
+            }),
+            Box::new(move |e| {
+                format!(
+                    "{}\n",
+                    structural::run_shape_mining(
+                        txns,
+                        EdgeLabeling::TransitHours,
+                        Strategy::BreadthFirst,
+                        s(800, 10),
+                        s(240, 4),
+                        2,
+                        5,
+                        seed,
+                        e,
+                    )
+                )
+            }),
+            Box::new(move |e| {
+                format!(
+                    "{}\n",
+                    structural::run_shape_mining(
+                        txns,
+                        EdgeLabeling::TotalDistance,
+                        Strategy::DepthFirst,
+                        s(800, 10),
+                        s(120, 3),
+                        2,
+                        5,
+                        seed,
+                        e,
+                    )
+                )
+            }),
+            Box::new(move |e| {
+                let mut out = String::new();
+                for strategy in [Strategy::BreadthFirst, Strategy::DepthFirst] {
+                    out.push_str(&structural::run_recall(24, 60, 6, strategy, seed, e).to_string());
+                }
+                out.push('\n');
+                out
+            }),
+            // The §6 temporal chain shares data (Table 2's transactions
+            // feed E11), so it stays one section.
+            Box::new(move |e| {
+                let t2 = temporal::run_table2(txns);
+                let label_limit = temporal::quiet_day_label_limit(txns, 0.1);
+                let fig4 = temporal::run_fig4(txns, label_limit, e);
+                let oom = temporal::run_fsg_oom(
+                    &t2.transactions,
+                    tnet_fsg::Support::Count(8),
+                    256 * 1024,
+                    e,
+                );
+                format!("{t2}\n{fig4}\n{oom}\n")
+            }),
+            Box::new(|_| format!("{}\n", conventional::run_assoc(txns, 12))),
+            Box::new(|_| format!("{}\n", conventional::run_classify(txns))),
+            Box::new(move |e| conventional::run_cluster(txns, 9, seed, e).to_string()),
+        ];
+        let outer = exec.threads().min(sections.len()).max(1);
+        let inner = (exec.threads() / outer).max(1);
+        let blocks = exec.par_map(&sections, |sec| sec(&exec.child_with_threads(inner)));
+        blocks.concat()
     }
 }
 

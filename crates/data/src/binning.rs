@@ -103,7 +103,11 @@ impl Binner {
     /// Human-readable interval label, e.g. `"[0, 6500)"`.
     pub fn interval_label(&self, i: u32) -> String {
         let (lo, hi) = self.interval(i);
-        let closing = if (i as usize) == self.bins() - 1 { ']' } else { ')' };
+        let closing = if (i as usize) == self.bins() - 1 {
+            ']'
+        } else {
+            ')'
+        };
         format!("[{lo:.0}, {hi:.0}{closing}")
     }
 }

@@ -85,7 +85,8 @@ pub fn read_csv(r: impl BufRead) -> Result<Vec<Transaction>, CsvError> {
             message: m.to_string(),
         };
         let parse_f = |s: &str, name: &str| -> Result<f64, CsvError> {
-            s.parse::<f64>().map_err(|_| err(&format!("bad {name}: {s}")))
+            s.parse::<f64>()
+                .map_err(|_| err(&format!("bad {name}: {s}")))
         };
         txns.push(Transaction {
             id: fields[0].parse().map_err(|_| err("bad ID"))?,

@@ -15,42 +15,186 @@ pub struct Market {
 /// Major North American freight markets (plus Honolulu for the paper's
 /// air-freight outliers). Coordinates at city centers.
 pub const MARKETS: [Market; 36] = [
-    Market { name: "Green Bay, WI", lat: 44.5, lon: -88.0 },
-    Market { name: "Chicago, IL", lat: 41.9, lon: -87.6 },
-    Market { name: "Milwaukee, WI", lat: 43.0, lon: -87.9 },
-    Market { name: "Minneapolis, MN", lat: 44.98, lon: -93.27 },
-    Market { name: "Detroit, MI", lat: 42.33, lon: -83.05 },
-    Market { name: "Indianapolis, IN", lat: 39.77, lon: -86.16 },
-    Market { name: "Columbus, OH", lat: 39.96, lon: -83.0 },
-    Market { name: "Cleveland, OH", lat: 41.5, lon: -81.7 },
-    Market { name: "Pittsburgh, PA", lat: 40.44, lon: -80.0 },
-    Market { name: "Philadelphia, PA", lat: 39.95, lon: -75.17 },
-    Market { name: "New York, NY", lat: 40.71, lon: -74.01 },
-    Market { name: "Boston, MA", lat: 42.36, lon: -71.06 },
-    Market { name: "Buffalo, NY", lat: 42.89, lon: -78.88 },
-    Market { name: "Baltimore, MD", lat: 39.29, lon: -76.61 },
-    Market { name: "Charlotte, NC", lat: 35.23, lon: -80.84 },
-    Market { name: "Atlanta, GA", lat: 33.75, lon: -84.39 },
-    Market { name: "Jacksonville, FL", lat: 30.33, lon: -81.66 },
-    Market { name: "Miami, FL", lat: 25.76, lon: -80.19 },
-    Market { name: "Nashville, TN", lat: 36.16, lon: -86.78 },
-    Market { name: "Memphis, TN", lat: 35.15, lon: -90.05 },
-    Market { name: "St. Louis, MO", lat: 38.63, lon: -90.2 },
-    Market { name: "Kansas City, MO", lat: 39.1, lon: -94.58 },
-    Market { name: "New Orleans, LA", lat: 29.95, lon: -90.07 },
-    Market { name: "Houston, TX", lat: 29.76, lon: -95.37 },
-    Market { name: "Dallas, TX", lat: 32.78, lon: -96.8 },
-    Market { name: "San Antonio, TX", lat: 29.42, lon: -98.49 },
-    Market { name: "Oklahoma City, OK", lat: 35.47, lon: -97.52 },
-    Market { name: "Denver, CO", lat: 39.74, lon: -104.99 },
-    Market { name: "Salt Lake City, UT", lat: 40.76, lon: -111.89 },
-    Market { name: "Phoenix, AZ", lat: 33.45, lon: -112.07 },
-    Market { name: "Los Angeles, CA", lat: 34.05, lon: -118.24 },
-    Market { name: "Sacramento, CA", lat: 38.58, lon: -121.49 },
-    Market { name: "Portland, OR", lat: 45.52, lon: -122.68 },
-    Market { name: "Seattle, WA", lat: 47.61, lon: -122.33 },
-    Market { name: "Boise, ID", lat: 43.62, lon: -116.2 },
-    Market { name: "Honolulu, HI", lat: 21.31, lon: -157.86 },
+    Market {
+        name: "Green Bay, WI",
+        lat: 44.5,
+        lon: -88.0,
+    },
+    Market {
+        name: "Chicago, IL",
+        lat: 41.9,
+        lon: -87.6,
+    },
+    Market {
+        name: "Milwaukee, WI",
+        lat: 43.0,
+        lon: -87.9,
+    },
+    Market {
+        name: "Minneapolis, MN",
+        lat: 44.98,
+        lon: -93.27,
+    },
+    Market {
+        name: "Detroit, MI",
+        lat: 42.33,
+        lon: -83.05,
+    },
+    Market {
+        name: "Indianapolis, IN",
+        lat: 39.77,
+        lon: -86.16,
+    },
+    Market {
+        name: "Columbus, OH",
+        lat: 39.96,
+        lon: -83.0,
+    },
+    Market {
+        name: "Cleveland, OH",
+        lat: 41.5,
+        lon: -81.7,
+    },
+    Market {
+        name: "Pittsburgh, PA",
+        lat: 40.44,
+        lon: -80.0,
+    },
+    Market {
+        name: "Philadelphia, PA",
+        lat: 39.95,
+        lon: -75.17,
+    },
+    Market {
+        name: "New York, NY",
+        lat: 40.71,
+        lon: -74.01,
+    },
+    Market {
+        name: "Boston, MA",
+        lat: 42.36,
+        lon: -71.06,
+    },
+    Market {
+        name: "Buffalo, NY",
+        lat: 42.89,
+        lon: -78.88,
+    },
+    Market {
+        name: "Baltimore, MD",
+        lat: 39.29,
+        lon: -76.61,
+    },
+    Market {
+        name: "Charlotte, NC",
+        lat: 35.23,
+        lon: -80.84,
+    },
+    Market {
+        name: "Atlanta, GA",
+        lat: 33.75,
+        lon: -84.39,
+    },
+    Market {
+        name: "Jacksonville, FL",
+        lat: 30.33,
+        lon: -81.66,
+    },
+    Market {
+        name: "Miami, FL",
+        lat: 25.76,
+        lon: -80.19,
+    },
+    Market {
+        name: "Nashville, TN",
+        lat: 36.16,
+        lon: -86.78,
+    },
+    Market {
+        name: "Memphis, TN",
+        lat: 35.15,
+        lon: -90.05,
+    },
+    Market {
+        name: "St. Louis, MO",
+        lat: 38.63,
+        lon: -90.2,
+    },
+    Market {
+        name: "Kansas City, MO",
+        lat: 39.1,
+        lon: -94.58,
+    },
+    Market {
+        name: "New Orleans, LA",
+        lat: 29.95,
+        lon: -90.07,
+    },
+    Market {
+        name: "Houston, TX",
+        lat: 29.76,
+        lon: -95.37,
+    },
+    Market {
+        name: "Dallas, TX",
+        lat: 32.78,
+        lon: -96.8,
+    },
+    Market {
+        name: "San Antonio, TX",
+        lat: 29.42,
+        lon: -98.49,
+    },
+    Market {
+        name: "Oklahoma City, OK",
+        lat: 35.47,
+        lon: -97.52,
+    },
+    Market {
+        name: "Denver, CO",
+        lat: 39.74,
+        lon: -104.99,
+    },
+    Market {
+        name: "Salt Lake City, UT",
+        lat: 40.76,
+        lon: -111.89,
+    },
+    Market {
+        name: "Phoenix, AZ",
+        lat: 33.45,
+        lon: -112.07,
+    },
+    Market {
+        name: "Los Angeles, CA",
+        lat: 34.05,
+        lon: -118.24,
+    },
+    Market {
+        name: "Sacramento, CA",
+        lat: 38.58,
+        lon: -121.49,
+    },
+    Market {
+        name: "Portland, OR",
+        lat: 45.52,
+        lon: -122.68,
+    },
+    Market {
+        name: "Seattle, WA",
+        lat: 47.61,
+        lon: -122.33,
+    },
+    Market {
+        name: "Boise, ID",
+        lat: 43.62,
+        lon: -116.2,
+    },
+    Market {
+        name: "Honolulu, HI",
+        lat: 21.31,
+        lon: -157.86,
+    },
 ];
 
 /// The nearest market to `p` and the distance to it in miles.

@@ -35,7 +35,8 @@ impl Date {
         let mut year = 2004u32;
         let mut remaining = self.0;
         loop {
-            let leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+            let leap =
+                year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400));
             let len = if leap { 366 } else { 365 };
             if remaining < len {
                 break;
@@ -43,7 +44,8 @@ impl Date {
             remaining -= len;
             year += 1;
         }
-        let leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+        let leap =
+            year.is_multiple_of(4) && (!year.is_multiple_of(100) || year.is_multiple_of(400));
         let months = [
             31,
             if leap { 29 } else { 28 },

@@ -87,7 +87,7 @@ pub fn build_od_graph(
     let mut edge_txn = Vec::with_capacity(txns.len());
     for t in txns {
         for loc in [t.origin, t.dest] {
-            if !loc_vertex.contains_key(&loc) {
+            if let std::collections::hash_map::Entry::Vacant(e) = loc_vertex.entry(loc) {
                 let label = match vertex_labeling {
                     VertexLabeling::Uniform => VLabel(0),
                     VertexLabeling::ByLocation => {
@@ -97,7 +97,7 @@ pub fn build_od_graph(
                     }
                 };
                 let v = graph.add_vertex(label);
-                loc_vertex.insert(loc, v);
+                e.insert(v);
                 vertex_location.insert(v, loc);
             }
         }
@@ -119,9 +119,24 @@ pub fn build_od_graph(
 /// vertex labels (the §5 structural setting).
 pub fn build_all_structural(txns: &[Transaction], scheme: &BinScheme) -> [OdGraph; 3] {
     [
-        build_od_graph(txns, scheme, EdgeLabeling::GrossWeight, VertexLabeling::Uniform),
-        build_od_graph(txns, scheme, EdgeLabeling::TransitHours, VertexLabeling::Uniform),
-        build_od_graph(txns, scheme, EdgeLabeling::TotalDistance, VertexLabeling::Uniform),
+        build_od_graph(
+            txns,
+            scheme,
+            EdgeLabeling::GrossWeight,
+            VertexLabeling::Uniform,
+        ),
+        build_od_graph(
+            txns,
+            scheme,
+            EdgeLabeling::TransitHours,
+            VertexLabeling::Uniform,
+        ),
+        build_od_graph(
+            txns,
+            scheme,
+            EdgeLabeling::TotalDistance,
+            VertexLabeling::Uniform,
+        ),
     ]
 }
 

@@ -22,10 +22,8 @@
 //!   partitioning finds repeated routes.
 
 use crate::model::{Date, LatLon, TransMode, Transaction};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
+use tnet_graph::rng::{Rng, SliceRandom, StdRng};
 
 /// Generator parameters. `paper()` reproduces the published scale;
 /// `scaled()` shrinks everything proportionally for fast tests/benches.
@@ -229,11 +227,7 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
     let n_hubs = (cfg.origins / 30).clamp(1, 80);
     for h in 0..n_hubs {
         let hub = origin_ids[2 + (h * 7) % (origin_ids.len() - 2)];
-        let mut near: Vec<usize> = dest_ids
-            .iter()
-            .copied()
-            .filter(|&d| d != hub)
-            .collect();
+        let mut near: Vec<usize> = dest_ids.iter().copied().filter(|&d| d != hub).collect();
         near.sort_by(|&a, &b| {
             locs[hub]
                 .haversine_miles(locs[a])
@@ -409,7 +403,11 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
                     break;
                 }
             }
-            if pick == 1 { 3 } else { pick }
+            if pick == 1 {
+                3
+            } else {
+                pick
+            }
         };
         push_pair(o, d, &mut pairs, &mut pair_set);
     }
@@ -469,7 +467,11 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
         let air = oi == 0 && di == 1;
         let straight = o.haversine_miles(d);
         let road_factor = rng.gen_range(1.12..1.28);
-        let distance = if air { straight } else { straight * road_factor };
+        let distance = if air {
+            straight
+        } else {
+            straight * road_factor
+        };
         let periodic = periodic_pairs.contains(&(oi, di));
         let phase = rng.gen_range(0..7u32);
         // Lane character: some lanes are LTL-dominant, some TL-dominant,
@@ -728,8 +730,7 @@ mod tests {
         assert!(!ds.planted_hub_pairs.is_empty());
         assert!(!ds.planted_chain_pairs.is_empty());
         // Planted pairs actually carry shipments.
-        let od: HashSet<(LatLon, LatLon)> =
-            ds.transactions.iter().map(|t| t.od_pair()).collect();
+        let od: HashSet<(LatLon, LatLon)> = ds.transactions.iter().map(|t| t.od_pair()).collect();
         for p in ds.planted_hub_pairs.iter().chain(&ds.planted_chain_pairs) {
             assert!(od.contains(p), "planted pair without shipments");
         }

@@ -1,6 +1,9 @@
 //! Property tests for the data layer: binning, CSV, and generator
 //! invariants under varying scales and seeds.
 
+// Gated: needs the external `proptest` crate (see the `prop` feature
+// note in Cargo.toml). Off by default so the workspace builds offline.
+#![cfg(feature = "prop")]
 use proptest::prelude::*;
 use tnet_data::binning::Binner;
 use tnet_data::csv::{read_csv, write_csv};
@@ -86,7 +89,10 @@ fn generator_invariants_across_seeds() {
         // room for singletons); at reduced scale just require sanity.
         assert!(st.out_degree.0 >= 1 && st.out_degree.0 as f64 <= st.out_degree.2);
         assert!(st.in_degree.0 >= 1 && st.in_degree.0 as f64 <= st.in_degree.2);
-        assert!(st.date_span.1 < cfg.days + 40, "deliveries stay near window");
+        assert!(
+            st.date_span.1 < cfg.days + 40,
+            "deliveries stay near window"
+        );
         // Ids are unique and dense.
         let mut ids: Vec<u64> = ds.transactions.iter().map(|t| t.id).collect();
         ids.sort_unstable();

@@ -169,10 +169,13 @@ pub fn frequent_paths(txns: &[Transaction], cfg: &PathConfig) -> PathMiningResul
             }
         })
         .collect();
+    // Route tie-break keeps the ordering independent of hash-map
+    // iteration order.
     patterns.sort_by(|a, b| {
         b.support()
             .cmp(&a.support())
             .then(b.legs().cmp(&a.legs()))
+            .then_with(|| a.locations.cmp(&b.locations))
     });
     PathMiningResult {
         patterns,

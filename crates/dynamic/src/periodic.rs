@@ -51,7 +51,10 @@ impl Default for PeriodicConfig {
 pub fn periodic_lanes(txns: &[Transaction], cfg: &PeriodicConfig) -> Vec<PeriodicLane> {
     let mut by_lane: HashMap<(LatLon, LatLon), Vec<u32>> = HashMap::new();
     for t in txns {
-        by_lane.entry(t.od_pair()).or_default().push(t.req_pickup.day());
+        by_lane
+            .entry(t.od_pair())
+            .or_default()
+            .push(t.req_pickup.day());
     }
     let mut out = Vec::new();
     for ((origin, dest), mut days) in by_lane {
@@ -71,7 +74,12 @@ pub fn periodic_lanes(txns: &[Transaction], cfg: &PeriodicConfig) -> Vec<Periodi
                 *hist.entry(g).or_insert(0) += 1;
             }
         }
-        let Some((&period, _)) = hist.iter().max_by_key(|&(_, &c)| c) else {
+        // Tie-break on the smaller gap so the dominant period never
+        // depends on hash-map iteration order.
+        let Some((&period, _)) = hist
+            .iter()
+            .max_by_key(|&(&g, &c)| (c, std::cmp::Reverse(g)))
+        else {
             continue;
         };
         let matching = gaps
@@ -94,6 +102,7 @@ pub fn periodic_lanes(txns: &[Transaction], cfg: &PeriodicConfig) -> Vec<Periodi
             .partial_cmp(&a.regularity)
             .unwrap()
             .then(b.occurrences.cmp(&a.occurrences))
+            .then((a.origin, a.dest).cmp(&(b.origin, b.dest)))
     });
     out
 }
@@ -123,9 +132,7 @@ mod tests {
 
     #[test]
     fn weekly_lane_detected() {
-        let mut txns: Vec<Transaction> = (0..8)
-            .map(|i| txn(i, 3 + 7 * i as u32, A, B))
-            .collect();
+        let mut txns: Vec<Transaction> = (0..8).map(|i| txn(i, 3 + 7 * i as u32, A, B)).collect();
         // A noisy lane that should not qualify.
         for (i, day) in [0u32, 3, 4, 11, 29, 30, 55].iter().enumerate() {
             txns.push(txn(100 + i as u64, *day, B, C));

@@ -1,0 +1,115 @@
+//! Cooperative, hierarchical cancellation.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cancellation signal shared between a controller and any number of
+/// workers.
+///
+/// Tokens form a tree: cancelling a parent cancels every descendant,
+/// while cancelling a child leaves the parent (and the child's siblings)
+/// running. This is what lets one FSG mine abort on a memory-budget
+/// overrun without poisoning concurrent sibling mines that share the
+/// same top-level runtime.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    parent: Option<CancelToken>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled root token.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token: observes this token's cancellation, but cancelling
+    /// the child does not cancel `self`.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Signals cancellation to this token and all its descendants.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// True once this token or any ancestor has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        let mut cur = Some(self);
+        while let Some(tok) = cur {
+            if tok.inner.flag.load(Ordering::Acquire) {
+                return true;
+            }
+            cur = tok.inner.parent.as_ref();
+        }
+        false
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+/// Returned by fallible parallel regions ([`crate::Exec::try_par_map`])
+/// when the region's token was cancelled before all chunks completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parallel region cancelled")
+    }
+}
+
+impl Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_observes_parent_not_vice_versa() {
+        let root = CancelToken::new();
+        let child = root.child();
+        let grandchild = child.child();
+        let sibling = root.child();
+
+        assert!(!grandchild.is_cancelled());
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(grandchild.is_cancelled(), "descendants observe");
+        assert!(!root.is_cancelled(), "parents do not");
+        assert!(!sibling.is_cancelled(), "siblings do not");
+
+        root.cancel();
+        assert!(sibling.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+}

@@ -1,0 +1,71 @@
+//! Per-pool execution counters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative counters for one [`crate::Exec`] pool (shared by all
+/// child handles). All updates are relaxed — these are observability
+/// numbers, not synchronization.
+#[derive(Debug, Default)]
+pub struct PoolCounters {
+    /// Items submitted across all parallel regions.
+    pub(crate) tasks: AtomicU64,
+    /// Chunks claimed and executed by workers.
+    pub(crate) chunks: AtomicU64,
+    /// Parallel regions entered (one per `par_*` call).
+    pub(crate) regions: AtomicU64,
+    /// Nanoseconds workers spent inside user work.
+    pub(crate) busy_nanos: AtomicU64,
+    /// Nanoseconds workers spent claiming/waiting (region wall time minus
+    /// busy time, summed per worker).
+    pub(crate) idle_nanos: AtomicU64,
+}
+
+impl PoolCounters {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            tasks: self.tasks.load(Ordering::Relaxed),
+            chunks: self.chunks.load(Ordering::Relaxed),
+            regions: self.regions.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            idle_nanos: self.idle_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of [`PoolCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    pub tasks: u64,
+    pub chunks: u64,
+    pub regions: u64,
+    pub busy_nanos: u64,
+    pub idle_nanos: u64,
+}
+
+impl CountersSnapshot {
+    /// Fraction of worker wall time spent in user work, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_nanos + self.idle_nanos;
+        if total == 0 {
+            return 0.0;
+        }
+        self.busy_nanos as f64 / total as f64
+    }
+}
+
+impl fmt::Display for CountersSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks in {} chunks over {} regions; busy {:.1}ms, idle {:.1}ms ({:.0}% utilization)",
+            self.tasks,
+            self.chunks,
+            self.regions,
+            self.busy_nanos as f64 / 1e6,
+            self.idle_nanos as f64 / 1e6,
+            self.utilization() * 100.0
+        )
+    }
+}

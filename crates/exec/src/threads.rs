@@ -1,0 +1,58 @@
+//! Thread-count selection.
+
+/// Where a pool's thread count comes from, in priority order:
+///
+/// 1. an explicit request (CLI `--threads N`);
+/// 2. the `TNET_THREADS` environment variable;
+/// 3. [`std::thread::available_parallelism`] (falling back to 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Threads {
+    /// Explicit request; `None` defers to the environment / hardware.
+    pub requested: Option<usize>,
+}
+
+impl Threads {
+    /// An explicit thread count (clamped to at least 1 at resolution).
+    pub fn exact(n: usize) -> Self {
+        Threads { requested: Some(n) }
+    }
+
+    /// Defer entirely to `TNET_THREADS` / hardware.
+    pub fn auto() -> Self {
+        Threads { requested: None }
+    }
+
+    /// Resolves the effective thread count (always >= 1).
+    pub fn resolve(&self) -> usize {
+        if let Some(n) = self.requested {
+            return n.max(1);
+        }
+        if let Ok(v) = std::env::var("TNET_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_beats_everything() {
+        assert_eq!(Threads::exact(3).resolve(), 3);
+        assert_eq!(Threads::exact(0).resolve(), 1, "clamped");
+    }
+
+    #[test]
+    fn auto_is_positive() {
+        // Whatever the environment says, the answer is a usable count.
+        assert!(Threads::auto().resolve() >= 1);
+    }
+}

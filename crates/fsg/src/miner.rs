@@ -14,6 +14,7 @@
 
 use crate::extend::{connected_sub_patterns, extend_pattern, EdgeVocab};
 use crate::types::{FrequentPattern, FsgConfig, FsgError, FsgOutput, MiningStats};
+use tnet_exec::Exec;
 use tnet_graph::canon::IsoClassMap;
 use tnet_graph::graph::{ELabel, Graph, VLabel};
 use tnet_graph::hash::FxHashMap;
@@ -28,7 +29,18 @@ fn candidate_bytes(vertices: usize, edges: usize, tids: usize) -> usize {
     256 + vertices * 110 + edges * 48 + tids * 4
 }
 
-/// Mines all frequent connected subgraphs of `transactions`.
+/// Per-candidate verdict from the parallel evaluation stage. Folding
+/// these back into `stats`/`next` in candidate order keeps the output
+/// byte-identical to the sequential path.
+enum Verdict {
+    /// Failed the downward-closure check.
+    Pruned,
+    /// Survived closure; support counted over the seed parent's TIDs.
+    Counted { tids: Vec<u32>, iso_tests: usize },
+}
+
+/// Mines all frequent connected subgraphs of `transactions` on the
+/// current thread. Equivalent to [`mine_with`] on a sequential pool.
 ///
 /// Transactions must be simple graphs (no parallel `(src, dst, label)`
 /// triples) — run [`Graph::dedup_edges`] first if needed; this matches
@@ -38,6 +50,29 @@ fn candidate_bytes(vertices: usize, edges: usize, tids: usize) -> usize {
 /// [`FsgError::MemoryBudgetExceeded`] when a candidate level outgrows the
 /// configured budget.
 pub fn mine(transactions: &[Graph], cfg: &FsgConfig) -> Result<FsgOutput, FsgError> {
+    mine_with(transactions, cfg, &Exec::sequential())
+}
+
+/// Mines all frequent connected subgraphs of `transactions`, evaluating
+/// each level's candidates (closure check + VF2 support counting) across
+/// `exec`'s workers. Candidate generation and result folding stay
+/// sequential and in candidate order, so the output is byte-identical at
+/// any thread count.
+///
+/// # Errors
+/// - [`FsgError::MemoryBudgetExceeded`] when a candidate level outgrows
+///   the configured budget. The handle's [`tnet_exec::CancelToken`] is
+///   cancelled first, so siblings sharing the token stop promptly.
+/// - [`FsgError::Cancelled`] when `exec` (or an ancestor handle) is
+///   cancelled externally mid-run.
+pub fn mine_with(
+    transactions: &[Graph],
+    cfg: &FsgConfig,
+    exec: &Exec,
+) -> Result<FsgOutput, FsgError> {
+    if exec.is_cancelled() {
+        return Err(FsgError::Cancelled);
+    }
     let min_support = cfg.min_support.resolve(transactions.len());
     let mut stats = MiningStats::default();
     let mut all_frequent: Vec<FrequentPattern> = Vec::new();
@@ -66,12 +101,7 @@ pub fn mine(transactions: &[Graph], cfg: &FsgConfig) -> Result<FsgOutput, FsgErr
             std::collections::HashSet::new();
         for e in t.edges() {
             let (s, d, l) = t.edge(e);
-            let key = (
-                t.vertex_label(s).0,
-                l.0,
-                t.vertex_label(d).0,
-                s == d,
-            );
+            let key = (t.vertex_label(s).0, l.0, t.vertex_label(d).0, s == d);
             if seen.insert(key) {
                 level1.entry(key).or_default().push(tid as u32);
             }
@@ -130,13 +160,16 @@ pub fn mine(transactions: &[Graph], cfg: &FsgConfig) -> Result<FsgOutput, FsgErr
         let mut estimated = 0usize;
         for (idx, p) in frequent.iter().enumerate() {
             extend_pattern(&p.graph, &vocab, idx, &mut candidates);
-            estimated = candidates.len()
-                * candidate_bytes(level + 1, level, min_support.max(16));
+            estimated = candidates.len() * candidate_bytes(level + 1, level, min_support.max(16));
             if let Some(budget) = cfg.memory_budget {
                 if estimated > budget {
                     stats.peak_candidate_bytes = stats.peak_candidate_bytes.max(estimated);
                     all_frequent.extend(frequent);
                     finalize(&mut all_frequent);
+                    // Signal any work sharing this token (sibling
+                    // repetitions, report sections) to stop: the budget
+                    // models one machine's memory, not one call's.
+                    exec.cancel();
                     return Err(FsgError::MemoryBudgetExceeded {
                         level,
                         estimated_bytes: estimated,
@@ -155,51 +188,64 @@ pub fn mine(transactions: &[Graph], cfg: &FsgConfig) -> Result<FsgOutput, FsgErr
         for (i, p) in frequent.iter().enumerate() {
             prev_index.insert(p.graph.clone(), i);
         }
-        let mut next: Vec<FrequentPattern> = Vec::new();
-        for (candidate, parents) in candidates.into_iter_pairs() {
-            // Closure: every connected k-edge sub-pattern must be frequent.
-            let mut closed = true;
-            for sub in connected_sub_patterns(&candidate) {
-                if !prev_index.contains(&sub) {
-                    closed = false;
-                    break;
+        // Evaluate candidates in parallel: each verdict is a pure
+        // function of (candidate, previous level, transactions), and the
+        // fold below walks verdicts in candidate order — the costly VF2
+        // searches fan out, the bookkeeping stays deterministic.
+        let cand_list: Vec<(Graph, Vec<usize>)> = candidates.into_iter_pairs().collect();
+        let verdicts = exec
+            .try_par_map(&cand_list, |(candidate, parents)| {
+                // Closure: every connected k-edge sub-pattern must be
+                // frequent.
+                for sub in connected_sub_patterns(candidate) {
+                    if !prev_index.contains(&sub) {
+                        return Verdict::Pruned;
+                    }
                 }
-            }
-            if !closed {
-                stats.closure_pruned += 1;
-                continue;
-            }
-            // Count support over the smallest parent TID list.
-            let seed_parent = parents
-                .iter()
-                .copied()
-                .min_by_key(|&i| frequent[i].tids.len())
-                .expect("candidate without parents");
-            let mut need: FxHashMap<u32, usize> = FxHashMap::default();
-            for e in candidate.edges() {
-                *need.entry(candidate.edge_label(e).0).or_insert(0) += 1;
-            }
-            let matcher = Matcher::new(&candidate);
-            let mut tids = Vec::new();
-            for &tid in &frequent[seed_parent].tids {
-                let counts = &label_counts[tid as usize];
-                if need
+                // Count support over the smallest parent TID list.
+                let seed_parent = parents
                     .iter()
-                    .any(|(l, &k)| counts.get(l).copied().unwrap_or(0) < k)
-                {
-                    continue;
+                    .copied()
+                    .min_by_key(|&i| frequent[i].tids.len())
+                    .expect("candidate without parents");
+                let mut need: FxHashMap<u32, usize> = FxHashMap::default();
+                for e in candidate.edges() {
+                    *need.entry(candidate.edge_label(e).0).or_insert(0) += 1;
                 }
-                stats.iso_tests += 1;
-                if matcher.matches(&transactions[tid as usize]) {
-                    tids.push(tid);
+                let matcher = Matcher::new(candidate);
+                let mut iso_tests = 0usize;
+                let mut tids = Vec::new();
+                for &tid in &frequent[seed_parent].tids {
+                    let counts = &label_counts[tid as usize];
+                    if need
+                        .iter()
+                        .any(|(l, &k)| counts.get(l).copied().unwrap_or(0) < k)
+                    {
+                        continue;
+                    }
+                    iso_tests += 1;
+                    if matcher.matches(&transactions[tid as usize]) {
+                        tids.push(tid);
+                    }
                 }
-            }
-            if tids.len() >= min_support {
-                next.push(FrequentPattern {
-                    support: tids.len(),
-                    graph: candidate,
-                    tids,
-                });
+                Verdict::Counted { tids, iso_tests }
+            })
+            .map_err(|_| FsgError::Cancelled)?;
+
+        let mut next: Vec<FrequentPattern> = Vec::new();
+        for ((candidate, _), verdict) in cand_list.into_iter().zip(verdicts) {
+            match verdict {
+                Verdict::Pruned => stats.closure_pruned += 1,
+                Verdict::Counted { tids, iso_tests } => {
+                    stats.iso_tests += iso_tests;
+                    if tids.len() >= min_support {
+                        next.push(FrequentPattern {
+                            support: tids.len(),
+                            graph: candidate,
+                            tids,
+                        });
+                    }
+                }
             }
         }
         stats.frequent_per_level.push(next.len());
@@ -224,11 +270,17 @@ fn finalize(patterns: &mut [FrequentPattern]) {
 /// Adapter with the signature Algorithm 1's `Find_Frequent_Graphs` slot
 /// expects: returns `(pattern, support)` pairs, treating a memory-budget
 /// abort as "no patterns from this repetition".
-pub fn mine_for_algorithm1(
+pub fn mine_for_algorithm1(transactions: &[Graph], cfg: &FsgConfig) -> Vec<(Graph, usize)> {
+    mine_for_algorithm1_with(transactions, cfg, &Exec::sequential())
+}
+
+/// As [`mine_for_algorithm1`], counting support on `exec`'s workers.
+pub fn mine_for_algorithm1_with(
     transactions: &[Graph],
     cfg: &FsgConfig,
+    exec: &Exec,
 ) -> Vec<(Graph, usize)> {
-    match mine(transactions, cfg) {
+    match mine_with(transactions, cfg, exec) {
         Ok(out) => out
             .patterns
             .into_iter()
@@ -317,10 +369,7 @@ mod tests {
         let txns: Vec<Graph> = (0..3).map(|_| shapes::chain(6, 0, 1)).collect();
         let out = mine(&txns, &cfg(3).with_max_edges(3)).unwrap();
         assert!(out.patterns.iter().all(|p| p.graph.edge_count() <= 3));
-        assert!(out
-            .patterns
-            .iter()
-            .any(|p| p.graph.edge_count() == 3));
+        assert!(out.patterns.iter().any(|p| p.graph.edge_count() == 3));
     }
 
     #[test]
@@ -331,9 +380,7 @@ mod tests {
         let mut txns = Vec::new();
         for t in 0..4 {
             let mut g = Graph::new();
-            let vs: Vec<_> = (0..12)
-                .map(|i| g.add_vertex(VLabel(t * 12 + i)))
-                .collect();
+            let vs: Vec<_> = (0..12).map(|i| g.add_vertex(VLabel(t * 12 + i))).collect();
             for i in 0..11 {
                 g.add_edge(vs[i], vs[i + 1], ELabel(i as u32 % 3));
             }
@@ -376,20 +423,29 @@ mod tests {
         let mut loop_pat = Graph::new();
         let v = loop_pat.add_vertex(VLabel(1));
         loop_pat.add_edge(v, v, ELabel(0));
-        assert!(out.patterns.iter().any(|p| are_isomorphic(&p.graph, &loop_pat)));
+        assert!(out
+            .patterns
+            .iter()
+            .any(|p| are_isomorphic(&p.graph, &loop_pat)));
         // Combined loop + edge 2-pattern frequent too.
         let mut combo = loop_pat.clone();
         let b = combo.add_vertex(VLabel(1));
         let v0 = combo.vertices().next().unwrap();
         combo.add_edge(v0, b, ELabel(2));
-        assert!(out.patterns.iter().any(|p| are_isomorphic(&p.graph, &combo)));
+        assert!(out
+            .patterns
+            .iter()
+            .any(|p| are_isomorphic(&p.graph, &combo)));
     }
 
     #[test]
     fn stats_are_recorded() {
         let txns: Vec<Graph> = (0..3).map(|_| shapes::cycle(4, 0, 1)).collect();
         let out = mine(&txns, &cfg(3)).unwrap();
-        assert_eq!(out.stats.candidates_per_level.len(), out.stats.frequent_per_level.len());
+        assert_eq!(
+            out.stats.candidates_per_level.len(),
+            out.stats.frequent_per_level.len()
+        );
         assert!(out.stats.iso_tests > 0);
         assert!(out.stats.total_frequent() >= out.patterns.len());
     }

@@ -131,6 +131,10 @@ pub enum FsgError {
         budget: usize,
         partial_stats: MiningStats,
     },
+    /// The mine's execution handle was cancelled (by a caller, or by a
+    /// sibling's memory-budget abort propagating through a shared
+    /// [`tnet_exec::CancelToken`]) before the run completed.
+    Cancelled,
 }
 
 impl std::fmt::Display for FsgError {
@@ -145,6 +149,7 @@ impl std::fmt::Display for FsgError {
                 f,
                 "candidate set at level {level} needs ~{estimated_bytes} bytes, budget is {budget}"
             ),
+            FsgError::Cancelled => write!(f, "mining run was cancelled"),
         }
     }
 }

@@ -68,10 +68,7 @@ pub fn invariant_hash(g: &Graph) -> u64 {
                     mix(&[3, l.0 as u64, color[&s]])
                 })
                 .collect();
-            next.insert(
-                v,
-                mix(&[color[&v], mix_sorted(outs), mix_sorted(ins)]),
-            );
+            next.insert(v, mix(&[color[&v], mix_sorted(outs), mix_sorted(ins)]));
         }
         color = next;
     }

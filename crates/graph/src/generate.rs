@@ -10,8 +10,7 @@
 //!   show candidate-set explosion — [`random_transactions`].
 
 use crate::graph::{ELabel, Graph, VLabel, VertexId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, StdRng};
 
 /// Configuration for uniform random labeled digraphs.
 #[derive(Clone, Debug)]
@@ -69,13 +68,11 @@ pub fn random_graph_with(cfg: &RandomGraphConfig, rng: &mut impl Rng) -> Graph {
 /// A set of independent random graph transactions (FSG-style synthetic
 /// workload). `vertex_labels` is the key knob for reproducing the §8
 /// candidate-explosion result.
-pub fn random_transactions(
-    count: usize,
-    cfg: &RandomGraphConfig,
-    seed: u64,
-) -> Vec<Graph> {
+pub fn random_transactions(count: usize, cfg: &RandomGraphConfig, seed: u64) -> Vec<Graph> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|_| random_graph_with(cfg, &mut rng)).collect()
+    (0..count)
+        .map(|_| random_graph_with(cfg, &mut rng))
+        .collect()
 }
 
 /// Result of [`plant_patterns`]: the composite graph plus the planted

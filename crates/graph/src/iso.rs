@@ -105,8 +105,7 @@ fn build_plan(pattern: &Graph) -> SearchPlan {
         placed.insert(next);
     }
 
-    let pos: FxHashMap<VertexId, usize> =
-        order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let pos: FxHashMap<VertexId, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut back_edges = vec![Vec::new(); order.len()];
     let mut anchor = vec![None; order.len()];
     for (i, &v) in order.iter().enumerate() {
@@ -141,11 +140,11 @@ fn build_plan(pattern: &Graph) -> SearchPlan {
         let (m, l, out) = back_edges[i][0];
         Some((m, out, l, pattern.vertex_label(v)))
     };
-    for i in 1..order.len() {
+    for (i, twin) in twin_prev.iter_mut().enumerate().skip(1) {
         let Some(sig) = signature(i) else { continue };
         for j in (1..i).rev() {
             if signature(j) == Some(sig) {
-                twin_prev[i] = Some(j);
+                *twin = Some(j);
                 break;
             }
         }
@@ -181,8 +180,7 @@ impl Matcher {
             .iter()
             .map(|&v| pattern.vertex_label(v))
             .collect();
-        let mut multiplicity: FxHashMap<(VertexId, VertexId, ELabel), usize> =
-            FxHashMap::default();
+        let mut multiplicity: FxHashMap<(VertexId, VertexId, ELabel), usize> = FxHashMap::default();
         for e in pattern.edges() {
             *multiplicity.entry(pattern.edge(e)).or_insert(0) += 1;
         }
@@ -272,7 +270,11 @@ impl Matcher {
         for &(m, _l, out) in &self.plan.back_edges[depth] {
             let tm = self.image(assignment, m);
             let (ps, pd) = if out { (pv, m) } else { (m, pv) };
-            let (ts, td) = if out { (candidate, tm) } else { (tm, candidate) };
+            let (ts, td) = if out {
+                (candidate, tm)
+            } else {
+                (tm, candidate)
+            };
             // Sum multiplicity over labels for this ordered pair once per
             // distinct (pair,label); recomputing per back edge is fine for
             // the tiny patterns in play.
@@ -364,8 +366,7 @@ impl Matcher {
 
 /// Existence check: does `pattern` occur in `target` (per §4's definition)?
 pub fn has_embedding(pattern: &Graph, target: &Graph) -> bool {
-    if pattern.vertex_count() > target.vertex_count()
-        || pattern.edge_count() > target.edge_count()
+    if pattern.vertex_count() > target.vertex_count() || pattern.edge_count() > target.edge_count()
     {
         return false;
     }
@@ -462,7 +463,7 @@ mod tests {
         let y = p.add_vertex(VLabel(0));
         p.add_edge(y, x, ELabel(0)); // same shape, same direction class
         assert!(has_embedding(&p, &t)); // x:=b, y:=a works
-        // but a 2-cycle pattern must not embed in a single directed edge
+                                        // but a 2-cycle pattern must not embed in a single directed edge
         let mut c = Graph::new();
         let u = c.add_vertex(VLabel(0));
         let v = c.add_vertex(VLabel(0));
@@ -532,8 +533,8 @@ mod tests {
         let c = path(&[1, 2, 3], &[8, 7]);
         assert!(!are_isomorphic(&a, &c));
         let d = path(&[3, 2, 1], &[8, 7]); // reversed path = same graph? No:
-        // d's edges: 3-[8]->2, 2-[7]->1; a's: 1-[7]->2, 2-[8]->3. Relabel
-        // mapping 1<->3 sends a's 1-[7]->2 to 3-[7]->2 which d lacks.
+                                           // d's edges: 3-[8]->2, 2-[7]->1; a's: 1-[7]->2, 2-[8]->3. Relabel
+                                           // mapping 1<->3 sends a's 1-[7]->2 to 3-[7]->2 which d lacks.
         assert!(!are_isomorphic(&a, &d));
     }
 
@@ -543,7 +544,11 @@ mod tests {
             let mut g = Graph::new();
             let vs: Vec<_> = (0..4).map(|_| g.add_vertex(VLabel(0))).collect();
             for i in 0..4 {
-                g.add_edge(vs[(i + rot) % 4], vs[(i + rot + 1) % 4], ELabel(i as u32 % 2));
+                g.add_edge(
+                    vs[(i + rot) % 4],
+                    vs[(i + rot + 1) % 4],
+                    ELabel(i as u32 % 2),
+                );
             }
             g
         };

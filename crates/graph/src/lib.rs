@@ -16,6 +16,8 @@
 //!   (pattern dedup for the miners);
 //! * [`generate`] — random graphs, planted-pattern composites (footnote 2
 //!   recall experiment), and the paper's "known good shapes";
+//! * [`rng`] — in-tree seeded PRNG (splitmix64 + xoshiro256\*\*), the
+//!   workspace-wide replacement for the external `rand` crate;
 //! * [`stats`], [`dot`] — summaries and rendering;
 //! * [`hash`] — fast Fx hashing used throughout the workspace.
 //!
@@ -44,6 +46,7 @@ pub mod generate;
 pub mod graph;
 pub mod hash;
 pub mod iso;
+pub mod rng;
 pub mod stats;
 pub mod traverse;
 

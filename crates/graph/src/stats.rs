@@ -55,9 +55,7 @@ pub fn summarize(g: &Graph) -> GraphSummary {
         out_degree: DegreeStats::from_iter(
             g.vertices().map(|v| g.out_degree(v)).filter(|&d| d > 0),
         ),
-        in_degree: DegreeStats::from_iter(
-            g.vertices().map(|v| g.in_degree(v)).filter(|&d| d > 0),
-        ),
+        in_degree: DegreeStats::from_iter(g.vertices().map(|v| g.in_degree(v)).filter(|&d| d > 0)),
     }
 }
 

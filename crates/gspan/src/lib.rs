@@ -23,6 +23,7 @@
 //! assert!(out.patterns.iter().any(|p| p.graph.edge_count() == 3));
 //! ```
 
+use tnet_exec::Exec;
 use tnet_fsg::extend::{extend_pattern, EdgeVocab};
 use tnet_fsg::{FrequentPattern, Support};
 use tnet_graph::canon::IsoClassMap;
@@ -69,10 +70,22 @@ pub struct GspanOutput {
     pub stats: GspanStats,
 }
 
-/// Mines all frequent connected subgraphs depth-first. Same contract as
-/// [`tnet_fsg::mine`]: inputs must be simple graphs; output patterns are
-/// deduplicated by isomorphism class with exact supports and TID lists.
+/// Mines all frequent connected subgraphs depth-first on the current
+/// thread. Equivalent to [`mine_dfs_with`] on a sequential pool.
+///
+/// Same contract as [`tnet_fsg::mine`]: inputs must be simple graphs;
+/// output patterns are deduplicated by isomorphism class with exact
+/// supports and TID lists.
 pub fn mine_dfs(transactions: &[Graph], cfg: &GspanConfig) -> GspanOutput {
+    mine_dfs_with(transactions, cfg, &Exec::sequential())
+}
+
+/// As [`mine_dfs`], fanning each candidate's support count (the VF2
+/// search over its parent's TIDs) across `exec`'s workers. The DFS walk
+/// itself stays sequential — the `visited` set is inherently serial —
+/// and TIDs are reassembled in input order, so the output is
+/// byte-identical at any thread count.
+pub fn mine_dfs_with(transactions: &[Graph], cfg: &GspanConfig, exec: &Exec) -> GspanOutput {
     let min_support = cfg.min_support.resolve(transactions.len());
     let mut stats = GspanStats::default();
 
@@ -128,6 +141,7 @@ pub fn mine_dfs(transactions: &[Graph], cfg: &GspanConfig) -> GspanOutput {
             min_support,
             cfg.max_edges,
             1,
+            exec,
             &mut visited,
             &mut results,
             &mut stats,
@@ -153,6 +167,7 @@ fn grow(
     min_support: usize,
     max_edges: usize,
     depth: usize,
+    exec: &Exec,
     visited: &mut IsoClassMap<()>,
     results: &mut Vec<FrequentPattern>,
     stats: &mut GspanStats,
@@ -171,13 +186,18 @@ fn grow(
         }
         visited.insert(candidate.clone(), ());
         let matcher = Matcher::new(&candidate);
-        let mut tids = Vec::new();
-        for &tid in &parent.tids {
-            stats.iso_tests += 1;
-            if matcher.matches(&transactions[tid as usize]) {
-                tids.push(tid);
-            }
-        }
+        // Support counting is the hot loop; fan the VF2 searches over
+        // the pool and keep matching TIDs in input order.
+        let hits = exec.par_map(&parent.tids, |&tid| {
+            matcher.matches(&transactions[tid as usize])
+        });
+        stats.iso_tests += parent.tids.len();
+        let tids: Vec<u32> = parent
+            .tids
+            .iter()
+            .zip(hits)
+            .filter_map(|(&tid, hit)| hit.then_some(tid))
+            .collect();
         stats.counted += 1;
         if tids.len() >= min_support {
             let fp = FrequentPattern {
@@ -192,6 +212,7 @@ fn grow(
                 min_support,
                 max_edges,
                 depth + 1,
+                exec,
                 visited,
                 results,
                 stats,

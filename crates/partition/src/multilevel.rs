@@ -19,11 +19,10 @@
 //! source's part so the edge multiset is conserved for mining.
 
 use crate::split::Strategy;
-use rand::seq::SliceRandom;
-use rand::Rng;
 use std::collections::VecDeque;
 use tnet_graph::graph::{Graph, VertexId};
 use tnet_graph::hash::FxHashMap;
+use tnet_graph::rng::{Rng, SliceRandom};
 
 /// A vertex partition of a graph.
 #[derive(Clone, Debug)]
@@ -217,8 +216,8 @@ fn region_grow(g: &Graph, k: usize, rng: &mut impl Rng) -> Vec<u32> {
     let mut seed_iter = seeds.into_iter();
     while remaining > 0 {
         let mut progressed = false;
-        for part in 0..k {
-            let Some(v) = pop_unassigned(&mut queues[part], &assignment) else {
+        for (part, queue) in queues.iter_mut().enumerate() {
+            let Some(v) = pop_unassigned(queue, &assignment) else {
                 continue;
             };
             assignment[v.index()] = part as u32;
@@ -228,7 +227,7 @@ fn region_grow(g: &Graph, k: usize, rng: &mut impl Rng) -> Vec<u32> {
                 let (s, d, _) = g.edge(e);
                 let other = if s == v { d } else { s };
                 if assignment[other.index()] == u32::MAX {
-                    queues[part].push_back(other);
+                    queue.push_back(other);
                 }
             }
         }
@@ -305,10 +304,7 @@ fn refine(g: &Graph, assignment: &mut [u32], k: usize, cfg: &MultilevelConfig) {
     }
     // Rebalance: oversized parts evacuate their least-connected vertices
     // into the smallest part until the balance constraint holds.
-    loop {
-        let Some(over) = (0..k).find(|&p| sizes[p] > max_size) else {
-            break;
-        };
+    while let Some(over) = (0..k).find(|&p| sizes[p] > max_size) {
         let under = (0..k).min_by_key(|&p| sizes[p]).unwrap();
         if under == over || sizes[under] >= max_size {
             break;
@@ -338,8 +334,7 @@ fn refine(g: &Graph, assignment: &mut [u32], k: usize, cfg: &MultilevelConfig) {
 /// part (conserving the edge multiset, like Algorithm 2 does). Empty
 /// parts are dropped.
 pub fn split_by_partition(g: &Graph, partition: &VertexPartition) -> Vec<Graph> {
-    let mut edge_buckets: Vec<Vec<tnet_graph::graph::EdgeId>> =
-        vec![Vec::new(); partition.parts];
+    let mut edge_buckets: Vec<Vec<tnet_graph::graph::EdgeId>> = vec![Vec::new(); partition.parts];
     for e in g.edges() {
         let (s, _, _) = g.edge(e);
         edge_buckets[partition.part_of(s) as usize].push(e);
@@ -369,9 +364,8 @@ pub fn strategy_label(bfdf: Option<Strategy>) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use tnet_graph::generate::{plant_patterns, random_graph, shapes, RandomGraphConfig};
+    use tnet_graph::rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(5)

@@ -15,10 +15,10 @@
 //! each pattern's best observed support.
 
 use crate::split::{split_graph, Strategy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tnet_exec::Exec;
 use tnet_graph::canon::IsoClassMap;
 use tnet_graph::graph::Graph;
+use tnet_graph::rng::{derive_seed, StdRng};
 
 /// A frequent pattern and the (maximum, over repetitions) number of graph
 /// transactions supporting it.
@@ -30,9 +30,16 @@ pub struct SingleGraphPattern {
     pub repetitions_seen: usize,
 }
 
-/// Runs Algorithm 1. `mine(transactions)` is the frequent-subgraph miner
-/// applied per repetition (e.g. FSG at support `s`); it returns
-/// `(pattern, support)` pairs.
+/// Runs Algorithm 1. `mine(transactions, exec)` is the frequent-subgraph
+/// miner applied per repetition (e.g. FSG at support `s`); it returns
+/// `(pattern, support)` pairs and may use the handed [`Exec`] for its own
+/// internal parallelism.
+///
+/// Repetitions run across `exec`'s workers, each with a decorrelated RNG
+/// stream derived from `(seed, repetition index)` — so repetition `i`
+/// produces the same partitioning at any thread count — and each miner
+/// call receives a child handle with a proportional share of the thread
+/// budget. Results merge in repetition order.
 ///
 /// Returns patterns deduplicated by isomorphism class, each with the best
 /// support seen and a count of the repetitions that produced it, sorted
@@ -43,14 +50,25 @@ pub fn mine_single_graph(
     m: usize,
     strategy: Strategy,
     seed: u64,
-    mut mine: impl FnMut(&[Graph]) -> Vec<(Graph, usize)>,
+    exec: &Exec,
+    mine: impl Fn(&[Graph], &Exec) -> Vec<(Graph, usize)> + Sync,
 ) -> Vec<SingleGraphPattern> {
     assert!(m > 0, "need at least one repetition");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut acc: IsoClassMap<(usize, usize)> = IsoClassMap::new();
-    for _ in 0..m {
+    // Split the thread budget between the repetition fan-out and each
+    // miner's internal regions: with enough repetitions to occupy every
+    // worker, miners run sequentially inside their repetition; a lone
+    // repetition hands its miner the whole budget.
+    let outer = exec.threads().min(m);
+    let inner = (exec.threads() / outer).max(1);
+    let reps: Vec<u64> = (0..m as u64).collect();
+    let per_rep: Vec<Vec<(Graph, usize)>> = exec.par_map(&reps, |&i| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, i));
         let transactions = split_graph(g, k, strategy, &mut rng);
-        for (pattern, support) in mine(&transactions) {
+        mine(&transactions, &exec.child_with_threads(inner))
+    });
+    let mut acc: IsoClassMap<(usize, usize)> = IsoClassMap::new();
+    for rep_patterns in per_rep {
+        for (pattern, support) in rep_patterns {
             let entry = acc.entry_or_insert_with(&pattern, || (0, 0));
             entry.0 = entry.0.max(support);
             entry.1 += 1;
@@ -80,7 +98,7 @@ mod tests {
 
     /// A toy "miner": reports every single-edge pattern with its
     /// transaction support.
-    fn single_edge_miner(transactions: &[Graph]) -> Vec<(Graph, usize)> {
+    fn single_edge_miner(transactions: &[Graph], _exec: &Exec) -> Vec<(Graph, usize)> {
         let mut classes: IsoClassMap<usize> = IsoClassMap::new();
         for t in transactions {
             let mut seen_here: IsoClassMap<()> = IsoClassMap::new();
@@ -97,7 +115,15 @@ mod tests {
     #[test]
     fn union_over_repetitions_dedups() {
         let g = shapes::cycle(8, 0, 1);
-        let res = mine_single_graph(&g, 4, 3, Strategy::DepthFirst, 1, single_edge_miner);
+        let res = mine_single_graph(
+            &g,
+            4,
+            3,
+            Strategy::DepthFirst,
+            1,
+            &Exec::new(2),
+            single_edge_miner,
+        );
         // All edges share one label: exactly one single-edge pattern class.
         assert_eq!(res.len(), 1);
         assert_eq!(res[0].repetitions_seen, 3);
@@ -110,7 +136,15 @@ mod tests {
         // Add some differently-labeled edges.
         let vs: Vec<_> = g.vertices().collect();
         g.add_edge(vs[1], vs[2], tnet_graph::graph::ELabel(9));
-        let res = mine_single_graph(&g, 2, 2, Strategy::BreadthFirst, 3, single_edge_miner);
+        let res = mine_single_graph(
+            &g,
+            2,
+            2,
+            Strategy::BreadthFirst,
+            3,
+            &Exec::sequential(),
+            single_edge_miner,
+        );
         for p in &res {
             assert!(has_embedding(&p.pattern, &g));
         }
@@ -121,7 +155,15 @@ mod tests {
         let mut g = shapes::hub_and_spoke(10, 0, 1);
         let vs: Vec<_> = g.vertices().collect();
         g.add_edge(vs[1], vs[2], tnet_graph::graph::ELabel(9));
-        let res = mine_single_graph(&g, 3, 1, Strategy::BreadthFirst, 5, single_edge_miner);
+        let res = mine_single_graph(
+            &g,
+            3,
+            1,
+            Strategy::BreadthFirst,
+            5,
+            &Exec::sequential(),
+            single_edge_miner,
+        );
         for w in res.windows(2) {
             assert!(w[0].support >= w[1].support);
         }

@@ -18,10 +18,9 @@
 //! partition counts can slightly exceed `k` — exactly the "some smaller
 //! and larger partitions" caveat in the paper.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
 use std::collections::VecDeque;
 use tnet_graph::graph::{EdgeId, Graph, VertexId};
+use tnet_graph::rng::{Rng, SliceRandom};
 
 /// The ordering structure `q` of Algorithm 2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -66,7 +65,6 @@ impl Frontier {
             Strategy::DepthFirst => self.items.pop_back(),
         }
     }
-
 
     fn clear(&mut self) {
         self.items.clear();
@@ -151,11 +149,10 @@ fn grow_transaction(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use tnet_graph::generate::{random_graph, shapes, RandomGraphConfig};
     use tnet_graph::graph::{ELabel, VLabel};
     use tnet_graph::iso::has_embedding;
+    use tnet_graph::rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(11)
@@ -175,7 +172,10 @@ mod tests {
             let parts = split_graph(&g, 6, strategy, &mut rng());
             let total: usize = parts.iter().map(|p| p.edge_count()).sum();
             assert_eq!(total, g.edge_count(), "{strategy:?} lost or duped edges");
-            assert!(parts.len() >= 6 || total < 6, "{strategy:?} under-partitioned");
+            assert!(
+                parts.len() >= 6 || total < 6,
+                "{strategy:?} under-partitioned"
+            );
         }
     }
 

@@ -74,7 +74,11 @@ pub fn summarize_set(graphs: &[Graph]) -> TransactionSetSummary {
 impl std::fmt::Display for TransactionSetSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Number of Input Transactions: {}", self.transactions)?;
-        writeln!(f, "Number of Distinct Edge Labels: {}", self.distinct_edge_labels)?;
+        writeln!(
+            f,
+            "Number of Distinct Edge Labels: {}",
+            self.distinct_edge_labels
+        )?;
         writeln!(
             f,
             "Number of Distinct Vertex Labels: {}",
@@ -90,7 +94,11 @@ impl std::fmt::Display for TransactionSetSummary {
             "Average Number of Vertices In a Transaction: {:.0}",
             self.avg_vertices
         )?;
-        writeln!(f, "Max Number of Edges In a Transaction: {}", self.max_edges)?;
+        writeln!(
+            f,
+            "Max Number of Edges In a Transaction: {}",
+            self.max_edges
+        )?;
         writeln!(
             f,
             "Max Number of Vertices In a Transaction: {}",
@@ -125,7 +133,7 @@ mod tests {
     #[test]
     fn summary_fields() {
         let graphs = vec![
-            shapes::chain(2, 0, 1),         // 2 edges, 3 vertices
+            shapes::chain(2, 0, 1),          // 2 edges, 3 vertices
             shapes::hub_and_spoke(12, 1, 2), // 12 edges, 13 vertices
         ];
         let s = summarize_set(&graphs);

@@ -74,10 +74,9 @@ pub fn daily_graphs(txns: &[Transaction], scheme: &BinScheme) -> Vec<Graph> {
         let mut vertex_of: HashMap<LatLon, VertexId> = HashMap::new();
         for t in day_txns {
             for loc in [t.origin, t.dest] {
-                if !vertex_of.contains_key(&loc) {
-                    let v = g.add_vertex(VLabel(label_of(loc)));
-                    vertex_of.insert(loc, v);
-                }
+                vertex_of
+                    .entry(loc)
+                    .or_insert_with(|| g.add_vertex(VLabel(label_of(loc))));
             }
             g.add_edge(
                 vertex_of[&t.origin],
@@ -127,7 +126,14 @@ mod tests {
     use super::*;
     use tnet_data::model::{Date, TransMode};
 
-    fn txn(id: u64, o: (f64, f64), d: (f64, f64), pickup: u32, delivery: u32, w: f64) -> Transaction {
+    fn txn(
+        id: u64,
+        o: (f64, f64),
+        d: (f64, f64),
+        pickup: u32,
+        delivery: u32,
+        w: f64,
+    ) -> Transaction {
         Transaction {
             id,
             req_pickup: Date(pickup),
@@ -186,7 +192,11 @@ mod tests {
             txn(2, B, C, 0, 0, 30_000.0),
             txn(3, D, E, 0, 0, 30_000.0),
         ];
-        let parts = temporal_partition(&txns, &BinScheme::paper_defaults(), &TemporalOptions::default());
+        let parts = temporal_partition(
+            &txns,
+            &BinScheme::paper_defaults(),
+            &TemporalOptions::default(),
+        );
         // Component {A,B,C} has 2 edges (kept); component {D,E} has 1
         // edge (dropped).
         assert_eq!(parts.len(), 1);
@@ -202,7 +212,11 @@ mod tests {
             txn(2, A, B, 0, 0, 31_000.0), // same weight bin
             txn(3, B, C, 0, 0, 30_000.0),
         ];
-        let parts = temporal_partition(&txns, &BinScheme::paper_defaults(), &TemporalOptions::default());
+        let parts = temporal_partition(
+            &txns,
+            &BinScheme::paper_defaults(),
+            &TemporalOptions::default(),
+        );
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].edge_count(), 2);
     }
@@ -213,7 +227,11 @@ mod tests {
             txn(1, A, B, 0, 0, 30_000.0),
             txn(2, A, B, 0, 0, 800_000.0), // very heavy: different bin
         ];
-        let parts = temporal_partition(&txns, &BinScheme::paper_defaults(), &TemporalOptions::default());
+        let parts = temporal_partition(
+            &txns,
+            &BinScheme::paper_defaults(),
+            &TemporalOptions::default(),
+        );
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].edge_count(), 2);
     }
@@ -226,7 +244,11 @@ mod tests {
             txn(3, C, D, 1, 1, 30_000.0),
             txn(4, D, E, 1, 1, 30_000.0),
         ];
-        let parts = temporal_partition(&txns, &BinScheme::paper_defaults(), &TemporalOptions::default());
+        let parts = temporal_partition(
+            &txns,
+            &BinScheme::paper_defaults(),
+            &TemporalOptions::default(),
+        );
         assert_eq!(parts.len(), 2);
         let kept = filter_by_vertex_labels(parts, 3);
         assert!(kept.is_empty(), "both transactions have 3 distinct labels");
@@ -235,6 +257,11 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(daily_graphs(&[], &BinScheme::paper_defaults()).is_empty());
-        assert!(temporal_partition(&[], &BinScheme::paper_defaults(), &TemporalOptions::default()).is_empty());
+        assert!(temporal_partition(
+            &[],
+            &BinScheme::paper_defaults(),
+            &TemporalOptions::default()
+        )
+        .is_empty());
     }
 }

@@ -89,13 +89,13 @@ pub struct HierarchyLevel {
 pub fn hierarchical(g: &Graph, cfg: &SubdueConfig, passes: usize) -> Vec<HierarchyLevel> {
     let mut current = g.clone();
     let mut levels = Vec::new();
-    let mut next_marker = current
+    let base_marker = current
         .vertex_label_histogram()
         .keys()
         .map(|l| l.0)
         .max()
         .map_or(0, |m| m + 1);
-    for _ in 0..passes {
+    for pass in 0..passes {
         let out = discover(&current, cfg);
         let Some(best) = out.best.first().cloned() else {
             break;
@@ -103,8 +103,7 @@ pub fn hierarchical(g: &Graph, cfg: &SubdueConfig, passes: usize) -> Vec<Hierarc
         if best.value <= 1.0 {
             break; // no longer compressing
         }
-        let marker = VLabel(next_marker);
-        next_marker += 1;
+        let marker = VLabel(base_marker + pass as u32);
         let compressed = compress(&current, &best, marker);
         if compressed.size() >= current.size() {
             break;

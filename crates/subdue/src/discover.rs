@@ -9,6 +9,7 @@
 use crate::eval::{evaluate, EvalMethod, GraphContext};
 use crate::substructure::{expand, initial_substructures, Substructure};
 use std::time::{Duration, Instant};
+use tnet_exec::Exec;
 use tnet_graph::graph::Graph;
 
 /// Search configuration.
@@ -57,8 +58,18 @@ pub struct SubdueOutput {
     pub runtime: Duration,
 }
 
-/// Runs SUBDUE discovery on a single graph.
+/// Runs SUBDUE discovery on a single graph on the current thread.
+/// Equivalent to [`discover_with`] on a sequential pool.
 pub fn discover(g: &Graph, cfg: &SubdueConfig) -> SubdueOutput {
+    discover_with(g, cfg, &Exec::sequential())
+}
+
+/// Runs SUBDUE discovery, scoring each expansion's candidate children
+/// (instance filtering + MDL/size evaluation) across `exec`'s workers.
+/// The beam itself advances one expansion at a time and children are
+/// folded back in expansion order, so the search trajectory — and the
+/// output — is identical at any thread count.
+pub fn discover_with(g: &Graph, cfg: &SubdueConfig, exec: &Exec) -> SubdueOutput {
     assert!(cfg.beam_width > 0 && cfg.max_best > 0);
     let start = Instant::now();
     let ctx = GraphContext::of(g);
@@ -81,12 +92,20 @@ pub fn discover(g: &Graph, cfg: &SubdueConfig) -> SubdueOutput {
         }
         expanded += 1;
         let children = expand(g, &parent);
-        for mut child in children {
-            evaluated += 1;
+        // Score children in parallel (disjoint-instance counting and MDL
+        // evaluation dominate the cost), then fold them into the beam and
+        // best list sequentially in expansion order.
+        let scores = exec.par_map(&children, |child| {
             if child.disjoint_count() < cfg.min_instances {
-                continue;
+                None
+            } else {
+                Some(evaluate(cfg.eval, &ctx, child))
             }
-            child.value = evaluate(cfg.eval, &ctx, &child);
+        });
+        for (mut child, score) in children.into_iter().zip(scores) {
+            evaluated += 1;
+            let Some(value) = score else { continue };
+            child.value = value;
             consider_best(&mut best, &child, cfg.max_best);
             if child.size() < cfg.max_size {
                 insert_beam(&mut open, child, cfg.beam_width);

@@ -1,9 +1,9 @@
 //! Substructure evaluation: MDL, Size, and SetCover principles.
 //!
 //! All three score "how much does rewriting the graph with this
-//! substructure help": compression ratios for MDL (bits) and Size (vertex
-//! + edge counts), classification accuracy for SetCover. Higher is
-//! better.
+//! substructure help": compression ratios for MDL (bits) and Size
+//! (vertex + edge counts), classification accuracy for SetCover. Higher
+//! is better.
 
 use crate::substructure::Substructure;
 use tnet_graph::graph::Graph;
@@ -48,13 +48,7 @@ pub fn description_length(nv: usize, ne: usize, vlabels: usize, elabels: usize) 
 /// Size of the graph after replacing `n` disjoint instances of a pattern
 /// with `pv` vertices / `pe` edges by single marker vertices:
 /// `(|V| − n(pv−1), |E| − n·pe)`.
-pub fn compressed_counts(
-    gv: usize,
-    ge: usize,
-    pv: usize,
-    pe: usize,
-    n: usize,
-) -> (usize, usize) {
+pub fn compressed_counts(gv: usize, ge: usize, pv: usize, pe: usize, n: usize) -> (usize, usize) {
     let nv = gv.saturating_sub(n * pv.saturating_sub(1));
     let ne = ge.saturating_sub(n * pe);
     (nv, ne)
@@ -98,7 +92,8 @@ pub fn evaluate(method: EvalMethod, ctx: &GraphContext, sub: &Substructure) -> f
             g_size / (s_size + (cv + ce) as f64)
         }
         EvalMethod::Mdl => {
-            let dl_g = description_length(ctx.vertices, ctx.edges, ctx.vertex_labels, ctx.edge_labels);
+            let dl_g =
+                description_length(ctx.vertices, ctx.edges, ctx.vertex_labels, ctx.edge_labels);
             let dl_s = description_length(pv, pe, ctx.vertex_labels, ctx.edge_labels);
             let (cv, ce) = compressed_counts(ctx.vertices, ctx.edges, pv, pe, n);
             // The compressed graph gains one marker vertex label.
@@ -112,7 +107,10 @@ pub fn evaluate(method: EvalMethod, ctx: &GraphContext, sub: &Substructure) -> f
 /// SUBDUE's set-cover value: (positives containing S + negatives not
 /// containing S) / total examples.
 pub fn set_cover_value(pattern: &Graph, positives: &[Graph], negatives: &[Graph]) -> f64 {
-    let pos_hit = positives.iter().filter(|g| has_embedding(pattern, g)).count();
+    let pos_hit = positives
+        .iter()
+        .filter(|g| has_embedding(pattern, g))
+        .count();
     let neg_miss = negatives
         .iter()
         .filter(|g| !has_embedding(pattern, g))
@@ -194,7 +192,10 @@ mod tests {
     #[test]
     fn set_cover_basics() {
         let hub = shapes::hub_and_spoke(2, 0, 1);
-        let positives = vec![shapes::hub_and_spoke(3, 0, 1), shapes::hub_and_spoke(2, 0, 1)];
+        let positives = vec![
+            shapes::hub_and_spoke(3, 0, 1),
+            shapes::hub_and_spoke(2, 0, 1),
+        ];
         let negatives = vec![shapes::chain(1, 0, 1)];
         let v = set_cover_value(&hub, &positives, &negatives);
         assert!((v - 1.0).abs() < 1e-12, "perfect separator, got {v}");

@@ -205,7 +205,8 @@ pub fn coalesce_fuzzy(subs: Vec<Substructure>, threshold: usize) -> Vec<Substruc
     }
     // Dedup instances that arrived from several members.
     for g in &mut groups {
-        g.instances.sort_by(|a, b| a.edges.cmp(&b.edges).then(a.vertices.cmp(&b.vertices)));
+        g.instances
+            .sort_by(|a, b| a.edges.cmp(&b.edges).then(a.vertices.cmp(&b.vertices)));
         g.instances.dedup();
     }
     groups

@@ -19,12 +19,12 @@
 
 pub mod compress;
 pub mod discover;
-pub mod inexact;
 pub mod eval;
+pub mod inexact;
 pub mod substructure;
 
 pub use compress::{compress, hierarchical, HierarchyLevel};
-pub use inexact::{coalesce_fuzzy, edit_distance_bounded, fuzzy_match};
-pub use discover::{discover, SubdueConfig, SubdueOutput};
+pub use discover::{discover, discover_with, SubdueConfig, SubdueOutput};
 pub use eval::{evaluate, set_cover_value, EvalMethod, GraphContext};
+pub use inexact::{coalesce_fuzzy, edit_distance_bounded, fuzzy_match};
 pub use substructure::{expand, initial_substructures, Instance, Substructure};

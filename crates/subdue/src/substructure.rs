@@ -279,7 +279,10 @@ mod tests {
         let two_edge: Vec<Substructure> = expand(&g, &one_edge[0]);
         // Chains only: the 2-edge path pattern.
         assert_eq!(two_edge.len(), 1);
-        assert!(are_isomorphic(&two_edge[0].pattern, &shapes::chain(2, 0, 1)));
+        assert!(are_isomorphic(
+            &two_edge[0].pattern,
+            &shapes::chain(2, 0, 1)
+        ));
         assert_eq!(two_edge[0].instances.len(), 3);
     }
 

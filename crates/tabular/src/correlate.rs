@@ -98,11 +98,11 @@ mod tests {
         t.add_column("c", Column::Numeric(vec![9.0, 7.0, 1.0, 0.0]));
         let (names, m) = correlation_matrix(&t);
         assert_eq!(names.len(), 3);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..3 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
-                assert!(m[i][j].abs() <= 1.0 + 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, value) in row.iter().enumerate() {
+                assert!((value - m[j][i]).abs() < 1e-12);
+                assert!(value.abs() <= 1.0 + 1e-12);
             }
         }
         assert!((column_correlation(&t, "a", "b") - m[0][1]).abs() < 1e-12);

@@ -7,8 +7,7 @@
 //! numerical safety.
 
 use crate::table::{Column, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tnet_exec::Exec;
 
 /// EM configuration.
 #[derive(Clone, Copy, Debug)]
@@ -102,12 +101,21 @@ fn log_sum_exp(v: &[f64]) -> f64 {
 }
 
 /// Fits a diagonal-covariance Gaussian mixture to the numeric columns of
-/// `t`.
+/// `t` on the current thread. Equivalent to [`fit_with`] on a sequential
+/// pool.
 ///
 /// # Panics
 /// Panics if the table has no numeric columns, no rows, or fewer rows
 /// than clusters.
 pub fn fit(t: &Table, cfg: &EmConfig) -> EmModel {
+    fit_with(t, cfg, &Exec::sequential())
+}
+
+/// As [`fit`], computing each E-step's per-row densities across `exec`'s
+/// workers. Per-row results are pure functions of the current model, and
+/// the log-likelihood is summed sequentially in row order afterwards, so
+/// the fit is bitwise identical at any thread count.
+pub fn fit_with(t: &Table, cfg: &EmConfig, exec: &Exec) -> EmModel {
     let (dims, data) = numeric_matrix(t);
     assert!(!dims.is_empty(), "EM needs at least one numeric column");
     let n = data.len();
@@ -141,7 +149,6 @@ pub fn fit(t: &Table, cfg: &EmConfig) -> EmModel {
     // d²-sampled k-means++, this is deterministic and reliably hands tiny
     // outlier groups their own center — which is how Weka's EM surfaces
     // the paper's 3-shipment air-freight cluster (Figure 5).
-    let _ = StdRng::seed_from_u64(cfg.seed); // seed kept for API stability
     let init_scale: Vec<f64> = floor.iter().map(|&f| (f / 1e-4).max(1e-12)).collect();
     let dist2 = |a: &[f64], b: &[f64]| -> f64 {
         a.iter()
@@ -183,9 +190,11 @@ pub fn fit(t: &Table, cfg: &EmConfig) -> EmModel {
     let mut trace = Vec::new();
     let mut prev_ll = f64::NEG_INFINITY;
     for _ in 0..cfg.max_iterations {
-        // E-step.
-        let mut ll = 0.0;
-        for (i, row) in data.iter().enumerate() {
+        // E-step: per-row densities in parallel, log-likelihood summed
+        // in row order (float addition is not associative — a fixed
+        // summation order is what keeps the fit thread-count
+        // independent).
+        let per_row = exec.par_map(&data, |row| {
             let mut logp = vec![0.0f64; k];
             for (c, lp) in logp.iter_mut().enumerate() {
                 *lp = weights[c].max(1e-300).ln();
@@ -194,10 +203,15 @@ pub fn fit(t: &Table, cfg: &EmConfig) -> EmModel {
                 }
             }
             let lse = log_sum_exp(&logp);
-            ll += lse;
-            for c in 0..k {
-                resp[i][c] = (logp[c] - lse).exp();
+            for lp in &mut logp {
+                *lp = (*lp - lse).exp();
             }
+            (lse, logp)
+        });
+        let mut ll = 0.0;
+        for (i, (lse, row_resp)) in per_row.into_iter().enumerate() {
+            ll += lse;
+            resp[i] = row_resp;
         }
         trace.push(ll);
         if (ll - prev_ll).abs() / n as f64 <= cfg.tolerance {

@@ -9,7 +9,10 @@
 pub enum Column {
     Numeric(Vec<f64>),
     /// Category index per row plus the category names.
-    Nominal { values: Vec<u32>, names: Vec<String> },
+    Nominal {
+        values: Vec<u32>,
+        names: Vec<String>,
+    },
 }
 
 impl Column {

@@ -227,11 +227,7 @@ impl DecisionTree {
                 Node::Leaf { .. } => 1,
                 Node::Numeric { le, gt, .. } => 1 + walk(le) + walk(gt),
                 Node::Nominal { children, .. } => {
-                    1 + children
-                        .iter()
-                        .flatten()
-                        .map(|c| walk(c))
-                        .sum::<usize>()
+                    1 + children.iter().flatten().map(|c| walk(c)).sum::<usize>()
                 }
             }
         }
@@ -314,9 +310,15 @@ fn build(
             Column::Numeric(values) => {
                 best_numeric_split(values, target, classes, rows, node_entropy, col)
             }
-            Column::Nominal { values, names } => {
-                nominal_split(values, names.len(), target, classes, rows, node_entropy, col)
-            }
+            Column::Nominal { values, names } => nominal_split(
+                values,
+                names.len(),
+                target,
+                classes,
+                rows,
+                node_entropy,
+                col,
+            ),
         };
         if let Some(s) = split {
             if best.as_ref().is_none_or(|b| s.gain_ratio > b.gain_ratio) {
@@ -340,10 +342,22 @@ fn build(
                 col,
                 threshold,
                 le: Box::new(build(
-                    table, target_col, target, classes, &le_rows, cfg, depth_left - 1,
+                    table,
+                    target_col,
+                    target,
+                    classes,
+                    &le_rows,
+                    cfg,
+                    depth_left - 1,
                 )),
                 gt: Box::new(build(
-                    table, target_col, target, classes, &gt_rows, cfg, depth_left - 1,
+                    table,
+                    target_col,
+                    target,
+                    classes,
+                    &gt_rows,
+                    cfg,
+                    depth_left - 1,
                 )),
             }
         }
@@ -358,7 +372,13 @@ fn build(
                 .map(|bucket| {
                     (!bucket.is_empty()).then(|| {
                         Box::new(build(
-                            table, target_col, target, classes, bucket, cfg, depth_left - 1,
+                            table,
+                            target_col,
+                            target,
+                            classes,
+                            bucket,
+                            cfg,
+                            depth_left - 1,
                         ))
                     })
                 })

@@ -8,6 +8,7 @@
 
 use tnet_core::experiments::conventional::{run_assoc, run_classify, run_cluster};
 use tnet_core::pipeline::Pipeline;
+use tnet_exec::Exec;
 
 fn main() {
     let pipeline = Pipeline::synthetic(0.05, 42);
@@ -15,5 +16,5 @@ fn main() {
 
     println!("{}", run_assoc(txns, 12));
     println!("{}", run_classify(txns));
-    println!("{}", run_cluster(txns, 9, 7));
+    println!("{}", run_cluster(txns, 9, 7, &Exec::default()));
 }

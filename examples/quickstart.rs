@@ -8,7 +8,8 @@
 use tnet_core::patterns::classify;
 use tnet_core::pipeline::Pipeline;
 use tnet_data::od_graph::{EdgeLabeling, VertexLabeling};
-use tnet_fsg::{mine_for_algorithm1, FsgConfig, Support};
+use tnet_exec::Exec;
+use tnet_fsg::{mine_for_algorithm1_with, FsgConfig, Support};
 use tnet_partition::single_graph::mine_single_graph;
 use tnet_partition::split::Strategy;
 
@@ -31,8 +32,11 @@ fn main() {
     let cfg = FsgConfig::default()
         .with_support(Support::Count(5))
         .with_max_edges(5);
-    let patterns = mine_single_graph(&graph, 12, 2, Strategy::BreadthFirst, 1, |t| {
-        mine_for_algorithm1(t, &cfg)
+    // The default pool honours TNET_THREADS and falls back to the
+    // hardware thread count; results are identical at any size.
+    let exec = Exec::default();
+    let patterns = mine_single_graph(&graph, 12, 2, Strategy::BreadthFirst, 1, &exec, |t, e| {
+        mine_for_algorithm1_with(t, &cfg, e)
     });
 
     println!("--- top frequent patterns ---");

@@ -14,11 +14,13 @@ use tnet_core::experiments::structural::run_shape_mining;
 use tnet_core::patterns::{classify, PatternShape};
 use tnet_core::pipeline::Pipeline;
 use tnet_data::od_graph::EdgeLabeling;
+use tnet_exec::Exec;
 use tnet_partition::split::Strategy;
 
 fn main() {
     let pipeline = Pipeline::synthetic(0.03, 42);
     let txns = pipeline.transactions();
+    let exec = Exec::default();
 
     // Figure 2: breadth-first partitioning favours bushy patterns.
     let bf = run_shape_mining(
@@ -30,6 +32,7 @@ fn main() {
         2,
         6,
         7,
+        &exec,
     );
     println!("{bf}");
     if let Some(best) = bf
@@ -52,6 +55,7 @@ fn main() {
         2,
         6,
         7,
+        &exec,
     );
     println!("{df}");
     if let Some(best) = df

@@ -1,7 +1,7 @@
 #!/bin/bash
 # Regenerates the EXPERIMENTS.md measurement inputs.
 set -x
-cargo build --release --workspace 2>&1 | tail -2
+./ci.sh || exit 1
 cargo run --release --example dataset_stats -- 1.0 > /tmp/e1_full.txt 2>/tmp/e1_full.err
 ./target/release/tnet report --scale 0.05 > /tmp/report05.txt 2>/tmp/report05.err
 echo ALL_DONE

@@ -5,7 +5,8 @@
 use tnet_core::patterns::{classify, PatternShape};
 use tnet_core::pipeline::Pipeline;
 use tnet_data::od_graph::{EdgeLabeling, VertexLabeling};
-use tnet_fsg::{mine_for_algorithm1, FsgConfig, Support};
+use tnet_exec::Exec;
+use tnet_fsg::{mine_for_algorithm1_with, FsgConfig, Support};
 use tnet_graph::iso::has_embedding;
 use tnet_partition::single_graph::mine_single_graph;
 use tnet_partition::split::Strategy;
@@ -56,9 +57,15 @@ fn mined_patterns_occur_in_source_graph() {
     let cfg = FsgConfig::default()
         .with_support(Support::Count(4))
         .with_max_edges(4);
-    let patterns = mine_single_graph(&g, 8, 1, Strategy::BreadthFirst, 2, |t| {
-        mine_for_algorithm1(t, &cfg)
-    });
+    let patterns = mine_single_graph(
+        &g,
+        8,
+        1,
+        Strategy::BreadthFirst,
+        2,
+        &Exec::new(2),
+        |t, e| mine_for_algorithm1_with(t, &cfg, e),
+    );
     assert!(!patterns.is_empty());
     for p in patterns.iter().take(20) {
         assert!(
@@ -80,9 +87,10 @@ fn both_miners_agree_on_obvious_structure() {
     let cfg = FsgConfig::default()
         .with_support(Support::Count(5))
         .with_max_edges(2);
-    let fsg_patterns = mine_single_graph(&g, 6, 1, Strategy::DepthFirst, 3, |t| {
-        mine_for_algorithm1(t, &cfg)
-    });
+    let fsg_patterns =
+        mine_single_graph(&g, 6, 1, Strategy::DepthFirst, 3, &Exec::new(2), |t, e| {
+            mine_for_algorithm1_with(t, &cfg, e)
+        });
     let top_fsg = fsg_patterns
         .iter()
         .filter(|p| p.pattern.edge_count() == 1)
@@ -123,9 +131,15 @@ fn shape_classification_over_mined_output() {
     let cfg = FsgConfig::default()
         .with_support(Support::Count(4))
         .with_max_edges(4);
-    let patterns = mine_single_graph(&g, 8, 2, Strategy::BreadthFirst, 5, |t| {
-        mine_for_algorithm1(t, &cfg)
-    });
+    let patterns = mine_single_graph(
+        &g,
+        8,
+        2,
+        Strategy::BreadthFirst,
+        5,
+        &Exec::new(2),
+        |t, e| mine_for_algorithm1_with(t, &cfg, e),
+    );
     // Every mined pattern classifies into the taxonomy without panicking,
     // and at least one recognizable transportation shape appears.
     let mut recognized = 0;
@@ -144,8 +158,7 @@ fn full_report_smoke() {
     let p = Pipeline::synthetic(0.012, 42);
     let report = p.full_report(0.012, 42);
     for header in [
-        "E1:", "E2:", "E3:", "E4:", "E5:", "E8:", "E9:", "E10:", "E11:", "E12:", "E13:",
-        "E14/E15:",
+        "E1:", "E2:", "E3:", "E4:", "E5:", "E8:", "E9:", "E10:", "E11:", "E12:", "E13:", "E14/E15:",
     ] {
         assert!(report.contains(header), "report missing {header}");
     }
