@@ -14,4 +14,47 @@ echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release --workspace --offline
 cargo test -q --workspace --offline
 
+echo "== fault injection: supervised report under every failpoint site"
+# Each armed site must leave the report standing: exit 0, a per-section
+# failure (or degraded) notice, and the end-of-report summary line.
+TNET="target/release/tnet"
+REPORT_ARGS=(report --scale 0.008 --seed 42 --extensions false --threads 2)
+for spec in \
+    "fsg::candidate_gen=panic" \
+    "fsg::candidate_gen=err" \
+    "subdue::beam_eval=panic" \
+    "subdue::beam_eval=err" \
+    "em::iteration=panic" \
+    "em::iteration=err"
+do
+    echo "-- TNET_FAILPOINTS=$spec"
+    out=$(TNET_FAILPOINTS="$spec" "$TNET" "${REPORT_ARGS[@]}")
+    grep -q '!! section failed:' <<<"$out"
+    grep -q '^sections: ' <<<"$out"
+    ! grep -q '^sections: .*, 0 failed$' <<<"$out"
+done
+# A delay fault plus a section deadline: the slowed section is killed by
+# the deadline, everything else completes.
+echo "-- TNET_FAILPOINTS=em::iteration=delay:2000 --deadline-secs 1"
+out=$(TNET_FAILPOINTS="em::iteration=delay:2000" \
+    "$TNET" "${REPORT_ARGS[@]}" --deadline-secs 1)
+grep -q 'exceeded its .* deadline' <<<"$out"
+grep -q '^sections: ' <<<"$out"
+# csv::ingest arms the CSV reader, not the report: a malformed-free file
+# still fails to load, with the injected fault and a line number, exit 1.
+echo "-- TNET_FAILPOINTS=csv::ingest=err (stats --input)"
+"$TNET" gen --scale 0.005 --seed 42 --out /tmp/tnet_ci_fault.csv >/dev/null
+set +e
+TNET_FAILPOINTS="csv::ingest=err" \
+    "$TNET" stats --input /tmp/tnet_ci_fault.csv 2>/tmp/tnet_ci_fault.err
+code=$?
+set -e
+test "$code" -eq 1
+grep -q 'injected fault' /tmp/tnet_ci_fault.err
+rm -f /tmp/tnet_ci_fault.csv /tmp/tnet_ci_fault.err
+# Unarmed control: full success and a clean summary.
+echo "-- unarmed control"
+out=$("$TNET" "${REPORT_ARGS[@]}")
+grep -q '^sections: 12 ok, 0 degraded, 0 failed$' <<<"$out"
+
 echo "ci.sh: all green"

@@ -1,24 +1,26 @@
 //! `tnet gen` — generate a synthetic dataset and write it as CSV.
 
 use crate::args::{ArgError, Args};
+use crate::error::CliError;
 use std::fs::File;
 use std::io::BufWriter;
 use tnet_data::csv::write_csv;
 use tnet_data::synth::{generate, SynthConfig};
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&["scale", "seed", "out"])?;
     let scale: f64 = args.get_parsed_or("scale", 0.02)?;
     let seed: u64 = args.get_parsed_or("seed", 42)?;
     if scale <= 0.0 || scale > 1.0 {
-        return Err(ArgError("--scale must be in (0, 1]".into()));
+        return Err(ArgError("--scale must be in (0, 1]".into()).into());
     }
     let out = args.get_or("out", "tnet-data.csv").to_string();
     let cfg = SynthConfig::scaled(scale).with_seed(seed);
     let ds = generate(&cfg);
-    let file = File::create(&out).map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    let file =
+        File::create(&out).map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
     write_csv(&ds.transactions, BufWriter::new(file))
-        .map_err(|e| ArgError(format!("write failed: {e}")))?;
+        .map_err(|e| CliError::Runtime(format!("write failed: {e}")))?;
     println!(
         "wrote {} transactions to {out} (scale {scale}, seed {seed})",
         ds.transactions.len()

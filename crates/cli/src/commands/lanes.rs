@@ -1,12 +1,13 @@
 //! `tnet lanes` — dynamic-graph mining (§9 extensions): periodic lanes
 //! and time-respecting repeated routes.
 
-use crate::args::{ArgError, Args};
+use crate::args::Args;
 use crate::commands::load_transactions;
+use crate::error::CliError;
 use tnet_core::experiments::extensions::{run_paths, run_periodic};
 use tnet_dynamic::paths::PathConfig;
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&[
         "input",
         "scale",

@@ -4,6 +4,7 @@
 
 use crate::args::{ArgError, Args};
 use crate::commands::{load_transactions, parse_labeling};
+use crate::error::CliError;
 use tnet_core::patterns::{classify, interestingness};
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{build_od_graph, VertexLabeling};
@@ -11,7 +12,7 @@ use tnet_fsg::{mine_for_algorithm1_with, FsgConfig, Support};
 use tnet_partition::single_graph::mine_single_graph;
 use tnet_partition::split::Strategy;
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&[
         "input",
         "scale",
@@ -33,7 +34,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let strategy = match args.get_or("strategy", "bf") {
         "bf" | "breadth" => Strategy::BreadthFirst,
         "df" | "depth" => Strategy::DepthFirst,
-        other => return Err(ArgError(format!("unknown strategy '{other}' (bf|df)"))),
+        other => return Err(ArgError(format!("unknown strategy '{other}' (bf|df)")).into()),
     };
     let partitions: usize = args.get_parsed_or("partitions", 16)?;
     let support: usize = args.get_parsed_or("support", 5)?;
@@ -42,7 +43,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let top: usize = args.get_parsed_or("top", 15)?;
     let maximal = args.get_or("maximal", "false") == "true";
 
-    let scheme = BinScheme::fit_width_transactions(&txns);
+    let scheme = BinScheme::fit_width_transactions(&txns)?;
     let od = build_od_graph(&txns, &scheme, labeling, VertexLabeling::Uniform);
     let mut g = od.graph;
     g.dedup_edges();
@@ -86,8 +87,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     patterns.sort_by(|a, b| {
         interestingness(&b.pattern, b.support)
             .total()
-            .partial_cmp(&interestingness(&a.pattern, a.support).total())
-            .unwrap()
+            .total_cmp(&interestingness(&a.pattern, a.support).total())
     });
     println!("top {top} by interestingness:");
     for p in patterns.iter().take(top) {
@@ -101,12 +101,13 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     }
     // Optional Graphviz export of the top patterns.
     if let Some(dir) = args.get("dot-dir") {
-        std::fs::create_dir_all(dir).map_err(|e| ArgError(format!("cannot create {dir}: {e}")))?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Runtime(format!("cannot create {dir}: {e}")))?;
         for (i, p) in patterns.iter().take(top).enumerate() {
             let name = format!("pattern_{i:03}");
             let path = std::path::Path::new(dir).join(format!("{name}.dot"));
             std::fs::write(&path, tnet_graph::dot::to_dot(&p.pattern, &name))
-                .map_err(|e| ArgError(format!("cannot write {}: {e}", path.display())))?;
+                .map_err(|e| CliError::Runtime(format!("cannot write {}: {e}", path.display())))?;
         }
         println!("wrote {} .dot files to {dir}", patterns.len().min(top));
     }

@@ -11,21 +11,25 @@ pub mod subdue;
 pub mod temporal;
 
 use crate::args::ArgError;
+use crate::error::CliError;
 use std::fs::File;
 use std::io::BufReader;
 use tnet_data::model::Transaction;
 
 /// Loads transactions: from `--input <csv>` when present, otherwise
-/// generates synthetically with `--scale` / `--seed`.
-pub fn load_transactions(args: &crate::args::Args) -> Result<Vec<Transaction>, ArgError> {
+/// generates synthetically with `--scale` / `--seed`. A missing or
+/// malformed file is a runtime failure (exit 1); a bad `--scale` is a
+/// usage error (exit 2).
+pub fn load_transactions(args: &crate::args::Args) -> Result<Vec<Transaction>, CliError> {
     if let Some(path) = args.get("input") {
-        let file = File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
-        return tnet_data::csv::read_csv(BufReader::new(file)).map_err(|e| ArgError(e.to_string()));
+        let file =
+            File::open(path).map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
+        return Ok(tnet_data::csv::read_csv(BufReader::new(file))?);
     }
     let scale: f64 = args.get_parsed_or("scale", 0.02)?;
     let seed: u64 = args.get_parsed_or("seed", 42)?;
     if !(0.0..=1.0).contains(&scale) || scale <= 0.0 {
-        return Err(ArgError("--scale must be in (0, 1]".into()));
+        return Err(ArgError("--scale must be in (0, 1]".into()).into());
     }
     let cfg = tnet_data::synth::SynthConfig::scaled(scale).with_seed(seed);
     Ok(tnet_data::synth::generate(&cfg).transactions)

@@ -1,27 +1,57 @@
 //! `tnet report` — the full E1–E15 reproduction report plus the E17–E21
-//! extensions.
+//! extensions, run under supervision: every section is panic-isolated,
+//! optionally deadline- and budget-bounded, and retried once at reduced
+//! effort on a retryable failure. The command succeeds (exit 0) as long
+//! as at least one section completes.
 
 use crate::args::{ArgError, Args};
 use crate::commands::load_transactions;
+use crate::error::CliError;
+use std::time::Duration;
 use tnet_core::experiments::extensions::{run_events, run_paths, run_periodic};
 use tnet_core::pipeline::Pipeline;
+use tnet_core::SupervisorConfig;
 use tnet_dynamic::paths::PathConfig;
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
-    args.ensure_known(&["input", "scale", "seed", "extensions", "threads"])?;
+pub fn run(args: &Args) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "input",
+        "scale",
+        "seed",
+        "extensions",
+        "threads",
+        "deadline-secs",
+        "section-budget",
+    ])?;
     let exec = args.exec()?;
     let scale: f64 = args.get_parsed_or("scale", 0.05)?;
     let seed: u64 = args.get_parsed_or("seed", 42)?;
     let with_extensions = args.get_or("extensions", "true") == "true";
+    let deadline_secs: f64 = args.get_parsed_or("deadline-secs", 0.0)?;
+    if deadline_secs < 0.0 || !deadline_secs.is_finite() {
+        return Err(ArgError("--deadline-secs must be a non-negative number".into()).into());
+    }
+    let budget_mb: usize = args.get_parsed_or("section-budget", 0)?;
+    let cfg = SupervisorConfig {
+        section_deadline: (deadline_secs > 0.0).then_some(Duration::from_secs_f64(deadline_secs)),
+        section_budget: (budget_mb > 0).then_some(budget_mb << 20),
+    };
 
     let pipeline = if args.get("input").is_some() {
-        Pipeline::from_transactions(load_transactions(args)?)
+        Pipeline::from_transactions(load_transactions(args)?)?
     } else {
         Pipeline::synthetic(scale, seed)
     };
-    println!("{}", pipeline.full_report_with(scale, seed, &exec));
+    let outcome = pipeline.full_report_supervised(scale, seed, &exec, &cfg);
+    println!("{}", outcome.text);
     // Observability only — stderr, so the report text stays byte-stable.
     eprintln!("[exec] {} threads: {}", exec.threads(), exec.counters());
+    if outcome.ok + outcome.degraded == 0 {
+        return Err(CliError::Runtime(format!(
+            "all {} report sections failed",
+            outcome.failed
+        )));
+    }
 
     if with_extensions {
         let txns = pipeline.transactions();

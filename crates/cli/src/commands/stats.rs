@@ -1,11 +1,12 @@
 //! `tnet stats` — the §3 dataset description for a CSV or synthetic
 //! dataset.
 
-use crate::args::{ArgError, Args};
+use crate::args::Args;
 use crate::commands::load_transactions;
+use crate::error::CliError;
 use tnet_data::stats::dataset_stats;
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&["input", "scale", "seed"])?;
     let txns = load_transactions(args)?;
     print!("{}", dataset_stats(&txns));

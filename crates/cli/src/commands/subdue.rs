@@ -3,12 +3,13 @@
 
 use crate::args::{ArgError, Args};
 use crate::commands::{load_transactions, parse_labeling};
+use crate::error::CliError;
 use tnet_core::experiments::structural::truncated_structural_graph;
 use tnet_core::patterns::classify;
 use tnet_data::binning::BinScheme;
 use tnet_subdue::{discover_with, hierarchical, EvalMethod, SubdueConfig};
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&[
         "input", "scale", "seed", "labeling", "vertices", "eval", "beam", "best", "max-size",
         "passes", "threads",
@@ -20,7 +21,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     let eval = match args.get_or("eval", "mdl") {
         "mdl" => EvalMethod::Mdl,
         "size" => EvalMethod::Size,
-        other => return Err(ArgError(format!("unknown eval '{other}' (mdl|size)"))),
+        other => return Err(ArgError(format!("unknown eval '{other}' (mdl|size)")).into()),
     };
     let cfg = SubdueConfig {
         beam_width: args.get_parsed_or("beam", 4)?,
@@ -31,7 +32,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     };
     let passes: usize = args.get_parsed_or("passes", 1)?;
 
-    let scheme = BinScheme::fit_width_transactions(&txns);
+    let scheme = BinScheme::fit_width_transactions(&txns)?;
     let g = truncated_structural_graph(&txns, &scheme, labeling, vertices);
     println!(
         "{} truncated graph: {} vertices, {} edges; {} evaluation",
@@ -42,7 +43,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
     );
 
     if passes <= 1 {
-        let out = discover_with(&g, &cfg, &exec);
+        let out = discover_with(&g, &cfg, &exec)?;
         println!(
             "expanded {} substructures, evaluated {}, runtime {:?}",
             out.expanded, out.evaluated, out.runtime
@@ -60,7 +61,7 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             print!("{}", tnet_graph::dot::to_ascii(&sub.pattern));
         }
     } else {
-        let levels = hierarchical(&g, &cfg, passes);
+        let levels = hierarchical(&g, &cfg, passes)?;
         println!("hierarchical description: {} levels", levels.len());
         for (i, level) in levels.iter().enumerate() {
             println!(

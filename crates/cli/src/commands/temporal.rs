@@ -4,10 +4,11 @@
 
 use crate::args::{ArgError, Args};
 use crate::commands::load_transactions;
+use crate::error::CliError;
 use tnet_core::experiments::temporal::{quiet_day_label_limit, run_fig4, run_fsg_oom, run_table2};
 use tnet_fsg::Support;
 
-pub fn run(args: &Args) -> Result<(), ArgError> {
+pub fn run(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&[
         "input",
         "scale",
@@ -15,22 +16,36 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         "quiet-fraction",
         "budget-mb",
         "oom-support",
+        "support",
+        "max-edges",
         "threads",
     ])?;
     let exec = args.exec()?;
     let txns = load_transactions(args)?;
     let quiet_fraction: f64 = args.get_parsed_or("quiet-fraction", 0.1)?;
     if !(0.0..=1.0).contains(&quiet_fraction) {
-        return Err(ArgError("--quiet-fraction must be in [0, 1]".into()));
+        return Err(ArgError("--quiet-fraction must be in [0, 1]".into()).into());
     }
     let budget_mb: usize = args.get_parsed_or("budget-mb", 256)?;
     let oom_support: usize = args.get_parsed_or("oom-support", 8)?;
+    let support: f64 = args.get_parsed_or("support", 0.05)?;
+    let max_edges: usize = args.get_parsed_or("max-edges", 5)?;
 
-    let t2 = run_table2(&txns);
+    let t2 = run_table2(&txns)?;
     println!("{t2}");
-    let limit = quiet_day_label_limit(&txns, quiet_fraction);
+    let limit = quiet_day_label_limit(&txns, quiet_fraction)?;
     println!("quiet-date label limit ({quiet_fraction} quantile): {limit}");
-    println!("{}", run_fig4(&txns, limit, &exec));
+    println!(
+        "{}",
+        run_fig4(
+            &txns,
+            limit,
+            Support::Fraction(support),
+            max_edges,
+            Some(budget_mb << 20),
+            &exec,
+        )?
+    );
     println!(
         "{}",
         run_fsg_oom(

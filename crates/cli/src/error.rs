@@ -1,0 +1,109 @@
+//! The CLI's failure taxonomy: every error is either a usage mistake
+//! (exit 2) or a runtime failure (exit 1), printed as a single stderr
+//! line. Scripts can branch on the exit code without parsing text.
+
+use crate::args::ArgError;
+use std::fmt;
+use tnet_core::PipelineError;
+use tnet_data::binning::BinFitError;
+use tnet_data::csv::CsvError;
+use tnet_subdue::SubdueError;
+
+/// A CLI failure with a stable exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// The invocation itself was wrong (unknown flag, unparseable
+    /// value, out-of-range argument). Exit code 2.
+    Usage(String),
+    /// The run started and failed (missing file, malformed CSV,
+    /// degenerate data, a miner abort). Exit code 1.
+    Runtime(String),
+}
+
+impl CliError {
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.0)
+    }
+}
+
+impl From<PipelineError> for CliError {
+    fn from(e: PipelineError) -> Self {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+// Layer errors route through PipelineError so their rendered message
+// carries the same taxonomy prefix everywhere.
+impl From<CsvError> for CliError {
+    fn from(e: CsvError) -> Self {
+        PipelineError::from(e).into()
+    }
+}
+
+impl From<BinFitError> for CliError {
+    fn from(e: BinFitError) -> Self {
+        PipelineError::from(e).into()
+    }
+}
+
+impl From<SubdueError> for CliError {
+    fn from(e: SubdueError) -> Self {
+        PipelineError::from(e).into()
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::from(e).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(CliError::Usage("bad flag".into()).exit_code(), 2);
+        assert_eq!(CliError::Runtime("mining failed".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn arg_errors_are_usage() {
+        let e: CliError = ArgError("--scale: cannot parse 'x'".into()).into();
+        assert!(matches!(e, CliError::Usage(_)));
+        assert_eq!(e.to_string(), "--scale: cannot parse 'x'");
+    }
+
+    #[test]
+    fn pipeline_errors_are_runtime() {
+        let e: CliError = PipelineError::Cancelled.into();
+        assert!(matches!(e, CliError::Runtime(_)));
+        let e: CliError = CsvError {
+            line: 3,
+            message: "bad field".into(),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 1);
+        assert!(e.to_string().contains("line 3"), "{e}");
+    }
+}

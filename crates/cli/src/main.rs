@@ -15,8 +15,10 @@
 
 mod args;
 mod commands;
+mod error;
 
 use args::Args;
+use error::CliError;
 
 const HELP: &str = "\
 tnet — knowledge discovery from transportation network data
@@ -42,40 +44,54 @@ COMMANDS:
               --max-sep N --max-len N --min-occurrences N
     report    the full E1..E15 report (+E17..E21 extensions)
               --scale F --seed N --extensions true|false
+              --deadline-secs F --section-budget MB
     help      this message
 
 mine, subdue, temporal and report also take --threads N to size the
 worker pool (default: TNET_THREADS, then the hardware thread count).
 Results are identical at any thread count.
+
+report runs every section under supervision: a panicking or failing
+section renders a notice instead of killing the run, --deadline-secs
+bounds each section's wall clock, and --section-budget caps each
+miner's memory estimate. Retryable failures (budget, deadline) are
+retried once at reduced effort before being marked failed.
+
+EXIT CODES:
+    0   success (report: at least one section completed)
+    1   runtime failure (missing file, malformed CSV, mining abort)
+    2   usage error (unknown command/flag, unparseable value)
 ";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match run(&argv) {
         Ok(()) => 0,
-        Err(message) => {
-            eprintln!("error: {message}");
-            2
+        Err(e) => {
+            eprintln!("error: {e}");
+            e.exit_code()
         }
     };
     std::process::exit(code);
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv).map_err(|e| e.to_string())?;
+fn run(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
     match args.command.as_str() {
-        "gen" => commands::gen::run(&args).map_err(|e| e.to_string()),
-        "stats" => commands::stats::run(&args).map_err(|e| e.to_string()),
-        "mine" => commands::mine::run(&args).map_err(|e| e.to_string()),
-        "subdue" => commands::subdue::run(&args).map_err(|e| e.to_string()),
-        "temporal" => commands::temporal::run(&args).map_err(|e| e.to_string()),
-        "lanes" => commands::lanes::run(&args).map_err(|e| e.to_string()),
-        "report" => commands::report::run(&args).map_err(|e| e.to_string()),
+        "gen" => commands::gen::run(&args),
+        "stats" => commands::stats::run(&args),
+        "mine" => commands::mine::run(&args),
+        "subdue" => commands::subdue::run(&args),
+        "temporal" => commands::temporal::run(&args),
+        "lanes" => commands::lanes::run(&args),
+        "report" => commands::report::run(&args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'; try `tnet help`")),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'; try `tnet help`"
+        ))),
     }
 }
 
@@ -95,7 +111,20 @@ mod tests {
     #[test]
     fn unknown_command() {
         let e = run(&argv("frobnicate")).unwrap_err();
-        assert!(e.contains("unknown command"));
+        assert!(e.to_string().contains("unknown command"));
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
+    fn missing_input_file_is_a_runtime_error() {
+        let e = run(&argv("stats --input /nonexistent/data.csv")).unwrap_err();
+        assert_eq!(e.exit_code(), 1, "I/O failure is runtime, not usage");
+    }
+
+    #[test]
+    fn bad_flag_value_is_a_usage_error() {
+        let e = run(&argv("stats --scale notanumber")).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
     }
 
     #[test]

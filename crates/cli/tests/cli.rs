@@ -1,11 +1,16 @@
 //! End-to-end tests of the `tnet` binary: spawn the real executable and
 //! check exit codes and output shape (generate → stats → mine round
-//! trip through an actual CSV file on disk).
+//! trip through an actual CSV file on disk), plus the exit-code
+//! contract — 0 success, 1 runtime failure, 2 usage error — and the
+//! supervised report under an armed failpoint.
 
 use std::process::Command;
 
 fn tnet() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_tnet"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tnet"));
+    // Isolate from any failpoints armed in the invoking environment.
+    cmd.env_remove("TNET_FAILPOINTS");
+    cmd
 }
 
 fn run_ok(args: &[&str]) -> String {
@@ -29,10 +34,89 @@ fn help_lists_commands() {
 }
 
 #[test]
-fn unknown_command_exits_nonzero() {
+fn unknown_command_is_usage_error() {
     let out = tnet().arg("bogus").output().unwrap();
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.starts_with("error: "), "{err}");
+}
+
+#[test]
+fn unparseable_value_is_usage_error() {
+    let out = tnet()
+        .args(["stats", "--scale", "notanumber"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--scale"));
+}
+
+#[test]
+fn missing_input_file_is_runtime_error() {
+    let out = tnet()
+        .args(["stats", "--input", "/nonexistent/data.csv"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "I/O failure is runtime");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error: "), "{err}");
+    assert_eq!(err.lines().count(), 1, "one-line stderr, got:\n{err}");
+}
+
+#[test]
+fn malformed_csv_is_runtime_error_with_line_number() {
+    let dir = std::env::temp_dir().join(format!("tnet_cli_badcsv_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.csv");
+    std::fs::write(
+        &path,
+        format!("{}\nnot,enough,fields\n", tnet_data::csv::HEADER),
+    )
+    .unwrap();
+    let out = tnet()
+        .args(["stats", "--input", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    // File-line numbering: the header is line 1, the broken row line 2.
+    assert!(err.contains("line 2"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_with_injected_panic_still_succeeds() {
+    // One section panics; the supervisor isolates it, every other
+    // section renders, and the command still exits 0.
+    let out = tnet()
+        .args([
+            "report",
+            "--scale",
+            "0.008",
+            "--extensions",
+            "false",
+            "--threads",
+            "2",
+        ])
+        .env("TNET_FAILPOINTS", "em::iteration=panic")
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("!! section failed:"),
+        "missing failure notice:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("sections: 11 ok, 0 degraded, 1 failed"),
+        "missing summary:\n{stdout}"
+    );
 }
 
 #[test]

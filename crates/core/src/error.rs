@@ -1,0 +1,187 @@
+//! The unified pipeline error taxonomy.
+//!
+//! Every failure a report section or CLI path can hit — CSV parse
+//! errors, degenerate binning input, miner memory-budget aborts,
+//! injected faults, deadlines, and panics — converges on
+//! [`PipelineError`], so callers map outcomes to stable exit codes and
+//! one-line messages instead of pattern-matching five per-crate enums.
+
+use std::fmt;
+use std::time::Duration;
+use tnet_data::binning::BinFitError;
+use tnet_data::csv::CsvError;
+use tnet_fsg::FsgError;
+use tnet_gspan::GspanError;
+use tnet_subdue::SubdueError;
+use tnet_tabular::EmError;
+
+/// Any failure surfaced by the knowledge-discovery pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// CSV ingest rejected a line.
+    Csv(CsvError),
+    /// Bin fitting rejected the transaction set.
+    BinFit(BinFitError),
+    /// The levelwise (FSG) miner aborted.
+    Fsg(FsgError),
+    /// The SUBDUE beam search aborted.
+    Subdue(SubdueError),
+    /// The depth-first (gSpan-style) miner aborted.
+    Gspan(GspanError),
+    /// The EM clustering fit aborted.
+    Em(EmError),
+    /// A supervised section overran its wall-clock deadline.
+    DeadlineExceeded { section: String, limit: Duration },
+    /// A supervised section panicked; `message` is the panic payload.
+    Panic { section: String, message: String },
+    /// Work was cancelled without a deadline being the cause (an
+    /// explicit caller cancel or a sibling abort on a shared token).
+    Cancelled,
+    /// An I/O failure outside CSV parsing (opening files, writing
+    /// output).
+    Io(String),
+}
+
+impl PipelineError {
+    /// True for failures the supervisor retries once at reduced effort:
+    /// resource exhaustion (a miner's memory-budget abort) and
+    /// deadline overrun — the paper's §6.1 move of raising support and
+    /// shrinking the input after FSG ran out of memory. Panics and
+    /// malformed input are not retryable: the same input fails the same
+    /// way at any effort.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PipelineError::Fsg(FsgError::MemoryBudgetExceeded { .. })
+                | PipelineError::Subdue(SubdueError::MemoryBudgetExceeded { .. })
+                | PipelineError::Gspan(GspanError::MemoryBudgetExceeded { .. })
+                | PipelineError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// True when the underlying failure is a bare cancellation (any
+    /// layer's `Cancelled` variant). The supervisor reclassifies these
+    /// as [`PipelineError::DeadlineExceeded`] when the section's
+    /// deadline token has expired.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            PipelineError::Cancelled
+                | PipelineError::Fsg(FsgError::Cancelled)
+                | PipelineError::Subdue(SubdueError::Cancelled)
+                | PipelineError::Gspan(GspanError::Cancelled)
+                | PipelineError::Em(EmError::Cancelled)
+        )
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Csv(e) => write!(f, "{e}"),
+            PipelineError::BinFit(e) => write!(f, "{e}"),
+            PipelineError::Fsg(e) => write!(f, "fsg: {e}"),
+            PipelineError::Subdue(e) => write!(f, "subdue: {e}"),
+            PipelineError::Gspan(e) => write!(f, "gspan: {e}"),
+            PipelineError::Em(e) => write!(f, "em: {e}"),
+            PipelineError::DeadlineExceeded { section, limit } => {
+                write!(f, "section `{section}` exceeded its {limit:?} deadline")
+            }
+            PipelineError::Panic { section, message } => {
+                write!(f, "section `{section}` panicked: {message}")
+            }
+            PipelineError::Cancelled => write!(f, "cancelled"),
+            PipelineError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<CsvError> for PipelineError {
+    fn from(e: CsvError) -> Self {
+        PipelineError::Csv(e)
+    }
+}
+
+impl From<BinFitError> for PipelineError {
+    fn from(e: BinFitError) -> Self {
+        PipelineError::BinFit(e)
+    }
+}
+
+impl From<FsgError> for PipelineError {
+    fn from(e: FsgError) -> Self {
+        PipelineError::Fsg(e)
+    }
+}
+
+impl From<SubdueError> for PipelineError {
+    fn from(e: SubdueError) -> Self {
+        PipelineError::Subdue(e)
+    }
+}
+
+impl From<GspanError> for PipelineError {
+    fn from(e: GspanError) -> Self {
+        PipelineError::Gspan(e)
+    }
+}
+
+impl From<EmError> for PipelineError {
+    fn from(e: EmError) -> Self {
+        PipelineError::Em(e)
+    }
+}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        let budget = PipelineError::Subdue(SubdueError::MemoryBudgetExceeded {
+            estimated_bytes: 10,
+            budget: 1,
+            expanded: 0,
+        });
+        assert!(budget.is_retryable());
+        let deadline = PipelineError::DeadlineExceeded {
+            section: "E2".into(),
+            limit: Duration::from_secs(1),
+        };
+        assert!(deadline.is_retryable());
+        let panic = PipelineError::Panic {
+            section: "E2".into(),
+            message: "boom".into(),
+        };
+        assert!(!panic.is_retryable());
+        assert!(!PipelineError::Cancelled.is_retryable());
+    }
+
+    #[test]
+    fn cancellation_classification() {
+        assert!(PipelineError::Cancelled.is_cancellation());
+        assert!(PipelineError::Fsg(FsgError::Cancelled).is_cancellation());
+        assert!(PipelineError::Em(EmError::Cancelled).is_cancellation());
+        assert!(!PipelineError::Io("x".into()).is_cancellation());
+    }
+
+    #[test]
+    fn display_includes_layer() {
+        let e = PipelineError::Gspan(GspanError::Cancelled);
+        assert!(e.to_string().starts_with("gspan: "));
+        let e = PipelineError::DeadlineExceeded {
+            section: "E5: sweep".into(),
+            limit: Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains("E5: sweep"));
+        assert!(e.to_string().contains("deadline"));
+    }
+}

@@ -1,6 +1,7 @@
 //! §7 experiments: association rules (E12), classification (E13), and EM
 //! clustering (E14/E15) on the flattened transactional table.
 
+use crate::error::PipelineError;
 use crate::to_table::transactions_to_table;
 use std::fmt;
 use tnet_data::model::Transaction;
@@ -246,22 +247,28 @@ pub struct ClusterResult {
     pub air_cluster: Option<usize>,
 }
 
-/// Runs §7.3: EM with `k` clusters on the undiscretized numeric columns,
-/// then labels clusters by their Figure 6 profile. Distance > 2,500 miles
-/// with < 24 mean hours marks the air cluster; otherwise 600 miles
-/// separates short from long haul.
-pub fn run_cluster(txns: &[Transaction], k: usize, seed: u64, exec: &Exec) -> ClusterResult {
+/// Runs §7.3: EM with `k` clusters on the undiscretized numeric columns
+/// for up to `max_iterations` rounds, then labels clusters by their
+/// Figure 6 profile. Distance > 2,500 miles with < 24 mean hours marks
+/// the air cluster; otherwise 600 miles separates short from long haul.
+pub fn run_cluster(
+    txns: &[Transaction],
+    k: usize,
+    max_iterations: usize,
+    seed: u64,
+    exec: &Exec,
+) -> Result<ClusterResult, PipelineError> {
     let table = transactions_to_table(txns);
     let model = em_fit_with(
         &table,
         &EmConfig {
             clusters: k,
-            max_iterations: 60,
+            max_iterations,
             tolerance: 1e-4,
             seed,
         },
         exec,
-    );
+    )?;
     let mut rows: Vec<ClusterRow> = (0..k)
         .filter(|&c| model.sizes[c] > 0)
         .map(|c| {
@@ -285,11 +292,11 @@ pub fn run_cluster(txns: &[Transaction], k: usize, seed: u64, exec: &Exec) -> Cl
         .collect();
     rows.sort_by_key(|r| std::cmp::Reverse(r.size));
     let air_cluster = rows.iter().position(|r| r.class == HaulClass::AirFreight);
-    ClusterResult {
+    Ok(ClusterResult {
         rows,
         log_likelihood: model.log_likelihood,
         air_cluster,
-    }
+    })
 }
 
 impl fmt::Display for ClusterResult {
@@ -366,7 +373,7 @@ mod tests {
 
     #[test]
     fn cluster_finds_air_outliers_and_haul_split() {
-        let res = run_cluster(&data(), 9, 7, &Exec::new(2));
+        let res = run_cluster(&data(), 9, 60, 7, &Exec::new(2)).unwrap();
         assert!(res.air_cluster.is_some(), "air-freight cluster expected");
         let air = &res.rows[res.air_cluster.unwrap()];
         assert!(
@@ -390,7 +397,9 @@ mod tests {
     fn displays_render() {
         let txt = run_classify(&data()).to_string();
         assert!(txt.contains("TRANS_MODE test accuracy"));
-        let txt = run_cluster(&data(), 5, 7, &Exec::new(2)).to_string();
+        let txt = run_cluster(&data(), 5, 60, 7, &Exec::new(2))
+            .unwrap()
+            .to_string();
         assert!(txt.contains("mean_distance"));
     }
 }

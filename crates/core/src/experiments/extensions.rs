@@ -9,6 +9,7 @@
 //! | E20 | "maximal graph patterns ... may address this challenge" | [`run_maximal`] |
 //! | E21 | §8's memory analysis: levelwise candidate sets vs depth-first growth | [`run_miner_comparison`] |
 
+use crate::error::PipelineError;
 use std::fmt;
 use tnet_data::binning::BinScheme;
 use tnet_data::model::{Date, LatLon, Transaction};
@@ -189,12 +190,15 @@ pub struct MaximalResult {
 /// Runs E20: mines a transaction set and reports how much the maximal
 /// and closed filters shrink the result — the paper's suggested answer
 /// to "many of these patterns turn out to be trivial or uninteresting".
-pub fn run_maximal(transactions: &[Graph], support: Support) -> MaximalResult {
+pub fn run_maximal(
+    transactions: &[Graph],
+    support: Support,
+) -> Result<MaximalResult, PipelineError> {
     let cfg = FsgConfig::default().with_support(support).with_max_edges(5);
-    let out = mine(transactions, &cfg).expect("mining within budget");
+    let out = mine(transactions, &cfg)?;
     let (_, maximal) = filter_with_report(&out.patterns, Keep::Maximal);
     let (_, closed) = filter_with_report(&out.patterns, Keep::Closed);
-    MaximalResult { maximal, closed }
+    Ok(MaximalResult { maximal, closed })
 }
 
 impl fmt::Display for MaximalResult {
@@ -232,22 +236,22 @@ pub fn run_miner_comparison(
     transactions: &[Graph],
     support: Support,
     exec: &Exec,
-) -> MinerComparison {
+) -> Result<MinerComparison, PipelineError> {
     let fsg_out = mine_with(
         transactions,
         &FsgConfig::default().with_support(support).with_max_edges(4),
         exec,
-    )
-    .expect("within budget");
+    )?;
     let gspan_out = mine_dfs_with(
         transactions,
         &GspanConfig {
             min_support: support,
             max_edges: 4,
+            ..Default::default()
         },
         exec,
-    );
-    MinerComparison {
+    )?;
+    Ok(MinerComparison {
         patterns_fsg: fsg_out.patterns.len(),
         patterns_gspan: gspan_out.patterns.len(),
         fsg_peak_candidates: fsg_out
@@ -258,7 +262,7 @@ pub fn run_miner_comparison(
             .max()
             .unwrap_or(0),
         gspan_max_depth: gspan_out.stats.max_depth,
-    }
+    })
 }
 
 impl fmt::Display for MinerComparison {
@@ -349,7 +353,7 @@ mod tests {
     #[test]
     fn maximal_filter_reduces() {
         let txns = graph_transactions(0.02);
-        let res = run_maximal(&txns, Support::Count(4));
+        let res = run_maximal(&txns, Support::Count(4)).unwrap();
         assert!(res.maximal.before > 0);
         assert!(res.maximal.after <= res.closed.after);
         assert!(res.closed.after <= res.maximal.before);
@@ -362,7 +366,7 @@ mod tests {
     #[test]
     fn miners_agree_with_contrasting_memory() {
         let txns = graph_transactions(0.015);
-        let res = run_miner_comparison(&txns, Support::Count(4), &Exec::new(2));
+        let res = run_miner_comparison(&txns, Support::Count(4), &Exec::new(2)).unwrap();
         assert_eq!(
             res.patterns_fsg, res.patterns_gspan,
             "output sets must match"

@@ -1,6 +1,7 @@
 //! §5 experiments: SUBDUE on structural OD graphs (E2–E4) and FSG over
 //! BF/DF partitions (E5–E8).
 
+use crate::error::PipelineError;
 use crate::patterns::{classify, PatternShape};
 use std::fmt;
 use std::time::Duration;
@@ -55,17 +56,24 @@ pub struct Fig1Result {
 
 /// Runs E2: SUBDUE with the MDL principle, beam 4, best 3, on a
 /// truncated uniform-label `OD_GW` graph of `vertices` vertices.
-pub fn run_fig1(txns: &[Transaction], vertices: usize, exec: &Exec) -> Fig1Result {
-    let scheme = BinScheme::fit_width_transactions(txns);
+/// `budget` caps the beam search's working set in bytes.
+pub fn run_fig1(
+    txns: &[Transaction],
+    vertices: usize,
+    budget: Option<usize>,
+    exec: &Exec,
+) -> Result<Fig1Result, PipelineError> {
+    let scheme = BinScheme::fit_width_transactions(txns)?;
     let g = truncated_structural_graph(txns, &scheme, EdgeLabeling::GrossWeight, vertices);
     let cfg = SubdueConfig {
         beam_width: 4,
         max_best: 3,
         max_size: 16,
         eval: EvalMethod::Mdl,
+        memory_budget: budget,
         ..Default::default()
     };
-    let out = discover_with(&g, &cfg, exec);
+    let out = discover_with(&g, &cfg, exec)?;
     let best: Vec<(Graph, usize, f64)> = out
         .best
         .iter()
@@ -75,13 +83,13 @@ pub fn run_fig1(txns: &[Transaction], vertices: usize, exec: &Exec) -> Fig1Resul
         .first()
         .map(|(p, _, _)| crate::patterns::one_way_pairs(p))
         .unwrap_or(0);
-    Fig1Result {
+    Ok(Fig1Result {
         graph_vertices: g.vertex_count(),
         graph_edges: g.edge_count(),
         best,
         runtime: out.runtime,
         deadhead_pairs,
-    }
+    })
 }
 
 impl fmt::Display for Fig1Result {
@@ -129,8 +137,13 @@ pub struct ScalingRow {
 /// Runs E3: SUBDUE (MDL and Size) on truncated graphs of increasing
 /// vertex counts; the paper's observation is superlinear runtime growth
 /// and Size costing more than MDL at the same settings.
-pub fn run_subdue_scaling(txns: &[Transaction], sizes: &[usize], exec: &Exec) -> Vec<ScalingRow> {
-    let scheme = BinScheme::fit_width_transactions(txns);
+pub fn run_subdue_scaling(
+    txns: &[Transaction],
+    sizes: &[usize],
+    budget: Option<usize>,
+    exec: &Exec,
+) -> Result<Vec<ScalingRow>, PipelineError> {
+    let scheme = BinScheme::fit_width_transactions(txns)?;
     sizes
         .iter()
         .map(|&n| {
@@ -140,20 +153,21 @@ pub fn run_subdue_scaling(txns: &[Transaction], sizes: &[usize], exec: &Exec) ->
                 max_best: 3,
                 max_size,
                 eval,
+                memory_budget: budget,
                 ..Default::default()
             };
             // Size principle hunts bigger substructures (the paper ran it
             // with larger limits, which is exactly why it took days).
-            let mdl = discover_with(&g, &mk(EvalMethod::Mdl, 10), exec);
-            let size = discover_with(&g, &mk(EvalMethod::Size, 14), exec);
-            ScalingRow {
+            let mdl = discover_with(&g, &mk(EvalMethod::Mdl, 10), exec)?;
+            let size = discover_with(&g, &mk(EvalMethod::Size, 14), exec)?;
+            Ok(ScalingRow {
                 vertices: g.vertex_count(),
                 edges: g.edge_count(),
                 mdl_runtime: mdl.runtime,
                 size_runtime: size.runtime,
                 mdl_expanded: mdl.expanded,
                 size_expanded: size.expanded,
-            }
+            })
         })
         .collect()
 }
@@ -230,8 +244,9 @@ pub fn run_size_principle(
     pattern_extra_edges: usize,
     noise_edges: usize,
     seed: u64,
+    budget: Option<usize>,
     exec: &Exec,
-) -> SizePrincipleResult {
+) -> Result<SizePrincipleResult, PipelineError> {
     let edge_labels = 14;
     let pattern =
         random_connected_pattern(pattern_vertices, pattern_extra_edges, edge_labels, seed);
@@ -247,9 +262,10 @@ pub fn run_size_principle(
         max_best: 5,
         max_size: pattern.size() + 2,
         eval: EvalMethod::Size,
+        memory_budget: budget,
         ..Default::default()
     };
-    let out = discover_with(&planted.graph, &cfg, exec);
+    let out = discover_with(&planted.graph, &cfg, exec)?;
     let largest = out.best.iter().max_by_key(|s| s.pattern.edge_count());
     let (le, lv, li) = largest
         .map(|s| {
@@ -261,13 +277,13 @@ pub fn run_size_principle(
         })
         .unwrap_or((0, 0, 0));
     let min_edges = pattern.edge_count() / 2;
-    SizePrincipleResult {
+    Ok(SizePrincipleResult {
         largest_edges: le,
         largest_vertices: lv,
         largest_instances: li,
         found: le >= min_edges && li >= 2,
         runtime: out.runtime,
-    }
+    })
 }
 
 impl fmt::Display for SizePrincipleResult {
@@ -312,9 +328,10 @@ pub fn run_partition_sweep(
     repetitions: usize,
     max_edges: usize,
     seed: u64,
+    budget: Option<usize>,
     exec: &Exec,
-) -> Vec<SweepRow> {
-    let scheme = BinScheme::fit_width_transactions(txns);
+) -> Result<Vec<SweepRow>, PipelineError> {
+    let scheme = BinScheme::fit_width_transactions(txns)?;
     let od = build_od_graph(txns, &scheme, labeling, VertexLabeling::Uniform);
     let mut g = od.graph;
     g.dedup_edges();
@@ -331,7 +348,7 @@ pub fn run_partition_sweep(
             let cfg = FsgConfig::default()
                 .with_support(Support::Count(support))
                 .with_max_edges(max_edges)
-                .with_memory_budget(512 << 20);
+                .with_memory_budget(budget.unwrap_or(512 << 20));
             let found = mine_single_graph(&g, k, repetitions, strategy, seed, exec, |t, e| {
                 mine_for_algorithm1_with(t, &cfg, e)
             });
@@ -349,7 +366,7 @@ pub fn run_partition_sweep(
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the sweep table.
@@ -405,16 +422,17 @@ pub fn run_shape_mining(
     repetitions: usize,
     max_edges: usize,
     seed: u64,
+    budget: Option<usize>,
     exec: &Exec,
-) -> ShapeMiningResult {
-    let scheme = BinScheme::fit_width_transactions(txns);
+) -> Result<ShapeMiningResult, PipelineError> {
+    let scheme = BinScheme::fit_width_transactions(txns)?;
     let od = build_od_graph(txns, &scheme, labeling, VertexLabeling::Uniform);
     let mut g = od.graph;
     g.dedup_edges();
     let cfg = FsgConfig::default()
         .with_support(Support::Count(support))
         .with_max_edges(max_edges)
-        .with_memory_budget(512 << 20);
+        .with_memory_budget(budget.unwrap_or(512 << 20));
     let patterns = mine_single_graph(&g, partitions, repetitions, strategy, seed, exec, |t, e| {
         mine_for_algorithm1_with(t, &cfg, e)
     });
@@ -431,13 +449,13 @@ pub fn run_shape_mining(
             _ => {}
         }
     }
-    ShapeMiningResult {
+    Ok(ShapeMiningResult {
         strategy,
         labeling,
         patterns,
         best_hub,
         best_chain,
-    }
+    })
 }
 
 impl fmt::Display for ShapeMiningResult {
@@ -564,7 +582,7 @@ mod tests {
     #[test]
     fn fig1_mdl_compresses_with_frequent_patterns() {
         let txns = data(0.03);
-        let res = run_fig1(&txns, 40, &Exec::new(2));
+        let res = run_fig1(&txns, 40, None, &Exec::new(2)).unwrap();
         assert!(!res.best.is_empty());
         // SUBDUE/MDL returns repeated (no-overlap) substructures; the
         // top one is "very frequent" like the paper's Figure 1 finds.
@@ -580,7 +598,7 @@ mod tests {
 
     #[test]
     fn scaling_rows_grow() {
-        let rows = run_subdue_scaling(&data(0.02), &[15, 30, 60], &Exec::new(2));
+        let rows = run_subdue_scaling(&data(0.02), &[15, 30, 60], None, &Exec::new(2)).unwrap();
         assert_eq!(rows.len(), 3);
         assert!(rows[0].vertices < rows[2].vertices);
         // More vertices => strictly more (or equal) expansion work for
@@ -592,7 +610,7 @@ mod tests {
     fn size_principle_recovers_planted() {
         // Scaled-down version of the 31v/37e find: 12 vertices, 3 extra
         // edges (14 edges total), planted twice among 40 noise edges.
-        let res = run_size_principle(12, 3, 40, 5, &Exec::new(2));
+        let res = run_size_principle(12, 3, 40, 5, None, &Exec::new(2)).unwrap();
         assert!(
             res.found,
             "size principle should recover the planted structure: {} edges, {} instances",
@@ -611,8 +629,10 @@ mod tests {
             1,
             4,
             11,
+            None,
             &Exec::new(2),
-        );
+        )
+        .unwrap();
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(
@@ -649,8 +669,10 @@ mod tests {
             2,
             5,
             3,
+            None,
             &Exec::new(2),
-        );
+        )
+        .unwrap();
         let (spokes, support) = res.best_hub.expect("BF should find hub-and-spoke");
         assert!(spokes >= 3, "expect >=3 spokes, got {spokes}");
         assert!(support >= 7);
@@ -668,8 +690,10 @@ mod tests {
             2,
             5,
             3,
+            None,
             &Exec::new(2),
-        );
+        )
+        .unwrap();
         let (edges, _) = res.best_chain.expect("DF should find chains");
         assert!(edges >= 2, "expect chain of >=2 edges, got {edges}");
     }

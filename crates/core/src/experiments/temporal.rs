@@ -1,6 +1,7 @@
 //! §6 experiments: temporal partitioning summaries (Table 2), filtered
 //! mining (Table 3, Figure 4), and the FSG memory failure (E11).
 
+use crate::error::PipelineError;
 use crate::patterns::classify;
 use std::fmt;
 use tnet_data::binning::BinScheme;
@@ -21,13 +22,13 @@ pub struct Table2Result {
 /// Runs E9: the full §6 pipeline (daily active-edge graphs → connected
 /// components → edge dedup → drop single-edge transactions) and its
 /// Table 2 summary.
-pub fn run_table2(txns: &[Transaction]) -> Table2Result {
-    let scheme = BinScheme::fit_width_transactions(txns);
+pub fn run_table2(txns: &[Transaction]) -> Result<Table2Result, PipelineError> {
+    let scheme = BinScheme::fit_width_transactions(txns)?;
     let transactions = temporal_partition(txns, &scheme, &TemporalOptions::default());
-    Table2Result {
+    Ok(Table2Result {
         summary: summarize_set(&transactions),
         transactions,
-    }
+    })
 }
 
 impl fmt::Display for Table2Result {
@@ -51,9 +52,19 @@ pub struct Fig4Result {
 /// Runs E10 the way §6.1 describes: keep only *dates* whose daily graph
 /// has fewer than `label_limit` distinct vertex labels (the paper used
 /// 200 — the quiet days), then run the component/dedup/size pipeline on
-/// those days, summarize (Table 3), and mine at 5% support (Figure 4).
-pub fn run_fig4(txns: &[Transaction], label_limit: usize, exec: &Exec) -> Fig4Result {
-    let scheme = BinScheme::fit_width_transactions(txns);
+/// those days, summarize (Table 3), and mine at `support` (the paper's
+/// Figure 4 used 5%) up to `max_edges`-edge patterns. `budget` caps the
+/// miner's candidate sets; a degraded retry raises `support` and lowers
+/// `max_edges`, which is the paper's own §6.1 recovery move.
+pub fn run_fig4(
+    txns: &[Transaction],
+    label_limit: usize,
+    support: Support,
+    max_edges: usize,
+    budget: Option<usize>,
+    exec: &Exec,
+) -> Result<Fig4Result, PipelineError> {
+    let scheme = BinScheme::fit_width_transactions(txns)?;
     let quiet_days = filter_by_vertex_labels(
         tnet_partition::temporal::daily_graphs(txns, &scheme),
         label_limit,
@@ -67,10 +78,13 @@ pub fn run_fig4(txns: &[Transaction], label_limit: usize, exec: &Exec) -> Fig4Re
     }
     filtered.retain(|g| g.edge_count() >= 2);
     let table3 = summarize_set(&filtered);
-    let cfg = FsgConfig::default()
-        .with_support(Support::Fraction(0.05))
-        .with_max_edges(5);
-    let out = mine_with(&filtered, &cfg, exec).expect("filtered set must fit in memory");
+    let mut cfg = FsgConfig::default()
+        .with_support(support)
+        .with_max_edges(max_edges);
+    if let Some(b) = budget {
+        cfg = cfg.with_memory_budget(b);
+    }
+    let out = mine_with(&filtered, &cfg, exec)?;
     let single_edge_patterns = out
         .patterns
         .iter()
@@ -81,12 +95,12 @@ pub fn run_fig4(txns: &[Transaction], label_limit: usize, exec: &Exec) -> Fig4Re
         .iter()
         .max_by_key(|p| p.graph.edge_count())
         .map(|p| (p.graph.edge_count(), classify(&p.graph).name(), p.support));
-    Fig4Result {
+    Ok(Fig4Result {
         table3,
         patterns: out.patterns.len(),
         single_edge_patterns,
         largest,
-    }
+    })
 }
 
 impl fmt::Display for Fig4Result {
@@ -116,19 +130,19 @@ impl fmt::Display for Fig4Result {
 /// distinct-vertex-label counts. The paper's 200 kept the quietest dates
 /// of its dataset; `fraction` ≈ 0.3 reproduces that selectivity at any
 /// scale.
-pub fn quiet_day_label_limit(txns: &[Transaction], fraction: f64) -> usize {
+pub fn quiet_day_label_limit(txns: &[Transaction], fraction: f64) -> Result<usize, PipelineError> {
     assert!((0.0..=1.0).contains(&fraction));
-    let scheme = BinScheme::fit_width_transactions(txns);
+    let scheme = BinScheme::fit_width_transactions(txns)?;
     let mut counts: Vec<usize> = tnet_partition::temporal::daily_graphs(txns, &scheme)
         .iter()
         .map(|g| g.vertex_label_histogram().len())
         .collect();
     if counts.is_empty() {
-        return 1;
+        return Ok(1);
     }
     counts.sort_unstable();
     let idx = ((counts.len() as f64 * fraction) as usize).min(counts.len() - 1);
-    (counts[idx] + 1).max(2)
+    Ok((counts[idx] + 1).max(2))
 }
 
 /// E11 output.
@@ -188,7 +202,7 @@ mod tests {
 
     #[test]
     fn table2_shape() {
-        let res = run_table2(&transactions(0.05));
+        let res = run_table2(&transactions(0.05)).unwrap();
         let s = &res.summary;
         assert!(s.transactions > 50, "expect many daily transactions");
         assert!(s.distinct_vertex_labels > 50);
@@ -203,8 +217,16 @@ mod tests {
     #[test]
     fn fig4_filtered_mining() {
         let txns = transactions(0.05);
-        let limit = quiet_day_label_limit(&txns, 0.1);
-        let res = run_fig4(&txns, limit, &Exec::new(2));
+        let limit = quiet_day_label_limit(&txns, 0.1).unwrap();
+        let res = run_fig4(
+            &txns,
+            limit,
+            Support::Fraction(0.05),
+            5,
+            None,
+            &Exec::new(2),
+        )
+        .unwrap();
         assert!(res.table3.transactions > 0, "filter kept nothing");
         assert!(
             res.table3.max_edges <= 150,
@@ -223,7 +245,7 @@ mod tests {
 
     #[test]
     fn fsg_exhausts_memory_on_unfiltered_data() {
-        let res0 = run_table2(&transactions(0.05));
+        let res0 = run_table2(&transactions(0.05)).unwrap();
         // The paper's effective support was ~8 occurrences; keep that
         // magnitude rather than a percentage of the inflated post-split
         // transaction count.

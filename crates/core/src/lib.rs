@@ -22,12 +22,16 @@
 //! assert!(stats.distinct_od_pairs > 100);
 //! ```
 
+pub mod error;
 pub mod experiments;
 pub mod null_model;
 pub mod patterns;
 pub mod pipeline;
+pub mod supervisor;
 pub mod to_table;
 
+pub use error::PipelineError;
 pub use patterns::{classify, interestingness, Interestingness, PatternShape};
-pub use pipeline::Pipeline;
+pub use pipeline::{Pipeline, ReportOutcome};
+pub use supervisor::{Effort, SectionCtx, SectionOutcome, SectionStatus, SupervisorConfig};
 pub use to_table::transactions_to_table;

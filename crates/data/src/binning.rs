@@ -112,6 +112,37 @@ impl Binner {
     }
 }
 
+/// Why a [`BinScheme`] could not be fitted to a dataset. Degenerate
+/// inputs used to produce zero-width bins silently; now every fitting
+/// failure is typed and names the offending attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BinFitError {
+    /// No transactions to fit against.
+    Empty,
+    /// An attribute contains a NaN or infinite value.
+    NonFinite { attribute: &'static str },
+    /// An attribute is constant — an equal-width split of a zero-width
+    /// range is meaningless.
+    Degenerate { attribute: &'static str, value: f64 },
+}
+
+impl std::fmt::Display for BinFitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinFitError::Empty => write!(f, "cannot fit bins to an empty transaction set"),
+            BinFitError::NonFinite { attribute } => {
+                write!(f, "cannot fit bins: non-finite {attribute} value")
+            }
+            BinFitError::Degenerate { attribute, value } => write!(
+                f,
+                "cannot fit bins: every {attribute} equals {value} (zero-width range)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BinFitError {}
+
 /// The paper's edge-label binning scheme: 7 gross-weight bins, 10
 /// transit-hour bins, and (by analogy) 8 distance bins.
 #[derive(Clone, Debug)]
@@ -141,28 +172,44 @@ impl BinScheme {
     /// is integral to the paper's results: it is why hub patterns with
     /// many same-label spokes are frequent, and why FSG's candidate sets
     /// stay in the hundreds instead of exploding combinatorially.
-    pub fn fit_width_transactions(txns: &[crate::model::Transaction]) -> BinScheme {
-        let range = |f: fn(&crate::model::Transaction) -> f64| {
+    ///
+    /// # Errors
+    /// [`BinFitError`] on an empty transaction set, a non-finite
+    /// attribute value, or an all-equal attribute (zero-width range).
+    pub fn fit_width_transactions(
+        txns: &[crate::model::Transaction],
+    ) -> Result<BinScheme, BinFitError> {
+        if txns.is_empty() {
+            return Err(BinFitError::Empty);
+        }
+        let range = |f: fn(&crate::model::Transaction) -> f64,
+                     attribute: &'static str|
+         -> Result<(f64, f64), BinFitError> {
             let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
             for t in txns {
                 let v = f(t);
+                if !v.is_finite() {
+                    return Err(BinFitError::NonFinite { attribute });
+                }
                 lo = lo.min(v);
                 hi = hi.max(v);
             }
-            if !lo.is_finite() || hi <= lo {
-                (0.0, 1.0)
-            } else {
-                (lo, hi)
+            if hi <= lo {
+                return Err(BinFitError::Degenerate {
+                    attribute,
+                    value: lo,
+                });
             }
+            Ok((lo, hi))
         };
-        let (wlo, whi) = range(|t| t.gross_weight);
-        let (hlo, hhi) = range(|t| t.transit_hours);
-        let (dlo, dhi) = range(|t| t.total_distance);
-        BinScheme {
+        let (wlo, whi) = range(|t| t.gross_weight, "gross weight")?;
+        let (hlo, hhi) = range(|t| t.transit_hours, "transit hours")?;
+        let (dlo, dhi) = range(|t| t.total_distance, "distance")?;
+        Ok(BinScheme {
             weight: Binner::equal_width(wlo, whi, 7),
             hours: Binner::equal_width(hlo, hhi, 10),
             distance: Binner::equal_width(dlo, dhi, 8),
-        }
+        })
     }
 
     /// Fits the paper's bin counts with **equal-frequency** boundaries —
@@ -286,6 +333,43 @@ mod tests {
         assert_eq!(s.weight.bins(), 7);
         assert_eq!(s.hours.bins(), 10);
         assert_eq!(s.distance.bins(), 8);
+    }
+
+    #[test]
+    fn fit_width_rejects_bad_inputs() {
+        use crate::model::{Date, LatLon, TransMode, Transaction};
+        let mk = |weight: f64, hours: f64, dist: f64| Transaction {
+            id: 0,
+            req_pickup: Date(0),
+            req_delivery: Date(1),
+            origin: LatLon::new(44.5, -88.0),
+            dest: LatLon::new(41.9, -87.6),
+            total_distance: dist,
+            gross_weight: weight,
+            transit_hours: hours,
+            mode: TransMode::Truckload,
+        };
+        assert!(matches!(
+            BinScheme::fit_width_transactions(&[]).unwrap_err(),
+            BinFitError::Empty
+        ));
+        let nan = BinScheme::fit_width_transactions(&[mk(f64::NAN, 1.0, 2.0), mk(2.0, 3.0, 4.0)]);
+        assert!(matches!(
+            nan.unwrap_err(),
+            BinFitError::NonFinite {
+                attribute: "gross weight"
+            }
+        ));
+        let flat = BinScheme::fit_width_transactions(&[mk(5.0, 1.0, 2.0), mk(5.0, 3.0, 4.0)]);
+        assert!(matches!(
+            flat.unwrap_err(),
+            BinFitError::Degenerate {
+                attribute: "gross weight",
+                ..
+            }
+        ));
+        let ok = BinScheme::fit_width_transactions(&[mk(1.0, 1.0, 2.0), mk(9.0, 3.0, 4.0)]);
+        assert_eq!(ok.unwrap().weight.bins(), 7);
     }
 
     #[test]

@@ -52,10 +52,22 @@ impl std::error::Error for CsvError {}
 
 /// Reads transactions from CSV produced by [`write_csv`] (header
 /// required).
+///
+/// Every numeric field is validated, not just parsed: non-finite
+/// lat/lon/distance/weight/hours, negative distance/weight/transit
+/// hours, and `req_delivery < req_pickup` are all rejected with the
+/// offending 1-based line number. (Unvalidated, a NaN weight would
+/// parse cleanly and poison every downstream bin boundary.)
 pub fn read_csv(r: impl BufRead) -> Result<Vec<Transaction>, CsvError> {
     let mut txns = Vec::new();
     for (i, line) in r.lines().enumerate() {
         let lineno = i + 1;
+        if let Err(fault) = tnet_exec::failpoint::hit("csv::ingest") {
+            return Err(CsvError {
+                line: lineno,
+                message: fault.to_string(),
+            });
+        }
         let line = line.map_err(|e| CsvError {
             line: lineno,
             message: e.to_string(),
@@ -84,25 +96,48 @@ pub fn read_csv(r: impl BufRead) -> Result<Vec<Transaction>, CsvError> {
             line: lineno,
             message: m.to_string(),
         };
-        let parse_f = |s: &str, name: &str| -> Result<f64, CsvError> {
-            s.parse::<f64>()
-                .map_err(|_| err(&format!("bad {name}: {s}")))
+        // Coordinates must be finite (a NaN would silently coarsen to
+        // 0.0°); magnitudes must additionally be non-negative.
+        let parse_finite = |s: &str, name: &str| -> Result<f64, CsvError> {
+            let v = s
+                .parse::<f64>()
+                .map_err(|_| err(&format!("bad {name}: {s}")))?;
+            if !v.is_finite() {
+                return Err(err(&format!("non-finite {name}: {s}")));
+            }
+            Ok(v)
         };
+        let parse_magnitude = |s: &str, name: &str| -> Result<f64, CsvError> {
+            let v = parse_finite(s, name)?;
+            if v < 0.0 {
+                return Err(err(&format!("negative {name}: {s}")));
+            }
+            Ok(v)
+        };
+        let req_pickup = Date(fields[1].parse().map_err(|_| err("bad pickup date"))?);
+        let req_delivery = Date(fields[2].parse().map_err(|_| err("bad delivery date"))?);
+        if req_delivery < req_pickup {
+            return Err(err(&format!(
+                "requested delivery (day {}) precedes requested pickup (day {})",
+                req_delivery.day(),
+                req_pickup.day()
+            )));
+        }
         txns.push(Transaction {
             id: fields[0].parse().map_err(|_| err("bad ID"))?,
-            req_pickup: Date(fields[1].parse().map_err(|_| err("bad pickup date"))?),
-            req_delivery: Date(fields[2].parse().map_err(|_| err("bad delivery date"))?),
+            req_pickup,
+            req_delivery,
             origin: LatLon::new(
-                parse_f(fields[3], "origin latitude")?,
-                parse_f(fields[4], "origin longitude")?,
+                parse_finite(fields[3], "origin latitude")?,
+                parse_finite(fields[4], "origin longitude")?,
             ),
             dest: LatLon::new(
-                parse_f(fields[5], "dest latitude")?,
-                parse_f(fields[6], "dest longitude")?,
+                parse_finite(fields[5], "dest latitude")?,
+                parse_finite(fields[6], "dest longitude")?,
             ),
-            total_distance: parse_f(fields[7], "distance")?,
-            gross_weight: parse_f(fields[8], "weight")?,
-            transit_hours: parse_f(fields[9], "transit hours")?,
+            total_distance: parse_magnitude(fields[7], "distance")?,
+            gross_weight: parse_magnitude(fields[8], "weight")?,
+            transit_hours: parse_magnitude(fields[9], "transit hours")?,
             mode: TransMode::parse(fields[10]).ok_or_else(|| err("bad mode"))?,
         });
     }
@@ -169,6 +204,63 @@ mod tests {
         let input = format!("{HEADER}\n1,0,1,44.5,-88.0,41.9,-87.6,200,30000,8,AIR\n");
         let e = read_csv(input.as_bytes()).unwrap_err();
         assert!(e.message.contains("mode"));
+    }
+
+    #[test]
+    fn rejects_non_finite_fields() {
+        for (field, col) in [("NaN", "latitude"), ("inf", "longitude"), ("NaN", "weight")] {
+            let row = match col {
+                "latitude" => format!("1,0,1,{field},-88.0,41.9,-87.6,200,30000,8,TL"),
+                "longitude" => format!("1,0,1,44.5,{field},41.9,-87.6,200,30000,8,TL"),
+                _ => format!("1,0,1,44.5,-88.0,41.9,-87.6,200,{field},8,TL"),
+            };
+            let input = format!("{HEADER}\n{row}\n");
+            let e = read_csv(input.as_bytes()).unwrap_err();
+            assert_eq!(e.line, 2, "line number for {col}");
+            assert!(
+                e.message.contains("non-finite") && e.message.contains(col),
+                "unexpected message for {col}: {}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_negative_magnitudes() {
+        for (row, name) in [
+            ("1,0,1,44.5,-88.0,41.9,-87.6,-200,30000,8,TL", "distance"),
+            ("1,0,1,44.5,-88.0,41.9,-87.6,200,-1,8,TL", "weight"),
+            ("1,0,1,44.5,-88.0,41.9,-87.6,200,30000,-8,TL", "transit"),
+        ] {
+            let input = format!("{HEADER}\n{row}\n");
+            let e = read_csv(input.as_bytes()).unwrap_err();
+            assert_eq!(e.line, 2);
+            assert!(
+                e.message.contains("negative") && e.message.contains(name),
+                "unexpected message for {name}: {}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_delivery_before_pickup() {
+        let ok = format!("{HEADER}\n1,5,5,44.5,-88.0,41.9,-87.6,200,30000,8,TL\n");
+        assert_eq!(read_csv(ok.as_bytes()).unwrap().len(), 1);
+        let input = format!(
+            "{HEADER}\n1,0,2,44.5,-88.0,41.9,-87.6,200,30000,8,TL\n\
+             2,9,3,44.5,-88.0,41.9,-87.6,200,30000,8,TL\n"
+        );
+        let e = read_csv(input.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 3, "second data row is the bad one");
+        assert!(e.message.contains("precedes"), "{}", e.message);
+    }
+
+    #[test]
+    fn negative_coordinates_are_fine() {
+        let input = format!("{HEADER}\n1,0,1,-33.9,-151.2,-37.8,144.9,200,30000,8,TL\n");
+        let t = &read_csv(input.as_bytes()).unwrap()[0];
+        assert_eq!(t.origin.lat(), -33.9);
     }
 
     #[test]

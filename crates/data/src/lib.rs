@@ -29,7 +29,7 @@ pub mod od_graph;
 pub mod stats;
 pub mod synth;
 
-pub use binning::{BinScheme, Binner};
+pub use binning::{BinFitError, BinScheme, Binner};
 pub use model::{Date, LatLon, TransMode, Transaction};
 pub use od_graph::{build_od_graph, EdgeLabeling, OdGraph, VertexLabeling};
 pub use stats::{dataset_stats, DatasetStats};

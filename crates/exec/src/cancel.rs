@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A cancellation signal shared between a controller and any number of
 /// workers.
@@ -13,6 +14,11 @@ use std::sync::Arc;
 /// running. This is what lets one FSG mine abort on a memory-budget
 /// overrun without poisoning concurrent sibling mines that share the
 /// same top-level runtime.
+///
+/// A token may additionally carry a **deadline**: past it, the token
+/// reads as cancelled without anyone calling [`CancelToken::cancel`].
+/// Deadlines compose with the hierarchy — a child expires when its own
+/// deadline *or* any ancestor's passes.
 #[derive(Clone, Debug)]
 pub struct CancelToken {
     inner: Arc<Inner>,
@@ -21,6 +27,7 @@ pub struct CancelToken {
 #[derive(Debug)]
 struct Inner {
     flag: AtomicBool,
+    deadline: Option<Instant>,
     parent: Option<CancelToken>,
 }
 
@@ -30,6 +37,19 @@ impl CancelToken {
         CancelToken {
             inner: Arc::new(Inner {
                 flag: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A fresh root token that reads as cancelled once `timeout` has
+    /// elapsed from the moment of construction.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(timeout),
                 parent: None,
             }),
         }
@@ -41,6 +61,20 @@ impl CancelToken {
         CancelToken {
             inner: Arc::new(Inner {
                 flag: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// A child token with its own deadline `timeout` from now. The child
+    /// expires when its deadline passes or the parent cancels/expires;
+    /// the parent is unaffected either way.
+    pub fn child_with_deadline(&self, timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(timeout),
                 parent: Some(self.clone()),
             }),
         }
@@ -51,12 +85,39 @@ impl CancelToken {
         self.inner.flag.store(true, Ordering::Release);
     }
 
-    /// True once this token or any ancestor has been cancelled.
+    /// True once this token or any ancestor has been cancelled or has
+    /// passed its deadline.
     pub fn is_cancelled(&self) -> bool {
+        let mut now: Option<Instant> = None;
         let mut cur = Some(self);
         while let Some(tok) = cur {
             if tok.inner.flag.load(Ordering::Acquire) {
                 return true;
+            }
+            if let Some(deadline) = tok.inner.deadline {
+                // One clock read per check, shared down the chain.
+                let t = *now.get_or_insert_with(Instant::now);
+                if t >= deadline {
+                    return true;
+                }
+            }
+            cur = tok.inner.parent.as_ref();
+        }
+        false
+    }
+
+    /// True once this token's own deadline, or any ancestor's, has
+    /// passed — regardless of explicit cancellation. Lets a supervisor
+    /// distinguish "ran out of time" from "was told to stop".
+    pub fn deadline_expired(&self) -> bool {
+        let mut now: Option<Instant> = None;
+        let mut cur = Some(self);
+        while let Some(tok) = cur {
+            if let Some(deadline) = tok.inner.deadline {
+                let t = *now.get_or_insert_with(Instant::now);
+                if t >= deadline {
+                    return true;
+                }
             }
             cur = tok.inner.parent.as_ref();
         }
@@ -111,5 +172,48 @@ mod tests {
         let b = a.clone();
         b.cancel();
         assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expires_token() {
+        let t = CancelToken::with_deadline(Duration::from_millis(10));
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_expired());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(t.is_cancelled(), "past-deadline token reads cancelled");
+        assert!(t.deadline_expired());
+    }
+
+    #[test]
+    fn child_deadline_does_not_touch_parent() {
+        let root = CancelToken::new();
+        let child = root.child_with_deadline(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(child.is_cancelled());
+        assert!(child.deadline_expired());
+        assert!(!root.is_cancelled(), "deadline is scoped to the child");
+        assert!(!root.deadline_expired());
+        // A fresh sibling is unaffected by the expired one.
+        let sibling = root.child();
+        assert!(!sibling.is_cancelled());
+    }
+
+    #[test]
+    fn ancestor_deadline_reaches_descendants() {
+        let root = CancelToken::with_deadline(Duration::from_millis(5));
+        let child = root.child();
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(child.is_cancelled(), "children observe ancestor deadlines");
+        assert!(child.deadline_expired());
+    }
+
+    #[test]
+    fn far_deadline_is_inert() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_expired());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.deadline_expired(), "explicit cancel is not a deadline");
     }
 }

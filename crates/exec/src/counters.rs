@@ -14,6 +14,12 @@ pub struct PoolCounters {
     pub(crate) chunks: AtomicU64,
     /// Parallel regions entered (one per `par_*` call).
     pub(crate) regions: AtomicU64,
+    /// Regions that ended early because their token was cancelled (or a
+    /// deadline passed) before every chunk completed.
+    pub(crate) cancelled_regions: AtomicU64,
+    /// Wall-clock nanoseconds spent inside regions, measured on the
+    /// calling thread from entry to reassembly.
+    pub(crate) region_nanos: AtomicU64,
     /// Nanoseconds workers spent inside user work.
     pub(crate) busy_nanos: AtomicU64,
     /// Nanoseconds workers spent claiming/waiting (region wall time minus
@@ -28,6 +34,8 @@ impl PoolCounters {
             tasks: self.tasks.load(Ordering::Relaxed),
             chunks: self.chunks.load(Ordering::Relaxed),
             regions: self.regions.load(Ordering::Relaxed),
+            cancelled_regions: self.cancelled_regions.load(Ordering::Relaxed),
+            region_nanos: self.region_nanos.load(Ordering::Relaxed),
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
             idle_nanos: self.idle_nanos.load(Ordering::Relaxed),
         }
@@ -40,6 +48,8 @@ pub struct CountersSnapshot {
     pub tasks: u64,
     pub chunks: u64,
     pub regions: u64,
+    pub cancelled_regions: u64,
+    pub region_nanos: u64,
     pub busy_nanos: u64,
     pub idle_nanos: u64,
 }
@@ -59,10 +69,13 @@ impl fmt::Display for CountersSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} tasks in {} chunks over {} regions; busy {:.1}ms, idle {:.1}ms ({:.0}% utilization)",
+            "{} tasks in {} chunks over {} regions ({} cancelled, {:.1}ms wall); \
+             busy {:.1}ms, idle {:.1}ms ({:.0}% utilization)",
             self.tasks,
             self.chunks,
             self.regions,
+            self.cancelled_regions,
+            self.region_nanos as f64 / 1e6,
             self.busy_nanos as f64 / 1e6,
             self.idle_nanos as f64 / 1e6,
             self.utilization() * 100.0

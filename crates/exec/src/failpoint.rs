@@ -1,0 +1,215 @@
+//! Deterministic fault injection for supervision tests.
+//!
+//! A *failpoint* is a named site in production code (`fsg::candidate_gen`,
+//! `subdue::beam_eval`, `em::iteration`, `csv::ingest`, ...) where a fault
+//! can be armed at runtime — from the `TNET_FAILPOINTS` environment
+//! variable or programmatically via [`arm`] — without recompiling and
+//! without any cost on the unarmed path beyond one relaxed atomic load.
+//!
+//! Syntax (comma-separated sites):
+//!
+//! ```text
+//! TNET_FAILPOINTS="fsg::candidate_gen=panic,em::iteration=delay:50,csv::ingest=err"
+//! ```
+//!
+//! Actions:
+//!
+//! * `panic` — panic at the site (exercises `catch_unwind` isolation),
+//! * `delay:MS` — sleep `MS` milliseconds at the site (exercises
+//!   deadline-based cancellation),
+//! * `err` — return an injected [`Fault`] error from the site
+//!   (exercises typed error propagation).
+//!
+//! This is std-only by design: a `Mutex<HashMap>` registry behind an
+//! `AtomicBool` fast path, no macros, no linker tricks.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint does when hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic with a recognizable message.
+    Panic,
+    /// Sleep for the given duration, then continue normally.
+    Delay(Duration),
+    /// Return an injected [`Fault`] error.
+    Err,
+}
+
+/// The error produced by a site armed with [`FailAction::Err`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// The site that produced the fault.
+    pub site: String,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at failpoint `{}`", self.site)
+    }
+}
+
+impl Error for Fault {}
+
+/// Fast path: false ⇒ no site is armed and [`hit`] returns immediately.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, FailAction>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, FailAction>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// One-time arming from `TNET_FAILPOINTS`, applied before the first
+/// [`hit`] that finds the registry untouched.
+fn init_from_env() {
+    static ENV_INIT: OnceLock<()> = OnceLock::new();
+    ENV_INIT.get_or_init(|| {
+        if let Ok(spec) = std::env::var("TNET_FAILPOINTS") {
+            if !spec.trim().is_empty() {
+                // Invalid specs are reported, not fatal: fault injection
+                // must never take down a run that didn't ask for faults.
+                if let Err(e) = arm(&spec) {
+                    eprintln!("warning: ignoring TNET_FAILPOINTS: {e}");
+                }
+            }
+        }
+    });
+}
+
+/// Parses one action: `panic`, `delay:MS`, or `err`.
+fn parse_action(s: &str) -> Result<FailAction, String> {
+    match s {
+        "panic" => Ok(FailAction::Panic),
+        "err" => Ok(FailAction::Err),
+        _ => match s.strip_prefix("delay:") {
+            Some(ms) => ms
+                .parse::<u64>()
+                .map(|ms| FailAction::Delay(Duration::from_millis(ms)))
+                .map_err(|_| format!("bad delay milliseconds `{ms}`")),
+            None => Err(format!(
+                "unknown action `{s}` (expected panic | delay:MS | err)"
+            )),
+        },
+    }
+}
+
+/// Arms failpoints from a `site=action[,site=action...]` spec, merging
+/// into (and overriding) whatever is currently armed.
+pub fn arm(spec: &str) -> Result<(), String> {
+    let mut parsed: Vec<(String, FailAction)> = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, action) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("missing `=` in failpoint entry `{entry}`"))?;
+        parsed.push((site.trim().to_string(), parse_action(action.trim())?));
+    }
+    if parsed.is_empty() {
+        return Ok(());
+    }
+    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    for (site, action) in parsed {
+        reg.insert(site, action);
+    }
+    ARMED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Disarms every failpoint. Subsequent [`hit`] calls are no-ops (the
+/// environment variable is only consulted once per process).
+pub fn disarm() {
+    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    reg.clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// The action currently armed at `site`, if any.
+pub fn check(site: &str) -> Option<FailAction> {
+    init_from_env();
+    if !ARMED.load(Ordering::Acquire) {
+        return None;
+    }
+    registry()
+        .lock()
+        .expect("failpoint registry poisoned")
+        .get(site)
+        .copied()
+}
+
+/// Evaluates the failpoint named `site`: a no-op `Ok(())` when unarmed,
+/// otherwise panics, sleeps, or returns `Err(Fault)` per the armed
+/// action. Call this from production code at each injection site.
+pub fn hit(site: &str) -> Result<(), Fault> {
+    match check(site) {
+        None => Ok(()),
+        Some(FailAction::Panic) => panic!("injected panic at failpoint `{site}`"),
+        Some(FailAction::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(FailAction::Err) => Err(Fault {
+            site: site.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Failpoint state is process-global; keep these tests serialized.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_action("explode").is_err());
+        assert!(parse_action("delay:abc").is_err());
+        assert!(arm("no-equals-sign").is_err());
+        assert_eq!(
+            parse_action("delay:250"),
+            Ok(FailAction::Delay(Duration::from_millis(250)))
+        );
+    }
+
+    #[test]
+    fn unarmed_hit_is_ok() {
+        let _g = LOCK.lock().unwrap();
+        disarm();
+        assert_eq!(hit("nowhere::site"), Ok(()));
+    }
+
+    #[test]
+    fn armed_err_and_disarm_roundtrip() {
+        let _g = LOCK.lock().unwrap();
+        disarm();
+        arm("a::b=err, c::d=delay:1").unwrap();
+        assert_eq!(
+            hit("a::b"),
+            Err(Fault {
+                site: "a::b".to_string()
+            })
+        );
+        assert_eq!(hit("c::d"), Ok(()), "delay returns Ok after sleeping");
+        assert_eq!(hit("x::y"), Ok(()), "unarmed sites unaffected");
+        disarm();
+        assert_eq!(hit("a::b"), Ok(()));
+    }
+
+    #[test]
+    fn armed_panic_panics() {
+        let _g = LOCK.lock().unwrap();
+        disarm();
+        arm("p::q=panic").unwrap();
+        let r = std::panic::catch_unwind(|| hit("p::q"));
+        disarm();
+        assert!(r.is_err(), "panic action must panic");
+    }
+}

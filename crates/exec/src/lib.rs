@@ -22,6 +22,11 @@
 //! * **Cooperative cancellation** — a hierarchical [`CancelToken`] lets
 //!   a memory-budget abort (or any caller) stop all workers of a region
 //!   promptly via [`Exec::try_par_map`], without poisoning sibling work.
+//!   Tokens can carry a deadline ([`CancelToken::with_deadline`]) so a
+//!   supervisor can time-box a subtree of work.
+//! * **Fault injection** — the [`failpoint`] module arms named sites in
+//!   miner hot paths (`TNET_FAILPOINTS=site=panic|delay:ms|err`) so
+//!   degradation paths are deterministically testable.
 //! * **Observability** — per-pool [`PoolCounters`] record tasks run,
 //!   chunks claimed, and busy vs idle nanoseconds across regions.
 //!
@@ -35,6 +40,7 @@
 
 mod cancel;
 mod counters;
+pub mod failpoint;
 mod pool;
 mod threads;
 

@@ -5,7 +5,7 @@ use crate::counters::{CountersSnapshot, PoolCounters};
 use crate::threads::Threads;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Upper bound on chunks per region. Chunking depends only on input
 /// length — never on thread count — which is the invariant that makes
@@ -83,6 +83,18 @@ impl Exec {
         Exec {
             threads: threads.max(1),
             cancel: self.cancel.child(),
+            counters: Arc::clone(&self.counters),
+        }
+    }
+
+    /// A child handle whose token expires `timeout` from now (see
+    /// [`CancelToken::child_with_deadline`]): its cancellable regions
+    /// return `Err(Cancelled)` once the deadline passes, while the
+    /// parent and siblings keep running.
+    pub fn child_with_deadline(&self, threads: usize, timeout: Duration) -> Exec {
+        Exec {
+            threads: threads.max(1),
+            cancel: self.cancel.child_with_deadline(timeout),
             counters: Arc::clone(&self.counters),
         }
     }
@@ -180,11 +192,15 @@ impl Exec {
         self.counters.tasks.fetch_add(len as u64, Ordering::Relaxed);
         if n_chunks == 0 {
             return if cancellable && self.cancel.is_cancelled() {
+                self.counters
+                    .cancelled_regions
+                    .fetch_add(1, Ordering::Relaxed);
                 Err(Cancelled)
             } else {
                 Ok(Vec::new())
             };
         }
+        let region_entered = Instant::now();
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(n_chunks);
 
@@ -231,9 +247,16 @@ impl Exec {
             })
         };
 
+        self.counters.region_nanos.fetch_add(
+            region_entered.elapsed().as_nanos() as u64,
+            Ordering::Relaxed,
+        );
         if collected.len() < n_chunks {
             // Chunks can only go missing through cancellation.
             debug_assert!(cancellable && self.cancel.is_cancelled());
+            self.counters
+                .cancelled_regions
+                .fetch_add(1, Ordering::Relaxed);
             return Err(Cancelled);
         }
         collected.sort_unstable_by_key(|&(i, _)| i);
@@ -358,6 +381,33 @@ mod tests {
         assert!(snap.chunks >= 2);
         assert!(snap.busy_nanos > 0);
         assert!(snap.utilization() > 0.0);
+    }
+
+    #[test]
+    fn deadline_cancels_region_midway() {
+        let exec = Exec::new(2);
+        let timed = exec.child_with_deadline(2, Duration::from_millis(20));
+        let items: Vec<usize> = (0..10_000).collect();
+        let res = timed.try_par_map(&items, |_| {
+            std::thread::sleep(Duration::from_micros(200));
+        });
+        assert_eq!(res, Err(Cancelled), "deadline must stop the region");
+        assert!(timed.cancel_token().deadline_expired());
+        assert!(!exec.is_cancelled(), "parent outlives the child deadline");
+        let snap = exec.counters();
+        assert!(snap.cancelled_regions >= 1);
+        // The parent still works after the child expired.
+        assert_eq!(exec.par_map(&[1, 2], |&x: &i32| x * 10), vec![10, 20]);
+    }
+
+    #[test]
+    fn region_wall_time_is_recorded() {
+        let exec = Exec::new(2);
+        let items: Vec<usize> = (0..64).collect();
+        exec.par_map(&items, |_| std::thread::sleep(Duration::from_micros(100)));
+        let snap = exec.counters();
+        assert!(snap.region_nanos > 0, "region wall time must accumulate");
+        assert_eq!(snap.cancelled_regions, 0);
     }
 
     #[test]

@@ -155,6 +155,12 @@ pub fn mine_with(
     let mut level = 1usize;
     while !frequent.is_empty() && level < cfg.max_edges {
         level += 1;
+        // A deadline or sibling abort may land between levels; checking
+        // here keeps long multi-level mines responsive to both.
+        if exec.is_cancelled() {
+            return Err(FsgError::Cancelled);
+        }
+        tnet_exec::failpoint::hit("fsg::candidate_gen").map_err(FsgError::Fault)?;
         // Candidate generation with the running memory estimate.
         let mut candidates: IsoClassMap<Vec<usize>> = IsoClassMap::new();
         let mut estimated = 0usize;

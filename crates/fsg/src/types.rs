@@ -131,10 +131,12 @@ pub enum FsgError {
         budget: usize,
         partial_stats: MiningStats,
     },
-    /// The mine's execution handle was cancelled (by a caller, or by a
-    /// sibling's memory-budget abort propagating through a shared
-    /// [`tnet_exec::CancelToken`]) before the run completed.
+    /// The mine's execution handle was cancelled (by a caller, a
+    /// deadline, or a sibling's memory-budget abort propagating through
+    /// a shared [`tnet_exec::CancelToken`]) before the run completed.
     Cancelled,
+    /// An armed failpoint (`fsg::candidate_gen`) injected a fault.
+    Fault(tnet_exec::failpoint::Fault),
 }
 
 impl std::fmt::Display for FsgError {
@@ -150,6 +152,7 @@ impl std::fmt::Display for FsgError {
                 "candidate set at level {level} needs ~{estimated_bytes} bytes, budget is {budget}"
             ),
             FsgError::Cancelled => write!(f, "mining run was cancelled"),
+            FsgError::Fault(fault) => write!(f, "{fault}"),
         }
     }
 }

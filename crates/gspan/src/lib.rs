@@ -19,7 +19,8 @@
 //! use tnet_graph::generate::shapes;
 //!
 //! let txns: Vec<_> = (0..4).map(|_| shapes::hub_and_spoke(3, 0, 1)).collect();
-//! let out = mine_dfs(&txns, &GspanConfig { min_support: Support::Count(4), max_edges: 4 });
+//! let cfg = GspanConfig { min_support: Support::Count(4), max_edges: 4, ..Default::default() };
+//! let out = mine_dfs(&txns, &cfg).unwrap();
 //! assert!(out.patterns.iter().any(|p| p.graph.edge_count() == 3));
 //! ```
 
@@ -36,6 +37,12 @@ use tnet_graph::iso::Matcher;
 pub struct GspanConfig {
     pub min_support: Support,
     pub max_edges: usize,
+    /// Abort with [`GspanError::MemoryBudgetExceeded`] when the estimated
+    /// live bytes (visited classes + result patterns + TID lists) cross
+    /// this budget. `None` disables the check. Same semantics as
+    /// [`tnet_fsg::FsgConfig::memory_budget`], so the two miners are
+    /// boundable by the same knob.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for GspanConfig {
@@ -43,9 +50,43 @@ impl Default for GspanConfig {
         GspanConfig {
             min_support: Support::Fraction(0.05),
             max_edges: 10,
+            memory_budget: None,
         }
     }
 }
+
+/// DFS mining failure.
+#[derive(Clone, Debug)]
+pub enum GspanError {
+    /// The live working set was estimated at `estimated_bytes`, above
+    /// the configured budget. `partial_stats` covers the work done.
+    MemoryBudgetExceeded {
+        estimated_bytes: usize,
+        budget: usize,
+        partial_stats: GspanStats,
+    },
+    /// The mine's execution handle was cancelled (caller, deadline, or a
+    /// sibling abort through a shared token) before the run completed.
+    Cancelled,
+}
+
+impl std::fmt::Display for GspanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GspanError::MemoryBudgetExceeded {
+                estimated_bytes,
+                budget,
+                ..
+            } => write!(
+                f,
+                "DFS working set needs ~{estimated_bytes} bytes, budget is {budget}"
+            ),
+            GspanError::Cancelled => write!(f, "mining run was cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for GspanError {}
 
 /// Instrumentation emphasizing the memory contrast with FSG.
 #[derive(Clone, Debug, Default)]
@@ -60,6 +101,16 @@ pub struct GspanStats {
     pub max_depth: usize,
     /// Subgraph-isomorphism tests run.
     pub iso_tests: usize,
+    /// Peak estimated live bytes (visited classes + results + TIDs) —
+    /// the number the memory budget is checked against.
+    pub peak_live_bytes: usize,
+}
+
+/// Estimated heap bytes for one materialized pattern: mirrors
+/// `tnet-fsg`'s per-candidate model so budgets mean the same thing to
+/// both miners.
+fn pattern_bytes(vertices: usize, edges: usize, tids: usize) -> usize {
+    256 + vertices * 110 + edges * 48 + tids * 4
 }
 
 /// Mining output.
@@ -76,7 +127,11 @@ pub struct GspanOutput {
 /// Same contract as [`tnet_fsg::mine`]: inputs must be simple graphs;
 /// output patterns are deduplicated by isomorphism class with exact
 /// supports and TID lists.
-pub fn mine_dfs(transactions: &[Graph], cfg: &GspanConfig) -> GspanOutput {
+///
+/// # Errors
+/// [`GspanError::MemoryBudgetExceeded`] when the live working set
+/// outgrows the configured budget.
+pub fn mine_dfs(transactions: &[Graph], cfg: &GspanConfig) -> Result<GspanOutput, GspanError> {
     mine_dfs_with(transactions, cfg, &Exec::sequential())
 }
 
@@ -85,9 +140,22 @@ pub fn mine_dfs(transactions: &[Graph], cfg: &GspanConfig) -> GspanOutput {
 /// itself stays sequential — the `visited` set is inherently serial —
 /// and TIDs are reassembled in input order, so the output is
 /// byte-identical at any thread count.
-pub fn mine_dfs_with(transactions: &[Graph], cfg: &GspanConfig, exec: &Exec) -> GspanOutput {
+///
+/// # Errors
+/// - [`GspanError::MemoryBudgetExceeded`] on a budget overrun; the
+///   handle's token is cancelled first, mirroring the FSG contract.
+/// - [`GspanError::Cancelled`] when `exec` (or an ancestor handle) is
+///   cancelled mid-run.
+pub fn mine_dfs_with(
+    transactions: &[Graph],
+    cfg: &GspanConfig,
+    exec: &Exec,
+) -> Result<GspanOutput, GspanError> {
+    if exec.is_cancelled() {
+        return Err(GspanError::Cancelled);
+    }
     let min_support = cfg.min_support.resolve(transactions.len());
-    let mut stats = GspanStats::default();
+    let stats = GspanStats::default();
 
     // Frequent single edges (shared logic with FSG's level 1).
     let mut level1: FxHashMap<(u32, u32, u32, bool), Vec<u32>> = FxHashMap::default();
@@ -130,95 +198,118 @@ pub fn mine_dfs_with(transactions: &[Graph], cfg: &GspanConfig, exec: &Exec) -> 
     vocab.sort_by_key(|v| (v.src, v.label, v.dst));
     vocab.dedup();
 
-    let mut visited: IsoClassMap<()> = IsoClassMap::new();
-    let mut results: Vec<FrequentPattern> = Vec::new();
+    let mut walk = Walk {
+        transactions,
+        vocab: &vocab,
+        min_support,
+        max_edges: cfg.max_edges,
+        budget: cfg.memory_budget,
+        exec,
+        visited: IsoClassMap::new(),
+        results: Vec::new(),
+        stats,
+        live_bytes: 0,
+    };
     for seed in seeds {
-        visited.insert(seed.graph.clone(), ());
-        grow(
-            transactions,
-            &seed,
-            &vocab,
-            min_support,
-            cfg.max_edges,
-            1,
-            exec,
-            &mut visited,
-            &mut results,
-            &mut stats,
-        );
-        results.push(seed);
+        walk.charge(&seed)?;
+        walk.visited.insert(seed.graph.clone(), ());
+        walk.grow(&seed, 1)?;
+        walk.results.push(seed);
     }
+    let Walk {
+        mut results, stats, ..
+    } = walk;
     results.sort_by(|a, b| {
         b.support
             .cmp(&a.support)
             .then(b.graph.edge_count().cmp(&a.graph.edge_count()))
     });
-    GspanOutput {
+    Ok(GspanOutput {
         patterns: results,
         stats,
-    }
+    })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn grow(
-    transactions: &[Graph],
-    parent: &FrequentPattern,
-    vocab: &[EdgeVocab],
+/// The mutable state of one DFS mine: the visited iso-class set, the
+/// accumulated results, and the running live-bytes estimate the memory
+/// budget is enforced against.
+struct Walk<'a> {
+    transactions: &'a [Graph],
+    vocab: &'a [EdgeVocab],
     min_support: usize,
     max_edges: usize,
-    depth: usize,
-    exec: &Exec,
-    visited: &mut IsoClassMap<()>,
-    results: &mut Vec<FrequentPattern>,
-    stats: &mut GspanStats,
-) {
-    stats.max_depth = stats.max_depth.max(depth);
-    if parent.graph.edge_count() >= max_edges {
-        return;
+    budget: Option<usize>,
+    exec: &'a Exec,
+    visited: IsoClassMap<()>,
+    results: Vec<FrequentPattern>,
+    stats: GspanStats,
+    live_bytes: usize,
+}
+
+impl Walk<'_> {
+    /// Accounts one retained pattern against the budget.
+    fn charge(&mut self, p: &FrequentPattern) -> Result<(), GspanError> {
+        self.live_bytes +=
+            pattern_bytes(p.graph.vertex_count(), p.graph.edge_count(), p.tids.len());
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.live_bytes);
+        if let Some(budget) = self.budget {
+            if self.live_bytes > budget {
+                // Same contract as FSG: stop siblings on a shared token
+                // before surfacing the abort.
+                self.exec.cancel();
+                return Err(GspanError::MemoryBudgetExceeded {
+                    estimated_bytes: self.live_bytes,
+                    budget,
+                    partial_stats: self.stats.clone(),
+                });
+            }
+        }
+        Ok(())
     }
-    // One parent's extensions — the only candidate buffer ever held.
-    let mut extensions: IsoClassMap<Vec<usize>> = IsoClassMap::new();
-    extend_pattern(&parent.graph, vocab, 0, &mut extensions);
-    for (candidate, _) in extensions.into_iter_pairs() {
-        if visited.contains(&candidate) {
-            stats.dedup_hits += 1;
-            continue;
+
+    fn grow(&mut self, parent: &FrequentPattern, depth: usize) -> Result<(), GspanError> {
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        if parent.graph.edge_count() >= self.max_edges {
+            return Ok(());
         }
-        visited.insert(candidate.clone(), ());
-        let matcher = Matcher::new(&candidate);
-        // Support counting is the hot loop; fan the VF2 searches over
-        // the pool and keep matching TIDs in input order.
-        let hits = exec.par_map(&parent.tids, |&tid| {
-            matcher.matches(&transactions[tid as usize])
-        });
-        stats.iso_tests += parent.tids.len();
-        let tids: Vec<u32> = parent
-            .tids
-            .iter()
-            .zip(hits)
-            .filter_map(|(&tid, hit)| hit.then_some(tid))
-            .collect();
-        stats.counted += 1;
-        if tids.len() >= min_support {
-            let fp = FrequentPattern {
-                support: tids.len(),
-                graph: candidate,
-                tids,
-            };
-            grow(
-                transactions,
-                &fp,
-                vocab,
-                min_support,
-                max_edges,
-                depth + 1,
-                exec,
-                visited,
-                results,
-                stats,
-            );
-            results.push(fp);
+        // One parent's extensions — the only candidate buffer ever held.
+        let mut extensions: IsoClassMap<Vec<usize>> = IsoClassMap::new();
+        extend_pattern(&parent.graph, self.vocab, 0, &mut extensions);
+        for (candidate, _) in extensions.into_iter_pairs() {
+            if self.exec.is_cancelled() {
+                return Err(GspanError::Cancelled);
+            }
+            if self.visited.contains(&candidate) {
+                self.stats.dedup_hits += 1;
+                continue;
+            }
+            self.visited.insert(candidate.clone(), ());
+            let matcher = Matcher::new(&candidate);
+            // Support counting is the hot loop; fan the VF2 searches over
+            // the pool and keep matching TIDs in input order.
+            let hits = self.exec.par_map(&parent.tids, |&tid| {
+                matcher.matches(&self.transactions[tid as usize])
+            });
+            self.stats.iso_tests += parent.tids.len();
+            let tids: Vec<u32> = parent
+                .tids
+                .iter()
+                .zip(hits)
+                .filter_map(|(&tid, hit)| hit.then_some(tid))
+                .collect();
+            self.stats.counted += 1;
+            if tids.len() >= self.min_support {
+                let fp = FrequentPattern {
+                    support: tids.len(),
+                    graph: candidate,
+                    tids,
+                };
+                self.charge(&fp)?;
+                self.grow(&fp, depth + 1)?;
+                self.results.push(fp);
+            }
         }
+        Ok(())
     }
 }
 
@@ -233,6 +324,7 @@ mod tests {
         GspanConfig {
             min_support: Support::Count(count),
             max_edges,
+            ..Default::default()
         }
     }
 
@@ -249,7 +341,7 @@ mod tests {
                 }
             })
             .collect();
-        let dfs = mine_dfs(&txns, &cfg(2, 4));
+        let dfs = mine_dfs(&txns, &cfg(2, 4)).unwrap();
         let apriori = mine(
             &txns,
             &FsgConfig::default()
@@ -290,7 +382,7 @@ mod tests {
                 g
             })
             .collect();
-        let dfs = mine_dfs(&txns, &cfg(2, 3));
+        let dfs = mine_dfs(&txns, &cfg(2, 3)).unwrap();
         let apriori = mine(
             &txns,
             &FsgConfig::default()
@@ -316,15 +408,56 @@ mod tests {
         // The DFS miner's peak (max_depth) stays tiny even when the
         // total pattern count is large.
         let txns: Vec<Graph> = (0..4).map(|_| shapes::chain(6, 0, 1)).collect();
-        let out = mine_dfs(&txns, &cfg(4, 6));
+        let out = mine_dfs(&txns, &cfg(4, 6)).unwrap();
         assert!(out.stats.max_depth <= 6);
         assert!(out.patterns.len() >= 6, "chains of each length frequent");
     }
 
     #[test]
     fn empty_input() {
-        let out = mine_dfs(&[], &cfg(1, 3));
+        let out = mine_dfs(&[], &cfg(1, 3)).unwrap();
         assert!(out.patterns.is_empty());
+    }
+
+    #[test]
+    fn memory_budget_aborts_and_cancels_pool() {
+        let txns: Vec<Graph> = (0..4).map(|_| shapes::chain(6, 0, 1)).collect();
+        let cfg = GspanConfig {
+            min_support: Support::Count(4),
+            max_edges: 6,
+            memory_budget: Some(1_024),
+        };
+        let exec = Exec::new(2);
+        match mine_dfs_with(&txns, &cfg, &exec) {
+            Err(GspanError::MemoryBudgetExceeded {
+                estimated_bytes,
+                budget,
+                ..
+            }) => {
+                assert!(estimated_bytes > budget);
+                assert_eq!(budget, 1_024);
+            }
+            other => panic!("expected budget abort, got {other:?}"),
+        }
+        assert!(exec.is_cancelled(), "abort must cancel the handle's token");
+    }
+
+    #[test]
+    fn cancelled_handle_stops_the_walk() {
+        let txns: Vec<Graph> = (0..4).map(|_| shapes::chain(6, 0, 1)).collect();
+        let exec = Exec::new(2);
+        exec.cancel();
+        match mine_dfs_with(&txns, &cfg(4, 6), &exec) {
+            Err(GspanError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peak_live_bytes_recorded() {
+        let txns: Vec<Graph> = (0..4).map(|_| shapes::chain(4, 0, 1)).collect();
+        let out = mine_dfs(&txns, &cfg(4, 4)).unwrap();
+        assert!(out.stats.peak_live_bytes > 0);
     }
 
     #[test]
@@ -344,7 +477,7 @@ mod tests {
             g
         };
         let txns: Vec<Graph> = (0..3).map(|_| t_shape()).collect();
-        let out = mine_dfs(&txns, &cfg(3, 3));
+        let out = mine_dfs(&txns, &cfg(3, 3)).unwrap();
         assert!(out.stats.dedup_hits > 0);
         // And the T itself is found once.
         let t_found = out

@@ -4,7 +4,7 @@
 //! multiple passes produce a hierarchical description of the structural
 //! regularities in the data."
 
-use crate::discover::{discover, SubdueConfig, SubdueOutput};
+use crate::discover::{discover, SubdueConfig, SubdueError, SubdueOutput};
 use crate::substructure::Substructure;
 use tnet_graph::graph::{Graph, VLabel, VertexId};
 use tnet_graph::hash::FxHashMap;
@@ -86,7 +86,16 @@ pub struct HierarchyLevel {
 /// hierarchical description. Stops early when a pass finds nothing or
 /// compression stops shrinking the graph. Marker labels start above the
 /// graph's current maximum vertex label.
-pub fn hierarchical(g: &Graph, cfg: &SubdueConfig, passes: usize) -> Vec<HierarchyLevel> {
+///
+/// # Errors
+/// Propagates any [`SubdueError`] from a discovery pass (memory budget,
+/// cancellation, injected fault); levels completed before the failing
+/// pass are lost — rerun with a looser budget to recover them.
+pub fn hierarchical(
+    g: &Graph,
+    cfg: &SubdueConfig,
+    passes: usize,
+) -> Result<Vec<HierarchyLevel>, SubdueError> {
     let mut current = g.clone();
     let mut levels = Vec::new();
     let base_marker = current
@@ -96,7 +105,7 @@ pub fn hierarchical(g: &Graph, cfg: &SubdueConfig, passes: usize) -> Vec<Hierarc
         .max()
         .map_or(0, |m| m + 1);
     for pass in 0..passes {
-        let out = discover(&current, cfg);
+        let out = discover(&current, cfg)?;
         let Some(best) = out.best.first().cloned() else {
             break;
         };
@@ -116,7 +125,7 @@ pub fn hierarchical(g: &Graph, cfg: &SubdueConfig, passes: usize) -> Vec<Hierarc
         });
         current = compressed;
     }
-    levels
+    Ok(levels)
 }
 
 #[cfg(test)]
@@ -196,7 +205,7 @@ mod tests {
             max_size: 8,
             ..Default::default()
         };
-        let levels = hierarchical(&planted.graph, &cfg, 3);
+        let levels = hierarchical(&planted.graph, &cfg, 3).unwrap();
         assert!(!levels.is_empty());
         assert!(levels[0].compressed_size < planted.graph.size());
         // Sizes shrink monotonically across levels.
@@ -209,7 +218,7 @@ mod tests {
     fn hierarchical_stops_on_incompressible() {
         // A single edge cannot compress (needs >= 2 instances).
         let g = shapes::chain(1, 0, 1);
-        let levels = hierarchical(&g, &SubdueConfig::default(), 3);
+        let levels = hierarchical(&g, &SubdueConfig::default(), 3).unwrap();
         assert!(levels.is_empty());
     }
 }

@@ -31,6 +31,13 @@ pub struct SubdueConfig {
     /// (size-1 reporting noise filter; SUBDUE's minimum is 2 — a pattern
     /// seen once compresses nothing).
     pub min_instances: usize,
+    /// Abort with [`SubdueError::MemoryBudgetExceeded`] when the
+    /// estimated bytes held by the open list, best list, and the current
+    /// expansion's children cross this budget. `None` disables the
+    /// check. Same semantics as [`tnet_fsg::FsgConfig::memory_budget`]
+    /// (Cook & Holder's beam search has no intrinsic bound on instance
+    /// lists over dense graphs).
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for SubdueConfig {
@@ -42,8 +49,61 @@ impl Default for SubdueConfig {
             limit: None,
             eval: EvalMethod::Mdl,
             min_instances: 2,
+            memory_budget: None,
         }
     }
+}
+
+/// Discovery failure.
+#[derive(Clone, Debug)]
+pub enum SubdueError {
+    /// The search working set was estimated at `estimated_bytes`, above
+    /// the configured budget, after `expanded` expansions.
+    MemoryBudgetExceeded {
+        estimated_bytes: usize,
+        budget: usize,
+        expanded: usize,
+    },
+    /// The search's execution handle was cancelled (caller, deadline, or
+    /// a sibling abort through a shared token) before termination.
+    Cancelled,
+    /// An armed failpoint (`subdue::beam_eval`) injected a fault.
+    Fault(tnet_exec::failpoint::Fault),
+}
+
+impl std::fmt::Display for SubdueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubdueError::MemoryBudgetExceeded {
+                estimated_bytes,
+                budget,
+                expanded,
+            } => write!(
+                f,
+                "beam working set needs ~{estimated_bytes} bytes after {expanded} expansions, \
+                 budget is {budget}"
+            ),
+            SubdueError::Cancelled => write!(f, "discovery run was cancelled"),
+            SubdueError::Fault(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+impl std::error::Error for SubdueError {}
+
+/// Estimated heap bytes held by one substructure: its pattern graph plus
+/// every instance's vertex/edge id lists. The formula mirrors
+/// `tnet-fsg`'s candidate model so budgets are comparable across miners.
+fn substructure_bytes(s: &Substructure) -> usize {
+    let instance_ids: usize = s
+        .instances
+        .iter()
+        .map(|i| i.vertices.len() + i.edges.len())
+        .sum();
+    256 + s.pattern.vertex_count() * 110
+        + s.pattern.edge_count() * 48
+        + s.instances.len() * 64
+        + instance_ids * 8
 }
 
 /// Discovery output.
@@ -60,7 +120,11 @@ pub struct SubdueOutput {
 
 /// Runs SUBDUE discovery on a single graph on the current thread.
 /// Equivalent to [`discover_with`] on a sequential pool.
-pub fn discover(g: &Graph, cfg: &SubdueConfig) -> SubdueOutput {
+///
+/// # Errors
+/// [`SubdueError::MemoryBudgetExceeded`] when the beam working set
+/// outgrows the configured budget.
+pub fn discover(g: &Graph, cfg: &SubdueConfig) -> Result<SubdueOutput, SubdueError> {
     discover_with(g, cfg, &Exec::sequential())
 }
 
@@ -69,7 +133,17 @@ pub fn discover(g: &Graph, cfg: &SubdueConfig) -> SubdueOutput {
 /// The beam itself advances one expansion at a time and children are
 /// folded back in expansion order, so the search trajectory — and the
 /// output — is identical at any thread count.
-pub fn discover_with(g: &Graph, cfg: &SubdueConfig, exec: &Exec) -> SubdueOutput {
+///
+/// # Errors
+/// - [`SubdueError::MemoryBudgetExceeded`] on a budget overrun; the
+///   handle's token is cancelled first, mirroring the FSG contract.
+/// - [`SubdueError::Cancelled`] when `exec` (or an ancestor handle) is
+///   cancelled mid-search.
+pub fn discover_with(
+    g: &Graph,
+    cfg: &SubdueConfig,
+    exec: &Exec,
+) -> Result<SubdueOutput, SubdueError> {
     assert!(cfg.beam_width > 0 && cfg.max_best > 0);
     let start = Instant::now();
     let ctx = GraphContext::of(g);
@@ -82,16 +156,38 @@ pub fn discover_with(g: &Graph, cfg: &SubdueConfig, exec: &Exec) -> SubdueOutput
     let mut best: Vec<Substructure> = Vec::new();
     let mut expanded = 0usize;
     let mut evaluated = 0usize;
+    // Open and best lists only shrink via truncation; tracking their
+    // estimate incrementally would drift, so recompute per expansion —
+    // both lists are at most `beam_width + max_best` entries.
+    let mut resident: usize = open.iter().map(substructure_bytes).sum();
 
     while let Some(parent) = open.pop() {
         if expanded >= limit {
             break;
         }
+        if exec.is_cancelled() {
+            return Err(SubdueError::Cancelled);
+        }
+        tnet_exec::failpoint::hit("subdue::beam_eval").map_err(SubdueError::Fault)?;
         if parent.size() + 1 > cfg.max_size {
             continue;
         }
         expanded += 1;
         let children = expand(g, &parent);
+        if let Some(budget) = cfg.memory_budget {
+            let held: usize = children.iter().map(substructure_bytes).sum();
+            let estimated_bytes = resident + held;
+            if estimated_bytes > budget {
+                // Stop siblings sharing this token before surfacing the
+                // abort — the budget models one machine's memory.
+                exec.cancel();
+                return Err(SubdueError::MemoryBudgetExceeded {
+                    estimated_bytes,
+                    budget,
+                    expanded,
+                });
+            }
+        }
         // Score children in parallel (disjoint-instance counting and MDL
         // evaluation dominate the cost), then fold them into the beam and
         // best list sequentially in expansion order.
@@ -111,14 +207,18 @@ pub fn discover_with(g: &Graph, cfg: &SubdueConfig, exec: &Exec) -> SubdueOutput
                 insert_beam(&mut open, child, cfg.beam_width);
             }
         }
+        if cfg.memory_budget.is_some() {
+            resident = open.iter().map(substructure_bytes).sum::<usize>()
+                + best.iter().map(substructure_bytes).sum::<usize>();
+        }
     }
 
-    SubdueOutput {
+    Ok(SubdueOutput {
         best,
         expanded,
         evaluated,
         runtime: start.elapsed(),
-    }
+    })
 }
 
 /// Keeps `open` ascending by value (pop takes the best) and truncated to
@@ -161,7 +261,7 @@ mod tests {
     #[test]
     fn finds_the_repeated_edge() {
         let g = repeated_edges_graph(10);
-        let out = discover(&g, &SubdueConfig::default());
+        let out = discover(&g, &SubdueConfig::default()).unwrap();
         assert!(!out.best.is_empty());
         let top = &out.best[0];
         assert_eq!(top.pattern.edge_count(), 1);
@@ -181,7 +281,7 @@ mod tests {
             eval: EvalMethod::Size,
             ..Default::default()
         };
-        let out = discover(&planted.graph, &cfg);
+        let out = discover(&planted.graph, &cfg).unwrap();
         let top = &out.best[0];
         assert!(
             are_isomorphic(&top.pattern, &shapes::hub_and_spoke(3, 0, 1)),
@@ -208,7 +308,8 @@ mod tests {
                 max_best: 5,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for s in &out.best {
             assert!(has_embedding(&s.pattern, &planted.graph));
             assert!(s.disjoint_count() >= 2);
@@ -224,7 +325,8 @@ mod tests {
                 max_size: 3, // one edge + two vertices
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for s in &out.best {
             assert!(s.size() <= 3);
         }
@@ -233,23 +335,72 @@ mod tests {
     #[test]
     fn respects_expansion_limit() {
         let planted = plant_patterns(&[shapes::hub_and_spoke(4, 0, 1)], 5, 30, 4, 3);
-        let unlimited = discover(&planted.graph, &SubdueConfig::default());
+        let unlimited = discover(&planted.graph, &SubdueConfig::default()).unwrap();
         let limited = discover(
             &planted.graph,
             &SubdueConfig {
                 limit: Some(2),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(limited.expanded <= 2);
         assert!(limited.expanded <= unlimited.expanded);
     }
 
     #[test]
     fn empty_graph() {
-        let out = discover(&Graph::new(), &SubdueConfig::default());
+        let out = discover(&Graph::new(), &SubdueConfig::default()).unwrap();
         assert!(out.best.is_empty());
         assert_eq!(out.expanded, 0);
+    }
+
+    #[test]
+    fn memory_budget_aborts_and_cancels_pool() {
+        let g = repeated_edges_graph(40);
+        let cfg = SubdueConfig {
+            memory_budget: Some(2_048),
+            ..Default::default()
+        };
+        let exec = Exec::new(2);
+        match discover_with(&g, &cfg, &exec) {
+            Err(SubdueError::MemoryBudgetExceeded {
+                estimated_bytes,
+                budget,
+                ..
+            }) => {
+                assert!(estimated_bytes > budget);
+            }
+            other => panic!("expected budget abort, got {other:?}"),
+        }
+        assert!(exec.is_cancelled(), "abort must cancel the handle's token");
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let g = repeated_edges_graph(10);
+        let unbounded = discover(&g, &SubdueConfig::default()).unwrap();
+        let bounded = discover(
+            &g,
+            &SubdueConfig {
+                memory_budget: Some(1 << 30),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(unbounded.expanded, bounded.expanded);
+        assert_eq!(unbounded.best.len(), bounded.best.len());
+    }
+
+    #[test]
+    fn cancelled_handle_stops_the_search() {
+        let g = repeated_edges_graph(10);
+        let exec = Exec::new(2);
+        exec.cancel();
+        match discover_with(&g, &SubdueConfig::default(), &exec) {
+            Err(SubdueError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

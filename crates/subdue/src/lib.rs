@@ -13,7 +13,7 @@
 //!
 //! let planted = plant_patterns(&[shapes::hub_and_spoke(3, 0, 1)], 5, 0, 1, 1);
 //! let cfg = SubdueConfig { eval: EvalMethod::Size, beam_width: 6, ..Default::default() };
-//! let out = discover(&planted.graph, &cfg);
+//! let out = discover(&planted.graph, &cfg).unwrap();
 //! assert_eq!(out.best[0].pattern.edge_count(), 3); // recovers the hub
 //! ```
 
@@ -24,7 +24,7 @@ pub mod inexact;
 pub mod substructure;
 
 pub use compress::{compress, hierarchical, HierarchyLevel};
-pub use discover::{discover, discover_with, SubdueConfig, SubdueOutput};
+pub use discover::{discover, discover_with, SubdueConfig, SubdueError, SubdueOutput};
 pub use eval::{evaluate, set_cover_value, EvalMethod, GraphContext};
 pub use inexact::{coalesce_fuzzy, edit_distance_bounded, fuzzy_match};
 pub use substructure::{expand, initial_substructures, Instance, Substructure};

@@ -46,7 +46,7 @@ proptest! {
             max_size: 8,
             ..Default::default()
         };
-        let out = discover(&g, &cfg);
+        let out = discover(&g, &cfg).unwrap();
         for sub in &out.best {
             prop_assert!(has_embedding(&sub.pattern, &g));
             prop_assert!(sub.disjoint_count() >= 2);
@@ -77,7 +77,8 @@ proptest! {
                 max_size: 6,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         if let Some(best) = out.best.first() {
             let n = best.disjoint_count();
             let marker = VLabel(999);

@@ -9,6 +9,27 @@
 use crate::table::{Column, Table};
 use tnet_exec::Exec;
 
+/// EM fitting failure.
+#[derive(Clone, Debug)]
+pub enum EmError {
+    /// The fit's execution handle was cancelled (caller, deadline, or a
+    /// sibling abort through a shared token) before convergence.
+    Cancelled,
+    /// An armed failpoint (`em::iteration`) injected a fault.
+    Fault(tnet_exec::failpoint::Fault),
+}
+
+impl std::fmt::Display for EmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmError::Cancelled => write!(f, "EM fit was cancelled"),
+            EmError::Fault(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {}
+
 /// EM configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct EmConfig {
@@ -107,7 +128,11 @@ fn log_sum_exp(v: &[f64]) -> f64 {
 /// # Panics
 /// Panics if the table has no numeric columns, no rows, or fewer rows
 /// than clusters.
-pub fn fit(t: &Table, cfg: &EmConfig) -> EmModel {
+///
+/// # Errors
+/// [`EmError::Cancelled`] only when fitting on a cancelled pool (never
+/// on this sequential path in practice).
+pub fn fit(t: &Table, cfg: &EmConfig) -> Result<EmModel, EmError> {
     fit_with(t, cfg, &Exec::sequential())
 }
 
@@ -115,7 +140,11 @@ pub fn fit(t: &Table, cfg: &EmConfig) -> EmModel {
 /// workers. Per-row results are pure functions of the current model, and
 /// the log-likelihood is summed sequentially in row order afterwards, so
 /// the fit is bitwise identical at any thread count.
-pub fn fit_with(t: &Table, cfg: &EmConfig, exec: &Exec) -> EmModel {
+///
+/// # Errors
+/// [`EmError::Cancelled`] when `exec` (or an ancestor handle) is
+/// cancelled — or a deadline passes — between iterations.
+pub fn fit_with(t: &Table, cfg: &EmConfig, exec: &Exec) -> Result<EmModel, EmError> {
     let (dims, data) = numeric_matrix(t);
     assert!(!dims.is_empty(), "EM needs at least one numeric column");
     let n = data.len();
@@ -190,6 +219,10 @@ pub fn fit_with(t: &Table, cfg: &EmConfig, exec: &Exec) -> EmModel {
     let mut trace = Vec::new();
     let mut prev_ll = f64::NEG_INFINITY;
     for _ in 0..cfg.max_iterations {
+        if exec.is_cancelled() {
+            return Err(EmError::Cancelled);
+        }
+        tnet_exec::failpoint::hit("em::iteration").map_err(EmError::Fault)?;
         // E-step: per-row densities in parallel, log-likelihood summed
         // in row order (float addition is not associative — a fixed
         // summation order is what keeps the fit thread-count
@@ -259,7 +292,7 @@ pub fn fit_with(t: &Table, cfg: &EmConfig, exec: &Exec) -> EmModel {
         sizes[a] += 1;
     }
 
-    EmModel {
+    Ok(EmModel {
         dimensions: dims,
         weights,
         means,
@@ -268,7 +301,7 @@ pub fn fit_with(t: &Table, cfg: &EmConfig, exec: &Exec) -> EmModel {
         sizes,
         log_likelihood: prev_ll,
         trace,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -308,7 +341,8 @@ mod tests {
                 clusters: 3,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let mut sizes = model.sizes.clone();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![3, 40, 60], "cluster sizes should match blobs");
@@ -328,7 +362,8 @@ mod tests {
                 max_iterations: 25,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for w in model.trace.windows(2) {
             assert!(
                 w[1] >= w[0] - 1e-6,
@@ -341,7 +376,7 @@ mod tests {
 
     #[test]
     fn weights_sum_to_one() {
-        let model = fit(&blobs(), &EmConfig::default());
+        let model = fit(&blobs(), &EmConfig::default()).unwrap();
         let s: f64 = model.weights.iter().sum();
         assert!((s - 1.0).abs() < 1e-6);
         assert_eq!(model.assignments.len(), 103);
@@ -350,8 +385,8 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let a = fit(&blobs(), &EmConfig::default());
-        let b = fit(&blobs(), &EmConfig::default());
+        let a = fit(&blobs(), &EmConfig::default()).unwrap();
+        let b = fit(&blobs(), &EmConfig::default()).unwrap();
         assert_eq!(a.assignments, b.assignments);
     }
 
@@ -363,7 +398,8 @@ mod tests {
                 clusters: 3,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let order = model.clusters_by_size();
         assert_eq!(model.sizes[order[0]], 60);
         assert_eq!(model.sizes[order[2]], 3);
@@ -378,7 +414,8 @@ mod tests {
                 clusters: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let xs = t.column_by_name("x").as_numeric().unwrap();
         let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((model.means[0][0] - mean).abs() < 1e-6);
@@ -395,6 +432,16 @@ mod tests {
                 names: vec!["a".into(), "b".into()],
             },
         );
-        fit(&t, &EmConfig::default());
+        let _ = fit(&t, &EmConfig::default());
+    }
+
+    #[test]
+    fn cancelled_pool_stops_the_fit() {
+        let exec = Exec::new(2);
+        exec.cancel();
+        match fit_with(&blobs(), &EmConfig::default(), &exec) {
+            Err(EmError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 }

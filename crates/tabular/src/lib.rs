@@ -37,6 +37,6 @@ pub mod tree;
 pub use apriori::{frequent_itemsets, mine_rules, AprioriConfig, ItemSet, Rule};
 pub use correlate::{column_correlation, correlation_matrix, pearson};
 pub use discretize::{discretize_column, discretize_table, Discretization};
-pub use em::{fit as em_fit, fit_with as em_fit_with, EmConfig, EmModel};
+pub use em::{fit as em_fit, fit_with as em_fit_with, EmConfig, EmError, EmModel};
 pub use table::{Column, Table};
 pub use tree::{DecisionTree, TreeConfig};

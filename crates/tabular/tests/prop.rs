@@ -147,7 +147,8 @@ proptest! {
                 tolerance: 0.0,
                 seed: 3,
             },
-        );
+        )
+        .unwrap();
         prop_assert_eq!(model.assignments.len(), data.len());
         prop_assert_eq!(model.sizes.iter().sum::<usize>(), data.len());
         for w in model.trace.windows(2) {

@@ -16,5 +16,7 @@ fn main() {
 
     println!("{}", run_assoc(txns, 12));
     println!("{}", run_classify(txns));
-    println!("{}", run_cluster(txns, 9, 7, &Exec::default()));
+    let clusters =
+        run_cluster(txns, 9, 60, 7, &Exec::default()).expect("EM clustering runs unbudgeted");
+    println!("{clusters}");
 }

@@ -32,8 +32,10 @@ fn main() {
         2,
         6,
         7,
+        None,
         &exec,
-    );
+    )
+    .expect("BF shape mining fits the default budget");
     println!("{bf}");
     if let Some(best) = bf
         .patterns
@@ -55,8 +57,10 @@ fn main() {
         2,
         6,
         7,
+        None,
         &exec,
-    );
+    )
+    .expect("DF shape mining fits the default budget");
     println!("{df}");
     if let Some(best) = df
         .patterns

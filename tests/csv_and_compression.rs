@@ -14,7 +14,7 @@ fn csv_roundtrip_preserves_pipeline_results() {
     write_csv(p.transactions(), &mut buf).unwrap();
     let back = read_csv(buf.as_slice()).unwrap();
     assert_eq!(back.len(), p.transactions().len());
-    let p2 = Pipeline::from_transactions(back);
+    let p2 = Pipeline::from_transactions(back).unwrap();
     let (a, b) = (p.dataset_stats(), p2.dataset_stats());
     assert_eq!(a.distinct_locations, b.distinct_locations);
     assert_eq!(a.distinct_od_pairs, b.distinct_od_pairs);
@@ -39,7 +39,7 @@ fn hierarchical_compression_on_od_graph() {
         max_size: 5,
         ..Default::default()
     };
-    let levels = hierarchical(&g, &cfg, 3);
+    let levels = hierarchical(&g, &cfg, 3).unwrap();
     assert!(!levels.is_empty(), "OD graphs should compress");
     let mut prev = g.size();
     for level in &levels {

@@ -56,8 +56,9 @@ fn gspan_output_identical_at_any_thread_count() {
     let cfg = GspanConfig {
         min_support: Support::Count(4),
         max_edges: 4,
+        ..Default::default()
     };
-    let baseline = mine_dfs(&txns, &cfg);
+    let baseline = mine_dfs(&txns, &cfg).unwrap();
     let render = |out: &tnet_gspan::GspanOutput| -> String {
         out.patterns
             .iter()
@@ -65,7 +66,7 @@ fn gspan_output_identical_at_any_thread_count() {
             .collect()
     };
     for threads in THREAD_COUNTS {
-        let out = mine_dfs_with(&txns, &cfg, &Exec::new(threads));
+        let out = mine_dfs_with(&txns, &cfg, &Exec::new(threads)).unwrap();
         assert_eq!(
             render(&out),
             render(&baseline),
@@ -122,7 +123,7 @@ fn em_bitwise_identical_at_any_thread_count() {
         seed: 3,
         ..Default::default()
     };
-    let baseline = fit(&table, &cfg);
+    let baseline = fit(&table, &cfg).unwrap();
     // Float addition is non-associative, so bit equality here proves the
     // parallel E-step folds in exactly the sequential order.
     let bits = |m: &tnet_tabular::em::EmModel| {
@@ -143,7 +144,7 @@ fn em_bitwise_identical_at_any_thread_count() {
         )
     };
     for threads in THREAD_COUNTS {
-        let out = fit_with(&table, &cfg, &Exec::new(threads));
+        let out = fit_with(&table, &cfg, &Exec::new(threads)).unwrap();
         assert_eq!(
             bits(&out),
             bits(&baseline),

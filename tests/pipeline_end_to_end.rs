@@ -104,7 +104,8 @@ fn both_miners_agree_on_obvious_structure() {
             max_size: 4,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let top_subdue = &out.best[0];
 
     // Agreement: the dominant single-edge label by FSG support must be
