@@ -57,4 +57,16 @@ echo "-- unarmed control"
 out=$("$TNET" "${REPORT_ARGS[@]}")
 grep -q '^sections: 12 ok, 0 degraded, 0 failed$' <<<"$out"
 
+echo "== bench smoke: miner report emits valid JSON, iso_tests under gate"
+# The smoke run times all three miners once, writes the report, and exits
+# non-zero if FSG's deterministic iso_tests counter on the default
+# workload regresses past the 5x-drop gate baked into the binary.
+# --validate re-parses the emitted file and checks all miners are present.
+BENCH_OUT=/tmp/tnet_ci_bench.json
+cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
+    --smoke --out "$BENCH_OUT"
+cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
+    --validate "$BENCH_OUT"
+rm -f "$BENCH_OUT"
+
 echo "ci.sh: all green"

@@ -2,26 +2,23 @@
 //! (§7.1), J4.8-style classification (§7.2), and EM clustering
 //! (Figures 5–6).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tnet_bench::bench_transactions;
+use tnet_bench::harness::bench;
 use tnet_core::experiments::conventional::{run_assoc, run_classify, run_cluster};
 use tnet_exec::Exec;
 
-fn bench_conventional(c: &mut Criterion) {
+fn main() {
     let txns = bench_transactions();
-    let mut group = c.benchmark_group("conventional");
-    group.sample_size(10);
-    group.bench_function("assoc_rules_e12", |b| {
-        b.iter(|| run_assoc(txns, 12).rules.len())
+    bench("conventional/assoc_rules_e12", 3, || {
+        run_assoc(txns, 12).rules.len()
     });
-    group.bench_function("classify_e13", |b| {
-        b.iter(|| run_classify(txns).mode_accuracy)
+    bench("conventional/classify_e13", 3, || {
+        run_classify(txns).mode_accuracy
     });
-    group.bench_function("em_cluster_e14_e15", |b| {
-        b.iter(|| run_cluster(txns, 9, 7, &Exec::default()).rows.len())
+    bench("conventional/em_cluster_e14_e15", 3, || {
+        run_cluster(txns, 9, 7, 5, &Exec::default())
+            .unwrap()
+            .rows
+            .len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_conventional);
-criterion_main!(benches);

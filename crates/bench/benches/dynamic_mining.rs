@@ -2,33 +2,27 @@
 //! periodic-lane detection, time-respecting path mining, and event
 //! injection + fallout analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tnet_bench::bench_transactions;
+use tnet_bench::harness::bench;
 use tnet_core::experiments::extensions::{run_events, run_paths, run_periodic};
 use tnet_dynamic::paths::PathConfig;
 
-fn bench_dynamic(c: &mut Criterion) {
+fn main() {
     let txns = bench_transactions();
-    let mut group = c.benchmark_group("dynamic_mining");
-    group.sample_size(10);
-    group.bench_function("periodic_lanes_e17", |b| {
-        b.iter(|| run_periodic(txns).lanes.len())
+    bench("dynamic_mining/periodic_lanes_e17", 3, || {
+        run_periodic(txns).lanes.len()
     });
-    group.bench_function("time_respecting_paths_e18", |b| {
-        let cfg = PathConfig {
-            min_sep: 0,
-            max_sep: 3,
-            max_len: 2,
-            min_occurrences: 3,
-            max_instances: 500_000,
-        };
-        b.iter(|| run_paths(txns, &cfg).patterns.len())
+    let cfg = PathConfig {
+        min_sep: 0,
+        max_sep: 3,
+        max_len: 2,
+        min_occurrences: 3,
+        max_instances: 500_000,
+    };
+    bench("dynamic_mining/time_respecting_paths_e18", 3, || {
+        run_paths(txns, &cfg).patterns.len()
     });
-    group.bench_function("event_fallout_e19", |b| {
-        b.iter(|| run_events(txns).affected)
+    bench("dynamic_mining/event_fallout_e19", 3, || {
+        run_events(txns).affected
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_dynamic);
-criterion_main!(benches);

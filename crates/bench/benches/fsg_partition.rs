@@ -6,7 +6,7 @@
 //! (strategy, partition count), with BF > DF and smaller counts giving
 //! more patterns.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnet_bench::harness::bench;
 use tnet_bench::{bench_transactions, BENCH_SCALE};
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{build_od_graph, EdgeLabeling, VertexLabeling};
@@ -15,20 +15,22 @@ use tnet_fsg::{mine_for_algorithm1_with, FsgConfig, Support};
 use tnet_partition::single_graph::mine_single_graph;
 use tnet_partition::split::Strategy;
 
-fn bench_partition_mining(c: &mut Criterion) {
+fn main() {
     let txns = bench_transactions();
-    let scheme = BinScheme::fit_width_transactions(txns);
-    let od = build_od_graph(txns, &scheme, EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let scheme = BinScheme::fit_width_transactions(txns).expect("binning fits");
+    let od = build_od_graph(
+        txns,
+        &scheme,
+        EdgeLabeling::GrossWeight,
+        VertexLabeling::Uniform,
+    );
     let mut g = od.graph;
     g.dedup_edges();
 
     let scale = |n: usize, min: usize| ((n as f64 * BENCH_SCALE).round() as usize).max(min);
-    let mut group = c.benchmark_group("fsg_partition_sweep");
-    group.sample_size(10);
     for k_full in [400usize, 800, 1200, 1600] {
         let k = scale(k_full, 4);
-        for (strategy, support_full) in
-            [(Strategy::BreadthFirst, 240), (Strategy::DepthFirst, 120)]
+        for (strategy, support_full) in [(Strategy::BreadthFirst, 240), (Strategy::DepthFirst, 120)]
         {
             let support = scale(support_full, 3);
             let cfg = FsgConfig::default()
@@ -38,23 +40,20 @@ fn bench_partition_mining(c: &mut Criterion) {
             // latter should run the sweep at least ~2x faster.
             for threads in [1usize, 4] {
                 let exec = Exec::new(threads);
-                group.bench_with_input(
-                    BenchmarkId::new(strategy.name(), format!("k{k_full}_t{threads}")),
-                    &g,
-                    |b, g| {
-                        b.iter(|| {
-                            mine_single_graph(g, k, 1, strategy, 1, &exec, |t, e| {
-                                mine_for_algorithm1_with(t, &cfg, e)
-                            })
-                            .len()
+                bench(
+                    &format!(
+                        "fsg_partition_sweep/{}/k{k_full}_t{threads}",
+                        strategy.name()
+                    ),
+                    3,
+                    || {
+                        mine_single_graph(&g, k, 1, strategy, 1, &exec, |t, e| {
+                            mine_for_algorithm1_with(t, &cfg, e)
                         })
+                        .len()
                     },
                 );
             }
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_partition_mining);
-criterion_main!(benches);

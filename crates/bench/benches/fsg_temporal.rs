@@ -6,21 +6,18 @@
 //! fit in the paper's 1 GB), and the aborted unfiltered run (the case
 //! that did not — measured up to the budget trip).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use tnet_bench::bench_transactions;
+use tnet_bench::harness::bench;
 use tnet_data::binning::BinScheme;
 use tnet_fsg::{mine, FsgConfig, Support};
 use tnet_partition::temporal::{filter_by_vertex_labels, temporal_partition, TemporalOptions};
 
-fn bench_temporal(c: &mut Criterion) {
+fn main() {
     let txns = bench_transactions();
-    let scheme = BinScheme::fit_width_transactions(txns);
+    let scheme = BinScheme::fit_width_transactions(txns).expect("binning fits");
 
-    let mut group = c.benchmark_group("fsg_temporal");
-    group.sample_size(10);
-
-    group.bench_function("partition_table2", |b| {
-        b.iter(|| temporal_partition(txns, &scheme, &TemporalOptions::default()).len())
+    bench("fsg_temporal/partition_table2", 3, || {
+        temporal_partition(txns, &scheme, &TemporalOptions::default()).len()
     });
 
     let transactions = temporal_partition(txns, &scheme, &TemporalOptions::default());
@@ -28,20 +25,17 @@ fn bench_temporal(c: &mut Criterion) {
     let cfg_ok = FsgConfig::default()
         .with_support(Support::Fraction(0.05))
         .with_max_edges(5);
-    group.bench_function("mine_filtered_fig4", |b| {
-        b.iter(|| mine(&filtered, &cfg_ok).map(|o| o.patterns.len()).unwrap_or(0))
+    bench("fsg_temporal/mine_filtered_fig4", 3, || {
+        mine(&filtered, &cfg_ok)
+            .map(|o| o.patterns.len())
+            .unwrap_or(0)
     });
 
     let cfg_oom = FsgConfig::default()
         .with_support(Support::Fraction(0.05))
         .with_max_edges(6)
         .with_memory_budget(256 * 1024);
-    group.bench_function("mine_unfiltered_until_oom", |b| {
-        b.iter(|| mine(&transactions, &cfg_oom).is_err())
+    bench("fsg_temporal/mine_unfiltered_until_oom", 3, || {
+        mine(&transactions, &cfg_oom).is_err()
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_temporal);
-criterion_main!(benches);

@@ -8,13 +8,11 @@
 //! vertex-label count at fixed support. Runtime (and the candidate
 //! counts recorded in MiningStats) grows steeply with label cardinality.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnet_bench::harness::bench;
 use tnet_fsg::{mine, FsgConfig, Support};
 use tnet_graph::generate::{random_transactions, RandomGraphConfig};
 
-fn bench_label_cardinality(c: &mut Criterion) {
-    let mut group = c.benchmark_group("label_cardinality");
-    group.sample_size(10);
+fn main() {
     for vertex_labels in [1u32, 4, 16, 64] {
         let cfg = RandomGraphConfig {
             vertices: 20,
@@ -27,14 +25,10 @@ fn bench_label_cardinality(c: &mut Criterion) {
         let fsg = FsgConfig::default()
             .with_support(Support::Count(3))
             .with_max_edges(4);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{vertex_labels}_vlabels")),
-            &txns,
-            |b, txns| b.iter(|| mine(txns, &fsg).map(|o| o.patterns.len()).unwrap_or(0)),
+        bench(
+            &format!("label_cardinality/{vertex_labels}_vlabels"),
+            3,
+            || mine(&txns, &fsg).map(|o| o.patterns.len()).unwrap_or(0),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_label_cardinality);
-criterion_main!(benches);

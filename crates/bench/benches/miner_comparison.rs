@@ -3,51 +3,55 @@
 //! memory failures; the DFS miner holds only its growth path. Identical
 //! outputs, contrasting profiles.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tnet_graph::rng::StdRng;
 use tnet_bench::bench_transactions;
+use tnet_bench::harness::bench;
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{build_od_graph, EdgeLabeling, VertexLabeling};
 use tnet_fsg::{mine, FsgConfig, Support};
+use tnet_graph::rng::StdRng;
 use tnet_gspan::{mine_dfs, GspanConfig};
 use tnet_partition::split::{split_graph, Strategy};
 
-fn bench_miners(c: &mut Criterion) {
+fn main() {
     let txns = bench_transactions();
-    let scheme = BinScheme::fit_width_transactions(txns);
-    let od = build_od_graph(txns, &scheme, EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let scheme = BinScheme::fit_width_transactions(txns).expect("binning fits");
+    let od = build_od_graph(
+        txns,
+        &scheme,
+        EdgeLabeling::GrossWeight,
+        VertexLabeling::Uniform,
+    );
     let mut g = od.graph;
     g.dedup_edges();
     let mut rng = StdRng::seed_from_u64(4);
     let transactions = split_graph(&g, 10, Strategy::BreadthFirst, &mut rng);
 
-    let mut group = c.benchmark_group("miner_comparison");
-    group.sample_size(10);
     for support in [4usize, 6] {
-        group.bench_with_input(
-            BenchmarkId::new("fsg_apriori", format!("sup{support}")),
-            &transactions,
-            |b, t| {
-                let cfg = FsgConfig::default()
-                    .with_support(Support::Count(support))
-                    .with_max_edges(4);
-                b.iter(|| mine(t, &cfg).map(|o| o.patterns.len()).unwrap_or(0))
+        let fsg_cfg = FsgConfig::default()
+            .with_support(Support::Count(support))
+            .with_max_edges(4);
+        bench(
+            &format!("miner_comparison/fsg_apriori/sup{support}"),
+            3,
+            || {
+                mine(&transactions, &fsg_cfg)
+                    .map(|o| o.patterns.len())
+                    .unwrap_or(0)
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("gspan_dfs", format!("sup{support}")),
-            &transactions,
-            |b, t| {
-                let cfg = GspanConfig {
-                    min_support: Support::Count(support),
-                    max_edges: 4,
-                };
-                b.iter(|| mine_dfs(t, &cfg).patterns.len())
+        let gspan_cfg = GspanConfig {
+            min_support: Support::Count(support),
+            max_edges: 4,
+            ..Default::default()
+        };
+        bench(
+            &format!("miner_comparison/gspan_dfs/sup{support}"),
+            3,
+            || {
+                mine_dfs(&transactions, &gspan_cfg)
+                    .map(|o| o.patterns.len())
+                    .unwrap_or(0)
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_miners);
-criterion_main!(benches);

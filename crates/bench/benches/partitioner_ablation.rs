@@ -6,48 +6,49 @@
 //! per strategy in the accompanying `recall_by_partitioner` group (via
 //! planted patterns, footnote 2's methodology).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tnet_graph::rng::StdRng;
 use tnet_bench::bench_transactions;
+use tnet_bench::harness::bench;
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{build_od_graph, EdgeLabeling, VertexLabeling};
 use tnet_fsg::{mine_for_algorithm1, FsgConfig, Support};
 use tnet_graph::generate::{plant_patterns, shapes};
+use tnet_graph::graph::Graph;
 use tnet_graph::iso::are_isomorphic;
+use tnet_graph::rng::StdRng;
 use tnet_partition::multilevel::split_graph_multilevel;
 use tnet_partition::split::{split_graph, Strategy};
 
-fn bench_partitioners(c: &mut Criterion) {
+fn main() {
     let txns = bench_transactions();
-    let scheme = BinScheme::fit_width_transactions(txns);
-    let od = build_od_graph(txns, &scheme, EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let scheme = BinScheme::fit_width_transactions(txns).expect("binning fits");
+    let od = build_od_graph(
+        txns,
+        &scheme,
+        EdgeLabeling::GrossWeight,
+        VertexLabeling::Uniform,
+    );
     let mut g = od.graph;
     g.dedup_edges();
 
-    let mut group = c.benchmark_group("partitioner_split_time");
-    group.sample_size(10);
     for k in [8usize, 16] {
-        group.bench_with_input(BenchmarkId::new("breadth_first", k), &g, |b, g| {
-            b.iter(|| {
-                split_graph(g, k, Strategy::BreadthFirst, &mut StdRng::seed_from_u64(1)).len()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("depth_first", k), &g, |b, g| {
-            b.iter(|| {
-                split_graph(g, k, Strategy::DepthFirst, &mut StdRng::seed_from_u64(1)).len()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("multilevel", k), &g, |b, g| {
-            b.iter(|| split_graph_multilevel(g, k, &mut StdRng::seed_from_u64(1)).len())
+        bench(
+            &format!("partitioner_split_time/breadth_first/{k}"),
+            3,
+            || split_graph(&g, k, Strategy::BreadthFirst, &mut StdRng::seed_from_u64(1)).len(),
+        );
+        bench(
+            &format!("partitioner_split_time/depth_first/{k}"),
+            3,
+            || split_graph(&g, k, Strategy::DepthFirst, &mut StdRng::seed_from_u64(1)).len(),
+        );
+        bench(&format!("partitioner_split_time/multilevel/{k}"), 3, || {
+            split_graph_multilevel(&g, k, &mut StdRng::seed_from_u64(1)).len()
         });
     }
-    group.finish();
 
     // Pattern-preservation comparison on planted data (printed once —
-    // criterion measures the mining, the recall is the scientific
+    // the timing measures the mining, the recall is the scientific
     // payload).
-    let mut group = c.benchmark_group("recall_by_partitioner");
-    group.sample_size(10);
     let patterns = vec![
         shapes::hub_and_spoke(4, 0, 1),
         shapes::chain(4, 0, 2),
@@ -58,7 +59,7 @@ fn bench_partitioners(c: &mut Criterion) {
     // produces a different number of transactions (the multilevel
     // partitioner makes exactly k; BF/DF can exceed it), so a fixed
     // absolute count would be unsatisfiable for small k.
-    let recall_of = |transactions: &[tnet_graph::graph::Graph]| {
+    let recall_of = |transactions: &[Graph]| {
         let support = (transactions.len() / 3).max(2);
         let cfg = FsgConfig::default()
             .with_support(Support::Count(support))
@@ -69,41 +70,35 @@ fn bench_partitioners(c: &mut Criterion) {
             .filter(|p| mined.iter().any(|(m, _)| are_isomorphic(m, p)))
             .count()
     };
-    for (name, splitter) in [
+    type Splitter = Box<dyn Fn(&Graph) -> Vec<Graph>>;
+    let splitters: [(&str, Splitter); 3] = [
         (
             "breadth_first",
-            Box::new(|g: &tnet_graph::graph::Graph| {
+            Box::new(|g: &Graph| {
                 split_graph(g, 6, Strategy::BreadthFirst, &mut StdRng::seed_from_u64(2))
-            }) as Box<dyn Fn(&tnet_graph::graph::Graph) -> Vec<tnet_graph::graph::Graph>>,
+            }),
         ),
         (
             "depth_first",
-            Box::new(|g: &tnet_graph::graph::Graph| {
+            Box::new(|g: &Graph| {
                 split_graph(g, 6, Strategy::DepthFirst, &mut StdRng::seed_from_u64(2))
             }),
         ),
         (
             "multilevel",
-            Box::new(|g: &tnet_graph::graph::Graph| {
-                split_graph_multilevel(g, 6, &mut StdRng::seed_from_u64(2))
-            }),
+            Box::new(|g: &Graph| split_graph_multilevel(g, 6, &mut StdRng::seed_from_u64(2))),
         ),
-    ] {
+    ];
+    for (name, splitter) in splitters {
         let transactions = splitter(&planted.graph);
         println!(
             "recall_by_partitioner/{name}: {}/{} planted patterns recovered",
             recall_of(&transactions),
             patterns.len()
         );
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let t = splitter(&planted.graph);
-                recall_of(&t)
-            })
+        bench(&format!("recall_by_partitioner/{name}"), 3, || {
+            let t = splitter(&planted.graph);
+            recall_of(&t)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_partitioners);
-criterion_main!(benches);

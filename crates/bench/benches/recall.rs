@@ -6,30 +6,19 @@
 //! Benchmarked per strategy and per noise level (bigger graphs = more
 //! noise edges = the paper's "smaller graphs do better" axis).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnet_bench::harness::bench;
 use tnet_core::experiments::structural::run_recall;
 use tnet_exec::Exec;
 use tnet_partition::split::Strategy;
 
-fn bench_recall(c: &mut Criterion) {
-    let mut group = c.benchmark_group("recall");
-    group.sample_size(10);
+fn main() {
     for strategy in [Strategy::BreadthFirst, Strategy::DepthFirst] {
         for noise in [40usize, 120] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), format!("noise{noise}")),
-                &noise,
-                |b, &noise| {
-                    b.iter(|| {
-                        let r = run_recall(24, noise, 6, strategy, 17, &Exec::default());
-                        r.recall()
-                    })
-                },
+            bench(
+                &format!("recall/{}/noise{noise}", strategy.name()),
+                3,
+                || run_recall(24, noise, 6, strategy, 17, &Exec::default()).recall(),
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_recall);
-criterion_main!(benches);

@@ -2,22 +2,16 @@
 //! evaluation recovering a large substructure planted twice (the paper's
 //! 31-vertex/37-edge find, scaled).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tnet_bench::harness::bench;
 use tnet_core::experiments::structural::run_size_principle;
 use tnet_exec::Exec;
 
-fn bench_size_principle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("size_principle");
-    group.sample_size(10);
+fn main() {
     for (vertices, extra) in [(8usize, 2usize), (12, 3), (16, 4)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{vertices}v")),
-            &(vertices, extra),
-            |b, &(v, e)| b.iter(|| run_size_principle(v, e, 40, 5, &Exec::default()).found),
-        );
+        bench(&format!("size_principle/{vertices}v"), 3, || {
+            run_size_principle(vertices, extra, 40, 5, None, &Exec::default())
+                .unwrap()
+                .found
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_size_principle);
-criterion_main!(benches);

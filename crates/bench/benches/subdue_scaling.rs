@@ -5,18 +5,16 @@
 //! graph. We reproduce the *shape*: superlinear growth in graph size and
 //! Size costing a multiple of MDL.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tnet_bench::bench_transactions;
+use tnet_bench::harness::bench;
 use tnet_core::experiments::structural::truncated_structural_graph;
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::EdgeLabeling;
 use tnet_subdue::{discover, EvalMethod, SubdueConfig};
 
-fn bench_subdue(c: &mut Criterion) {
+fn main() {
     let txns = bench_transactions();
-    let scheme = BinScheme::fit_width_transactions(txns);
-    let mut group = c.benchmark_group("subdue_scaling");
-    group.sample_size(10);
+    let scheme = BinScheme::fit_width_transactions(txns).expect("binning fits");
     for vertices in [15usize, 25, 50] {
         let g = truncated_structural_graph(txns, &scheme, EdgeLabeling::GrossWeight, vertices);
         for eval in [EvalMethod::Mdl, EvalMethod::Size] {
@@ -27,15 +25,15 @@ fn bench_subdue(c: &mut Criterion) {
                 eval,
                 ..Default::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(eval.name(), format!("{vertices}v_{}e", g.edge_count())),
-                &g,
-                |b, g| b.iter(|| discover(g, &cfg)),
+            bench(
+                &format!(
+                    "subdue_scaling/{}/{vertices}v_{}e",
+                    eval.name(),
+                    g.edge_count()
+                ),
+                3,
+                || discover(&g, &cfg),
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_subdue);
-criterion_main!(benches);

@@ -1,0 +1,345 @@
+//! Offline miner micro-bench: times FSG, gSpan, and SUBDUE on seeded
+//! synthetic workloads and writes `BENCH_miners.json` — the start of the
+//! repo's perf trajectory. No network, no criterion; run with
+//!
+//! ```text
+//! cargo run --release -p tnet-bench --bin bench_miners -- --out BENCH_miners.json
+//! ```
+//!
+//! Flags:
+//! - `--smoke`        tiny single-sample run for CI (skips the large
+//!   workload, keeps the deterministic `iso_tests` gate)
+//! - `--out PATH`     output path (default `BENCH_miners.json`)
+//! - `--seed N`       synthetic-dataset seed (default 42)
+//! - `--validate PATH` parse an existing report, check all three miners
+//!   are present, and exit — no benching
+//!
+//! Every FSG/gSpan workload is run twice: with embedding propagation (the
+//! default cap) and with `embedding_cap = 0` (scratch VF2, the
+//! pre-optimization behavior), so each report carries its own
+//! speedup-vs-scratch number. The process exits non-zero if the
+//! propagated FSG run's `iso_tests` on the default workload regresses
+//! past [`FSG_DEFAULT_ISO_GATE`] — wall-clock is recorded but never
+//! gated, because shared-host timing noise (~40% observed) would make a
+//! time gate flaky.
+
+use std::process::ExitCode;
+use tnet_bench::harness::{bench, Timing};
+use tnet_bench::json::Json;
+use tnet_core::experiments::structural::truncated_structural_graph;
+use tnet_core::pipeline::Pipeline;
+use tnet_data::binning::BinScheme;
+use tnet_data::od_graph::{EdgeLabeling, VertexLabeling};
+use tnet_fsg::{mine, FsgConfig, Support};
+use tnet_graph::graph::Graph;
+use tnet_graph::rng::StdRng;
+use tnet_gspan::{mine_dfs, GspanConfig};
+use tnet_partition::split::{split_graph, Strategy};
+use tnet_subdue::{discover, SubdueConfig};
+
+/// Regression gate for `stats.iso_tests` on the propagated default FSG
+/// workload. The recorded scratch-VF2 count on this workload is 582;
+/// propagation measures 20. The gate sits at a 5x drop so genuine
+/// regressions trip it while leaving headroom for benign drift.
+const FSG_DEFAULT_ISO_GATE: usize = 116;
+
+/// Pre-propagation baselines recorded on the development host (best of
+/// three) just before the embedding-list change landed. Kept in the
+/// report so the trajectory's first delta is visible without digging
+/// through git history.
+const BASELINE_FSG_DEFAULT_WALL_MS: f64 = 3.82;
+const BASELINE_FSG_DEFAULT_ISO_TESTS: usize = 582;
+const BASELINE_FSG_LARGE_TXN_WALL_MS: f64 = 1050.6;
+
+struct Opts {
+    smoke: bool,
+    out: String,
+    seed: u64,
+    validate: Option<String>,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        smoke: false,
+        out: "BENCH_miners.json".to_string(),
+        seed: 42,
+        validate: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => opts.out = args.next().ok_or("--out needs a path")?,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--validate" => opts.validate = Some(args.next().ok_or("--validate needs a path")?),
+            // Cargo's bench runner appends `--bench`; tolerate it.
+            "--bench" => {}
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The shared FSG/gSpan workload: a synthetic OD graph split into
+/// transaction subgraphs, exactly as `tnet mine` and the report pipeline
+/// do it.
+fn split_workload(scale: f64, seed: u64, k: usize) -> Vec<Graph> {
+    let p = Pipeline::synthetic(scale, seed);
+    let od = p.od_graph(EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let mut g = od.graph;
+    g.dedup_edges();
+    let mut rng = StdRng::seed_from_u64(4);
+    split_graph(&g, k, Strategy::BreadthFirst, &mut rng)
+}
+
+fn fsg_row(
+    name: &str,
+    txns: &[Graph],
+    support: usize,
+    max_edges: usize,
+    samples: usize,
+) -> (Json, usize) {
+    let cfg = |cap: usize| {
+        FsgConfig::default()
+            .with_support(Support::Count(support))
+            .with_max_edges(max_edges)
+            .with_embedding_cap(cap)
+    };
+    let prop_cfg = cfg(FsgConfig::default().embedding_cap);
+    let scratch_cfg = cfg(0);
+    let t: Timing = bench(&format!("fsg/{name}"), samples, || {
+        mine(txns, &prop_cfg).unwrap()
+    });
+    let out = mine(txns, &prop_cfg).unwrap();
+    let ts = bench(&format!("fsg/{name}/scratch"), samples, || {
+        mine(txns, &scratch_cfg).unwrap()
+    });
+    let out_s = mine(txns, &scratch_cfg).unwrap();
+    assert_eq!(
+        out.patterns.len(),
+        out_s.patterns.len(),
+        "propagated and scratch runs must mine the same pattern set"
+    );
+    let row = Json::obj([
+        ("workload", Json::Str(name.into())),
+        ("wall_ms", Json::Num(t.best_ms())),
+        ("wall_ms_scratch", Json::Num(ts.best_ms())),
+        (
+            "speedup_vs_scratch",
+            Json::Num(ts.best_ms() / t.best_ms().max(1e-9)),
+        ),
+        ("iso_tests", Json::Num(out.stats.iso_tests as f64)),
+        ("iso_tests_scratch", Json::Num(out_s.stats.iso_tests as f64)),
+        (
+            "embeddings_extended",
+            Json::Num(out.stats.embeddings_extended as f64),
+        ),
+        (
+            "embeddings_spilled",
+            Json::Num(out.stats.embeddings_spilled as f64),
+        ),
+        (
+            "peak_candidate_bytes",
+            Json::Num(out.stats.peak_candidate_bytes as f64),
+        ),
+        ("patterns", Json::Num(out.patterns.len() as f64)),
+    ]);
+    (row, out.stats.iso_tests)
+}
+
+fn gspan_row(name: &str, txns: &[Graph], support: usize, max_edges: usize, samples: usize) -> Json {
+    let cfg = |cap: usize| GspanConfig {
+        min_support: Support::Count(support),
+        max_edges,
+        memory_budget: None,
+        embedding_cap: cap,
+    };
+    let prop_cfg = cfg(GspanConfig::default().embedding_cap);
+    let scratch_cfg = cfg(0);
+    let t = bench(&format!("gspan/{name}"), samples, || {
+        mine_dfs(txns, &prop_cfg).unwrap()
+    });
+    let out = mine_dfs(txns, &prop_cfg).unwrap();
+    let ts = bench(&format!("gspan/{name}/scratch"), samples, || {
+        mine_dfs(txns, &scratch_cfg).unwrap()
+    });
+    let out_s = mine_dfs(txns, &scratch_cfg).unwrap();
+    assert_eq!(
+        out.patterns.len(),
+        out_s.patterns.len(),
+        "propagated and scratch runs must mine the same pattern set"
+    );
+    Json::obj([
+        ("workload", Json::Str(name.into())),
+        ("wall_ms", Json::Num(t.best_ms())),
+        ("wall_ms_scratch", Json::Num(ts.best_ms())),
+        (
+            "speedup_vs_scratch",
+            Json::Num(ts.best_ms() / t.best_ms().max(1e-9)),
+        ),
+        ("iso_tests", Json::Num(out.stats.iso_tests as f64)),
+        ("iso_tests_scratch", Json::Num(out_s.stats.iso_tests as f64)),
+        (
+            "embeddings_extended",
+            Json::Num(out.stats.embeddings_extended as f64),
+        ),
+        (
+            "embeddings_spilled",
+            Json::Num(out.stats.embeddings_spilled as f64),
+        ),
+        (
+            "peak_candidate_bytes",
+            Json::Num(out.stats.peak_live_bytes as f64),
+        ),
+        ("patterns", Json::Num(out.patterns.len() as f64)),
+    ])
+}
+
+fn subdue_row(scale: f64, seed: u64, vertices: usize, samples: usize) -> Json {
+    let p = Pipeline::synthetic(scale, seed);
+    let txns = p.transactions();
+    let scheme = BinScheme::fit_width_transactions(txns).expect("binning fits");
+    let g = truncated_structural_graph(txns, &scheme, EdgeLabeling::GrossWeight, vertices);
+    let cfg = SubdueConfig {
+        max_size: 10,
+        ..Default::default()
+    };
+    let name = format!("truncated_{vertices}v");
+    let t = bench(&format!("subdue/{name}"), samples, || {
+        discover(&g, &cfg).unwrap()
+    });
+    let out = discover(&g, &cfg).unwrap();
+    Json::obj([
+        ("workload", Json::Str(name)),
+        ("wall_ms", Json::Num(t.best_ms())),
+        ("expanded", Json::Num(out.expanded as f64)),
+        (
+            "embeddings_extended",
+            Json::Num(out.stats.embeddings_extended as f64),
+        ),
+        (
+            "embeddings_spilled",
+            Json::Num(out.stats.embeddings_spilled as f64),
+        ),
+        (
+            "patterns_derived",
+            Json::Num(out.stats.patterns_derived as f64),
+        ),
+        ("best", Json::Num(out.best.len() as f64)),
+    ])
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    let miners = doc.get("miners").ok_or("report has no 'miners' object")?;
+    for miner in ["fsg", "gspan", "subdue"] {
+        match miners.get(miner) {
+            Some(Json::Arr(rows)) if !rows.is_empty() => {}
+            _ => return Err(format!("report is missing miner '{miner}'")),
+        }
+    }
+    println!("{path}: valid, all three miners present");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_miners: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &opts.validate {
+        return match validate(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench_miners: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let samples = if opts.smoke { 1 } else { 3 };
+    let default_txns = split_workload(0.015, opts.seed, 10);
+
+    let (fsg_default, default_iso) = fsg_row("default", &default_txns, 4, 4, samples);
+    let mut fsg_rows = vec![fsg_default];
+    if !opts.smoke {
+        // Large-transaction split: few, dense transactions — the shape
+        // where scratch VF2 hurts most and propagation pays off hardest.
+        let large_txns = split_workload(0.2, opts.seed, 4);
+        fsg_rows.push(fsg_row("large_txn", &large_txns, 4, 4, samples).0);
+    }
+    let gspan_rows = vec![gspan_row("default", &default_txns, 4, 4, samples)];
+    let subdue_rows = vec![subdue_row(
+        0.015,
+        opts.seed,
+        if opts.smoke { 25 } else { 50 },
+        samples,
+    )];
+
+    let doc = Json::obj([
+        ("schema", Json::Str("tnet-bench-miners/v1".into())),
+        ("seed", Json::Num(opts.seed as f64)),
+        ("smoke", Json::Bool(opts.smoke)),
+        (
+            "miners",
+            Json::obj([
+                ("fsg", Json::Arr(fsg_rows)),
+                ("gspan", Json::Arr(gspan_rows)),
+                ("subdue", Json::Arr(subdue_rows)),
+            ]),
+        ),
+        (
+            "baseline",
+            Json::obj([
+                (
+                    "note",
+                    Json::Str(
+                        "scratch-VF2 numbers recorded on the development host immediately \
+                         before embedding propagation landed (best of 3)"
+                            .into(),
+                    ),
+                ),
+                (
+                    "fsg_default_wall_ms",
+                    Json::Num(BASELINE_FSG_DEFAULT_WALL_MS),
+                ),
+                (
+                    "fsg_default_iso_tests",
+                    Json::Num(BASELINE_FSG_DEFAULT_ISO_TESTS as f64),
+                ),
+                (
+                    "fsg_large_txn_wall_ms",
+                    Json::Num(BASELINE_FSG_LARGE_TXN_WALL_MS),
+                ),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&opts.out, doc.pretty()) {
+        eprintln!("bench_miners: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", opts.out);
+
+    if default_iso > FSG_DEFAULT_ISO_GATE {
+        eprintln!(
+            "bench_miners: REGRESSION — fsg/default iso_tests = {default_iso}, \
+             gate is {FSG_DEFAULT_ISO_GATE} (scratch baseline {BASELINE_FSG_DEFAULT_ISO_TESTS})"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "fsg/default iso_tests = {default_iso} (gate {FSG_DEFAULT_ISO_GATE}, \
+         scratch baseline {BASELINE_FSG_DEFAULT_ISO_TESTS})"
+    );
+    ExitCode::SUCCESS
+}

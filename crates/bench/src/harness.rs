@@ -1,0 +1,76 @@
+//! Minimal std-only timing harness.
+//!
+//! The repo's tier-1 build must resolve offline, so the benches cannot
+//! depend on criterion. This harness covers what the perf trajectory
+//! actually needs: wall-clock best/mean over a few samples, an
+//! optimization barrier, and a uniform one-line report format that the
+//! bench binaries print per case.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the std optimization barrier, so bench code keeps results
+/// alive without hand-rolled tricks.
+pub use std::hint::black_box;
+
+/// Wall-clock summary of one benched case.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    pub best: Duration,
+    pub mean: Duration,
+    pub samples: usize,
+}
+
+impl Timing {
+    pub fn best_ms(&self) -> f64 {
+        self.best.as_secs_f64() * 1e3
+    }
+
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+}
+
+/// Runs `f` `samples` times and reports best and mean wall-clock. Best-of
+/// is the headline number: on a shared machine the minimum is the least
+/// noisy estimator of the true cost.
+pub fn sample<T>(samples: usize, mut f: impl FnMut() -> T) -> Timing {
+    assert!(samples > 0);
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        let elapsed = start.elapsed();
+        best = best.min(elapsed);
+        total += elapsed;
+    }
+    Timing {
+        best,
+        mean: total / samples as u32,
+        samples,
+    }
+}
+
+/// Times `f` `samples` times and prints the standard one-line report.
+pub fn bench<T>(name: &str, samples: usize, f: impl FnMut() -> T) -> Timing {
+    let t = sample(samples, f);
+    println!(
+        "{name}: best {:.3} ms, mean {:.3} ms ({} samples)",
+        t.best_ms(),
+        t.mean_ms(),
+        t.samples
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_shape() {
+        let t = sample(3, || (0..1000).sum::<u64>());
+        assert_eq!(t.samples, 3);
+        assert!(t.best <= t.mean);
+    }
+}

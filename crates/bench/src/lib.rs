@@ -4,6 +4,9 @@
 //! DESIGN.md's per-experiment index). Datasets are generated once per
 //! process and shared.
 
+pub mod harness;
+pub mod json;
+
 use std::sync::OnceLock;
 use tnet_data::model::Transaction;
 use tnet_data::synth::{generate, SynthConfig};

@@ -5,10 +5,11 @@
 use crate::args::{ArgError, Args};
 use crate::commands::{load_transactions, parse_labeling};
 use crate::error::CliError;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tnet_core::patterns::{classify, interestingness};
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{build_od_graph, VertexLabeling};
-use tnet_fsg::{mine_for_algorithm1_with, FsgConfig, Support};
+use tnet_fsg::{mine_with, FsgConfig, Support};
 use tnet_partition::single_graph::mine_single_graph;
 use tnet_partition::split::Strategy;
 
@@ -27,6 +28,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "maximal",
         "dot-dir",
         "threads",
+        "verbose",
     ])?;
     let exec = args.exec()?;
     let txns = load_transactions(args)?;
@@ -42,6 +44,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let reps: usize = args.get_parsed_or("reps", 2)?;
     let top: usize = args.get_parsed_or("top", 15)?;
     let maximal = args.get_or("maximal", "false") == "true";
+    let verbose = args.get_or("verbose", "false") == "true";
 
     let scheme = BinScheme::fit_width_transactions(&txns)?;
     let od = build_od_graph(&txns, &scheme, labeling, VertexLabeling::Uniform);
@@ -58,15 +61,50 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         .with_support(Support::Count(support))
         .with_max_edges(max_edges)
         .with_memory_budget(512 << 20);
-    let mut patterns = mine_single_graph(&g, partitions, reps, strategy, 42, &exec, |t, e| {
-        mine_for_algorithm1_with(t, &cfg, e)
-    });
+    // Accumulated across repetitions (the miner closure runs on pool
+    // workers, hence atomics).
+    let iso_tests = AtomicUsize::new(0);
+    let embeddings_extended = AtomicUsize::new(0);
+    let embeddings_spilled = AtomicUsize::new(0);
+    let tid_skips = AtomicUsize::new(0);
+    let mut patterns =
+        mine_single_graph(
+            &g,
+            partitions,
+            reps,
+            strategy,
+            42,
+            &exec,
+            |t, e| match mine_with(t, &cfg, e) {
+                Ok(out) => {
+                    iso_tests.fetch_add(out.stats.iso_tests, Ordering::Relaxed);
+                    embeddings_extended.fetch_add(out.stats.embeddings_extended, Ordering::Relaxed);
+                    embeddings_spilled.fetch_add(out.stats.embeddings_spilled, Ordering::Relaxed);
+                    tid_skips.fetch_add(out.stats.tid_intersection_skips, Ordering::Relaxed);
+                    out.patterns
+                        .into_iter()
+                        .map(|p| (p.graph, p.support))
+                        .collect()
+                }
+                Err(_) => Vec::new(),
+            },
+        );
     println!(
         "{} frequent patterns ({} partitioning, {} partitions, support {support})",
         patterns.len(),
         strategy.name(),
         partitions
     );
+    if verbose {
+        println!(
+            "support counting: {} iso tests, {} embeddings extended, {} spilled, \
+             {} transactions skipped by TID intersection",
+            iso_tests.load(Ordering::Relaxed),
+            embeddings_extended.load(Ordering::Relaxed),
+            embeddings_spilled.load(Ordering::Relaxed),
+            tid_skips.load(Ordering::Relaxed),
+        );
+    }
     if maximal {
         // Keep only patterns not embedded in another mined pattern.
         let graphs: Vec<_> = patterns.iter().map(|p| p.pattern.clone()).collect();

@@ -48,6 +48,10 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             "expanded {} substructures, evaluated {}, runtime {:?}",
             out.expanded, out.evaluated, out.runtime
         );
+        println!(
+            "instances extended {}, spilled {}, patterns derived {}",
+            out.stats.embeddings_extended, out.stats.embeddings_spilled, out.stats.patterns_derived
+        );
         for (i, sub) in out.best.iter().enumerate() {
             println!(
                 "#{}: {} edges / {} vertices, {} disjoint instances, value {:.3}, shape {}",

@@ -47,6 +47,9 @@ pub struct Fig4Result {
     pub single_edge_patterns: usize,
     /// Largest pattern: (edges, shape name, support).
     pub largest: Option<(usize, &'static str, usize)>,
+    /// Support-counting internals from the mine (scratch iso tests,
+    /// embedding-propagation work, spills).
+    pub mining: tnet_fsg::MiningStats,
 }
 
 /// Runs E10 the way §6.1 describes: keep only *dates* whose daily graph
@@ -100,6 +103,7 @@ pub fn run_fig4(
         patterns: out.patterns.len(),
         single_edge_patterns,
         largest,
+        mining: out.stats,
     })
 }
 
@@ -122,6 +126,14 @@ impl fmt::Display for Fig4Result {
                 "largest pattern: {edges} edges, shape {shape}, support {support} (paper: 3-edge hub-and-spoke)"
             )?;
         }
+        writeln!(
+            f,
+            "support counting: {} iso tests, {} embeddings extended, {} spilled, {} TID-intersection skips",
+            self.mining.iso_tests,
+            self.mining.embeddings_extended,
+            self.mining.embeddings_spilled,
+            self.mining.tid_intersection_skips
+        )?;
         Ok(())
     }
 }

@@ -1,0 +1,184 @@
+//! Embedding-list bookkeeping for propagated support counting.
+//!
+//! Shared by both miners (`tnet-fsg`'s level-wise walk and `tnet-gspan`'s
+//! DFS): instead of answering "does this pattern occur in this
+//! transaction?" with a scratch VF2 search per (pattern, transaction)
+//! pair, each pair keeps the list of the pattern's embeddings in that
+//! transaction and grows it one edge at a time alongside the pattern
+//! itself. A child pattern is its parent plus one derived edge
+//! ([`tnet_graph::iso::derive_extension`]), so the child's occurrences
+//! are exactly the one-edge extensions of the parent's — counting support
+//! becomes an incremental extension instead of a search.
+//!
+//! Lists hold **unpruned** embeddings ([`Matcher::find_unpruned`]'s
+//! enumeration): twin-leaf symmetry breaking would drop occurrences that
+//! a child extension needs as a starting point.
+//!
+//! [`Matcher::find_unpruned`]: tnet_graph::iso::Matcher::find_unpruned
+
+use crate::types::FrequentPattern;
+use tnet_graph::graph::Graph;
+use tnet_graph::iso::{extend_embedding, Embedding, Extension};
+
+/// Per-(pattern, transaction) embedding list.
+pub struct EmbStore {
+    /// Embeddings of the pattern in the transaction, in deterministic
+    /// enumeration order (at most the effective cap entries).
+    pub embs: Vec<Embedding>,
+    /// Whether `embs` is the complete list. An over-cap list is truncated
+    /// to a [`SEED_CAP`]-bounded prefix and marked inexact: extending the
+    /// kept seeds still proves support (a witness is a witness), but an
+    /// empty extension result proves nothing and must be re-verified by a
+    /// scratch VF2 existence check. (Re-anchoring overflowing pairs by
+    /// re-enumerating up to cap+1 embeddings was measured 2-3x slower
+    /// than the legacy scratch path on hub-heavy transportation splits;
+    /// truncated seeds keep the witness fast path without that cost, and
+    /// the scratch check bounds the downside at the legacy cost.)
+    pub exact: bool,
+}
+
+/// Seed budget for **inexact** embedding lists. Once a list has spilled,
+/// its embeddings only serve as extension witnesses (support proofs) for
+/// descendants — completeness is gone either way, and a bounded prefix of
+/// seeds witnesses nearly as often as a full cap's worth while costing a
+/// fraction of the extension work. Misses fall through to the scratch
+/// existence check like any other inexact "no".
+pub const SEED_CAP: usize = 256;
+
+/// Effective exact-list cap for one transaction: a list no longer than
+/// the transaction's edge count costs no more memory than the transaction
+/// itself and no more time than the scratch search's own edge scan, so
+/// large transactions (where scratch VF2 is at its most expensive) earn a
+/// proportionally larger exactness budget.
+pub fn txn_cap(cap: usize, txn: &Graph) -> usize {
+    cap.max(txn.edge_count())
+}
+
+/// Outcome of growing one (pattern, transaction) embedding list by one
+/// derived edge.
+pub enum Grown {
+    /// No extension exists and the parent list was exact: the child
+    /// pattern provably does not occur in the transaction.
+    Absent,
+    /// No extension was found, but the parent list was a truncated seed
+    /// prefix — an unverified "no". The caller must settle it with a
+    /// scratch existence check (and, on success, hand descendants an
+    /// empty inexact store so they keep verifying).
+    Unverified,
+    /// At least one extension was found: the child occurs. `store` is the
+    /// child's embedding list, or `None` when the caller asked for a
+    /// witness only.
+    Witnessed { store: Option<EmbStore> },
+}
+
+/// Grows `store` (the parent pattern's embeddings in `txn`) by the one
+/// edge described by `ext`. With `witness_only` the search stops at the
+/// first extension and returns no child store — the terminal-depth case
+/// where no descendant will consume it. `extended` and `spilled` count
+/// parent embeddings visited and child lists truncated, for stats.
+pub fn grow_store(
+    txn: &Graph,
+    store: &EmbStore,
+    ext: &Extension,
+    cap: usize,
+    witness_only: bool,
+    extended: &mut usize,
+    spilled: &mut usize,
+) -> Grown {
+    let cap = txn_cap(cap, txn);
+    // Exact lists must be enumerated completely (up to the overflow probe
+    // at cap + 1); inexact lists only feed the seed budget.
+    let stop_at = if store.exact {
+        cap + 1
+    } else {
+        SEED_CAP.min(cap)
+    };
+    let mut grown: Vec<Embedding> = Vec::new();
+    for pe in &store.embs {
+        *extended += 1;
+        extend_embedding(txn, pe, ext, &mut grown);
+        if (witness_only && !grown.is_empty()) || grown.len() >= stop_at {
+            break;
+        }
+    }
+    if grown.is_empty() {
+        return if store.exact {
+            Grown::Absent
+        } else {
+            Grown::Unverified
+        };
+    }
+    if witness_only {
+        return Grown::Witnessed { store: None };
+    }
+    let child = if store.exact && grown.len() <= cap {
+        EmbStore {
+            embs: grown,
+            exact: true,
+        }
+    } else {
+        if store.exact {
+            *spilled += 1;
+        }
+        grown.truncate(SEED_CAP.min(cap));
+        EmbStore {
+            embs: grown,
+            exact: false,
+        }
+    };
+    Grown::Witnessed { store: Some(child) }
+}
+
+/// Enumerates all embeddings of a frequent single-edge pattern in each of
+/// its supporting transactions, truncating lists that overflow the
+/// effective cap. The returned stores align with `p.tids`.
+pub fn level1_store(
+    p: &FrequentPattern,
+    transactions: &[Graph],
+    cap: usize,
+    spilled: &mut usize,
+) -> Vec<EmbStore> {
+    let e = p.graph.edges().next().expect("level-1 pattern has an edge");
+    let (ps, pd, el) = p.graph.edge(e);
+    let is_loop = ps == pd;
+    let sl = p.graph.vertex_label(ps);
+    let dl = p.graph.vertex_label(pd);
+    p.tids
+        .iter()
+        .map(|&tid| {
+            let t = &transactions[tid as usize];
+            let cap = txn_cap(cap, t);
+            let mut embs: Vec<Embedding> = Vec::new();
+            for te in t.edges() {
+                let (ts, td, tl) = t.edge(te);
+                if tl != el {
+                    continue;
+                }
+                let assignment = if is_loop {
+                    if ts != td || t.vertex_label(ts) != sl {
+                        continue;
+                    }
+                    vec![ts]
+                } else {
+                    if ts == td || t.vertex_label(ts) != sl || t.vertex_label(td) != dl {
+                        continue;
+                    }
+                    vec![ts, td]
+                };
+                // Transactions are simple graphs (see [`crate::mine`]),
+                // so each edge yields a distinct vertex mapping — no
+                // dedup needed.
+                embs.push(Embedding::from_assignment(assignment));
+                if embs.len() > cap {
+                    break;
+                }
+            }
+            let exact = embs.len() <= cap;
+            if !exact {
+                *spilled += 1;
+                embs.truncate(SEED_CAP.min(cap));
+            }
+            EmbStore { embs, exact }
+        })
+        .collect()
+}

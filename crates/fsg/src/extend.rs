@@ -97,10 +97,28 @@ pub fn vocab_graph(ev: EdgeVocab) -> Graph {
 /// disconnecting deletions are skipped because FSG's frequent set only
 /// contains connected patterns.
 pub fn connected_sub_patterns(g: &Graph) -> Vec<Graph> {
-    let edges: Vec<_> = g.edges().collect();
+    sub_patterns(g, false)
+}
+
+/// As [`connected_sub_patterns`], but without the subgraph obtained by
+/// deleting the **last** edge. Candidates are built as a frequent parent
+/// plus one appended edge, so that deletion reproduces the parent — a
+/// pattern already known frequent that the miner's closure check can skip
+/// (one fewer subgraph build, invariant hash, and iso-class probe per
+/// candidate).
+pub fn closure_sub_patterns(g: &Graph) -> Vec<Graph> {
+    sub_patterns(g, true)
+}
+
+fn sub_patterns(g: &Graph, skip_last: bool) -> Vec<Graph> {
+    let mut edges: Vec<_> = g.edges().collect();
+    let all: Vec<_> = edges.clone();
+    if skip_last {
+        edges.pop();
+    }
     let mut out = Vec::new();
     for &skip in &edges {
-        let keep: Vec<_> = edges.iter().copied().filter(|&e| e != skip).collect();
+        let keep: Vec<_> = all.iter().copied().filter(|&e| e != skip).collect();
         if keep.is_empty() {
             continue;
         }

@@ -20,6 +20,7 @@
 //! assert!(out.patterns.iter().any(|p| p.graph.edge_count() == 3));
 //! ```
 
+pub mod embed;
 pub mod extend;
 pub mod maximal;
 pub mod miner;

@@ -12,13 +12,14 @@
 //! patterns) instead of core joining, and pattern identity uses
 //! invariant-hash + exact-isomorphism classes instead of canonical codes.
 
-use crate::extend::{connected_sub_patterns, extend_pattern, EdgeVocab};
+use crate::embed::{grow_store, level1_store, EmbStore, Grown};
+use crate::extend::{closure_sub_patterns, extend_pattern, EdgeVocab};
 use crate::types::{FrequentPattern, FsgConfig, FsgError, FsgOutput, MiningStats};
 use tnet_exec::Exec;
 use tnet_graph::canon::IsoClassMap;
 use tnet_graph::graph::{ELabel, Graph, VLabel};
-use tnet_graph::hash::FxHashMap;
-use tnet_graph::iso::Matcher;
+use tnet_graph::hash::{FxHashMap, FxHashSet};
+use tnet_graph::iso::{derive_extension, Matcher};
 
 /// Per-candidate memory estimate: arena storage for a small pattern graph
 /// (each vertex carries two adjacency `Vec`s plus their heap blocks),
@@ -29,14 +30,48 @@ fn candidate_bytes(vertices: usize, edges: usize, tids: usize) -> usize {
     256 + vertices * 110 + edges * 48 + tids * 4
 }
 
+/// Per-candidate counter deltas, folded into [`MiningStats`] in candidate
+/// order.
+#[derive(Default)]
+struct VerdictStats {
+    iso_tests: usize,
+    embeddings_extended: usize,
+    embeddings_spilled: usize,
+    tid_intersection_skips: usize,
+}
+
 /// Per-candidate verdict from the parallel evaluation stage. Folding
 /// these back into `stats`/`next` in candidate order keeps the output
 /// byte-identical to the sequential path.
 enum Verdict {
     /// Failed the downward-closure check.
     Pruned,
-    /// Survived closure; support counted over the seed parent's TIDs.
-    Counted { tids: Vec<u32>, iso_tests: usize },
+    /// Survived closure; support counted by embedding propagation (or
+    /// scratch VF2 when `embedding_cap == 0`). `stores[i]` belongs to
+    /// `tids[i]` and is empty in scratch mode.
+    Counted {
+        tids: Vec<u32>,
+        stores: Vec<EmbStore>,
+        stats: VerdictStats,
+    },
+}
+
+/// Ascending-sorted TID list intersection.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 /// Mines all frequent connected subgraphs of `transactions` on the
@@ -96,9 +131,9 @@ pub fn mine_with(
     // Keyed directly by (src label, edge label, dst label, is_loop);
     // cheaper than iso-class maps and exactly equivalent for one edge.
     let mut level1: FxHashMap<(u32, u32, u32, bool), Vec<u32>> = FxHashMap::default();
+    let mut seen: FxHashSet<(u32, u32, u32, bool)> = FxHashSet::default();
     for (tid, t) in transactions.iter().enumerate() {
-        let mut seen: std::collections::HashSet<(u32, u32, u32, bool)> =
-            std::collections::HashSet::new();
+        seen.clear();
         for e in t.edges() {
             let (s, d, l) = t.edge(e);
             let key = (t.vertex_label(s).0, l.0, t.vertex_label(d).0, s == d);
@@ -151,6 +186,19 @@ pub fn mine_with(
     vocab.dedup();
     stats.frequent_per_level.push(frequent.len());
 
+    // Embedding stores for the current level, parallel to `frequent`
+    // (`stores[i][k]` covers `frequent[i].tids[k]`). Only the frontier
+    // level is retained; finished levels keep just their TID lists.
+    let cap = cfg.embedding_cap;
+    let mut stores: Vec<Vec<EmbStore>> = if cap > 0 && cfg.max_edges > 1 {
+        frequent
+            .iter()
+            .map(|p| level1_store(p, transactions, cap, &mut stats.embeddings_spilled))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     // ---- Levels 2..max ---------------------------------------------------
     let mut level = 1usize;
     while !frequent.is_empty() && level < cfg.max_edges {
@@ -199,63 +247,177 @@ pub fn mine_with(
         // fold below walks verdicts in candidate order — the costly VF2
         // searches fan out, the bookkeeping stays deterministic.
         let cand_list: Vec<(Graph, Vec<usize>)> = candidates.into_iter_pairs().collect();
+        let last_level = level == cfg.max_edges;
         let verdicts = exec
             .try_par_map(&cand_list, |(candidate, parents)| {
                 // Closure: every connected k-edge sub-pattern must be
-                // frequent.
-                for sub in connected_sub_patterns(candidate) {
+                // frequent (deleting the appended edge reproduces the
+                // generating parent, which already is).
+                for sub in closure_sub_patterns(candidate) {
                     if !prev_index.contains(&sub) {
                         return Verdict::Pruned;
                     }
                 }
-                // Count support over the smallest parent TID list.
-                let seed_parent = parents
+                let mut vstats = VerdictStats::default();
+                // Downward closure bounds the supporting set by *every*
+                // parent's TID list, not just the smallest one's:
+                // intersect them all before touching any transaction.
+                let mut distinct: Vec<usize> = parents.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                let min_parent_len = distinct
                     .iter()
-                    .copied()
-                    .min_by_key(|&i| frequent[i].tids.len())
+                    .map(|&i| frequent[i].tids.len())
+                    .min()
                     .expect("candidate without parents");
-                let mut need: FxHashMap<u32, usize> = FxHashMap::default();
-                for e in candidate.edges() {
-                    *need.entry(candidate.edge_label(e).0).or_insert(0) += 1;
+                let mut inter: Vec<u32> = frequent[distinct[0]].tids.clone();
+                for &pi in &distinct[1..] {
+                    if inter.is_empty() {
+                        break;
+                    }
+                    inter = intersect_sorted(&inter, &frequent[pi].tids);
                 }
-                let matcher = Matcher::new(candidate);
-                let mut iso_tests = 0usize;
+                vstats.tid_intersection_skips = min_parent_len - inter.len();
+
+                // Scratch-search machinery (search plan + edge-label
+                // prefilter) is built lazily: with propagation on, most
+                // candidates are settled entirely by embedding extension
+                // and never need it.
+                let build_scratch = || {
+                    let mut need: FxHashMap<u32, usize> = FxHashMap::default();
+                    for e in candidate.edges() {
+                        *need.entry(candidate.edge_label(e).0).or_insert(0) += 1;
+                    }
+                    (Matcher::new(candidate), need)
+                };
                 let mut tids = Vec::new();
-                for &tid in &frequent[seed_parent].tids {
-                    let counts = &label_counts[tid as usize];
-                    if need
-                        .iter()
-                        .any(|(l, &k)| counts.get(l).copied().unwrap_or(0) < k)
-                    {
-                        continue;
+                let mut new_stores: Vec<EmbStore> = Vec::new();
+
+                if cap == 0 {
+                    // Propagation disabled: scratch VF2 per transaction.
+                    let (matcher, need) = build_scratch();
+                    for &tid in &inter {
+                        let counts = &label_counts[tid as usize];
+                        if need
+                            .iter()
+                            .any(|(l, &k)| counts.get(l).copied().unwrap_or(0) < k)
+                        {
+                            continue;
+                        }
+                        vstats.iso_tests += 1;
+                        if matcher.matches(&transactions[tid as usize]) {
+                            tids.push(tid);
+                        }
                     }
-                    iso_tests += 1;
-                    if matcher.matches(&transactions[tid as usize]) {
-                        tids.push(tid);
+                    return Verdict::Counted {
+                        tids,
+                        stores: new_stores,
+                        stats: vstats,
+                    };
+                }
+
+                // The candidate's representative graph is parents[0]'s
+                // graph plus one appended edge (IsoClassMap keeps the
+                // first-inserted graph and parent indices are pushed in
+                // generation order), so the growth step is recoverable
+                // exactly and parent embeddings can be extended in place
+                // of a fresh search.
+                let p0 = parents[0];
+                let ext = derive_extension(frequent[p0].graph.vertex_count(), candidate)
+                    .expect("candidate is a one-edge extension of its first parent");
+                let p0_tids = &frequent[p0].tids;
+                let p0_stores = &stores[p0];
+                let mut scratch: Option<(Matcher, FxHashMap<u32, usize>)> = None;
+                let mut j = 0usize;
+                for &tid in &inter {
+                    while p0_tids[j] < tid {
+                        j += 1;
+                    }
+                    debug_assert_eq!(p0_tids[j], tid);
+                    let txn = &transactions[tid as usize];
+                    // At the final level no child stores are consumed, so
+                    // the first occurrence settles support (witness-only).
+                    match grow_store(
+                        txn,
+                        &p0_stores[j],
+                        &ext,
+                        cap,
+                        last_level,
+                        &mut vstats.embeddings_extended,
+                        &mut vstats.embeddings_spilled,
+                    ) {
+                        Grown::Absent => {}
+                        Grown::Unverified => {
+                            // Truncated seeds found nothing — an
+                            // unverified "no". Settle it with a scratch
+                            // existence check.
+                            let (matcher, need) = scratch.get_or_insert_with(build_scratch);
+                            let counts = &label_counts[tid as usize];
+                            if need
+                                .iter()
+                                .any(|(l, &k)| counts.get(l).copied().unwrap_or(0) < k)
+                            {
+                                continue;
+                            }
+                            vstats.iso_tests += 1;
+                            if matcher.matches(txn) {
+                                tids.push(tid);
+                                if !last_level {
+                                    // No sound seeds survive; descendants
+                                    // keep verifying from scratch.
+                                    new_stores.push(EmbStore {
+                                        embs: Vec::new(),
+                                        exact: false,
+                                    });
+                                }
+                            }
+                        }
+                        Grown::Witnessed { store } => {
+                            tids.push(tid);
+                            if let Some(st) = store {
+                                new_stores.push(st);
+                            }
+                        }
                     }
                 }
-                Verdict::Counted { tids, iso_tests }
+                Verdict::Counted {
+                    tids,
+                    stores: new_stores,
+                    stats: vstats,
+                }
             })
             .map_err(|_| FsgError::Cancelled)?;
 
         let mut next: Vec<FrequentPattern> = Vec::new();
+        let mut next_stores: Vec<Vec<EmbStore>> = Vec::new();
         for ((candidate, _), verdict) in cand_list.into_iter().zip(verdicts) {
             match verdict {
                 Verdict::Pruned => stats.closure_pruned += 1,
-                Verdict::Counted { tids, iso_tests } => {
-                    stats.iso_tests += iso_tests;
+                Verdict::Counted {
+                    tids,
+                    stores: st,
+                    stats: vstats,
+                } => {
+                    stats.iso_tests += vstats.iso_tests;
+                    stats.embeddings_extended += vstats.embeddings_extended;
+                    stats.embeddings_spilled += vstats.embeddings_spilled;
+                    stats.tid_intersection_skips += vstats.tid_intersection_skips;
                     if tids.len() >= min_support {
                         next.push(FrequentPattern {
                             support: tids.len(),
                             graph: candidate,
                             tids,
                         });
+                        if cap > 0 {
+                            next_stores.push(st);
+                        }
                     }
                 }
             }
         }
         stats.frequent_per_level.push(next.len());
         all_frequent.extend(std::mem::replace(&mut frequent, next));
+        stores = next_stores;
     }
     all_frequent.extend(frequent);
     finalize(&mut all_frequent);
@@ -299,6 +461,7 @@ pub fn mine_for_algorithm1_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::extend::connected_sub_patterns;
     use crate::types::Support;
     use tnet_graph::generate::shapes;
     use tnet_graph::iso::are_isomorphic;
@@ -452,8 +615,42 @@ mod tests {
             out.stats.candidates_per_level.len(),
             out.stats.frequent_per_level.len()
         );
-        assert!(out.stats.iso_tests > 0);
+        assert!(out.stats.embeddings_extended > 0);
         assert!(out.stats.total_frequent() >= out.patterns.len());
+        // Scratch mode still exercises the iso-test counter.
+        let txns: Vec<Graph> = (0..3).map(|_| shapes::cycle(4, 0, 1)).collect();
+        let out = mine(&txns, &cfg(3).with_embedding_cap(0)).unwrap();
+        assert!(out.stats.iso_tests > 0);
+        assert_eq!(out.stats.embeddings_extended, 0);
+    }
+
+    #[test]
+    fn propagated_matches_scratch() {
+        // Mixed shapes: chains, hubs (twin symmetry), cycles, self-loops.
+        let mut txns: Vec<Graph> = Vec::new();
+        for i in 0..6 {
+            let mut g = shapes::hub_and_spoke(2 + i % 3, 0, 1);
+            let vs: Vec<_> = g.vertices().collect();
+            if i % 2 == 0 {
+                g.add_edge(vs[1], vs[0], ELabel(1));
+            }
+            g.add_edge(vs[0], vs[0], ELabel(2));
+            txns.push(g);
+        }
+        for cap in [1, 2, 256] {
+            let scratch = mine(&txns, &cfg(3).with_embedding_cap(0)).unwrap();
+            let prop = mine(&txns, &cfg(3).with_embedding_cap(cap)).unwrap();
+            assert_eq!(scratch.patterns.len(), prop.patterns.len(), "cap={cap}");
+            for (a, b) in scratch.patterns.iter().zip(&prop.patterns) {
+                assert_eq!(a.support, b.support, "cap={cap}");
+                assert_eq!(a.tids, b.tids, "cap={cap}");
+                assert!(are_isomorphic(&a.graph, &b.graph), "cap={cap}");
+            }
+        }
+        // A tiny cap must exercise the spill path on the hub shapes.
+        let tiny = mine(&txns, &cfg(3).with_embedding_cap(1)).unwrap();
+        assert!(tiny.stats.embeddings_spilled > 0);
+        assert!(tiny.stats.iso_tests > 0);
     }
 
     #[test]

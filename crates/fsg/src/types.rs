@@ -37,6 +37,21 @@ pub struct FsgConfig {
     /// insufficient memory" — as a deterministic, recoverable error
     /// instead of host OOM.
     pub memory_budget: Option<usize>,
+    /// Per-(pattern, transaction) embedding-list cap for propagated
+    /// support counting. The effective cap for a transaction is
+    /// `max(embedding_cap, transaction edge count)` — a list no longer
+    /// than the transaction costs no more than the transaction itself,
+    /// and large transactions are exactly where scratch searches are most
+    /// expensive. Lists at or under the cap are stored and extended one
+    /// edge at a time as patterns grow; a list that overflows "spills":
+    /// it is truncated to a bounded seed prefix and marked inexact, so
+    /// memory stays bounded on symmetric/dense transactions. Extensions
+    /// of the kept seeds still prove support, while an empty extension
+    /// result from an inexact list is re-verified by a scratch VF2
+    /// search. `0` disables propagation entirely (every support test is a
+    /// scratch VF2 search — the pre-optimization behavior, kept for
+    /// differential testing).
+    pub embedding_cap: usize,
 }
 
 impl Default for FsgConfig {
@@ -45,6 +60,7 @@ impl Default for FsgConfig {
             min_support: Support::Fraction(0.05),
             max_edges: 10,
             memory_budget: None,
+            embedding_cap: 256,
         }
     }
 }
@@ -65,6 +81,13 @@ impl FsgConfig {
     /// Sets the candidate-set memory budget in bytes.
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
         self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the per-(pattern, transaction) embedding-list cap (`0`
+    /// disables embedding propagation).
+    pub fn with_embedding_cap(mut self, cap: usize) -> Self {
+        self.embedding_cap = cap;
         self
     }
 }
@@ -95,10 +118,22 @@ pub struct MiningStats {
     pub frequent_per_level: Vec<usize>,
     /// Candidates eliminated by downward-closure pruning.
     pub closure_pruned: usize,
-    /// Subgraph-isomorphism (support-count) tests executed.
+    /// Subgraph-isomorphism (support-count) tests executed. With
+    /// embedding propagation enabled these only happen when a truncated
+    /// (inexact) embedding list yields no extension — an unverified "no"
+    /// that is settled from scratch.
     pub iso_tests: usize,
     /// Peak estimated candidate-set bytes across levels.
     pub peak_candidate_bytes: usize,
+    /// Parent embeddings extended by one edge in place of scratch VF2
+    /// support tests.
+    pub embeddings_extended: usize,
+    /// (pattern, transaction) embedding lists that overflowed the cap and
+    /// were truncated to `embedding_cap` inexact seed entries.
+    pub embeddings_spilled: usize,
+    /// Transaction checks avoided by intersecting *all* parents' TID
+    /// lists instead of seeding from the single smallest parent.
+    pub tid_intersection_skips: usize,
 }
 
 impl MiningStats {

@@ -89,6 +89,31 @@ proptest! {
         }
     }
 
+    /// Propagated support counting is invisible in the output: any
+    /// embedding cap — including caps of 1–2 that truncate nearly every
+    /// list and force the inexact-seed re-verification path — mines the
+    /// same patterns with the same TID lists as scratch VF2 (cap 0).
+    #[test]
+    fn embedding_propagation_matches_scratch(
+        txns_raw in proptest::collection::vec(raw_txn(5, 8), 2..6),
+        min_support in 1usize..3,
+        cap in prop_oneof![Just(1usize), Just(2), Just(4), Just(256)],
+    ) {
+        let txns: Vec<Graph> = txns_raw.iter().map(|(vl, es)| build(vl, es)).collect();
+        let cfg = |cap: usize| FsgConfig::default()
+            .with_support(Support::Count(min_support))
+            .with_max_edges(4)
+            .with_embedding_cap(cap);
+        let scratch = mine(&txns, &cfg(0)).unwrap();
+        let prop = mine(&txns, &cfg(cap)).unwrap();
+        prop_assert_eq!(prop.patterns.len(), scratch.patterns.len());
+        for (a, b) in prop.patterns.iter().zip(&scratch.patterns) {
+            prop_assert_eq!(&a.tids, &b.tids);
+            prop_assert_eq!(a.support, b.support);
+            prop_assert!(tnet_graph::iso::are_isomorphic(&a.graph, &b.graph));
+        }
+    }
+
     /// Raising the support threshold can only shrink the result set.
     #[test]
     fn support_threshold_monotone(

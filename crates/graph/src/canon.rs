@@ -29,9 +29,9 @@ fn mix(parts: &[u64]) -> u64 {
     h.finish()
 }
 
-fn mix_sorted(mut parts: Vec<u64>) -> u64 {
+fn mix_sorted(parts: &mut [u64]) -> u64 {
     parts.sort_unstable();
-    mix(&parts)
+    mix(parts)
 }
 
 /// Number of WL refinement rounds. Three rounds separate everything the
@@ -41,47 +41,64 @@ const WL_ROUNDS: usize = 3;
 /// An isomorphism-invariant 64-bit hash of a labeled directed multigraph:
 /// isomorphic graphs always hash equal; unequal hashes prove
 /// non-isomorphism.
+///
+/// The result is memoized on the graph (invalidated by mutation, carried
+/// by `clone()`), so repeated iso-class lookups on the same pattern — the
+/// miners' closure checks and visited-set probes — compute the WL
+/// refinement once.
 pub fn invariant_hash(g: &Graph) -> u64 {
+    *g.hash_cache.get_or_init(|| wl_hash(g))
+}
+
+fn wl_hash(g: &Graph) -> u64 {
     if g.vertex_count() == 0 {
         return mix(&[0x9e37_79b9]);
     }
     let verts: Vec<VertexId> = g.vertices().collect();
-    let mut color: FxHashMap<VertexId, u64> = verts
-        .iter()
-        .map(|&v| (v, mix(&[1, g.vertex_label(v).0 as u64])))
-        .collect();
-
+    // Arena-indexed color tables and reused neighbour buffers: the miners
+    // hash tiny dense patterns millions of times, and flat vectors beat
+    // per-round hash maps by a large constant factor there. Dead arena
+    // slots keep color 0 and are never read (edge iterators only yield
+    // live endpoints).
+    let slots = verts.last().map(|v| v.index() + 1).unwrap_or(0);
+    let mut color = vec![0u64; slots];
+    for &v in &verts {
+        color[v.index()] = mix(&[1, g.vertex_label(v).0 as u64]);
+    }
+    let mut next = vec![0u64; slots];
+    let mut outs: Vec<u64> = Vec::new();
+    let mut ins: Vec<u64> = Vec::new();
     for _ in 0..WL_ROUNDS {
-        let mut next: FxHashMap<VertexId, u64> = FxHashMap::default();
         for &v in &verts {
-            let outs: Vec<u64> = g
-                .out_edges(v)
-                .map(|e| {
-                    let (_, d, l) = g.edge(e);
-                    mix(&[2, l.0 as u64, color[&d]])
-                })
-                .collect();
-            let ins: Vec<u64> = g
-                .in_edges(v)
-                .map(|e| {
-                    let (s, _, l) = g.edge(e);
-                    mix(&[3, l.0 as u64, color[&s]])
-                })
-                .collect();
-            next.insert(v, mix(&[color[&v], mix_sorted(outs), mix_sorted(ins)]));
+            outs.clear();
+            ins.clear();
+            for e in g.out_edges(v) {
+                let (_, d, l) = g.edge(e);
+                outs.push(mix(&[2, l.0 as u64, color[d.index()]]));
+            }
+            for e in g.in_edges(v) {
+                let (s, _, l) = g.edge(e);
+                ins.push(mix(&[3, l.0 as u64, color[s.index()]]));
+            }
+            next[v.index()] = mix(&[
+                color[v.index()],
+                mix_sorted(&mut outs),
+                mix_sorted(&mut ins),
+            ]);
         }
-        color = next;
+        std::mem::swap(&mut color, &mut next);
     }
 
-    let vertex_part = mix_sorted(verts.iter().map(|&v| color[&v]).collect());
-    let edge_part = mix_sorted(
-        g.edges()
-            .map(|e| {
-                let (s, d, l) = g.edge(e);
-                mix(&[4, color[&s], l.0 as u64, color[&d]])
-            })
-            .collect(),
-    );
+    let mut vparts: Vec<u64> = verts.iter().map(|&v| color[v.index()]).collect();
+    let vertex_part = mix_sorted(&mut vparts);
+    let mut eparts: Vec<u64> = g
+        .edges()
+        .map(|e| {
+            let (s, d, l) = g.edge(e);
+            mix(&[4, color[s.index()], l.0 as u64, color[d.index()]])
+        })
+        .collect();
+    let edge_part = mix_sorted(&mut eparts);
     mix(&[
         g.vertex_count() as u64,
         g.edge_count() as u64,

@@ -21,24 +21,87 @@
 use crate::graph::{ELabel, Graph, VLabel, VertexId};
 use crate::hash::{FxHashMap, FxHashSet};
 
-/// One occurrence of a pattern: `assignment[i]` is the target vertex that
-/// pattern vertex `i` (in dense order after `search_order`) maps to.
+/// Sentinel for a pattern-vertex slot with no image (dead arena slots in
+/// non-dense patterns). Never a valid target id: the arena is `u32`
+/// indexed and a graph of `u32::MAX` vertices is unrepresentable.
+const UNMAPPED: VertexId = VertexId(u32::MAX);
+
+/// One occurrence of a pattern: a flat vector mapping pattern vertex `i`
+/// (by arena index) to its target vertex.
+///
+/// Miners' pattern graphs are dense (append-only construction), so the
+/// vector has no holes in practice; tombstoned pattern slots hold an
+/// internal sentinel and are skipped by the accessors. The flat layout is
+/// what makes embedding-list propagation cheap: no per-embedding hash
+/// map, and extending by one appended pattern vertex is a `push`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Embedding {
-    /// Pattern vertex -> target vertex.
-    pub map: FxHashMap<VertexId, VertexId>,
+    assignment: Vec<VertexId>,
 }
 
 impl Embedding {
-    /// The set of target vertices used by this embedding.
-    pub fn target_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.map.values().copied()
+    /// Builds an embedding from a flat assignment (`assignment[i]` =
+    /// image of pattern vertex `i`). Intended for callers that enumerate
+    /// occurrences directly (e.g. single-edge pattern scans).
+    pub fn from_assignment(assignment: Vec<VertexId>) -> Embedding {
+        Embedding { assignment }
     }
 
-    /// True if the two embeddings share any target vertex.
+    /// Image of pattern vertex `pv`.
+    ///
+    /// # Panics
+    /// Panics if `pv` has no image (out of range or dead pattern slot).
+    #[inline]
+    pub fn image(&self, pv: VertexId) -> VertexId {
+        let tv = self.assignment[pv.index()];
+        debug_assert_ne!(tv, UNMAPPED, "image() of unmapped {pv:?}");
+        tv
+    }
+
+    /// Image of pattern vertex `pv`, or `None` for unmapped slots.
+    pub fn get(&self, pv: VertexId) -> Option<VertexId> {
+        match self.assignment.get(pv.index()) {
+            Some(&tv) if tv != UNMAPPED => Some(tv),
+            _ => None,
+        }
+    }
+
+    /// Number of mapped pattern vertices.
+    pub fn len(&self) -> usize {
+        self.target_vertices().count()
+    }
+
+    /// True if no pattern vertex is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.target_vertices().next().is_none()
+    }
+
+    /// The set of target vertices used by this embedding.
+    pub fn target_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.assignment.iter().copied().filter(|&v| v != UNMAPPED)
+    }
+
+    /// True if some pattern vertex maps onto target vertex `tv`.
+    #[inline]
+    pub fn maps_onto(&self, tv: VertexId) -> bool {
+        self.assignment.contains(&tv)
+    }
+
+    /// True if the two embeddings share any target vertex. Allocation-free
+    /// linear scan — embeddings are pattern-sized (a handful of slots).
     pub fn overlaps(&self, other: &Embedding) -> bool {
-        let mine: FxHashSet<VertexId> = self.map.values().copied().collect();
-        other.map.values().any(|v| mine.contains(v))
+        self.assignment
+            .iter()
+            .any(|&v| v != UNMAPPED && other.assignment.contains(&v))
+    }
+
+    /// The embedding extended by one appended pattern vertex mapping to
+    /// `tv` (pattern slot = current slot count).
+    fn extended_with(&self, tv: VertexId) -> Embedding {
+        let mut assignment = Vec::with_capacity(self.assignment.len() + 1);
+        assignment.extend_from_slice(&self.assignment);
+        assignment.push(tv);
+        Embedding { assignment }
     }
 }
 
@@ -168,6 +231,8 @@ pub struct Matcher {
     /// require sufficient parallel-edge counts in the target.
     multiplicity: FxHashMap<(VertexId, VertexId, ELabel), usize>,
     pattern_degrees: FxHashMap<VertexId, (usize, usize)>,
+    /// Flat-assignment slot count: 1 + the largest pattern vertex index.
+    slots: usize,
 }
 
 impl Matcher {
@@ -188,11 +253,13 @@ impl Matcher {
             .vertices()
             .map(|v| (v, (pattern.out_degree(v), pattern.in_degree(v))))
             .collect();
+        let slots = plan.order.iter().map(|v| v.index() + 1).max().unwrap_or(0);
         Matcher {
             plan,
             vlabels,
             multiplicity,
             pattern_degrees,
+            slots,
         }
     }
 
@@ -205,6 +272,19 @@ impl Matcher {
     /// supports, and disjoint counts are unaffected; only the raw
     /// embedding multiplicity of symmetric patterns is reduced.
     pub fn find(&self, target: &Graph, mode: Find) -> Vec<Embedding> {
+        self.search(target, mode, true)
+    }
+
+    /// Searches for embeddings **without** twin-leaf symmetry breaking:
+    /// every distinct vertex mapping is enumerated. This is the mode
+    /// embedding-list propagation requires — a stored list must contain
+    /// *all* occurrences, or restricting a child occurrence to the parent
+    /// could land on an embedding the pruned search never emitted.
+    pub fn find_unpruned(&self, target: &Graph, mode: Find) -> Vec<Embedding> {
+        self.search(target, mode, false)
+    }
+
+    fn search(&self, target: &Graph, mode: Find, prune_twins: bool) -> Vec<Embedding> {
         let limit = match mode {
             Find::First => 1,
             Find::AtMost(n) => n,
@@ -216,7 +296,14 @@ impl Matcher {
         let mut results = Vec::new();
         let mut assignment: Vec<VertexId> = Vec::with_capacity(self.plan.order.len());
         let mut used: FxHashSet<VertexId> = FxHashSet::default();
-        self.recurse(target, &mut assignment, &mut used, &mut results, limit);
+        self.recurse(
+            target,
+            &mut assignment,
+            &mut used,
+            &mut results,
+            limit,
+            prune_twins,
+        );
         results
     }
 
@@ -303,17 +390,15 @@ impl Matcher {
         used: &mut FxHashSet<VertexId>,
         results: &mut Vec<Embedding>,
         limit: usize,
+        prune_twins: bool,
     ) -> bool {
         let depth = assignment.len();
         if depth == self.plan.order.len() {
-            let map = self
-                .plan
-                .order
-                .iter()
-                .copied()
-                .zip(assignment.iter().copied())
-                .collect();
-            results.push(Embedding { map });
+            let mut flat = vec![UNMAPPED; self.slots];
+            for (i, &pv) in self.plan.order.iter().enumerate() {
+                flat[pv.index()] = assignment[i];
+            }
+            results.push(Embedding { assignment: flat });
             return results.len() >= limit;
         }
         let candidates: Vec<VertexId> = match self.plan.anchor[depth] {
@@ -337,7 +422,11 @@ impl Matcher {
             }
             None => target.vertices().collect(),
         };
-        let twin_floor = self.plan.twin_prev[depth].map(|j| assignment[j]);
+        let twin_floor = if prune_twins {
+            self.plan.twin_prev[depth].map(|j| assignment[j])
+        } else {
+            None
+        };
         let mut local_seen: FxHashSet<VertexId> = FxHashSet::default();
         for c in candidates {
             if used.contains(&c) || !local_seen.insert(c) {
@@ -353,7 +442,7 @@ impl Matcher {
             }
             assignment.push(c);
             used.insert(c);
-            let done = self.recurse(target, assignment, used, results, limit);
+            let done = self.recurse(target, assignment, used, results, limit, prune_twins);
             assignment.pop();
             used.remove(&c);
             if done {
@@ -361,6 +450,174 @@ impl Matcher {
             }
         }
         false
+    }
+}
+
+/// How a child pattern grows its parent by exactly one edge.
+///
+/// Miners build candidates as `parent.clone()` plus one appended edge
+/// (and, for tree growth, one appended vertex), so the delta is always one
+/// of three shapes. [`derive_extension`] recovers it from the graphs;
+/// [`extend_embedding`] replays it against a stored parent occurrence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Extension {
+    /// New edge `src -> new_vertex`, where the new vertex (pattern slot =
+    /// parent vertex count) has label `vlabel` and degree 1.
+    NewDst {
+        /// Parent-pattern source of the new edge.
+        src: VertexId,
+        /// Label of the new edge.
+        elabel: ELabel,
+        /// Label of the appended vertex.
+        vlabel: VLabel,
+    },
+    /// New edge `new_vertex -> dst`; mirror of [`Extension::NewDst`].
+    NewSrc {
+        /// Parent-pattern destination of the new edge.
+        dst: VertexId,
+        /// Label of the new edge.
+        elabel: ELabel,
+        /// Label of the appended vertex.
+        vlabel: VLabel,
+    },
+    /// Cycle-closing edge `src -> dst` between existing parent vertices
+    /// (`src == dst` for a self-loop).
+    Close {
+        /// Parent-pattern source of the new edge.
+        src: VertexId,
+        /// Parent-pattern destination of the new edge.
+        dst: VertexId,
+        /// Label of the new edge.
+        elabel: ELabel,
+    },
+}
+
+/// Recovers the one-edge growth step from a parent with
+/// `parent_vertices` vertices to `child`, or `None` if `child` is not a
+/// dense append-only extension of such a parent (tombstoned slots,
+/// wrong vertex count, or a new vertex with degree != 1).
+///
+/// Correctness relies on the miners' construction discipline: the child is
+/// `parent.clone()` with one `add_edge` (and at most one preceding
+/// `add_vertex`), so the new edge is the last edge id and the new vertex,
+/// if any, is slot `parent_vertices`.
+pub fn derive_extension(parent_vertices: usize, child: &Graph) -> Option<Extension> {
+    let vc = child.vertex_count();
+    let ec = child.edge_count();
+    // Dense check: no tombstones, so arena indices equal counts.
+    if child.vertices().last().map(|v| v.index()) != Some(vc.checked_sub(1)?) {
+        return None;
+    }
+    let last_edge = child.edges().last()?;
+    if last_edge.index() != ec - 1 {
+        return None;
+    }
+    let (s, d, elabel) = child.edge(last_edge);
+    if vc == parent_vertices {
+        return Some(Extension::Close {
+            src: s,
+            dst: d,
+            elabel,
+        });
+    }
+    if vc != parent_vertices + 1 {
+        return None;
+    }
+    let nv = VertexId(parent_vertices as u32);
+    if child.degree(nv) != 1 {
+        return None;
+    }
+    let vlabel = child.vertex_label(nv);
+    if d == nv && s != nv {
+        Some(Extension::NewDst {
+            src: s,
+            elabel,
+            vlabel,
+        })
+    } else if s == nv && d != nv {
+        Some(Extension::NewSrc {
+            dst: d,
+            elabel,
+            vlabel,
+        })
+    } else {
+        None
+    }
+}
+
+/// Extends one parent embedding by `ext`, pushing every resulting child
+/// embedding onto `out`.
+///
+/// With an **unpruned** parent list (see [`Matcher::find_unpruned`]) this
+/// enumerates each child occurrence exactly once: distinct
+/// `(parent embedding, new endpoint)` pairs yield distinct child
+/// embeddings, and parallel target edges to the same endpoint are
+/// deduplicated in place.
+pub fn extend_embedding(
+    target: &Graph,
+    emb: &Embedding,
+    ext: &Extension,
+    out: &mut Vec<Embedding>,
+) {
+    match *ext {
+        Extension::NewDst {
+            src,
+            elabel,
+            vlabel,
+        } => {
+            let ts = emb.image(src);
+            let start = out.len();
+            for e in target.out_edges(ts) {
+                let (_, td, l) = target.edge(e);
+                if l != elabel || target.vertex_label(td) != vlabel || emb.maps_onto(td) {
+                    continue;
+                }
+                // Parallel edges reach the same endpoint; emit it once.
+                if out[start..]
+                    .iter()
+                    .any(|c| c.assignment.last() == Some(&td))
+                {
+                    continue;
+                }
+                out.push(emb.extended_with(td));
+            }
+        }
+        Extension::NewSrc {
+            dst,
+            elabel,
+            vlabel,
+        } => {
+            let td = emb.image(dst);
+            let start = out.len();
+            for e in target.in_edges(td) {
+                let (ts, _, l) = target.edge(e);
+                if l != elabel || target.vertex_label(ts) != vlabel || emb.maps_onto(ts) {
+                    continue;
+                }
+                if out[start..]
+                    .iter()
+                    .any(|c| c.assignment.last() == Some(&ts))
+                {
+                    continue;
+                }
+                out.push(emb.extended_with(ts));
+            }
+        }
+        Extension::Close { src, dst, elabel } => {
+            // Pattern graphs are simple per (src, dst, label) at the point
+            // of closure (miners check before adding), so existence of one
+            // matching target edge suffices — multiplicity is only needed
+            // for parallel pattern edges, which closure never creates.
+            let ts = emb.image(src);
+            let td = emb.image(dst);
+            let found = target.out_edges(ts).any(|e| {
+                let (_, dd, l) = target.edge(e);
+                dd == td && l == elabel
+            });
+            if found {
+                out.push(emb.clone());
+            }
+        }
     }
 }
 
@@ -384,6 +641,13 @@ pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
     if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
         return false;
     }
+    // Mining patterns are tiny, dense (append-only construction), and
+    // compared millions of times inside iso-class buckets: take the lean
+    // array-indexed path whenever possible, the allocation-heavy general
+    // matcher otherwise.
+    if a.vertex_count() <= 16 && vertex_dense(a) && vertex_dense(b) {
+        return small_iso(a, b);
+    }
     if a.vertex_label_histogram() != b.vertex_label_histogram()
         || a.edge_label_histogram() != b.edge_label_histogram()
     {
@@ -394,6 +658,151 @@ pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
     // bijectivity too (each pair's multiplicity in b is >= that of a, and
     // totals agree).
     has_embedding(a, b)
+}
+
+/// True if the vertex arena has no tombstoned slots (ids run 0..count).
+fn vertex_dense(g: &Graph) -> bool {
+    g.vertices()
+        .last()
+        .is_none_or(|v| v.index() + 1 == g.vertex_count())
+}
+
+/// Exact-isomorphism backtracking specialized for small vertex-dense
+/// graphs: flat arrays instead of hash maps, vertices mapped in arena
+/// order. Requires equal vertex and edge counts (checked by the caller).
+///
+/// Per-vertex label/degree equality plus per-(pair, label) multiplicity
+/// coverage forces a full edge bijection: every `b` vertex is an image, so
+/// summed coverage equals both edge totals and no `b` edge is left over.
+fn small_iso(a: &Graph, b: &Graph) -> bool {
+    let n = a.vertex_count();
+    let la: Vec<u32> = (0..n)
+        .map(|i| a.vertex_label(VertexId(i as u32)).0)
+        .collect();
+    let lb: Vec<u32> = (0..n)
+        .map(|i| b.vertex_label(VertexId(i as u32)).0)
+        .collect();
+    {
+        let mut sa = la.clone();
+        let mut sb = lb.clone();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        if sa != sb {
+            return false;
+        }
+    }
+    let ea: Vec<(usize, usize, u32)> = a
+        .edges()
+        .map(|e| {
+            let (s, d, l) = a.edge(e);
+            (s.index(), d.index(), l.0)
+        })
+        .collect();
+    let eb: Vec<(usize, usize, u32)> = b
+        .edges()
+        .map(|e| {
+            let (s, d, l) = b.edge(e);
+            (s.index(), d.index(), l.0)
+        })
+        .collect();
+    {
+        let mut sa: Vec<u32> = ea.iter().map(|t| t.2).collect();
+        let mut sb: Vec<u32> = eb.iter().map(|t| t.2).collect();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        if sa != sb {
+            return false;
+        }
+    }
+    let mut outa = vec![0u16; n];
+    let mut ina = vec![0u16; n];
+    for &(s, d, _) in &ea {
+        outa[s] += 1;
+        ina[d] += 1;
+    }
+    let mut outb = vec![0u16; n];
+    let mut inb = vec![0u16; n];
+    for &(s, d, _) in &eb {
+        outb[s] += 1;
+        inb[d] += 1;
+    }
+    // Each `a` edge is registered at its higher-numbered endpoint, so the
+    // constraint fires as soon as both endpoints are mapped. Miner
+    // patterns (append-grown) and `edge_subgraph` outputs (first-
+    // appearance numbering) both attach every vertex after the first to
+    // an earlier one, so pruning bites at every depth.
+    let mut back: Vec<Vec<(usize, u32, bool)>> = vec![Vec::new(); n];
+    for &(s, d, l) in &ea {
+        if s >= d {
+            back[s].push((d, l, true));
+        } else {
+            back[d].push((s, l, false));
+        }
+    }
+
+    struct Ctx<'c> {
+        n: usize,
+        la: &'c [u32],
+        lb: &'c [u32],
+        outa: &'c [u16],
+        ina: &'c [u16],
+        outb: &'c [u16],
+        inb: &'c [u16],
+        back: &'c [Vec<(usize, u32, bool)>],
+        eb: &'c [(usize, usize, u32)],
+    }
+    fn rec(cx: &Ctx<'_>, i: usize, map: &mut [usize], used: &mut u32) -> bool {
+        if i == cx.n {
+            return true;
+        }
+        for m in 0..cx.n {
+            if *used & (1 << m) != 0
+                || cx.lb[m] != cx.la[i]
+                || cx.outb[m] != cx.outa[i]
+                || cx.inb[m] != cx.ina[i]
+            {
+                continue;
+            }
+            let ok = cx.back[i].iter().all(|&(j, l, out)| {
+                let mj = if j == i { m } else { map[j] };
+                let (bs, bd) = if out { (m, mj) } else { (mj, m) };
+                let need = cx.back[i]
+                    .iter()
+                    .filter(|&&(jj, ll, oo)| jj == j && ll == l && oo == out)
+                    .count();
+                let have = cx
+                    .eb
+                    .iter()
+                    .filter(|&&(s, d, l2)| s == bs && d == bd && l2 == l)
+                    .count();
+                have >= need
+            });
+            if !ok {
+                continue;
+            }
+            map[i] = m;
+            *used |= 1 << m;
+            if rec(cx, i + 1, map, used) {
+                return true;
+            }
+            *used &= !(1 << m);
+        }
+        false
+    }
+    let cx = Ctx {
+        n,
+        la: &la,
+        lb: &lb,
+        outa: &outa,
+        ina: &ina,
+        outb: &outb,
+        inb: &inb,
+        back: &back,
+        eb: &eb,
+    };
+    let mut map = vec![usize::MAX; n];
+    let mut used = 0u32;
+    rec(&cx, 0, &mut map, &mut used)
 }
 
 /// Greedily selects a maximal set of pairwise vertex-disjoint embeddings
@@ -523,6 +932,183 @@ mod tests {
         // choices (not 5*4*3 = 60 ordered ones).
         assert_eq!(find_embeddings(&p, &t, Find::All).len(), 10);
         assert_eq!(find_embeddings(&p, &t, Find::AtMost(7)).len(), 7);
+    }
+
+    #[test]
+    fn unpruned_enumerates_twin_permutations() {
+        // 2-spoke hub in a 3-spoke hub: pruned = C(3,2) = 3 unordered
+        // choices; unpruned = 3*2 = 6 ordered assignments.
+        let mut p = Graph::new();
+        let h = p.add_vertex(VLabel(0));
+        for _ in 0..2 {
+            let s = p.add_vertex(VLabel(0));
+            p.add_edge(h, s, ELabel(2));
+        }
+        let mut t = Graph::new();
+        let th = t.add_vertex(VLabel(0));
+        for _ in 0..3 {
+            let s = t.add_vertex(VLabel(0));
+            t.add_edge(th, s, ELabel(2));
+        }
+        let m = Matcher::new(&p);
+        assert_eq!(m.find(&t, Find::All).len(), 3);
+        assert_eq!(m.find_unpruned(&t, Find::All).len(), 6);
+        assert_eq!(m.find_unpruned(&t, Find::AtMost(4)).len(), 4);
+    }
+
+    #[test]
+    fn derive_extension_shapes() {
+        // Parent: a -> b. Child 1: append vertex c, edge b -> c (NewDst).
+        let mut parent = Graph::new();
+        let a = parent.add_vertex(VLabel(1));
+        let b = parent.add_vertex(VLabel(2));
+        parent.add_edge(a, b, ELabel(9));
+
+        let mut child = parent.clone();
+        let c = child.add_vertex(VLabel(3));
+        child.add_edge(b, c, ELabel(8));
+        assert_eq!(
+            derive_extension(2, &child),
+            Some(Extension::NewDst {
+                src: b,
+                elabel: ELabel(8),
+                vlabel: VLabel(3)
+            })
+        );
+
+        // Child 2: append vertex c, edge c -> a (NewSrc).
+        let mut child = parent.clone();
+        let c = child.add_vertex(VLabel(3));
+        child.add_edge(c, a, ELabel(8));
+        assert_eq!(
+            derive_extension(2, &child),
+            Some(Extension::NewSrc {
+                dst: a,
+                elabel: ELabel(8),
+                vlabel: VLabel(3)
+            })
+        );
+
+        // Child 3: closing edge b -> a (Close), no new vertex.
+        let mut child = parent.clone();
+        child.add_edge(b, a, ELabel(7));
+        assert_eq!(
+            derive_extension(2, &child),
+            Some(Extension::Close {
+                src: b,
+                dst: a,
+                elabel: ELabel(7)
+            })
+        );
+
+        // Not a one-edge growth: two extra vertices.
+        let mut child = parent.clone();
+        let c = child.add_vertex(VLabel(3));
+        let d = child.add_vertex(VLabel(3));
+        child.add_edge(c, d, ELabel(8));
+        assert_eq!(derive_extension(2, &child), None);
+
+        // Tombstoned (non-dense) child is rejected.
+        let mut child = parent.clone();
+        let c = child.add_vertex(VLabel(3));
+        child.add_edge(b, c, ELabel(8));
+        let first_edge = child.edges().next().unwrap();
+        child.remove_edge(first_edge);
+        assert_eq!(derive_extension(2, &child), None);
+    }
+
+    #[test]
+    fn extend_embedding_matches_unpruned_search() {
+        // Parent: hub with 2 spokes; child grows a third spoke — the twin
+        // counterexample: pruned parent lists would miss child embeddings,
+        // unpruned ones must not.
+        let mut parent = Graph::new();
+        let h = parent.add_vertex(VLabel(0));
+        for _ in 0..2 {
+            let s = parent.add_vertex(VLabel(0));
+            parent.add_edge(h, s, ELabel(2));
+        }
+        let mut child = parent.clone();
+        let s3 = child.add_vertex(VLabel(0));
+        child.add_edge(h, s3, ELabel(2));
+
+        let mut t = Graph::new();
+        let th = t.add_vertex(VLabel(0));
+        for _ in 0..4 {
+            let s = t.add_vertex(VLabel(0));
+            t.add_edge(th, s, ELabel(2));
+        }
+
+        let parent_embs = Matcher::new(&parent).find_unpruned(&t, Find::All);
+        assert_eq!(parent_embs.len(), 12); // 4*3 ordered spoke pairs
+        let ext = derive_extension(3, &child).unwrap();
+        let mut grown = Vec::new();
+        for e in &parent_embs {
+            extend_embedding(&t, e, &ext, &mut grown);
+        }
+        let direct = Matcher::new(&child).find_unpruned(&t, Find::All);
+        assert_eq!(grown.len(), direct.len()); // 4*3*2 = 24
+        let key = |e: &Embedding| {
+            let mut v: Vec<VertexId> = e.target_vertices().collect();
+            v.sort_unstable();
+            (e.image(VertexId(0)), v)
+        };
+        let mut a: Vec<_> = grown.iter().map(key).collect();
+        let mut b: Vec<_> = direct.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extend_embedding_close_and_dedup() {
+        // Parent a -> b; child closes b -> a.
+        let mut parent = Graph::new();
+        let a = parent.add_vertex(VLabel(0));
+        let b = parent.add_vertex(VLabel(1));
+        parent.add_edge(a, b, ELabel(0));
+        let mut child = parent.clone();
+        child.add_edge(b, a, ELabel(5));
+
+        let mut t = Graph::new();
+        let x = t.add_vertex(VLabel(0));
+        let y = t.add_vertex(VLabel(1));
+        let z = t.add_vertex(VLabel(1));
+        t.add_edge(x, y, ELabel(0));
+        t.add_edge(x, z, ELabel(0));
+        t.add_edge(y, x, ELabel(5));
+
+        let parent_embs = Matcher::new(&parent).find_unpruned(&t, Find::All);
+        assert_eq!(parent_embs.len(), 2);
+        let ext = derive_extension(2, &child).unwrap();
+        let mut grown = Vec::new();
+        for e in &parent_embs {
+            extend_embedding(&t, e, &ext, &mut grown);
+        }
+        // Only x->y closes back.
+        assert_eq!(grown.len(), 1);
+        assert_eq!(grown[0].image(b), y);
+
+        // Parallel target edges to the same endpoint are emitted once.
+        let mut pt = Graph::new();
+        let px = pt.add_vertex(VLabel(0));
+        let py = pt.add_vertex(VLabel(1));
+        pt.add_edge(px, py, ELabel(0));
+        pt.add_edge(px, py, ELabel(0));
+        let mut single = Graph::new();
+        single.add_vertex(VLabel(0));
+        let embs = vec![Embedding::from_assignment(vec![px])];
+        let mut grown_child = Graph::new();
+        let ga = grown_child.add_vertex(VLabel(0));
+        let gb = grown_child.add_vertex(VLabel(1));
+        grown_child.add_edge(ga, gb, ELabel(0));
+        let ext = derive_extension(1, &grown_child).unwrap();
+        let mut out = Vec::new();
+        for e in &embs {
+            extend_embedding(&pt, e, &ext, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        let _ = single;
     }
 
     #[test]

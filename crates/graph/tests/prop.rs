@@ -121,8 +121,8 @@ proptest! {
             for emb in find_embeddings(&pat, &g, Find::AtMost(16)) {
                 for pe in pat.edges() {
                     let (ps, pd, pl) = pat.edge(pe);
-                    let ts = emb.map[&ps];
-                    let td = emb.map[&pd];
+                    let ts = emb.image(ps);
+                    let td = emb.image(pd);
                     let found = g.out_edges(ts).any(|te| {
                         let (_, d2, l2) = g.edge(te);
                         d2 == td && l2 == pl
@@ -131,8 +131,8 @@ proptest! {
                 }
                 // Injectivity.
                 let mut seen = std::collections::HashSet::new();
-                for tv in emb.map.values() {
-                    prop_assert!(seen.insert(*tv));
+                for tv in emb.target_vertices() {
+                    prop_assert!(seen.insert(tv));
                 }
             }
         }

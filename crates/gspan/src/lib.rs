@@ -25,12 +25,13 @@
 //! ```
 
 use tnet_exec::Exec;
+use tnet_fsg::embed::{grow_store, level1_store, EmbStore, Grown};
 use tnet_fsg::extend::{extend_pattern, EdgeVocab};
 use tnet_fsg::{FrequentPattern, Support};
 use tnet_graph::canon::IsoClassMap;
 use tnet_graph::graph::{ELabel, Graph, VLabel};
-use tnet_graph::hash::FxHashMap;
-use tnet_graph::iso::Matcher;
+use tnet_graph::hash::{FxHashMap, FxHashSet};
+use tnet_graph::iso::{derive_extension, Matcher};
 
 /// Configuration for the DFS miner.
 #[derive(Clone, Debug)]
@@ -43,6 +44,14 @@ pub struct GspanConfig {
     /// [`tnet_fsg::FsgConfig::memory_budget`], so the two miners are
     /// boundable by the same knob.
     pub memory_budget: Option<usize>,
+    /// Per-(pattern, transaction) embedding-list cap for propagated
+    /// support counting, with the same semantics as
+    /// [`tnet_fsg::FsgConfig::embedding_cap`]: occurrence lists ride the
+    /// DFS growth stack and are extended one edge at a time; overflowing
+    /// lists are truncated to inexact seed prefixes whose empty
+    /// extensions are re-verified from scratch. `0` disables propagation
+    /// (every support test is a scratch VF2 search).
+    pub embedding_cap: usize,
 }
 
 impl Default for GspanConfig {
@@ -51,6 +60,7 @@ impl Default for GspanConfig {
             min_support: Support::Fraction(0.05),
             max_edges: 10,
             memory_budget: None,
+            embedding_cap: 256,
         }
     }
 }
@@ -99,11 +109,18 @@ pub struct GspanStats {
     /// materialized patterns, the peak-memory analogue of FSG's
     /// per-level candidate count).
     pub max_depth: usize,
-    /// Subgraph-isomorphism tests run.
+    /// Subgraph-isomorphism tests run. With embedding propagation these
+    /// only settle unverified "no"s from truncated occurrence lists.
     pub iso_tests: usize,
     /// Peak estimated live bytes (visited classes + results + TIDs) —
     /// the number the memory budget is checked against.
     pub peak_live_bytes: usize,
+    /// Parent occurrences extended by one edge in place of scratch VF2
+    /// support tests.
+    pub embeddings_extended: usize,
+    /// (pattern, transaction) occurrence lists that overflowed the cap
+    /// and were truncated to inexact seed prefixes.
+    pub embeddings_spilled: usize,
 }
 
 /// Estimated heap bytes for one materialized pattern: mirrors
@@ -159,8 +176,9 @@ pub fn mine_dfs_with(
 
     // Frequent single edges (shared logic with FSG's level 1).
     let mut level1: FxHashMap<(u32, u32, u32, bool), Vec<u32>> = FxHashMap::default();
+    let mut seen: FxHashSet<(u32, u32, u32, bool)> = FxHashSet::default();
     for (tid, t) in transactions.iter().enumerate() {
-        let mut seen = std::collections::HashSet::new();
+        seen.clear();
         for e in t.edges() {
             let (s, d, l) = t.edge(e);
             let key = (t.vertex_label(s).0, l.0, t.vertex_label(d).0, s == d);
@@ -204,6 +222,7 @@ pub fn mine_dfs_with(
         min_support,
         max_edges: cfg.max_edges,
         budget: cfg.memory_budget,
+        embedding_cap: cfg.embedding_cap,
         exec,
         visited: IsoClassMap::new(),
         results: Vec::new(),
@@ -213,7 +232,17 @@ pub fn mine_dfs_with(
     for seed in seeds {
         walk.charge(&seed)?;
         walk.visited.insert(seed.graph.clone(), ());
-        walk.grow(&seed, 1)?;
+        let seed_stores = if cfg.embedding_cap > 0 && cfg.max_edges > 1 {
+            level1_store(
+                &seed,
+                transactions,
+                cfg.embedding_cap,
+                &mut walk.stats.embeddings_spilled,
+            )
+        } else {
+            Vec::new()
+        };
+        walk.grow(&seed, &seed_stores, 1)?;
         walk.results.push(seed);
     }
     let Walk {
@@ -239,6 +268,7 @@ struct Walk<'a> {
     min_support: usize,
     max_edges: usize,
     budget: Option<usize>,
+    embedding_cap: usize,
     exec: &'a Exec,
     visited: IsoClassMap<()>,
     results: Vec<FrequentPattern>,
@@ -267,11 +297,17 @@ impl Walk<'_> {
         Ok(())
     }
 
-    fn grow(&mut self, parent: &FrequentPattern, depth: usize) -> Result<(), GspanError> {
+    fn grow(
+        &mut self,
+        parent: &FrequentPattern,
+        parent_stores: &[EmbStore],
+        depth: usize,
+    ) -> Result<(), GspanError> {
         self.stats.max_depth = self.stats.max_depth.max(depth);
         if parent.graph.edge_count() >= self.max_edges {
             return Ok(());
         }
+        let propagate = self.embedding_cap > 0 && parent_stores.len() == parent.tids.len();
         // One parent's extensions — the only candidate buffer ever held.
         let mut extensions: IsoClassMap<Vec<usize>> = IsoClassMap::new();
         extend_pattern(&parent.graph, self.vocab, 0, &mut extensions);
@@ -284,19 +320,87 @@ impl Walk<'_> {
                 continue;
             }
             self.visited.insert(candidate.clone(), ());
-            let matcher = Matcher::new(&candidate);
-            // Support counting is the hot loop; fan the VF2 searches over
-            // the pool and keep matching TIDs in input order.
-            let hits = self.exec.par_map(&parent.tids, |&tid| {
-                matcher.matches(&self.transactions[tid as usize])
-            });
-            self.stats.iso_tests += parent.tids.len();
-            let tids: Vec<u32> = parent
-                .tids
-                .iter()
-                .zip(hits)
-                .filter_map(|(&tid, hit)| hit.then_some(tid))
-                .collect();
+            let (tids, child_stores) = if propagate {
+                // The iso-class representative is the first graph
+                // inserted for the class: the parent plus one appended
+                // edge. Recover that edge and grow the parent's
+                // occurrence lists by it instead of searching from
+                // scratch; the lists ride the DFS stack alongside the
+                // patterns themselves.
+                let ext = derive_extension(parent.graph.vertex_count(), &candidate)
+                    .expect("candidate is a one-edge extension of its parent");
+                let witness_only = candidate.edge_count() >= self.max_edges;
+                // A scratch matcher is only ever needed to settle an
+                // unverified "no" from a truncated (inexact) seed list.
+                let matcher = parent_stores
+                    .iter()
+                    .any(|s| !s.exact)
+                    .then(|| Matcher::new(&candidate));
+                let cap = self.embedding_cap;
+                let transactions = self.transactions;
+                let idx: Vec<usize> = (0..parent.tids.len()).collect();
+                let outcomes = self.exec.par_map(&idx, |&i| {
+                    let txn = &transactions[parent.tids[i] as usize];
+                    let mut extended = 0usize;
+                    let mut spilled = 0usize;
+                    match grow_store(
+                        txn,
+                        &parent_stores[i],
+                        &ext,
+                        cap,
+                        witness_only,
+                        &mut extended,
+                        &mut spilled,
+                    ) {
+                        Grown::Absent => (false, None, extended, spilled, false),
+                        Grown::Unverified => {
+                            let hit = matcher
+                                .as_ref()
+                                .expect("inexact store implies a matcher")
+                                .matches(txn);
+                            let store = (hit && !witness_only).then(|| EmbStore {
+                                embs: Vec::new(),
+                                exact: false,
+                            });
+                            (hit, store, extended, spilled, true)
+                        }
+                        Grown::Witnessed { store } => (true, store, extended, spilled, false),
+                    }
+                });
+                let mut tids: Vec<u32> = Vec::new();
+                let mut child_stores: Vec<EmbStore> = Vec::new();
+                for (i, (hit, store, extended, spilled, scratched)) in
+                    outcomes.into_iter().enumerate()
+                {
+                    self.stats.embeddings_extended += extended;
+                    self.stats.embeddings_spilled += spilled;
+                    if scratched {
+                        self.stats.iso_tests += 1;
+                    }
+                    if hit {
+                        tids.push(parent.tids[i]);
+                        if let Some(st) = store {
+                            child_stores.push(st);
+                        }
+                    }
+                }
+                (tids, child_stores)
+            } else {
+                let matcher = Matcher::new(&candidate);
+                // Support counting is the hot loop; fan the VF2 searches
+                // over the pool and keep matching TIDs in input order.
+                let hits = self.exec.par_map(&parent.tids, |&tid| {
+                    matcher.matches(&self.transactions[tid as usize])
+                });
+                self.stats.iso_tests += parent.tids.len();
+                let tids: Vec<u32> = parent
+                    .tids
+                    .iter()
+                    .zip(hits)
+                    .filter_map(|(&tid, hit)| hit.then_some(tid))
+                    .collect();
+                (tids, Vec::new())
+            };
             self.stats.counted += 1;
             if tids.len() >= self.min_support {
                 let fp = FrequentPattern {
@@ -305,7 +409,7 @@ impl Walk<'_> {
                     tids,
                 };
                 self.charge(&fp)?;
-                self.grow(&fp, depth + 1)?;
+                self.grow(&fp, &child_stores, depth + 1)?;
                 self.results.push(fp);
             }
         }
@@ -426,6 +530,7 @@ mod tests {
             min_support: Support::Count(4),
             max_edges: 6,
             memory_budget: Some(1_024),
+            ..Default::default()
         };
         let exec = Exec::new(2);
         match mine_dfs_with(&txns, &cfg, &exec) {

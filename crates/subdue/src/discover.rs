@@ -7,7 +7,7 @@
 //! (`limit`) runs out.
 
 use crate::eval::{evaluate, EvalMethod, GraphContext};
-use crate::substructure::{expand, initial_substructures, Substructure};
+use crate::substructure::{expand_counted, initial_substructures, SubdueStats, Substructure};
 use std::time::{Duration, Instant};
 use tnet_exec::Exec;
 use tnet_graph::graph::Graph;
@@ -116,6 +116,8 @@ pub struct SubdueOutput {
     /// Number of candidate substructures evaluated.
     pub evaluated: usize,
     pub runtime: Duration,
+    /// Instance-propagation counters from the expansions.
+    pub stats: SubdueStats,
 }
 
 /// Runs SUBDUE discovery on a single graph on the current thread.
@@ -156,6 +158,7 @@ pub fn discover_with(
     let mut best: Vec<Substructure> = Vec::new();
     let mut expanded = 0usize;
     let mut evaluated = 0usize;
+    let mut stats = SubdueStats::default();
     // Open and best lists only shrink via truncation; tracking their
     // estimate incrementally would drift, so recompute per expansion —
     // both lists are at most `beam_width + max_best` entries.
@@ -173,7 +176,7 @@ pub fn discover_with(
             continue;
         }
         expanded += 1;
-        let children = expand(g, &parent);
+        let children = expand_counted(g, &parent, &mut stats);
         if let Some(budget) = cfg.memory_budget {
             let held: usize = children.iter().map(substructure_bytes).sum();
             let estimated_bytes = resident + held;
@@ -218,6 +221,7 @@ pub fn discover_with(
         expanded,
         evaluated,
         runtime: start.elapsed(),
+        stats,
     })
 }
 

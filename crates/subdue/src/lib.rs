@@ -27,4 +27,6 @@ pub use compress::{compress, hierarchical, HierarchyLevel};
 pub use discover::{discover, discover_with, SubdueConfig, SubdueError, SubdueOutput};
 pub use eval::{evaluate, set_cover_value, EvalMethod, GraphContext};
 pub use inexact::{coalesce_fuzzy, edit_distance_bounded, fuzzy_match};
-pub use substructure::{expand, initial_substructures, Instance, Substructure};
+pub use substructure::{
+    expand, expand_counted, initial_substructures, Instance, SubdueStats, Substructure,
+};

@@ -8,16 +8,76 @@
 //! that lets SUBDUE walk a single large graph.
 
 use tnet_graph::canon::IsoClassMap;
-use tnet_graph::graph::{EdgeId, Graph, VertexId};
+use tnet_graph::graph::{ELabel, EdgeId, Graph, VLabel, VertexId};
 use tnet_graph::hash::{FxHashMap, FxHashSet};
+use tnet_graph::iso::{Find, Matcher};
 
 /// One concrete occurrence of a pattern: the target vertices and edges it
-/// covers. Vertex and edge lists are kept sorted so instances can be
-/// deduplicated structurally.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// covers, plus the mapping from pattern vertices to target vertices.
+/// Vertex and edge lists are kept sorted so instances can be deduplicated
+/// structurally; equality and hashing ignore `map` (two automorphic
+/// mappings of the same vertex/edge sets are the same occurrence).
+#[derive(Clone, Debug)]
 pub struct Instance {
     pub vertices: Vec<VertexId>,
     pub edges: Vec<EdgeId>,
+    /// Target vertex for each pattern vertex, by pattern arena index
+    /// (pattern graphs are append-only, so indices are dense). This is
+    /// what lets expansion derive the child pattern per *extension key*
+    /// instead of per instance.
+    pub map: Vec<VertexId>,
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.vertices == other.vertices && self.edges == other.edges
+    }
+}
+
+impl Eq for Instance {}
+
+impl std::hash::Hash for Instance {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.vertices.hash(state);
+        self.edges.hash(state);
+    }
+}
+
+/// How a grown edge attaches to an instance, relative to the instance's
+/// pattern mapping: endpoint slots are pattern-vertex indices, or
+/// [`ExtKey::NEW`] for the one endpoint outside the instance (whose
+/// label is then `new_label`). Instances of the same substructure grown
+/// with the same key induce the same child pattern, so expansion derives
+/// one pattern graph per distinct key instead of one per grown instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ExtKey {
+    src: usize,
+    dst: usize,
+    elabel: u32,
+    new_label: u32,
+}
+
+impl ExtKey {
+    const NEW: usize = usize::MAX;
+
+    /// The child pattern this key induces: the parent plus one edge (and
+    /// possibly one appended vertex, whose slot index lines up with the
+    /// appended `map` entry of every instance grown with this key).
+    fn child_pattern(&self, parent: &Graph) -> Graph {
+        let mut p = parent.clone();
+        let s = if self.src == Self::NEW {
+            p.add_vertex(VLabel(self.new_label))
+        } else {
+            VertexId(self.src as u32)
+        };
+        let d = if self.dst == Self::NEW {
+            p.add_vertex(VLabel(self.new_label))
+        } else {
+            VertexId(self.dst as u32)
+        };
+        p.add_edge(s, d, ELabel(self.elabel));
+        p
+    }
 }
 
 impl Instance {
@@ -26,16 +86,54 @@ impl Instance {
         Instance {
             vertices: vec![v],
             edges: Vec::new(),
+            map: vec![v],
         }
     }
 
     /// Extends by one edge (and possibly one new endpoint), keeping the
-    /// lists sorted. Returns `None` if the edge is already present.
-    pub fn extended(&self, g: &Graph, e: EdgeId) -> Option<Instance> {
+    /// lists sorted and appending any new endpoint to `map`. Returns
+    /// `None` if the edge is already present or touches neither instance
+    /// vertex (callers enumerate incident edges, so a grown instance is
+    /// always connected to this one).
+    pub fn extended(&self, g: &Graph, e: EdgeId) -> Option<(Instance, ExtKey)> {
         if self.edges.binary_search(&e).is_ok() {
             return None;
         }
-        let (s, d, _) = g.edge(e);
+        let (s, d, l) = g.edge(e);
+        let spos = self.map.iter().position(|&u| u == s);
+        let dpos = if s == d {
+            spos
+        } else {
+            self.map.iter().position(|&u| u == d)
+        };
+        let mut map = self.map.clone();
+        let key = match (spos, dpos) {
+            (Some(a), Some(b)) => ExtKey {
+                src: a,
+                dst: b,
+                elabel: l.0,
+                new_label: 0,
+            },
+            (Some(a), None) => {
+                map.push(d);
+                ExtKey {
+                    src: a,
+                    dst: ExtKey::NEW,
+                    elabel: l.0,
+                    new_label: g.vertex_label(d).0,
+                }
+            }
+            (None, Some(b)) => {
+                map.push(s);
+                ExtKey {
+                    src: ExtKey::NEW,
+                    dst: b,
+                    elabel: l.0,
+                    new_label: g.vertex_label(s).0,
+                }
+            }
+            (None, None) => return None,
+        };
         let mut vertices = self.vertices.clone();
         for v in [s, d] {
             if let Err(pos) = vertices.binary_search(&v) {
@@ -45,7 +143,14 @@ impl Instance {
         let mut edges = self.edges.clone();
         let pos = edges.binary_search(&e).unwrap_err();
         edges.insert(pos, e);
-        Some(Instance { vertices, edges })
+        Some((
+            Instance {
+                vertices,
+                edges,
+                map,
+            },
+            key,
+        ))
     }
 
     /// True if this instance shares a vertex with `other`.
@@ -148,17 +253,45 @@ pub fn initial_substructures(g: &Graph) -> Vec<Substructure> {
 /// reports false instances.
 pub const MAX_INSTANCES: usize = 4_000;
 
+/// Expansion counters: how much work instance propagation did and how
+/// much pattern re-derivation it avoided (the SUBDUE analogue of
+/// `tnet-fsg`'s embedding counters).
+#[derive(Clone, Debug, Default)]
+pub struct SubdueStats {
+    /// Instances grown by one adjacent edge.
+    pub embeddings_extended: usize,
+    /// Grown instances dropped because their group hit [`MAX_INSTANCES`].
+    pub embeddings_spilled: usize,
+    /// Child pattern graphs derived — one per distinct extension key, not
+    /// one per grown instance, which is the point of keying.
+    pub patterns_derived: usize,
+}
+
 /// Expands a substructure: every instance is grown by every adjacent
 /// unused edge; the grown instances are regrouped by pattern isomorphism
 /// class. Instances identical as vertex/edge sets are deduplicated;
 /// groups are truncated at [`MAX_INSTANCES`].
 pub fn expand(g: &Graph, sub: &Substructure) -> Vec<Substructure> {
-    let mut groups: IsoClassMap<Vec<Instance>> = IsoClassMap::new();
+    expand_counted(g, sub, &mut SubdueStats::default())
+}
+
+/// As [`expand`], accumulating counters into `stats`.
+///
+/// Grown instances are first bucketed by [`ExtKey`] — how the new edge
+/// attaches relative to the instance's pattern mapping — which determines
+/// the child pattern up to the shared parent, so the pattern graph (and
+/// its invariant hash) is derived once per key instead of once per
+/// instance. Keys whose patterns land in the same isomorphism class are
+/// then merged, translating instance maps onto the class representative's
+/// vertex order so descendants keep extending consistently.
+pub fn expand_counted(g: &Graph, sub: &Substructure, stats: &mut SubdueStats) -> Vec<Substructure> {
+    let mut key_index: FxHashMap<ExtKey, usize> = FxHashMap::default();
+    let mut groups: Vec<(ExtKey, Vec<Instance>)> = Vec::new();
     let mut seen: FxHashSet<(u64, usize)> = FxHashSet::default();
     for inst in &sub.instances {
         for &v in &inst.vertices {
             for e in g.incident_edges(v) {
-                let Some(grown) = inst.extended(g, e) else {
+                let Some((grown, key)) = inst.extended(g, e) else {
                     continue;
                 };
                 // Cheap structural dedup across the whole expansion:
@@ -173,22 +306,57 @@ pub fn expand(g: &Graph, sub: &Substructure) -> Vec<Substructure> {
                 if !seen.insert((h, grown.edges.len())) {
                     continue;
                 }
-                let pattern = grown.pattern(g);
-                let group = groups.entry_or_insert_with(&pattern, Vec::new);
+                stats.embeddings_extended += 1;
+                let gi = *key_index.entry(key).or_insert_with(|| {
+                    groups.push((key, Vec::new()));
+                    groups.len() - 1
+                });
+                let group = &mut groups[gi].1;
                 if group.len() < MAX_INSTANCES {
                     group.push(grown);
+                } else {
+                    stats.embeddings_spilled += 1;
                 }
             }
         }
     }
-    groups
-        .into_iter_pairs()
-        .map(|(pattern, instances)| Substructure {
-            pattern,
-            instances,
-            value: 0.0,
-        })
-        .collect()
+    let mut classes: IsoClassMap<usize> = IsoClassMap::new();
+    let mut out: Vec<Substructure> = Vec::new();
+    for (key, instances) in groups {
+        let pattern = key.child_pattern(&sub.pattern);
+        stats.patterns_derived += 1;
+        let slot = classes.entry_or_insert_with(&pattern, || usize::MAX);
+        if *slot == usize::MAX {
+            *slot = out.len();
+            out.push(Substructure {
+                pattern,
+                instances,
+                value: 0.0,
+            });
+        } else {
+            let existing = &mut out[*slot];
+            // Same class, different vertex order: translate this group's
+            // maps through an isomorphism onto the representative. (Equal
+            // vertex/edge counts make any monomorphism a bijection.)
+            let iso = Matcher::new(&existing.pattern)
+                .find(&pattern, Find::First)
+                .pop()
+                .expect("patterns share an isomorphism class");
+            for mut inst in instances {
+                inst.map = existing
+                    .pattern
+                    .vertices()
+                    .map(|pv| inst.map[iso.image(pv).index()])
+                    .collect();
+                if existing.instances.len() < MAX_INSTANCES {
+                    existing.instances.push(inst);
+                } else {
+                    stats.embeddings_spilled += 1;
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -204,9 +372,10 @@ mod tests {
         let v0 = g.vertices().next().unwrap();
         let e0 = g.edges().next().unwrap();
         let inst = Instance::vertex(v0);
-        let grown = inst.extended(&g, e0).unwrap();
+        let (grown, _) = inst.extended(&g, e0).unwrap();
         assert_eq!(grown.vertices.len(), 2);
         assert_eq!(grown.edges, vec![e0]);
+        assert_eq!(grown.map.len(), 2, "new endpoint appended to the map");
         assert!(grown.extended(&g, e0).is_none(), "edge reuse rejected");
         assert!(grown.vertices.windows(2).all(|w| w[0] < w[1]));
     }
@@ -216,14 +385,17 @@ mod tests {
         let a = Instance {
             vertices: vec![VertexId(0), VertexId(2)],
             edges: vec![],
+            map: vec![],
         };
         let b = Instance {
             vertices: vec![VertexId(1), VertexId(2)],
             edges: vec![],
+            map: vec![],
         };
         let c = Instance {
             vertices: vec![VertexId(3)],
             edges: vec![],
+            map: vec![],
         };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
@@ -294,6 +466,99 @@ mod tests {
         let sub = &one_edge[0];
         assert_eq!(sub.instances.len(), 3);
         assert_eq!(sub.disjoint_count(), 2); // e0 and e2
+    }
+
+    #[test]
+    fn keyed_expansion_matches_scratch_derivation() {
+        // Reference expansion: derive every grown instance's pattern from
+        // scratch (`Instance::pattern`) and group with the iso-class map,
+        // as the pre-keyed implementation did. The keyed path must
+        // produce the same classes with the same instance sets.
+        use tnet_graph::generate::{random_transactions, RandomGraphConfig};
+        let graphs = random_transactions(
+            6,
+            &RandomGraphConfig {
+                vertices: 10,
+                edges: 16,
+                vertex_labels: 2,
+                edge_labels: 2,
+                self_loops: true,
+            },
+            97,
+        );
+        for g in &graphs {
+            let mut frontier = initial_substructures(g);
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for sub in &frontier {
+                    let keyed = expand(g, sub);
+                    // Scratch reference over the same parent.
+                    let mut reference: IsoClassMap<Vec<Instance>> = IsoClassMap::new();
+                    let mut seen: FxHashSet<Vec<EdgeId>> = FxHashSet::default();
+                    for inst in &sub.instances {
+                        for &v in &inst.vertices {
+                            for e in g.incident_edges(v) {
+                                let Some((grown, _)) = inst.extended(g, e) else {
+                                    continue;
+                                };
+                                if !seen.insert(grown.edges.clone()) {
+                                    continue;
+                                }
+                                let pattern = grown.pattern(g);
+                                reference
+                                    .entry_or_insert_with(&pattern, Vec::new)
+                                    .push(grown);
+                            }
+                        }
+                    }
+                    let reference: Vec<(Graph, Vec<Instance>)> =
+                        reference.into_iter_pairs().collect();
+                    assert_eq!(keyed.len(), reference.len(), "class count");
+                    for k in &keyed {
+                        let (_, ref_insts) = reference
+                            .iter()
+                            .find(|(p, _)| are_isomorphic(p, &k.pattern))
+                            .expect("keyed class missing from reference");
+                        let mut a: Vec<_> = k
+                            .instances
+                            .iter()
+                            .map(|i| (i.vertices.clone(), i.edges.clone()))
+                            .collect();
+                        let mut b: Vec<_> = ref_insts
+                            .iter()
+                            .map(|i| (i.vertices.clone(), i.edges.clone()))
+                            .collect();
+                        a.sort();
+                        b.sort();
+                        assert_eq!(a, b, "instance sets");
+                        // Every kept map must be a valid embedding of the
+                        // class pattern.
+                        for inst in &k.instances {
+                            assert_eq!(inst.map.len(), k.pattern.vertex_count());
+                            for pv in k.pattern.vertices() {
+                                assert_eq!(
+                                    k.pattern.vertex_label(pv),
+                                    g.vertex_label(inst.map[pv.index()])
+                                );
+                            }
+                            for pe in k.pattern.edges() {
+                                let (ps, pd, pl) = k.pattern.edge(pe);
+                                let (ts, td) = (inst.map[ps.index()], inst.map[pd.index()]);
+                                assert!(
+                                    g.edges().any(|te| {
+                                        let (s, d, l) = g.edge(te);
+                                        s == ts && d == td && l == pl
+                                    }),
+                                    "map edge image missing in target"
+                                );
+                            }
+                        }
+                    }
+                    next.extend(keyed);
+                }
+                frontier = next;
+            }
+        }
     }
 
     #[test]

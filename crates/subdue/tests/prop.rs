@@ -65,6 +65,47 @@ proptest! {
         }
     }
 
+    /// Propagated instance maps are genuine embeddings: every instance
+    /// carries a pattern-vertex → graph-vertex map (extended
+    /// incrementally during expansion, never re-derived) whose images
+    /// preserve vertex labels and realize every pattern edge.
+    #[test]
+    fn instance_maps_are_embeddings((vl, es) in raw_graph(8, 14)) {
+        let g = build(&vl, &es);
+        let out = discover(
+            &g,
+            &SubdueConfig {
+                beam_width: 4,
+                max_best: 4,
+                max_size: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for sub in &out.best {
+            for inst in &sub.instances {
+                prop_assert_eq!(inst.map.len(), sub.pattern.vertex_count());
+                for pv in sub.pattern.vertices() {
+                    prop_assert_eq!(
+                        sub.pattern.vertex_label(pv),
+                        g.vertex_label(inst.map[pv.index()])
+                    );
+                }
+                for pe in sub.pattern.edges() {
+                    let (ps, pd, pl) = sub.pattern.edge(pe);
+                    let (ts, td) = (inst.map[ps.index()], inst.map[pd.index()]);
+                    prop_assert!(
+                        g.edges().any(|te| {
+                            let (s, d, l) = g.edge(te);
+                            s == ts && d == td && l == pl
+                        }),
+                        "map edge image missing in target"
+                    );
+                }
+            }
+        }
+    }
+
     /// Compression: marker count equals disjoint instance count, and the
     /// compressed graph never gains size.
     #[test]
