@@ -51,11 +51,35 @@ code=$?
 set -e
 test "$code" -eq 1
 grep -q 'injected fault' /tmp/tnet_ci_fault.err
-rm -f /tmp/tnet_ci_fault.csv /tmp/tnet_ci_fault.err
+# No failpoint needed for real bad data: a NaN in any numeric field is a
+# typed runtime error with a 1-based line number — one stderr line, exit
+# 1, never a panic.
+echo "-- NaN field rejection (stats --input)"
+head -n 1 /tmp/tnet_ci_fault.csv > /tmp/tnet_ci_nan.csv
+echo '1,0,1,44.5,-88.0,41.9,-87.6,200,NaN,8,TL' >> /tmp/tnet_ci_nan.csv
+set +e
+"$TNET" stats --input /tmp/tnet_ci_nan.csv 2>/tmp/tnet_ci_nan.err
+code=$?
+set -e
+test "$code" -eq 1
+test "$(wc -l < /tmp/tnet_ci_nan.err)" -eq 1
+grep -q 'non-finite' /tmp/tnet_ci_nan.err
+grep -q 'line 2' /tmp/tnet_ci_nan.err
+rm -f /tmp/tnet_ci_fault.csv /tmp/tnet_ci_fault.err \
+    /tmp/tnet_ci_nan.csv /tmp/tnet_ci_nan.err
 # Unarmed control: full success and a clean summary.
 echo "-- unarmed control"
 out=$("$TNET" "${REPORT_ARGS[@]}")
 grep -q '^sections: 12 ok, 0 degraded, 0 failed$' <<<"$out"
+
+echo "== trace smoke: --trace-json round-trips through the schema parser"
+TRACE_OUT=/tmp/tnet_ci_trace.json
+"$TNET" mine --scale 0.01 --partitions 4 --support 3 --max-edges 3 \
+    --reps 1 --trace --trace-json "$TRACE_OUT" > /tmp/tnet_ci_trace.out
+grep -q '^--- trace' /tmp/tnet_ci_trace.out
+grep -q 'fsg' /tmp/tnet_ci_trace.out
+grep -q 'fsg.iso_tests' /tmp/tnet_ci_trace.out
+rm -f /tmp/tnet_ci_trace.out
 
 echo "== bench smoke: miner report emits valid JSON, iso_tests under gate"
 # The smoke run times all three miners once, writes the report, and exits
@@ -67,6 +91,10 @@ cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
     --smoke --out "$BENCH_OUT"
 cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
     --validate "$BENCH_OUT"
-rm -f "$BENCH_OUT"
+# The CLI's trace export (written above) must satisfy the same
+# tnet-trace/v1 validator that checks the embedded bench trace block.
+cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
+    --validate-trace "$TRACE_OUT"
+rm -f "$BENCH_OUT" "$TRACE_OUT"
 
 echo "ci.sh: all green"

@@ -12,7 +12,9 @@
 //! - `--out PATH`     output path (default `BENCH_miners.json`)
 //! - `--seed N`       synthetic-dataset seed (default 42)
 //! - `--validate PATH` parse an existing report, check all three miners
-//!   are present, and exit — no benching
+//!   and the embedded trace block are present, and exit — no benching
+//! - `--validate-trace PATH` parse a standalone `tnet-trace/v1` document
+//!   (the CLI's `--trace-json` output) and exit — no benching
 //!
 //! Every FSG/gSpan workload is run twice: with embedding propagation (the
 //! default cap) and with `embedding_cap = 0` (scratch VF2, the
@@ -24,18 +26,21 @@
 //! time gate flaky.
 
 use std::process::ExitCode;
+use std::time::Instant;
 use tnet_bench::harness::{bench, Timing};
 use tnet_bench::json::Json;
+use tnet_bench::obs_json;
 use tnet_core::experiments::structural::truncated_structural_graph;
 use tnet_core::pipeline::Pipeline;
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{EdgeLabeling, VertexLabeling};
-use tnet_fsg::{mine, FsgConfig, Support};
+use tnet_exec::{Exec, MetricsRegistry, Span, Tracer};
+use tnet_fsg::{mine, mine_with, FsgConfig, Support};
 use tnet_graph::graph::Graph;
 use tnet_graph::rng::StdRng;
-use tnet_gspan::{mine_dfs, GspanConfig};
+use tnet_gspan::{mine_dfs, mine_dfs_with, GspanConfig};
 use tnet_partition::split::{split_graph, Strategy};
-use tnet_subdue::{discover, SubdueConfig};
+use tnet_subdue::{discover, discover_with, SubdueConfig};
 
 /// Regression gate for `stats.iso_tests` on the propagated default FSG
 /// workload. The recorded scratch-VF2 count on this workload is 582;
@@ -56,6 +61,7 @@ struct Opts {
     out: String,
     seed: u64,
     validate: Option<String>,
+    validate_trace: Option<String>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -64,6 +70,7 @@ fn parse_opts() -> Result<Opts, String> {
         out: "BENCH_miners.json".to_string(),
         seed: 42,
         validate: None,
+        validate_trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -78,6 +85,9 @@ fn parse_opts() -> Result<Opts, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
             "--validate" => opts.validate = Some(args.next().ok_or("--validate needs a path")?),
+            "--validate-trace" => {
+                opts.validate_trace = Some(args.next().ok_or("--validate-trace needs a path")?)
+            }
             // Cargo's bench runner appends `--bench`; tolerate it.
             "--bench" => {}
             other => return Err(format!("unknown flag '{other}'")),
@@ -235,6 +245,51 @@ fn subdue_row(scale: f64, seed: u64, vertices: usize, samples: usize) -> Json {
     ])
 }
 
+/// One extra, untimed pass over every miner with a live tracer and
+/// registry attached: the per-phase wall breakdown and the unified
+/// counter namespace embedded in the report as a `tnet-trace/v1` block.
+fn traced_block(default_txns: &[Graph], subdue_graph: &Graph) -> Json {
+    let tracer = Tracer::new("bench_miners");
+    let registry = MetricsRegistry::new();
+    let exec = Exec::new(1).with_obs(tracer.root(), registry.clone());
+    let fsg_cfg = FsgConfig::default()
+        .with_support(Support::Count(4))
+        .with_max_edges(4);
+    let gspan_cfg = GspanConfig {
+        min_support: Support::Count(4),
+        max_edges: 4,
+        ..Default::default()
+    };
+    let subdue_cfg = SubdueConfig {
+        max_size: 10,
+        ..Default::default()
+    };
+    {
+        let _total = exec.span().timer();
+        mine_with(default_txns, &fsg_cfg, &exec).expect("traced fsg run");
+        mine_dfs_with(default_txns, &gspan_cfg, &exec).expect("traced gspan run");
+        discover_with(subdue_graph, &subdue_cfg, &exec).expect("traced subdue run");
+    }
+    exec.counters().record_into(&registry);
+    obs_json::trace_to_json(&tracer.snapshot(), &registry.snapshot())
+}
+
+/// Tracing off must cost nothing measurable: a million disabled-span
+/// visits are one predictable branch each. A real regression — an
+/// accidental clock read, allocation, or lock — blows past the returned
+/// per-op cost by orders of magnitude (the gate sits at 250 ns/op).
+fn disabled_span_ns_per_op() -> f64 {
+    let span = Span::disabled();
+    let iters = 1_000_000u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _g = span.time("x");
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+const DISABLED_SPAN_GATE_NS: f64 = 250.0;
+
 fn validate(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text)?;
@@ -245,7 +300,17 @@ fn validate(path: &str) -> Result<(), String> {
             _ => return Err(format!("report is missing miner '{miner}'")),
         }
     }
-    println!("{path}: valid, all three miners present");
+    let trace = doc.get("trace").ok_or("report has no 'trace' block")?;
+    obs_json::validate_trace(trace).map_err(|e| format!("trace block: {e}"))?;
+    println!("{path}: valid, all three miners and trace block present");
+    Ok(())
+}
+
+fn validate_trace_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    obs_json::validate_trace(&doc)?;
+    println!("{path}: valid {} document", obs_json::TRACE_SCHEMA);
     Ok(())
 }
 
@@ -266,6 +331,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if let Some(path) = &opts.validate_trace {
+        return match validate_trace_file(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench_miners: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let samples = if opts.smoke { 1 } else { 3 };
     let default_txns = split_workload(0.015, opts.seed, 10);
@@ -279,17 +353,29 @@ fn main() -> ExitCode {
         fsg_rows.push(fsg_row("large_txn", &large_txns, 4, 4, samples).0);
     }
     let gspan_rows = vec![gspan_row("default", &default_txns, 4, 4, samples)];
-    let subdue_rows = vec![subdue_row(
-        0.015,
-        opts.seed,
-        if opts.smoke { 25 } else { 50 },
-        samples,
-    )];
+    let subdue_vertices = if opts.smoke { 25 } else { 50 };
+    let subdue_rows = vec![subdue_row(0.015, opts.seed, subdue_vertices, samples)];
+
+    // The per-phase trace block reuses the subdue workload's graph.
+    let subdue_graph = {
+        let p = Pipeline::synthetic(0.015, opts.seed);
+        let scheme = BinScheme::fit_width_transactions(p.transactions()).expect("binning fits");
+        truncated_structural_graph(
+            p.transactions(),
+            &scheme,
+            EdgeLabeling::GrossWeight,
+            subdue_vertices,
+        )
+    };
+    let trace = traced_block(&default_txns, &subdue_graph);
+    let disabled_ns = disabled_span_ns_per_op();
 
     let doc = Json::obj([
         ("schema", Json::Str("tnet-bench-miners/v1".into())),
         ("seed", Json::Num(opts.seed as f64)),
         ("smoke", Json::Bool(opts.smoke)),
+        ("trace", trace),
+        ("disabled_span_ns_per_op", Json::Num(disabled_ns)),
         (
             "miners",
             Json::obj([
@@ -329,6 +415,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", opts.out);
+
+    if disabled_ns > DISABLED_SPAN_GATE_NS {
+        eprintln!(
+            "bench_miners: REGRESSION — disabled span costs {disabled_ns:.1} ns/op, \
+             gate is {DISABLED_SPAN_GATE_NS} (tracing off must be free)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("disabled span: {disabled_ns:.2} ns/op (gate {DISABLED_SPAN_GATE_NS})");
 
     if default_iso > FSG_DEFAULT_ISO_GATE {
         eprintln!(

@@ -6,6 +6,7 @@
 
 pub mod harness;
 pub mod json;
+pub mod obs_json;
 
 use std::sync::OnceLock;
 use tnet_data::model::Transaction;

@@ -1,0 +1,182 @@
+//! Trace export (`tnet-trace/v1`): converts a [`tnet_obs`] span-tree
+//! snapshot plus a metrics snapshot into the bench crate's [`Json`]
+//! value, and validates such documents on the way back in. The CLI's
+//! `--trace-json` and `bench_miners`' embedded trace block both emit
+//! this schema, so one validator covers both (see DESIGN.md §10).
+//!
+//! Document shape:
+//!
+//! ```json
+//! {
+//!   "schema": "tnet-trace/v1",
+//!   "root": {"label": "mine", "nanos": 12345, "count": 1,
+//!            "children": [ ...same shape... ]},
+//!   "metrics": {"exec.tasks": 42, "fsg.iso_tests": 20, ...}
+//! }
+//! ```
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use tnet_obs::SpanNode;
+
+/// Schema tag written into (and required from) every trace document.
+pub const TRACE_SCHEMA: &str = "tnet-trace/v1";
+
+/// Builds a `tnet-trace/v1` document from a span-tree snapshot and a
+/// metrics snapshot (the output of `MetricsRegistry::snapshot`).
+pub fn trace_to_json(root: &SpanNode, metrics: &BTreeMap<String, u64>) -> Json {
+    Json::obj([
+        ("schema", Json::Str(TRACE_SCHEMA.into())),
+        ("root", span_to_json(root)),
+        (
+            "metrics",
+            Json::Obj(
+                metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn span_to_json(node: &SpanNode) -> Json {
+    Json::obj([
+        ("label", Json::Str(node.label.clone())),
+        ("nanos", Json::Num(node.nanos as f64)),
+        ("count", Json::Num(node.count as f64)),
+        (
+            "children",
+            Json::Arr(node.children.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+/// Checks a parsed document against the `tnet-trace/v1` schema: the
+/// schema tag, a well-formed span tree under `root` (every node carries
+/// a string label and non-negative integer `nanos`/`count`), and a
+/// `metrics` object of non-negative integers.
+pub fn validate_trace(doc: &Json) -> Result<(), String> {
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == TRACE_SCHEMA => {}
+        Some(Json::Str(s)) => {
+            return Err(format!("unexpected schema '{s}' (want '{TRACE_SCHEMA}')"));
+        }
+        _ => return Err("missing 'schema' string".into()),
+    }
+    match doc.get("metrics") {
+        Some(Json::Obj(m)) => {
+            for (name, value) in m {
+                if !is_counter(value) {
+                    return Err(format!("metric '{name}' is not a non-negative integer"));
+                }
+            }
+        }
+        _ => return Err("missing 'metrics' object".into()),
+    }
+    let root = doc.get("root").ok_or("missing 'root' span")?;
+    validate_span(root, "root")
+}
+
+fn is_counter(v: &Json) -> bool {
+    matches!(v, Json::Num(n) if *n >= 0.0 && n.fract() == 0.0)
+}
+
+fn validate_span(node: &Json, path: &str) -> Result<(), String> {
+    match node.get("label") {
+        Some(Json::Str(_)) => {}
+        _ => return Err(format!("{path}: missing 'label' string")),
+    }
+    for key in ["nanos", "count"] {
+        match node.get(key) {
+            Some(v) if is_counter(v) => {}
+            _ => return Err(format!("{path}: '{key}' is not a non-negative integer")),
+        }
+    }
+    match node.get("children") {
+        Some(Json::Arr(children)) => {
+            for (i, child) in children.iter().enumerate() {
+                validate_span(child, &format!("{path}.children[{i}]"))?;
+            }
+            Ok(())
+        }
+        _ => Err(format!("{path}: missing 'children' array")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_obs::Tracer;
+
+    fn sample_trace() -> Json {
+        let t = Tracer::new("mine");
+        {
+            let total = t.root().timer();
+            let _ingest = total.span().time("ingest");
+        }
+        let mut metrics = BTreeMap::new();
+        metrics.insert("fsg.iso_tests".to_string(), 20u64);
+        metrics.insert("exec.tasks".to_string(), 4u64);
+        trace_to_json(&t.snapshot(), &metrics)
+    }
+
+    #[test]
+    fn round_trips_through_the_bench_parser() {
+        let doc = sample_trace();
+        let text = doc.pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        validate_trace(&back).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema_and_shapes() {
+        let mut doc = sample_trace();
+        if let Json::Obj(m) = &mut doc {
+            m.insert("schema".into(), Json::Str("other/v9".into()));
+        }
+        assert!(validate_trace(&doc)
+            .unwrap_err()
+            .contains("unexpected schema"));
+
+        let doc = Json::obj([("schema", Json::Str(TRACE_SCHEMA.into()))]);
+        assert!(validate_trace(&doc).unwrap_err().contains("metrics"));
+
+        let mut doc = sample_trace();
+        if let Json::Obj(m) = &mut doc {
+            if let Some(Json::Obj(metrics)) = m.get_mut("metrics") {
+                metrics.insert("bad".into(), Json::Num(-1.0));
+            }
+        }
+        assert!(validate_trace(&doc)
+            .unwrap_err()
+            .contains("non-negative integer"));
+    }
+
+    #[test]
+    fn validator_descends_into_children() {
+        let bad_child = Json::obj([
+            ("label", Json::Str("x".into())),
+            ("nanos", Json::Num(1.0)),
+            ("count", Json::Str("not a number".into())),
+            ("children", Json::Arr(vec![])),
+        ]);
+        let doc = Json::obj([
+            ("schema", Json::Str(TRACE_SCHEMA.into())),
+            ("metrics", Json::Obj(BTreeMap::new())),
+            (
+                "root",
+                Json::obj([
+                    ("label", Json::Str("r".into())),
+                    ("nanos", Json::Num(0.0)),
+                    ("count", Json::Num(0.0)),
+                    ("children", Json::Arr(vec![bad_child])),
+                ]),
+            ),
+        ]);
+        let err = validate_trace(&doc).unwrap_err();
+        assert!(err.contains("root.children[0]"), "{err}");
+        assert!(err.contains("count"), "{err}");
+    }
+}

@@ -40,9 +40,16 @@ impl Args {
         };
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+                // `--trace` is a valueless switch: it never consumes the
+                // next token, so `tnet mine --trace --support 5` parses
+                // naturally (everything else stays `--key value`).
+                let value = if key == "trace" {
+                    "true".to_string()
+                } else {
+                    it.next()
+                        .ok_or_else(|| ArgError(format!("--{key} needs a value")))?
+                        .clone()
+                };
                 if args
                     .options
                     .insert(key.to_string(), value.clone())
@@ -140,6 +147,15 @@ mod tests {
         assert_eq!(a.get_or("strategy", "df"), "bf");
         assert_eq!(a.get_parsed_or("support", 1usize).unwrap(), 5);
         assert_eq!(a.get_parsed_or("partitions", 8usize).unwrap(), 8);
+    }
+
+    #[test]
+    fn trace_is_a_valueless_switch() {
+        let a = Args::parse(&argv("mine --trace --support 5")).unwrap();
+        assert_eq!(a.get("trace"), Some("true"));
+        assert_eq!(a.get("support"), Some("5"));
+        let a = Args::parse(&argv("report --trace")).unwrap();
+        assert_eq!(a.get("trace"), Some("true"));
     }
 
     #[test]

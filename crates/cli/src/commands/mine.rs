@@ -3,7 +3,7 @@
 //! maximal filtering.
 
 use crate::args::{ArgError, Args};
-use crate::commands::{load_transactions, parse_labeling};
+use crate::commands::{load_transactions, obs_context, parse_labeling};
 use crate::error::CliError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tnet_core::patterns::{classify, interestingness};
@@ -29,9 +29,21 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "dot-dir",
         "threads",
         "verbose",
+        "trace",
+        "trace-json",
     ])?;
-    let exec = args.exec()?;
-    let txns = load_transactions(args)?;
+    let obs = obs_context(args);
+    let mut exec = args.exec()?;
+    if let Some(o) = &obs {
+        exec = o.attach(&exec);
+    }
+    // Times the root node (total command wall); must drop before
+    // `ObsContext::finish` snapshots the tree.
+    let total = exec.span().timer();
+    let txns = {
+        let _t = exec.span().time("ingest");
+        load_transactions(args)?
+    };
     let labeling = parse_labeling(args.get_or("labeling", "gw"))?;
     let strategy = match args.get_or("strategy", "bf") {
         "bf" | "breadth" => Strategy::BreadthFirst,
@@ -46,8 +58,14 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let maximal = args.get_or("maximal", "false") == "true";
     let verbose = args.get_or("verbose", "false") == "true";
 
-    let scheme = BinScheme::fit_width_transactions(&txns)?;
-    let od = build_od_graph(&txns, &scheme, labeling, VertexLabeling::Uniform);
+    let scheme = {
+        let _t = exec.span().time("binning");
+        BinScheme::fit_width_transactions(&txns)?
+    };
+    let od = {
+        let _t = exec.span().time("build_od_graph");
+        build_od_graph(&txns, &scheme, labeling, VertexLabeling::Uniform)
+    };
     let mut g = od.graph;
     g.dedup_edges();
     println!(
@@ -150,6 +168,10 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         println!("wrote {} .dot files to {dir}", patterns.len().min(top));
     }
     eprintln!("[exec] {} threads: {}", exec.threads(), exec.counters());
+    drop(total);
+    if let Some(o) = &obs {
+        o.finish(&exec)?;
+    }
     Ok(())
 }
 

@@ -15,6 +15,60 @@ use crate::error::CliError;
 use std::fs::File;
 use std::io::BufReader;
 use tnet_data::model::Transaction;
+use tnet_exec::{Exec, MetricsRegistry, Tracer};
+
+/// Observability context requested by `--trace` / `--trace-json PATH`:
+/// owns the tracer and metrics registry for one command invocation and
+/// knows how to render / export them at the end. `None` (no flag) keeps
+/// every span disabled — one predictable branch per phase boundary.
+pub struct ObsContext {
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    json_path: Option<String>,
+}
+
+/// Builds the context when either trace flag is present. The root span
+/// carries the subcommand name.
+pub fn obs_context(args: &crate::args::Args) -> Option<ObsContext> {
+    let trace = args.get("trace") == Some("true");
+    let json_path = args.get("trace-json").map(str::to_string);
+    if !trace && json_path.is_none() {
+        return None;
+    }
+    Some(ObsContext {
+        tracer: Tracer::new(&args.command),
+        registry: MetricsRegistry::new(),
+        json_path,
+    })
+}
+
+impl ObsContext {
+    /// Returns `exec` with the root span and registry attached (children
+    /// inherit both).
+    pub fn attach(&self, exec: &Exec) -> Exec {
+        exec.with_obs(self.tracer.root(), self.registry.clone())
+    }
+
+    /// Folds the pool counters into the registry, prints the span tree
+    /// and counter table to stdout, and writes the `tnet-trace/v1` JSON
+    /// document when `--trace-json` was given. Call after the command's
+    /// work (and its root timer) has finished.
+    pub fn finish(&self, exec: &Exec) -> Result<(), CliError> {
+        exec.counters().record_into(&self.registry);
+        let snapshot = self.tracer.snapshot();
+        println!("--- trace (wall clock per phase) ---");
+        print!("{}", snapshot.render());
+        println!("--- metrics ---");
+        print!("{}", self.registry.render());
+        if let Some(path) = &self.json_path {
+            let doc = tnet_bench::obs_json::trace_to_json(&snapshot, &self.registry.snapshot());
+            std::fs::write(path, doc.pretty())
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+            println!("trace json written to {path}");
+        }
+        Ok(())
+    }
+}
 
 /// Loads transactions: from `--input <csv>` when present, otherwise
 /// generates synthetically with `--scale` / `--seed`. A missing or

@@ -5,7 +5,7 @@
 //! as at least one section completes.
 
 use crate::args::{ArgError, Args};
-use crate::commands::load_transactions;
+use crate::commands::{load_transactions, obs_context};
 use crate::error::CliError;
 use std::time::Duration;
 use tnet_core::experiments::extensions::{run_events, run_paths, run_periodic};
@@ -22,24 +22,51 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "threads",
         "deadline-secs",
         "section-budget",
+        "trace",
+        "trace-json",
     ])?;
-    let exec = args.exec()?;
+    let obs = obs_context(args);
+    let mut exec = args.exec()?;
+    if let Some(o) = &obs {
+        exec = o.attach(&exec);
+    }
     let scale: f64 = args.get_parsed_or("scale", 0.05)?;
     let seed: u64 = args.get_parsed_or("seed", 42)?;
     let with_extensions = args.get_or("extensions", "true") == "true";
     let deadline_secs: f64 = args.get_parsed_or("deadline-secs", 0.0)?;
+    // A week covers every sane supervision budget; anything past it is a
+    // typo (and huge values would overflow `Duration::from_secs_f64`,
+    // which panics rather than erroring).
+    const MAX_DEADLINE_SECS: f64 = 7.0 * 24.0 * 3600.0;
     if deadline_secs < 0.0 || !deadline_secs.is_finite() {
         return Err(ArgError("--deadline-secs must be a non-negative number".into()).into());
     }
+    if deadline_secs > MAX_DEADLINE_SECS {
+        return Err(ArgError(format!(
+            "--deadline-secs {deadline_secs} is absurd (max {MAX_DEADLINE_SECS}, one week)"
+        ))
+        .into());
+    }
     let budget_mb: usize = args.get_parsed_or("section-budget", 0)?;
+    // `budget_mb << 20` would silently wrap on absurd values in release
+    // builds, turning a huge requested budget into a tiny one.
+    let budget_bytes = budget_mb
+        .checked_mul(1 << 20)
+        .ok_or_else(|| ArgError(format!("--section-budget {budget_mb} MB overflows")))?;
     let cfg = SupervisorConfig {
         section_deadline: (deadline_secs > 0.0).then_some(Duration::from_secs_f64(deadline_secs)),
-        section_budget: (budget_mb > 0).then_some(budget_mb << 20),
+        section_budget: (budget_mb > 0).then_some(budget_bytes),
     };
 
+    let total = exec.span().timer();
     let pipeline = if args.get("input").is_some() {
-        Pipeline::from_transactions(load_transactions(args)?)?
+        let txns = {
+            let _t = exec.span().time("ingest");
+            load_transactions(args)?
+        };
+        Pipeline::from_transactions(txns)?
     } else {
+        let _t = exec.span().time("ingest");
         Pipeline::synthetic(scale, seed)
     };
     let outcome = pipeline.full_report_supervised(scale, seed, &exec, &cfg);
@@ -54,6 +81,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     }
 
     if with_extensions {
+        let _t = exec.span().time("extensions");
         let txns = pipeline.transactions();
         println!("{}", run_periodic(txns));
         println!(
@@ -70,6 +98,10 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             )
         );
         println!("{}", run_events(txns));
+    }
+    drop(total);
+    if let Some(o) = &obs {
+        o.finish(&exec)?;
     }
     Ok(())
 }

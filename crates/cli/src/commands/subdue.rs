@@ -2,7 +2,7 @@
 //! graph, with optional hierarchical compression passes.
 
 use crate::args::{ArgError, Args};
-use crate::commands::{load_transactions, parse_labeling};
+use crate::commands::{load_transactions, obs_context, parse_labeling};
 use crate::error::CliError;
 use tnet_core::experiments::structural::truncated_structural_graph;
 use tnet_core::patterns::classify;
@@ -11,11 +11,30 @@ use tnet_subdue::{discover_with, hierarchical, EvalMethod, SubdueConfig};
 
 pub fn run(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&[
-        "input", "scale", "seed", "labeling", "vertices", "eval", "beam", "best", "max-size",
-        "passes", "threads",
+        "input",
+        "scale",
+        "seed",
+        "labeling",
+        "vertices",
+        "eval",
+        "beam",
+        "best",
+        "max-size",
+        "passes",
+        "threads",
+        "trace",
+        "trace-json",
     ])?;
-    let exec = args.exec()?;
-    let txns = load_transactions(args)?;
+    let obs = obs_context(args);
+    let mut exec = args.exec()?;
+    if let Some(o) = &obs {
+        exec = o.attach(&exec);
+    }
+    let total = exec.span().timer();
+    let txns = {
+        let _t = exec.span().time("ingest");
+        load_transactions(args)?
+    };
     let labeling = parse_labeling(args.get_or("labeling", "gw"))?;
     let vertices: usize = args.get_parsed_or("vertices", 60)?;
     let eval = match args.get_or("eval", "mdl") {
@@ -32,8 +51,14 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     };
     let passes: usize = args.get_parsed_or("passes", 1)?;
 
-    let scheme = BinScheme::fit_width_transactions(&txns)?;
-    let g = truncated_structural_graph(&txns, &scheme, labeling, vertices);
+    let scheme = {
+        let _t = exec.span().time("binning");
+        BinScheme::fit_width_transactions(&txns)?
+    };
+    let g = {
+        let _t = exec.span().time("build_od_graph");
+        truncated_structural_graph(&txns, &scheme, labeling, vertices)
+    };
     println!(
         "{} truncated graph: {} vertices, {} edges; {} evaluation",
         labeling.name(),
@@ -77,6 +102,10 @@ pub fn run(args: &Args) -> Result<(), CliError> {
                 level.substructure.value
             );
         }
+    }
+    drop(total);
+    if let Some(o) = &obs {
+        o.finish(&exec)?;
     }
     Ok(())
 }

@@ -51,6 +51,12 @@ mine, subdue, temporal and report also take --threads N to size the
 worker pool (default: TNET_THREADS, then the hardware thread count).
 Results are identical at any thread count.
 
+mine, subdue and report take --trace to print a span tree (wall clock
+per pipeline phase, xN call counts) and a named-counter table after
+the run, and --trace-json PATH to also write both as a tnet-trace/v1
+JSON document. Without either flag tracing is compiled to a single
+untaken branch per phase.
+
 report runs every section under supervision: a panicking or failing
 section renders a notice instead of killing the run, --deadline-secs
 bounds each section's wall clock, and --section-budget caps each
@@ -130,5 +136,91 @@ mod tests {
     #[test]
     fn stats_end_to_end() {
         run(&argv("stats --scale 0.01")).unwrap();
+    }
+
+    #[test]
+    fn mine_trace_json_round_trips_and_phases_nest() {
+        let path = std::env::temp_dir().join("tnet_test_mine_trace.json");
+        let path_s = path.to_string_lossy().into_owned();
+        run(&argv(&format!(
+            "mine --scale 0.01 --partitions 4 --support 3 --max-edges 3 --reps 1 \
+             --trace --trace-json {path_s}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let doc = tnet_bench::json::Json::parse(&text).unwrap();
+        tnet_bench::obs_json::validate_trace(&doc).unwrap();
+        let root = doc.get("root").unwrap();
+        assert_eq!(
+            root.get("label"),
+            Some(&tnet_bench::json::Json::Str("mine".into()))
+        );
+        let children = match root.get("children") {
+            Some(tnet_bench::json::Json::Arr(c)) => c,
+            other => panic!("children not an array: {other:?}"),
+        };
+        let labels: Vec<&str> = children
+            .iter()
+            .filter_map(|c| match c.get("label") {
+                Some(tnet_bench::json::Json::Str(s)) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        for phase in ["ingest", "binning", "build_od_graph", "partition", "fsg"] {
+            assert!(labels.contains(&phase), "missing phase {phase}: {labels:?}");
+        }
+        // Per-phase wall sums to at most the root total: children nest
+        // inside the root timer (slack is idle/orchestration time).
+        let total = root.get("nanos").unwrap().as_f64().unwrap();
+        let summed: f64 = children
+            .iter()
+            .map(|c| c.get("nanos").unwrap().as_f64().unwrap())
+            .sum();
+        assert!(
+            summed <= total,
+            "phases ({summed} ns) exceed total wall ({total} ns)"
+        );
+        // The registry absorbed miner and pool counters.
+        let metrics = match doc.get("metrics") {
+            Some(tnet_bench::json::Json::Obj(m)) => m,
+            other => panic!("metrics not an object: {other:?}"),
+        };
+        assert!(metrics.contains_key("fsg.iso_tests"), "{metrics:?}");
+        assert!(metrics.contains_key("exec.tasks"), "{metrics:?}");
+    }
+
+    #[test]
+    fn nan_csv_is_a_one_line_runtime_error_with_line_number() {
+        let path = std::env::temp_dir().join("tnet_test_nan.csv");
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n1,0,1,44.5,-88.0,41.9,-87.6,200,NaN,8,TL\n",
+                tnet_data::csv::HEADER
+            ),
+        )
+        .unwrap();
+        let e = run(&argv(&format!("stats --input {}", path.display()))).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(e.exit_code(), 1, "malformed data is runtime, not usage");
+        let msg = e.to_string();
+        assert!(!msg.contains('\n'), "one stderr line: {msg:?}");
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("non-finite"), "{msg}");
+    }
+
+    #[test]
+    fn absurd_deadline_and_budget_are_usage_errors() {
+        let e = run(&argv("report --scale 0.01 --deadline-secs 1e18")).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(e.to_string().contains("absurd"), "{e}");
+        let e = run(&argv(&format!(
+            "report --scale 0.01 --section-budget {}",
+            usize::MAX
+        )))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(e.to_string().contains("overflows"), "{e}");
     }
 }

@@ -327,6 +327,12 @@ impl Pipeline {
         ];
         let outer = exec.threads().min(sections.len()).max(1);
         let inner = (exec.threads() / outer).max(1);
+        // Pre-register section spans in report order: sections run
+        // concurrently, and first-touch registration inside the pool
+        // would make the rendered span tree order depend on scheduling.
+        for (name, _) in &sections {
+            exec.span().child(name);
+        }
         let outcomes = exec.par_map(&sections, |(name, body)| {
             supervisor::run_section(name, cfg, exec, inner, body.as_ref())
         });

@@ -105,12 +105,21 @@ fn attempt(
         Some(limit) => exec.child_with_deadline(threads, limit),
         None => exec.child_with_threads(threads),
     };
+    // Scope the attempt's work under the section's span node (both
+    // attempts of a retried section aggregate there — the node's call
+    // count reads 2). Sections run concurrently, so the caller
+    // pre-registers section nodes in report order to keep the rendered
+    // tree deterministic.
+    let section_span = exec.span().child(name);
+    let child = child.with_span(section_span.clone());
     let ctx = SectionCtx {
         exec: &child,
         effort,
         budget: cfg.section_budget,
     };
+    let timer = section_span.timer();
     let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+    drop(timer);
     match result {
         Ok(Ok(text)) => Ok(text),
         Ok(Err(e)) => {

@@ -41,7 +41,11 @@ impl Binner {
         assert!(!values.is_empty(), "need data");
         let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
         assert!(!sorted.is_empty(), "need finite data");
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Defense in depth: the filter above drops non-finite values
+        // (ingest rejects them earlier with a typed error), but a NaN
+        // slipping through a future code path must degrade the ordering,
+        // not panic — `total_cmp` is total over all f64 bit patterns.
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let n = sorted.len();
         let mut edges = vec![sorted[0]];
         for i in 1..bins {

@@ -49,7 +49,7 @@ impl CancelToken {
         CancelToken {
             inner: Arc::new(Inner {
                 flag: AtomicBool::new(false),
-                deadline: Instant::now().checked_add(timeout),
+                deadline: Some(saturating_deadline(timeout)),
                 parent: None,
             }),
         }
@@ -74,7 +74,7 @@ impl CancelToken {
         CancelToken {
             inner: Arc::new(Inner {
                 flag: AtomicBool::new(false),
-                deadline: Instant::now().checked_add(timeout),
+                deadline: Some(saturating_deadline(timeout)),
                 parent: Some(self.clone()),
             }),
         }
@@ -123,6 +123,37 @@ impl CancelToken {
         }
         false
     }
+}
+
+/// `now + timeout`, saturated to a representable far-future instant.
+///
+/// `Instant::checked_add` returns `None` when the sum is not
+/// representable; storing that `None` as the token's deadline would
+/// read as "no deadline at all" — a token asked to expire in
+/// `Duration::MAX` would silently never expire *and* stop counting as
+/// deadline-bearing, disabling supervision for the section it guards.
+/// Instead, an unrepresentable deadline is pinned explicitly to the
+/// furthest future the platform can represent: it never fires within
+/// any realistic process lifetime (the intent of an absurdly large
+/// timeout), but the token still carries a deadline and still composes
+/// with ancestor cancellation and ancestor deadlines.
+fn saturating_deadline(timeout: Duration) -> Instant {
+    let now = Instant::now();
+    if let Some(d) = now.checked_add(timeout) {
+        return d;
+    }
+    // Binary-search the largest representable offset from `now`.
+    let mut lo = Duration::ZERO;
+    let mut hi = timeout;
+    while hi - lo > Duration::from_secs(1) {
+        let mid = lo + (hi - lo) / 2;
+        if now.checked_add(mid).is_some() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    now.checked_add(lo).unwrap_or(now)
 }
 
 impl Default for CancelToken {
@@ -205,6 +236,27 @@ mod tests {
         std::thread::sleep(Duration::from_millis(15));
         assert!(child.is_cancelled(), "children observe ancestor deadlines");
         assert!(child.deadline_expired());
+    }
+
+    #[test]
+    fn unrepresentable_deadline_saturates_and_stays_supervised() {
+        // `Instant::now() + Duration::MAX` is unrepresentable on every
+        // real platform; the token must pin a far-future deadline rather
+        // than silently dropping it.
+        let t = CancelToken::with_deadline(Duration::MAX);
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_expired(), "far future must not read expired");
+        // Supervision stays active: explicit cancellation still works...
+        t.cancel();
+        assert!(t.is_cancelled());
+        // ...and so does an ancestor deadline through such a child.
+        let root = CancelToken::with_deadline(Duration::from_millis(5));
+        let child = root.child_with_deadline(Duration::MAX);
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(
+            child.is_cancelled() && child.deadline_expired(),
+            "ancestor deadline must reach an overflow-saturated child"
+        );
     }
 
     #[test]

@@ -55,6 +55,18 @@ pub struct CountersSnapshot {
 }
 
 impl CountersSnapshot {
+    /// Folds this snapshot into a [`MetricsRegistry`] under `exec.*`
+    /// names — the pool's slice of the unified counter namespace.
+    pub fn record_into(&self, metrics: &tnet_obs::MetricsRegistry) {
+        metrics.add("exec.tasks", self.tasks);
+        metrics.add("exec.chunks", self.chunks);
+        metrics.add("exec.regions", self.regions);
+        metrics.add("exec.cancelled_regions", self.cancelled_regions);
+        metrics.add("exec.region_nanos", self.region_nanos);
+        metrics.add("exec.busy_nanos", self.busy_nanos);
+        metrics.add("exec.idle_nanos", self.idle_nanos);
+    }
+
     /// Fraction of worker wall time spent in user work, in `[0, 1]`.
     pub fn utilization(&self) -> f64 {
         let total = self.busy_nanos + self.idle_nanos;

@@ -28,7 +28,11 @@
 //!   miner hot paths (`TNET_FAILPOINTS=site=panic|delay:ms|err`) so
 //!   degradation paths are deterministically testable.
 //! * **Observability** — per-pool [`PoolCounters`] record tasks run,
-//!   chunks claimed, and busy vs idle nanoseconds across regions.
+//!   chunks claimed, and busy vs idle nanoseconds across regions, and
+//!   every handle carries a `tnet-obs` context ([`Exec::with_obs`]): a
+//!   tracing [`Span`] that phase timers nest under and a
+//!   [`MetricsRegistry`] that run stats fold into. Both are inert
+//!   no-ops until a caller attaches them (e.g. the CLI's `--trace`).
 //!
 //! ```
 //! use tnet_exec::Exec;
@@ -48,3 +52,6 @@ pub use cancel::{CancelToken, Cancelled};
 pub use counters::{CountersSnapshot, PoolCounters};
 pub use pool::Exec;
 pub use threads::Threads;
+// Re-exported so downstream layers can name the observability types
+// without a separate dependency edge.
+pub use tnet_obs::{MetricsRegistry, Span, SpanNode, Tracer};

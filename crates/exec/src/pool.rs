@@ -6,6 +6,7 @@ use crate::threads::Threads;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tnet_obs::{MetricsRegistry, Span};
 
 /// Upper bound on chunks per region. Chunking depends only on input
 /// length — never on thread count — which is the invariant that makes
@@ -36,11 +37,28 @@ fn chunk_bounds(len: usize) -> Vec<(usize, usize)> {
 /// At mining granularity (a chunk is many VF2 calls or many EM rows)
 /// spawn cost is noise; in exchange, borrows into caller stack frames
 /// are safe and worker panics propagate to the caller.
-#[derive(Debug)]
 pub struct Exec {
     threads: usize,
     cancel: CancelToken,
     counters: Arc<PoolCounters>,
+    /// Current tracing span; disabled unless attached via
+    /// [`Exec::with_obs`]/[`Exec::with_span`]. Children inherit it, so a
+    /// miner handed a child handle times its phases under the caller's
+    /// node.
+    span: Span,
+    /// Shared named-counter registry (see [`tnet_obs::MetricsRegistry`]);
+    /// miners fold their run stats into it on completion.
+    metrics: MetricsRegistry,
+}
+
+impl std::fmt::Debug for Exec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Exec")
+            .field("threads", &self.threads)
+            .field("cancel", &self.cancel)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Exec {
@@ -50,6 +68,8 @@ impl Exec {
             threads: threads.max(1),
             cancel: CancelToken::new(),
             counters: Arc::new(PoolCounters::default()),
+            span: Span::disabled(),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -84,6 +104,8 @@ impl Exec {
             threads: threads.max(1),
             cancel: self.cancel.child(),
             counters: Arc::clone(&self.counters),
+            span: self.span.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -96,7 +118,46 @@ impl Exec {
             threads: threads.max(1),
             cancel: self.cancel.child_with_deadline(timeout),
             counters: Arc::clone(&self.counters),
+            span: self.span.clone(),
+            metrics: self.metrics.clone(),
         }
+    }
+
+    /// This handle, attached to an observability context: subsequent
+    /// phase timers land under `span` and run stats fold into `metrics`.
+    /// Same token, thread budget, and pool counters as `self`.
+    pub fn with_obs(&self, span: Span, metrics: MetricsRegistry) -> Exec {
+        Exec {
+            threads: self.threads,
+            cancel: self.cancel.clone(),
+            counters: Arc::clone(&self.counters),
+            span,
+            metrics,
+        }
+    }
+
+    /// This handle with its current span swapped — used by the
+    /// supervisor to scope a section's work under the section's node.
+    /// Same token, thread budget, pool counters, and metrics.
+    pub fn with_span(&self, span: Span) -> Exec {
+        Exec {
+            threads: self.threads,
+            cancel: self.cancel.clone(),
+            counters: Arc::clone(&self.counters),
+            span,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// The tracing span phases on this handle should time under.
+    /// Disabled (no-op) unless an observability context was attached.
+    pub fn span(&self) -> &Span {
+        &self.span
+    }
+
+    /// The shared named-counter registry for run stats.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// This handle's cancellation token.

@@ -45,6 +45,30 @@ pub struct EmbStore {
 /// existence check like any other inexact "no".
 pub const SEED_CAP: usize = 256;
 
+/// Test-only override of [`SEED_CAP`] (0 = use the default). A tiny seed
+/// budget makes spills and the `Grown::Unverified` → scratch
+/// re-verification path reachable on small fixtures, which the
+/// differential tests rely on. Process-global; only tests may set it.
+static SEED_CAP_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// The seed budget in effect: [`SEED_CAP`] unless a test installed an
+/// override via [`set_seed_cap_for_tests`].
+pub fn seed_cap() -> usize {
+    match SEED_CAP_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => SEED_CAP,
+        n => n,
+    }
+}
+
+/// Installs (`n > 0`) or clears (`n = 0`) a process-global seed-cap
+/// override. **Test-only**: never call from production code, and keep
+/// tests that use it in their own process or restore 0 before
+/// asserting on unrelated runs.
+#[doc(hidden)]
+pub fn set_seed_cap_for_tests(n: usize) {
+    SEED_CAP_OVERRIDE.store(n, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Effective exact-list cap for one transaction: a list no longer than
 /// the transaction's edge count costs no more memory than the transaction
 /// itself and no more time than the scratch search's own edge scan, so
@@ -87,17 +111,29 @@ pub fn grow_store(
 ) -> Grown {
     let cap = txn_cap(cap, txn);
     // Exact lists must be enumerated completely (up to the overflow probe
-    // at cap + 1); inexact lists only feed the seed budget.
+    // at cap + 1); inexact lists only feed the seed budget. Saturating:
+    // with `cap == usize::MAX` a `cap + 1` would wrap to 0 in release
+    // builds, break after the first parent, and (without the `complete`
+    // guard below) mark a partial enumeration exact — an undercount.
     let stop_at = if store.exact {
-        cap + 1
+        cap.saturating_add(1)
     } else {
-        SEED_CAP.min(cap)
+        seed_cap().min(cap)
     };
     let mut grown: Vec<Embedding> = Vec::new();
+    // Exactness audit: `extend_embedding` appends *all* of one parent's
+    // children at once, so a break can overshoot `stop_at` but never
+    // stops mid-parent. For an exact parent the break therefore implies
+    // `grown.len() > cap`, which already routes to the spill branch —
+    // but that proof leans on the `stop_at` arithmetic above. `complete`
+    // states the invariant directly: a child list is exact only if every
+    // parent embedding was actually visited.
+    let mut complete = true;
     for pe in &store.embs {
         *extended += 1;
         extend_embedding(txn, pe, ext, &mut grown);
         if (witness_only && !grown.is_empty()) || grown.len() >= stop_at {
+            complete = false;
             break;
         }
     }
@@ -111,7 +147,7 @@ pub fn grow_store(
     if witness_only {
         return Grown::Witnessed { store: None };
     }
-    let child = if store.exact && grown.len() <= cap {
+    let child = if store.exact && complete && grown.len() <= cap {
         EmbStore {
             embs: grown,
             exact: true,
@@ -120,7 +156,7 @@ pub fn grow_store(
         if store.exact {
             *spilled += 1;
         }
-        grown.truncate(SEED_CAP.min(cap));
+        grown.truncate(seed_cap().min(cap));
         EmbStore {
             embs: grown,
             exact: false,
@@ -176,9 +212,124 @@ pub fn level1_store(
             let exact = embs.len() <= cap;
             if !exact {
                 *spilled += 1;
-                embs.truncate(SEED_CAP.min(cap));
+                embs.truncate(seed_cap().min(cap));
             }
             EmbStore { embs, exact }
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_graph::graph::{ELabel, VLabel, VertexId};
+    use tnet_graph::iso::Extension;
+
+    /// Hub transaction: one center (label 0) with `spokes` out-edges
+    /// (label 7) to distinct label-1 vertices. Every embedding of the
+    /// single-edge pattern `0 -[7]-> 1` extends to `spokes - 1` children
+    /// at once under a `NewDst` extension — the multi-append shape the
+    /// `grow_store` break interacts with.
+    fn hub_txn(spokes: usize) -> (Graph, Vec<Embedding>) {
+        let mut g = Graph::new();
+        let center = g.add_vertex(VLabel(0));
+        let mut embs = Vec::new();
+        for _ in 0..spokes {
+            let s = g.add_vertex(VLabel(1));
+            g.add_edge(center, s, ELabel(7));
+            embs.push(Embedding::from_assignment(vec![center, s]));
+        }
+        (g, embs)
+    }
+
+    const EXT: Extension = Extension::NewDst {
+        src: VertexId(0),
+        elabel: ELabel(7),
+        vlabel: VLabel(1),
+    };
+
+    #[test]
+    fn multi_append_overshoot_spills_instead_of_marking_exact() {
+        let (txn, embs) = hub_txn(5);
+        let parent = EmbStore { embs, exact: true };
+        let (mut ext_n, mut spills) = (0, 0);
+        // Effective cap = max(2, edge_count) = 5; first parent appends 4
+        // children, second overshoots stop_at = 6 mid-list. The child
+        // must spill — later parents were never visited.
+        match grow_store(&txn, &parent, &EXT, 2, false, &mut ext_n, &mut spills) {
+            Grown::Witnessed { store: Some(child) } => {
+                assert!(!child.exact, "partial enumeration must not be exact");
+                assert!(child.embs.len() <= 5);
+            }
+            _ => panic!("extensions exist; expected a witnessed child store"),
+        }
+        assert_eq!(spills, 1);
+        assert!(ext_n < 5, "break must stop visiting parents early");
+    }
+
+    #[test]
+    fn unbounded_cap_enumerates_fully_and_stays_exact() {
+        // cap = usize::MAX: the overflow probe `cap + 1` used to wrap to
+        // 0 in release builds (and panic under overflow checks), break
+        // after the first parent, and mark the partial child exact.
+        let (txn, embs) = hub_txn(4);
+        let parent = EmbStore { embs, exact: true };
+        let (mut ext_n, mut spills) = (0, 0);
+        match grow_store(
+            &txn,
+            &parent,
+            &EXT,
+            usize::MAX,
+            false,
+            &mut ext_n,
+            &mut spills,
+        ) {
+            Grown::Witnessed { store: Some(child) } => {
+                assert!(child.exact);
+                assert_eq!(
+                    child.embs.len(),
+                    4 * 3,
+                    "every parent contributes spokes - 1 children"
+                );
+            }
+            _ => panic!("expected a witnessed child store"),
+        }
+        assert_eq!(ext_n, 4, "all parents visited");
+        assert_eq!(spills, 0);
+    }
+
+    #[test]
+    fn exact_parent_within_cap_keeps_all_children_exact() {
+        let (txn, embs) = hub_txn(3);
+        let parent = EmbStore { embs, exact: true };
+        let (mut ext_n, mut spills) = (0, 0);
+        // 3 parents x 2 children = 6 total; effective cap = max(6, 3).
+        match grow_store(&txn, &parent, &EXT, 6, false, &mut ext_n, &mut spills) {
+            Grown::Witnessed { store: Some(child) } => {
+                assert!(child.exact, "complete enumeration within cap is exact");
+                assert_eq!(child.embs.len(), 6);
+            }
+            _ => panic!("expected a witnessed child store"),
+        }
+        assert_eq!(ext_n, 3);
+        assert_eq!(spills, 0);
+    }
+
+    #[test]
+    fn inexact_parent_with_no_extension_is_unverified() {
+        let (txn, mut embs) = hub_txn(2);
+        embs.truncate(1);
+        let parent = EmbStore { embs, exact: false };
+        let (mut ext_n, mut spills) = (0, 0);
+        // Ask for an extension label absent from the transaction.
+        let ext = Extension::NewDst {
+            src: VertexId(0),
+            elabel: ELabel(99),
+            vlabel: VLabel(1),
+        };
+        match grow_store(&txn, &parent, &ext, 8, false, &mut ext_n, &mut spills) {
+            Grown::Unverified => {}
+            _ => panic!("truncated parent with no hit must stay unverified"),
+        }
+    }
 }

@@ -108,9 +108,16 @@ pub fn mine_with(
     if exec.is_cancelled() {
         return Err(FsgError::Cancelled);
     }
+    // Phase timers live on the sequential control path only (around the
+    // parallel regions, never inside worker closures), which keeps the
+    // span tree's registration order — and thus `--trace` output —
+    // deterministic at any thread count.
+    let span_total = exec.span().time("fsg");
+    let span = span_total.span().clone();
     let min_support = cfg.min_support.resolve(transactions.len());
     let mut stats = MiningStats::default();
     let mut all_frequent: Vec<FrequentPattern> = Vec::new();
+    let level1_timer = span.time("level1");
 
     // Per-transaction edge-label histograms: a candidate needing k edges
     // of label l cannot occur in a transaction with fewer — an O(labels)
@@ -185,12 +192,14 @@ pub fn mine_with(
     vocab.sort_by_key(|v| (v.src, v.label, v.dst));
     vocab.dedup();
     stats.frequent_per_level.push(frequent.len());
+    drop(level1_timer);
 
     // Embedding stores for the current level, parallel to `frequent`
     // (`stores[i][k]` covers `frequent[i].tids[k]`). Only the frontier
     // level is retained; finished levels keep just their TID lists.
     let cap = cfg.embedding_cap;
     let mut stores: Vec<Vec<EmbStore>> = if cap > 0 && cfg.max_edges > 1 {
+        let _t = span.time("embed_seed");
         frequent
             .iter()
             .map(|p| level1_store(p, transactions, cap, &mut stats.embeddings_spilled))
@@ -198,6 +207,10 @@ pub fn mine_with(
     } else {
         Vec::new()
     };
+    // Pre-register the per-level phases so they render in pipeline order
+    // even if a future refactor times them from racing contexts.
+    span.child("candidate_gen");
+    span.child("support_count");
 
     // ---- Levels 2..max ---------------------------------------------------
     let mut level = 1usize;
@@ -209,6 +222,7 @@ pub fn mine_with(
             return Err(FsgError::Cancelled);
         }
         tnet_exec::failpoint::hit("fsg::candidate_gen").map_err(FsgError::Fault)?;
+        let gen_timer = span.time("candidate_gen");
         // Candidate generation with the running memory estimate.
         let mut candidates: IsoClassMap<Vec<usize>> = IsoClassMap::new();
         let mut estimated = 0usize;
@@ -224,6 +238,7 @@ pub fn mine_with(
                     // repetitions, report sections) to stop: the budget
                     // models one machine's memory, not one call's.
                     exec.cancel();
+                    stats.record_into(exec.metrics());
                     return Err(FsgError::MemoryBudgetExceeded {
                         level,
                         estimated_bytes: estimated,
@@ -235,6 +250,8 @@ pub fn mine_with(
         }
         stats.peak_candidate_bytes = stats.peak_candidate_bytes.max(estimated);
         stats.candidates_per_level.push(candidates.len());
+        drop(gen_timer);
+        let support_timer = span.time("support_count");
 
         // Downward closure + support counting.
         // A "frequent index" for closure checks on the previous level.
@@ -418,9 +435,11 @@ pub fn mine_with(
         stats.frequent_per_level.push(next.len());
         all_frequent.extend(std::mem::replace(&mut frequent, next));
         stores = next_stores;
+        drop(support_timer);
     }
     all_frequent.extend(frequent);
     finalize(&mut all_frequent);
+    stats.record_into(exec.metrics());
     Ok(FsgOutput {
         patterns: all_frequent,
         stats,

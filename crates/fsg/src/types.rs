@@ -144,6 +144,24 @@ impl MiningStats {
     pub fn total_frequent(&self) -> usize {
         self.frequent_per_level.iter().sum()
     }
+
+    /// Folds this run's counters into a [`tnet_obs::MetricsRegistry`]
+    /// under `fsg.*` names (the unified namespace; see DESIGN.md §10).
+    /// Totals add; peaks keep their high-water mark.
+    pub fn record_into(&self, metrics: &tnet_obs::MetricsRegistry) {
+        metrics.add("fsg.levels", self.candidates_per_level.len() as u64);
+        metrics.add("fsg.candidates", self.total_candidates() as u64);
+        metrics.add("fsg.frequent", self.total_frequent() as u64);
+        metrics.add("fsg.closure_pruned", self.closure_pruned as u64);
+        metrics.add("fsg.iso_tests", self.iso_tests as u64);
+        metrics.add("fsg.embeddings_extended", self.embeddings_extended as u64);
+        metrics.add("fsg.embeddings_spilled", self.embeddings_spilled as u64);
+        metrics.add(
+            "fsg.tid_intersection_skips",
+            self.tid_intersection_skips as u64,
+        );
+        metrics.record_max("fsg.peak_candidate_bytes", self.peak_candidate_bytes as u64);
+    }
 }
 
 /// Successful mining output.

@@ -123,6 +123,21 @@ pub struct GspanStats {
     pub embeddings_spilled: usize,
 }
 
+impl GspanStats {
+    /// Folds this run's counters into a [`tnet_obs::MetricsRegistry`]
+    /// under `gspan.*` names (the unified namespace; see DESIGN.md §10).
+    /// Totals add; peaks keep their high-water mark.
+    pub fn record_into(&self, metrics: &tnet_obs::MetricsRegistry) {
+        metrics.add("gspan.counted", self.counted as u64);
+        metrics.add("gspan.dedup_hits", self.dedup_hits as u64);
+        metrics.add("gspan.iso_tests", self.iso_tests as u64);
+        metrics.add("gspan.embeddings_extended", self.embeddings_extended as u64);
+        metrics.add("gspan.embeddings_spilled", self.embeddings_spilled as u64);
+        metrics.record_max("gspan.max_depth", self.max_depth as u64);
+        metrics.record_max("gspan.peak_live_bytes", self.peak_live_bytes as u64);
+    }
+}
+
 /// Estimated heap bytes for one materialized pattern: mirrors
 /// `tnet-fsg`'s per-candidate model so budgets mean the same thing to
 /// both miners.
@@ -171,9 +186,15 @@ pub fn mine_dfs_with(
     if exec.is_cancelled() {
         return Err(GspanError::Cancelled);
     }
+    // Phase timers stay on the sequential DFS control path (the walk is
+    // serial; only support counting fans out), so span registration
+    // order — and `--trace` output — is thread-count independent.
+    let span_total = exec.span().time("gspan");
+    let span = span_total.span().clone();
     let min_support = cfg.min_support.resolve(transactions.len());
     let stats = GspanStats::default();
 
+    let level1_timer = span.time("level1");
     // Frequent single edges (shared logic with FSG's level 1).
     let mut level1: FxHashMap<(u32, u32, u32, bool), Vec<u32>> = FxHashMap::default();
     let mut seen: FxHashSet<(u32, u32, u32, bool)> = FxHashSet::default();
@@ -215,8 +236,12 @@ pub fn mine_dfs_with(
     }
     vocab.sort_by_key(|v| (v.src, v.label, v.dst));
     vocab.dedup();
+    drop(level1_timer);
+    span.child("extend");
+    span.child("support_count");
 
     let mut walk = Walk {
+        span: &span,
         transactions,
         vocab: &vocab,
         min_support,
@@ -253,6 +278,7 @@ pub fn mine_dfs_with(
             .cmp(&a.support)
             .then(b.graph.edge_count().cmp(&a.graph.edge_count()))
     });
+    stats.record_into(exec.metrics());
     Ok(GspanOutput {
         patterns: results,
         stats,
@@ -263,6 +289,9 @@ pub fn mine_dfs_with(
 /// accumulated results, and the running live-bytes estimate the memory
 /// budget is enforced against.
 struct Walk<'a> {
+    /// The miner's span node; `grow` times its extend / support phases
+    /// under it.
+    span: &'a tnet_obs::Span,
     transactions: &'a [Graph],
     vocab: &'a [EdgeVocab],
     min_support: usize,
@@ -310,7 +339,10 @@ impl Walk<'_> {
         let propagate = self.embedding_cap > 0 && parent_stores.len() == parent.tids.len();
         // One parent's extensions — the only candidate buffer ever held.
         let mut extensions: IsoClassMap<Vec<usize>> = IsoClassMap::new();
-        extend_pattern(&parent.graph, self.vocab, 0, &mut extensions);
+        {
+            let _t = self.span.time("extend");
+            extend_pattern(&parent.graph, self.vocab, 0, &mut extensions);
+        }
         for (candidate, _) in extensions.into_iter_pairs() {
             if self.exec.is_cancelled() {
                 return Err(GspanError::Cancelled);
@@ -320,6 +352,7 @@ impl Walk<'_> {
                 continue;
             }
             self.visited.insert(candidate.clone(), ());
+            let support_timer = self.span.time("support_count");
             let (tids, child_stores) = if propagate {
                 // The iso-class representative is the first graph
                 // inserted for the class: the parent plus one appended
@@ -402,6 +435,9 @@ impl Walk<'_> {
                 (tids, Vec::new())
             };
             self.stats.counted += 1;
+            // Dropped before recursing: a nested grow's phases must not
+            // double-count inside this candidate's support time.
+            drop(support_timer);
             if tids.len() >= self.min_support {
                 let fp = FrequentPattern {
                     support: tids.len(),

@@ -1,0 +1,322 @@
+//! Span trees: scoped RAII wall-clock timers with labels.
+//!
+//! A [`Tracer`] owns a tree of labelled nodes; a [`Span`] is a cheap
+//! handle onto one node. Timing is RAII: [`Span::time`] (or
+//! [`Span::timer`]) returns a [`Timed`] guard that, on drop, folds the
+//! elapsed wall time and a hit count into the node. Repeated visits to
+//! the same `(parent, label)` pair aggregate into one node, so a phase
+//! timed once per level shows up as a single line with `xN` calls.
+//!
+//! Nodes are keyed by `(parent, label)` and rendered in **registration
+//! order**. To keep output deterministic across thread counts, spans
+//! must be registered from sequential control flow (phase timers wrap
+//! parallel regions, they do not run inside worker closures); code that
+//! times inside a parallel fan-out pre-registers the labels sequentially
+//! first ([`Span::child`] registers without timing).
+//!
+//! A disabled span (the default on every [`tnet-exec`]-style handle) is
+//! a `None`: `child`/`time` are a single branch, no clock read, no
+//! allocation, no lock — the cost of tracing when no `--trace` flag is
+//! passed is one predictable-not-taken branch per phase boundary.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Node {
+    label: String,
+    children: Vec<usize>,
+    nanos: u64,
+    count: u64,
+}
+
+struct Inner {
+    nodes: Mutex<Vec<Node>>,
+}
+
+/// Owner of a span tree. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Tracer {
+    /// Creates a tracer whose root node carries `root_label`.
+    pub fn new(root_label: &str) -> Tracer {
+        Tracer {
+            inner: Arc::new(Inner {
+                nodes: Mutex::new(vec![Node {
+                    label: root_label.to_string(),
+                    children: Vec::new(),
+                    nanos: 0,
+                    count: 0,
+                }]),
+            }),
+        }
+    }
+
+    /// The root span (node 0).
+    pub fn root(&self) -> Span {
+        Span {
+            inner: Some((Arc::clone(&self.inner), 0)),
+        }
+    }
+
+    /// Deep-copies the current tree for rendering or export.
+    pub fn snapshot(&self) -> SpanNode {
+        let nodes = self.inner.nodes.lock().unwrap();
+        fn build(nodes: &[Node], at: usize) -> SpanNode {
+            SpanNode {
+                label: nodes[at].label.clone(),
+                nanos: nodes[at].nanos,
+                count: nodes[at].count,
+                children: nodes[at]
+                    .children
+                    .iter()
+                    .map(|&c| build(nodes, c))
+                    .collect(),
+            }
+        }
+        build(&nodes, 0)
+    }
+}
+
+/// Handle onto one node of a [`Tracer`]'s tree, or a disabled no-op.
+#[derive(Clone, Default)]
+pub struct Span {
+    inner: Option<(Arc<Inner>, usize)>,
+}
+
+impl Span {
+    /// A span that records nothing. `child`/`time` on it are a single
+    /// branch; no clock is read and nothing allocates.
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// Whether this span records into a live tracer.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Returns (registering if needed) the child node `label`. Use from
+    /// sequential code to pin registration order before a parallel
+    /// region times the same labels.
+    pub fn child(&self, label: &str) -> Span {
+        let Some((inner, at)) = &self.inner else {
+            return Span::disabled();
+        };
+        let mut nodes = inner.nodes.lock().unwrap();
+        let found = nodes[*at]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| nodes[c].label == label);
+        let id = found.unwrap_or_else(|| {
+            let id = nodes.len();
+            nodes.push(Node {
+                label: label.to_string(),
+                children: Vec::new(),
+                nanos: 0,
+                count: 0,
+            });
+            let at = *at;
+            nodes[at].children.push(id);
+            id
+        });
+        Span {
+            inner: Some((Arc::clone(inner), id)),
+        }
+    }
+
+    /// RAII-times the child node `label` until the guard drops.
+    pub fn time(&self, label: &str) -> Timed {
+        self.child(label).timer()
+    }
+
+    /// RAII-times **this** node until the guard drops.
+    pub fn timer(&self) -> Timed {
+        Timed {
+            start: self.inner.as_ref().map(|_| Instant::now()),
+            span: self.clone(),
+        }
+    }
+}
+
+/// RAII guard from [`Span::time`]/[`Span::timer`]; folds the elapsed
+/// wall time into its node on drop.
+pub struct Timed {
+    span: Span,
+    start: Option<Instant>,
+}
+
+impl Timed {
+    /// The span being timed — parent for nested phases.
+    pub fn span(&self) -> &Span {
+        &self.span
+    }
+}
+
+impl Drop for Timed {
+    fn drop(&mut self) {
+        let (Some(start), Some((inner, at))) = (self.start, &self.span.inner) else {
+            return;
+        };
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let mut nodes = inner.nodes.lock().unwrap();
+        nodes[*at].nanos += elapsed;
+        nodes[*at].count += 1;
+    }
+}
+
+/// Immutable snapshot of one span-tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    pub label: String,
+    /// Total wall nanoseconds accumulated across all visits.
+    pub nanos: u64,
+    /// Number of completed RAII visits.
+    pub count: u64,
+    /// Children in registration order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// First child with the given label, if any.
+    pub fn find(&self, label: &str) -> Option<&SpanNode> {
+        self.children.iter().find(|c| c.label == label)
+    }
+
+    /// Sum of the direct children's accumulated nanoseconds.
+    pub fn children_nanos(&self) -> u64 {
+        self.children.iter().map(|c| c.nanos).sum()
+    }
+
+    /// Renders the tree as an indented, aligned text report.
+    pub fn render(&self) -> String {
+        fn label_width(n: &SpanNode, depth: usize, acc: &mut usize) {
+            *acc = (*acc).max(2 * depth + n.label.len());
+            for c in &n.children {
+                label_width(c, depth + 1, acc);
+            }
+        }
+        fn line(n: &SpanNode, depth: usize, width: usize, out: &mut String) {
+            let ms = n.nanos as f64 / 1e6;
+            let calls = if n.count > 1 {
+                format!("  x{}", n.count)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{:indent$}{:<pad$}  {:>12.3} ms{}\n",
+                "",
+                n.label,
+                ms,
+                calls,
+                indent = 2 * depth,
+                pad = width - 2 * depth,
+            ));
+            for c in &n.children {
+                line(c, depth + 1, width, out);
+            }
+        }
+        let mut width = 0;
+        label_width(self, 0, &mut width);
+        let mut out = String::new();
+        line(self, 0, width, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn aggregates_repeat_visits_under_one_node() {
+        let t = Tracer::new("root");
+        let root = t.root();
+        for _ in 0..3 {
+            let _g = root.time("phase");
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.label, "root");
+        assert_eq!(snap.children.len(), 1);
+        assert_eq!(snap.children[0].label, "phase");
+        assert_eq!(snap.children[0].count, 3);
+    }
+
+    #[test]
+    fn nested_timers_build_a_tree() {
+        let t = Tracer::new("cmd");
+        {
+            let outer = t.root().time("mine");
+            let _inner = outer.span().time("support");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = t.snapshot();
+        let mine = snap.find("mine").unwrap();
+        let support = mine.find("support").unwrap();
+        assert!(
+            mine.nanos >= support.nanos,
+            "child wall nests inside parent"
+        );
+        assert!(support.nanos > 0);
+    }
+
+    #[test]
+    fn registration_order_is_preserved() {
+        let t = Tracer::new("r");
+        let root = t.root();
+        root.child("b");
+        root.child("a");
+        root.child("b"); // repeat lookup must not re-register
+        let snap = t.snapshot();
+        let labels: Vec<&str> = snap.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["b", "a"]);
+    }
+
+    #[test]
+    fn disabled_span_records_nothing_and_never_panics() {
+        let s = Span::disabled();
+        assert!(!s.is_enabled());
+        let c = s.child("x");
+        assert!(!c.is_enabled());
+        let _g = c.time("y");
+        let _h = s.timer();
+    }
+
+    #[test]
+    fn spans_are_thread_safe() {
+        let t = Tracer::new("r");
+        let span = t.root().child("par");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let span = span.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let _g = span.timer();
+                    }
+                });
+            }
+        });
+        let snap = t.snapshot();
+        assert_eq!(snap.find("par").unwrap().count, 400);
+    }
+
+    #[test]
+    fn render_is_indented_and_aligned() {
+        let t = Tracer::new("root");
+        {
+            let g = t.root().time("alpha");
+            let _h = g.span().time("beta");
+        }
+        let text = t.snapshot().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("root"));
+        assert!(lines[1].starts_with("  alpha"));
+        assert!(lines[2].starts_with("    beta"));
+        assert!(lines[1].contains(" ms"));
+    }
+}

@@ -61,9 +61,16 @@ pub fn mine_single_graph(
     let outer = exec.threads().min(m);
     let inner = (exec.threads() / outer).max(1);
     let reps: Vec<u64> = (0..m as u64).collect();
+    // Pre-register the partition span before the fan-out: repetitions
+    // run concurrently, and first-touch registration inside the pool
+    // would make the rendered span-tree order depend on scheduling.
+    exec.span().child("partition");
     let per_rep: Vec<Vec<(Graph, usize)>> = exec.par_map(&reps, |&i| {
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, i));
-        let transactions = split_graph(g, k, strategy, &mut rng);
+        let transactions = {
+            let _t = exec.span().time("partition");
+            split_graph(g, k, strategy, &mut rng)
+        };
         mine(&transactions, &exec.child_with_threads(inner))
     });
     let mut acc: IsoClassMap<(usize, usize)> = IsoClassMap::new();

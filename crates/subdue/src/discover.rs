@@ -148,6 +148,13 @@ pub fn discover_with(
 ) -> Result<SubdueOutput, SubdueError> {
     assert!(cfg.beam_width > 0 && cfg.max_best > 0);
     let start = Instant::now();
+    // Phase timers stay on the sequential beam loop (children are scored
+    // in parallel, but the timers wrap the region), so span registration
+    // order — and `--trace` output — is thread-count independent.
+    let span_total = exec.span().time("subdue");
+    let span = span_total.span().clone();
+    span.child("expand");
+    span.child("beam_eval");
     let ctx = GraphContext::of(g);
     // SUBDUE's default expansion budget: half the input size.
     let limit = cfg.limit.unwrap_or_else(|| (g.size() / 2).max(8));
@@ -176,7 +183,10 @@ pub fn discover_with(
             continue;
         }
         expanded += 1;
-        let children = expand_counted(g, &parent, &mut stats);
+        let children = {
+            let _t = span.time("expand");
+            expand_counted(g, &parent, &mut stats)
+        };
         if let Some(budget) = cfg.memory_budget {
             let held: usize = children.iter().map(substructure_bytes).sum();
             let estimated_bytes = resident + held;
@@ -194,6 +204,7 @@ pub fn discover_with(
         // Score children in parallel (disjoint-instance counting and MDL
         // evaluation dominate the cost), then fold them into the beam and
         // best list sequentially in expansion order.
+        let eval_timer = span.time("beam_eval");
         let scores = exec.par_map(&children, |child| {
             if child.disjoint_count() < cfg.min_instances {
                 None
@@ -201,6 +212,7 @@ pub fn discover_with(
                 Some(evaluate(cfg.eval, &ctx, child))
             }
         });
+        drop(eval_timer);
         for (mut child, score) in children.into_iter().zip(scores) {
             evaluated += 1;
             let Some(value) = score else { continue };
@@ -216,6 +228,9 @@ pub fn discover_with(
         }
     }
 
+    stats.record_into(exec.metrics());
+    exec.metrics().add("subdue.expanded", expanded as u64);
+    exec.metrics().add("subdue.evaluated", evaluated as u64);
     Ok(SubdueOutput {
         best,
         expanded,

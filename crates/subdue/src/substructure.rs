@@ -267,6 +267,19 @@ pub struct SubdueStats {
     pub patterns_derived: usize,
 }
 
+impl SubdueStats {
+    /// Folds this run's counters into a [`tnet_obs::MetricsRegistry`]
+    /// under `subdue.*` names (the unified namespace; see DESIGN.md §10).
+    pub fn record_into(&self, metrics: &tnet_obs::MetricsRegistry) {
+        metrics.add(
+            "subdue.embeddings_extended",
+            self.embeddings_extended as u64,
+        );
+        metrics.add("subdue.embeddings_spilled", self.embeddings_spilled as u64);
+        metrics.add("subdue.patterns_derived", self.patterns_derived as u64);
+    }
+}
+
 /// Expands a substructure: every instance is grown by every adjacent
 /// unused edge; the grown instances are regrouped by pattern isomorphism
 /// class. Instances identical as vertex/edge sets are deduplicated;

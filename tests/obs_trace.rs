@@ -1,0 +1,72 @@
+//! Tracing integration: a supervised report run under a live tracer
+//! yields a span tree with one node per section, registered in report
+//! order regardless of thread count, with every section's wall clock
+//! nested inside the root total — and a metrics registry that absorbed
+//! the counters of every layer that ran (exec pool, FSG, SUBDUE).
+
+use tnet_core::pipeline::Pipeline;
+use tnet_core::supervisor::SupervisorConfig;
+use tnet_exec::{Exec, MetricsRegistry, SpanNode, Tracer};
+
+const SCALE: f64 = 0.008;
+
+fn traced_report(threads: usize) -> (SpanNode, MetricsRegistry) {
+    let tracer = Tracer::new("report");
+    let registry = MetricsRegistry::new();
+    let exec = Exec::new(threads).with_obs(tracer.root(), registry.clone());
+    let p = Pipeline::synthetic(SCALE, 42);
+    let outcome = {
+        let _total = exec.span().timer();
+        p.full_report_supervised(SCALE, 42, &exec, &SupervisorConfig::default())
+    };
+    assert_eq!(outcome.failed, 0, "healthy run: {}", outcome.text);
+    exec.counters().record_into(&registry);
+    (tracer.snapshot(), registry)
+}
+
+#[test]
+fn sections_appear_in_report_order_and_nest_inside_the_total() {
+    let (snap, registry) = traced_report(4);
+    let labels: Vec<&str> = snap.children.iter().map(|c| c.label.as_str()).collect();
+    assert_eq!(
+        labels.first(),
+        Some(&"E1: dataset description"),
+        "{labels:?}"
+    );
+    assert!(
+        labels.contains(&"E14/15: EM clustering"),
+        "missing the last section: {labels:?}"
+    );
+    assert!(snap.nanos > 0, "root timer recorded the total wall");
+    for section in &snap.children {
+        assert!(
+            section.nanos <= snap.nanos,
+            "section `{}` ({} ns) outlasted the whole run ({} ns)",
+            section.label,
+            section.nanos,
+            snap.nanos
+        );
+        assert_eq!(section.count, 1, "`{}` ran once, no retries", section.label);
+    }
+    // One registry spans every layer that ran.
+    for counter in ["exec.tasks", "fsg.iso_tests", "subdue.embeddings_extended"] {
+        assert!(registry.get(counter) > 0, "{counter} never recorded");
+    }
+}
+
+#[test]
+fn span_tree_order_is_identical_across_thread_counts() {
+    fn label_tree(n: &SpanNode, out: &mut Vec<String>, depth: usize) {
+        out.push(format!("{}{}", "  ".repeat(depth), n.label));
+        for c in &n.children {
+            label_tree(c, out, depth + 1);
+        }
+    }
+    let mut baseline = Vec::new();
+    label_tree(&traced_report(1).0, &mut baseline, 0);
+    for threads in [2usize, 8] {
+        let mut run = Vec::new();
+        label_tree(&traced_report(threads).0, &mut run, 0);
+        assert_eq!(run, baseline, "span tree diverged at {threads} threads");
+    }
+}

@@ -208,6 +208,40 @@ fn budget_abort_triggers_degraded_retry() {
 }
 
 #[test]
+fn nan_csv_fails_one_section_and_the_report_completes() {
+    let _g = ArmGuard::unarmed();
+    // A section whose input is a NaN-bearing CSV: ingest rejects it with
+    // a typed error carrying the 1-based line number — never a panic —
+    // and supervision turns that into one failed section while the rest
+    // of the report keeps running.
+    let csv = format!(
+        "{}\n1,0,1,44.5,-88.0,41.9,-87.6,200,NaN,8,TL\n",
+        tnet_data::csv::HEADER
+    );
+    let exec = Exec::new(2);
+    let cfg = SupervisorConfig::default();
+    let bad = run_section("nan ingest", &cfg, &exec, 1, &|_: &SectionCtx| {
+        let txns = tnet_data::csv::read_csv(csv.as_bytes())?;
+        Ok(format!("{} transactions\n", txns.len()))
+    });
+    assert_eq!(bad.status, SectionStatus::Failed, "text: {}", bad.text);
+    assert!(bad.text.contains("!! section failed"), "{}", bad.text);
+    assert!(
+        bad.text.contains("line 2"),
+        "line number lost: {}",
+        bad.text
+    );
+    assert!(bad.text.contains("non-finite"), "{}", bad.text);
+    // A malformed-data failure is not retryable: no degraded retry ran.
+    assert!(!bad.text.contains("degraded"), "{}", bad.text);
+    // The report around it is unaffected.
+    let ok = run_section("healthy", &cfg, &exec, 1, &|_: &SectionCtx| {
+        Ok("fine\n".to_string())
+    });
+    assert_eq!(ok.status, SectionStatus::Ok);
+}
+
+#[test]
 fn csv_ingest_failpoint_rejects_with_line_number() {
     let _g = ArmGuard::arm("csv::ingest=err");
     let mut buf = Vec::new();
