@@ -72,13 +72,25 @@ echo "-- unarmed control"
 out=$("$TNET" "${REPORT_ARGS[@]}")
 grep -q '^sections: 12 ok, 0 degraded, 0 failed$' <<<"$out"
 
+echo "== frozen-vs-arena differential: miners agree across representations"
+# FSG, gSpan, and SUBDUE mined through the frozen-CSR snapshot must match
+# the arena path byte-for-byte (patterns, supports, TIDs, instance ids).
+cargo test -q -p tnet-core --offline --test determinism \
+    frozen_and_arena_miners_agree
+
 echo "== trace smoke: --trace-json round-trips through the schema parser"
 TRACE_OUT=/tmp/tnet_ci_trace.json
 "$TNET" mine --scale 0.01 --partitions 4 --support 3 --max-edges 3 \
-    --reps 1 --trace --trace-json "$TRACE_OUT" > /tmp/tnet_ci_trace.out
+    --reps 1 --verbose true --trace --trace-json "$TRACE_OUT" \
+    > /tmp/tnet_ci_trace.out
 grep -q '^--- trace' /tmp/tnet_ci_trace.out
 grep -q 'fsg' /tmp/tnet_ci_trace.out
 grep -q 'fsg.iso_tests' /tmp/tnet_ci_trace.out
+# The frozen-graph counters flow into both the verbose summary and the
+# unified metrics namespace.
+grep -q '^frozen graphs:' /tmp/tnet_ci_trace.out
+grep -q 'graph.freeze_count' /tmp/tnet_ci_trace.out
+grep -q 'graph.csr_bytes' /tmp/tnet_ci_trace.out
 rm -f /tmp/tnet_ci_trace.out
 
 echo "== bench smoke: miner report emits valid JSON, iso_tests under gate"

@@ -35,7 +35,8 @@ use tnet_core::pipeline::Pipeline;
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{EdgeLabeling, VertexLabeling};
 use tnet_exec::{Exec, MetricsRegistry, Span, Tracer};
-use tnet_fsg::{mine, mine_with, FsgConfig, Support};
+use tnet_fsg::{mine, mine_arena_with, mine_source, mine_with, FsgConfig, Support};
+use tnet_graph::frozen::{FrozenStats, TxnSet};
 use tnet_graph::graph::Graph;
 use tnet_graph::rng::StdRng;
 use tnet_gspan::{mine_dfs, mine_dfs_with, GspanConfig};
@@ -47,6 +48,13 @@ use tnet_subdue::{discover, discover_with, SubdueConfig};
 /// propagation measures 20. The gate sits at a 5x drop so genuine
 /// regressions trip it while leaving headroom for benign drift.
 const FSG_DEFAULT_ISO_GATE: usize = 116;
+
+/// `--validate` gate on the support-count microbench: frozen-CSR
+/// traversal must stay within this factor of the arena path (best of N
+/// in the same process, so the ratio is far less noisy than absolute
+/// wall clock; the headroom absorbs shared-host jitter while still
+/// catching a representation-level slowdown).
+const SUPPORT_COUNT_RATIO_GATE: f64 = 1.5;
 
 /// Pre-propagation baselines recorded on the development host (best of
 /// three) just before the embedding-list change landed. Kept in the
@@ -245,6 +253,61 @@ fn subdue_row(scale: f64, seed: u64, vertices: usize, samples: usize) -> Json {
     ])
 }
 
+/// Support-count microbench: the same FSG workload mined through the
+/// frozen-CSR [`TxnSet`] and directly over the arena graphs. The TxnSet
+/// is packed once outside the timed region, so the row isolates
+/// traversal cost (candidate lookup + embedding extension); `freeze_ms`
+/// reports the one-off packing cost separately. The two paths must mine
+/// identical pattern sets — support counting is representation-blind.
+fn support_count_row(
+    name: &str,
+    txns: &[Graph],
+    support: usize,
+    max_edges: usize,
+    samples: usize,
+) -> Json {
+    let cfg = FsgConfig::default()
+        .with_support(Support::Count(support))
+        .with_max_edges(max_edges);
+    let exec = Exec::new(1);
+    let freeze_before = FrozenStats::snapshot();
+    let freeze_start = Instant::now();
+    let frozen = TxnSet::freeze(txns);
+    let freeze_ms = freeze_start.elapsed().as_secs_f64() * 1e3;
+    let freeze_stats = FrozenStats::snapshot().since(&freeze_before);
+    let tf = bench(&format!("support_count/{name}/frozen"), samples, || {
+        mine_source(&frozen, &cfg, &exec).unwrap()
+    });
+    let mine_before = FrozenStats::snapshot();
+    let out_f = mine_source(&frozen, &cfg, &exec).unwrap();
+    let searches = FrozenStats::snapshot()
+        .since(&mine_before)
+        .adj_binary_searches;
+    let ta = bench(&format!("support_count/{name}/arena"), samples, || {
+        mine_arena_with(txns, &cfg, &exec).unwrap()
+    });
+    let out_a = mine_arena_with(txns, &cfg, &exec).unwrap();
+    assert_eq!(
+        out_f.patterns.len(),
+        out_a.patterns.len(),
+        "frozen and arena support counting must mine the same pattern set"
+    );
+    Json::obj([
+        ("workload", Json::Str(name.into())),
+        ("wall_ms_frozen", Json::Num(tf.best_ms())),
+        ("wall_ms_arena", Json::Num(ta.best_ms())),
+        (
+            "frozen_over_arena",
+            Json::Num(tf.best_ms() / ta.best_ms().max(1e-9)),
+        ),
+        ("freeze_ms", Json::Num(freeze_ms)),
+        ("freeze_count", Json::Num(freeze_stats.freeze_count as f64)),
+        ("csr_bytes", Json::Num(freeze_stats.csr_bytes as f64)),
+        ("adj_binary_searches", Json::Num(searches as f64)),
+        ("patterns", Json::Num(out_f.patterns.len() as f64)),
+    ])
+}
+
 /// One extra, untimed pass over every miner with a live tracer and
 /// registry attached: the per-phase wall breakdown and the unified
 /// counter namespace embedded in the report as a `tnet-trace/v1` block.
@@ -264,6 +327,7 @@ fn traced_block(default_txns: &[Graph], subdue_graph: &Graph) -> Json {
         max_size: 10,
         ..Default::default()
     };
+    let frozen_before = FrozenStats::snapshot();
     {
         let _total = exec.span().timer();
         mine_with(default_txns, &fsg_cfg, &exec).expect("traced fsg run");
@@ -271,6 +335,9 @@ fn traced_block(default_txns: &[Graph], subdue_graph: &Graph) -> Json {
         discover_with(subdue_graph, &subdue_cfg, &exec).expect("traced subdue run");
     }
     exec.counters().record_into(&registry);
+    FrozenStats::snapshot()
+        .since(&frozen_before)
+        .publish(&mut |name, v| registry.add(name, v));
     obs_json::trace_to_json(&tracer.snapshot(), &registry.snapshot())
 }
 
@@ -302,7 +369,34 @@ fn validate(path: &str) -> Result<(), String> {
     }
     let trace = doc.get("trace").ok_or("report has no 'trace' block")?;
     obs_json::validate_trace(trace).map_err(|e| format!("trace block: {e}"))?;
-    println!("{path}: valid, all three miners and trace block present");
+    // Frozen-graph counters must flow through the unified namespace.
+    let metrics = trace.get("metrics").ok_or("trace block has no 'metrics'")?;
+    for key in [
+        "graph.freeze_count",
+        "graph.csr_bytes",
+        "graph.adj_binary_searches",
+    ] {
+        if metrics.get(key).is_none() {
+            return Err(format!("trace metrics missing '{key}'"));
+        }
+    }
+    let sc = doc
+        .get("support_count")
+        .ok_or("report has no 'support_count' block")?;
+    let ratio = match sc.get("frozen_over_arena") {
+        Some(Json::Num(r)) => *r,
+        _ => return Err("support_count has no 'frozen_over_arena' number".into()),
+    };
+    if ratio > SUPPORT_COUNT_RATIO_GATE {
+        return Err(format!(
+            "REGRESSION — frozen support counting is {ratio:.2}x arena, \
+             gate is {SUPPORT_COUNT_RATIO_GATE}"
+        ));
+    }
+    println!(
+        "{path}: valid, all three miners, trace block with graph.* counters, \
+         and support_count block present (frozen/arena = {ratio:.2})"
+    );
     Ok(())
 }
 
@@ -353,6 +447,7 @@ fn main() -> ExitCode {
         fsg_rows.push(fsg_row("large_txn", &large_txns, 4, 4, samples).0);
     }
     let gspan_rows = vec![gspan_row("default", &default_txns, 4, 4, samples)];
+    let support_count = support_count_row("default", &default_txns, 4, 4, samples);
     let subdue_vertices = if opts.smoke { 25 } else { 50 };
     let subdue_rows = vec![subdue_row(0.015, opts.seed, subdue_vertices, samples)];
 
@@ -375,6 +470,7 @@ fn main() -> ExitCode {
         ("seed", Json::Num(opts.seed as f64)),
         ("smoke", Json::Bool(opts.smoke)),
         ("trace", trace),
+        ("support_count", support_count),
         ("disabled_span_ns_per_op", Json::Num(disabled_ns)),
         (
             "miners",

@@ -10,6 +10,7 @@ use tnet_core::patterns::{classify, interestingness};
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{build_od_graph, VertexLabeling};
 use tnet_fsg::{mine_with, FsgConfig, Support};
+use tnet_graph::frozen::FrozenStats;
 use tnet_partition::single_graph::mine_single_graph;
 use tnet_partition::split::Strategy;
 
@@ -85,6 +86,9 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let embeddings_extended = AtomicUsize::new(0);
     let embeddings_spilled = AtomicUsize::new(0);
     let tid_skips = AtomicUsize::new(0);
+    // Frozen-graph counters are process-global; the delta around the
+    // mining call isolates this command's freezes and CSR lookups.
+    let frozen_before = FrozenStats::snapshot();
     let mut patterns =
         mine_single_graph(
             &g,
@@ -107,6 +111,10 @@ pub fn run(args: &Args) -> Result<(), CliError> {
                 Err(_) => Vec::new(),
             },
         );
+    let frozen_delta = FrozenStats::snapshot().since(&frozen_before);
+    if let Some(o) = &obs {
+        frozen_delta.publish(&mut |name, v| o.registry().add(name, v));
+    }
     println!(
         "{} frequent patterns ({} partitioning, {} partitions, support {support})",
         patterns.len(),
@@ -121,6 +129,10 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             embeddings_extended.load(Ordering::Relaxed),
             embeddings_spilled.load(Ordering::Relaxed),
             tid_skips.load(Ordering::Relaxed),
+        );
+        println!(
+            "frozen graphs: {} freezes, {} CSR bytes, {} adjacency binary searches",
+            frozen_delta.freeze_count, frozen_delta.csr_bytes, frozen_delta.adj_binary_searches,
         );
     }
     if maximal {

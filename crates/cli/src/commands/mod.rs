@@ -49,6 +49,12 @@ impl ObsContext {
         exec.with_obs(self.tracer.root(), self.registry.clone())
     }
 
+    /// The command's metrics registry, for publishing counters that live
+    /// outside the exec pool (e.g. `graph.*` frozen-snapshot stats).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
     /// Folds the pool counters into the registry, prints the span tree
     /// and counter table to stdout, and writes the `tnet-trace/v1` JSON
     /// document when `--trace-json` was given. Call after the command's

@@ -17,8 +17,8 @@
 //! [`Matcher::find_unpruned`]: tnet_graph::iso::Matcher::find_unpruned
 
 use crate::types::FrequentPattern;
-use tnet_graph::graph::Graph;
 use tnet_graph::iso::{extend_embedding, Embedding, Extension};
+use tnet_graph::view::{GraphView, TxnSource};
 
 /// Per-(pattern, transaction) embedding list.
 pub struct EmbStore {
@@ -74,7 +74,7 @@ pub fn set_seed_cap_for_tests(n: usize) {
 /// itself and no more time than the scratch search's own edge scan, so
 /// large transactions (where scratch VF2 is at its most expensive) earn a
 /// proportionally larger exactness budget.
-pub fn txn_cap(cap: usize, txn: &Graph) -> usize {
+pub fn txn_cap<G: GraphView>(cap: usize, txn: &G) -> usize {
     cap.max(txn.edge_count())
 }
 
@@ -100,8 +100,8 @@ pub enum Grown {
 /// first extension and returns no child store — the terminal-depth case
 /// where no descendant will consume it. `extended` and `spilled` count
 /// parent embeddings visited and child lists truncated, for stats.
-pub fn grow_store(
-    txn: &Graph,
+pub fn grow_store<G: GraphView>(
+    txn: &G,
     store: &EmbStore,
     ext: &Extension,
     cap: usize,
@@ -168,9 +168,9 @@ pub fn grow_store(
 /// Enumerates all embeddings of a frequent single-edge pattern in each of
 /// its supporting transactions, truncating lists that overflow the
 /// effective cap. The returned stores align with `p.tids`.
-pub fn level1_store(
+pub fn level1_store<T: TxnSource + ?Sized>(
     p: &FrequentPattern,
-    transactions: &[Graph],
+    transactions: &T,
     cap: usize,
     spilled: &mut usize,
 ) -> Vec<EmbStore> {
@@ -182,8 +182,8 @@ pub fn level1_store(
     p.tids
         .iter()
         .map(|&tid| {
-            let t = &transactions[tid as usize];
-            let cap = txn_cap(cap, t);
+            let t = transactions.txn(tid as usize);
+            let cap = txn_cap(cap, &t);
             let mut embs: Vec<Embedding> = Vec::new();
             for te in t.edges() {
                 let (ts, td, tl) = t.edge(te);
@@ -222,7 +222,7 @@ pub fn level1_store(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tnet_graph::graph::{ELabel, VLabel, VertexId};
+    use tnet_graph::graph::{ELabel, Graph, VLabel, VertexId};
     use tnet_graph::iso::Extension;
 
     /// Hub transaction: one center (label 0) with `spokes` out-edges

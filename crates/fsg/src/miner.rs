@@ -17,9 +17,11 @@ use crate::extend::{closure_sub_patterns, extend_pattern, EdgeVocab};
 use crate::types::{FrequentPattern, FsgConfig, FsgError, FsgOutput, MiningStats};
 use tnet_exec::Exec;
 use tnet_graph::canon::IsoClassMap;
+use tnet_graph::frozen::TxnSet;
 use tnet_graph::graph::{ELabel, Graph, VLabel};
 use tnet_graph::hash::{FxHashMap, FxHashSet};
 use tnet_graph::iso::{derive_extension, Matcher};
+use tnet_graph::view::{GraphView, TxnSource};
 
 /// Per-candidate memory estimate: arena storage for a small pattern graph
 /// (each vertex carries two adjacency `Vec`s plus their heap blocks),
@@ -90,9 +92,14 @@ pub fn mine(transactions: &[Graph], cfg: &FsgConfig) -> Result<FsgOutput, FsgErr
 
 /// Mines all frequent connected subgraphs of `transactions`, evaluating
 /// each level's candidates (closure check + VF2 support counting) across
-/// `exec`'s workers. Candidate generation and result folding stay
-/// sequential and in candidate order, so the output is byte-identical at
-/// any thread count.
+/// `exec`'s workers.
+///
+/// Freezes the transactions into a [`TxnSet`] (contiguous CSR arenas with
+/// label-sorted adjacency) before mining — support counting then
+/// binary-searches candidate edges instead of scanning adjacency lists.
+/// The frozen snapshot preserves the builder's iteration order, so the
+/// output is byte-identical to [`mine_arena_with`] and to itself at any
+/// thread count.
 ///
 /// # Errors
 /// - [`FsgError::MemoryBudgetExceeded`] when a candidate level outgrows
@@ -105,6 +112,33 @@ pub fn mine_with(
     cfg: &FsgConfig,
     exec: &Exec,
 ) -> Result<FsgOutput, FsgError> {
+    let frozen = TxnSet::freeze(transactions);
+    mine_source(&frozen, cfg, exec)
+}
+
+/// As [`mine_with`], but traverses the mutable arena representation
+/// directly instead of freezing a CSR snapshot. Kept for differential
+/// testing and the frozen-vs-arena benchmark; both paths produce
+/// byte-identical output.
+pub fn mine_arena_with(
+    transactions: &[Graph],
+    cfg: &FsgConfig,
+    exec: &Exec,
+) -> Result<FsgOutput, FsgError> {
+    mine_source(transactions, cfg, exec)
+}
+
+/// The representation-generic miner core behind [`mine_with`] (frozen
+/// [`TxnSet`]) and [`mine_arena_with`] (`&[Graph]`). Candidate generation
+/// and result folding stay sequential and in candidate order, and every
+/// [`TxnSource`] yields transactions whose iteration order matches the
+/// builder's, so the output is identical across sources and thread
+/// counts.
+pub fn mine_source<T: TxnSource + ?Sized>(
+    transactions: &T,
+    cfg: &FsgConfig,
+    exec: &Exec,
+) -> Result<FsgOutput, FsgError> {
     if exec.is_cancelled() {
         return Err(FsgError::Cancelled);
     }
@@ -114,7 +148,7 @@ pub fn mine_with(
     // deterministic at any thread count.
     let span_total = exec.span().time("fsg");
     let span = span_total.span().clone();
-    let min_support = cfg.min_support.resolve(transactions.len());
+    let min_support = cfg.min_support.resolve(transactions.txn_count());
     let mut stats = MiningStats::default();
     let mut all_frequent: Vec<FrequentPattern> = Vec::new();
     let level1_timer = span.time("level1");
@@ -123,9 +157,9 @@ pub fn mine_with(
     // of label l cannot occur in a transaction with fewer — an O(labels)
     // rejection that skips most of the expensive negative VF2 searches
     // on uniformly-vertex-labeled transportation graphs.
-    let label_counts: Vec<FxHashMap<u32, usize>> = transactions
-        .iter()
-        .map(|t| {
+    let label_counts: Vec<FxHashMap<u32, usize>> = (0..transactions.txn_count())
+        .map(|i| {
+            let t = transactions.txn(i);
             let mut h: FxHashMap<u32, usize> = FxHashMap::default();
             for e in t.edges() {
                 *h.entry(t.edge_label(e).0).or_insert(0) += 1;
@@ -139,7 +173,8 @@ pub fn mine_with(
     // cheaper than iso-class maps and exactly equivalent for one edge.
     let mut level1: FxHashMap<(u32, u32, u32, bool), Vec<u32>> = FxHashMap::default();
     let mut seen: FxHashSet<(u32, u32, u32, bool)> = FxHashSet::default();
-    for (tid, t) in transactions.iter().enumerate() {
+    for tid in 0..transactions.txn_count() {
+        let t = transactions.txn(tid);
         seen.clear();
         for e in t.edges() {
             let (s, d, l) = t.edge(e);
@@ -322,7 +357,7 @@ pub fn mine_with(
                             continue;
                         }
                         vstats.iso_tests += 1;
-                        if matcher.matches(&transactions[tid as usize]) {
+                        if matcher.matches(&transactions.txn(tid as usize)) {
                             tids.push(tid);
                         }
                     }
@@ -351,11 +386,11 @@ pub fn mine_with(
                         j += 1;
                     }
                     debug_assert_eq!(p0_tids[j], tid);
-                    let txn = &transactions[tid as usize];
+                    let txn = transactions.txn(tid as usize);
                     // At the final level no child stores are consumed, so
                     // the first occurrence settles support (witness-only).
                     match grow_store(
-                        txn,
+                        &txn,
                         &p0_stores[j],
                         &ext,
                         cap,
@@ -377,7 +412,7 @@ pub fn mine_with(
                                 continue;
                             }
                             vstats.iso_tests += 1;
-                            if matcher.matches(txn) {
+                            if matcher.matches(&txn) {
                                 tids.push(tid);
                                 if !last_level {
                                     // No sound seeds survive; descendants

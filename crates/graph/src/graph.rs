@@ -12,7 +12,16 @@
 //! * **Tombstone deletion.** The BF/DF partitioners (Algorithm 2) peel
 //!   edges off a working copy of the graph; deletion must be O(degree)
 //!   without invalidating other ids mid-walk.
+//!
+//! The arena is the **builder** half of a two-representation lifecycle:
+//! construct and mutate here, then [`GraphBuilder::freeze`] into an
+//! immutable [`crate::frozen::FrozenGraph`] CSR snapshot for the read-only
+//! mining phase (and [`crate::frozen::FrozenGraph::thaw`] back if needed).
+//! `Graph` remains an alias for [`GraphBuilder`] because small append-only
+//! pattern graphs — which are never frozen — are the pervasive currency of
+//! the miners.
 
+use crate::frozen::FrozenGraph;
 use crate::hash::{FxHashMap, FxHashSet};
 use std::fmt;
 
@@ -78,14 +87,14 @@ struct EdgeData {
     alive: bool,
 }
 
-/// A labeled directed multigraph.
+/// A labeled directed multigraph (the mutable **builder** arena).
 ///
 /// Vertices and edges live in arenas and are addressed by [`VertexId`] /
 /// [`EdgeId`]. Removal tombstones the slot; ids are never reused, so a
 /// removal cannot invalidate an id held elsewhere (it merely makes
 /// `contains_*` return `false`).
 #[derive(Clone, Default)]
-pub struct Graph {
+pub struct GraphBuilder {
     vertices: Vec<VertexData>,
     edges: Vec<EdgeData>,
     live_vertices: usize,
@@ -96,7 +105,12 @@ pub struct Graph {
     pub(crate) hash_cache: std::sync::OnceLock<u64>,
 }
 
-impl Graph {
+/// The builder arena under its historical name. Miners build and pass
+/// small pattern graphs constantly; the short alias keeps that code
+/// readable while `GraphBuilder` names the role in the freeze lifecycle.
+pub type Graph = GraphBuilder;
+
+impl GraphBuilder {
     /// An empty graph.
     pub fn new() -> Self {
         Self::default()
@@ -468,9 +482,17 @@ impl Graph {
         }
         h
     }
+
+    /// Snapshots the live structure into an immutable, compacted
+    /// [`FrozenGraph`] (dense ids in live-id order, label-sorted CSR
+    /// adjacency). The builder is untouched; see
+    /// [`FrozenGraph::thaw`] for the inverse.
+    pub fn freeze(&self) -> FrozenGraph {
+        FrozenGraph::freeze(self)
+    }
 }
 
-impl fmt::Debug for Graph {
+impl fmt::Debug for GraphBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,

@@ -20,6 +20,7 @@
 
 use crate::graph::{ELabel, Graph, VLabel, VertexId};
 use crate::hash::{FxHashMap, FxHashSet};
+use crate::view::GraphView;
 
 /// Sentinel for a pattern-vertex slot with no image (dead arena slots in
 /// non-dense patterns). Never a valid target id: the arena is `u32`
@@ -271,7 +272,10 @@ impl Matcher {
     /// unordered choice of their images appears exactly once. Existence,
     /// supports, and disjoint counts are unaffected; only the raw
     /// embedding multiplicity of symmetric patterns is reduced.
-    pub fn find(&self, target: &Graph, mode: Find) -> Vec<Embedding> {
+    ///
+    /// The target may be any [`GraphView`]: the builder arena, a
+    /// [`crate::frozen::FrozenGraph`], or a [`crate::frozen::TxnRef`].
+    pub fn find<G: GraphView>(&self, target: &G, mode: Find) -> Vec<Embedding> {
         self.search(target, mode, true)
     }
 
@@ -280,11 +284,11 @@ impl Matcher {
     /// embedding-list propagation requires — a stored list must contain
     /// *all* occurrences, or restricting a child occurrence to the parent
     /// could land on an embedding the pruned search never emitted.
-    pub fn find_unpruned(&self, target: &Graph, mode: Find) -> Vec<Embedding> {
+    pub fn find_unpruned<G: GraphView>(&self, target: &G, mode: Find) -> Vec<Embedding> {
         self.search(target, mode, false)
     }
 
-    fn search(&self, target: &Graph, mode: Find, prune_twins: bool) -> Vec<Embedding> {
+    fn search<G: GraphView>(&self, target: &G, mode: Find, prune_twins: bool) -> Vec<Embedding> {
         let limit = match mode {
             Find::First => 1,
             Find::AtMost(n) => n,
@@ -308,7 +312,7 @@ impl Matcher {
     }
 
     /// True if at least one embedding exists.
-    pub fn matches(&self, target: &Graph) -> bool {
+    pub fn matches<G: GraphView>(&self, target: &G) -> bool {
         !self.find(target, Find::First).is_empty()
     }
 
@@ -322,9 +326,9 @@ impl Matcher {
         assignment[idx]
     }
 
-    fn feasible(
+    fn feasible<G: GraphView>(
         &self,
-        target: &Graph,
+        target: &G,
         assignment: &[VertexId],
         depth: usize,
         candidate: VertexId,
@@ -383,9 +387,9 @@ impl Matcher {
         true
     }
 
-    fn recurse(
+    fn recurse<G: GraphView>(
         &self,
-        target: &Graph,
+        target: &G,
         assignment: &mut Vec<VertexId>,
         used: &mut FxHashSet<VertexId>,
         results: &mut Vec<Embedding>,
@@ -553,8 +557,14 @@ pub fn derive_extension(parent_vertices: usize, child: &Graph) -> Option<Extensi
 /// `(parent embedding, new endpoint)` pairs yield distinct child
 /// embeddings, and parallel target edges to the same endpoint are
 /// deduplicated in place.
-pub fn extend_embedding(
-    target: &Graph,
+///
+/// Candidate edges come from [`GraphView::visit_out_matching`] /
+/// [`GraphView::visit_in_matching`]: a linear label scan on the arena, a
+/// binary-searched `(ELabel, VLabel)` slice on frozen targets. Both visit
+/// matches in ascending edge-id order, so the emitted embedding order is
+/// representation-independent.
+pub fn extend_embedding<G: GraphView>(
+    target: &G,
     emb: &Embedding,
     ext: &Extension,
     out: &mut Vec<Embedding>,
@@ -567,20 +577,19 @@ pub fn extend_embedding(
         } => {
             let ts = emb.image(src);
             let start = out.len();
-            for e in target.out_edges(ts) {
-                let (_, td, l) = target.edge(e);
-                if l != elabel || target.vertex_label(td) != vlabel || emb.maps_onto(td) {
-                    continue;
+            target.visit_out_matching(ts, elabel, vlabel, &mut |_, td| {
+                if emb.maps_onto(td) {
+                    return;
                 }
                 // Parallel edges reach the same endpoint; emit it once.
                 if out[start..]
                     .iter()
                     .any(|c| c.assignment.last() == Some(&td))
                 {
-                    continue;
+                    return;
                 }
                 out.push(emb.extended_with(td));
-            }
+            });
         }
         Extension::NewSrc {
             dst,
@@ -589,19 +598,18 @@ pub fn extend_embedding(
         } => {
             let td = emb.image(dst);
             let start = out.len();
-            for e in target.in_edges(td) {
-                let (ts, _, l) = target.edge(e);
-                if l != elabel || target.vertex_label(ts) != vlabel || emb.maps_onto(ts) {
-                    continue;
+            target.visit_in_matching(td, elabel, vlabel, &mut |_, ts| {
+                if emb.maps_onto(ts) {
+                    return;
                 }
                 if out[start..]
                     .iter()
                     .any(|c| c.assignment.last() == Some(&ts))
                 {
-                    continue;
+                    return;
                 }
                 out.push(emb.extended_with(ts));
-            }
+            });
         }
         Extension::Close { src, dst, elabel } => {
             // Pattern graphs are simple per (src, dst, label) at the point
@@ -610,11 +618,7 @@ pub fn extend_embedding(
             // for parallel pattern edges, which closure never creates.
             let ts = emb.image(src);
             let td = emb.image(dst);
-            let found = target.out_edges(ts).any(|e| {
-                let (_, dd, l) = target.edge(e);
-                dd == td && l == elabel
-            });
-            if found {
+            if target.has_edge_labeled(ts, td, elabel) {
                 out.push(emb.clone());
             }
         }
@@ -622,7 +626,7 @@ pub fn extend_embedding(
 }
 
 /// Existence check: does `pattern` occur in `target` (per §4's definition)?
-pub fn has_embedding(pattern: &Graph, target: &Graph) -> bool {
+pub fn has_embedding<G: GraphView>(pattern: &Graph, target: &G) -> bool {
     if pattern.vertex_count() > target.vertex_count() || pattern.edge_count() > target.edge_count()
     {
         return false;
@@ -632,7 +636,7 @@ pub fn has_embedding(pattern: &Graph, target: &Graph) -> bool {
 
 /// All embeddings of `pattern` in `target` (use with care on symmetric
 /// patterns in dense targets).
-pub fn find_embeddings(pattern: &Graph, target: &Graph, mode: Find) -> Vec<Embedding> {
+pub fn find_embeddings<G: GraphView>(pattern: &Graph, target: &G, mode: Find) -> Vec<Embedding> {
     Matcher::new(pattern).find(target, mode)
 }
 
@@ -823,7 +827,7 @@ pub fn disjoint_subset(embeddings: &[Embedding]) -> Vec<Embedding> {
 
 /// Counts vertex-disjoint occurrences of `pattern` in `target` by greedy
 /// selection over all embeddings.
-pub fn count_disjoint(pattern: &Graph, target: &Graph) -> usize {
+pub fn count_disjoint<G: GraphView>(pattern: &Graph, target: &G) -> usize {
     let all = find_embeddings(pattern, target, Find::All);
     disjoint_subset(&all).len()
 }

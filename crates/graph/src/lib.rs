@@ -7,8 +7,15 @@
 //!
 //! Provides:
 //!
-//! * [`graph::Graph`] — arena-based directed labeled multigraph with
-//!   tombstone deletion (what the partitioners peel edges from);
+//! * [`graph::GraphBuilder`] (alias [`graph::Graph`]) — arena-based
+//!   directed labeled multigraph with tombstone deletion (what ingest
+//!   builds and the partitioners peel edges from);
+//! * [`frozen`] — immutable [`frozen::FrozenGraph`] CSR snapshots
+//!   (`freeze()`/`thaw()`) with label-sorted adjacency, and
+//!   [`frozen::TxnSet`], a whole partition's transactions packed into
+//!   shared arenas — the read side every miner traverses;
+//! * [`view`] — the [`view::GraphView`] read trait both representations
+//!   implement (and [`view::TxnSource`] for transaction collections);
 //! * [`traverse`] — BFS/DFS, weakly connected components;
 //! * [`iso`] — VF2-style subgraph monomorphism & graph isomorphism,
 //!   implementing the paper's §4 pattern-identity definition;
@@ -42,6 +49,7 @@
 
 pub mod canon;
 pub mod dot;
+pub mod frozen;
 pub mod generate;
 pub mod graph;
 pub mod hash;
@@ -49,5 +57,8 @@ pub mod iso;
 pub mod rng;
 pub mod stats;
 pub mod traverse;
+pub mod view;
 
-pub use graph::{ELabel, EdgeId, Graph, VLabel, VertexId};
+pub use frozen::{FrozenGraph, FrozenStats, TxnRef, TxnSet};
+pub use graph::{ELabel, EdgeId, Graph, GraphBuilder, VLabel, VertexId};
+pub use view::{GraphView, TxnSource};

@@ -12,6 +12,7 @@ use tnet_graph::canon::invariant_hash;
 use tnet_graph::graph::{ELabel, Graph, VLabel, VertexId};
 use tnet_graph::iso::{are_isomorphic, find_embeddings, has_embedding, Find};
 use tnet_graph::traverse::{connected_components, is_connected, split_components};
+use tnet_graph::view::GraphView;
 
 /// A generated edge: (src index, dst index, edge label).
 type RawEdge = (usize, usize, u32);
@@ -177,6 +178,25 @@ proptest! {
         prop_assert_eq!(g.edge_count(), before - removed);
         // Idempotent.
         prop_assert_eq!(g.dedup_edges(), 0);
+    }
+
+    /// `thaw(freeze(g))` is isomorphic to `g` with an identical invariant
+    /// hash: the frozen-CSR snapshot is a lossless representation change,
+    /// even when the builder carries tombstones from removals.
+    #[test]
+    fn freeze_thaw_roundtrip((vl, es) in raw_graph(7, 12), kill in proptest::collection::vec(any::<prop::sample::Index>(), 0..3)) {
+        let mut g = build(&vl, &es);
+        let vs: Vec<_> = g.vertices().collect();
+        for idx in kill {
+            g.remove_vertex(*idx.get(&vs));
+        }
+        let frozen = g.freeze();
+        prop_assert_eq!(frozen.vertex_count(), g.vertex_count());
+        prop_assert_eq!(frozen.edge_count(), g.edge_count());
+        prop_assert_eq!(frozen.invariant_hash(), invariant_hash(&g));
+        let thawed = frozen.thaw();
+        prop_assert!(are_isomorphic(&g, &thawed));
+        prop_assert_eq!(invariant_hash(&g), invariant_hash(&thawed));
     }
 
     /// compact() preserves the isomorphism class.

@@ -29,9 +29,11 @@ use tnet_fsg::embed::{grow_store, level1_store, EmbStore, Grown};
 use tnet_fsg::extend::{extend_pattern, EdgeVocab};
 use tnet_fsg::{FrequentPattern, Support};
 use tnet_graph::canon::IsoClassMap;
+use tnet_graph::frozen::TxnSet;
 use tnet_graph::graph::{ELabel, Graph, VLabel};
 use tnet_graph::hash::{FxHashMap, FxHashSet};
 use tnet_graph::iso::{derive_extension, Matcher};
+use tnet_graph::view::{GraphView, TxnSource};
 
 /// Configuration for the DFS miner.
 #[derive(Clone, Debug)]
@@ -168,10 +170,14 @@ pub fn mine_dfs(transactions: &[Graph], cfg: &GspanConfig) -> Result<GspanOutput
 }
 
 /// As [`mine_dfs`], fanning each candidate's support count (the VF2
-/// search over its parent's TIDs) across `exec`'s workers. The DFS walk
-/// itself stays sequential — the `visited` set is inherently serial —
-/// and TIDs are reassembled in input order, so the output is
-/// byte-identical at any thread count.
+/// search over its parent's TIDs) across `exec`'s workers.
+///
+/// Freezes the transactions into a [`TxnSet`] (contiguous CSR arenas
+/// with label-sorted adjacency) before walking — embedding extension
+/// then binary-searches candidate edges. The DFS walk itself stays
+/// sequential — the `visited` set is inherently serial — and TIDs are
+/// reassembled in input order, so the output is byte-identical to
+/// [`mine_dfs_arena_with`] and to itself at any thread count.
 ///
 /// # Errors
 /// - [`GspanError::MemoryBudgetExceeded`] on a budget overrun; the
@@ -183,6 +189,29 @@ pub fn mine_dfs_with(
     cfg: &GspanConfig,
     exec: &Exec,
 ) -> Result<GspanOutput, GspanError> {
+    let frozen = TxnSet::freeze(transactions);
+    mine_dfs_source(&frozen, cfg, exec)
+}
+
+/// As [`mine_dfs_with`], but traverses the mutable arena representation
+/// directly instead of freezing a CSR snapshot. Kept for differential
+/// testing and the frozen-vs-arena benchmark; both paths produce
+/// byte-identical output.
+pub fn mine_dfs_arena_with(
+    transactions: &[Graph],
+    cfg: &GspanConfig,
+    exec: &Exec,
+) -> Result<GspanOutput, GspanError> {
+    mine_dfs_source(transactions, cfg, exec)
+}
+
+/// The representation-generic DFS core behind [`mine_dfs_with`] (frozen
+/// [`TxnSet`]) and [`mine_dfs_arena_with`] (`&[Graph]`).
+pub fn mine_dfs_source<T: TxnSource + ?Sized>(
+    transactions: &T,
+    cfg: &GspanConfig,
+    exec: &Exec,
+) -> Result<GspanOutput, GspanError> {
     if exec.is_cancelled() {
         return Err(GspanError::Cancelled);
     }
@@ -191,14 +220,15 @@ pub fn mine_dfs_with(
     // order — and `--trace` output — is thread-count independent.
     let span_total = exec.span().time("gspan");
     let span = span_total.span().clone();
-    let min_support = cfg.min_support.resolve(transactions.len());
+    let min_support = cfg.min_support.resolve(transactions.txn_count());
     let stats = GspanStats::default();
 
     let level1_timer = span.time("level1");
     // Frequent single edges (shared logic with FSG's level 1).
     let mut level1: FxHashMap<(u32, u32, u32, bool), Vec<u32>> = FxHashMap::default();
     let mut seen: FxHashSet<(u32, u32, u32, bool)> = FxHashSet::default();
-    for (tid, t) in transactions.iter().enumerate() {
+    for tid in 0..transactions.txn_count() {
+        let t = transactions.txn(tid);
         seen.clear();
         for e in t.edges() {
             let (s, d, l) = t.edge(e);
@@ -288,11 +318,11 @@ pub fn mine_dfs_with(
 /// The mutable state of one DFS mine: the visited iso-class set, the
 /// accumulated results, and the running live-bytes estimate the memory
 /// budget is enforced against.
-struct Walk<'a> {
+struct Walk<'a, T: TxnSource + ?Sized> {
     /// The miner's span node; `grow` times its extend / support phases
     /// under it.
     span: &'a tnet_obs::Span,
-    transactions: &'a [Graph],
+    transactions: &'a T,
     vocab: &'a [EdgeVocab],
     min_support: usize,
     max_edges: usize,
@@ -305,7 +335,7 @@ struct Walk<'a> {
     live_bytes: usize,
 }
 
-impl Walk<'_> {
+impl<T: TxnSource + ?Sized> Walk<'_, T> {
     /// Accounts one retained pattern against the budget.
     fn charge(&mut self, p: &FrequentPattern) -> Result<(), GspanError> {
         self.live_bytes +=
@@ -373,11 +403,11 @@ impl Walk<'_> {
                 let transactions = self.transactions;
                 let idx: Vec<usize> = (0..parent.tids.len()).collect();
                 let outcomes = self.exec.par_map(&idx, |&i| {
-                    let txn = &transactions[parent.tids[i] as usize];
+                    let txn = transactions.txn(parent.tids[i] as usize);
                     let mut extended = 0usize;
                     let mut spilled = 0usize;
                     match grow_store(
-                        txn,
+                        &txn,
                         &parent_stores[i],
                         &ext,
                         cap,
@@ -390,7 +420,7 @@ impl Walk<'_> {
                             let hit = matcher
                                 .as_ref()
                                 .expect("inexact store implies a matcher")
-                                .matches(txn);
+                                .matches(&txn);
                             let store = (hit && !witness_only).then(|| EmbStore {
                                 embs: Vec::new(),
                                 exact: false,
@@ -423,7 +453,7 @@ impl Walk<'_> {
                 // Support counting is the hot loop; fan the VF2 searches
                 // over the pool and keep matching TIDs in input order.
                 let hits = self.exec.par_map(&parent.tids, |&tid| {
-                    matcher.matches(&self.transactions[tid as usize])
+                    matcher.matches(&self.transactions.txn(tid as usize))
                 });
                 self.stats.iso_tests += parent.tids.len();
                 let tids: Vec<u32> = parent

@@ -61,10 +61,12 @@ impl VertexPartition {
 
 /// Coarse-graph bookkeeping: which original vertices each coarse vertex
 /// represents is implicit via the `fine_to_coarse` maps chained by the
-/// recursion.
+/// recursion. Only *coarse* graphs are stored; the finest level is the
+/// caller's graph, borrowed.
 struct Level {
+    /// The coarse graph produced at this step.
     graph: Graph,
-    /// Fine vertex -> coarse vertex of the *next* level.
+    /// Vertex of the next-finer graph -> vertex of `graph`.
     to_coarser: FxHashMap<VertexId, VertexId>,
 }
 
@@ -109,33 +111,41 @@ pub fn multilevel_partition(
         };
     }
     // --- Phase 1: coarsen -------------------------------------------------
+    // `levels[i]` holds the coarse graph of step i plus the map from the
+    // next-finer graph (`levels[i-1].graph`, or `g` for i == 0) into it;
+    // the finest level stays borrowed from the caller instead of cloned.
     let mut levels: Vec<Level> = Vec::new();
-    let mut current = g.clone();
-    while current.vertex_count() > cfg.coarsen_until.max(k * 2) {
-        let (coarse, mapping) = coarsen_once(&current, rng);
+    loop {
+        let current: &Graph = levels.last().map(|l| &l.graph).unwrap_or(g);
+        if current.vertex_count() <= cfg.coarsen_until.max(k * 2) {
+            break;
+        }
+        let (coarse, mapping) = coarsen_once(current, rng);
         if coarse.vertex_count() as f64 > current.vertex_count() as f64 * 0.95 {
             break; // matching stalled (e.g. star graphs)
         }
         levels.push(Level {
-            graph: current,
+            graph: coarse,
             to_coarser: mapping,
         });
-        current = coarse;
     }
 
     // --- Phase 2: initial partition on the coarsest graph ------------------
-    let mut assignment = region_grow(&current, k, rng);
-    refine(&current, &mut assignment, k, cfg);
+    let coarsest: &Graph = levels.last().map(|l| &l.graph).unwrap_or(g);
+    let mut assignment = region_grow(coarsest, k, rng);
+    refine(coarsest, &mut assignment, k, cfg);
 
     // --- Phase 3: uncoarsen + refine ---------------------------------------
-    while let Some(level) = levels.pop() {
-        let mut fine_assignment = vec![u32::MAX; g_arena_len(&level.graph)];
-        for v in level.graph.vertices() {
-            let coarse = level.to_coarser[&v];
+    for i in (0..levels.len()).rev() {
+        let fine: &Graph = if i == 0 { g } else { &levels[i - 1].graph };
+        let to_coarser = &levels[i].to_coarser;
+        let mut fine_assignment = vec![u32::MAX; g_arena_len(fine)];
+        for v in fine.vertices() {
+            let coarse = to_coarser[&v];
             fine_assignment[v.index()] = assignment[coarse.index()];
         }
         assignment = fine_assignment;
-        refine(&level.graph, &mut assignment, k, cfg);
+        refine(fine, &mut assignment, k, cfg);
     }
 
     VertexPartition {

@@ -14,7 +14,7 @@
 //! number of false drops.)" The union is taken up to isomorphism, keeping
 //! each pattern's best observed support.
 
-use crate::split::{split_graph, Strategy};
+use crate::split::{split_frozen, Strategy};
 use tnet_exec::Exec;
 use tnet_graph::canon::IsoClassMap;
 use tnet_graph::graph::Graph;
@@ -61,6 +61,9 @@ pub fn mine_single_graph(
     let outer = exec.threads().min(m);
     let inner = (exec.threads() / outer).max(1);
     let reps: Vec<u64> = (0..m as u64).collect();
+    // Freeze once; every repetition splits the shared snapshot through
+    // its own deleted-edge overlay instead of cloning the whole graph.
+    let frozen = g.freeze();
     // Pre-register the partition span before the fan-out: repetitions
     // run concurrently, and first-touch registration inside the pool
     // would make the rendered span-tree order depend on scheduling.
@@ -69,7 +72,7 @@ pub fn mine_single_graph(
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, i));
         let transactions = {
             let _t = exec.span().time("partition");
-            split_graph(g, k, strategy, &mut rng)
+            split_frozen(&frozen, k, strategy, &mut rng)
         };
         mine(&transactions, &exec.child_with_threads(inner))
     });
@@ -111,8 +114,9 @@ mod tests {
             let mut seen_here: IsoClassMap<()> = IsoClassMap::new();
             for e in t.edges() {
                 let (sub, _) = t.edge_subgraph(&[e]);
-                if seen_here.insert(sub.clone(), ()).is_none() {
+                if !seen_here.contains(&sub) {
                     *classes.entry_or_insert_with(&sub, || 0) += 1;
+                    seen_here.insert(sub, ());
                 }
             }
         }

@@ -5,9 +5,10 @@
 //! sub-graph, along with the endpoint vertices. One of the endpoint
 //! vertices is chosen as the next starting vertex, and the process is
 //! repeated" — with a queue (breadth-first) or a stack (depth-first) as
-//! the ordering structure. Selected edges are removed from the working
-//! copy so the produced transactions are edge-disjoint ("we should get
-//! almost mutually exclusive sub-graphs").
+//! the ordering structure. Selected edges are marked removed in a
+//! deleted-edge overlay over a frozen snapshot so the produced
+//! transactions are edge-disjoint ("we should get almost mutually
+//! exclusive sub-graphs") without cloning the graph per split.
 //!
 //! The per-transaction edge budget follows the pseudocode
 //! (`edges = |E| / (k − transactions)` with `|E|` the *remaining* edge
@@ -19,8 +20,10 @@
 //! and larger partitions" caveat in the paper.
 
 use std::collections::VecDeque;
+use tnet_graph::frozen::FrozenGraph;
 use tnet_graph::graph::{EdgeId, Graph, VertexId};
 use tnet_graph::rng::{Rng, SliceRandom};
+use tnet_graph::view::{self, GraphView};
 
 /// The ordering structure `q` of Algorithm 2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -71,42 +74,111 @@ impl Frontier {
     }
 }
 
+/// Deleted-edge overlay over an immutable [`FrozenGraph`] snapshot: the
+/// walk "removes" edges by flipping bits here instead of tombstoning a
+/// full working clone of the graph — one bitset and one degree vector per
+/// `split_frozen` call, shared-nothing against the snapshot itself.
+struct Peel<'a> {
+    fg: &'a FrozenGraph,
+    /// Edges already pulled into a transaction.
+    removed: Vec<bool>,
+    /// Live incident adjacency entries per vertex (out row + in row, so a
+    /// self-loop counts twice). Zero means the vertex is exhausted —
+    /// exactly the vertices the arena walk dropped via `remove_orphans`.
+    live: Vec<u32>,
+    /// Live edges left in the overlay.
+    remaining: usize,
+}
+
+impl<'a> Peel<'a> {
+    fn new(fg: &'a FrozenGraph) -> Peel<'a> {
+        let live = fg
+            .vertices()
+            .map(|v| (fg.out_degree(v) + fg.in_degree(v)) as u32)
+            .collect();
+        Peel {
+            fg,
+            removed: vec![false; fg.edge_count()],
+            live,
+            remaining: fg.edge_count(),
+        }
+    }
+
+    /// First live incident edge of `v` in out-then-in ascending-id order —
+    /// the same order the arena's `incident_edges` yields, which keeps the
+    /// walk (and therefore every produced transaction) identical.
+    fn first_incident(&self, v: VertexId) -> Option<EdgeId> {
+        self.fg
+            .out_edges(v)
+            .chain(self.fg.in_edges(v))
+            .find(|&e| !self.removed[e.index()])
+    }
+
+    fn remove_edge(&mut self, e: EdgeId) {
+        debug_assert!(!self.removed[e.index()]);
+        self.removed[e.index()] = true;
+        let (s, d, _) = self.fg.edge(e);
+        self.live[s.index()] -= 1;
+        self.live[d.index()] -= 1;
+        self.remaining -= 1;
+    }
+}
+
 /// Splits `g` into approximately `k` edge-disjoint graph transactions
-/// using Algorithm 2. The input graph is not modified (the walk operates
-/// on a working copy). Transactions preserve vertex and edge labels; a
-/// vertex incident to edges in several transactions appears in each
-/// (vertex overlap is allowed, edge overlap is not).
+/// using Algorithm 2. Freezes `g` once and delegates to [`split_frozen`];
+/// callers that split the same graph repeatedly (Algorithm 1's
+/// repetitions) should freeze once themselves and call [`split_frozen`]
+/// per repetition.
 ///
 /// # Panics
 /// Panics if `k == 0`.
 pub fn split_graph(g: &Graph, k: usize, strategy: Strategy, rng: &mut impl Rng) -> Vec<Graph> {
+    split_frozen(&g.freeze(), k, strategy, rng)
+}
+
+/// Splits a frozen snapshot into approximately `k` edge-disjoint graph
+/// transactions using Algorithm 2. The walk tracks deleted edges in a
+/// [`Peel`] overlay (bitset + live-degree vector) instead of mutating a
+/// working clone, so repeated splits of the same snapshot allocate only
+/// the overlay. Transactions preserve vertex and edge labels; a vertex
+/// incident to edges in several transactions appears in each (vertex
+/// overlap is allowed, edge overlap is not).
+///
+/// For the same underlying graph, seed, and `k`, the produced transaction
+/// graphs are identical to what the historical clone-and-tombstone walk
+/// built: the overlay visits vertices and edges in the same order and
+/// consumes the RNG identically.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn split_frozen(
+    fg: &FrozenGraph,
+    k: usize,
+    strategy: Strategy,
+    rng: &mut impl Rng,
+) -> Vec<Graph> {
     assert!(k > 0, "need at least one partition");
-    let mut work = g.clone();
-    work.remove_orphans();
+    let mut work = Peel::new(fg);
     let mut out: Vec<Graph> = Vec::with_capacity(k);
     let mut t = 0usize;
-    while work.edge_count() > 0 {
+    while work.remaining > 0 {
         t += 1;
         let divisor = k.saturating_sub(t) + 1;
-        let budget = (work.edge_count() / divisor).max(1);
+        let budget = (work.remaining / divisor).max(1);
         let picked = grow_transaction(&mut work, budget, strategy, rng);
         if picked.is_empty() {
             break; // defensive: cannot happen while edges remain
         }
-        // The sub-graph was collected as edge ids against `work`'s id
-        // space which matches `g`'s (clone preserves ids, removals only
-        // tombstone) — build the transaction from the original graph.
-        let (sub, _) = g.edge_subgraph(&picked);
+        let (sub, _) = view::edge_subgraph(fg, &picked);
         out.push(sub);
-        work.remove_orphans();
     }
     out
 }
 
-/// Grows one transaction: returns the edge ids pulled out of `work`
-/// (removed from it as a side effect).
+/// Grows one transaction: returns the edge ids pulled out of the overlay
+/// (marked removed as a side effect).
 fn grow_transaction(
-    work: &mut Graph,
+    work: &mut Peel<'_>,
     budget: usize,
     strategy: Strategy,
     rng: &mut impl Rng,
@@ -115,8 +187,9 @@ fn grow_transaction(
     let mut frontier = Frontier::new(strategy);
     // Random starting vertex among those with edges.
     let candidates: Vec<VertexId> = work
+        .fg
         .vertices()
-        .filter(|&v| work.incident_edges(v).next().is_some())
+        .filter(|&v| work.live[v.index()] > 0)
         .collect();
     let Some(&start) = candidates.choose(rng) else {
         return picked;
@@ -130,10 +203,10 @@ fn grow_transaction(
             if picked.len() >= budget {
                 break;
             }
-            let Some(e) = work.incident_edges(v).next() else {
+            let Some(e) = work.first_incident(v) else {
                 break;
             };
-            let (s, d, _) = work.edge(e);
+            let (s, d, _) = work.fg.edge(e);
             picked.push(e);
             work.remove_edge(e);
             let other = if s == v { d } else { s };

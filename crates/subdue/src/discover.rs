@@ -11,6 +11,7 @@ use crate::substructure::{expand_counted, initial_substructures, SubdueStats, Su
 use std::time::{Duration, Instant};
 use tnet_exec::Exec;
 use tnet_graph::graph::Graph;
+use tnet_graph::view::GraphView;
 
 /// Search configuration.
 #[derive(Clone, Debug)]
@@ -132,9 +133,16 @@ pub fn discover(g: &Graph, cfg: &SubdueConfig) -> Result<SubdueOutput, SubdueErr
 
 /// Runs SUBDUE discovery, scoring each expansion's candidate children
 /// (instance filtering + MDL/size evaluation) across `exec`'s workers.
-/// The beam itself advances one expansion at a time and children are
-/// folded back in expansion order, so the search trajectory — and the
-/// output — is identical at any thread count.
+///
+/// Freezes the input into a [`tnet_graph::FrozenGraph`] CSR snapshot
+/// first (instance expansion walks adjacency heavily), runs the beam
+/// search on it, and translates the reported instances' vertex/edge ids
+/// back into the caller's arena id space via the snapshot's origin maps
+/// — for an already-compact arena the translation is the identity. The
+/// beam advances one expansion at a time and children are folded back in
+/// expansion order, so the search trajectory — and the output — is
+/// identical at any thread count and identical to
+/// [`discover_arena_with`].
 ///
 /// # Errors
 /// - [`SubdueError::MemoryBudgetExceeded`] on a budget overrun; the
@@ -143,6 +151,47 @@ pub fn discover(g: &Graph, cfg: &SubdueConfig) -> Result<SubdueOutput, SubdueErr
 ///   cancelled mid-search.
 pub fn discover_with(
     g: &Graph,
+    cfg: &SubdueConfig,
+    exec: &Exec,
+) -> Result<SubdueOutput, SubdueError> {
+    let frozen = g.freeze();
+    let mut out = discover_core(&frozen, cfg, exec)?;
+    // Dense snapshot ids → the caller's arena ids. The origin maps are
+    // monotone in live-id order, so the instances' sorted id lists stay
+    // sorted.
+    for sub in &mut out.best {
+        for inst in &mut sub.instances {
+            for v in &mut inst.vertices {
+                *v = frozen.orig_vertex(*v);
+            }
+            for e in &mut inst.edges {
+                *e = frozen.orig_edge(*e);
+            }
+            for v in &mut inst.map {
+                *v = frozen.orig_vertex(*v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// As [`discover_with`], but walks the mutable arena representation
+/// directly instead of freezing a CSR snapshot. Kept for differential
+/// testing and the frozen-vs-arena benchmark; both paths produce
+/// identical output.
+pub fn discover_arena_with(
+    g: &Graph,
+    cfg: &SubdueConfig,
+    exec: &Exec,
+) -> Result<SubdueOutput, SubdueError> {
+    discover_core(g, cfg, exec)
+}
+
+/// The representation-generic beam search behind [`discover_with`]
+/// (frozen snapshot) and [`discover_arena_with`] (arena). Reported
+/// instance ids live in `g`'s own id space.
+pub fn discover_core<G: GraphView + Sync>(
+    g: &G,
     cfg: &SubdueConfig,
     exec: &Exec,
 ) -> Result<SubdueOutput, SubdueError> {

@@ -8,6 +8,7 @@
 use crate::substructure::Substructure;
 use tnet_graph::graph::Graph;
 use tnet_graph::iso::has_embedding;
+use tnet_graph::view::GraphView;
 
 /// Which evaluation principle ranks candidate substructures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -64,7 +65,7 @@ pub struct GraphContext {
 }
 
 impl GraphContext {
-    pub fn of(g: &Graph) -> GraphContext {
+    pub fn of<G: GraphView>(g: &G) -> GraphContext {
         GraphContext {
             vertices: g.vertex_count(),
             edges: g.edge_count(),

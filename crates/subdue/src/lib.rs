@@ -24,7 +24,10 @@ pub mod inexact;
 pub mod substructure;
 
 pub use compress::{compress, hierarchical, HierarchyLevel};
-pub use discover::{discover, discover_with, SubdueConfig, SubdueError, SubdueOutput};
+pub use discover::{
+    discover, discover_arena_with, discover_core, discover_with, SubdueConfig, SubdueError,
+    SubdueOutput,
+};
 pub use eval::{evaluate, set_cover_value, EvalMethod, GraphContext};
 pub use inexact::{coalesce_fuzzy, edit_distance_bounded, fuzzy_match};
 pub use substructure::{

@@ -11,6 +11,7 @@ use tnet_graph::canon::IsoClassMap;
 use tnet_graph::graph::{ELabel, EdgeId, Graph, VLabel, VertexId};
 use tnet_graph::hash::{FxHashMap, FxHashSet};
 use tnet_graph::iso::{Find, Matcher};
+use tnet_graph::view::{self, GraphView};
 
 /// One concrete occurrence of a pattern: the target vertices and edges it
 /// covers, plus the mapping from pattern vertices to target vertices.
@@ -95,7 +96,7 @@ impl Instance {
     /// `None` if the edge is already present or touches neither instance
     /// vertex (callers enumerate incident edges, so a grown instance is
     /// always connected to this one).
-    pub fn extended(&self, g: &Graph, e: EdgeId) -> Option<(Instance, ExtKey)> {
+    pub fn extended<G: GraphView>(&self, g: &G, e: EdgeId) -> Option<(Instance, ExtKey)> {
         if self.edges.binary_search(&e).is_ok() {
             return None;
         }
@@ -168,7 +169,7 @@ impl Instance {
     }
 
     /// The pattern graph this instance realizes in `g` (labels copied).
-    pub fn pattern(&self, g: &Graph) -> Graph {
+    pub fn pattern<G: GraphView>(&self, g: &G) -> Graph {
         if self.edges.is_empty() {
             let mut p = Graph::new();
             for &v in &self.vertices {
@@ -176,7 +177,7 @@ impl Instance {
             }
             return p;
         }
-        let (sub, vmap) = g.edge_subgraph(&self.edges);
+        let (sub, vmap) = view::edge_subgraph(g, &self.edges);
         debug_assert_eq!(vmap.len(), self.vertices.len());
         sub
     }
@@ -222,7 +223,7 @@ impl Substructure {
 /// The initial substructure list: one per distinct vertex label, each
 /// holding every vertex with that label as an instance. Ordered by
 /// descending instance count.
-pub fn initial_substructures(g: &Graph) -> Vec<Substructure> {
+pub fn initial_substructures<G: GraphView>(g: &G) -> Vec<Substructure> {
     let mut by_label: FxHashMap<u32, Vec<Instance>> = FxHashMap::default();
     for v in g.vertices() {
         by_label
@@ -284,7 +285,7 @@ impl SubdueStats {
 /// unused edge; the grown instances are regrouped by pattern isomorphism
 /// class. Instances identical as vertex/edge sets are deduplicated;
 /// groups are truncated at [`MAX_INSTANCES`].
-pub fn expand(g: &Graph, sub: &Substructure) -> Vec<Substructure> {
+pub fn expand<G: GraphView>(g: &G, sub: &Substructure) -> Vec<Substructure> {
     expand_counted(g, sub, &mut SubdueStats::default())
 }
 
@@ -297,7 +298,11 @@ pub fn expand(g: &Graph, sub: &Substructure) -> Vec<Substructure> {
 /// instance. Keys whose patterns land in the same isomorphism class are
 /// then merged, translating instance maps onto the class representative's
 /// vertex order so descendants keep extending consistently.
-pub fn expand_counted(g: &Graph, sub: &Substructure, stats: &mut SubdueStats) -> Vec<Substructure> {
+pub fn expand_counted<G: GraphView>(
+    g: &G,
+    sub: &Substructure,
+    stats: &mut SubdueStats,
+) -> Vec<Substructure> {
     let mut key_index: FxHashMap<ExtKey, usize> = FxHashMap::default();
     let mut groups: Vec<(ExtKey, Vec<Instance>)> = Vec::new();
     let mut seen: FxHashSet<(u64, usize)> = FxHashSet::default();

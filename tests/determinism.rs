@@ -75,6 +75,90 @@ fn gspan_output_identical_at_any_thread_count() {
     }
 }
 
+/// The frozen-CSR snapshot is a pure representation change: every miner
+/// must produce byte-identical output whether it traverses the arena
+/// builder directly (`*_arena_with`) or the frozen TxnSet / FrozenGraph
+/// (the `*_with` default). Patterns, supports, TID lists, instance ids,
+/// and counters all have to line up.
+#[test]
+fn frozen_and_arena_miners_agree() {
+    let txns = graph_transactions();
+    let exec = Exec::sequential();
+
+    let fsg_cfg = FsgConfig::default()
+        .with_support(Support::Count(4))
+        .with_max_edges(4);
+    let render_fsg = |out: &tnet_fsg::FsgOutput| -> String {
+        out.patterns
+            .iter()
+            .map(|p| format!("{:?} support={} tids={:?}\n", p.graph, p.support, p.tids))
+            .collect()
+    };
+    let frozen = mine_with(&txns, &fsg_cfg, &exec).unwrap();
+    let arena = tnet_fsg::mine_arena_with(&txns, &fsg_cfg, &exec).unwrap();
+    assert_eq!(
+        render_fsg(&frozen),
+        render_fsg(&arena),
+        "FSG frozen vs arena diverged"
+    );
+    assert_eq!(frozen.stats.iso_tests, arena.stats.iso_tests);
+
+    let gspan_cfg = GspanConfig {
+        min_support: Support::Count(4),
+        max_edges: 4,
+        ..Default::default()
+    };
+    let render_gspan = |out: &tnet_gspan::GspanOutput| -> String {
+        out.patterns
+            .iter()
+            .map(|p| format!("{:?} support={} tids={:?}\n", p.graph, p.support, p.tids))
+            .collect()
+    };
+    let gf = mine_dfs_with(&txns, &gspan_cfg, &exec).unwrap();
+    let ga = tnet_gspan::mine_dfs_arena_with(&txns, &gspan_cfg, &exec).unwrap();
+    assert_eq!(
+        render_gspan(&gf),
+        render_gspan(&ga),
+        "gSpan frozen vs arena diverged"
+    );
+
+    // SUBDUE mines a single graph; instance ids must come back in the
+    // caller's arena id space (discover_with remaps through the frozen
+    // snapshot's orig maps).
+    let p = Pipeline::synthetic(0.015, 42);
+    let scheme = tnet_data::binning::BinScheme::fit_width_transactions(p.transactions()).unwrap();
+    let g = tnet_core::experiments::structural::truncated_structural_graph(
+        p.transactions(),
+        &scheme,
+        EdgeLabeling::GrossWeight,
+        25,
+    );
+    let sub_cfg = tnet_subdue::SubdueConfig {
+        max_size: 6,
+        ..Default::default()
+    };
+    let render_sub = |out: &tnet_subdue::SubdueOutput| -> String {
+        out.best
+            .iter()
+            .map(|s| {
+                let inst: Vec<_> = s
+                    .instances
+                    .iter()
+                    .map(|i| (i.vertices.clone(), i.edges.clone(), i.map.clone()))
+                    .collect();
+                format!("{:?} value={:.9} inst={inst:?}\n", s.pattern, s.value)
+            })
+            .collect()
+    };
+    let sf = tnet_subdue::discover_with(&g, &sub_cfg, &exec).unwrap();
+    let sa = tnet_subdue::discover_arena_with(&g, &sub_cfg, &exec).unwrap();
+    assert_eq!(
+        render_sub(&sf),
+        render_sub(&sa),
+        "SUBDUE frozen vs arena diverged"
+    );
+}
+
 #[test]
 fn partition_mining_identical_at_any_thread_count() {
     let p = Pipeline::synthetic(0.012, 42);
