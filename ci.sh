@@ -109,4 +109,57 @@ cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
     --validate-trace "$TRACE_OUT"
 rm -f "$BENCH_OUT" "$TRACE_OUT"
 
+echo "== serve smoke: daemon on an ephemeral port, mixed query script"
+# Start the daemon, read the ephemeral port from --port-file, run a
+# scripted query mix over /dev/tcp (well-formed queries, a repeat to
+# drive the cache, and a malformed line that must get an error reply,
+# not kill anything), check the cache-hit counter rose, and shut down
+# cleanly through the wire protocol — exit 0.
+SERVE_PORT_FILE=/tmp/tnet_ci_serve_port.txt
+SERVE_LOG=/tmp/tnet_ci_serve.log
+rm -f "$SERVE_PORT_FILE"
+"$TNET" serve --scale 0.005 --seed 42 --cache 64 \
+    --publish-interval-ms 50 --shutdown-on-stdin-eof false \
+    --port-file "$SERVE_PORT_FILE" > "$SERVE_LOG" &
+SERVE_PID=$!
+for _ in $(seq 1 300); do
+    [ -s "$SERVE_PORT_FILE" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SERVE_LOG"; exit 1; }
+    sleep 0.1
+done
+SERVE_PORT=$(cat "$SERVE_PORT_FILE")
+exec 3<>"/dev/tcp/127.0.0.1/$SERVE_PORT"
+serve_rpc() {
+    printf '%s\n' "$1" >&3
+    IFS= read -r REPLY_LINE <&3
+    printf '%s\n' "$REPLY_LINE"
+}
+serve_rpc '{"op":"ping"}'                                    | grep -q '"ok":true'
+serve_rpc '{"op":"stats"}'                                   | grep -q '"report":'
+serve_rpc '{"op":"stats"}'                                   | grep -q '"ok":true'
+serve_rpc '{"op":"support","labeling":"gw","labels":[0,1]}'  | grep -q '"count":'
+serve_rpc '{"op":"pattern","partitions":4,"support":3,"max_edges":3,"reps":1}' \
+                                                             | grep -q '"lines":'
+# Malformed input gets a one-line typed error reply; the connection and
+# the daemon survive it.
+serve_rpc 'this is not json'                                 | grep -q '"kind":"protocol"'
+serve_rpc '{"op":"ping"}'                                    | grep -q '"ok":true'
+# The repeated stats query must have landed in the result cache.
+serve_rpc '{"op":"trace"}' | grep -q '"serve.cache_hits":[1-9]'
+serve_rpc '{"op":"shutdown"}'                                | grep -q '"ok":true'
+exec 3<&- 3>&-
+wait "$SERVE_PID"
+grep -q 'shutdown complete' "$SERVE_LOG"
+rm -f "$SERVE_PORT_FILE" "$SERVE_LOG"
+
+echo "== bench smoke: serve report emits valid JSON, gates pass"
+# In-process daemon under a mixed read/ingest load; --validate re-parses
+# the report and re-checks the cache/generation/error gates.
+BENCH_SERVE_OUT=/tmp/tnet_ci_bench_serve.json
+cargo run --release -q -p tnet-bench --offline --bin bench_serve -- \
+    --smoke --out "$BENCH_SERVE_OUT"
+cargo run --release -q -p tnet-bench --offline --bin bench_serve -- \
+    --validate "$BENCH_SERVE_OUT"
+rm -f "$BENCH_SERVE_OUT"
+
 echo "ci.sh: all green"

@@ -1,0 +1,478 @@
+//! Serving-layer bench: starts an in-process `tnet-serve` daemon, drives
+//! it with a mixed read/ingest workload over real TCP connections, and
+//! writes `BENCH_serve.json` — sustained QPS plus client-measured
+//! p50/p99 latency and the daemon's own counters. No network beyond
+//! loopback, no criterion; run with
+//!
+//! ```text
+//! cargo run --release -p tnet-bench --bin bench_serve -- --out BENCH_serve.json
+//! ```
+//!
+//! Flags:
+//! - `--smoke`         tiny run for CI (fewer clients, fewer requests)
+//! - `--out PATH`      output path (default `BENCH_serve.json`)
+//! - `--seed N`        synthetic-dataset seed (default 42)
+//! - `--validate PATH` parse an existing report, check the schema and
+//!   the correctness gates below, and exit — no benching
+//!
+//! Gates (checked after the run and again by `--validate`): the cache
+//! must have recorded at least one hit, at least one generation must
+//! have been published under ingest load, and no query may have errored
+//! (the workload sends only well-formed requests). Wall-clock derived
+//! numbers (QPS, p50/p99) are recorded but only sanity-checked
+//! (`qps > 0`, `p50 <= p99`), never gated against a threshold —
+//! shared-host timing noise would make such a gate flaky.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+use tnet_bench::json::Json;
+use tnet_serve::{ServeConfig, WriterConfig};
+
+struct Opts {
+    smoke: bool,
+    out: String,
+    seed: u64,
+    validate: Option<String>,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        smoke: false,
+        out: "BENCH_serve.json".to_string(),
+        seed: 42,
+        validate: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => opts.out = args.next().ok_or("--out needs a path")?,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--validate" => opts.validate = Some(args.next().ok_or("--validate needs a path")?),
+            // Cargo's bench runner appends `--bench`; tolerate it.
+            "--bench" => {}
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Workload knobs, sized down for `--smoke`.
+struct Workload {
+    scale: f64,
+    clients: usize,
+    requests_per_client: usize,
+    ingest_batches: usize,
+    ingest_batch_size: usize,
+    publish_interval: Duration,
+}
+
+impl Workload {
+    fn new(smoke: bool) -> Workload {
+        if smoke {
+            Workload {
+                scale: 0.005,
+                clients: 2,
+                requests_per_client: 60,
+                ingest_batches: 6,
+                ingest_batch_size: 16,
+                publish_interval: Duration::from_millis(25),
+            }
+        } else {
+            Workload {
+                scale: 0.01,
+                clients: 4,
+                requests_per_client: 400,
+                ingest_batches: 40,
+                ingest_batch_size: 64,
+                publish_interval: Duration::from_millis(50),
+            }
+        }
+    }
+}
+
+/// The repeating read mix one client cycles through. Repeats of the
+/// same cacheable request within a generation window are what drive
+/// cache hits; the two support variants and the pattern query keep the
+/// mix from being pure cache traffic.
+const READ_MIX: &[&str] = &[
+    r#"{"op":"ping"}"#,
+    r#"{"op":"stats"}"#,
+    r#"{"op":"support","labeling":"gw","labels":[0,1]}"#,
+    r#"{"op":"stats"}"#,
+    r#"{"op":"support","labeling":"td","labels":[1,0]}"#,
+    r#"{"op":"pattern","partitions":4,"support":3,"max_edges":3,"reps":1,"top":10}"#,
+];
+
+/// One line of the ingest stream: `count` synthetic-looking records
+/// with ids that cannot collide with generation 0.
+fn ingest_line(batch: usize, count: usize) -> String {
+    let mut records = Vec::with_capacity(count);
+    for i in 0..count {
+        let n = (batch * count + i) as u64;
+        records.push(format!(
+            "{{\"id\":{},\"pickup\":733040,\"delivery\":733042,\
+             \"olat\":{:.1},\"olon\":-88.0,\"dlat\":41.9,\"dlon\":-87.6,\
+             \"distance\":{:.1},\"weight\":{:.1},\"hours\":9.0,\"mode\":\"TL\"}}",
+            1_000_000 + n,
+            40.0 + (n % 50) as f64 * 0.1,
+            150.0 + (n % 7) as f64 * 40.0,
+            9000.0 + (n % 11) as f64 * 900.0,
+        ));
+    }
+    format!("{{\"op\":\"ingest\",\"records\":[{}]}}", records.join(","))
+}
+
+/// Sends `line`, reads the one-line reply, and fails loudly on an
+/// `"ok":false` reply — the bench only issues well-formed requests, so
+/// any error is a bug worth surfacing, not noise to swallow.
+fn roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Result<String, String> {
+    // One write per request (Nagle + delayed-ACK would stall a
+    // write-write-read pattern by ~40ms per round trip).
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    stream
+        .write_all(&buf)
+        .map_err(|e| format!("send failed: {e}"))?;
+    let mut reply = String::new();
+    reader
+        .read_line(&mut reply)
+        .map_err(|e| format!("recv failed: {e}"))?;
+    if reply.is_empty() {
+        return Err("server closed the connection".into());
+    }
+    if !reply.contains("\"ok\":true") {
+        return Err(format!("error reply to {line}: {}", reply.trim()));
+    }
+    Ok(reply)
+}
+
+fn connect(addr: std::net::SocketAddr) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone failed: {e}"))?,
+    );
+    Ok((stream, reader))
+}
+
+/// Nearest-rank quantile over a sorted sample vector.
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct RunResult {
+    requests: usize,
+    wall: Duration,
+    p50_ns: u64,
+    p99_ns: u64,
+    metrics: Vec<(String, u64)>,
+}
+
+fn run_bench(opts: &Opts, w: &Workload) -> Result<RunResult, String> {
+    let initial = tnet_data::synth::generate(
+        &tnet_data::synth::SynthConfig::scaled(w.scale).with_seed(opts.seed),
+    )
+    .transactions;
+    let initial_len = initial.len();
+    let mut handle = tnet_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_capacity: 256,
+        writer: WriterConfig {
+            publish_interval: w.publish_interval,
+            batch: 256,
+        },
+        initial,
+        trace: false,
+    })
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = handle.addr();
+    println!(
+        "serving {initial_len} txns on {addr}; {} clients x {} requests + {} ingest batches",
+        w.clients, w.requests_per_client, w.ingest_batches
+    );
+
+    let started = Instant::now();
+    let result: Result<(Vec<Vec<u64>>, usize), String> = std::thread::scope(|scope| {
+        // Ingest stream on its own connection: steady appends with an
+        // occasional tombstone delete, so generations keep publishing
+        // while the read clients hammer the cache.
+        let ingest = scope.spawn(|| -> Result<usize, String> {
+            let (mut stream, mut reader) = connect(addr)?;
+            let mut sent = 0;
+            for batch in 0..w.ingest_batches {
+                roundtrip(
+                    &mut stream,
+                    &mut reader,
+                    &ingest_line(batch, w.ingest_batch_size),
+                )?;
+                sent += w.ingest_batch_size;
+                if batch % 4 == 3 {
+                    let id = 1_000_000 + (batch * w.ingest_batch_size) as u64;
+                    roundtrip(
+                        &mut stream,
+                        &mut reader,
+                        &format!("{{\"op\":\"delete\",\"ids\":[{id}]}}"),
+                    )?;
+                }
+                std::thread::sleep(w.publish_interval / 2);
+            }
+            Ok(sent)
+        });
+        let clients: Vec<_> = (0..w.clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let (mut stream, mut reader) = connect(addr)?;
+                    let mut lat = Vec::with_capacity(w.requests_per_client);
+                    for i in 0..w.requests_per_client {
+                        // Offset each client's cursor so the mix
+                        // interleaves rather than marching in lockstep.
+                        let line = READ_MIX[(i + c) % READ_MIX.len()];
+                        let t = Instant::now();
+                        roundtrip(&mut stream, &mut reader, line)?;
+                        lat.push(t.elapsed().as_nanos() as u64);
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for c in clients {
+            all.push(c.join().map_err(|_| "client panicked")??);
+        }
+        let sent = ingest.join().map_err(|_| "ingest panicked")??;
+        Ok((all, sent))
+    });
+    let (latencies, ingested) = result?;
+    let wall = started.elapsed();
+
+    // Counters from the daemon itself, via the wire protocol.
+    let (mut stream, mut reader) = connect(addr)?;
+    let trace = roundtrip(&mut stream, &mut reader, r#"{"op":"trace"}"#)?;
+    drop(stream);
+    let doc = Json::parse(&trace).map_err(|e| format!("bad trace reply: {e}"))?;
+    let metrics = match doc.get("metrics") {
+        Some(Json::Obj(m)) => m
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_f64().unwrap_or(0.0) as u64))
+            .collect(),
+        _ => return Err("trace reply has no metrics object".into()),
+    };
+
+    handle.shutdown();
+    handle.wait();
+    handle.join().map_err(|e| format!("join failed: {e}"))?;
+
+    let mut merged: Vec<u64> = latencies.into_iter().flatten().collect();
+    merged.sort_unstable();
+    println!(
+        "ingested {ingested} records alongside {} read requests",
+        merged.len()
+    );
+    Ok(RunResult {
+        requests: merged.len(),
+        wall,
+        p50_ns: quantile_ns(&merged, 0.50),
+        p99_ns: quantile_ns(&merged, 0.99),
+        metrics,
+    })
+}
+
+/// The correctness gates shared by the post-run check and `--validate`.
+/// Returns a REGRESSION message on the first violated gate.
+fn check_gates(
+    qps: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    cache_hits: f64,
+    generations: f64,
+    query_errors: f64,
+) -> Result<(), String> {
+    if qps.is_nan() || qps <= 0.0 {
+        return Err(format!("REGRESSION — qps is {qps}, must be positive"));
+    }
+    if p99_ns.is_nan() || p99_ns <= 0.0 || p50_ns > p99_ns {
+        return Err(format!(
+            "REGRESSION — latency quantiles inconsistent (p50 {p50_ns} ns, p99 {p99_ns} ns)"
+        ));
+    }
+    if cache_hits < 1.0 {
+        return Err(
+            "REGRESSION — result cache recorded zero hits under a repeating read mix".into(),
+        );
+    }
+    if generations < 1.0 {
+        return Err("REGRESSION — no generation published under ingest load".into());
+    }
+    if query_errors > 0.0 {
+        return Err(format!(
+            "REGRESSION — {query_errors} query errors on a well-formed workload"
+        ));
+    }
+    Ok(())
+}
+
+fn metric(metrics: &[(String, u64)], name: &str) -> u64 {
+    metrics
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text)?;
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == "tnet-bench-serve/v1" => {}
+        other => return Err(format!("bad schema field: {other:?}")),
+    }
+    let num = |block: &str, key: &str| -> Result<f64, String> {
+        doc.get(block)
+            .and_then(|b| b.get(key))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("report missing number '{block}.{key}'"))
+    };
+    check_gates(
+        num("results", "qps")?,
+        num("results", "p50_ns")?,
+        num("results", "p99_ns")?,
+        num("server", "cache_hits")?,
+        num("server", "generations_published")?,
+        num("server", "query_errors")?,
+    )?;
+    println!(
+        "{path}: valid, {:.0} qps sustained, p99 {:.2} ms, gates pass",
+        num("results", "qps")?,
+        num("results", "p99_ns")? / 1e6,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &opts.validate {
+        return match validate(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bench_serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let w = Workload::new(opts.smoke);
+    let run = match run_bench(&opts, &w) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let qps = run.requests as f64 / run.wall.as_secs_f64();
+    let server_fields: Vec<(&str, Json)> = [
+        ("queries", "serve.queries"),
+        ("query_errors", "serve.query_errors"),
+        ("connections", "serve.connections"),
+        ("records_ingested", "serve.records_ingested"),
+        ("records_deleted", "serve.records_deleted"),
+        ("generations_published", "serve.generations_published"),
+        ("publish_failures", "serve.publish_failures"),
+        ("cache_hits", "serve.cache_hits"),
+        ("cache_misses", "serve.cache_misses"),
+        ("cache_evictions", "serve.cache_evictions"),
+        ("server_p50_ns", "serve.query_latency.p50_ns"),
+        ("server_p99_ns", "serve.query_latency.p99_ns"),
+    ]
+    .iter()
+    .map(|(out, key)| (*out, Json::Num(metric(&run.metrics, key) as f64)))
+    .collect();
+
+    let doc = Json::obj([
+        ("schema", Json::Str("tnet-bench-serve/v1".into())),
+        ("seed", Json::Num(opts.seed as f64)),
+        ("smoke", Json::Bool(opts.smoke)),
+        (
+            "workload",
+            Json::obj([
+                ("scale", Json::Num(w.scale)),
+                ("clients", Json::Num(w.clients as f64)),
+                (
+                    "requests_per_client",
+                    Json::Num(w.requests_per_client as f64),
+                ),
+                ("ingest_batches", Json::Num(w.ingest_batches as f64)),
+                ("ingest_batch_size", Json::Num(w.ingest_batch_size as f64)),
+                (
+                    "publish_interval_ms",
+                    Json::Num(w.publish_interval.as_millis() as f64),
+                ),
+                (
+                    "read_mix",
+                    Json::Arr(READ_MIX.iter().map(|s| Json::Str(s.to_string())).collect()),
+                ),
+            ]),
+        ),
+        (
+            "results",
+            Json::obj([
+                ("requests", Json::Num(run.requests as f64)),
+                ("wall_ms", Json::Num(run.wall.as_secs_f64() * 1e3)),
+                ("qps", Json::Num(qps)),
+                ("p50_ns", Json::Num(run.p50_ns as f64)),
+                ("p99_ns", Json::Num(run.p99_ns as f64)),
+            ]),
+        ),
+        ("server", Json::obj(server_fields)),
+    ]);
+    if let Err(e) = std::fs::write(&opts.out, doc.pretty()) {
+        eprintln!("bench_serve: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} ({:.0} qps, p50 {:.2} ms, p99 {:.2} ms)",
+        opts.out,
+        qps,
+        run.p50_ns as f64 / 1e6,
+        run.p99_ns as f64 / 1e6
+    );
+
+    if let Err(e) = check_gates(
+        qps,
+        run.p50_ns as f64,
+        run.p99_ns as f64,
+        metric(&run.metrics, "serve.cache_hits") as f64,
+        metric(&run.metrics, "serve.generations_published") as f64,
+        metric(&run.metrics, "serve.query_errors") as f64,
+    ) {
+        eprintln!("bench_serve: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -6,6 +6,7 @@ pub mod gen;
 pub mod lanes;
 pub mod mine;
 pub mod report;
+pub mod serve;
 pub mod stats;
 pub mod subdue;
 pub mod temporal;

@@ -45,6 +45,9 @@ COMMANDS:
     report    the full E1..E15 report (+E17..E21 extensions)
               --scale F --seed N --extensions true|false
               --deadline-secs F --section-budget MB
+    serve     long-lived pattern-mining daemon (JSON lines over TCP)
+              --port N --port-file PATH --publish-interval-ms N
+              --batch N --cache N --shutdown-on-stdin-eof true|false
     help      this message
 
 mine, subdue, temporal and report also take --threads N to size the
@@ -91,6 +94,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "temporal" => commands::temporal::run(&args),
         "lanes" => commands::lanes::run(&args),
         "report" => commands::report::run(&args),
+        "serve" => commands::serve::run(&args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())

@@ -40,6 +40,10 @@ pub enum PipelineError {
     /// An I/O failure outside CSV parsing (opening files, writing
     /// output).
     Io(String),
+    /// A malformed request on the serving wire protocol (bad JSON, an
+    /// unknown op, an oversized line). Always a client error: the
+    /// daemon replies with it and keeps the connection alive.
+    Protocol { message: String },
 }
 
 impl PipelineError {
@@ -57,6 +61,25 @@ impl PipelineError {
                 | PipelineError::Gspan(GspanError::MemoryBudgetExceeded { .. })
                 | PipelineError::DeadlineExceeded { .. }
         )
+    }
+
+    /// A stable machine-readable tag for the error's taxonomy branch,
+    /// used as the `kind` field of wire-protocol error replies so
+    /// clients can dispatch without parsing the human message.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PipelineError::Csv(_) => "csv",
+            PipelineError::BinFit(_) => "bin_fit",
+            PipelineError::Fsg(_) => "fsg",
+            PipelineError::Subdue(_) => "subdue",
+            PipelineError::Gspan(_) => "gspan",
+            PipelineError::Em(_) => "em",
+            PipelineError::DeadlineExceeded { .. } => "deadline",
+            PipelineError::Panic { .. } => "panic",
+            PipelineError::Cancelled => "cancelled",
+            PipelineError::Io(_) => "io",
+            PipelineError::Protocol { .. } => "protocol",
+        }
     }
 
     /// True when the underlying failure is a bare cancellation (any
@@ -92,6 +115,7 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::Cancelled => write!(f, "cancelled"),
             PipelineError::Io(msg) => write!(f, "io error: {msg}"),
+            PipelineError::Protocol { message } => write!(f, "protocol error: {message}"),
         }
     }
 }
@@ -171,6 +195,24 @@ mod tests {
         assert!(PipelineError::Fsg(FsgError::Cancelled).is_cancellation());
         assert!(PipelineError::Em(EmError::Cancelled).is_cancellation());
         assert!(!PipelineError::Io("x".into()).is_cancellation());
+    }
+
+    #[test]
+    fn kinds_are_stable_tags() {
+        assert_eq!(PipelineError::Cancelled.kind(), "cancelled");
+        assert_eq!(PipelineError::Io("x".into()).kind(), "io");
+        let p = PipelineError::Protocol {
+            message: "unknown op `frobnicate`".into(),
+        };
+        assert_eq!(p.kind(), "protocol");
+        assert!(p.to_string().contains("unknown op"));
+        assert!(!p.is_retryable());
+        assert!(!p.is_cancellation());
+        let d = PipelineError::DeadlineExceeded {
+            section: "s".into(),
+            limit: Duration::from_secs(1),
+        };
+        assert_eq!(d.kind(), "deadline");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Deterministic fault injection for supervision tests.
 //!
 //! A *failpoint* is a named site in production code (`fsg::candidate_gen`,
-//! `subdue::beam_eval`, `em::iteration`, `csv::ingest`, ...) where a fault
+//! `subdue::beam_eval`, `em::iteration`, `csv::ingest`, `serve::publish`,
+//! ...) where a fault
 //! can be armed at runtime — from the `TNET_FAILPOINTS` environment
 //! variable or programmatically via [`arm`] — without recompiling and
 //! without any cost on the unarmed path beyond one relaxed atomic load.

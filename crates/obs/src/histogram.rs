@@ -1,0 +1,195 @@
+//! Lock-free latency histogram with power-of-two buckets.
+//!
+//! The serving layer needs per-query latency quantiles that can be
+//! recorded from many connection threads without coordination and read
+//! at any moment by an observer (the `trace` query, the bench harness).
+//! Exact quantiles would need a sorted reservoir and a lock; a
+//! power-of-two bucket histogram gives ≤ 2x-resolution quantiles from
+//! nothing but relaxed atomic increments, which is plenty to tell a
+//! 50 µs cache hit from a 5 ms mining query.
+//!
+//! Bucket `i` covers durations whose nanosecond count has its highest
+//! set bit at position `i` (bucket 0 is `0..=1` ns). Quantiles report
+//! the bucket's upper bound, so they are conservative (never
+//! under-report).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per bit of a `u64` nanosecond count.
+const BUCKETS: usize = 64;
+
+/// A thread-safe histogram of durations in nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Index of the bucket covering `nanos`.
+#[inline]
+fn bucket_of(nanos: u64) -> usize {
+    (63 - nanos.max(1).leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive) of bucket `i` in nanoseconds.
+#[inline]
+fn bucket_hi(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation of `nanos`.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.buckets) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { counts }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`], with quantile lookup.
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramSnapshot {
+    counts: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Upper bound in nanoseconds of the bucket holding the `q`-quantile
+    /// observation (`0.0 ..= 1.0`), or `None` if the histogram is empty.
+    /// `q` is clamped into range; resolution is a factor of two.
+    pub fn quantile_nanos(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        // Rank of the quantile observation, 1-based, nearest-rank.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_hi(i));
+            }
+        }
+        unreachable!("rank {rank} <= total {total} must land in a bucket");
+    }
+
+    /// Publishes `count`, `p50`, and `p99` under dotted names derived
+    /// from `prefix` (e.g. `serve.query.p50_ns`) — the same callback
+    /// shape `FrozenStats::publish` uses, so callers can fold the
+    /// histogram into any registry without a dependency edge.
+    pub fn publish(&self, prefix: &str, f: &mut dyn FnMut(&str, u64)) {
+        f(&format!("{prefix}.count"), self.count());
+        if let Some(p50) = self.quantile_nanos(0.50) {
+            f(&format!("{prefix}.p50_ns"), p50);
+        }
+        if let Some(p99) = self.quantile_nanos(0.99) {
+            f(&format!("{prefix}.p99_ns"), p99);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_line() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_hi(0), 1);
+        assert_eq!(bucket_hi(1), 3);
+        assert_eq!(bucket_hi(63), u64::MAX);
+        for n in [0u64, 1, 2, 3, 100, 1 << 40, u64::MAX] {
+            assert!(n <= bucket_hi(bucket_of(n)));
+        }
+    }
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().count(), 0);
+        assert_eq!(h.snapshot().quantile_nanos(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let h = LatencyHistogram::new();
+        // 99 fast observations, one slow outlier.
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        let p50 = s.quantile_nanos(0.50).unwrap();
+        assert!((1_000..=1_023).contains(&p50), "{p50}");
+        let p99 = s.quantile_nanos(0.99).unwrap();
+        assert!(p99 >= 1_000, "{p99}");
+        let p100 = s.quantile_nanos(1.0).unwrap();
+        assert!(p100 >= 1_000_000, "{p100}");
+        assert!(s.quantile_nanos(0.0).unwrap() >= 1_000);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count(), 4_000);
+    }
+
+    #[test]
+    fn publish_emits_dotted_names() {
+        let h = LatencyHistogram::new();
+        h.record(500);
+        let mut seen = Vec::new();
+        h.snapshot().publish("serve.query", &mut |name, v| {
+            seen.push((name.to_string(), v));
+        });
+        assert_eq!(seen[0].0, "serve.query.count");
+        assert_eq!(seen[0].1, 1);
+        assert!(seen.iter().any(|(n, _)| n == "serve.query.p50_ns"));
+        assert!(seen.iter().any(|(n, _)| n == "serve.query.p99_ns"));
+    }
+}

@@ -16,8 +16,10 @@
 //! run boundaries. See DESIGN.md §10 for the span model, the naming
 //! scheme, and the `tnet-trace/v1` JSON schema.
 
+mod histogram;
 mod metrics;
 mod span;
 
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::MetricsRegistry;
 pub use span::{Span, SpanNode, Timed, Tracer};

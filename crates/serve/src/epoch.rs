@@ -1,0 +1,308 @@
+//! The generation cell: a hand-rolled `arc-swap` on hazard pointers.
+//!
+//! One writer publishes successive immutable generations; many readers
+//! pin the current one without ever blocking. The obvious safe-Rust
+//! shapes all fail the "no locks on the read path" requirement:
+//! `RwLock<Arc<T>>` blocks readers during a publish, and a bare
+//! `AtomicPtr<T>` of `Arc::into_raw` pointers has a use-after-free
+//! window between loading the pointer and bumping its refcount. The
+//! classic fix is a hazard pointer: a reader announces the pointer it
+//! is about to touch in a slot the writer scans before reclaiming.
+//!
+//! Protocol (all accesses `SeqCst`, so every argument below can lean on
+//! the single total order `S`):
+//!
+//! - **Reader pin**: load `current` → store it in the reader's hazard
+//!   slot → re-load `current`. If the validation load still sees the
+//!   same pointer, bump the strong count, clear the hazard, and return
+//!   a plain `Arc<T>`; otherwise retry with the fresh pointer.
+//! - **Writer publish**: swap `current` to the new pointer, push the
+//!   old one onto the retired list, then reclaim every retired pointer
+//!   not present in any hazard slot.
+//!
+//! Why the validation load makes this sound: suppose a reader's
+//! validation load V returns pointer `p`. The writer's swap W that
+//! unpublishes `p` writes a different value to `current`, so V precedes
+//! W in `S`. The hazard store H precedes V (program order), and W
+//! precedes the writer's hazard scan C (program order), so H precedes C
+//! in `S`: the scan observes the hazard and defers reclaiming `p`. The
+//! reader clears its hazard only after `Arc::increment_strong_count`,
+//! at which point it owns a counted reference and reclamation of the
+//! retired count is harmless. Pointers deferred by a live hazard are
+//! retried on the next publish and when the cell drops. ABA is benign:
+//! each publish leaks-then-swaps a fresh `Arc` allocation whose
+//! reclamation is gated on the hazard scan, so a slot can never hold a
+//! stale pointer that was already freed.
+//!
+//! This module owns the only `unsafe` in the workspace; everything it
+//! exports (`EpochCell::publish`, `EpochReader::pin`) is a safe API.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Fixed number of hazard slots — the hard cap on *concurrent*
+/// registered readers (connection threads), not on connections over a
+/// daemon's lifetime. Registration hands back slots on drop.
+pub const MAX_READERS: usize = 128;
+
+/// A single-writer, many-reader cell holding the current generation.
+///
+/// Readers never block: [`EpochReader::pin`] is a handful of atomic
+/// operations and one refcount increment. The writer pays for
+/// reclamation ([`EpochCell::publish`] takes a private mutex for the
+/// retired list, which no reader ever touches).
+pub struct EpochCell<T> {
+    current: AtomicPtr<T>,
+    /// Hazard slots: a null entry is "not reading"; a non-null entry
+    /// pins that pointer against reclamation.
+    hazards: Vec<AtomicPtr<T>>,
+    /// Slot ownership, so readers can register/unregister concurrently.
+    claimed: Vec<AtomicBool>,
+    /// Unpublished pointers awaiting reclamation. Writer-side only.
+    retired: Mutex<Vec<*mut T>>,
+    /// Number of successful publishes (the current generation's ordinal
+    /// position); readable without pinning.
+    publishes: AtomicU64,
+}
+
+// The raw pointers inside are `Arc::into_raw` of `T` and only ever
+// dereferenced through counted `Arc`s; sharing them across threads is
+// exactly as safe as sharing `Arc<T>`.
+unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+impl<T> EpochCell<T> {
+    /// A cell whose first generation is `initial`.
+    pub fn new(initial: Arc<T>) -> Arc<EpochCell<T>> {
+        Arc::new(EpochCell {
+            current: AtomicPtr::new(Arc::into_raw(initial) as *mut T),
+            hazards: (0..MAX_READERS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            claimed: (0..MAX_READERS).map(|_| AtomicBool::new(false)).collect(),
+            retired: Mutex::new(Vec::new()),
+            publishes: AtomicU64::new(0),
+        })
+    }
+
+    /// Publishes `next` as the current generation and reclaims every
+    /// unpinned predecessor. Single logical writer; calling from two
+    /// threads is safe but the last swap wins.
+    pub fn publish(&self, next: Arc<T>) {
+        let new_ptr = Arc::into_raw(next) as *mut T;
+        let old = self.current.swap(new_ptr, SeqCst);
+        self.publishes.fetch_add(1, SeqCst);
+        let mut retired = self.retired.lock().unwrap();
+        retired.push(old);
+        self.reclaim(&mut retired);
+    }
+
+    /// Number of publishes so far (0 = still on the initial value).
+    pub fn publish_count(&self) -> u64 {
+        self.publishes.load(SeqCst)
+    }
+
+    /// Drops the retired pointers no hazard slot is protecting.
+    /// Caller holds the retired-list lock (writer side only).
+    fn reclaim(&self, retired: &mut Vec<*mut T>) {
+        retired.retain(|&p| {
+            let pinned = self.hazards.iter().any(|h| h.load(SeqCst) == p);
+            if !pinned {
+                // The retired entry owns the strong count that
+                // `Arc::into_raw` leaked at publish time; no hazard
+                // guards `p` (see module docs), so reconstituting and
+                // dropping that count is the unique release of it.
+                unsafe { drop(Arc::from_raw(p)) };
+            }
+            pinned
+        });
+    }
+
+    /// Registers a reader, claiming a hazard slot. Returns `None` when
+    /// all [`MAX_READERS`] slots are in use.
+    pub fn register(self: &Arc<Self>) -> Option<EpochReader<T>> {
+        for slot in 0..MAX_READERS {
+            if self.claimed[slot]
+                .compare_exchange(false, true, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return Some(EpochReader {
+                    cell: Arc::clone(self),
+                    slot,
+                });
+            }
+        }
+        None
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        // No readers can exist here: every `EpochReader` holds an
+        // `Arc<EpochCell>`, so the cell only drops after the last
+        // reader (and its transient hazard) is gone.
+        let retired = self.retired.get_mut().unwrap();
+        retired.push(self.current.load(SeqCst));
+        for &p in retired.iter() {
+            unsafe { drop(Arc::from_raw(p)) };
+        }
+    }
+}
+
+/// A registered reader: owns one hazard slot of its cell.
+pub struct EpochReader<T> {
+    cell: Arc<EpochCell<T>>,
+    slot: usize,
+}
+
+impl<T> EpochReader<T> {
+    /// Pins and returns the current generation. Lock-free: retries only
+    /// while the writer publishes concurrently, and each retry adopts
+    /// the newer pointer.
+    pub fn pin(&self) -> Arc<T> {
+        let hazard = &self.cell.hazards[self.slot];
+        loop {
+            let p = self.cell.current.load(SeqCst);
+            hazard.store(p, SeqCst);
+            if self.cell.current.load(SeqCst) == p {
+                // Validated: any writer that unpublishes `p` from here
+                // on must observe our hazard before reclaiming (module
+                // docs). Take a counted reference, then unpin.
+                let arc = unsafe {
+                    Arc::increment_strong_count(p);
+                    Arc::from_raw(p)
+                };
+                hazard.store(std::ptr::null_mut(), SeqCst);
+                return arc;
+            }
+            // Publish raced between load and validate; drop the stale
+            // hazard and retry on the fresh pointer.
+            hazard.store(std::ptr::null_mut(), SeqCst);
+        }
+    }
+
+    /// Publishes seen by the cell — lets a reader report how far behind
+    /// its pinned generation is without pinning again.
+    pub fn publish_count(&self) -> u64 {
+        self.cell.publish_count()
+    }
+}
+
+impl<T> Drop for EpochReader<T> {
+    fn drop(&mut self) {
+        // Pin never leaves a hazard set past its return, but clear
+        // defensively before handing the slot back.
+        self.cell.hazards[self.slot].store(std::ptr::null_mut(), SeqCst);
+        self.cell.claimed[self.slot].store(false, SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A generation payload with an internal consistency invariant and
+    /// a drop counter, so tests can detect both torn reads and leaks.
+    struct Payload {
+        a: u64,
+        b: u64,
+        drops: Arc<AtomicUsize>,
+    }
+
+    impl Payload {
+        fn new(v: u64, drops: &Arc<AtomicUsize>) -> Arc<Payload> {
+            Arc::new(Payload {
+                a: v,
+                b: v.wrapping_mul(2).wrapping_add(1),
+                drops: Arc::clone(drops),
+            })
+        }
+    }
+
+    impl Drop for Payload {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, SeqCst);
+        }
+    }
+
+    #[test]
+    fn pin_sees_published_value() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = EpochCell::new(Payload::new(1, &drops));
+        let r = cell.register().unwrap();
+        assert_eq!(r.pin().a, 1);
+        cell.publish(Payload::new(2, &drops));
+        assert_eq!(r.pin().a, 2);
+        assert_eq!(cell.publish_count(), 1);
+    }
+
+    #[test]
+    fn old_generation_survives_while_pinned() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = EpochCell::new(Payload::new(1, &drops));
+        let r = cell.register().unwrap();
+        let pinned = r.pin();
+        cell.publish(Payload::new(2, &drops));
+        cell.publish(Payload::new(3, &drops));
+        // Generation 2 had no readers and is reclaimed; generation 1 is
+        // kept alive by our Arc even though the writer retired it.
+        assert_eq!(pinned.a, 1);
+        assert_eq!(pinned.b, 3);
+        assert!(drops.load(SeqCst) <= 1);
+        drop(pinned);
+        drop(r);
+        drop(cell);
+        assert_eq!(drops.load(SeqCst), 3, "all generations reclaimed");
+    }
+
+    #[test]
+    fn slots_exhaust_and_recycle() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = EpochCell::new(Payload::new(1, &drops));
+        let readers: Vec<_> = (0..MAX_READERS).map(|_| cell.register().unwrap()).collect();
+        assert!(cell.register().is_none(), "slots exhausted");
+        drop(readers);
+        assert!(cell.register().is_some(), "slots handed back on drop");
+    }
+
+    #[test]
+    fn concurrent_pins_never_tear_and_never_leak() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = EpochCell::new(Payload::new(0, &drops));
+        const PUBLISHES: u64 = 2_000;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reader = cell.register().unwrap();
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    loop {
+                        let g = reader.pin();
+                        // Invariant holds on every observed generation
+                        // (a torn or freed read would break it).
+                        assert_eq!(g.b, g.a.wrapping_mul(2).wrapping_add(1));
+                        // Generations are observed monotonically.
+                        assert!(g.a >= last, "went backwards: {} < {last}", g.a);
+                        last = g.a;
+                        if g.a == PUBLISHES {
+                            return;
+                        }
+                    }
+                });
+            }
+            let drops = Arc::clone(&drops);
+            let cell = Arc::clone(&cell);
+            s.spawn(move || {
+                for v in 1..=PUBLISHES {
+                    cell.publish(Payload::new(v, &drops));
+                }
+            });
+        });
+        drop(cell);
+        assert_eq!(
+            drops.load(SeqCst) as u64,
+            PUBLISHES + 1,
+            "every generation dropped exactly once"
+        );
+    }
+}

@@ -1,0 +1,729 @@
+//! The wire protocol: newline-delimited JSON requests and replies.
+//!
+//! One request per line, one reply per line. Every reply is a flat-ish
+//! JSON object with an `"ok"` boolean; errors carry the
+//! [`tnet_core::error::PipelineError`] taxonomy as
+//! `{"ok":false,"error":{"kind":...,"message":...}}` so clients can
+//! dispatch on the stable `kind` tag. The parser is hand-rolled
+//! recursive descent over the subset of JSON the protocol needs
+//! (objects, arrays, strings, numbers, booleans, null), with a depth
+//! cap so a hostile request can't recurse the connection thread's
+//! stack. Schema reference: DESIGN.md §12.
+//!
+//! Parsing also produces the **canonical query form** used as the cache
+//! key: fixed field order, defaults filled in, whitespace-free — so
+//! `{"op":"pattern","support":5}` and a field-reordered,
+//! default-spelled-out equivalent hit the same cache entry.
+
+use tnet_core::error::PipelineError;
+use tnet_data::model::{Date, LatLon, TransMode, Transaction};
+use tnet_data::od_graph::EdgeLabeling;
+use tnet_graph::graph::ELabel;
+use tnet_partition::split::Strategy;
+
+/// Longest accepted request line, in bytes. Anything longer gets a
+/// typed `protocol` error reply and the rest of the line is discarded;
+/// the connection survives.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Deepest accepted JSON nesting (`ingest` needs 3: object → array →
+/// record object).
+const MAX_DEPTH: usize = 8;
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answers with the current generation id.
+    Ping,
+    /// The §3 dataset description of the pinned generation.
+    Stats,
+    /// Directed-walk support of an edge-label chain on the pinned OD
+    /// graph (see `tnet_graph::traverse::count_label_walks`).
+    Support {
+        labeling: EdgeLabeling,
+        labels: Vec<ELabel>,
+    },
+    /// Algorithm 1 frequent-pattern mining on the pinned generation,
+    /// same knobs and defaults as `tnet mine`.
+    Pattern {
+        labeling: EdgeLabeling,
+        strategy: Strategy,
+        partitions: usize,
+        support: usize,
+        max_edges: usize,
+        reps: usize,
+        top: usize,
+    },
+    /// Server metrics snapshot (counters + latency quantiles).
+    Trace,
+    /// Batched transaction appends, forwarded to the writer.
+    Ingest { records: Vec<Transaction> },
+    /// Tombstone deletes by transaction id, forwarded to the writer.
+    Delete { ids: Vec<u64> },
+    /// Begin graceful shutdown: drain connections, flush a final
+    /// generation, exit 0.
+    Shutdown,
+}
+
+impl Request {
+    /// The canonical cache-key form, or `None` for requests that are
+    /// not cacheable (mutations, probes, and metrics reads).
+    pub fn canonical(&self) -> Option<String> {
+        match self {
+            Request::Stats => Some("stats".to_string()),
+            Request::Support { labeling, labels } => {
+                let seq: Vec<String> = labels.iter().map(|l| l.0.to_string()).collect();
+                Some(format!(
+                    "support labeling={} labels={}",
+                    labeling.name(),
+                    seq.join(",")
+                ))
+            }
+            Request::Pattern {
+                labeling,
+                strategy,
+                partitions,
+                support,
+                max_edges,
+                reps,
+                top,
+            } => Some(format!(
+                "pattern labeling={} strategy={} partitions={partitions} support={support} \
+                 max_edges={max_edges} reps={reps} top={top}",
+                labeling.name(),
+                match strategy {
+                    Strategy::BreadthFirst => "bf",
+                    Strategy::DepthFirst => "df",
+                },
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// The JSON subset the protocol speaks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JVal {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    fn type_name(&self) -> &'static str {
+        match self {
+            JVal::Null => "null",
+            JVal::Bool(_) => "bool",
+            JVal::Num(_) => "number",
+            JVal::Str(_) => "string",
+            JVal::Arr(_) => "array",
+            JVal::Obj(_) => "object",
+        }
+    }
+}
+
+fn perr(message: impl Into<String>) -> PipelineError {
+    PipelineError::Protocol {
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), PipelineError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(perr(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JVal, PipelineError> {
+        if depth > MAX_DEPTH {
+            return Err(perr("request JSON nested too deeply"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b't') => self.keyword("true", JVal::Bool(true)),
+            Some(b'f') => self.keyword("false", JVal::Bool(false)),
+            Some(b'n') => self.keyword("null", JVal::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(perr(format!(
+                "unexpected byte `{}` at {}",
+                b as char, self.pos
+            ))),
+            None => Err(perr("unexpected end of request")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, val: JVal) -> Result<JVal, PipelineError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(val)
+        } else {
+            Err(perr(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, PipelineError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| perr("non-utf8 number"))?;
+        text.parse::<f64>()
+            .map(JVal::Num)
+            .map_err(|_| perr(format!("bad number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, PipelineError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(perr("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| perr("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| perr("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| perr("non-utf8 \\u escape"))?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| perr("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are replaced rather than paired;
+                            // the protocol never needs astral characters.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(perr(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| perr("request is not valid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JVal, PipelineError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                _ => return Err(perr("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JVal, PipelineError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JVal::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(fields));
+                }
+                _ => return Err(perr("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+/// Parses one line into the protocol's JSON subset. Trailing
+/// non-whitespace after the value is an error.
+pub fn parse_json(line: &str) -> Result<JVal, PipelineError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(perr(format!("trailing bytes after value at {}", p.pos)));
+    }
+    Ok(v)
+}
+
+// ----------------------------------------------------------- extraction
+
+fn get<'v>(fields: &'v [(String, JVal)], key: &str) -> Option<&'v JVal> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn usize_field(
+    fields: &[(String, JVal)],
+    key: &str,
+    default: usize,
+) -> Result<usize, PipelineError> {
+    match get(fields, key) {
+        None => Ok(default),
+        Some(JVal::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+            Ok(*n as usize)
+        }
+        Some(v) => Err(perr(format!(
+            "field `{key}` must be a small non-negative integer, got {}",
+            v.type_name()
+        ))),
+    }
+}
+
+fn num_field(fields: &[(String, JVal)], key: &str) -> Result<f64, PipelineError> {
+    match get(fields, key) {
+        Some(JVal::Num(n)) => Ok(*n),
+        Some(v) => Err(perr(format!(
+            "field `{key}` must be a number, got {}",
+            v.type_name()
+        ))),
+        None => Err(perr(format!("missing field `{key}`"))),
+    }
+}
+
+fn str_field<'v>(fields: &'v [(String, JVal)], key: &str) -> Result<&'v str, PipelineError> {
+    match get(fields, key) {
+        Some(JVal::Str(s)) => Ok(s),
+        Some(v) => Err(perr(format!(
+            "field `{key}` must be a string, got {}",
+            v.type_name()
+        ))),
+        None => Err(perr(format!("missing field `{key}`"))),
+    }
+}
+
+fn labeling_field(fields: &[(String, JVal)]) -> Result<EdgeLabeling, PipelineError> {
+    match get(fields, "labeling") {
+        None => Ok(EdgeLabeling::GrossWeight),
+        Some(JVal::Str(s)) => match s.as_str() {
+            "gw" | "weight" => Ok(EdgeLabeling::GrossWeight),
+            "th" | "hours" => Ok(EdgeLabeling::TransitHours),
+            "td" | "distance" => Ok(EdgeLabeling::TotalDistance),
+            other => Err(perr(format!(
+                "unknown labeling `{other}` (use gw, th, or td)"
+            ))),
+        },
+        Some(v) => Err(perr(format!(
+            "field `labeling` must be a string, got {}",
+            v.type_name()
+        ))),
+    }
+}
+
+fn record_field(fields: &[(String, JVal)]) -> Result<Transaction, PipelineError> {
+    let mode = match get(fields, "mode") {
+        None => TransMode::Truckload,
+        Some(JVal::Str(s)) => TransMode::parse(s)
+            .ok_or_else(|| perr(format!("unknown mode `{s}` (use TL or LTL)")))?,
+        Some(v) => {
+            return Err(perr(format!(
+                "field `mode` must be a string, got {}",
+                v.type_name()
+            )))
+        }
+    };
+    let day = num_field(fields, "pickup")?;
+    if !(0.0..=u32::MAX as f64).contains(&day) || day.fract() != 0.0 {
+        return Err(perr("field `pickup` must be a whole day number"));
+    }
+    let pickup = Date(day as u32);
+    let delivery = match get(fields, "delivery") {
+        None => pickup,
+        Some(JVal::Num(n)) if (0.0..=u32::MAX as f64).contains(n) && n.fract() == 0.0 => {
+            Date(*n as u32)
+        }
+        Some(_) => return Err(perr("field `delivery` must be a whole day number")),
+    };
+    let id = num_field(fields, "id")?;
+    if !(0.0..=u64::MAX as f64).contains(&id) || id.fract() != 0.0 {
+        return Err(perr("field `id` must be a non-negative integer"));
+    }
+    Ok(Transaction {
+        id: id as u64,
+        req_pickup: pickup,
+        req_delivery: delivery,
+        origin: LatLon::new(num_field(fields, "olat")?, num_field(fields, "olon")?),
+        dest: LatLon::new(num_field(fields, "dlat")?, num_field(fields, "dlon")?),
+        total_distance: num_field(fields, "distance")?,
+        gross_weight: num_field(fields, "weight")?,
+        transit_hours: num_field(fields, "hours")?,
+        mode,
+    })
+}
+
+/// Parses one request line. All protocol violations come back as
+/// [`PipelineError::Protocol`] so the server can reply without killing
+/// the connection.
+pub fn parse_request(line: &str) -> Result<Request, PipelineError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(perr(format!(
+            "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte limit",
+            line.len()
+        )));
+    }
+    let JVal::Obj(fields) = parse_json(line)? else {
+        return Err(perr("request must be a JSON object"));
+    };
+    match str_field(&fields, "op")? {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "trace" => Ok(Request::Trace),
+        "shutdown" => Ok(Request::Shutdown),
+        "support" => {
+            let labels = match get(&fields, "labels") {
+                Some(JVal::Arr(items)) => items
+                    .iter()
+                    .map(|v| match v {
+                        JVal::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                            Ok(ELabel(*n as u32))
+                        }
+                        other => Err(perr(format!(
+                            "`labels` entries must be bin indices, got {}",
+                            other.type_name()
+                        ))),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                Some(v) => {
+                    return Err(perr(format!(
+                        "field `labels` must be an array, got {}",
+                        v.type_name()
+                    )))
+                }
+                None => return Err(perr("missing field `labels`")),
+            };
+            Ok(Request::Support {
+                labeling: labeling_field(&fields)?,
+                labels,
+            })
+        }
+        "pattern" => {
+            let strategy = match get(&fields, "strategy") {
+                None => Strategy::BreadthFirst,
+                Some(JVal::Str(s)) => match s.as_str() {
+                    "bf" | "breadth" => Strategy::BreadthFirst,
+                    "df" | "depth" => Strategy::DepthFirst,
+                    other => return Err(perr(format!("unknown strategy `{other}` (bf|df)"))),
+                },
+                Some(v) => {
+                    return Err(perr(format!(
+                        "field `strategy` must be a string, got {}",
+                        v.type_name()
+                    )))
+                }
+            };
+            let support = usize_field(&fields, "support", 5)?;
+            if support == 0 {
+                return Err(perr("field `support` must be at least 1"));
+            }
+            Ok(Request::Pattern {
+                labeling: labeling_field(&fields)?,
+                strategy,
+                partitions: usize_field(&fields, "partitions", 16)?.max(1),
+                support,
+                max_edges: usize_field(&fields, "max_edges", 5)?.max(1),
+                reps: usize_field(&fields, "reps", 2)?.max(1),
+                top: usize_field(&fields, "top", 15)?,
+            })
+        }
+        "ingest" => {
+            let records = match get(&fields, "records") {
+                Some(JVal::Arr(items)) => items
+                    .iter()
+                    .map(|v| match v {
+                        JVal::Obj(rec) => record_field(rec),
+                        other => Err(perr(format!(
+                            "`records` entries must be objects, got {}",
+                            other.type_name()
+                        ))),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                Some(v) => {
+                    return Err(perr(format!(
+                        "field `records` must be an array, got {}",
+                        v.type_name()
+                    )))
+                }
+                None => return Err(perr("missing field `records`")),
+            };
+            Ok(Request::Ingest { records })
+        }
+        "delete" => {
+            let ids = match get(&fields, "ids") {
+                Some(JVal::Arr(items)) => items
+                    .iter()
+                    .map(|v| match v {
+                        JVal::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+                        other => Err(perr(format!(
+                            "`ids` entries must be transaction ids, got {}",
+                            other.type_name()
+                        ))),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                Some(v) => {
+                    return Err(perr(format!(
+                        "field `ids` must be an array, got {}",
+                        v.type_name()
+                    )))
+                }
+                None => return Err(perr("missing field `ids`")),
+            };
+            Ok(Request::Delete { ids })
+        }
+        other => Err(perr(format!("unknown op `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------- serialization
+
+/// JSON-escapes `s` and wraps it in quotes.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The one-line error reply for `err`.
+pub fn error_reply(err: &PipelineError) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":{{\"kind\":{},\"message\":{}}}}}",
+        json_string(err.kind()),
+        json_string(&err.to_string())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_ops() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(r#" {"op": "stats"} "#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn pattern_defaults_match_tnet_mine() {
+        let r = parse_request(r#"{"op":"pattern"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Pattern {
+                labeling: EdgeLabeling::GrossWeight,
+                strategy: Strategy::BreadthFirst,
+                partitions: 16,
+                support: 5,
+                max_edges: 5,
+                reps: 2,
+                top: 15,
+            }
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_field_order_independent() {
+        let a = parse_request(r#"{"op":"pattern","support":3,"labeling":"th"}"#).unwrap();
+        let b = parse_request(r#"{"labeling":"hours","op":"pattern","support":3}"#).unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        let c = parse_request(r#"{"op":"pattern","support":4,"labeling":"th"}"#).unwrap();
+        assert_ne!(a.canonical(), c.canonical());
+        // Defaults spelled out canonicalize the same as defaults omitted.
+        let d = parse_request(r#"{"op":"pattern","support":5}"#).unwrap();
+        let e = parse_request(r#"{"op":"pattern"}"#).unwrap();
+        assert_eq!(d.canonical(), e.canonical());
+    }
+
+    #[test]
+    fn mutations_are_not_cacheable() {
+        let r = parse_request(r#"{"op":"delete","ids":[1,2]}"#).unwrap();
+        assert_eq!(r.canonical(), None);
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap().canonical(), None);
+        assert_eq!(
+            parse_request(r#"{"op":"trace"}"#).unwrap().canonical(),
+            None
+        );
+    }
+
+    #[test]
+    fn support_request_round_trip() {
+        let r = parse_request(r#"{"op":"support","labeling":"td","labels":[2,0,1]}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Support {
+                labeling: EdgeLabeling::TotalDistance,
+                labels: vec![ELabel(2), ELabel(0), ELabel(1)],
+            }
+        );
+        assert_eq!(
+            r.canonical().unwrap(),
+            "support labeling=OD_TD labels=2,0,1"
+        );
+    }
+
+    #[test]
+    fn ingest_records_parse() {
+        let line = r#"{"op":"ingest","records":[{"id":7,"pickup":733000,"delivery":733002,
+            "olat":33.7,"olon":-84.4,"dlat":35.1,"dlon":-90.0,
+            "distance":380.5,"weight":25000.0,"hours":9.5,"mode":"TL"}]}"#
+            .replace('\n', " ");
+        let Request::Ingest { records } = parse_request(&line).unwrap() else {
+            panic!("not ingest");
+        };
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, 7);
+        assert_eq!(records[0].req_pickup, Date(733000));
+        assert_eq!(records[0].mode, TransMode::Truckload);
+        assert!((records[0].total_distance - 380.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_lines_become_protocol_errors() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2,3]",
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"support"}"#,
+            r#"{"op":"support","labels":["x"]}"#,
+            r#"{"op":"pattern","support":0}"#,
+            r#"{"op":"ping"} trailing"#,
+            r#"{"op":"ingest","records":[{"id":1}]}"#,
+            r#"{"op":"pattern","labeling":"zz"}"#,
+            &format!(
+                "{}{}",
+                r#"{"op":"ping","pad":""#,
+                "x".repeat(MAX_LINE_BYTES)
+            ),
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.kind(), "protocol", "input: {:.60}", bad);
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let line = format!(r#"{{"op":{}1{}}}"#, "[".repeat(40), "]".repeat(40));
+        assert_eq!(parse_request(&line).unwrap_err().kind(), "protocol");
+    }
+
+    #[test]
+    fn error_reply_is_one_line_typed_json() {
+        let err = PipelineError::Protocol {
+            message: "unknown op `x`\nboom".into(),
+        };
+        let reply = error_reply(&err);
+        assert!(!reply.contains('\n'), "reply must stay one line");
+        assert!(reply.starts_with(r#"{"ok":false,"error":{"kind":"protocol""#));
+        assert!(reply.contains("\\n"), "newlines escaped, not emitted");
+        let JVal::Obj(o) = parse_json(&reply).unwrap() else {
+            panic!()
+        };
+        assert_eq!(get(&o, "ok"), Some(&JVal::Bool(false)));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = parse_json(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v, JVal::Str("a\"b\\c\ndA".to_string()));
+        let s = json_string("a\"b\\c\nd");
+        assert_eq!(parse_json(&s).unwrap(), JVal::Str("a\"b\\c\nd".to_string()));
+    }
+}

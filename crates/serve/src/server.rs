@@ -1,0 +1,503 @@
+//! The daemon: accept loop, connection threads, and shutdown sequencing.
+//!
+//! Thread model (see DESIGN.md §12):
+//!
+//! - **accept thread** — non-blocking accept loop; spawns one thread
+//!   per connection and joins them all when shutdown begins (drain).
+//! - **connection threads** — each owns a registered [`EpochReader`]
+//!   and a private [`Exec`]; reads newline-delimited JSON requests,
+//!   answers queries against the generation it pins *per request*, and
+//!   forwards mutations to the writer channel. No locks anywhere on
+//!   this path: pinning is the hazard-pointer protocol and the result
+//!   cache degrades contention to a miss.
+//! - **writer thread** — the only mutator; see [`crate::writer`].
+//!
+//! Shutdown (stdin EOF, a `shutdown` request, or SIGTERM turned into
+//! [`ServerHandle::shutdown`]) cancels one token. The accept loop stops
+//! accepting and joins connection threads, which finish their in-flight
+//! request and close; then the ingest channel drops, which tells the
+//! writer to flush a final generation and exit.
+
+use crate::cache::ResultCache;
+use crate::epoch::EpochCell;
+use crate::generation::Generation;
+use crate::proto::{self, Request, MAX_LINE_BYTES};
+use crate::query;
+use crate::writer::{IngestOp, Writer, WriterConfig};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tnet_core::error::PipelineError;
+use tnet_data::model::Transaction;
+use tnet_exec::{CancelToken, Exec};
+use tnet_obs::{LatencyHistogram, MetricsRegistry, Span, Tracer};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads for each connection's query executor.
+    pub threads: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Writer cadence and batching.
+    pub writer: WriterConfig,
+    /// Transactions the daemon starts with (generation 0).
+    pub initial: Vec<Transaction>,
+    /// Collect a span tree (rendered by the CLI at exit).
+    pub trace: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            cache_capacity: 256,
+            writer: WriterConfig::default(),
+            initial: Vec::new(),
+            trace: false,
+        }
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    cell: Arc<EpochCell<Generation>>,
+    cache: ResultCache,
+    registry: MetricsRegistry,
+    latency: LatencyHistogram,
+    shutdown: CancelToken,
+    threads: usize,
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`ServerHandle::join`] aborts rather than drains; call `join`.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    tracer: Option<Tracer>,
+    ingest: Mutex<Option<Sender<IngestOp>>>,
+    accept_thread: Option<JoinHandle<()>>,
+    writer_thread: Option<JoinHandle<()>>,
+}
+
+/// Starts the daemon: binds, publishes generation 0 from
+/// `cfg.initial`, and spawns the writer and accept threads.
+pub fn start(cfg: ServeConfig) -> Result<ServerHandle, PipelineError> {
+    let tracer = cfg.trace.then(|| Tracer::new("serve"));
+    let span = tracer.as_ref().map_or_else(Span::disabled, |t| t.root());
+    let registry = MetricsRegistry::new();
+
+    let initial = cfg.initial;
+    let genesis = {
+        let _t = span.time("serve.genesis");
+        Generation::build(0, initial.clone())?
+    };
+    let cell = EpochCell::new(Arc::new(genesis));
+
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| PipelineError::Io(format!("cannot bind {}: {e}", cfg.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| PipelineError::Io(e.to_string()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| PipelineError::Io(e.to_string()))?;
+
+    let (ingest_tx, ingest_rx) = mpsc::channel::<IngestOp>();
+    let writer = Writer::new(
+        Arc::clone(&cell),
+        initial,
+        1,
+        registry.clone(),
+        span.clone(),
+    );
+    let writer_cfg = cfg.writer.clone();
+    let writer_thread = std::thread::Builder::new()
+        .name("tnet-serve-writer".into())
+        .spawn(move || writer.run(ingest_rx, writer_cfg))
+        .map_err(|e| PipelineError::Io(e.to_string()))?;
+
+    let shared = Arc::new(Shared {
+        cell,
+        cache: ResultCache::new(cfg.cache_capacity),
+        registry: registry.clone(),
+        latency: LatencyHistogram::new(),
+        shutdown: CancelToken::new(),
+        threads: cfg.threads,
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_ingest = ingest_tx.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("tnet-serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared, accept_ingest))
+        .map_err(|e| PipelineError::Io(e.to_string()))?;
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        tracer,
+        ingest: Mutex::new(Some(ingest_tx)),
+        accept_thread: Some(accept_thread),
+        writer_thread: Some(writer_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins graceful shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.cancel();
+    }
+
+    /// A clonable token that triggers shutdown when cancelled — for
+    /// watcher threads (stdin EOF, signal handlers) that outlive any
+    /// borrow of the handle.
+    pub fn shutdown_trigger(&self) -> CancelToken {
+        self.shared.shutdown.clone()
+    }
+
+    /// True once shutdown has been requested (by any path).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.is_cancelled()
+    }
+
+    /// Blocks until shutdown is requested.
+    pub fn wait(&self) {
+        while !self
+            .shared
+            .shutdown
+            .sleep_until_cancelled(Duration::from_secs(3600))
+        {}
+    }
+
+    /// The daemon's metrics registry (live, shared with all threads).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.shared.registry
+    }
+
+    /// The span tree collected so far, when tracing was enabled.
+    pub fn trace_snapshot(&self) -> Option<tnet_obs::SpanNode> {
+        self.tracer.as_ref().map(|t| t.snapshot())
+    }
+
+    /// Drains and stops everything: connections finish their in-flight
+    /// request, the writer flushes a final generation, all threads
+    /// join. Idempotent; takes `&mut self` so the caller can still read
+    /// metrics and trace snapshots afterwards. Returns an error if any
+    /// daemon thread panicked.
+    pub fn join(&mut self) -> Result<(), PipelineError> {
+        self.shutdown();
+        let mut failed = false;
+        if let Some(h) = self.accept_thread.take() {
+            failed |= h.join().is_err();
+        }
+        // Hang up the writer only after every connection thread (each
+        // holding a sender clone) is gone, so the final flush sees all
+        // accepted ingests.
+        drop(self.ingest.lock().expect("ingest sender lock").take());
+        if let Some(h) = self.writer_thread.take() {
+            failed |= h.join().is_err();
+        }
+        if failed {
+            return Err(PipelineError::Panic {
+                section: "serve".into(),
+                message: "a daemon thread panicked during shutdown".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Accepts connections until shutdown, then joins every connection
+/// thread (the drain).
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, ingest: Sender<IngestOp>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.registry.add("serve.connections", 1);
+                let conn_shared = Arc::clone(&shared);
+                let conn_ingest = ingest.clone();
+                match std::thread::Builder::new()
+                    .name("tnet-serve-conn".into())
+                    .spawn(move || handle_connection(stream, conn_shared, conn_ingest))
+                {
+                    Ok(h) => conns.push(h),
+                    Err(_) => shared.registry.add("serve.spawn_failures", 1),
+                }
+                // Reap finished threads opportunistically so a
+                // long-lived daemon doesn't accumulate handles.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if shared
+                    .shutdown
+                    .sleep_until_cancelled(Duration::from_millis(5))
+                {
+                    break;
+                }
+            }
+            Err(_) => {
+                // Transient accept failure (fd exhaustion, aborted
+                // handshake): back off briefly instead of spinning.
+                if shared
+                    .shutdown
+                    .sleep_until_cancelled(Duration::from_millis(5))
+                {
+                    break;
+                }
+            }
+        }
+        if shared.shutdown.is_cancelled() {
+            break;
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Outcome of reading one request line.
+enum LineRead {
+    /// A complete line (without the trailing newline).
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`]; the excess was discarded
+    /// up to the newline.
+    Oversized(usize),
+    /// Peer closed or the connection should end.
+    Closed,
+}
+
+/// Reads one newline-terminated request, polling the shutdown token on
+/// read timeouts so a drain isn't held hostage by an idle client.
+fn read_line(reader: &mut BufReader<TcpStream>, shared: &Shared) -> LineRead {
+    let mut acc: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let mut discarded = 0usize;
+    loop {
+        match reader.read_until(b'\n', &mut acc) {
+            Ok(0) => return LineRead::Closed,
+            Ok(_) if acc.last() != Some(&b'\n') => {
+                // Partial read (timeout split the line); fall through to
+                // the oversize check, then keep reading.
+            }
+            Ok(_) => {
+                acc.pop();
+                if acc.last() == Some(&b'\r') {
+                    acc.pop();
+                }
+                if discarding {
+                    return LineRead::Oversized(discarded + acc.len());
+                }
+                if acc.len() > MAX_LINE_BYTES {
+                    return LineRead::Oversized(acc.len());
+                }
+                return match String::from_utf8(acc) {
+                    Ok(line) => LineRead::Line(line),
+                    Err(_) => LineRead::Line("\u{FFFD}".to_string()),
+                };
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // An in-flight request line is allowed to finish during
+                // drain, but an idle connection closes.
+                if shared.shutdown.is_cancelled() && acc.is_empty() {
+                    return LineRead::Closed;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return LineRead::Closed,
+        }
+        // Oversized in progress: drop what we have and keep consuming
+        // to the newline so the *next* request starts clean.
+        if acc.len() > MAX_LINE_BYTES {
+            discarding = true;
+            discarded += acc.len();
+            acc.clear();
+        }
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &str) -> bool {
+    // One write per reply (payload + newline in a single buffer): two
+    // small writes back-to-back would trip Nagle + delayed-ACK on a
+    // nodelay-less peer, turning a sub-millisecond round trip into a
+    // ~40ms stall.
+    let mut line = Vec::with_capacity(reply.len() + 1);
+    line.extend_from_slice(reply.as_bytes());
+    line.push(b'\n');
+    stream.write_all(&line).is_ok()
+}
+
+fn protocol_error(message: String) -> PipelineError {
+    PipelineError::Protocol { message }
+}
+
+/// One connection's request/reply loop.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>, ingest: Sender<IngestOp>) {
+    let mut out = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    // Replies are single small segments; never hold them for Nagle.
+    let _ = stream.set_nodelay(true);
+    let Some(reader) = shared.cell.register() else {
+        // All hazard slots busy: refuse politely instead of serving a
+        // connection that could never pin a generation.
+        let err = protocol_error(format!(
+            "too many concurrent connections (limit {})",
+            crate::epoch::MAX_READERS
+        ));
+        let _ = write_reply(&mut out, &proto::error_reply(&err));
+        return;
+    };
+    let exec = Exec::new(shared.threads);
+    let mut buf_reader = BufReader::new(stream);
+
+    loop {
+        let line = match read_line(&mut buf_reader, &shared) {
+            LineRead::Closed => return,
+            LineRead::Oversized(len) => {
+                shared.registry.add("serve.query_errors", 1);
+                let err = protocol_error(format!(
+                    "request line of {len} bytes exceeds the {MAX_LINE_BYTES}-byte limit"
+                ));
+                if !write_reply(&mut out, &proto::error_reply(&err)) {
+                    return;
+                }
+                continue;
+            }
+            LineRead::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match proto::parse_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.registry.add("serve.query_errors", 1);
+                if !write_reply(&mut out, &proto::error_reply(&e)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let close_after = request == Request::Shutdown;
+        let reply = dispatch(&request, &shared, &reader, &ingest, &exec);
+        if !write_reply(&mut out, &reply) || close_after {
+            return;
+        }
+    }
+}
+
+/// Executes one request and serializes its reply.
+fn dispatch(
+    request: &Request,
+    shared: &Shared,
+    reader: &crate::epoch::EpochReader<Generation>,
+    ingest: &Sender<IngestOp>,
+    exec: &Exec,
+) -> String {
+    match request {
+        Request::Ping => {
+            let gen = reader.pin();
+            format!("{{\"ok\":true,\"op\":\"ping\",\"generation\":{}}}", gen.id)
+        }
+        Request::Shutdown => {
+            shared.shutdown.cancel();
+            "{\"ok\":true,\"op\":\"shutdown\"}".to_string()
+        }
+        Request::Trace => trace_reply(shared),
+        Request::Ingest { records } => {
+            let n = records.len();
+            match ingest.send(IngestOp::Append(records.clone())) {
+                Ok(()) => format!("{{\"ok\":true,\"op\":\"ingest\",\"accepted\":{n}}}"),
+                Err(_) => proto::error_reply(&PipelineError::Io(
+                    "daemon is shutting down; ingest rejected".into(),
+                )),
+            }
+        }
+        Request::Delete { ids } => {
+            let n = ids.len();
+            match ingest.send(IngestOp::Delete(ids.clone())) {
+                Ok(()) => format!("{{\"ok\":true,\"op\":\"delete\",\"accepted\":{n}}}"),
+                Err(_) => proto::error_reply(&PipelineError::Io(
+                    "daemon is shutting down; delete rejected".into(),
+                )),
+            }
+        }
+        // The cacheable generation queries.
+        Request::Stats | Request::Support { .. } | Request::Pattern { .. } => {
+            let started = Instant::now();
+            let gen = reader.pin();
+            let canonical = request.canonical();
+            let key = canonical.map(|q| (gen.id, q));
+            if let Some(key) = &key {
+                if let Some(hit) = shared.cache.get(key) {
+                    shared.registry.add("serve.queries", 1);
+                    shared.latency.record(started.elapsed().as_nanos() as u64);
+                    return hit;
+                }
+            }
+            let reply = match query::execute(&gen, request, exec) {
+                Ok(reply) => {
+                    if let Some(key) = key {
+                        shared.cache.put(key, reply.clone());
+                    }
+                    shared.registry.add("serve.queries", 1);
+                    reply
+                }
+                Err(e) => {
+                    shared.registry.add("serve.query_errors", 1);
+                    proto::error_reply(&e)
+                }
+            };
+            // How many publishes landed while this query ran against
+            // its pinned snapshot — the staleness readers tolerate.
+            let lag = shared.cell.publish_count().saturating_sub(gen.id);
+            shared.registry.record_max("serve.pinned_lag_max", lag);
+            shared.latency.record(started.elapsed().as_nanos() as u64);
+            reply
+        }
+    }
+}
+
+/// The `trace` op: every counter the daemon keeps, as one flat JSON
+/// object (deterministic key order).
+fn trace_reply(shared: &Shared) -> String {
+    let mut metrics = shared.registry.snapshot();
+    metrics.insert("serve.cache_hits".into(), shared.cache.hits());
+    metrics.insert("serve.cache_misses".into(), shared.cache.misses());
+    metrics.insert("serve.cache_evictions".into(), shared.cache.evictions());
+    metrics.insert("serve.publishes_seen".into(), shared.cell.publish_count());
+    shared
+        .latency
+        .snapshot()
+        .publish("serve.query_latency", &mut |name, v| {
+            metrics.insert(name.to_string(), v);
+        });
+    let fields: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", proto::json_string(k)))
+        .collect();
+    format!(
+        "{{\"ok\":true,\"op\":\"trace\",\"metrics\":{{{}}}}}",
+        fields.join(",")
+    )
+}

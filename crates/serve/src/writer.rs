@@ -1,0 +1,307 @@
+//! The single writer: ingest log, tombstones, and generation publishes.
+//!
+//! All mutation flows through one thread. Connection threads forward
+//! [`IngestOp`]s over an mpsc channel; the writer appends to its
+//! transaction log, tombstones deletes by id, and — on a timer, on a
+//! batch threshold, or on demand — materializes the live set into a new
+//! [`Generation`] and publishes it through the [`EpochCell`]. A failed
+//! build (injected via the `serve::publish` failpoint or a real
+//! bin-fit rejection) is *not* fatal: the cell keeps the previous
+//! generation, a counter records the failure, and the writer retries on
+//! the next trigger — the daemon degrades to serving stale data rather
+//! than crashing.
+
+use crate::epoch::EpochCell;
+use crate::generation::Generation;
+use std::collections::HashSet;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tnet_data::model::Transaction;
+use tnet_exec::failpoint;
+use tnet_obs::{MetricsRegistry, Span};
+
+/// A mutation forwarded from a connection thread.
+#[derive(Debug)]
+pub enum IngestOp {
+    /// Append a batch of transactions to the log.
+    Append(Vec<Transaction>),
+    /// Tombstone transactions by id (idempotent; unknown ids are
+    /// harmless).
+    Delete(Vec<u64>),
+    /// Publish now, regardless of timer and batch thresholds.
+    Flush,
+}
+
+/// Writer-side knobs.
+#[derive(Clone, Debug)]
+pub struct WriterConfig {
+    /// Wall-clock cadence of periodic publishes.
+    pub publish_interval: Duration,
+    /// Publish as soon as this many records (appends + deletes) are
+    /// pending, without waiting for the timer.
+    pub batch: usize,
+}
+
+impl Default for WriterConfig {
+    fn default() -> WriterConfig {
+        WriterConfig {
+            publish_interval: Duration::from_millis(200),
+            batch: 4096,
+        }
+    }
+}
+
+/// The writer's mutable state, separated from the thread loop so tests
+/// can drive it synchronously.
+pub struct Writer {
+    log: Vec<Transaction>,
+    deleted: HashSet<u64>,
+    /// Records applied since the last successful publish.
+    pending: usize,
+    next_id: u64,
+    cell: Arc<EpochCell<Generation>>,
+    registry: MetricsRegistry,
+    span: Span,
+}
+
+impl Writer {
+    /// A writer whose next publish becomes generation `next_id`,
+    /// seeded with `log` (the transactions the daemon started with).
+    pub fn new(
+        cell: Arc<EpochCell<Generation>>,
+        log: Vec<Transaction>,
+        next_id: u64,
+        registry: MetricsRegistry,
+        span: Span,
+    ) -> Writer {
+        Writer {
+            log,
+            deleted: HashSet::new(),
+            pending: 0,
+            next_id,
+            cell,
+            registry,
+            span,
+        }
+    }
+
+    /// Applies one op to the log. Returns `true` if the op demands an
+    /// immediate publish.
+    pub fn apply(&mut self, op: IngestOp) -> bool {
+        match op {
+            IngestOp::Append(mut records) => {
+                let _t = self.span.time("serve.ingest");
+                self.pending += records.len();
+                self.registry
+                    .add("serve.records_ingested", records.len() as u64);
+                self.log.append(&mut records);
+                false
+            }
+            IngestOp::Delete(ids) => {
+                let _t = self.span.time("serve.ingest");
+                self.pending += ids.len();
+                self.registry.add("serve.records_deleted", ids.len() as u64);
+                self.deleted.extend(ids);
+                false
+            }
+            IngestOp::Flush => true,
+        }
+    }
+
+    /// Live transactions: the log minus tombstoned ids, in ingest order.
+    fn live(&self) -> Vec<Transaction> {
+        self.log
+            .iter()
+            .filter(|t| !self.deleted.contains(&t.id))
+            .cloned()
+            .collect()
+    }
+
+    /// Builds and publishes a new generation. On any failure the
+    /// previous generation stays current and the pending counter is
+    /// kept, so the next trigger retries with the same data.
+    pub fn publish(&mut self) -> bool {
+        let _t = self.span.time("serve.publish");
+        let built = failpoint::hit("serve::publish")
+            .map_err(|f| tnet_core::error::PipelineError::Io(f.to_string()))
+            .and_then(|()| {
+                let _f = self.span.time("serve.freeze");
+                Generation::build(self.next_id, self.live())
+            });
+        match built {
+            Ok(gen) => {
+                self.cell.publish(Arc::new(gen));
+                self.next_id += 1;
+                self.pending = 0;
+                self.registry.add("serve.generations_published", 1);
+                true
+            }
+            Err(_) => {
+                // Counted, not fatal: the old generation stays current
+                // and the pending records wait for the next trigger.
+                self.registry.add("serve.publish_failures", 1);
+                false
+            }
+        }
+    }
+
+    /// Records pending since the last successful publish.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// The writer thread body: drain ops, publish on batch/timer
+    /// triggers, and flush one final generation when `rx` disconnects
+    /// (the server hangs up at shutdown).
+    pub fn run(mut self, rx: Receiver<IngestOp>, cfg: WriterConfig) {
+        let mut last_publish = Instant::now();
+        loop {
+            // Sleep at most to the next timer tick so an idle daemon
+            // still publishes pending records on cadence.
+            let elapsed = last_publish.elapsed();
+            let wait = cfg.publish_interval.saturating_sub(elapsed);
+            let forced = match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+                Ok(op) => self.apply(op),
+                Err(RecvTimeoutError::Timeout) => false,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Final flush: make the last generation durable for
+                    // any still-draining readers, then exit.
+                    if self.pending > 0 {
+                        self.publish();
+                    }
+                    return;
+                }
+            };
+            let timer_due = last_publish.elapsed() >= cfg.publish_interval;
+            if forced || self.pending >= cfg.batch.max(1) || (timer_due && self.pending > 0) {
+                self.publish();
+                last_publish = Instant::now();
+            } else if timer_due {
+                last_publish = Instant::now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_exec::failpoint;
+
+    fn txn(id: u64, weight: f64) -> Transaction {
+        use tnet_data::model::{Date, LatLon, TransMode};
+        Transaction {
+            id,
+            req_pickup: Date(733000),
+            req_delivery: Date(733002),
+            origin: LatLon::new(33.7, -84.4),
+            dest: LatLon::new(35.1 + id as f64 * 0.1, -90.0),
+            total_distance: 300.0 + id as f64,
+            gross_weight: weight,
+            transit_hours: 8.0 + id as f64,
+            mode: TransMode::Truckload,
+        }
+    }
+
+    fn writer() -> (Writer, Arc<EpochCell<Generation>>, MetricsRegistry) {
+        let cell = EpochCell::new(Arc::new(Generation::build(0, Vec::new()).unwrap()));
+        let registry = MetricsRegistry::new();
+        let w = Writer::new(
+            Arc::clone(&cell),
+            Vec::new(),
+            1,
+            registry.clone(),
+            Span::disabled(),
+        );
+        (w, cell, registry)
+    }
+
+    #[test]
+    fn appends_and_deletes_shape_the_published_set() {
+        let (mut w, cell, _) = writer();
+        let reader = cell.register().unwrap();
+        w.apply(IngestOp::Append(
+            (1..=10).map(|i| txn(i, 1000.0 * i as f64)).collect(),
+        ));
+        w.apply(IngestOp::Delete(vec![3, 7, 99]));
+        assert!(w.publish());
+        let gen = reader.pin();
+        assert_eq!(gen.id, 1);
+        assert_eq!(gen.txns.len(), 8, "10 appended minus 2 live deletes");
+        assert!(gen.txns.iter().all(|t| t.id != 3 && t.id != 7));
+    }
+
+    #[test]
+    fn failed_publish_keeps_previous_generation_and_retries() {
+        let (mut w, cell, registry) = writer();
+        let reader = cell.register().unwrap();
+        w.apply(IngestOp::Append(vec![txn(1, 1000.0), txn(2, 2000.0)]));
+        assert!(w.publish());
+        assert_eq!(reader.pin().id, 1);
+
+        w.apply(IngestOp::Append(vec![txn(3, 3000.0)]));
+        failpoint::arm("serve::publish=err").unwrap();
+        assert!(!w.publish(), "injected fault fails the publish");
+        failpoint::disarm();
+
+        // Still serving generation 1, failure counted, data not lost.
+        assert_eq!(reader.pin().id, 1);
+        assert_eq!(reader.pin().txns.len(), 2);
+        assert_eq!(registry.get("serve.publish_failures"), 1);
+        assert_eq!(w.pending(), 1, "pending records survive the failure");
+
+        assert!(w.publish(), "retry succeeds once the fault clears");
+        let gen = reader.pin();
+        assert_eq!(gen.id, 2);
+        assert_eq!(gen.txns.len(), 3);
+    }
+
+    #[test]
+    fn run_flushes_on_disconnect() {
+        let (w, cell, registry) = writer();
+        let reader = cell.register().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let h = std::thread::spawn(move || {
+            w.run(
+                rx,
+                WriterConfig {
+                    publish_interval: Duration::from_secs(3600),
+                    batch: usize::MAX,
+                },
+            )
+        });
+        tx.send(IngestOp::Append(vec![txn(1, 1000.0), txn(2, 9000.0)]))
+            .unwrap();
+        drop(tx);
+        h.join().unwrap();
+        assert_eq!(reader.pin().txns.len(), 2, "final flush published the log");
+        assert_eq!(registry.get("serve.generations_published"), 1);
+    }
+
+    #[test]
+    fn flush_op_forces_an_immediate_publish() {
+        let (w, cell, _) = writer();
+        let reader = cell.register().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let h = std::thread::spawn(move || {
+            w.run(
+                rx,
+                WriterConfig {
+                    publish_interval: Duration::from_secs(3600),
+                    batch: usize::MAX,
+                },
+            )
+        });
+        tx.send(IngestOp::Append(vec![txn(5, 5000.0), txn(6, 7000.0)]))
+            .unwrap();
+        tx.send(IngestOp::Flush).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while reader.publish_count() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(reader.pin().id, 1, "flush published without timer/batch");
+        drop(tx);
+        h.join().unwrap();
+    }
+}

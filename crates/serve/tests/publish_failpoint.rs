@@ -1,0 +1,121 @@
+//! Supervision test for the `serve::publish` failpoint: a daemon whose
+//! publish step faults keeps serving the generation it already has, and
+//! recovers (publishing the retained pending batch) once the fault
+//! clears.
+//!
+//! Kept in its own integration binary: armed failpoints are
+//! process-global, so this must not share a process with tests that
+//! expect publishes to succeed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use tnet_exec::failpoint;
+use tnet_serve::{ServeConfig, WriterConfig};
+
+/// Extracts `"key":<u64>` from a one-line JSON reply; counters the
+/// registry has never incremented are simply absent, so a missing key
+/// reads as 0.
+fn field_u64(reply: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\":");
+    let Some(at) = reply.find(&tag) else { return 0 };
+    reply[at + tag.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key} in {reply}"))
+}
+
+#[test]
+fn failed_publish_degrades_to_the_previous_generation() {
+    let initial = {
+        let cfg = tnet_data::synth::SynthConfig::scaled(0.005).with_seed(7);
+        tnet_data::synth::generate(&cfg).transactions
+    };
+    let mut handle = tnet_serve::start(ServeConfig {
+        writer: WriterConfig {
+            publish_interval: Duration::from_millis(25),
+            batch: 4096,
+        },
+        initial,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |line: &str| {
+        let mut buf = line.as_bytes().to_vec();
+        buf.push(b'\n');
+        let mut s = stream.try_clone().unwrap();
+        s.write_all(&buf).unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    };
+
+    assert_eq!(field_u64(&send(r#"{"op":"ping"}"#), "generation"), 0);
+    let stats_before = send(r#"{"op":"stats"}"#);
+    assert!(stats_before.contains("\"ok\":true"), "{stats_before}");
+
+    // Fault the publish step, then ingest. The writer's attempts must
+    // fail without disturbing what readers see.
+    failpoint::arm("serve::publish=err").unwrap();
+    let reply = send(
+        r#"{"op":"ingest","records":[{"id":900001,"pickup":733040,"olat":40.1,"olon":-88.0,"dlat":41.9,"dlon":-87.6,"distance":180.0,"weight":9500.0,"hours":8.0}]}"#,
+    );
+    assert!(reply.contains("\"accepted\":1"), "{reply}");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let failures = field_u64(&send(r#"{"op":"trace"}"#), "serve.publish_failures");
+        if failures >= 2 {
+            break; // failed at least twice: it is retrying, not giving up
+        }
+        assert!(Instant::now() < deadline, "publish failpoint never tripped");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        field_u64(&send(r#"{"op":"ping"}"#), "generation"),
+        0,
+        "a failed publish must leave the served generation unchanged"
+    );
+    assert_eq!(
+        send(r#"{"op":"stats"}"#),
+        stats_before,
+        "old-generation replies must stay byte-identical under publish failure"
+    );
+
+    // Clear the fault: the retained pending batch publishes on the next
+    // timer tick and the ingested record becomes visible.
+    failpoint::disarm();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let gen = loop {
+        let gen = field_u64(&send(r#"{"op":"ping"}"#), "generation");
+        if gen >= 1 {
+            break gen;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never recovered after disarm"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let stats_after = send(r#"{"op":"stats"}"#);
+    assert!(
+        stats_after.contains(&format!("\"generation\":{gen}")),
+        "{stats_after}"
+    );
+    assert_ne!(
+        stats_after, stats_before,
+        "the pending ingest must land after recovery"
+    );
+
+    assert!(send(r#"{"op":"shutdown"}"#).contains("\"ok\":true"));
+    handle.wait();
+    handle.join().unwrap();
+    assert!(handle.registry().get("serve.publish_failures") >= 2);
+    assert!(handle.registry().get("serve.generations_published") >= 1);
+}
