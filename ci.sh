@@ -128,7 +128,24 @@ for _ in $(seq 1 300); do
     sleep 0.1
 done
 SERVE_PORT=$(cat "$SERVE_PORT_FILE")
-exec 3<>"/dev/tcp/127.0.0.1/$SERVE_PORT"
+# Opens fd 3 to the daemon with jittered exponential backoff: a daemon
+# that just wrote its port file may not be accepting yet, and fixed-step
+# retries from parallel CI jobs would stampede the listener in lockstep.
+serve_connect() {
+    local port=$1 ms=25 attempt
+    for attempt in 1 2 3 4 5 6; do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+            exec 3<>"/dev/tcp/127.0.0.1/$port"
+            return 0
+        fi
+        sleep "$(awk -v ms="$ms" -v j="$((RANDOM % ms))" \
+            'BEGIN{printf "%.3f", (ms + j) / 1000}')"
+        ms=$((ms * 2))
+    done
+    echo "serve smoke: cannot connect on port $port after $attempt attempts" >&2
+    return 1
+}
+serve_connect "$SERVE_PORT"
 serve_rpc() {
     printf '%s\n' "$1" >&3
     IFS= read -r REPLY_LINE <&3
@@ -152,9 +169,122 @@ wait "$SERVE_PID"
 grep -q 'shutdown complete' "$SERVE_LOG"
 rm -f "$SERVE_PORT_FILE" "$SERVE_LOG"
 
+echo "== durability smoke: acknowledged writes survive SIGKILL"
+# A durable daemon ingests acknowledged batches and is SIGKILLed with no
+# warning. Restarted on the same data directory it must answer stats and
+# support queries exactly like a never-crashed control daemon fed the
+# same acknowledged records — only the generation counter may differ
+# (the control publishes incrementally; recovery republishes at once).
+DUR_DIR=/tmp/tnet_ci_durable
+DUR_LOG=/tmp/tnet_ci_durable.log
+rm -rf "$DUR_DIR" && mkdir -p "$DUR_DIR"
+# One 4-record ingest line with varied, deterministic field values.
+ing_batch() {
+    local base=$1 recs="" i id
+    for i in 0 1 2 3; do
+        id=$((base + i))
+        recs+="${recs:+,}{\"id\":$id,\"pickup\":$((733000 + id * 7 % 1000))"
+        recs+=",\"olat\":$((30 + id % 11)).5,\"olon\":-$((84 + id % 13)).2"
+        recs+=",\"dlat\":$((33 + id % 7)).1,\"dlon\":-$((88 + id % 5)).9"
+        recs+=",\"distance\":$((200 + id % 17 * 35)).0"
+        recs+=",\"weight\":$((8000 + id % 9 * 4000)).0"
+        recs+=",\"hours\":$((4 + id % 6 * 2)).5}"
+    done
+    printf '{"op":"ingest","records":[%s]}' "$recs"
+}
+# Starts a daemon in the background and connects fd 3 to it.
+# Usage: serve_start <logfile> [extra flags...]
+serve_start() {
+    local log=$1; shift
+    rm -f "$SERVE_PORT_FILE"
+    "$TNET" serve --publish-interval-ms 25 --shutdown-on-stdin-eof false \
+        --port-file "$SERVE_PORT_FILE" "$@" > "$log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 1 300); do
+        [ -s "$SERVE_PORT_FILE" ] && break
+        kill -0 "$SERVE_PID" 2>/dev/null || { cat "$log"; return 1; }
+        sleep 0.1
+    done
+    serve_connect "$(cat "$SERVE_PORT_FILE")"
+}
+# Polls stats until the published generation holds $1 transactions.
+serve_await_txns() {
+    for _ in $(seq 1 300); do
+        serve_rpc '{"op":"stats"}' | grep -q "\"transactions\":$1," && return 0
+        sleep 0.05
+    done
+    echo "daemon never published $1 transactions" >&2
+    return 1
+}
+# Normalizes the generation counter out of a reply.
+norm() { sed 's/"generation":[0-9]*/"generation":_/'; }
+DIFF_QUERIES=('{"op":"stats"}' '{"op":"support","labeling":"gw","labels":[0,1]}')
+
+serve_start "$DUR_LOG" --data-dir "$DUR_DIR" --fsync always
+serve_rpc "$(ing_batch 101)" | grep -q '"accepted":4'
+serve_rpc "$(ing_batch 111)" | grep -q '"accepted":4'
+serve_rpc '{"op":"delete","ids":[103]}' | grep -q '"accepted":1'
+exec 3<&- 3>&-
+# The braces keep bash's asynchronous "Killed" job notice out of the log.
+{ kill -9 "$SERVE_PID" && wait "$SERVE_PID"; } 2>/dev/null || true
+
+# Restart on the same directory: recovery must replay the WAL.
+serve_start "$DUR_LOG" --data-dir "$DUR_DIR" --fsync always
+serve_await_txns 7     # 8 ingested - 1 deleted
+REC_REPLIES=$(for q in "${DIFF_QUERIES[@]}"; do serve_rpc "$q" | norm; done)
+serve_rpc '{"op":"shutdown"}' | grep -q '"ok":true'
+exec 3<&- 3>&-
+wait "$SERVE_PID"
+
+# The control daemon never crashes and never touches a disk.
+serve_start "$DUR_LOG.control"
+serve_rpc "$(ing_batch 101)" | grep -q '"accepted":4'
+serve_rpc "$(ing_batch 111)" | grep -q '"accepted":4'
+serve_rpc '{"op":"delete","ids":[103]}' | grep -q '"accepted":1'
+serve_await_txns 7
+CTL_REPLIES=$(for q in "${DIFF_QUERIES[@]}"; do serve_rpc "$q" | norm; done)
+serve_rpc '{"op":"shutdown"}' | grep -q '"ok":true'
+exec 3<&- 3>&-
+wait "$SERVE_PID"
+diff <(printf '%s\n' "$REC_REPLIES") <(printf '%s\n' "$CTL_REPLIES")
+
+echo "== durability smoke: corruption refused, torn tail recovered"
+# Mid-log corruption (a flipped checksum in the FIRST record, with valid
+# records after it) must refuse startup with exit 1 — never serve
+# silently damaged data.
+cp "$DUR_DIR/wal.log" /tmp/tnet_ci_wal.bak
+printf '\xde\xad\xbe\xef' | \
+    dd of="$DUR_DIR/wal.log" bs=1 seek=4 count=4 conv=notrunc 2>/dev/null
+set +e
+timeout 30 "$TNET" serve --data-dir "$DUR_DIR" --shutdown-on-stdin-eof false \
+    < /dev/null > /dev/null 2> "$DUR_LOG.corrupt"
+code=$?
+set -e
+test "$code" -eq 1
+grep -q 'corrupt' "$DUR_LOG.corrupt"
+# A torn tail (crash mid-write) is different: the partial record was
+# never acknowledged, so recovery truncates it with a warning and
+# serves everything before the tear. The tear here chops the final
+# (delete) record, so all 8 ingested records come back.
+cp /tmp/tnet_ci_wal.bak "$DUR_DIR/wal.log"
+WAL_SIZE=$(wc -c < "$DUR_DIR/wal.log")
+dd if=/tmp/tnet_ci_wal.bak of="$DUR_DIR/wal.log" \
+    bs=1 count=$((WAL_SIZE - 5)) 2>/dev/null
+serve_start "$DUR_LOG.torn" --data-dir "$DUR_DIR" --fsync always
+serve_await_txns 8
+serve_rpc '{"op":"shutdown"}' | grep -q '"ok":true'
+exec 3<&- 3>&-
+wait "$SERVE_PID"
+grep -q 'torn byte' "$DUR_LOG.torn"
+rm -rf "$DUR_DIR" /tmp/tnet_ci_wal.bak \
+    "$DUR_LOG" "$DUR_LOG.control" "$DUR_LOG.corrupt" "$DUR_LOG.torn" \
+    "$SERVE_PORT_FILE"
+
 echo "== bench smoke: serve report emits valid JSON, gates pass"
-# In-process daemon under a mixed read/ingest load; --validate re-parses
-# the report and re-checks the cache/generation/error gates.
+# In-process daemon under a mixed read/ingest load plus the durability
+# overhead pass; --validate re-parses the report and re-checks the
+# cache/generation/error gates and the recovery gates (every
+# acknowledged record recovered, zero checksum errors).
 BENCH_SERVE_OUT=/tmp/tnet_ci_bench_serve.json
 cargo run --release -q -p tnet-bench --offline --bin bench_serve -- \
     --smoke --out "$BENCH_SERVE_OUT"

@@ -22,13 +22,22 @@
 //! numbers (QPS, p50/p99) are recorded but only sanity-checked
 //! (`qps > 0`, `p50 <= p99`), never gated against a threshold —
 //! shared-host timing noise would make such a gate flaky.
+//!
+//! A second pass measures durability overhead: the same acknowledged
+//! ingest stream against a durable daemon under `--fsync always` and
+//! `--fsync never`, followed by an offline recovery of the `always`
+//! data directory. The `durability` block of the report records both
+//! policies' ack QPS and p50/p99 plus WAL counters, and two hard gates:
+//! every acknowledged record must be recovered, with zero checksum
+//! errors.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use tnet_bench::json::Json;
-use tnet_serve::{ServeConfig, WriterConfig};
+use tnet_obs::MetricsRegistry;
+use tnet_serve::{DurabilityConfig, FsyncPolicy, ServeConfig, WriterConfig};
 
 struct Opts {
     smoke: bool,
@@ -73,6 +82,8 @@ struct Workload {
     ingest_batches: usize,
     ingest_batch_size: usize,
     publish_interval: Duration,
+    durability_batches: usize,
+    durability_batch_size: usize,
 }
 
 impl Workload {
@@ -85,6 +96,8 @@ impl Workload {
                 ingest_batches: 6,
                 ingest_batch_size: 16,
                 publish_interval: Duration::from_millis(25),
+                durability_batches: 8,
+                durability_batch_size: 16,
             }
         } else {
             Workload {
@@ -94,6 +107,8 @@ impl Workload {
                 ingest_batches: 40,
                 ingest_batch_size: 64,
                 publish_interval: Duration::from_millis(50),
+                durability_batches: 30,
+                durability_batch_size: 64,
             }
         }
     }
@@ -160,15 +175,42 @@ fn roundtrip(
     Ok(reply)
 }
 
+/// Connects with jittered exponential backoff. A freshly started daemon
+/// (or one briefly out of reader slots) refuses connections for a
+/// moment; retrying with growing, jittered sleeps rides that out
+/// without hammering the listener in lockstep with other clients.
 fn connect(addr: std::net::SocketAddr) -> Result<(TcpStream, BufReader<TcpStream>), String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
-    let _ = stream.set_nodelay(true);
-    let reader = BufReader::new(
-        stream
-            .try_clone()
-            .map_err(|e| format!("clone failed: {e}"))?,
-    );
-    Ok((stream, reader))
+    const MAX_ATTEMPTS: u32 = 6;
+    let mut backoff = Duration::from_millis(10);
+    let mut last_err = String::new();
+    for attempt in 0..MAX_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let reader = BufReader::new(
+                    stream
+                        .try_clone()
+                        .map_err(|e| format!("clone failed: {e}"))?,
+                );
+                return Ok((stream, reader));
+            }
+            Err(e) => last_err = e.to_string(),
+        }
+        if attempt + 1 < MAX_ATTEMPTS {
+            // Deterministic jitter (SplitMix64 of attempt + port): 50% to
+            // 150% of the base delay, then double the base.
+            let mut z = (u64::from(attempt) << 16 | u64::from(addr.port()))
+                .wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let jitter_pct = 50 + (z ^ (z >> 31)) % 101; // 50..=150
+            std::thread::sleep(backoff * jitter_pct as u32 / 100);
+            backoff *= 2;
+        }
+    }
+    Err(format!(
+        "connect failed after {MAX_ATTEMPTS} attempts: {last_err}"
+    ))
 }
 
 /// Nearest-rank quantile over a sorted sample vector.
@@ -204,6 +246,7 @@ fn run_bench(opts: &Opts, w: &Workload) -> Result<RunResult, String> {
         },
         initial,
         trace: false,
+        durability: None,
     })
     .map_err(|e| format!("cannot start server: {e}"))?;
     let addr = handle.addr();
@@ -298,6 +341,128 @@ fn run_bench(opts: &Opts, w: &Workload) -> Result<RunResult, String> {
     })
 }
 
+/// Timing and WAL counters for one fsync policy.
+struct PolicyResult {
+    acks_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    wal_records: u64,
+    wal_fsyncs: u64,
+    fsync_p99_ns: u64,
+}
+
+struct DurabilityResult {
+    always: PolicyResult,
+    never: PolicyResult,
+    acknowledged: u64,
+    recovered: u64,
+    checksum_errors: u64,
+}
+
+/// Runs an acknowledged ingest stream against a durable daemon under
+/// one fsync policy and reports client-measured ack latency plus the
+/// daemon's WAL counters. The data directory survives the run, so the
+/// caller can recover from it afterwards.
+fn run_policy(
+    w: &Workload,
+    fsync: FsyncPolicy,
+    dir: &std::path::Path,
+) -> Result<PolicyResult, String> {
+    let mut handle = tnet_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_capacity: 64,
+        writer: WriterConfig {
+            publish_interval: w.publish_interval,
+            batch: 256,
+        },
+        initial: Vec::new(),
+        trace: false,
+        durability: Some(DurabilityConfig {
+            data_dir: dir.to_path_buf(),
+            fsync,
+            // Snapshot once mid-stream so the bench exercises the
+            // checkpoint + WAL-truncate path, not just appends.
+            snapshot_every: (w.durability_batches * w.durability_batch_size / 2).max(1) as u64,
+        }),
+    })
+    .map_err(|e| format!("cannot start durable server: {e}"))?;
+    let addr = handle.addr();
+
+    let (mut stream, mut reader) = connect(addr)?;
+    let started = Instant::now();
+    let mut lat = Vec::with_capacity(w.durability_batches);
+    for batch in 0..w.durability_batches {
+        let t = Instant::now();
+        roundtrip(
+            &mut stream,
+            &mut reader,
+            &ingest_line(batch, w.durability_batch_size),
+        )?;
+        lat.push(t.elapsed().as_nanos() as u64);
+    }
+    let wall = started.elapsed();
+    let trace = roundtrip(&mut stream, &mut reader, r#"{"op":"trace"}"#)?;
+    drop(stream);
+    let doc = Json::parse(&trace).map_err(|e| format!("bad trace reply: {e}"))?;
+    let m = |key: &str| -> u64 {
+        doc.get("metrics")
+            .and_then(|m| m.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64
+    };
+    let result = PolicyResult {
+        acks_per_sec: w.durability_batches as f64 / wall.as_secs_f64(),
+        p50_ns: {
+            lat.sort_unstable();
+            quantile_ns(&lat, 0.50)
+        },
+        p99_ns: quantile_ns(&lat, 0.99),
+        wal_records: m("wal.records"),
+        wal_fsyncs: m("wal.fsyncs"),
+        fsync_p99_ns: m("wal.fsync.p99_ns"),
+    };
+    handle.shutdown();
+    handle.wait();
+    handle.join().map_err(|e| format!("join failed: {e}"))?;
+    Ok(result)
+}
+
+/// The durability overhead block: the same acknowledged ingest stream
+/// under `--fsync always` and `--fsync never`, then an offline recovery
+/// of the `always` directory proving every acknowledged record (minus
+/// none — this stream has no deletes) comes back with zero checksum
+/// errors.
+fn run_durability(w: &Workload) -> Result<DurabilityResult, String> {
+    let base = std::env::temp_dir().join(format!("tnet_bench_durable_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let always_dir = base.join("always");
+    let never_dir = base.join("never");
+    std::fs::create_dir_all(&always_dir).map_err(|e| format!("mkdir: {e}"))?;
+    std::fs::create_dir_all(&never_dir).map_err(|e| format!("mkdir: {e}"))?;
+
+    let always = run_policy(w, FsyncPolicy::Always, &always_dir)?;
+    let never = run_policy(w, FsyncPolicy::Never, &never_dir)?;
+
+    let acknowledged = (w.durability_batches * w.durability_batch_size) as u64;
+    let (recovered, checksum_errors) =
+        match tnet_serve::recover(&always_dir, &MetricsRegistry::new()) {
+            Ok(r) => (r.live.len() as u64, 0),
+            Err(e) => {
+                eprintln!("bench_serve: recovery failed: {e}");
+                (0, 1)
+            }
+        };
+    let _ = std::fs::remove_dir_all(&base);
+    Ok(DurabilityResult {
+        always,
+        never,
+        acknowledged,
+        recovered,
+        checksum_errors,
+    })
+}
+
 /// The correctness gates shared by the post-run check and `--validate`.
 /// Returns a REGRESSION message on the first violated gate.
 fn check_gates(
@@ -332,6 +497,28 @@ fn check_gates(
     Ok(())
 }
 
+/// Durability gates: every acknowledged record must come back from
+/// recovery, with zero checksum errors. Overhead numbers (always vs
+/// never fsync) are recorded but never gated — they measure the host's
+/// disk, not the code.
+fn check_durability_gates(
+    acknowledged: f64,
+    recovered: f64,
+    checksum_errors: f64,
+) -> Result<(), String> {
+    if recovered < acknowledged {
+        return Err(format!(
+            "REGRESSION — recovered {recovered} records but {acknowledged} were acknowledged"
+        ));
+    }
+    if checksum_errors > 0.0 {
+        return Err(format!(
+            "REGRESSION — {checksum_errors} checksum errors during recovery"
+        ));
+    }
+    Ok(())
+}
+
 fn metric(metrics: &[(String, u64)], name: &str) -> u64 {
     metrics
         .iter()
@@ -344,7 +531,7 @@ fn validate(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text)?;
     match doc.get("schema") {
-        Some(Json::Str(s)) if s == "tnet-bench-serve/v1" => {}
+        Some(Json::Str(s)) if s == "tnet-bench-serve/v2" => {}
         other => return Err(format!("bad schema field: {other:?}")),
     }
     let num = |block: &str, key: &str| -> Result<f64, String> {
@@ -361,10 +548,32 @@ fn validate(path: &str) -> Result<(), String> {
         num("server", "generations_published")?,
         num("server", "query_errors")?,
     )?;
+    check_durability_gates(
+        num("durability", "acknowledged_records")?,
+        num("durability", "recovered_records")?,
+        num("durability", "checksum_errors")?,
+    )?;
+    // The per-policy sub-blocks must at least be present and coherent.
+    for policy in ["fsync_always", "fsync_never"] {
+        let block = doc
+            .get("durability")
+            .and_then(|d| d.get(policy))
+            .ok_or_else(|| format!("report missing 'durability.{policy}'"))?;
+        let p50 = block.get("p50_ns").and_then(Json::as_f64).unwrap_or(-1.0);
+        let p99 = block.get("p99_ns").and_then(Json::as_f64).unwrap_or(-1.0);
+        if p50 < 0.0 || p99 < 0.0 || p50 > p99 {
+            return Err(format!(
+                "REGRESSION — durability.{policy} latency quantiles inconsistent \
+                 (p50 {p50} ns, p99 {p99} ns)"
+            ));
+        }
+    }
     println!(
-        "{path}: valid, {:.0} qps sustained, p99 {:.2} ms, gates pass",
+        "{path}: valid, {:.0} qps sustained, p99 {:.2} ms, gates pass \
+         ({:.0} records recovered, 0 checksum errors)",
         num("results", "qps")?,
         num("results", "p99_ns")? / 1e6,
+        num("durability", "recovered_records")?,
     );
     Ok(())
 }
@@ -395,6 +604,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let durability = match run_durability(&w) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_serve: durability pass failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let qps = run.requests as f64 / run.wall.as_secs_f64();
     let server_fields: Vec<(&str, Json)> = [
         ("queries", "serve.queries"),
@@ -414,8 +630,25 @@ fn main() -> ExitCode {
     .map(|(out, key)| (*out, Json::Num(metric(&run.metrics, key) as f64)))
     .collect();
 
+    let policy_block = |p: &PolicyResult| {
+        Json::obj([
+            ("acks_per_sec", Json::Num(p.acks_per_sec)),
+            ("p50_ns", Json::Num(p.p50_ns as f64)),
+            ("p99_ns", Json::Num(p.p99_ns as f64)),
+            ("wal_records", Json::Num(p.wal_records as f64)),
+            ("wal_fsyncs", Json::Num(p.wal_fsyncs as f64)),
+            ("fsync_p99_ns", Json::Num(p.fsync_p99_ns as f64)),
+        ])
+    };
+    // Ack-latency overhead of `--fsync always` relative to `never`,
+    // from medians so one slow outlier sync can't skew it.
+    let overhead_p50 = if durability.never.p50_ns > 0 {
+        durability.always.p50_ns as f64 / durability.never.p50_ns as f64
+    } else {
+        0.0
+    };
     let doc = Json::obj([
-        ("schema", Json::Str("tnet-bench-serve/v1".into())),
+        ("schema", Json::Str("tnet-bench-serve/v2".into())),
         ("seed", Json::Num(opts.seed as f64)),
         ("smoke", Json::Bool(opts.smoke)),
         (
@@ -450,19 +683,53 @@ fn main() -> ExitCode {
             ]),
         ),
         ("server", Json::obj(server_fields)),
+        (
+            "durability",
+            Json::obj([
+                ("ingest_batches", Json::Num(w.durability_batches as f64)),
+                (
+                    "ingest_batch_size",
+                    Json::Num(w.durability_batch_size as f64),
+                ),
+                ("fsync_always", policy_block(&durability.always)),
+                ("fsync_never", policy_block(&durability.never)),
+                ("overhead_p50", Json::Num(overhead_p50)),
+                (
+                    "acknowledged_records",
+                    Json::Num(durability.acknowledged as f64),
+                ),
+                ("recovered_records", Json::Num(durability.recovered as f64)),
+                (
+                    "checksum_errors",
+                    Json::Num(durability.checksum_errors as f64),
+                ),
+            ]),
+        ),
     ]);
     if let Err(e) = std::fs::write(&opts.out, doc.pretty()) {
         eprintln!("bench_serve: cannot write {}: {e}", opts.out);
         return ExitCode::FAILURE;
     }
     println!(
-        "wrote {} ({:.0} qps, p50 {:.2} ms, p99 {:.2} ms)",
+        "wrote {} ({:.0} qps, p50 {:.2} ms, p99 {:.2} ms; fsync-always overhead {:.1}x, \
+         {}/{} records recovered)",
         opts.out,
         qps,
         run.p50_ns as f64 / 1e6,
-        run.p99_ns as f64 / 1e6
+        run.p99_ns as f64 / 1e6,
+        overhead_p50,
+        durability.recovered,
+        durability.acknowledged,
     );
 
+    if let Err(e) = check_durability_gates(
+        durability.acknowledged as f64,
+        durability.recovered as f64,
+        durability.checksum_errors as f64,
+    ) {
+        eprintln!("bench_serve: {e}");
+        return ExitCode::FAILURE;
+    }
     if let Err(e) = check_gates(
         qps,
         run.p50_ns as f64,

@@ -12,7 +12,7 @@ use crate::args::Args;
 use crate::commands::load_transactions;
 use crate::error::CliError;
 use std::time::Duration;
-use tnet_serve::{ServeConfig, WriterConfig};
+use tnet_serve::{DurabilityConfig, FsyncPolicy, ServeConfig, WriterConfig};
 
 pub fn run(args: &Args) -> Result<(), CliError> {
     args.ensure_known(&[
@@ -28,6 +28,9 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "shutdown-on-stdin-eof",
         "trace",
         "trace-json",
+        "data-dir",
+        "fsync",
+        "snapshot-every",
     ])?;
     // `--labeling` is intentionally absent: the daemon serves all three
     // labelings; each query picks its own.
@@ -38,6 +41,35 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let threads = args.exec()?.threads();
     let stdin_eof = args.get_or("shutdown-on-stdin-eof", "true") == "true";
     let trace = args.get("trace") == Some("true") || args.get("trace-json").is_some();
+
+    // Durability: `--data-dir PATH` turns on the WAL + snapshot layer.
+    // `--fsync` and `--snapshot-every` tune it and require a data dir,
+    // since neither means anything for an in-memory daemon.
+    let durability = match args.get("data-dir") {
+        Some(dir) => {
+            let fsync_raw = args.get_or("fsync", "always");
+            let fsync = FsyncPolicy::parse(fsync_raw).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "--fsync: '{fsync_raw}' is not one of always, never, interval, interval:MS"
+                ))
+            })?;
+            Some(DurabilityConfig {
+                data_dir: dir.into(),
+                fsync,
+                snapshot_every: args.get_parsed_or("snapshot-every", 10_000u64)?,
+            })
+        }
+        None => {
+            for flag in ["fsync", "snapshot-every"] {
+                if args.get(flag).is_some() {
+                    return Err(CliError::Usage(format!(
+                        "--{flag} requires --data-dir (no durability without a data directory)"
+                    )));
+                }
+            }
+            None
+        }
+    };
 
     // Seed generation 0 only when the user asked for data; a bare
     // `tnet serve` starts empty and fills via ingest.
@@ -57,6 +89,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         },
         initial,
         trace,
+        durability,
     };
     let mut handle = tnet_serve::start(cfg)?;
     println!("serving on {}", handle.addr());
@@ -177,5 +210,46 @@ mod tests {
     fn rejects_bad_port() {
         let e = run(&Args::parse(&argv("serve --port 99999999")).unwrap()).unwrap_err();
         assert!(matches!(e, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn durability_flags_require_data_dir() {
+        for cmd in ["serve --fsync always", "serve --snapshot-every 100"] {
+            let e = run(&Args::parse(&argv(cmd)).unwrap()).unwrap_err();
+            assert!(matches!(e, CliError::Usage(_)), "{cmd}: {e}");
+            assert!(e.to_string().contains("--data-dir"), "{cmd}: {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_fsync_policy() {
+        let e = run(&Args::parse(&argv("serve --data-dir /tmp/x --fsync sometimes")).unwrap())
+            .unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)));
+        assert!(e.to_string().contains("sometimes"), "{e}");
+    }
+
+    /// A corrupt data dir must refuse startup with a runtime error
+    /// (exit 1) before the daemon ever binds a socket.
+    #[test]
+    fn corrupt_data_dir_refuses_startup() {
+        let dir = std::env::temp_dir().join(format!("tnet_cli_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A WAL whose first record has a valid-looking header but a
+        // garbage checksum: unambiguous mid-log corruption.
+        std::fs::write(
+            dir.join("wal.log"),
+            [8u8, 0, 0, 0, 0xEF, 0xBE, 0xAD, 0xDE, 1, 2, 3, 4, 5, 6, 7, 8],
+        )
+        .unwrap();
+        let d = dir.to_string_lossy().into_owned();
+        let e = run(&Args::parse(&argv(&format!(
+            "serve --data-dir {d} --shutdown-on-stdin-eof false"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(e, CliError::Runtime(_)), "{e}");
+        assert!(e.to_string().contains("corrupt"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,302 @@
+//! Crash-recovery differential for the durable daemon: spawn the real
+//! `tnet serve` binary with a data directory, ingest acknowledged
+//! batches, SIGKILL it mid-stream, restart it on the same directory,
+//! and prove its replies match a never-crashed control daemon fed the
+//! same acknowledged records. Generation counters are the one field
+//! allowed to differ (the control publishes incrementally while the
+//! recovered daemon republishes everything as its genesis), so replies
+//! are compared after normalizing `"generation":N`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tnet() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tnet"));
+    cmd.env_remove("TNET_FAILPOINTS");
+    cmd
+}
+
+/// A spawned daemon plus one connected client.
+struct Daemon {
+    child: Child,
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Daemon {
+    /// Spawns `tnet serve` with the given extra flags, waits for its
+    /// port file, and connects.
+    fn spawn(tag: &str, extra: &[&str]) -> Daemon {
+        let port_file =
+            std::env::temp_dir().join(format!("tnet_crash_port_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&port_file);
+        let child = tnet()
+            .args([
+                "serve",
+                "--threads",
+                "2",
+                "--publish-interval-ms",
+                "25",
+                "--shutdown-on-stdin-eof",
+                "false",
+                "--port-file",
+                port_file.to_str().unwrap(),
+            ])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn tnet serve");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let port: u16 = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = text.trim().parse() {
+                    break p;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "port file never appeared ({tag})"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let _ = std::fs::remove_file(&port_file);
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Daemon {
+            child,
+            reader,
+            stream,
+        }
+    }
+
+    /// One request/reply round trip.
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.stream, "{line}").unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        reply
+    }
+
+    /// Polls `stats` until the published generation holds exactly
+    /// `want` transactions (ingest acks land in the writer before the
+    /// next publish tick, so acknowledged data becomes visible shortly
+    /// after, not instantly).
+    fn await_transactions(&mut self, want: usize) {
+        let needle = format!("\"transactions\":{want},");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let reply = self.send(r#"{"op":"stats"}"#);
+            if reply.contains(&needle) {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "never published {want} transactions; last stats: {reply}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One ingest request carrying `n` deterministic records starting at
+/// `base` — varied enough for binning to fit, identical across runs.
+fn ingest_line(base: u64, n: u64) -> String {
+    let recs: Vec<String> = (0..n)
+        .map(|i| {
+            let id = base + i;
+            format!(
+                "{{\"id\":{id},\"pickup\":{},\"olat\":{},\"olon\":{},\"dlat\":{},\"dlon\":{},\
+                 \"distance\":{},\"weight\":{},\"hours\":{}}}",
+                730_000 + id * 7 % 10_000,
+                30.0 + (id % 11) as f64 * 0.5,
+                -95.0 + (id % 13) as f64 * 0.7,
+                33.0 + (id % 7) as f64 * 0.9,
+                -84.0 + (id % 5) as f64 * 1.1,
+                200.0 + (id % 17) as f64 * 35.0,
+                8_000.0 + (id % 9) as f64 * 4_000.0,
+                4.0 + (id % 6) as f64 * 2.5,
+            )
+        })
+        .collect();
+    format!("{{\"op\":\"ingest\",\"records\":[{}]}}", recs.join(","))
+}
+
+/// Strips generation counters so replies from daemons with different
+/// publish histories can be compared byte-for-byte otherwise.
+fn normalize(reply: &str) -> String {
+    let mut out = String::with_capacity(reply.len());
+    let mut rest = reply;
+    while let Some(at) = rest.find("\"generation\":") {
+        let tail = &rest[at + "\"generation\":".len()..];
+        let digits = tail.chars().take_while(|c| c.is_ascii_digit()).count();
+        assert!(digits > 0, "generation without a number: {reply}");
+        out.push_str(&rest[..at]);
+        out.push_str("\"generation\":_");
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The headline durability test from the issue: acknowledged writes
+/// survive SIGKILL, and the restarted daemon answers queries exactly
+/// like a daemon that never crashed.
+#[test]
+fn sigkill_mid_ingest_then_restart_matches_never_crashed_control() {
+    let dir = std::env::temp_dir().join(format!("tnet_crash_recovery_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data_dir = dir.join("data");
+    std::fs::create_dir_all(&data_dir).unwrap();
+    let data = data_dir.to_str().unwrap().to_string();
+
+    // Feed the victim a stream of acknowledged batches, then SIGKILL it
+    // with no warning — no graceful shutdown, no final snapshot.
+    let batches: Vec<String> = (0..4).map(|b| ingest_line(1 + b * 10, 6)).collect();
+    let delete = r#"{"op":"delete","ids":[3,14]}"#;
+    {
+        let mut victim = Daemon::spawn("victim", &["--data-dir", &data, "--fsync", "always"]);
+        for line in &batches {
+            let reply = victim.send(line);
+            assert!(
+                reply.contains("\"accepted\":6"),
+                "ingest not acked: {reply}"
+            );
+        }
+        let reply = victim.send(delete);
+        assert!(
+            reply.contains("\"accepted\":2"),
+            "delete not acked: {reply}"
+        );
+        victim.child.kill().unwrap(); // SIGKILL on unix
+        victim.child.wait().unwrap();
+    }
+
+    // Restart on the same directory; recovery must replay the WAL.
+    let mut recovered = Daemon::spawn("recovered", &["--data-dir", &data, "--fsync", "always"]);
+    recovered.await_transactions(22); // 24 ingested - 2 deleted
+
+    // The control daemon never crashes: same acknowledged stream, no
+    // durability at all.
+    let mut control = Daemon::spawn("control", &[]);
+    for line in &batches {
+        let reply = control.send(line);
+        assert!(reply.contains("\"accepted\":6"), "{reply}");
+    }
+    assert!(control.send(delete).contains("\"accepted\":2"));
+    control.await_transactions(22);
+
+    // The differential: stats, support, and pattern replies must agree
+    // byte-for-byte modulo the generation counter.
+    for query in [
+        r#"{"op":"stats"}"#,
+        r#"{"op":"support","labeling":"gw","labels":[0,1,2]}"#,
+        r#"{"op":"support","labeling":"td","labels":[0,1]}"#,
+        r#"{"op":"pattern","partitions":2,"support":2,"max_edges":3}"#,
+    ] {
+        let a = normalize(&recovered.send(query));
+        let b = normalize(&control.send(query));
+        assert_eq!(a, b, "recovered and control disagree on {query}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn tail (partial final record, as a crash mid-write leaves
+/// behind) is truncated and recovery proceeds; acknowledged complete
+/// records before the tear survive.
+#[test]
+fn torn_wal_tail_recovers_cleanly() {
+    let dir = std::env::temp_dir().join(format!("tnet_torn_tail_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.to_str().unwrap().to_string();
+
+    {
+        let mut victim = Daemon::spawn("torn", &["--data-dir", &data, "--fsync", "always"]);
+        let reply = victim.send(&ingest_line(501, 6));
+        assert!(reply.contains("\"accepted\":6"), "{reply}");
+        victim.child.kill().unwrap();
+        victim.child.wait().unwrap();
+    }
+
+    // Simulate a torn write: chop the WAL mid-record.
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    assert!(bytes.len() > 20, "WAL unexpectedly small: {}", bytes.len());
+    std::fs::write(&wal, &bytes[..bytes.len() - 7]).unwrap();
+
+    // The torn record was never acknowledged, so recovery truncates it
+    // and serves what remains — here, nothing, because the only record
+    // was torn. Startup must still succeed.
+    let mut recovered = Daemon::spawn("torn2", &["--data-dir", &data, "--fsync", "always"]);
+    let reply = recovered.send(r#"{"op":"ping"}"#);
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corruption in the body of the log (not a torn tail) must refuse
+/// startup with exit code 1 rather than serve silently damaged data.
+#[test]
+fn corrupt_wal_body_refuses_startup() {
+    let dir = std::env::temp_dir().join(format!("tnet_corrupt_body_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.to_str().unwrap().to_string();
+
+    {
+        let mut victim = Daemon::spawn("corrupt", &["--data-dir", &data, "--fsync", "always"]);
+        for b in 0..2 {
+            let reply = victim.send(&ingest_line(601 + b * 10, 6));
+            assert!(reply.contains("\"accepted\":6"), "{reply}");
+        }
+        victim.child.kill().unwrap();
+        victim.child.wait().unwrap();
+    }
+
+    // Flip a byte deep inside the FIRST record's payload: mid-log
+    // corruption, not a tear.
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes[12] ^= 0xFF;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let out = tnet()
+        .args([
+            "serve",
+            "--data-dir",
+            &data,
+            "--shutdown-on-stdin-eof",
+            "false",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "corrupt WAL must be a runtime refusal; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("corrupt"),
+        "stderr should name corruption: {err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -44,6 +44,20 @@ pub enum PipelineError {
     /// unknown op, an oversized line). Always a client error: the
     /// daemon replies with it and keeps the connection alive.
     Protocol { message: String },
+    /// Durable state (a WAL record away from the tail, a snapshot
+    /// checkpoint) failed its checksum or structural validation.
+    /// Recovery refuses to proceed on this — silently dropping
+    /// mid-log records would serve wrong answers as if they were right.
+    Corruption {
+        path: String,
+        offset: u64,
+        message: String,
+    },
+    /// The daemon is at a capacity limit (all reader slots pinned, too
+    /// many concurrent connections). Transient by construction: the
+    /// client should back off and retry, so this is the one serving
+    /// error marked retryable.
+    Overloaded { message: String },
 }
 
 impl PipelineError {
@@ -60,6 +74,7 @@ impl PipelineError {
                 | PipelineError::Subdue(SubdueError::MemoryBudgetExceeded { .. })
                 | PipelineError::Gspan(GspanError::MemoryBudgetExceeded { .. })
                 | PipelineError::DeadlineExceeded { .. }
+                | PipelineError::Overloaded { .. }
         )
     }
 
@@ -79,6 +94,8 @@ impl PipelineError {
             PipelineError::Cancelled => "cancelled",
             PipelineError::Io(_) => "io",
             PipelineError::Protocol { .. } => "protocol",
+            PipelineError::Corruption { .. } => "corruption",
+            PipelineError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -116,6 +133,15 @@ impl fmt::Display for PipelineError {
             PipelineError::Cancelled => write!(f, "cancelled"),
             PipelineError::Io(msg) => write!(f, "io error: {msg}"),
             PipelineError::Protocol { message } => write!(f, "protocol error: {message}"),
+            PipelineError::Corruption {
+                path,
+                offset,
+                message,
+            } => write!(
+                f,
+                "corrupt durable state in {path} at byte {offset}: {message}"
+            ),
+            PipelineError::Overloaded { message } => write!(f, "overloaded: {message}"),
         }
     }
 }
@@ -195,6 +221,25 @@ mod tests {
         assert!(PipelineError::Fsg(FsgError::Cancelled).is_cancellation());
         assert!(PipelineError::Em(EmError::Cancelled).is_cancellation());
         assert!(!PipelineError::Io("x".into()).is_cancellation());
+    }
+
+    #[test]
+    fn corruption_and_overload_kinds() {
+        let c = PipelineError::Corruption {
+            path: "wal.log".into(),
+            offset: 4096,
+            message: "crc mismatch".into(),
+        };
+        assert_eq!(c.kind(), "corruption");
+        assert!(!c.is_retryable(), "corruption never heals on retry");
+        assert!(c.to_string().contains("wal.log"));
+        assert!(c.to_string().contains("4096"));
+        let o = PipelineError::Overloaded {
+            message: "all 128 reader slots pinned".into(),
+        };
+        assert_eq!(o.kind(), "overloaded");
+        assert!(o.is_retryable(), "overload is transient by construction");
+        assert!(!o.is_cancellation());
     }
 
     #[test]

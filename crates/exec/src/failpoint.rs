@@ -2,7 +2,8 @@
 //!
 //! A *failpoint* is a named site in production code (`fsg::candidate_gen`,
 //! `subdue::beam_eval`, `em::iteration`, `csv::ingest`, `serve::publish`,
-//! ...) where a fault
+//! `serve::wal_append`, `serve::wal_fsync`, `serve::snapshot_write`,
+//! `serve::recover`, ...) where a fault
 //! can be armed at runtime — from the `TNET_FAILPOINTS` environment
 //! variable or programmatically via [`arm`] — without recompiling and
 //! without any cost on the unarmed path beyond one relaxed atomic load.

@@ -60,6 +60,13 @@ impl LatencyHistogram {
         self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one observed [`std::time::Duration`] (saturating to
+    /// `u64::MAX` ns — a 584-year fsync deserves the top bucket).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
     /// A point-in-time copy of the bucket counts.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut counts = [0u64; BUCKETS];

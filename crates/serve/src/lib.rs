@@ -17,6 +17,12 @@
 //!   deletes into the transaction log, periodic (or forced) publishes,
 //!   and graceful degradation when a publish fails (the `serve::publish`
 //!   failpoint tests exactly that).
+//! - [`crc`] / [`wal`] / [`snapshot`] / [`durability`] — the durable
+//!   half: every accepted mutation is appended to a CRC32C-checksummed
+//!   write-ahead log *before* it is acknowledged or publishable,
+//!   periodic checkpoints bound replay time, and startup recovery
+//!   rebuilds the live set (truncating a torn tail with a warning,
+//!   refusing mid-log corruption with a typed error). DESIGN.md §13.
 //! - [`cache`] — an LRU memo of serialized replies keyed on
 //!   `(generation, canonical query)`, invalidated by generation
 //!   turnover rather than by any explicit walk.
@@ -29,16 +35,30 @@
 //! example: README "Serving".
 
 pub mod cache;
+pub mod crc;
+pub mod durability;
 pub mod epoch;
 pub mod generation;
 pub mod proto;
 pub mod query;
 pub mod server;
+pub mod snapshot;
+pub mod wal;
 pub mod writer;
 
 pub use cache::ResultCache;
+pub use durability::{recover, Durability, DurabilityConfig, Recovered};
 pub use epoch::{EpochCell, EpochReader};
 pub use generation::Generation;
 pub use proto::Request;
 pub use server::{start, ServeConfig, ServerHandle};
+pub use wal::FsyncPolicy;
 pub use writer::{IngestOp, WriterConfig};
+
+/// Serializes tests that arm process-global failpoints, across every
+/// module of this crate's unit-test binary.
+#[cfg(test)]
+pub(crate) fn failpoint_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -726,4 +726,77 @@ mod tests {
         let s = json_string("a\"b\\c\nd");
         assert_eq!(parse_json(&s).unwrap(), JVal::Str("a\"b\\c\nd".to_string()));
     }
+
+    /// Checks the never-panic contract for one line and, on failure,
+    /// that the error reply is itself one line of well-formed JSON.
+    fn assert_never_panics(line: &str) {
+        if let Err(e) = parse_request(line) {
+            let reply = error_reply(&e);
+            assert!(!reply.contains('\n'), "multi-line error reply for {line:?}");
+            let JVal::Obj(o) = parse_json(&reply).expect("error reply re-parses") else {
+                panic!("error reply not an object for {line:?}");
+            };
+            assert_eq!(get(&o, "ok"), Some(&JVal::Bool(false)));
+        }
+    }
+
+    /// The dependency-free half of the fuzz suite (the proptest half is
+    /// `tests/prop.rs`, gated behind the `prop` feature): a fixed-seed
+    /// LCG drives random byte lines — embedded NULs, control bytes,
+    /// bracket storms — through the parser. Deterministic, so a
+    /// regression reproduces identically in CI.
+    #[test]
+    fn deterministic_fuzz_never_panics() {
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            // SplitMix64: dependency-free, full-period, well-mixed.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        // Pure random bytes, lossily decoded like the connection thread
+        // does with non-UTF-8 input.
+        for _ in 0..2_000 {
+            let len = (next() % 256) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| (next() & 0xFF) as u8).collect();
+            assert_never_panics(&String::from_utf8_lossy(&bytes));
+        }
+        // Structure-biased lines: random draws from the protocol's own
+        // alphabet, which reach much deeper into the parser.
+        const ALPHABET: &[&str] = &[
+            "{", "}", "[", "]", "\"", "\\", ":", ",", "\u{0}", "op", "\"op\"", "ping", "ingest",
+            "records", "null", "true", "-", "1e309", "0.5", "\\u0041", "\\uZZZZ", " ", "\"id\"",
+        ];
+        for _ in 0..2_000 {
+            let parts = (next() % 48) as usize;
+            let line: String = (0..parts)
+                .map(|_| ALPHABET[(next() as usize) % ALPHABET.len()])
+                .collect();
+            assert_never_panics(&line);
+        }
+        // Mutation fuzz: valid requests with random single-byte edits.
+        let seeds = [
+            r#"{"op":"ping"}"#.to_string(),
+            r#"{"op":"support","labeling":"gw","labels":[0,1,2]}"#.to_string(),
+            r#"{"op":"pattern","partitions":4,"support":2,"max_edges":3}"#.to_string(),
+            r#"{"op":"ingest","records":[{"id":7,"pickup":733000,"olat":33.7,"olon":-84.4,"dlat":35.1,"dlon":-90.0,"distance":380.5,"weight":25000.0,"hours":9.5}]}"#.to_string(),
+        ];
+        for _ in 0..2_000 {
+            let mut bytes = seeds[(next() as usize) % seeds.len()].clone().into_bytes();
+            for _ in 0..=(next() % 3) {
+                let at = (next() as usize) % bytes.len();
+                bytes[at] = (next() & 0xFF) as u8;
+            }
+            assert_never_panics(&String::from_utf8_lossy(&bytes));
+        }
+        // Nesting storms beyond MAX_DEPTH must error, never overflow.
+        for depth in [MAX_DEPTH + 1, 64, 1024, 4096] {
+            let arr = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+            assert_eq!(parse_request(&arr).unwrap_err().kind(), "protocol");
+            let obj = format!("{}1{}", "{\"k\":".repeat(depth), "}".repeat(depth));
+            assert_eq!(parse_request(&obj).unwrap_err().kind(), "protocol");
+        }
+    }
 }

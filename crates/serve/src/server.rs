@@ -19,10 +19,12 @@
 //! writer to flush a final generation and exit.
 
 use crate::cache::ResultCache;
+use crate::durability::{self, Durability, DurabilityConfig};
 use crate::epoch::EpochCell;
 use crate::generation::Generation;
 use crate::proto::{self, Request, MAX_LINE_BYTES};
 use crate::query;
+use crate::wal::WalOp;
 use crate::writer::{IngestOp, Writer, WriterConfig};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -46,8 +48,13 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Writer cadence and batching.
     pub writer: WriterConfig,
-    /// Transactions the daemon starts with (generation 0).
+    /// Transactions the daemon starts with (generation 0). Ignored —
+    /// with a stderr note — when `durability` is configured and the
+    /// data directory already holds recovered state.
     pub initial: Vec<Transaction>,
+    /// WAL + snapshot + recovery; `None` runs fully in-memory (the
+    /// pre-durability behavior, still the default for tests).
+    pub durability: Option<DurabilityConfig>,
     /// Collect a span tree (rendered by the CLI at exit).
     pub trace: bool,
 }
@@ -60,6 +67,7 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             writer: WriterConfig::default(),
             initial: Vec::new(),
+            durability: None,
             trace: false,
         }
     }
@@ -71,6 +79,9 @@ struct Shared {
     cache: ResultCache,
     registry: MetricsRegistry,
     latency: LatencyHistogram,
+    /// WAL fsync latency, recorded by the writer thread and exported
+    /// through the `trace` op.
+    fsync_latency: Arc<LatencyHistogram>,
     shutdown: CancelToken,
     threads: usize,
 }
@@ -86,14 +97,53 @@ pub struct ServerHandle {
     writer_thread: Option<JoinHandle<()>>,
 }
 
-/// Starts the daemon: binds, publishes generation 0 from
-/// `cfg.initial`, and spawns the writer and accept threads.
+/// Starts the daemon: recovers durable state (when configured), binds,
+/// publishes generation 0, and spawns the writer and accept threads.
+///
+/// Recovery order matters: the WAL and snapshot are read *before* the
+/// socket binds, so a corrupt data directory refuses startup (typed
+/// [`PipelineError::Corruption`], CLI exit 1) rather than serving
+/// wrong answers on a live port.
 pub fn start(cfg: ServeConfig) -> Result<ServerHandle, PipelineError> {
     let tracer = cfg.trace.then(|| Tracer::new("serve"));
     let span = tracer.as_ref().map_or_else(Span::disabled, |t| t.root());
     let registry = MetricsRegistry::new();
+    let fsync_latency = Arc::new(LatencyHistogram::new());
 
-    let initial = cfg.initial;
+    let (initial, durable) = match &cfg.durability {
+        Some(dcfg) => {
+            let _t = span.time("serve.recover");
+            let recovered = durability::recover(&dcfg.data_dir, &registry)?;
+            let mut d = Durability::open(
+                dcfg,
+                recovered.wal_seq,
+                registry.clone(),
+                Arc::clone(&fsync_latency),
+            )?;
+            let seed = if recovered.has_state() {
+                if !cfg.initial.is_empty() {
+                    eprintln!(
+                        "tnet serve: note: {} already holds durable state \
+                         ({} live record(s) recovered); ignoring the {} seed record(s)",
+                        dcfg.data_dir.display(),
+                        recovered.live.len(),
+                        cfg.initial.len()
+                    );
+                }
+                recovered.live
+            } else {
+                // Seed data enters through the WAL like any other batch
+                // so *everything* publishable is durable from day one.
+                if !cfg.initial.is_empty() {
+                    d.append(&WalOp::Append(cfg.initial.clone()))?;
+                    d.sync()?;
+                }
+                cfg.initial
+            };
+            (seed, Some(d))
+        }
+        None => (cfg.initial, None),
+    };
     let genesis = {
         let _t = span.time("serve.genesis");
         Generation::build(0, initial.clone())?
@@ -114,6 +164,7 @@ pub fn start(cfg: ServeConfig) -> Result<ServerHandle, PipelineError> {
         Arc::clone(&cell),
         initial,
         1,
+        durable,
         registry.clone(),
         span.clone(),
     );
@@ -128,6 +179,7 @@ pub fn start(cfg: ServeConfig) -> Result<ServerHandle, PipelineError> {
         cache: ResultCache::new(cfg.cache_capacity),
         registry: registry.clone(),
         latency: LatencyHistogram::new(),
+        fsync_latency,
         shutdown: CancelToken::new(),
         threads: cfg.threads,
     });
@@ -358,12 +410,17 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, ingest: Sender<Inge
     // Replies are single small segments; never hold them for Nagle.
     let _ = stream.set_nodelay(true);
     let Some(reader) = shared.cell.register() else {
-        // All hazard slots busy: refuse politely instead of serving a
-        // connection that could never pin a generation.
-        let err = protocol_error(format!(
-            "too many concurrent connections (limit {})",
-            crate::epoch::MAX_READERS
-        ));
+        // All hazard slots busy: refuse with a typed *retryable* error
+        // instead of serving a connection that could never pin a
+        // generation. Clients see kind "overloaded" and back off.
+        shared.registry.add("serve.readers_rejected", 1);
+        shared.registry.add("serve.connections_rejected", 1);
+        let err = PipelineError::Overloaded {
+            message: format!(
+                "all {} reader slots are pinned; back off and retry",
+                crate::epoch::MAX_READERS
+            ),
+        };
         let _ = write_reply(&mut out, &proto::error_reply(&err));
         return;
     };
@@ -425,22 +482,24 @@ fn dispatch(
         }
         Request::Trace => trace_reply(shared),
         Request::Ingest { records } => {
-            let n = records.len();
-            match ingest.send(IngestOp::Append(records.clone())) {
-                Ok(()) => format!("{{\"ok\":true,\"op\":\"ingest\",\"accepted\":{n}}}"),
-                Err(_) => proto::error_reply(&PipelineError::Io(
-                    "daemon is shutting down; ingest rejected".into(),
-                )),
-            }
+            let (ack_tx, ack_rx) = mpsc::channel();
+            mutate(
+                ingest,
+                IngestOp::Append(records.clone(), Some(ack_tx)),
+                ack_rx,
+                "ingest",
+                records.len(),
+            )
         }
         Request::Delete { ids } => {
-            let n = ids.len();
-            match ingest.send(IngestOp::Delete(ids.clone())) {
-                Ok(()) => format!("{{\"ok\":true,\"op\":\"delete\",\"accepted\":{n}}}"),
-                Err(_) => proto::error_reply(&PipelineError::Io(
-                    "daemon is shutting down; delete rejected".into(),
-                )),
-            }
+            let (ack_tx, ack_rx) = mpsc::channel();
+            mutate(
+                ingest,
+                IngestOp::Delete(ids.clone(), Some(ack_tx)),
+                ack_rx,
+                "delete",
+                ids.len(),
+            )
         }
         // The cacheable generation queries.
         Request::Stats | Request::Support { .. } | Request::Pattern { .. } => {
@@ -452,7 +511,7 @@ fn dispatch(
                 if let Some(hit) = shared.cache.get(key) {
                     shared.registry.add("serve.queries", 1);
                     shared.latency.record(started.elapsed().as_nanos() as u64);
-                    return hit;
+                    return finalize(request, hit, shared);
                 }
             }
             let reply = match query::execute(&gen, request, exec) {
@@ -473,9 +532,49 @@ fn dispatch(
             let lag = shared.cell.publish_count().saturating_sub(gen.id);
             shared.registry.record_max("serve.pinned_lag_max", lag);
             shared.latency.record(started.elapsed().as_nanos() as u64);
-            reply
+            finalize(request, reply, shared)
         }
     }
+}
+
+/// Sends a mutation to the writer and waits for its durability
+/// acknowledgment: with a WAL configured, `"accepted"` means the batch
+/// is on disk (to the fsync policy's guarantee); a WAL refusal comes
+/// back as the writer's typed error instead of a false promise.
+fn mutate(
+    ingest: &Sender<IngestOp>,
+    op: IngestOp,
+    ack: mpsc::Receiver<Result<(), PipelineError>>,
+    name: &str,
+    n: usize,
+) -> String {
+    if ingest.send(op).is_err() {
+        return proto::error_reply(&PipelineError::Io(format!(
+            "daemon is shutting down; {name} rejected"
+        )));
+    }
+    match ack.recv() {
+        Ok(Ok(())) => format!("{{\"ok\":true,\"op\":\"{name}\",\"accepted\":{n}}}"),
+        Ok(Err(e)) => proto::error_reply(&e),
+        Err(_) => proto::error_reply(&PipelineError::Io(format!(
+            "daemon exited before acknowledging the {name}"
+        ))),
+    }
+}
+
+/// Post-processes a cacheable reply. Stats replies get the live
+/// `connections_rejected` counter spliced in *outside* the cache (the
+/// cached body stays counter-free, so a hit under a changed counter is
+/// never stale).
+fn finalize(request: &Request, reply: String, shared: &Shared) -> String {
+    if !matches!(request, Request::Stats) || !reply.starts_with("{\"ok\":true") {
+        return reply;
+    }
+    let mut reply = reply;
+    let rejected = shared.registry.get("serve.connections_rejected");
+    reply.truncate(reply.len() - 1);
+    reply.push_str(&format!(",\"connections_rejected\":{rejected}}}"));
+    reply
 }
 
 /// The `trace` op: every counter the daemon keeps, as one flat JSON
@@ -490,6 +589,12 @@ fn trace_reply(shared: &Shared) -> String {
         .latency
         .snapshot()
         .publish("serve.query_latency", &mut |name, v| {
+            metrics.insert(name.to_string(), v);
+        });
+    shared
+        .fsync_latency
+        .snapshot()
+        .publish("wal.fsync", &mut |name, v| {
             metrics.insert(name.to_string(), v);
         });
     let fields: Vec<String> = metrics

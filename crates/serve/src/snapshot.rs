@@ -1,0 +1,308 @@
+//! Snapshot checkpoints: the live transaction set, materialized.
+//!
+//! A snapshot lets the WAL be truncated — without one, recovery replay
+//! time grows without bound under sustained ingest. The file is the
+//! *live* set (log minus tombstones) plus the highest WAL sequence it
+//! incorporates, self-checksummed, laid out little-endian:
+//!
+//! ```text
+//! magic "TNETSNAP"  version:u32  wal_seq:u64  count:u64  (txn)×count
+//! masked_crc:u32   — CRC32C over every preceding byte
+//! ```
+//!
+//! Writes are atomic: the bytes go to `snapshot.tmp`, which is fsynced,
+//! renamed over `snapshot.bin`, and the directory fsynced — so a crash
+//! at any instant leaves either the old snapshot or the new one, never
+//! a half-written hybrid. Only *after* the rename does the caller
+//! truncate the WAL; a crash in between replays some WAL records whose
+//! effects the snapshot already holds, which the `wal_seq` skip rule
+//! makes a no-op.
+//!
+//! A snapshot that fails its checksum or structure is refused with a
+//! typed [`PipelineError::Corruption`] — same policy as mid-log WAL
+//! damage, and for the same reason: it is the *base* state, and serving
+//! from a half-trusted base silently corrupts every answer.
+
+use crate::crc;
+use crate::wal::{decode_txn, encode_txn, Cursor};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use tnet_core::error::PipelineError;
+use tnet_data::model::Transaction;
+use tnet_exec::failpoint;
+
+const MAGIC: &[u8; 8] = b"TNETSNAP";
+const VERSION: u32 = 1;
+
+/// File name of the current snapshot inside a data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Scratch name the atomic write stages through.
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// A checkpoint: the live set as of WAL sequence `wal_seq`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Highest WAL record sequence whose effects are included. Replay
+    /// skips records at or below this.
+    pub wal_seq: u64,
+    /// The live transactions (tombstones already applied).
+    pub txns: Vec<Transaction>,
+}
+
+/// Path of the current snapshot in `dir`.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join(SNAPSHOT_FILE)
+}
+
+/// Serializes a snapshot to its on-disk byte form.
+pub fn encode(snap: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + snap.txns.len() * 49);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&snap.wal_seq.to_le_bytes());
+    out.extend_from_slice(&(snap.txns.len() as u64).to_le_bytes());
+    for t in &snap.txns {
+        encode_txn(&mut out, t);
+    }
+    let crc = crc::mask(crc::crc32c(&out));
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn corrupt(path: &Path, offset: u64, message: impl Into<String>) -> PipelineError {
+    PipelineError::Corruption {
+        path: path.display().to_string(),
+        offset,
+        message: message.into(),
+    }
+}
+
+/// Decodes and verifies snapshot bytes. `path` is only for error
+/// attribution.
+pub fn decode(bytes: &[u8], path: &Path) -> Result<Snapshot, PipelineError> {
+    if bytes.len() < MAGIC.len() + 4 + 8 + 8 + 4 {
+        return Err(corrupt(path, 0, "snapshot file is too short to be valid"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = crc::unmask(u32::from_le_bytes(crc_bytes.try_into().unwrap()));
+    if crc::crc32c(body) != stored {
+        return Err(corrupt(path, 0, "snapshot checksum mismatch (CRC32C)"));
+    }
+    let mut c = Cursor::new(body);
+    if c.take(MAGIC.len()) != Some(&MAGIC[..]) {
+        return Err(corrupt(path, 0, "bad snapshot magic"));
+    }
+    let version = c
+        .u32()
+        .ok_or_else(|| corrupt(path, c.pos() as u64, "truncated snapshot header"))?;
+    if version != VERSION {
+        return Err(corrupt(
+            path,
+            8,
+            format!("snapshot version {version} (this build reads {VERSION})"),
+        ));
+    }
+    let wal_seq = c
+        .u64()
+        .ok_or_else(|| corrupt(path, c.pos() as u64, "truncated snapshot header"))?;
+    let count = c
+        .u64()
+        .ok_or_else(|| corrupt(path, c.pos() as u64, "truncated snapshot header"))?;
+    let mut txns = Vec::with_capacity(usize::try_from(count).unwrap_or(0).min(1 << 24));
+    for i in 0..count {
+        let t = decode_txn(&mut c).ok_or_else(|| {
+            corrupt(
+                path,
+                c.pos() as u64,
+                format!("snapshot record {i} of {count} is truncated or malformed"),
+            )
+        })?;
+        txns.push(t);
+    }
+    if c.pos() != body.len() {
+        return Err(corrupt(
+            path,
+            c.pos() as u64,
+            "snapshot has trailing bytes after the declared records",
+        ));
+    }
+    Ok(Snapshot { wal_seq, txns })
+}
+
+/// Writes `snap` atomically into `dir` (tmp + fsync + rename + dir
+/// fsync). On return the snapshot is durable; the caller may truncate
+/// the WAL.
+pub fn write(dir: &Path, snap: &Snapshot) -> Result<(), PipelineError> {
+    failpoint::hit("serve::snapshot_write").map_err(|f| PipelineError::Io(f.to_string()))?;
+    let tmp = dir.join(SNAPSHOT_TMP);
+    let dst = snapshot_path(dir);
+    let bytes = encode(snap);
+    let io = |e: std::io::Error, what: &str| {
+        PipelineError::Io(format!("snapshot {what} failed in {}: {e}", dir.display()))
+    };
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io(e, "create"))?;
+    f.write_all(&bytes).map_err(|e| io(e, "write"))?;
+    f.sync_all().map_err(|e| io(e, "fsync"))?;
+    drop(f);
+    std::fs::rename(&tmp, &dst).map_err(|e| io(e, "rename"))?;
+    // Make the rename itself durable. A failure here is tolerable on
+    // filesystems without directory fsync; the rename is still ordered
+    // after the data sync.
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Loads the snapshot from `dir`, if one exists. Missing ⇒ `Ok(None)`
+/// (a fresh data directory); damaged ⇒ typed corruption.
+pub fn read(dir: &Path) -> Result<Option<Snapshot>, PipelineError> {
+    let path = snapshot_path(dir);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(PipelineError::Io(format!(
+                "cannot read snapshot {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    decode(&bytes, &path).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_data::model::{Date, LatLon, TransMode};
+
+    fn txn(id: u64) -> Transaction {
+        Transaction {
+            id,
+            req_pickup: Date(733000 + id as u32),
+            req_delivery: Date(733003),
+            origin: LatLon::new(40.7, -74.0),
+            dest: LatLon::new(41.8, -87.6),
+            total_distance: 790.0,
+            gross_weight: 18000.0 + id as f64,
+            transit_hours: 18.0,
+            mode: TransMode::LessThanTruckload,
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tnet_snap_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        let snap = Snapshot {
+            wal_seq: 42,
+            txns: (1..=5).map(txn).collect(),
+        };
+        write(&dir, &snap).unwrap();
+        let loaded = read(&dir).unwrap().expect("snapshot exists");
+        assert_eq!(loaded, snap);
+        assert!(
+            !dir.join(SNAPSHOT_TMP).exists(),
+            "tmp staging file must not linger"
+        );
+    }
+
+    #[test]
+    fn empty_dir_reads_none() {
+        let dir = tmp_dir("fresh");
+        assert!(read(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_live_set_round_trips() {
+        let dir = tmp_dir("empty");
+        let snap = Snapshot {
+            wal_seq: 7,
+            txns: Vec::new(),
+        };
+        write(&dir, &snap).unwrap();
+        assert_eq!(read(&dir).unwrap().unwrap(), snap);
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let dir = tmp_dir("rewrite");
+        write(
+            &dir,
+            &Snapshot {
+                wal_seq: 1,
+                txns: vec![txn(1)],
+            },
+        )
+        .unwrap();
+        let newer = Snapshot {
+            wal_seq: 9,
+            txns: vec![txn(2), txn(3)],
+        };
+        write(&dir, &newer).unwrap();
+        assert_eq!(read(&dir).unwrap().unwrap(), newer);
+    }
+
+    #[test]
+    fn bitflip_anywhere_is_corruption() {
+        let dir = tmp_dir("flip");
+        let snap = Snapshot {
+            wal_seq: 3,
+            txns: (1..=3).map(txn).collect(),
+        };
+        write(&dir, &snap).unwrap();
+        let clean = std::fs::read(snapshot_path(&dir)).unwrap();
+        // Flip a byte in the header, the body, and the trailer.
+        for at in [4usize, clean.len() / 2, clean.len() - 2] {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x01;
+            std::fs::write(snapshot_path(&dir), &bytes).unwrap();
+            let err = read(&dir).unwrap_err();
+            assert_eq!(err.kind(), "corruption", "flip at byte {at}");
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_corruption() {
+        let dir = tmp_dir("trunc");
+        write(
+            &dir,
+            &Snapshot {
+                wal_seq: 2,
+                txns: vec![txn(1), txn(2)],
+            },
+        )
+        .unwrap();
+        let bytes = std::fs::read(snapshot_path(&dir)).unwrap();
+        std::fs::write(snapshot_path(&dir), &bytes[..bytes.len() - 10]).unwrap();
+        assert_eq!(read(&dir).unwrap_err().kind(), "corruption");
+        // Degenerate: a nearly-empty file.
+        std::fs::write(snapshot_path(&dir), b"TN").unwrap();
+        assert_eq!(read(&dir).unwrap_err().kind(), "corruption");
+    }
+
+    #[test]
+    fn wrong_version_is_refused() {
+        let dir = tmp_dir("version");
+        let snap = Snapshot {
+            wal_seq: 1,
+            txns: vec![txn(1)],
+        };
+        let mut bytes = encode(&snap);
+        bytes[8] = 99; // version field
+                       // Re-seal the checksum so only the version is "wrong".
+        let body_len = bytes.len() - 4;
+        let crc = crc::mask(crc::crc32c(&bytes[..body_len]));
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(snapshot_path(&dir), &bytes).unwrap();
+        let err = read(&dir).unwrap_err();
+        assert_eq!(err.kind(), "corruption");
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+}

@@ -1,34 +1,50 @@
-//! The single writer: ingest log, tombstones, and generation publishes.
+//! The single writer: ingest log, tombstones, WAL, and generation
+//! publishes.
 //!
 //! All mutation flows through one thread. Connection threads forward
-//! [`IngestOp`]s over an mpsc channel; the writer appends to its
-//! transaction log, tombstones deletes by id, and — on a timer, on a
-//! batch threshold, or on demand — materializes the live set into a new
-//! [`Generation`] and publishes it through the [`EpochCell`]. A failed
-//! build (injected via the `serve::publish` failpoint or a real
+//! [`IngestOp`]s over an mpsc channel; the writer first makes each
+//! batch durable (WAL append + fsync policy, when a
+//! [`Durability`] layer is configured), *then* applies it to its
+//! in-memory log and acknowledges the waiting connection — so an
+//! `"accepted"` reply is a durability promise, not a hope. On a timer,
+//! on a batch threshold, or on demand it materializes the live set into
+//! a new [`Generation`] and publishes it through the [`EpochCell`]. A
+//! failed build (injected via the `serve::publish` failpoint or a real
 //! bin-fit rejection) is *not* fatal: the cell keeps the previous
 //! generation, a counter records the failure, and the writer retries on
 //! the next trigger — the daemon degrades to serving stale data rather
-//! than crashing.
+//! than crashing. A failed WAL append nacks the batch and applies
+//! nothing: what cannot be made durable never becomes publishable.
 
+use crate::durability::Durability;
 use crate::epoch::EpochCell;
 use crate::generation::Generation;
+use crate::wal::WalOp;
 use std::collections::HashSet;
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tnet_core::error::PipelineError;
 use tnet_data::model::Transaction;
 use tnet_exec::failpoint;
 use tnet_obs::{MetricsRegistry, Span};
 
-/// A mutation forwarded from a connection thread.
+/// The channel a connection thread waits on for its durability
+/// acknowledgment. `Ok(())` means the batch is in the WAL (to the
+/// configured fsync guarantee) and applied; `Err` means it was refused
+/// and must not be assumed present.
+pub type Ack = Sender<Result<(), PipelineError>>;
+
+/// A mutation forwarded from a connection thread. The optional ack is
+/// signalled after the durability decision; `None` callers
+/// fire-and-forget (tests, internal seeding).
 #[derive(Debug)]
 pub enum IngestOp {
     /// Append a batch of transactions to the log.
-    Append(Vec<Transaction>),
+    Append(Vec<Transaction>, Option<Ack>),
     /// Tombstone transactions by id (idempotent; unknown ids are
     /// harmless).
-    Delete(Vec<u64>),
+    Delete(Vec<u64>, Option<Ack>),
     /// Publish now, regardless of timer and batch thresholds.
     Flush,
 }
@@ -61,17 +77,22 @@ pub struct Writer {
     pending: usize,
     next_id: u64,
     cell: Arc<EpochCell<Generation>>,
+    durability: Option<Durability>,
     registry: MetricsRegistry,
     span: Span,
 }
 
 impl Writer {
     /// A writer whose next publish becomes generation `next_id`,
-    /// seeded with `log` (the transactions the daemon started with).
+    /// seeded with `log` (the transactions the daemon started with —
+    /// already WAL-resident when `durability` is `Some`, because the
+    /// server either recovered them from disk or appended them before
+    /// construction).
     pub fn new(
         cell: Arc<EpochCell<Generation>>,
         log: Vec<Transaction>,
         next_id: u64,
+        durability: Option<Durability>,
         registry: MetricsRegistry,
         span: Span,
     ) -> Writer {
@@ -81,31 +102,90 @@ impl Writer {
             pending: 0,
             next_id,
             cell,
+            durability,
             registry,
             span,
         }
     }
 
-    /// Applies one op to the log. Returns `true` if the op demands an
-    /// immediate publish.
+    /// WAL-appends `op` when durability is on. `Ok` means the batch may
+    /// be applied and acknowledged.
+    fn persist(&mut self, op: &WalOp) -> Result<(), PipelineError> {
+        match &mut self.durability {
+            Some(d) => d.append(op).map(|_seq| ()),
+            None => Ok(()),
+        }
+    }
+
+    fn send_ack(ack: Option<Ack>, result: Result<(), PipelineError>) {
+        if let Some(ack) = ack {
+            // A vanished waiter (client hung up mid-request) is fine;
+            // the durability decision stands either way.
+            let _ = ack.send(result);
+        }
+    }
+
+    /// Applies one op: durability first, memory second, ack last.
+    /// Returns `true` if the op demands an immediate publish.
     pub fn apply(&mut self, op: IngestOp) -> bool {
         match op {
-            IngestOp::Append(mut records) => {
+            IngestOp::Append(records, ack) => {
                 let _t = self.span.time("serve.ingest");
-                self.pending += records.len();
-                self.registry
-                    .add("serve.records_ingested", records.len() as u64);
-                self.log.append(&mut records);
+                let wal_op = WalOp::Append(records);
+                match self.persist(&wal_op) {
+                    Ok(()) => {
+                        let WalOp::Append(mut records) = wal_op else {
+                            unreachable!("append op cannot change variant")
+                        };
+                        self.pending += records.len();
+                        self.registry
+                            .add("serve.records_ingested", records.len() as u64);
+                        self.log.append(&mut records);
+                        Self::send_ack(ack, Ok(()));
+                        self.checkpoint_if_due();
+                    }
+                    Err(e) => Self::send_ack(ack, Err(e)),
+                }
                 false
             }
-            IngestOp::Delete(ids) => {
+            IngestOp::Delete(ids, ack) => {
                 let _t = self.span.time("serve.ingest");
-                self.pending += ids.len();
-                self.registry.add("serve.records_deleted", ids.len() as u64);
-                self.deleted.extend(ids);
+                let wal_op = WalOp::Delete(ids);
+                match self.persist(&wal_op) {
+                    Ok(()) => {
+                        let WalOp::Delete(ids) = wal_op else {
+                            unreachable!("delete op cannot change variant")
+                        };
+                        self.pending += ids.len();
+                        self.registry.add("serve.records_deleted", ids.len() as u64);
+                        self.deleted.extend(ids);
+                        Self::send_ack(ack, Ok(()));
+                        self.checkpoint_if_due();
+                    }
+                    Err(e) => Self::send_ack(ack, Err(e)),
+                }
                 false
             }
             IngestOp::Flush => true,
+        }
+    }
+
+    /// Folds the log into a snapshot checkpoint when the configured
+    /// cadence is due, compacting the in-memory log to the live set at
+    /// the same time (the tombstones are now in the checkpoint).
+    fn checkpoint_if_due(&mut self) {
+        if !self
+            .durability
+            .as_ref()
+            .is_some_and(Durability::needs_snapshot)
+        {
+            return;
+        }
+        let live = self.live();
+        let d = self.durability.as_mut().expect("checked above");
+        if d.force_snapshot(&live) {
+            self.log = live;
+            self.deleted.clear();
         }
     }
 
@@ -124,7 +204,7 @@ impl Writer {
     pub fn publish(&mut self) -> bool {
         let _t = self.span.time("serve.publish");
         let built = failpoint::hit("serve::publish")
-            .map_err(|f| tnet_core::error::PipelineError::Io(f.to_string()))
+            .map_err(|f| PipelineError::Io(f.to_string()))
             .and_then(|()| {
                 let _f = self.span.time("serve.freeze");
                 Generation::build(self.next_id, self.live())
@@ -166,13 +246,22 @@ impl Writer {
                 Err(RecvTimeoutError::Timeout) => false,
                 Err(RecvTimeoutError::Disconnected) => {
                     // Final flush: make the last generation durable for
-                    // any still-draining readers, then exit.
+                    // any still-draining readers, then settle the WAL
+                    // (interval-mode appends may still be in the page
+                    // cache) and exit.
                     if self.pending > 0 {
                         self.publish();
+                    }
+                    if let Some(d) = &mut self.durability {
+                        let _ = d.sync();
                     }
                     return;
                 }
             };
+            // Interval-mode fsync deadline, even while idle.
+            if let Some(d) = &mut self.durability {
+                d.tick();
+            }
             let timer_due = last_publish.elapsed() >= cfg.publish_interval;
             if forced || self.pending >= cfg.batch.max(1) || (timer_due && self.pending > 0) {
                 self.publish();
@@ -187,7 +276,11 @@ impl Writer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durability::{recover, DurabilityConfig};
+    use crate::wal::FsyncPolicy;
+    use std::path::PathBuf;
     use tnet_exec::failpoint;
+    use tnet_obs::LatencyHistogram;
 
     fn txn(id: u64, weight: f64) -> Transaction {
         use tnet_data::model::{Date, LatLon, TransMode};
@@ -211,6 +304,42 @@ mod tests {
             Arc::clone(&cell),
             Vec::new(),
             1,
+            None,
+            registry.clone(),
+            Span::disabled(),
+        );
+        (w, cell, registry)
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tnet_writer_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_writer(
+        dir: &std::path::Path,
+        snapshot_every: u64,
+    ) -> (Writer, Arc<EpochCell<Generation>>, MetricsRegistry) {
+        let cell = EpochCell::new(Arc::new(Generation::build(0, Vec::new()).unwrap()));
+        let registry = MetricsRegistry::new();
+        let d = Durability::open(
+            &DurabilityConfig {
+                data_dir: dir.to_path_buf(),
+                fsync: FsyncPolicy::Always,
+                snapshot_every,
+            },
+            0,
+            registry.clone(),
+            Arc::new(LatencyHistogram::new()),
+        )
+        .unwrap();
+        let w = Writer::new(
+            Arc::clone(&cell),
+            Vec::new(),
+            1,
+            Some(d),
             registry.clone(),
             Span::disabled(),
         );
@@ -223,8 +352,9 @@ mod tests {
         let reader = cell.register().unwrap();
         w.apply(IngestOp::Append(
             (1..=10).map(|i| txn(i, 1000.0 * i as f64)).collect(),
+            None,
         ));
-        w.apply(IngestOp::Delete(vec![3, 7, 99]));
+        w.apply(IngestOp::Delete(vec![3, 7, 99], None));
         assert!(w.publish());
         let gen = reader.pin();
         assert_eq!(gen.id, 1);
@@ -234,13 +364,14 @@ mod tests {
 
     #[test]
     fn failed_publish_keeps_previous_generation_and_retries() {
+        let _g = crate::failpoint_test_guard();
         let (mut w, cell, registry) = writer();
         let reader = cell.register().unwrap();
-        w.apply(IngestOp::Append(vec![txn(1, 1000.0), txn(2, 2000.0)]));
+        w.apply(IngestOp::Append(vec![txn(1, 1000.0), txn(2, 2000.0)], None));
         assert!(w.publish());
         assert_eq!(reader.pin().id, 1);
 
-        w.apply(IngestOp::Append(vec![txn(3, 3000.0)]));
+        w.apply(IngestOp::Append(vec![txn(3, 3000.0)], None));
         failpoint::arm("serve::publish=err").unwrap();
         assert!(!w.publish(), "injected fault fails the publish");
         failpoint::disarm();
@@ -271,7 +402,7 @@ mod tests {
                 },
             )
         });
-        tx.send(IngestOp::Append(vec![txn(1, 1000.0), txn(2, 9000.0)]))
+        tx.send(IngestOp::Append(vec![txn(1, 1000.0), txn(2, 9000.0)], None))
             .unwrap();
         drop(tx);
         h.join().unwrap();
@@ -293,7 +424,7 @@ mod tests {
                 },
             )
         });
-        tx.send(IngestOp::Append(vec![txn(5, 5000.0), txn(6, 7000.0)]))
+        tx.send(IngestOp::Append(vec![txn(5, 5000.0), txn(6, 7000.0)], None))
             .unwrap();
         tx.send(IngestOp::Flush).unwrap();
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -303,5 +434,88 @@ mod tests {
         assert_eq!(reader.pin().id, 1, "flush published without timer/batch");
         drop(tx);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn acked_batches_survive_a_writer_drop() {
+        let dir = tmp_dir("ack_survives");
+        let (mut w, _cell, _reg) = durable_writer(&dir, 0);
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        w.apply(IngestOp::Append(
+            vec![txn(1, 1000.0), txn(2, 2000.0)],
+            Some(ack_tx),
+        ));
+        assert!(ack_rx.recv().unwrap().is_ok(), "batch acknowledged");
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        w.apply(IngestOp::Delete(vec![1], Some(ack_tx)));
+        assert!(ack_rx.recv().unwrap().is_ok());
+        // Drop without publish or shutdown niceties: SIGKILL in miniature.
+        drop(w);
+        let r = recover(&dir, &MetricsRegistry::new()).unwrap();
+        assert_eq!(
+            r.live.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![2],
+            "acknowledged append and delete both recovered"
+        );
+    }
+
+    #[test]
+    fn wal_failure_nacks_and_applies_nothing() {
+        let _g = crate::failpoint_test_guard();
+        let dir = tmp_dir("nack");
+        let (mut w, cell, registry) = durable_writer(&dir, 0);
+        let reader = cell.register().unwrap();
+        failpoint::arm("serve::wal_append=err").unwrap();
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        w.apply(IngestOp::Append(vec![txn(1, 1000.0)], Some(ack_tx)));
+        failpoint::disarm();
+        let nack = ack_rx.recv().unwrap();
+        assert!(nack.is_err(), "WAL failure must nack");
+        assert_eq!(registry.get("wal.append_failures"), 1);
+        assert_eq!(registry.get("serve.records_ingested"), 0);
+        assert_eq!(w.pending(), 0, "refused batch is not pending");
+        // Nothing publishable came out of the refused batch.
+        w.apply(IngestOp::Append(vec![txn(2, 2000.0), txn(3, 3000.0)], None));
+        assert!(w.publish());
+        let gen = reader.pin();
+        assert_eq!(gen.txns.len(), 2);
+        assert!(gen.txns.iter().all(|t| t.id != 1), "refused batch absent");
+        // And nothing durable either.
+        drop(w);
+        let r = recover(&dir, &MetricsRegistry::new()).unwrap();
+        assert_eq!(r.live.iter().map(|t| t.id).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn checkpoint_cadence_compacts_log_and_truncates_wal() {
+        let dir = tmp_dir("cadence");
+        let (mut w, _cell, registry) = durable_writer(&dir, 3);
+        w.apply(IngestOp::Append(vec![txn(1, 1000.0), txn(2, 2000.0)], None));
+        assert_eq!(registry.get("snapshot.writes"), 0, "two records: not yet");
+        // The delete is the third acknowledged record (cadence counts
+        // records inside each batch, not batches) — it checkpoints the
+        // tombstone-compacted live set.
+        w.apply(IngestOp::Delete(vec![1], None));
+        assert_eq!(
+            registry.get("snapshot.writes"),
+            1,
+            "third record checkpoints"
+        );
+        assert_eq!(registry.get("wal.truncations"), 1);
+        w.apply(IngestOp::Append(vec![txn(3, 3000.0)], None));
+        drop(w);
+        let reg = MetricsRegistry::new();
+        let r = recover(&dir, &reg).unwrap();
+        assert_eq!(
+            r.live.iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![2, 3],
+            "checkpoint holds the compacted set; the tail replays on top"
+        );
+        assert_eq!(
+            reg.get("recover.snapshot_records"),
+            1,
+            "snapshot holds only id 2 (1 was tombstoned before checkpoint)"
+        );
+        assert_eq!(r.replayed, 1, "the post-checkpoint append replays");
     }
 }

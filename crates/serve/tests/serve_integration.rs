@@ -363,22 +363,26 @@ fn serve_replies_match_offline_pipeline_byte_for_byte() {
     let offline_gen = Generation::build(0, data.clone()).unwrap();
     let exec = Exec::sequential();
 
-    // stats: the reply embeds the exact `tnet stats` text.
+    // stats: the reply embeds the exact `tnet stats` text, plus the
+    // daemon-side `connections_rejected` field the dispatch layer
+    // splices in (0 here — nothing was refused).
     let stats = c.send(r#"{"op":"stats"}"#);
     let render = tnet_data::stats::dataset_stats(&data).to_string();
     assert!(
         stats.contains(&json_string(&render)),
         "stats render diverged"
     );
-    assert_eq!(
-        stats,
-        query::execute(
-            &offline_gen,
-            &parse_request(r#"{"op":"stats"}"#).unwrap(),
-            &exec
-        )
-        .unwrap()
+    let offline_stats = query::execute(
+        &offline_gen,
+        &parse_request(r#"{"op":"stats"}"#).unwrap(),
+        &exec,
+    )
+    .unwrap();
+    let expected = format!(
+        "{},\"connections_rejected\":0}}",
+        &offline_stats[..offline_stats.len() - 1]
     );
+    assert_eq!(stats, expected);
 
     // support: equal to a frozen-CSR walk on a graph built through the
     // offline pipeline calls directly (not via Generation).
@@ -415,6 +419,170 @@ fn serve_replies_match_offline_pipeline_byte_for_byte() {
         "cache must replay identical bytes"
     );
 
+    handle.shutdown();
+    handle.wait();
+    handle.join().unwrap();
+}
+
+/// A daemon with a data directory: acknowledged mutations survive a
+/// (graceful) restart, recovered state supersedes the `initial` seed,
+/// and the restarted daemon's replies match a daemon that never
+/// stopped. The SIGKILL variant lives in the CLI's crash_recovery
+/// integration test, where a real subprocess can be killed.
+#[test]
+fn durable_daemon_recovers_acknowledged_state_across_restart() {
+    let dir = std::env::temp_dir().join(format!("tnet_serve_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data = txns(0.005, 7);
+
+    let durable = |initial: Vec<Transaction>| {
+        let mut cfg = quiescent_config(initial);
+        cfg.durability = Some(tnet_serve::DurabilityConfig {
+            data_dir: dir.clone(),
+            fsync: tnet_serve::FsyncPolicy::Always,
+            snapshot_every: 0,
+        });
+        cfg
+    };
+
+    // Incarnation 1: seed + one acked ingest + one acked delete.
+    let mut handle = tnet_serve::start(durable(data.clone())).unwrap();
+    let mut c = Client::connect(&handle);
+    let reply = c.send(r#"{"op":"ingest","records":[{"id":910001,"pickup":733040,"olat":40.1,"olon":-88.0,"dlat":41.9,"dlon":-87.6,"distance":180.0,"weight":9500.0,"hours":8.0},{"id":910002,"pickup":733041,"olat":40.2,"olon":-88.1,"dlat":41.8,"dlon":-87.5,"distance":190.0,"weight":9600.0,"hours":8.5}]}"#);
+    assert!(reply.contains("\"accepted\":2"), "{reply}");
+    let first_id = data[0].id;
+    let reply = c.send(&format!("{{\"op\":\"delete\",\"ids\":[{first_id}]}}"));
+    assert!(reply.contains("\"accepted\":1"), "{reply}");
+    drop(c);
+    handle.shutdown();
+    handle.wait();
+    handle.join().unwrap();
+
+    // Incarnation 2: same dir, a *different* seed that must be ignored
+    // in favor of the recovered state.
+    let decoy = txns(0.005, 99);
+    let mut restarted = tnet_serve::start(durable(decoy)).unwrap();
+    let mut c2 = Client::connect(&restarted);
+
+    // Control: a never-restarted daemon fed the exact acknowledged
+    // live set (seed + both ingested records, minus the deleted id).
+    let mut control_set: Vec<Transaction> = data.clone();
+    control_set.push(parse_ingest_record(
+        910001, 733040, 40.1, -88.0, 41.9, -87.6, 180.0, 9500.0, 8.0,
+    ));
+    control_set.push(parse_ingest_record(
+        910002, 733041, 40.2, -88.1, 41.8, -87.5, 190.0, 9600.0, 8.5,
+    ));
+    control_set.retain(|t| t.id != first_id);
+    let mut control = tnet_serve::start(quiescent_config(control_set)).unwrap();
+    let mut cc = Client::connect(&control);
+
+    for line in [
+        r#"{"op":"stats"}"#,
+        r#"{"op":"support","labeling":"gw","labels":[0,1]}"#,
+        r#"{"op":"pattern","partitions":4,"support":2,"max_edges":3,"reps":1,"top":10}"#,
+    ] {
+        assert_eq!(
+            c2.send(line),
+            cc.send(line),
+            "restarted daemon diverged from the never-stopped control on {line}"
+        );
+    }
+
+    // The recovery counters are visible through the trace op.
+    let trace = c2.send(r#"{"op":"trace"}"#);
+    assert!(field_u64(&trace, "recover.live_records") > 0, "{trace}");
+
+    drop(c2);
+    drop(cc);
+    restarted.shutdown();
+    restarted.wait();
+    restarted.join().unwrap();
+    control.shutdown();
+    control.wait();
+    control.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Builds a Transaction exactly as the wire parser would from an ingest
+/// record with these fields — keeps the restart differential honest
+/// (both daemons see byte-identical inputs).
+#[allow(clippy::too_many_arguments)]
+fn parse_ingest_record(
+    id: u64,
+    pickup: u32,
+    olat: f64,
+    olon: f64,
+    dlat: f64,
+    dlon: f64,
+    distance: f64,
+    weight: f64,
+    hours: f64,
+) -> Transaction {
+    let line = format!(
+        "{{\"op\":\"ingest\",\"records\":[{{\"id\":{id},\"pickup\":{pickup},\"olat\":{olat},\
+         \"olon\":{olon},\"dlat\":{dlat},\"dlon\":{dlon},\"distance\":{distance},\
+         \"weight\":{weight},\"hours\":{hours}}}]}}"
+    );
+    match parse_request(&line).unwrap() {
+        tnet_serve::Request::Ingest { mut records } => records.pop().unwrap(),
+        other => panic!("not an ingest: {other:?}"),
+    }
+}
+
+/// When every hazard slot is pinned, the next connection gets a typed,
+/// *retryable* `overloaded` error (not a protocol error), the rejection
+/// counters tick, and the `stats` op exposes the count.
+#[test]
+fn reader_slot_exhaustion_replies_typed_retryable_overload() {
+    let mut handle = tnet_serve::start(quiescent_config(txns(0.005, 7))).unwrap();
+
+    // Saturate all 128 hazard slots with idle-but-registered
+    // connections; the ping reply proves each slot is held.
+    let mut herd: Vec<Client> = Vec::new();
+    for i in 0..128 {
+        let mut c = Client::connect(&handle);
+        let reply = c.send(r#"{"op":"ping"}"#);
+        assert!(reply.contains("\"ok\":true"), "conn {i}: {reply}");
+        herd.push(c);
+    }
+
+    // Slot 129: refused with kind=overloaded (the retryable taxonomy
+    // branch), then the server closes the connection.
+    let mut rejected = Client::connect(&handle);
+    let reply = rejected.recv();
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+    assert!(reply.contains("\"kind\":\"overloaded\""), "{reply}");
+    assert!(reply.contains("retry"), "{reply}");
+
+    // Free one slot, wait for the server thread to notice the hangup,
+    // and verify the counters through trace + stats.
+    drop(herd.pop());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut c = loop {
+        let mut c = Client::connect(&handle);
+        let reply = c.send(r#"{"op":"ping"}"#);
+        if reply.contains("\"ok\":true") {
+            break c;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slot never freed after client hangup: {reply}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    // At least one rejection (the guaranteed overflow connection); the
+    // retry loop above may have been rejected a few more times before a
+    // hazard slot was reclaimed, so this is a floor, not an exact count.
+    assert!(metric(&mut c, "serve.readers_rejected") >= 1);
+    let stats = c.send(r#"{"op":"stats"}"#);
+    assert!(
+        field_u64(&stats, "connections_rejected") >= 1,
+        "stats must expose the rejection count: {stats}"
+    );
+
+    drop(herd);
+    drop(c);
     handle.shutdown();
     handle.wait();
     handle.join().unwrap();
