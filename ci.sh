@@ -91,18 +91,34 @@ grep -q 'fsg.iso_tests' /tmp/tnet_ci_trace.out
 grep -q '^frozen graphs:' /tmp/tnet_ci_trace.out
 grep -q 'graph.freeze_count' /tmp/tnet_ci_trace.out
 grep -q 'graph.csr_bytes' /tmp/tnet_ci_trace.out
+# Data-layout counters (DESIGN.md §14): fingerprint table bytes, per-run
+# rejects, and the L2 chunk-size hint all surface in the same namespace.
+grep -q '^data layout:' /tmp/tnet_ci_trace.out
+grep -q 'graph.fingerprint_bytes' /tmp/tnet_ci_trace.out
+grep -q 'fsg.fingerprint_rejects' /tmp/tnet_ci_trace.out
+grep -q 'fsg.bitset_intersections' /tmp/tnet_ci_trace.out
+grep -q 'exec.chunk_items' /tmp/tnet_ci_trace.out
 rm -f /tmp/tnet_ci_trace.out
 
 echo "== bench smoke: miner report emits valid JSON, iso_tests under gate"
 # The smoke run times all three miners once, writes the report, and exits
 # non-zero if FSG's deterministic iso_tests counter on the default
-# workload regresses past the 5x-drop gate baked into the binary.
-# --validate re-parses the emitted file and checks all miners are present.
+# workload regresses past the 5x-drop gate baked into the binary. The run
+# itself asserts that frozen-vs-arena and every per-technique toggle
+# (bitset TIDs off, fingerprints off) mine byte-identical pattern sets.
+# --validate re-parses the emitted file and checks all miners are
+# present, the data-layout counters are live, and the per-technique
+# off/on wall ratios clear the slowdown floor.
 BENCH_OUT=/tmp/tnet_ci_bench.json
 cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
     --smoke --out "$BENCH_OUT"
 cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
     --validate "$BENCH_OUT"
+# The committed full report must pass the same gates, including the
+# fingerprint-reject sanity check on the dense large_txn workload
+# (smoke runs skip that workload).
+cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
+    --validate BENCH_miners.json
 # The CLI's trace export (written above) must satisfy the same
 # tnet-trace/v1 validator that checks the embedded bench trace block.
 cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \

@@ -56,13 +56,25 @@ const FSG_DEFAULT_ISO_GATE: usize = 116;
 /// catching a representation-level slowdown).
 const SUPPORT_COUNT_RATIO_GATE: f64 = 1.5;
 
-/// Pre-propagation baselines recorded on the development host (best of
-/// three) just before the embedding-list change landed. Kept in the
-/// report so the trajectory's first delta is visible without digging
-/// through git history.
+/// `--validate` floor on the per-technique off/on wall ratios in the
+/// `support_count` block (`bitsets_off_over_on`,
+/// `fingerprint_off_over_on`). A technique is allowed to be a wash on a
+/// small workload, but if turning it *off* makes the miner this much
+/// faster the technique has become a regression and the gate trips. The
+/// floor sits well under 1.0 to absorb shared-host jitter.
+const TECHNIQUE_RATIO_FLOOR: f64 = 0.6;
+
+/// Historical baselines recorded on the development host (best of
+/// three), kept in the report so the perf trajectory is visible without
+/// digging through git history. The `scratch` generation predates
+/// embedding propagation (PR 3); the `pre_layout` generation is the
+/// propagated + frozen-CSR state just before the data-layout pass
+/// (bitset TIDs, SoA stores, fingerprints, L2 chunking) landed.
 const BASELINE_FSG_DEFAULT_WALL_MS: f64 = 3.82;
 const BASELINE_FSG_DEFAULT_ISO_TESTS: usize = 582;
 const BASELINE_FSG_LARGE_TXN_WALL_MS: f64 = 1050.6;
+const BASELINE_FSG_LARGE_TXN_PRE_LAYOUT_WALL_MS: f64 = 185.5;
+const BASELINE_SUBDUE_50V_PRE_LAYOUT_WALL_MS: f64 = 343.0;
 
 struct Opts {
     smoke: bool,
@@ -166,6 +178,19 @@ fn fsg_row(
             "peak_candidate_bytes",
             Json::Num(out.stats.peak_candidate_bytes as f64),
         ),
+        (
+            "fingerprint_rejects",
+            Json::Num(out.stats.fingerprint_rejects as f64),
+        ),
+        (
+            "fingerprint_rejects_scratch",
+            Json::Num(out_s.stats.fingerprint_rejects as f64),
+        ),
+        (
+            "bitset_intersections",
+            Json::Num(out.stats.bitset_intersections as f64),
+        ),
+        ("soa_bytes", Json::Num(out.stats.soa_bytes as f64)),
         ("patterns", Json::Num(out.patterns.len() as f64)),
     ]);
     (row, out.stats.iso_tests)
@@ -175,8 +200,8 @@ fn gspan_row(name: &str, txns: &[Graph], support: usize, max_edges: usize, sampl
     let cfg = |cap: usize| GspanConfig {
         min_support: Support::Count(support),
         max_edges,
-        memory_budget: None,
         embedding_cap: cap,
+        ..Default::default()
     };
     let prop_cfg = cfg(GspanConfig::default().embedding_cap);
     let scratch_cfg = cfg(0);
@@ -253,12 +278,33 @@ fn subdue_row(scale: f64, seed: u64, vertices: usize, samples: usize) -> Json {
     ])
 }
 
+/// Renders a pattern set to a canonical string so two runs can be
+/// compared byte-for-byte, not just by count. Every differential in this
+/// file (frozen vs arena, each technique toggled off vs on) goes through
+/// this — the data-layout techniques are all supposed to be
+/// output-invariant, and a byte mismatch here means one of them changed
+/// results.
+fn pattern_bytes(out: &tnet_fsg::FsgOutput) -> String {
+    let mut s = String::new();
+    for p in &out.patterns {
+        s.push_str(&format!("{} {:?} {:?}\n", p.support, p.tids, p.graph));
+    }
+    s
+}
+
 /// Support-count microbench: the same FSG workload mined through the
 /// frozen-CSR [`TxnSet`] and directly over the arena graphs. The TxnSet
 /// is packed once outside the timed region, so the row isolates
 /// traversal cost (candidate lookup + embedding extension); `freeze_ms`
 /// reports the one-off packing cost separately. The two paths must mine
-/// identical pattern sets — support counting is representation-blind.
+/// byte-identical pattern sets — support counting is
+/// representation-blind.
+///
+/// The row also times the frozen path with each data-layout technique
+/// individually toggled off (bitset TID intersection, fingerprint
+/// pre-filter), reporting `*_off_over_on` wall ratios. Each toggle is
+/// output-invariant, so the toggled runs must also be byte-identical;
+/// `--validate` gates the ratios against [`TECHNIQUE_RATIO_FLOOR`].
 fn support_count_row(
     name: &str,
     txns: &[Graph],
@@ -269,6 +315,8 @@ fn support_count_row(
     let cfg = FsgConfig::default()
         .with_support(Support::Count(support))
         .with_max_edges(max_edges);
+    let cfg_no_bitsets = cfg.clone().with_tid_bitsets(false);
+    let cfg_no_fp = cfg.clone().with_fingerprint_filter(false);
     let exec = Exec::new(1);
     let freeze_before = FrozenStats::snapshot();
     let freeze_start = Instant::now();
@@ -283,14 +331,35 @@ fn support_count_row(
     let searches = FrozenStats::snapshot()
         .since(&mine_before)
         .adj_binary_searches;
+    let t_nb = bench(&format!("support_count/{name}/no_bitsets"), samples, || {
+        mine_source(&frozen, &cfg_no_bitsets, &exec).unwrap()
+    });
+    let out_nb = mine_source(&frozen, &cfg_no_bitsets, &exec).unwrap();
+    let t_nf = bench(
+        &format!("support_count/{name}/no_fingerprints"),
+        samples,
+        || mine_source(&frozen, &cfg_no_fp, &exec).unwrap(),
+    );
+    let out_nf = mine_source(&frozen, &cfg_no_fp, &exec).unwrap();
     let ta = bench(&format!("support_count/{name}/arena"), samples, || {
         mine_arena_with(txns, &cfg, &exec).unwrap()
     });
     let out_a = mine_arena_with(txns, &cfg, &exec).unwrap();
+    let canon = pattern_bytes(&out_f);
     assert_eq!(
-        out_f.patterns.len(),
-        out_a.patterns.len(),
-        "frozen and arena support counting must mine the same pattern set"
+        canon,
+        pattern_bytes(&out_a),
+        "frozen and arena support counting must mine byte-identical patterns"
+    );
+    assert_eq!(
+        canon,
+        pattern_bytes(&out_nb),
+        "bitset TID intersection must be output-invariant"
+    );
+    assert_eq!(
+        canon,
+        pattern_bytes(&out_nf),
+        "fingerprint pre-filter must be output-invariant"
     );
     Json::obj([
         ("workload", Json::Str(name.into())),
@@ -300,6 +369,25 @@ fn support_count_row(
             "frozen_over_arena",
             Json::Num(tf.best_ms() / ta.best_ms().max(1e-9)),
         ),
+        ("wall_ms_no_bitsets", Json::Num(t_nb.best_ms())),
+        (
+            "bitsets_off_over_on",
+            Json::Num(t_nb.best_ms() / tf.best_ms().max(1e-9)),
+        ),
+        ("wall_ms_no_fingerprints", Json::Num(t_nf.best_ms())),
+        (
+            "fingerprint_off_over_on",
+            Json::Num(t_nf.best_ms() / tf.best_ms().max(1e-9)),
+        ),
+        (
+            "bitset_intersections",
+            Json::Num(out_f.stats.bitset_intersections as f64),
+        ),
+        (
+            "fingerprint_rejects",
+            Json::Num(out_f.stats.fingerprint_rejects as f64),
+        ),
+        ("soa_bytes", Json::Num(out_f.stats.soa_bytes as f64)),
         ("freeze_ms", Json::Num(freeze_ms)),
         ("freeze_count", Json::Num(freeze_stats.freeze_count as f64)),
         ("csr_bytes", Json::Num(freeze_stats.csr_bytes as f64)),
@@ -369,12 +457,21 @@ fn validate(path: &str) -> Result<(), String> {
     }
     let trace = doc.get("trace").ok_or("report has no 'trace' block")?;
     obs_json::validate_trace(trace).map_err(|e| format!("trace block: {e}"))?;
-    // Frozen-graph counters must flow through the unified namespace.
+    // Frozen-graph and data-layout counters must flow through the
+    // unified namespace.
     let metrics = trace.get("metrics").ok_or("trace block has no 'metrics'")?;
     for key in [
         "graph.freeze_count",
         "graph.csr_bytes",
         "graph.adj_binary_searches",
+        "graph.fingerprint_bytes",
+        "exec.chunk_items",
+        "fsg.fingerprint_rejects",
+        "fsg.bitset_intersections",
+        "fsg.soa_bytes",
+        "gspan.fingerprint_rejects",
+        "gspan.soa_bytes",
+        "subdue.fingerprint_rejects",
     ] {
         if metrics.get(key).is_none() {
             return Err(format!("trace metrics missing '{key}'"));
@@ -383,18 +480,58 @@ fn validate(path: &str) -> Result<(), String> {
     let sc = doc
         .get("support_count")
         .ok_or("report has no 'support_count' block")?;
-    let ratio = match sc.get("frozen_over_arena") {
-        Some(Json::Num(r)) => *r,
-        _ => return Err("support_count has no 'frozen_over_arena' number".into()),
+    let num = |obj: &Json, key: &str| -> Result<f64, String> {
+        match obj.get(key) {
+            Some(Json::Num(r)) => Ok(*r),
+            _ => Err(format!("support_count has no '{key}' number")),
+        }
     };
+    let ratio = num(sc, "frozen_over_arena")?;
     if ratio > SUPPORT_COUNT_RATIO_GATE {
         return Err(format!(
             "REGRESSION — frozen support counting is {ratio:.2}x arena, \
              gate is {SUPPORT_COUNT_RATIO_GATE}"
         ));
     }
+    // Per-technique gates: each data-layout technique must still be
+    // exercised (its counter is live) and must not have turned into a
+    // slowdown (off/on wall ratio above the floor).
+    for key in ["bitsets_off_over_on", "fingerprint_off_over_on"] {
+        let r = num(sc, key)?;
+        if r < TECHNIQUE_RATIO_FLOOR {
+            return Err(format!(
+                "REGRESSION — support_count {key} = {r:.2}; the technique is a \
+                 slowdown (floor {TECHNIQUE_RATIO_FLOOR})"
+            ));
+        }
+    }
+    if num(sc, "bitset_intersections")? <= 0.0 {
+        return Err("support_count.bitset_intersections is 0 — the bitset TID \
+                    path is never taken on the bench workload"
+            .into());
+    }
+    if num(sc, "soa_bytes")? <= 0.0 {
+        return Err("support_count.soa_bytes is 0 — the SoA embedding stores \
+                    are never populated on the bench workload"
+            .into());
+    }
+    // Fingerprint reject-rate sanity: every FSG row must report the
+    // counter, and the dense large_txn workload (present in non-smoke
+    // reports) must actually reject something from the scratch path.
+    if let Some(Json::Arr(rows)) = doc.get("miners").and_then(|m| m.get("fsg")) {
+        for row in rows {
+            let rejects = num(row, "fingerprint_rejects_scratch")
+                .map_err(|_| "fsg row missing 'fingerprint_rejects_scratch'".to_string())?;
+            let is_large = matches!(row.get("workload"), Some(Json::Str(s)) if s == "large_txn");
+            if is_large && rejects <= 0.0 {
+                return Err("fsg/large_txn fingerprint_rejects_scratch is 0 — the \
+                            fingerprint pre-filter never fires on the dense workload"
+                    .into());
+            }
+        }
+    }
     println!(
-        "{path}: valid, all three miners, trace block with graph.* counters, \
+        "{path}: valid, all three miners, trace block with graph.*/layout counters, \
          and support_count block present (frozen/arena = {ratio:.2})"
     );
     Ok(())
@@ -486,8 +623,10 @@ fn main() -> ExitCode {
                 (
                     "note",
                     Json::Str(
-                        "scratch-VF2 numbers recorded on the development host immediately \
-                         before embedding propagation landed (best of 3)"
+                        "development-host baselines, best of 3: '*_wall_ms' are scratch-VF2 \
+                         numbers predating embedding propagation; '*_pre_layout_wall_ms' are \
+                         propagated + frozen-CSR numbers predating the data-layout pass \
+                         (bitset TIDs, SoA stores, fingerprint filters, L2 chunking)"
                             .into(),
                     ),
                 ),
@@ -502,6 +641,14 @@ fn main() -> ExitCode {
                 (
                     "fsg_large_txn_wall_ms",
                     Json::Num(BASELINE_FSG_LARGE_TXN_WALL_MS),
+                ),
+                (
+                    "fsg_large_txn_pre_layout_wall_ms",
+                    Json::Num(BASELINE_FSG_LARGE_TXN_PRE_LAYOUT_WALL_MS),
+                ),
+                (
+                    "subdue_truncated_50v_pre_layout_wall_ms",
+                    Json::Num(BASELINE_SUBDUE_50V_PRE_LAYOUT_WALL_MS),
                 ),
             ]),
         ),

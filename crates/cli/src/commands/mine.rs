@@ -86,6 +86,9 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     let embeddings_extended = AtomicUsize::new(0);
     let embeddings_spilled = AtomicUsize::new(0);
     let tid_skips = AtomicUsize::new(0);
+    let fingerprint_rejects = AtomicUsize::new(0);
+    let bitset_intersections = AtomicUsize::new(0);
+    let soa_bytes = AtomicUsize::new(0);
     // Frozen-graph counters are process-global; the delta around the
     // mining call isolates this command's freezes and CSR lookups.
     let frozen_before = FrozenStats::snapshot();
@@ -103,6 +106,10 @@ pub fn run(args: &Args) -> Result<(), CliError> {
                     embeddings_extended.fetch_add(out.stats.embeddings_extended, Ordering::Relaxed);
                     embeddings_spilled.fetch_add(out.stats.embeddings_spilled, Ordering::Relaxed);
                     tid_skips.fetch_add(out.stats.tid_intersection_skips, Ordering::Relaxed);
+                    fingerprint_rejects.fetch_add(out.stats.fingerprint_rejects, Ordering::Relaxed);
+                    bitset_intersections
+                        .fetch_add(out.stats.bitset_intersections, Ordering::Relaxed);
+                    soa_bytes.fetch_max(out.stats.soa_bytes, Ordering::Relaxed);
                     out.patterns
                         .into_iter()
                         .map(|p| (p.graph, p.support))
@@ -131,8 +138,19 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             tid_skips.load(Ordering::Relaxed),
         );
         println!(
-            "frozen graphs: {} freezes, {} CSR bytes, {} adjacency binary searches",
-            frozen_delta.freeze_count, frozen_delta.csr_bytes, frozen_delta.adj_binary_searches,
+            "data layout: {} fingerprint rejects, {} bitset intersections, \
+             {} peak SoA embedding bytes",
+            fingerprint_rejects.load(Ordering::Relaxed),
+            bitset_intersections.load(Ordering::Relaxed),
+            soa_bytes.load(Ordering::Relaxed),
+        );
+        println!(
+            "frozen graphs: {} freezes, {} CSR bytes, {} fingerprint bytes, \
+             {} adjacency binary searches",
+            frozen_delta.freeze_count,
+            frozen_delta.csr_bytes,
+            frozen_delta.fingerprint_bytes,
+            frozen_delta.adj_binary_searches,
         );
     }
     if maximal {

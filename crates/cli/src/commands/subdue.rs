@@ -74,8 +74,11 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             out.expanded, out.evaluated, out.runtime
         );
         println!(
-            "instances extended {}, spilled {}, patterns derived {}",
-            out.stats.embeddings_extended, out.stats.embeddings_spilled, out.stats.patterns_derived
+            "instances extended {}, spilled {}, patterns derived {}, fingerprint rejects {}",
+            out.stats.embeddings_extended,
+            out.stats.embeddings_spilled,
+            out.stats.patterns_derived,
+            out.stats.fingerprint_rejects
         );
         for (i, sub) in out.best.iter().enumerate() {
             println!(

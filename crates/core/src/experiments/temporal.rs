@@ -134,6 +134,13 @@ impl fmt::Display for Fig4Result {
             self.mining.embeddings_spilled,
             self.mining.tid_intersection_skips
         )?;
+        writeln!(
+            f,
+            "data layout: {} fingerprint rejects, {} bitset intersections, {} peak SoA bytes",
+            self.mining.fingerprint_rejects,
+            self.mining.bitset_intersections,
+            self.mining.soa_bytes
+        )?;
         Ok(())
     }
 }

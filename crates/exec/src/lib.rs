@@ -50,7 +50,7 @@ mod threads;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use counters::{CountersSnapshot, PoolCounters};
-pub use pool::Exec;
+pub use pool::{Exec, L2_TXN_CHUNK_ITEMS};
 pub use threads::Threads;
 // Re-exported so downstream layers can name the observability types
 // without a separate dependency edge.

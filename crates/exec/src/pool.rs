@@ -24,6 +24,16 @@ fn chunk_bounds(len: usize) -> Vec<(usize, usize)> {
     (0..n).map(|i| (i * len / n, (i + 1) * len / n)).collect()
 }
 
+/// Transactions per chunk for the miners' per-transaction support maps:
+/// sized so one chunk's frozen-CSR working set stays L2-resident (the
+/// bench split transactions run single-digit KiB each; 32 of them sit
+/// comfortably inside a 256 KiB L2, and halving/doubling the size
+/// measured within noise on `bench_miners` while 256-item chunks lost
+/// ~5% to cold misses). Callers opt in via [`Exec::with_chunk_items`];
+/// the chosen size is recorded under the `exec.chunk_items` metric, so
+/// trace output shows what the run actually used.
+pub const L2_TXN_CHUNK_ITEMS: usize = 32;
+
 /// A handle on the execution runtime: thread budget + cancellation token
 /// + shared counters.
 ///
@@ -49,6 +59,12 @@ pub struct Exec {
     /// Shared named-counter registry (see [`tnet_obs::MetricsRegistry`]);
     /// miners fold their run stats into it on completion.
     metrics: MetricsRegistry,
+    /// Items per chunk for [`Exec::par_map`]/[`Exec::try_par_map`]
+    /// (0 = automatic [`chunk_bounds`] sizing). Still a pure function of
+    /// input length, so results stay identical at any thread count.
+    /// [`Exec::par_chunks`] deliberately ignores it: chunk-level
+    /// reductions (e.g. EM's log-likelihood sums) pin their boundaries.
+    chunk_items: usize,
 }
 
 impl std::fmt::Debug for Exec {
@@ -70,6 +86,7 @@ impl Exec {
             counters: Arc::new(PoolCounters::default()),
             span: Span::disabled(),
             metrics: MetricsRegistry::new(),
+            chunk_items: 0,
         }
     }
 
@@ -106,6 +123,7 @@ impl Exec {
             counters: Arc::clone(&self.counters),
             span: self.span.clone(),
             metrics: self.metrics.clone(),
+            chunk_items: self.chunk_items,
         }
     }
 
@@ -120,6 +138,7 @@ impl Exec {
             counters: Arc::clone(&self.counters),
             span: self.span.clone(),
             metrics: self.metrics.clone(),
+            chunk_items: self.chunk_items,
         }
     }
 
@@ -133,6 +152,7 @@ impl Exec {
             counters: Arc::clone(&self.counters),
             span,
             metrics,
+            chunk_items: self.chunk_items,
         }
     }
 
@@ -146,7 +166,49 @@ impl Exec {
             counters: Arc::clone(&self.counters),
             span,
             metrics: self.metrics.clone(),
+            chunk_items: self.chunk_items,
         }
+    }
+
+    /// This handle with a fixed items-per-chunk for
+    /// [`Exec::par_map`]/[`Exec::try_par_map`] (`0` restores automatic
+    /// sizing). Same token, thread budget, pool counters, span, and
+    /// metrics. Chunking stays a pure function of input length, so
+    /// results are unchanged at any thread count; only scheduling
+    /// granularity (and cache residency per chunk) moves. The size in
+    /// effect is recorded under the `exec.chunk_items` metric the first
+    /// time a map region runs.
+    pub fn with_chunk_items(&self, items: usize) -> Exec {
+        Exec {
+            threads: self.threads,
+            cancel: self.cancel.clone(),
+            counters: Arc::clone(&self.counters),
+            span: self.span.clone(),
+            metrics: self.metrics.clone(),
+            chunk_items: items,
+        }
+    }
+
+    /// Items per chunk for map regions (0 = automatic).
+    pub fn chunk_items(&self) -> usize {
+        self.chunk_items
+    }
+
+    /// Chunk bounds for a map region: fixed `chunk_items`-sized slices
+    /// when a hint is set, [`chunk_bounds`] otherwise.
+    fn map_bounds(&self, len: usize) -> Vec<(usize, usize)> {
+        if self.chunk_items == 0 {
+            return chunk_bounds(len);
+        }
+        if len == 0 {
+            return Vec::new();
+        }
+        self.metrics
+            .record_max("exec.chunk_items", self.chunk_items as u64);
+        let n = len.div_ceil(self.chunk_items);
+        (0..n)
+            .map(|i| (i * self.chunk_items, ((i + 1) * self.chunk_items).min(len)))
+            .collect()
     }
 
     /// The tracing span phases on this handle should time under.
@@ -183,7 +245,7 @@ impl Exec {
     /// Applies `f` to every item, returning results **in input order**.
     /// Ignores cancellation: every item is always processed.
     pub fn par_map<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-        let bounds = chunk_bounds(items.len());
+        let bounds = self.map_bounds(items.len());
         let per_chunk = self
             .run_region(items.len(), bounds.len(), false, |ci| {
                 let (lo, hi) = bounds[ci];
@@ -201,7 +263,7 @@ impl Exec {
         items: &[T],
         f: impl Fn(&T) -> R + Sync,
     ) -> Result<Vec<R>, Cancelled> {
-        let bounds = chunk_bounds(items.len());
+        let bounds = self.map_bounds(items.len());
         let per_chunk = self.run_region(items.len(), bounds.len(), true, |ci| {
             let (lo, hi) = bounds[ci];
             items[lo..hi].iter().map(&f).collect::<Vec<R>>()
@@ -352,6 +414,25 @@ mod tests {
                 assert!(w[0].0 < w[0].1, "non-empty");
             }
         }
+    }
+
+    #[test]
+    fn chunk_items_hint_preserves_results_and_records_metric() {
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3).collect();
+        for threads in [1, 2, 8] {
+            let exec = Exec::new(threads).with_chunk_items(32);
+            assert_eq!(exec.chunk_items(), 32);
+            assert_eq!(exec.par_map(&items, |&x| x * 3), expected);
+            // ceil(100 / 32) fixed-size chunks, regardless of threads.
+            assert_eq!(exec.counters().chunks, 4, "threads={threads}");
+            assert_eq!(exec.metrics().get("exec.chunk_items"), 32);
+        }
+        // Children inherit the hint; par_chunks ignores it.
+        let exec = Exec::new(2).with_chunk_items(7);
+        assert_eq!(exec.child().chunk_items(), 7);
+        let n_chunks = exec.par_chunks(&items, |ci, _| ci).len();
+        assert_eq!(n_chunks, 100, "par_chunks keeps automatic boundaries");
     }
 
     #[test]

@@ -14,27 +14,105 @@
 //! enumeration): twin-leaf symmetry breaking would drop occurrences that
 //! a child extension needs as a starting point.
 //!
+//! The store is structure-of-arrays: all occurrences of one (pattern,
+//! transaction) pair live in a single row-major `Vec<VertexId>` (row =
+//! one flat assignment, stride = pattern vertex count), so
+//! [`grow_store`]'s hot loop streams one contiguous buffer and appends
+//! children in place via
+//! [`tnet_graph::iso::extend_embedding_row`] — no per-occurrence heap
+//! vector, no pointer chase per parent.
+//!
 //! [`Matcher::find_unpruned`]: tnet_graph::iso::Matcher::find_unpruned
 
 use crate::types::FrequentPattern;
-use tnet_graph::iso::{extend_embedding, Embedding, Extension};
+use tnet_graph::graph::VertexId;
+use tnet_graph::iso::{child_stride, extend_embedding_row, Extension};
 use tnet_graph::view::{GraphView, TxnSource};
 
-/// Per-(pattern, transaction) embedding list.
+/// Per-(pattern, transaction) embedding list, stored row-major in one
+/// flat buffer (structure of arrays).
 pub struct EmbStore {
-    /// Embeddings of the pattern in the transaction, in deterministic
-    /// enumeration order (at most the effective cap entries).
-    pub embs: Vec<Embedding>,
-    /// Whether `embs` is the complete list. An over-cap list is truncated
-    /// to a [`SEED_CAP`]-bounded prefix and marked inexact: extending the
-    /// kept seeds still proves support (a witness is a witness), but an
-    /// empty extension result proves nothing and must be re-verified by a
-    /// scratch VF2 existence check. (Re-anchoring overflowing pairs by
-    /// re-enumerating up to cap+1 embeddings was measured 2-3x slower
-    /// than the legacy scratch path on hub-heavy transportation splits;
-    /// truncated seeds keep the witness fast path without that cost, and
-    /// the scratch check bounds the downside at the legacy cost.)
+    /// Row width: one slot per pattern vertex. May be 0 only while the
+    /// store is empty (placeholder stores on the unverified path).
+    stride: u32,
+    /// Row-major flat assignments: row `i` is
+    /// `flat[i * stride..(i + 1) * stride]`, in deterministic enumeration
+    /// order (at most the effective cap rows).
+    flat: Vec<VertexId>,
+    /// Whether the store holds the complete list. An over-cap list is
+    /// truncated to a [`SEED_CAP`]-bounded prefix and marked inexact:
+    /// extending the kept seeds still proves support (a witness is a
+    /// witness), but an empty extension result proves nothing and must be
+    /// re-verified by a scratch VF2 existence check. (Re-anchoring
+    /// overflowing pairs by re-enumerating up to cap+1 embeddings was
+    /// measured 2-3x slower than the legacy scratch path on hub-heavy
+    /// transportation splits; truncated seeds keep the witness fast path
+    /// without that cost, and the scratch check bounds the downside at
+    /// the legacy cost.)
     pub exact: bool,
+}
+
+impl EmbStore {
+    /// An empty store with the given row width.
+    pub fn new(stride: usize, exact: bool) -> EmbStore {
+        EmbStore {
+            stride: stride as u32,
+            flat: Vec::new(),
+            exact,
+        }
+    }
+
+    /// Wraps a row-major flat buffer (`flat.len()` must be a multiple of
+    /// `stride`).
+    pub fn from_rows(stride: usize, flat: Vec<VertexId>, exact: bool) -> EmbStore {
+        debug_assert!(stride > 0 || flat.is_empty());
+        debug_assert!(stride == 0 || flat.len().is_multiple_of(stride));
+        EmbStore {
+            stride: stride as u32,
+            flat,
+            exact,
+        }
+    }
+
+    /// Row width (pattern vertex count).
+    pub fn stride(&self) -> usize {
+        self.stride as usize
+    }
+
+    /// Number of stored occurrences.
+    pub fn len(&self) -> usize {
+        if self.stride == 0 {
+            0
+        } else {
+            self.flat.len() / self.stride as usize
+        }
+    }
+
+    /// True if no occurrence is stored.
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// Appends one occurrence (`row.len()` must equal the stride).
+    pub fn push_row(&mut self, row: &[VertexId]) {
+        debug_assert_eq!(row.len(), self.stride as usize);
+        self.flat.extend_from_slice(row);
+    }
+
+    /// Iterator over occurrences as flat assignment slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[VertexId]> + '_ {
+        self.flat.chunks_exact(self.stride.max(1) as usize)
+    }
+
+    /// Bytes held by the flat buffer — the miners' "SoA bytes" counter.
+    pub fn byte_len(&self) -> usize {
+        self.flat.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Keeps only the first `n` occurrences.
+    fn truncate_rows(&mut self, n: usize) {
+        self.flat.truncate(n * self.stride as usize);
+    }
 }
 
 /// Seed budget for **inexact** embedding lists. Once a list has spilled,
@@ -120,24 +198,25 @@ pub fn grow_store<G: GraphView>(
     } else {
         seed_cap().min(cap)
     };
-    let mut grown: Vec<Embedding> = Vec::new();
-    // Exactness audit: `extend_embedding` appends *all* of one parent's
-    // children at once, so a break can overshoot `stop_at` but never
-    // stops mid-parent. For an exact parent the break therefore implies
-    // `grown.len() > cap`, which already routes to the spill branch —
-    // but that proof leans on the `stop_at` arithmetic above. `complete`
-    // states the invariant directly: a child list is exact only if every
-    // parent embedding was actually visited.
+    let cs = child_stride(store.stride(), ext);
+    let mut flat: Vec<VertexId> = Vec::new();
+    // Exactness audit: `extend_embedding_row` appends *all* of one
+    // parent's children at once, so a break can overshoot `stop_at` but
+    // never stops mid-parent. For an exact parent the break therefore
+    // implies a row count > cap, which already routes to the spill branch
+    // — but that proof leans on the `stop_at` arithmetic above.
+    // `complete` states the invariant directly: a child list is exact
+    // only if every parent occurrence was actually visited.
     let mut complete = true;
-    for pe in &store.embs {
+    for row in store.rows() {
         *extended += 1;
-        extend_embedding(txn, pe, ext, &mut grown);
-        if (witness_only && !grown.is_empty()) || grown.len() >= stop_at {
+        extend_embedding_row(txn, row, ext, &mut flat);
+        if (witness_only && !flat.is_empty()) || flat.len() / cs.max(1) >= stop_at {
             complete = false;
             break;
         }
     }
-    if grown.is_empty() {
+    if flat.is_empty() {
         return if store.exact {
             Grown::Absent
         } else {
@@ -147,20 +226,15 @@ pub fn grow_store<G: GraphView>(
     if witness_only {
         return Grown::Witnessed { store: None };
     }
-    let child = if store.exact && complete && grown.len() <= cap {
-        EmbStore {
-            embs: grown,
-            exact: true,
-        }
+    let child = if store.exact && complete && flat.len() / cs <= cap {
+        EmbStore::from_rows(cs, flat, true)
     } else {
         if store.exact {
             *spilled += 1;
         }
-        grown.truncate(seed_cap().min(cap));
-        EmbStore {
-            embs: grown,
-            exact: false,
-        }
+        let mut child = EmbStore::from_rows(cs, flat, false);
+        child.truncate_rows(seed_cap().min(cap));
+        child
     };
     Grown::Witnessed { store: Some(child) }
 }
@@ -179,42 +253,42 @@ pub fn level1_store<T: TxnSource + ?Sized>(
     let is_loop = ps == pd;
     let sl = p.graph.vertex_label(ps);
     let dl = p.graph.vertex_label(pd);
+    let stride = if is_loop { 1 } else { 2 };
     p.tids
         .iter()
         .map(|&tid| {
             let t = transactions.txn(tid as usize);
             let cap = txn_cap(cap, &t);
-            let mut embs: Vec<Embedding> = Vec::new();
+            let mut store = EmbStore::new(stride, true);
             for te in t.edges() {
                 let (ts, td, tl) = t.edge(te);
                 if tl != el {
                     continue;
                 }
-                let assignment = if is_loop {
+                if is_loop {
                     if ts != td || t.vertex_label(ts) != sl {
                         continue;
                     }
-                    vec![ts]
+                    store.push_row(&[ts]);
                 } else {
                     if ts == td || t.vertex_label(ts) != sl || t.vertex_label(td) != dl {
                         continue;
                     }
-                    vec![ts, td]
-                };
+                    store.push_row(&[ts, td]);
+                }
                 // Transactions are simple graphs (see [`crate::mine`]),
                 // so each edge yields a distinct vertex mapping — no
                 // dedup needed.
-                embs.push(Embedding::from_assignment(assignment));
-                if embs.len() > cap {
+                if store.len() > cap {
                     break;
                 }
             }
-            let exact = embs.len() <= cap;
-            if !exact {
+            if store.len() > cap {
                 *spilled += 1;
-                embs.truncate(seed_cap().min(cap));
+                store.truncate_rows(seed_cap().min(cap));
+                store.exact = false;
             }
-            EmbStore { embs, exact }
+            store
         })
         .collect()
 }
@@ -230,16 +304,16 @@ mod tests {
     /// single-edge pattern `0 -[7]-> 1` extends to `spokes - 1` children
     /// at once under a `NewDst` extension — the multi-append shape the
     /// `grow_store` break interacts with.
-    fn hub_txn(spokes: usize) -> (Graph, Vec<Embedding>) {
+    fn hub_txn(spokes: usize) -> (Graph, EmbStore) {
         let mut g = Graph::new();
         let center = g.add_vertex(VLabel(0));
-        let mut embs = Vec::new();
+        let mut store = EmbStore::new(2, true);
         for _ in 0..spokes {
             let s = g.add_vertex(VLabel(1));
             g.add_edge(center, s, ELabel(7));
-            embs.push(Embedding::from_assignment(vec![center, s]));
+            store.push_row(&[center, s]);
         }
-        (g, embs)
+        (g, store)
     }
 
     const EXT: Extension = Extension::NewDst {
@@ -250,8 +324,7 @@ mod tests {
 
     #[test]
     fn multi_append_overshoot_spills_instead_of_marking_exact() {
-        let (txn, embs) = hub_txn(5);
-        let parent = EmbStore { embs, exact: true };
+        let (txn, parent) = hub_txn(5);
         let (mut ext_n, mut spills) = (0, 0);
         // Effective cap = max(2, edge_count) = 5; first parent appends 4
         // children, second overshoots stop_at = 6 mid-list. The child
@@ -259,7 +332,8 @@ mod tests {
         match grow_store(&txn, &parent, &EXT, 2, false, &mut ext_n, &mut spills) {
             Grown::Witnessed { store: Some(child) } => {
                 assert!(!child.exact, "partial enumeration must not be exact");
-                assert!(child.embs.len() <= 5);
+                assert!(child.len() <= 5);
+                assert_eq!(child.stride(), 3, "NewDst appends one slot");
             }
             _ => panic!("extensions exist; expected a witnessed child store"),
         }
@@ -272,8 +346,7 @@ mod tests {
         // cap = usize::MAX: the overflow probe `cap + 1` used to wrap to
         // 0 in release builds (and panic under overflow checks), break
         // after the first parent, and mark the partial child exact.
-        let (txn, embs) = hub_txn(4);
-        let parent = EmbStore { embs, exact: true };
+        let (txn, parent) = hub_txn(4);
         let (mut ext_n, mut spills) = (0, 0);
         match grow_store(
             &txn,
@@ -287,7 +360,7 @@ mod tests {
             Grown::Witnessed { store: Some(child) } => {
                 assert!(child.exact);
                 assert_eq!(
-                    child.embs.len(),
+                    child.len(),
                     4 * 3,
                     "every parent contributes spokes - 1 children"
                 );
@@ -300,14 +373,13 @@ mod tests {
 
     #[test]
     fn exact_parent_within_cap_keeps_all_children_exact() {
-        let (txn, embs) = hub_txn(3);
-        let parent = EmbStore { embs, exact: true };
+        let (txn, parent) = hub_txn(3);
         let (mut ext_n, mut spills) = (0, 0);
         // 3 parents x 2 children = 6 total; effective cap = max(6, 3).
         match grow_store(&txn, &parent, &EXT, 6, false, &mut ext_n, &mut spills) {
             Grown::Witnessed { store: Some(child) } => {
                 assert!(child.exact, "complete enumeration within cap is exact");
-                assert_eq!(child.embs.len(), 6);
+                assert_eq!(child.len(), 6);
             }
             _ => panic!("expected a witnessed child store"),
         }
@@ -317,9 +389,9 @@ mod tests {
 
     #[test]
     fn inexact_parent_with_no_extension_is_unverified() {
-        let (txn, mut embs) = hub_txn(2);
-        embs.truncate(1);
-        let parent = EmbStore { embs, exact: false };
+        let (txn, mut parent) = hub_txn(2);
+        parent.truncate_rows(1);
+        parent.exact = false;
         let (mut ext_n, mut spills) = (0, 0);
         // Ask for an extension label absent from the transaction.
         let ext = Extension::NewDst {
@@ -330,6 +402,20 @@ mod tests {
         match grow_store(&txn, &parent, &ext, 8, false, &mut ext_n, &mut spills) {
             Grown::Unverified => {}
             _ => panic!("truncated parent with no hit must stay unverified"),
+        }
+    }
+
+    #[test]
+    fn soa_rows_round_trip() {
+        let (_, store) = hub_txn(3);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.stride(), 2);
+        assert_eq!(store.byte_len(), 3 * 2 * 4);
+        let rows: Vec<&[VertexId]> = store.rows().collect();
+        assert_eq!(rows.len(), 3);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row[0], VertexId(0), "hub center first slot");
+            assert_eq!(row[1], VertexId(i as u32 + 1));
         }
     }
 }

@@ -18,7 +18,76 @@
 //! downward-closure pruning is applied separately by the miner.
 
 use tnet_graph::canon::IsoClassMap;
-use tnet_graph::graph::{ELabel, Graph, VLabel};
+use tnet_graph::graph::{ELabel, Graph, VLabel, VertexId};
+use tnet_graph::hash::FxHashSet;
+
+/// One edge described relative to a shared vertex: direction (0 = out,
+/// 1 = in, 2 = self-loop), edge label, far-endpoint vertex label (the
+/// shared vertex's own label for loops).
+type RelEdge = (u8, u32, u32);
+
+/// Canonical key of a connected 2-edge pattern's isomorphism class, seen
+/// from the shared vertex: its label, the two incident edges sorted, and
+/// whether the far endpoints coincide (2-cycles / parallel pairs). Two
+/// keys are equal iff the 2-edge graphs they describe are isomorphic, so
+/// membership tests need no canonical form at all.
+type PairKey = (u32, RelEdge, RelEdge, bool);
+
+fn pair_key(s_vl: VLabel, a: RelEdge, b: RelEdge, same_far: bool) -> PairKey {
+    (s_vl.0, a.min(b), a.max(b), same_far)
+}
+
+/// Membership filter over the frequent 2-edge patterns, queried at
+/// candidate-generation time: every (new edge, adjacent existing edge)
+/// pair of a viable candidate is a connected 2-edge subgraph, and by
+/// downward closure each such pair must itself be frequent. A failed
+/// lookup proves the candidate would be closure-pruned, so it is never
+/// built, hashed, or deduplicated — the check is a handful of hash-set
+/// probes against labels the extension already has in hand.
+pub struct PairFilter {
+    keys: FxHashSet<PairKey>,
+}
+
+impl PairFilter {
+    /// Indexes the given frequent 2-edge patterns. Patterns with an edge
+    /// count other than 2 are ignored.
+    pub fn build<'a, I: IntoIterator<Item = &'a Graph>>(frequent: I) -> PairFilter {
+        let mut keys = FxHashSet::default();
+        for g in frequent {
+            let edges: Vec<_> = g.edges().collect();
+            if edges.len() != 2 {
+                continue;
+            }
+            let (s1, d1, l1) = g.edge(edges[0]);
+            let (s2, d2, l2) = g.edge(edges[1]);
+            // Every vertex incident to both edges is a valid viewpoint;
+            // 2-cycles and parallel pairs have two, so both keys go in.
+            for s in [s1, d1] {
+                if s != s2 && s != d2 {
+                    continue;
+                }
+                let rel = |src: VertexId, dst: VertexId, l: ELabel| -> (RelEdge, VertexId) {
+                    if src == dst {
+                        ((2, l.0, g.vertex_label(src).0), src)
+                    } else if src == s {
+                        ((0, l.0, g.vertex_label(dst).0), dst)
+                    } else {
+                        ((1, l.0, g.vertex_label(src).0), src)
+                    }
+                };
+                let (a, fa) = rel(s1, d1, l1);
+                let (b, fb) = rel(s2, d2, l2);
+                let same_far = a.0 != 2 && b.0 != 2 && fa == fb;
+                keys.insert(pair_key(g.vertex_label(s), a, b, same_far));
+            }
+        }
+        PairFilter { keys }
+    }
+
+    fn allows(&self, s_vl: VLabel, a: RelEdge, b: RelEdge, same_far: bool) -> bool {
+        self.keys.contains(&pair_key(s_vl, a, b, same_far))
+    }
+}
 
 /// A frequent single-edge "vocabulary" entry: source vertex label, edge
 /// label, destination vertex label.
@@ -37,21 +106,61 @@ pub fn extend_pattern(
     pattern: &Graph,
     vocab: &[EdgeVocab],
     parent_idx: usize,
+    pairs: Option<&PairFilter>,
     acc: &mut IsoClassMap<Vec<usize>>,
 ) {
     let vertices: Vec<_> = pattern.vertices().collect();
-    for &v in &vertices {
+    // Incident edges of each vertex relative to itself, with the far
+    // endpoint — the pair-filter probes reuse these across the whole
+    // vocabulary sweep.
+    let incident = |v: VertexId| -> Vec<(RelEdge, VertexId)> {
+        let mut inc = Vec::new();
+        for e in pattern.out_edges(v) {
+            let (_, d, l) = pattern.edge(e);
+            if d == v {
+                inc.push(((2, l.0, pattern.vertex_label(v).0), v));
+            } else {
+                inc.push(((0, l.0, pattern.vertex_label(d).0), d));
+            }
+        }
+        for e in pattern.in_edges(v) {
+            let (s, _, l) = pattern.edge(e);
+            if s != v {
+                inc.push(((1, l.0, pattern.vertex_label(s).0), s));
+            }
+        }
+        inc
+    };
+    let inc_all: Vec<Vec<(RelEdge, VertexId)>> = if pairs.is_some() {
+        vertices.iter().map(|&v| incident(v)).collect()
+    } else {
+        Vec::new()
+    };
+    // Does attaching `new_rel` at `vertices[vi]` keep every adjacent pair
+    // frequent? `far` is the existing far endpoint for cycle-closing
+    // edges (None for a fresh vertex or a self-loop).
+    let pair_ok = |vi: usize, new_rel: RelEdge, far: Option<VertexId>| -> bool {
+        let Some(f) = pairs else { return true };
+        let s_vl = pattern.vertex_label(vertices[vi]);
+        inc_all[vi].iter().all(|&(rel, rel_far)| {
+            let same_far = new_rel.0 != 2 && rel.0 != 2 && far.is_some_and(|u| u == rel_far);
+            f.allows(s_vl, rel, new_rel, same_far)
+        })
+    };
+    for (vi, &v) in vertices.iter().enumerate() {
         let vl = pattern.vertex_label(v);
         for ev in vocab {
             // v --(label)--> new vertex
             if ev.src == vl {
-                let mut g = pattern.clone();
-                let nv = g.add_vertex(ev.dst);
-                g.add_edge(v, nv, ev.label);
-                acc.entry_or_insert_with(&g, Vec::new).push(parent_idx);
+                if pair_ok(vi, (0, ev.label.0, ev.dst.0), None) {
+                    let mut g = pattern.clone();
+                    let nv = g.add_vertex(ev.dst);
+                    g.add_edge(v, nv, ev.label);
+                    acc.entry_or_insert_with(&g, Vec::new).push(parent_idx);
+                }
                 // v --(label)--> existing vertex u (cycle-closing) and
                 // self-loop when src == dst labels allow it.
-                for &u in &vertices {
+                for (ui, &u) in vertices.iter().enumerate() {
                     if pattern.vertex_label(u) != ev.dst {
                         continue;
                     }
@@ -64,6 +173,17 @@ pub fn extend_pattern(
                     if exists {
                         continue;
                     }
+                    // A closing edge is adjacent to the edges at both
+                    // endpoints; a self-loop only to those at v.
+                    let ok = if u == v {
+                        pair_ok(vi, (2, ev.label.0, vl.0), None)
+                    } else {
+                        pair_ok(vi, (0, ev.label.0, ev.dst.0), Some(u))
+                            && pair_ok(ui, (1, ev.label.0, vl.0), Some(v))
+                    };
+                    if !ok {
+                        continue;
+                    }
                     let mut g = pattern.clone();
                     g.add_edge(v, u, ev.label);
                     acc.entry_or_insert_with(&g, Vec::new).push(parent_idx);
@@ -71,7 +191,7 @@ pub fn extend_pattern(
             }
             // new vertex --(label)--> v  (the mirror case; existing-to-
             // existing was covered above from the source side).
-            if ev.dst == vl {
+            if ev.dst == vl && pair_ok(vi, (1, ev.label.0, ev.src.0), None) {
                 let mut g = pattern.clone();
                 let nv = g.add_vertex(ev.src);
                 g.add_edge(nv, v, ev.label);
@@ -148,7 +268,7 @@ mod tests {
     fn extending_single_edge() {
         let base = shapes::chain(1, 0, 1); // a -> b
         let mut acc: IsoClassMap<Vec<usize>> = IsoClassMap::new();
-        extend_pattern(&base, &uniform_vocab(), 0, &mut acc);
+        extend_pattern(&base, &uniform_vocab(), 0, None, &mut acc);
         // Distinct 2-edge classes over uniform labels:
         //   chain a->b->c, fork a->b & a->c, join a->c & b->c,
         //   head-chain c->a->b, 2-cycle a->b->a, parallel? (skipped),
@@ -174,7 +294,7 @@ mod tests {
     fn no_duplicate_simple_edges() {
         let base = shapes::chain(1, 0, 1);
         let mut acc: IsoClassMap<Vec<usize>> = IsoClassMap::new();
-        extend_pattern(&base, &uniform_vocab(), 0, &mut acc);
+        extend_pattern(&base, &uniform_vocab(), 0, None, &mut acc);
         for (g, _) in acc.iter() {
             let mut seen = std::collections::HashSet::new();
             for e in g.edges() {
@@ -196,7 +316,7 @@ mod tests {
         let b = base.add_vertex(VLabel(2));
         base.add_edge(a, b, ELabel(0));
         let mut acc: IsoClassMap<Vec<usize>> = IsoClassMap::new();
-        extend_pattern(&base, &vocab, 7, &mut acc);
+        extend_pattern(&base, &vocab, 7, None, &mut acc);
         // Possible: new 2-labeled sink from a; new 1-labeled source into b.
         assert_eq!(acc.len(), 2);
         for (g, parents) in acc.iter() {
@@ -214,8 +334,8 @@ mod tests {
     fn parents_accumulate_across_patterns() {
         let base = shapes::chain(1, 0, 1);
         let mut acc: IsoClassMap<Vec<usize>> = IsoClassMap::new();
-        extend_pattern(&base, &uniform_vocab(), 0, &mut acc);
-        extend_pattern(&base, &uniform_vocab(), 3, &mut acc);
+        extend_pattern(&base, &uniform_vocab(), 0, None, &mut acc);
+        extend_pattern(&base, &uniform_vocab(), 3, None, &mut acc);
         for (_, parents) in acc.iter() {
             assert!(parents.contains(&0) && parents.contains(&3));
         }

@@ -24,6 +24,7 @@ pub mod embed;
 pub mod extend;
 pub mod maximal;
 pub mod miner;
+pub mod tidset;
 pub mod types;
 
 pub use maximal::{filter_patterns, filter_with_report, Keep, Reduction};

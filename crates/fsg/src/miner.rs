@@ -12,15 +12,17 @@
 //! patterns) instead of core joining, and pattern identity uses
 //! invariant-hash + exact-isomorphism classes instead of canonical codes.
 
-use crate::embed::{grow_store, level1_store, EmbStore, Grown};
-use crate::extend::{closure_sub_patterns, extend_pattern, EdgeVocab};
+use crate::embed::{grow_store, level1_store, seed_cap, txn_cap, EmbStore, Grown};
+use crate::extend::{closure_sub_patterns, extend_pattern, EdgeVocab, PairFilter};
+use crate::tidset::{self, TidBitset};
 use crate::types::{FrequentPattern, FsgConfig, FsgError, FsgOutput, MiningStats};
 use tnet_exec::Exec;
 use tnet_graph::canon::IsoClassMap;
+use tnet_graph::fingerprint::{graph_fingerprints, may_embed};
 use tnet_graph::frozen::TxnSet;
 use tnet_graph::graph::{ELabel, Graph, VLabel};
 use tnet_graph::hash::{FxHashMap, FxHashSet};
-use tnet_graph::iso::{derive_extension, Matcher};
+use tnet_graph::iso::{derive_extension, Extension, Find, Matcher};
 use tnet_graph::view::{GraphView, TxnSource};
 
 /// Per-candidate memory estimate: arena storage for a small pattern graph
@@ -40,14 +42,17 @@ struct VerdictStats {
     embeddings_extended: usize,
     embeddings_spilled: usize,
     tid_intersection_skips: usize,
+    fingerprint_rejects: usize,
+    bitset_intersections: usize,
 }
 
 /// Per-candidate verdict from the parallel evaluation stage. Folding
 /// these back into `stats`/`next` in candidate order keeps the output
 /// byte-identical to the sequential path.
 enum Verdict {
-    /// Failed the downward-closure check.
-    Pruned,
+    /// Failed the downward-closure check (after passing the TID
+    /// intersection gate, whose counter deltas it carries).
+    Pruned(VerdictStats),
     /// Survived closure; support counted by embedding propagation (or
     /// scratch VF2 when `embedding_cap == 0`). `stores[i]` belongs to
     /// `tids[i]` and is empty in scratch mode.
@@ -142,6 +147,11 @@ pub fn mine_source<T: TxnSource + ?Sized>(
     if exec.is_cancelled() {
         return Err(FsgError::Cancelled);
     }
+    // One candidate per chunk: candidate verification cost is wildly
+    // uneven (a pruned candidate is a TID merge; a verified one is a VF2
+    // sweep), so the finest grain balances best and each worker's TID
+    // scan stays resident in L2.
+    let exec = &exec.with_chunk_items(1);
     // Phase timers live on the sequential control path only (around the
     // parallel regions, never inside worker closures), which keeps the
     // span tree's registration order — and thus `--trace` output —
@@ -242,6 +252,7 @@ pub fn mine_source<T: TxnSource + ?Sized>(
     } else {
         Vec::new()
     };
+    stats.soa_bytes = stores.iter().flatten().map(|s| s.byte_len()).sum();
     // Pre-register the per-level phases so they render in pipeline order
     // even if a future refactor times them from racing contexts.
     span.child("candidate_gen");
@@ -249,8 +260,16 @@ pub fn mine_source<T: TxnSource + ?Sized>(
 
     // ---- Levels 2..max ---------------------------------------------------
     let mut level = 1usize;
+    let mut pair_filter: Option<PairFilter> = None;
     while !frequent.is_empty() && level < cfg.max_edges {
         level += 1;
+        if level == 3 {
+            // Every adjacent edge pair in a candidate is a connected
+            // 2-edge subgraph, so the level-2 frequent set bounds which
+            // extensions can survive closure — encode it once and filter
+            // at generation time, before any clone/hash/closure work.
+            pair_filter = Some(PairFilter::build(frequent.iter().map(|p| &p.graph)));
+        }
         // A deadline or sibling abort may land between levels; checking
         // here keeps long multi-level mines responsive to both.
         if exec.is_cancelled() {
@@ -262,7 +281,7 @@ pub fn mine_source<T: TxnSource + ?Sized>(
         let mut candidates: IsoClassMap<Vec<usize>> = IsoClassMap::new();
         let mut estimated = 0usize;
         for (idx, p) in frequent.iter().enumerate() {
-            extend_pattern(&p.graph, &vocab, idx, &mut candidates);
+            extend_pattern(&p.graph, &vocab, idx, pair_filter.as_ref(), &mut candidates);
             estimated = candidates.len() * candidate_bytes(level + 1, level, min_support.max(16));
             if let Some(budget) = cfg.memory_budget {
                 if estimated > budget {
@@ -278,7 +297,7 @@ pub fn mine_source<T: TxnSource + ?Sized>(
                         level,
                         estimated_bytes: estimated,
                         budget,
-                        partial_stats: stats,
+                        partial_stats: Box::new(stats),
                     });
                 }
             }
@@ -294,6 +313,22 @@ pub fn mine_source<T: TxnSource + ?Sized>(
         for (i, p) in frequent.iter().enumerate() {
             prev_index.insert(p.graph.clone(), i);
         }
+        // Bitset TID lists for parents dense enough to cross over (see
+        // `tidset::use_bitset`): the all-parents intersection then ANDs
+        // words instead of merging sorted lists. Sparse parents keep
+        // `None` and their candidates fall back to the sorted path.
+        let txn_count = transactions.txn_count();
+        let bitsets: Vec<Option<TidBitset>> = if cfg.tid_bitsets {
+            frequent
+                .iter()
+                .map(|p| {
+                    tidset::use_bitset(p.tids.len(), txn_count)
+                        .then(|| TidBitset::from_sorted(&p.tids, txn_count))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         // Evaluate candidates in parallel: each verdict is a pure
         // function of (candidate, previous level, transactions), and the
         // fold below walks verdicts in candidate order — the costly VF2
@@ -302,14 +337,6 @@ pub fn mine_source<T: TxnSource + ?Sized>(
         let last_level = level == cfg.max_edges;
         let verdicts = exec
             .try_par_map(&cand_list, |(candidate, parents)| {
-                // Closure: every connected k-edge sub-pattern must be
-                // frequent (deleting the appended edge reproduces the
-                // generating parent, which already is).
-                for sub in closure_sub_patterns(candidate) {
-                    if !prev_index.contains(&sub) {
-                        return Verdict::Pruned;
-                    }
-                }
                 let mut vstats = VerdictStats::default();
                 // Downward closure bounds the supporting set by *every*
                 // parent's TID list, not just the smallest one's:
@@ -322,14 +349,92 @@ pub fn mine_source<T: TxnSource + ?Sized>(
                     .map(|&i| frequent[i].tids.len())
                     .min()
                     .expect("candidate without parents");
-                let mut inter: Vec<u32> = frequent[distinct[0]].tids.clone();
-                for &pi in &distinct[1..] {
-                    if inter.is_empty() {
-                        break;
+                let inter: Vec<u32> = if distinct.len() > 1
+                    && cfg.tid_bitsets
+                    && distinct.iter().all(|&i| bitsets[i].is_some())
+                {
+                    // Branchless word ANDs; materializing ascending
+                    // reproduces the sorted merge's output exactly.
+                    let mut acc = bitsets[distinct[0]].as_ref().unwrap().words().to_vec();
+                    for &pi in &distinct[1..] {
+                        tidset::and_words(&mut acc, bitsets[pi].as_ref().unwrap().words());
+                        vstats.bitset_intersections += 1;
                     }
-                    inter = intersect_sorted(&inter, &frequent[pi].tids);
-                }
+                    tidset::materialize(&acc)
+                } else {
+                    let mut inter: Vec<u32> = frequent[distinct[0]].tids.clone();
+                    for &pi in &distinct[1..] {
+                        if inter.is_empty() {
+                            break;
+                        }
+                        inter = intersect_sorted(&inter, &frequent[pi].tids);
+                    }
+                    inter
+                };
                 vstats.tid_intersection_skips = min_parent_len - inter.len();
+                // The intersection bounds support from above. When it is
+                // already below threshold the candidate cannot be
+                // frequent, so neither the closure canonicalizations nor
+                // any per-transaction work can change the outcome — this
+                // cheap word-AND test retires the bulk of the generated
+                // candidates on dense workloads.
+                if inter.len() < min_support {
+                    return Verdict::Counted {
+                        tids: Vec::new(),
+                        stores: Vec::new(),
+                        stats: vstats,
+                    };
+                }
+                // Closure: every connected k-edge sub-pattern must be
+                // frequent (deleting the appended edge reproduces the
+                // generating parent, which already is). Checked after the
+                // intersection gate: each sub-pattern lookup costs a
+                // canonical form, the intersection costs a few word ANDs.
+                // The lookups also recover each sub-pattern's frequent
+                // index, so the supporting set can be narrowed further
+                // below: a transaction missing *any* sub-pattern cannot
+                // contain the candidate.
+                let mut closure_parents: Vec<usize> = Vec::new();
+                for sub in closure_sub_patterns(candidate) {
+                    match prev_index.get(&sub) {
+                        None => return Verdict::Pruned(vstats),
+                        Some(&pi) => closure_parents.push(pi),
+                    }
+                }
+                // Refine the supporting set with the closure parents the
+                // generation step didn't know about. Re-gating afterwards
+                // retires candidates whose sub-patterns never co-occur
+                // often enough — before any per-transaction search runs.
+                closure_parents.retain(|pi| !distinct.contains(pi));
+                closure_parents.sort_unstable();
+                closure_parents.dedup();
+                let inter: Vec<u32> = if closure_parents.is_empty() {
+                    inter
+                } else if cfg.tid_bitsets && closure_parents.iter().all(|&i| bitsets[i].is_some()) {
+                    let mut acc = TidBitset::from_sorted(&inter, txn_count).words().to_vec();
+                    for &pi in &closure_parents {
+                        tidset::and_words(&mut acc, bitsets[pi].as_ref().unwrap().words());
+                        vstats.bitset_intersections += 1;
+                    }
+                    tidset::materialize(&acc)
+                } else {
+                    let mut inter = inter;
+                    for &pi in &closure_parents {
+                        if inter.is_empty() {
+                            break;
+                        }
+                        inter = intersect_sorted(&inter, &frequent[pi].tids);
+                    }
+                    inter
+                };
+                vstats.tid_intersection_skips = min_parent_len - inter.len();
+                if inter.len() < min_support {
+                    return Verdict::Counted {
+                        tids: Vec::new(),
+                        stores: Vec::new(),
+                        stats: vstats,
+                    };
+                }
 
                 // Scratch-search machinery (search plan + edge-label
                 // prefilter) is built lazily: with propagation on, most
@@ -340,14 +445,19 @@ pub fn mine_source<T: TxnSource + ?Sized>(
                     for e in candidate.edges() {
                         *need.entry(candidate.edge_label(e).0).or_insert(0) += 1;
                     }
-                    (Matcher::new(candidate), need)
+                    let fps = if cfg.fingerprint_filter {
+                        graph_fingerprints(candidate)
+                    } else {
+                        Vec::new()
+                    };
+                    (Matcher::new(candidate), need, fps)
                 };
                 let mut tids = Vec::new();
                 let mut new_stores: Vec<EmbStore> = Vec::new();
 
                 if cap == 0 {
                     // Propagation disabled: scratch VF2 per transaction.
-                    let (matcher, need) = build_scratch();
+                    let (matcher, need, fps) = build_scratch();
                     for &tid in &inter {
                         let counts = &label_counts[tid as usize];
                         if need
@@ -356,8 +466,13 @@ pub fn mine_source<T: TxnSource + ?Sized>(
                         {
                             continue;
                         }
+                        let txn = transactions.txn(tid as usize);
+                        if cfg.fingerprint_filter && !may_embed(&fps, &txn) {
+                            vstats.fingerprint_rejects += 1;
+                            continue;
+                        }
                         vstats.iso_tests += 1;
-                        if matcher.matches(&transactions.txn(tid as usize)) {
+                        if matcher.matches(&txn) {
                             tids.push(tid);
                         }
                     }
@@ -379,9 +494,95 @@ pub fn mine_source<T: TxnSource + ?Sized>(
                     .expect("candidate is a one-edge extension of its first parent");
                 let p0_tids = &frequent[p0].tids;
                 let p0_stores = &stores[p0];
-                let mut scratch: Option<(Matcher, FxHashMap<u32, usize>)> = None;
+                let vc = candidate.vertex_count();
+                // Alternate anchor parents for unverified misses: deleting
+                // any other edge of the candidate yields another frequent
+                // sub-pattern (closure holds) whose embedding list in the
+                // transaction may be exact — growing *that* list settles
+                // the candidate by extension, and an empty result there is
+                // a proof of absence, no scratch search needed. Each entry
+                // is (frequent index, growth step relative to that parent,
+                // permutation from candidate slots to grown-row slots).
+                // Built lazily: most candidates never hit an unverified
+                // miss.
+                let mut alts: Option<Vec<(usize, Extension, Vec<usize>)>> = None;
+                let build_alts = || {
+                    let edges: Vec<_> = candidate.edges().collect();
+                    let mut out: Vec<(usize, Extension, Vec<usize>)> = Vec::new();
+                    for (ei, &de) in edges.iter().enumerate() {
+                        if ei + 1 == edges.len() {
+                            // Deleting the appended edge reproduces
+                            // parents[0] — the primary anchor that just
+                            // failed to verify.
+                            continue;
+                        }
+                        let keep: Vec<_> = edges.iter().copied().filter(|&x| x != de).collect();
+                        let (sub, vmap) = candidate.edge_subgraph(&keep);
+                        if !tnet_graph::traverse::is_connected(&sub) {
+                            continue;
+                        }
+                        let Some(&pi) = prev_index.get(&sub) else {
+                            continue;
+                        };
+                        let pg = &frequent[pi].graph;
+                        // Iso witness sub -> parent graph: equal sizes
+                        // make the monomorphism a bijection, giving the
+                        // slot translation for stored rows.
+                        let Some(phi) = Matcher::new(&sub).find_unpruned(pg, Find::AtMost(1)).pop()
+                        else {
+                            continue;
+                        };
+                        let phi = phi.as_row().to_vec();
+                        let (cs, cd, el) = candidate.edge(de);
+                        let pslot = |c| vmap.get(&c).map(|nv| phi[nv.index()]);
+                        let mut perm = vec![0usize; vc];
+                        for (old, new) in &vmap {
+                            perm[old.index()] = phi[new.index()].index();
+                        }
+                        let ext = match (pslot(cs), pslot(cd)) {
+                            (Some(ps), Some(pd)) => Extension::Close {
+                                src: ps,
+                                dst: pd,
+                                elabel: el,
+                            },
+                            (Some(ps), None) if cs != cd => {
+                                // The grown row appends the new vertex's
+                                // image after the parent's slots.
+                                perm[cd.index()] = pg.vertex_count();
+                                Extension::NewDst {
+                                    src: ps,
+                                    elabel: el,
+                                    vlabel: candidate.vertex_label(cd),
+                                }
+                            }
+                            (None, Some(pd)) if cs != cd => {
+                                perm[cs.index()] = pg.vertex_count();
+                                Extension::NewSrc {
+                                    dst: pd,
+                                    elabel: el,
+                                    vlabel: candidate.vertex_label(cs),
+                                }
+                            }
+                            // An orphaned self-loop vertex is not a
+                            // derivable one-edge growth; skip this anchor.
+                            _ => continue,
+                        };
+                        out.push((pi, ext, perm));
+                    }
+                    out
+                };
+                let mut scratch: Option<(Matcher, FxHashMap<u32, usize>, Vec<u64>)> = None;
                 let mut j = 0usize;
-                for &tid in &inter {
+                for (seen, &tid) in inter.iter().enumerate() {
+                    // Infeasibility early-exit: once the misses so far
+                    // leave fewer remaining transactions than the support
+                    // deficit, the candidate cannot reach threshold and
+                    // the per-transaction work left (extensions, scratch
+                    // settles) cannot change the verdict. The partial
+                    // `tids`/`stores` are discarded by the fold below.
+                    if tids.len() + (inter.len() - seen) < min_support {
+                        break;
+                    }
                     while p0_tids[j] < tid {
                         j += 1;
                     }
@@ -399,11 +600,65 @@ pub fn mine_source<T: TxnSource + ?Sized>(
                         &mut vstats.embeddings_spilled,
                     ) {
                         Grown::Absent => {}
+
                         Grown::Unverified => {
                             // Truncated seeds found nothing — an
-                            // unverified "no". Settle it with a scratch
-                            // existence check.
-                            let (matcher, need) = scratch.get_or_insert_with(build_scratch);
+                            // unverified "no". Try the other closure
+                            // parents first: an exact list settles by
+                            // extension, and even an inexact one can
+                            // still witness. Only when every anchor
+                            // stays unverified does the scratch
+                            // existence check run.
+                            let alts = alts.get_or_insert_with(build_alts);
+                            let mut settled = false;
+                            for (pi, aext, perm) in alts.iter() {
+                                let Ok(jj) = frequent[*pi].tids.binary_search(&tid) else {
+                                    // The sub-pattern itself is absent
+                                    // from this transaction, so the
+                                    // candidate is too.
+                                    settled = true;
+                                    break;
+                                };
+                                match grow_store(
+                                    &txn,
+                                    &stores[*pi][jj],
+                                    aext,
+                                    cap,
+                                    last_level,
+                                    &mut vstats.embeddings_extended,
+                                    &mut vstats.embeddings_spilled,
+                                ) {
+                                    Grown::Absent => {
+                                        settled = true;
+                                        break;
+                                    }
+                                    Grown::Unverified => {}
+                                    Grown::Witnessed { store } => {
+                                        tids.push(tid);
+                                        if let Some(st) = store {
+                                            // Rows arrive in the alt
+                                            // parent's slot order with
+                                            // any appended vertex last;
+                                            // permute into candidate
+                                            // slot order.
+                                            let mut flat = Vec::with_capacity(st.len() * vc);
+                                            for row in st.rows() {
+                                                for &p in perm.iter() {
+                                                    flat.push(row[p]);
+                                                }
+                                            }
+                                            new_stores
+                                                .push(EmbStore::from_rows(vc, flat, st.exact));
+                                        }
+                                        settled = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            if settled {
+                                continue;
+                            }
+                            let (matcher, need, fps) = scratch.get_or_insert_with(build_scratch);
                             let counts = &label_counts[tid as usize];
                             if need
                                 .iter()
@@ -411,17 +666,43 @@ pub fn mine_source<T: TxnSource + ?Sized>(
                             {
                                 continue;
                             }
+                            if cfg.fingerprint_filter && !may_embed(fps, &txn) {
+                                vstats.fingerprint_rejects += 1;
+                                continue;
+                            }
                             vstats.iso_tests += 1;
-                            if matcher.matches(&txn) {
-                                tids.push(tid);
-                                if !last_level {
-                                    // No sound seeds survive; descendants
-                                    // keep verifying from scratch.
-                                    new_stores.push(EmbStore {
-                                        embs: Vec::new(),
-                                        exact: false,
-                                    });
+                            if last_level {
+                                // No descendant will consume a store;
+                                // existence alone settles support.
+                                if matcher.matches(&txn) {
+                                    tids.push(tid);
                                 }
+                                continue;
+                            }
+                            // Harvest seeds from the settling search
+                            // itself: the VF2 walk that proves existence
+                            // re-anchors the embedding list, so
+                            // descendants extend seeds instead of paying
+                            // a scratch search per (pattern, txn) pair
+                            // down the whole subtree. Bounded by the seed
+                            // budget; if the search exhausts below the
+                            // limit the list is complete — and therefore
+                            // exact, restoring `Grown::Absent` fast
+                            // paths for the descendants too.
+                            let limit = seed_cap().min(txn_cap(cap, &txn));
+                            let seeds = matcher.find_unpruned(&txn, Find::AtMost(limit));
+                            if !seeds.is_empty() {
+                                tids.push(tid);
+                                let stride = candidate.vertex_count();
+                                let mut flat = Vec::with_capacity(seeds.len() * stride);
+                                for s in &seeds {
+                                    flat.extend_from_slice(s.as_row());
+                                }
+                                new_stores.push(EmbStore::from_rows(
+                                    stride,
+                                    flat,
+                                    seeds.len() < limit,
+                                ));
                             }
                         }
                         Grown::Witnessed { store } => {
@@ -442,9 +723,14 @@ pub fn mine_source<T: TxnSource + ?Sized>(
 
         let mut next: Vec<FrequentPattern> = Vec::new();
         let mut next_stores: Vec<Vec<EmbStore>> = Vec::new();
+        let mut level_soa_bytes = 0usize;
         for ((candidate, _), verdict) in cand_list.into_iter().zip(verdicts) {
             match verdict {
-                Verdict::Pruned => stats.closure_pruned += 1,
+                Verdict::Pruned(vstats) => {
+                    stats.closure_pruned += 1;
+                    stats.tid_intersection_skips += vstats.tid_intersection_skips;
+                    stats.bitset_intersections += vstats.bitset_intersections;
+                }
                 Verdict::Counted {
                     tids,
                     stores: st,
@@ -454,6 +740,8 @@ pub fn mine_source<T: TxnSource + ?Sized>(
                     stats.embeddings_extended += vstats.embeddings_extended;
                     stats.embeddings_spilled += vstats.embeddings_spilled;
                     stats.tid_intersection_skips += vstats.tid_intersection_skips;
+                    stats.fingerprint_rejects += vstats.fingerprint_rejects;
+                    stats.bitset_intersections += vstats.bitset_intersections;
                     if tids.len() >= min_support {
                         next.push(FrequentPattern {
                             support: tids.len(),
@@ -461,12 +749,14 @@ pub fn mine_source<T: TxnSource + ?Sized>(
                             tids,
                         });
                         if cap > 0 {
+                            level_soa_bytes += st.iter().map(|s| s.byte_len()).sum::<usize>();
                             next_stores.push(st);
                         }
                     }
                 }
             }
         }
+        stats.soa_bytes = stats.soa_bytes.max(level_soa_bytes);
         stats.frequent_per_level.push(next.len());
         all_frequent.extend(std::mem::replace(&mut frequent, next));
         stores = next_stores;

@@ -43,12 +43,14 @@ use std::sync::OnceLock;
 static FREEZE_COUNT: AtomicU64 = AtomicU64::new(0);
 static CSR_BYTES: AtomicU64 = AtomicU64::new(0);
 static ADJ_BINARY_SEARCHES: AtomicU64 = AtomicU64::new(0);
+static FINGERPRINT_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide frozen-graph counters, snapshotted by the CLI/bench
 /// layers into the `tnet-obs` registry as `graph.freeze_count`,
-/// `graph.csr_bytes`, and `graph.adj_binary_searches`.
+/// `graph.csr_bytes`, `graph.adj_binary_searches`, and
+/// `graph.fingerprint_bytes`.
 ///
-/// All three are cumulative and deterministic for a fixed workload at any
+/// All four are cumulative and deterministic for a fixed workload at any
 /// thread count: the set of freezes and candidate queries a mining run
 /// performs does not depend on scheduling.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -59,6 +61,9 @@ pub struct FrozenStats {
     pub csr_bytes: u64,
     /// Label-directed candidate lookups answered by binary search.
     pub adj_binary_searches: u64,
+    /// Bytes of per-vertex fingerprint arrays precomputed by freezes
+    /// (see [`crate::fingerprint`]): 8 bytes per frozen vertex.
+    pub fingerprint_bytes: u64,
 }
 
 impl FrozenStats {
@@ -68,6 +73,7 @@ impl FrozenStats {
             freeze_count: FREEZE_COUNT.load(Ordering::Relaxed),
             csr_bytes: CSR_BYTES.load(Ordering::Relaxed),
             adj_binary_searches: ADJ_BINARY_SEARCHES.load(Ordering::Relaxed),
+            fingerprint_bytes: FINGERPRINT_BYTES.load(Ordering::Relaxed),
         }
     }
 
@@ -77,6 +83,7 @@ impl FrozenStats {
             freeze_count: self.freeze_count - earlier.freeze_count,
             csr_bytes: self.csr_bytes - earlier.csr_bytes,
             adj_binary_searches: self.adj_binary_searches - earlier.adj_binary_searches,
+            fingerprint_bytes: self.fingerprint_bytes - earlier.fingerprint_bytes,
         }
     }
 
@@ -87,6 +94,7 @@ impl FrozenStats {
         f("graph.freeze_count", self.freeze_count);
         f("graph.csr_bytes", self.csr_bytes);
         f("graph.adj_binary_searches", self.adj_binary_searches);
+        f("graph.fingerprint_bytes", self.fingerprint_bytes);
     }
 }
 
@@ -122,6 +130,9 @@ pub struct FrozenGraph {
     /// Dense id -> builder arena id.
     orig_v: Vec<VertexId>,
     orig_e: Vec<EdgeId>,
+    /// Per-vertex structural fingerprints (see [`crate::fingerprint`]),
+    /// precomputed so the pre-VF2 filter is an array load.
+    fps: Vec<u64>,
     hash_cache: OnceLock<u64>,
 }
 
@@ -193,7 +204,7 @@ impl FrozenGraph {
         let n = vlabels.len();
         let (out_off, out_adj, out_lab) = build_csr(n, &esrc, &edst, &elabels, &vlabels);
         let (in_off, in_adj, in_lab) = build_csr(n, &edst, &esrc, &elabels, &vlabels);
-        let fg = FrozenGraph {
+        let mut fg = FrozenGraph {
             vlabels,
             esrc,
             edst,
@@ -206,8 +217,14 @@ impl FrozenGraph {
             in_lab,
             orig_v,
             orig_e,
+            fps: Vec::new(),
             hash_cache: OnceLock::new(),
         };
+        // Computed through the free function (not the trait method, whose
+        // override would read the still-empty array), over the snapshot's
+        // own view — the same label/degree surface the arena exposes, so
+        // filter decisions are representation-invariant.
+        fg.fps = crate::fingerprint::graph_fingerprints(&fg);
         // Freezing is structure-preserving, so a hash the builder already
         // paid for carries over (the WL hash is id-invariant).
         if let Some(&h) = g.hash_cache.get() {
@@ -215,6 +232,7 @@ impl FrozenGraph {
         }
         FREEZE_COUNT.fetch_add(1, Ordering::Relaxed);
         CSR_BYTES.fetch_add(fg.csr_bytes() as u64, Ordering::Relaxed);
+        FINGERPRINT_BYTES.fetch_add(8 * fg.fps.len() as u64, Ordering::Relaxed);
         fg
     }
 
@@ -399,6 +417,10 @@ impl GraphView for FrozenGraph {
         });
         found
     }
+
+    fn vertex_fp(&self, v: VertexId) -> u64 {
+        self.fps[v.index()]
+    }
 }
 
 /// A whole partition's transactions packed into shared arenas.
@@ -417,6 +439,8 @@ pub struct TxnSet {
     in_off: Vec<u32>,
     in_adj: Vec<EdgeId>,
     in_lab: Vec<EdgeId>,
+    /// Per-vertex fingerprints, packed alongside `vlabels`.
+    fps: Vec<u64>,
     /// Transaction boundaries into the vertex arrays (`len = n + 1`).
     v_off: Vec<u32>,
     /// Transaction boundaries into the edge arrays (`len = n + 1`).
@@ -440,6 +464,7 @@ impl TxnSet {
             in_off: Vec::new(),
             in_adj: Vec::new(),
             in_lab: Vec::new(),
+            fps: Vec::new(),
             v_off: vec![0],
             e_off: vec![0],
         };
@@ -464,6 +489,7 @@ impl TxnSet {
             set.in_adj.extend_from_slice(&fg.in_adj);
             set.in_lab.extend_from_slice(&fg.in_lab);
             set.vlabels.extend_from_slice(&fg.vlabels);
+            set.fps.extend_from_slice(&fg.fps);
             set.esrc.extend_from_slice(&fg.esrc);
             set.edst.extend_from_slice(&fg.edst);
             set.elabels.extend_from_slice(&fg.elabels);
@@ -657,6 +683,10 @@ impl GraphView for TxnRef<'_> {
         });
         found
     }
+
+    fn vertex_fp(&self, v: VertexId) -> u64 {
+        self.set.fps[self.gv(v)]
+    }
 }
 
 #[cfg(test)]
@@ -796,6 +826,10 @@ mod tests {
         assert!(after.freeze_count >= 1);
         assert!(after.csr_bytes >= fg.csr_bytes() as u64);
         assert!(after.adj_binary_searches >= n);
+        assert!(
+            after.fingerprint_bytes >= 8 * GraphView::vertex_count(&fg) as u64,
+            "freeze must account its fingerprint array"
+        );
         let mut names = Vec::new();
         after.publish(&mut |name, _| names.push(name.to_string()));
         assert_eq!(
@@ -803,7 +837,8 @@ mod tests {
             [
                 "graph.freeze_count",
                 "graph.csr_bytes",
-                "graph.adj_binary_searches"
+                "graph.adj_binary_searches",
+                "graph.fingerprint_bytes"
             ]
         );
     }

@@ -96,13 +96,10 @@ impl Embedding {
             .any(|&v| v != UNMAPPED && other.assignment.contains(&v))
     }
 
-    /// The embedding extended by one appended pattern vertex mapping to
-    /// `tv` (pattern slot = current slot count).
-    fn extended_with(&self, tv: VertexId) -> Embedding {
-        let mut assignment = Vec::with_capacity(self.assignment.len() + 1);
-        assignment.extend_from_slice(&self.assignment);
-        assignment.push(tv);
-        Embedding { assignment }
+    /// The flat assignment slice (`[i]` = image of pattern vertex `i`).
+    /// What the structure-of-arrays stores copy in and out.
+    pub fn as_row(&self) -> &[VertexId] {
+        &self.assignment
     }
 }
 
@@ -134,6 +131,26 @@ struct SearchPlan {
     /// `assignment[i] > assignment[j]`. Without this, a failing match of
     /// a k-spoke hub explores k! equivalent orderings.
     twin_prev: Vec<Option<usize>>,
+    /// For anchor-less depths (the search root, plus each new component
+    /// of a disconnected pattern): the label and direction of one pattern
+    /// edge incident to `order[depth]`, or `None` for isolated vertices.
+    /// Any image of that vertex must carry a same-direction edge with
+    /// this label, so candidate roots are harvested from the target's
+    /// matching edge endpoints instead of scanning every vertex — a pure
+    /// necessary-condition filter that leaves the embedding enumeration
+    /// (and its order) unchanged.
+    root_edge: Vec<Option<(ELabel, bool)>>,
+}
+
+/// Number of target edges `ts -> td` with label `l`.
+fn count_pair<G: GraphView>(target: &G, ts: VertexId, td: VertexId, l: ELabel) -> usize {
+    target
+        .out_edges(ts)
+        .filter(|&e| {
+            let (_, dd, ll) = target.edge(e);
+            dd == td && ll == l
+        })
+        .count()
 }
 
 fn build_plan(pattern: &Graph) -> SearchPlan {
@@ -213,11 +230,31 @@ fn build_plan(pattern: &Graph) -> SearchPlan {
             }
         }
     }
+    let root_edge = order
+        .iter()
+        .zip(&anchor)
+        .map(|(&v, a)| {
+            if a.is_some() {
+                return None;
+            }
+            pattern
+                .out_edges(v)
+                .next()
+                .map(|e| (pattern.edge_label(e), true))
+                .or_else(|| {
+                    pattern
+                        .in_edges(v)
+                        .next()
+                        .map(|e| (pattern.edge_label(e), false))
+                })
+        })
+        .collect();
     SearchPlan {
         order,
         back_edges,
         anchor,
         twin_prev,
+        root_edge,
     }
 }
 
@@ -344,17 +381,8 @@ impl Matcher {
         // Self-loops never appear as back edges (they connect a vertex to
         // itself, not to an earlier one), so verify them here.
         for (&(s, d, l), &need) in &self.multiplicity {
-            if s == pv && d == pv {
-                let have = target
-                    .out_edges(candidate)
-                    .filter(|&e| {
-                        let (_, dd, ll) = target.edge(e);
-                        dd == candidate && ll == l
-                    })
-                    .count();
-                if have < need {
-                    return false;
-                }
+            if s == pv && d == pv && count_pair(target, candidate, candidate, l) < need {
+                return false;
             }
         }
         // Every pattern back edge must have enough parallel target edges.
@@ -370,17 +398,8 @@ impl Matcher {
             // distinct (pair,label); recomputing per back edge is fine for
             // the tiny patterns in play.
             for (&(s, d, l), &need) in &self.multiplicity {
-                if s == ps && d == pd {
-                    let have = target
-                        .out_edges(ts)
-                        .filter(|&e| {
-                            let (_, dd, ll) = target.edge(e);
-                            dd == td && ll == l
-                        })
-                        .count();
-                    if have < need {
-                        return false;
-                    }
+                if s == ps && d == pd && count_pair(target, ts, td, l) < need {
+                    return false;
                 }
             }
         }
@@ -407,24 +426,45 @@ impl Matcher {
         }
         let candidates: Vec<VertexId> = match self.plan.anchor[depth] {
             Some((m, l, out)) => {
+                // Label-indexed adjacency (binary-searched on frozen
+                // targets) with the new vertex's label folded in: the
+                // same candidates `feasible` would keep, visited in the
+                // same ascending edge-id order as the raw scan.
                 let tm = self.image(assignment, m);
+                let mut c = Vec::new();
                 if out {
                     // pattern edge new->m: candidates are sources of
                     // in-edges of image(m) with label l.
-                    target
-                        .in_edges(tm)
-                        .filter(|&e| target.edge_label(e) == l)
-                        .map(|e| target.edge_src(e))
-                        .collect()
+                    target.visit_in_matching(tm, l, self.vlabels[depth], &mut |_, s| c.push(s));
                 } else {
-                    target
-                        .out_edges(tm)
-                        .filter(|&e| target.edge_label(e) == l)
-                        .map(|e| target.edge_dst(e))
-                        .collect()
+                    target.visit_out_matching(tm, l, self.vlabels[depth], &mut |_, d| c.push(d));
                 }
+                c
             }
-            None => target.vertices().collect(),
+            None => match self.plan.root_edge[depth] {
+                // Harvest roots from matching-label edge endpoints and
+                // visit them in ascending id order — the same order (and
+                // a subset) of the full vertex scan, so enumeration
+                // output is unchanged; vertices lacking the required
+                // incident edge could never complete an embedding.
+                Some((l, out)) => {
+                    let mut roots: Vec<VertexId> = target
+                        .edges()
+                        .filter(|&e| target.edge_label(e) == l)
+                        .map(|e| {
+                            if out {
+                                target.edge_src(e)
+                            } else {
+                                target.edge_dst(e)
+                            }
+                        })
+                        .collect();
+                    roots.sort_unstable();
+                    roots.dedup();
+                    roots
+                }
+                None => target.vertices().collect(),
+            },
         };
         let twin_floor = if prune_twins {
             self.plan.twin_prev[depth].map(|j| assignment[j])
@@ -569,26 +609,63 @@ pub fn extend_embedding<G: GraphView>(
     ext: &Extension,
     out: &mut Vec<Embedding>,
 ) {
+    let mut flat: Vec<VertexId> = Vec::new();
+    extend_embedding_row(target, &emb.assignment, ext, &mut flat);
+    let stride = child_stride(emb.assignment.len(), ext);
+    for row in flat.chunks_exact(stride.max(1)) {
+        out.push(Embedding {
+            assignment: row.to_vec(),
+        });
+    }
+}
+
+/// Row width of the children `ext` produces from a parent row of width
+/// `parent_stride`: one appended slot for the `New*` shapes, unchanged
+/// for `Close`.
+#[inline]
+pub fn child_stride(parent_stride: usize, ext: &Extension) -> usize {
+    match ext {
+        Extension::Close { .. } => parent_stride,
+        _ => parent_stride + 1,
+    }
+}
+
+/// Structure-of-arrays form of [`extend_embedding`]: the parent occurrence
+/// is a flat assignment slice (`row[i]` = image of pattern vertex `i`) and
+/// every child occurrence is appended to `out` as [`child_stride`]
+/// contiguous ids. Same candidate enumeration, same dedup, same emission
+/// order — only the layout differs, which is what lets the miners' stores
+/// stream one contiguous buffer instead of hopping per-`Embedding` heap
+/// vectors.
+pub fn extend_embedding_row<G: GraphView>(
+    target: &G,
+    row: &[VertexId],
+    ext: &Extension,
+    out: &mut Vec<VertexId>,
+) {
     match *ext {
         Extension::NewDst {
             src,
             elabel,
             vlabel,
         } => {
-            let ts = emb.image(src);
+            let ts = row[src.index()];
+            debug_assert_ne!(ts, UNMAPPED);
             let start = out.len();
+            let stride = row.len() + 1;
             target.visit_out_matching(ts, elabel, vlabel, &mut |_, td| {
-                if emb.maps_onto(td) {
+                if row.contains(&td) {
                     return;
                 }
                 // Parallel edges reach the same endpoint; emit it once.
                 if out[start..]
-                    .iter()
-                    .any(|c| c.assignment.last() == Some(&td))
+                    .chunks_exact(stride)
+                    .any(|c| c[stride - 1] == td)
                 {
                     return;
                 }
-                out.push(emb.extended_with(td));
+                out.extend_from_slice(row);
+                out.push(td);
             });
         }
         Extension::NewSrc {
@@ -596,19 +673,22 @@ pub fn extend_embedding<G: GraphView>(
             elabel,
             vlabel,
         } => {
-            let td = emb.image(dst);
+            let td = row[dst.index()];
+            debug_assert_ne!(td, UNMAPPED);
             let start = out.len();
+            let stride = row.len() + 1;
             target.visit_in_matching(td, elabel, vlabel, &mut |_, ts| {
-                if emb.maps_onto(ts) {
+                if row.contains(&ts) {
                     return;
                 }
                 if out[start..]
-                    .iter()
-                    .any(|c| c.assignment.last() == Some(&ts))
+                    .chunks_exact(stride)
+                    .any(|c| c[stride - 1] == ts)
                 {
                     return;
                 }
-                out.push(emb.extended_with(ts));
+                out.extend_from_slice(row);
+                out.push(ts);
             });
         }
         Extension::Close { src, dst, elabel } => {
@@ -616,10 +696,10 @@ pub fn extend_embedding<G: GraphView>(
             // of closure (miners check before adding), so existence of one
             // matching target edge suffices — multiplicity is only needed
             // for parallel pattern edges, which closure never creates.
-            let ts = emb.image(src);
-            let td = emb.image(dst);
+            let ts = row[src.index()];
+            let td = row[dst.index()];
             if target.has_edge_labeled(ts, td, elabel) {
-                out.push(emb.clone());
+                out.extend_from_slice(row);
             }
         }
     }

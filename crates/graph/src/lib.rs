@@ -49,6 +49,7 @@
 
 pub mod canon;
 pub mod dot;
+pub mod fingerprint;
 pub mod frozen;
 pub mod generate;
 pub mod graph;

@@ -138,6 +138,16 @@ pub trait GraphView {
         })
     }
 
+    /// Structural fingerprint of `v` (see [`crate::fingerprint`]): a
+    /// packed u64 of label blooms and unary degrees, checked with
+    /// [`crate::fingerprint::fp_subsumes`] before VF2. The default
+    /// computes from adjacency; frozen forms override with a load from
+    /// their freeze-time array. Both yield identical values for the same
+    /// graph, so filter decisions are representation-invariant.
+    fn vertex_fp(&self, v: VertexId) -> u64 {
+        crate::fingerprint::vertex_fingerprint(self, v)
+    }
+
     /// Multiset of vertex labels with frequencies.
     fn vertex_label_histogram(&self) -> FxHashMap<VLabel, usize> {
         let mut h: FxHashMap<VLabel, usize> = FxHashMap::default();
@@ -278,6 +288,10 @@ impl<T: GraphView + ?Sized> GraphView for &T {
 
     fn has_edge_labeled(&self, s: VertexId, d: VertexId, el: ELabel) -> bool {
         (**self).has_edge_labeled(s, d, el)
+    }
+
+    fn vertex_fp(&self, v: VertexId) -> u64 {
+        (**self).vertex_fp(v)
     }
 }
 

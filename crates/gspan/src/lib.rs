@@ -29,6 +29,7 @@ use tnet_fsg::embed::{grow_store, level1_store, EmbStore, Grown};
 use tnet_fsg::extend::{extend_pattern, EdgeVocab};
 use tnet_fsg::{FrequentPattern, Support};
 use tnet_graph::canon::IsoClassMap;
+use tnet_graph::fingerprint::{graph_fingerprints, may_embed};
 use tnet_graph::frozen::TxnSet;
 use tnet_graph::graph::{ELabel, Graph, VLabel};
 use tnet_graph::hash::{FxHashMap, FxHashSet};
@@ -54,6 +55,11 @@ pub struct GspanConfig {
     /// extensions are re-verified from scratch. `0` disables propagation
     /// (every support test is a scratch VF2 search).
     pub embedding_cap: usize,
+    /// Check per-vertex structural fingerprints
+    /// ([`tnet_graph::fingerprint`]) before every scratch VF2 support
+    /// test, with the same output-invariant semantics as
+    /// [`tnet_fsg::FsgConfig::fingerprint_filter`].
+    pub fingerprint_filter: bool,
 }
 
 impl Default for GspanConfig {
@@ -63,6 +69,7 @@ impl Default for GspanConfig {
             max_edges: 10,
             memory_budget: None,
             embedding_cap: 256,
+            fingerprint_filter: true,
         }
     }
 }
@@ -123,6 +130,12 @@ pub struct GspanStats {
     /// (pattern, transaction) occurrence lists that overflowed the cap
     /// and were truncated to inexact seed prefixes.
     pub embeddings_spilled: usize,
+    /// Scratch VF2 searches skipped because a pattern vertex had no
+    /// fingerprint-compatible transaction vertex.
+    pub fingerprint_rejects: usize,
+    /// Peak bytes held by the DFS stack's structure-of-arrays occurrence
+    /// lists (the flat `VertexId` buffers riding the growth path).
+    pub soa_bytes: usize,
 }
 
 impl GspanStats {
@@ -135,8 +148,10 @@ impl GspanStats {
         metrics.add("gspan.iso_tests", self.iso_tests as u64);
         metrics.add("gspan.embeddings_extended", self.embeddings_extended as u64);
         metrics.add("gspan.embeddings_spilled", self.embeddings_spilled as u64);
+        metrics.add("gspan.fingerprint_rejects", self.fingerprint_rejects as u64);
         metrics.record_max("gspan.max_depth", self.max_depth as u64);
         metrics.record_max("gspan.peak_live_bytes", self.peak_live_bytes as u64);
+        metrics.record_max("gspan.soa_bytes", self.soa_bytes as u64);
     }
 }
 
@@ -215,6 +230,10 @@ pub fn mine_dfs_source<T: TxnSource + ?Sized>(
     if exec.is_cancelled() {
         return Err(GspanError::Cancelled);
     }
+    // Per-TID support work is small and uniform; L2-sized chunks keep a
+    // worker's transaction slabs hot without starving the claim cursor.
+    let exec_l2 = exec.with_chunk_items(tnet_exec::L2_TXN_CHUNK_ITEMS);
+    let exec = &exec_l2;
     // Phase timers stay on the sequential DFS control path (the walk is
     // serial; only support counting fans out), so span registration
     // order — and `--trace` output — is thread-count independent.
@@ -278,11 +297,13 @@ pub fn mine_dfs_source<T: TxnSource + ?Sized>(
         max_edges: cfg.max_edges,
         budget: cfg.memory_budget,
         embedding_cap: cfg.embedding_cap,
+        fingerprint_filter: cfg.fingerprint_filter,
         exec,
         visited: IsoClassMap::new(),
         results: Vec::new(),
         stats,
         live_bytes: 0,
+        live_soa_bytes: 0,
     };
     for seed in seeds {
         walk.charge(&seed)?;
@@ -297,7 +318,11 @@ pub fn mine_dfs_source<T: TxnSource + ?Sized>(
         } else {
             Vec::new()
         };
+        let soa = seed_stores.iter().map(|s| s.byte_len()).sum::<usize>();
+        walk.live_soa_bytes += soa;
+        walk.stats.soa_bytes = walk.stats.soa_bytes.max(walk.live_soa_bytes);
         walk.grow(&seed, &seed_stores, 1)?;
+        walk.live_soa_bytes -= soa;
         walk.results.push(seed);
     }
     let Walk {
@@ -328,11 +353,15 @@ struct Walk<'a, T: TxnSource + ?Sized> {
     max_edges: usize,
     budget: Option<usize>,
     embedding_cap: usize,
+    fingerprint_filter: bool,
     exec: &'a Exec,
     visited: IsoClassMap<()>,
     results: Vec<FrequentPattern>,
     stats: GspanStats,
     live_bytes: usize,
+    /// Running bytes held by the growth path's SoA occurrence lists;
+    /// `stats.soa_bytes` tracks its high-water mark.
+    live_soa_bytes: usize,
 }
 
 impl<T: TxnSource + ?Sized> Walk<'_, T> {
@@ -371,7 +400,7 @@ impl<T: TxnSource + ?Sized> Walk<'_, T> {
         let mut extensions: IsoClassMap<Vec<usize>> = IsoClassMap::new();
         {
             let _t = self.span.time("extend");
-            extend_pattern(&parent.graph, self.vocab, 0, &mut extensions);
+            extend_pattern(&parent.graph, self.vocab, 0, None, &mut extensions);
         }
         for (candidate, _) in extensions.into_iter_pairs() {
             if self.exec.is_cancelled() {
@@ -393,12 +422,18 @@ impl<T: TxnSource + ?Sized> Walk<'_, T> {
                 let ext = derive_extension(parent.graph.vertex_count(), &candidate)
                     .expect("candidate is a one-edge extension of its parent");
                 let witness_only = candidate.edge_count() >= self.max_edges;
-                // A scratch matcher is only ever needed to settle an
-                // unverified "no" from a truncated (inexact) seed list.
-                let matcher = parent_stores
-                    .iter()
-                    .any(|s| !s.exact)
-                    .then(|| Matcher::new(&candidate));
+                // Scratch machinery (matcher + pattern fingerprints) is
+                // only ever needed to settle an unverified "no" from a
+                // truncated (inexact) seed list.
+                let fp_filter = self.fingerprint_filter;
+                let scratch = parent_stores.iter().any(|s| !s.exact).then(|| {
+                    let fps = if fp_filter {
+                        graph_fingerprints(&candidate)
+                    } else {
+                        Vec::new()
+                    };
+                    (Matcher::new(&candidate), fps)
+                });
                 let cap = self.embedding_cap;
                 let transactions = self.transactions;
                 let idx: Vec<usize> = (0..parent.tids.len()).collect();
@@ -415,30 +450,35 @@ impl<T: TxnSource + ?Sized> Walk<'_, T> {
                         &mut extended,
                         &mut spilled,
                     ) {
-                        Grown::Absent => (false, None, extended, spilled, false),
+                        Grown::Absent => (false, None, extended, spilled, false, false),
                         Grown::Unverified => {
-                            let hit = matcher
-                                .as_ref()
-                                .expect("inexact store implies a matcher")
-                                .matches(&txn);
-                            let store = (hit && !witness_only).then(|| EmbStore {
-                                embs: Vec::new(),
-                                exact: false,
-                            });
-                            (hit, store, extended, spilled, true)
+                            let (matcher, fps) =
+                                scratch.as_ref().expect("inexact store implies a matcher");
+                            if fp_filter && !may_embed(fps, &txn) {
+                                return (false, None, extended, spilled, false, true);
+                            }
+                            let hit = matcher.matches(&txn);
+                            let store = (hit && !witness_only)
+                                .then(|| EmbStore::new(candidate.vertex_count(), false));
+                            (hit, store, extended, spilled, true, false)
                         }
-                        Grown::Witnessed { store } => (true, store, extended, spilled, false),
+                        Grown::Witnessed { store } => {
+                            (true, store, extended, spilled, false, false)
+                        }
                     }
                 });
                 let mut tids: Vec<u32> = Vec::new();
                 let mut child_stores: Vec<EmbStore> = Vec::new();
-                for (i, (hit, store, extended, spilled, scratched)) in
+                for (i, (hit, store, extended, spilled, scratched, fp_rejected)) in
                     outcomes.into_iter().enumerate()
                 {
                     self.stats.embeddings_extended += extended;
                     self.stats.embeddings_spilled += spilled;
                     if scratched {
                         self.stats.iso_tests += 1;
+                    }
+                    if fp_rejected {
+                        self.stats.fingerprint_rejects += 1;
                     }
                     if hit {
                         tids.push(parent.tids[i]);
@@ -450,18 +490,36 @@ impl<T: TxnSource + ?Sized> Walk<'_, T> {
                 (tids, child_stores)
             } else {
                 let matcher = Matcher::new(&candidate);
+                let fps = if self.fingerprint_filter {
+                    graph_fingerprints(&candidate)
+                } else {
+                    Vec::new()
+                };
                 // Support counting is the hot loop; fan the VF2 searches
                 // over the pool and keep matching TIDs in input order.
+                // 0 = fingerprint reject, 1 = VF2 miss, 2 = VF2 hit.
                 let hits = self.exec.par_map(&parent.tids, |&tid| {
-                    matcher.matches(&self.transactions.txn(tid as usize))
+                    let txn = self.transactions.txn(tid as usize);
+                    if self.fingerprint_filter && !may_embed(&fps, &txn) {
+                        return 0u8;
+                    }
+                    if matcher.matches(&txn) {
+                        2
+                    } else {
+                        1
+                    }
                 });
-                self.stats.iso_tests += parent.tids.len();
-                let tids: Vec<u32> = parent
-                    .tids
-                    .iter()
-                    .zip(hits)
-                    .filter_map(|(&tid, hit)| hit.then_some(tid))
-                    .collect();
+                let mut tids: Vec<u32> = Vec::new();
+                for (&tid, h) in parent.tids.iter().zip(&hits) {
+                    match h {
+                        0 => self.stats.fingerprint_rejects += 1,
+                        1 => self.stats.iso_tests += 1,
+                        _ => {
+                            self.stats.iso_tests += 1;
+                            tids.push(tid);
+                        }
+                    }
+                }
                 (tids, Vec::new())
             };
             self.stats.counted += 1;
@@ -475,7 +533,11 @@ impl<T: TxnSource + ?Sized> Walk<'_, T> {
                     tids,
                 };
                 self.charge(&fp)?;
+                let soa = child_stores.iter().map(|s| s.byte_len()).sum::<usize>();
+                self.live_soa_bytes += soa;
+                self.stats.soa_bytes = self.stats.soa_bytes.max(self.live_soa_bytes);
                 self.grow(&fp, &child_stores, depth + 1)?;
+                self.live_soa_bytes -= soa;
                 self.results.push(fp);
             }
         }

@@ -6,8 +6,10 @@
 //! open list empties, patterns reach `max_size`, or the expansion budget
 //! (`limit`) runs out.
 
-use crate::eval::{evaluate, EvalMethod, GraphContext};
-use crate::substructure::{expand_counted, initial_substructures, SubdueStats, Substructure};
+use crate::eval::{evaluate_counts, EvalMethod, GraphContext};
+use crate::substructure::{
+    expand_deferred, initial_substructures, DeferredChild, SubdueStats, Substructure,
+};
 use std::time::{Duration, Instant};
 use tnet_exec::Exec;
 use tnet_graph::graph::Graph;
@@ -105,6 +107,17 @@ fn substructure_bytes(s: &Substructure) -> usize {
         + s.pattern.edge_count() * 48
         + s.instances.len() * 64
         + instance_ids * 8
+}
+
+/// [`substructure_bytes`] for a deferred child, as if it were
+/// materialized — budget decisions must not depend on when instance
+/// lists are built. Instance maps stay injective under expansion, so
+/// every instance of a child has exactly the pattern's vertex and edge
+/// counts and the eager formula collapses to a closed form.
+fn deferred_bytes(c: &DeferredChild) -> usize {
+    let (pv, pe) = (c.pattern.vertex_count(), c.pattern.edge_count());
+    let n = c.instance_count();
+    256 + pv * 110 + pe * 48 + n * 64 + n * (pv + pe) * 8
 }
 
 /// Discovery output.
@@ -234,10 +247,10 @@ pub fn discover_core<G: GraphView + Sync>(
         expanded += 1;
         let children = {
             let _t = span.time("expand");
-            expand_counted(g, &parent, &mut stats)
+            expand_deferred(g, &parent, &mut stats)
         };
         if let Some(budget) = cfg.memory_budget {
-            let held: usize = children.iter().map(substructure_bytes).sum();
+            let held: usize = children.iter().map(deferred_bytes).sum();
             let estimated_bytes = resident + held;
             if estimated_bytes > budget {
                 // Stop siblings sharing this token before surfacing the
@@ -252,23 +265,50 @@ pub fn discover_core<G: GraphView + Sync>(
         }
         // Score children in parallel (disjoint-instance counting and MDL
         // evaluation dominate the cost), then fold them into the beam and
-        // best list sequentially in expansion order.
+        // best list sequentially in expansion order. Instance lists are
+        // only materialized for children that actually enter the beam or
+        // the best list — the insertion predicates below mirror
+        // `consider_best` / `insert_beam` exactly, so skipped children
+        // are precisely the ones those calls would have dropped anyway.
         let eval_timer = span.time("beam_eval");
         let scores = exec.par_map(&children, |child| {
-            if child.disjoint_count() < cfg.min_instances {
+            let n = child.disjoint_count(g, &parent);
+            if n < cfg.min_instances {
                 None
             } else {
-                Some(evaluate(cfg.eval, &ctx, child))
+                Some(evaluate_counts(
+                    cfg.eval,
+                    &ctx,
+                    child.pattern.vertex_count(),
+                    child.pattern.edge_count(),
+                    n,
+                ))
             }
         });
         drop(eval_timer);
-        for (mut child, score) in children.into_iter().zip(scores) {
+        for (child, score) in children.into_iter().zip(scores) {
             evaluated += 1;
             let Some(value) = score else { continue };
-            child.value = value;
-            consider_best(&mut best, &child, cfg.max_best);
-            if child.size() < cfg.max_size {
-                insert_beam(&mut open, child, cfg.beam_width);
+            let wants_best = best.partition_point(|s| s.value >= value) < cfg.max_best;
+            // Entering a full beam requires beating (or tying) the
+            // current worst; inserting below it would evict the
+            // newcomer itself immediately.
+            let wants_beam = child.size() < cfg.max_size
+                && (open.len() < cfg.beam_width || open.first().is_some_and(|s| s.value <= value));
+            if !wants_best && !wants_beam {
+                continue;
+            }
+            let instances = child.materialize(g, &parent);
+            let sub = Substructure {
+                pattern: child.pattern,
+                instances,
+                value,
+            };
+            if wants_best {
+                consider_best(&mut best, &sub, cfg.max_best);
+            }
+            if wants_beam {
+                insert_beam(&mut open, sub, cfg.beam_width);
             }
         }
         if cfg.memory_budget.is_some() {

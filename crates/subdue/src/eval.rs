@@ -6,6 +6,7 @@
 //! is better.
 
 use crate::substructure::Substructure;
+use tnet_graph::fingerprint::{graph_fingerprints, may_embed};
 use tnet_graph::graph::Graph;
 use tnet_graph::iso::has_embedding;
 use tnet_graph::view::GraphView;
@@ -82,9 +83,30 @@ impl GraphContext {
 /// Panics if called with [`EvalMethod::SetCover`] — use
 /// [`set_cover_value`], which needs example sets.
 pub fn evaluate(method: EvalMethod, ctx: &GraphContext, sub: &Substructure) -> f64 {
-    let n = sub.disjoint_count();
-    let pv = sub.pattern.vertex_count();
-    let pe = sub.pattern.edge_count();
+    evaluate_counts(
+        method,
+        ctx,
+        sub.pattern.vertex_count(),
+        sub.pattern.edge_count(),
+        sub.disjoint_count(),
+    )
+}
+
+/// [`evaluate`] from the raw inputs the scoring formulas actually use: a
+/// pattern with `pv` vertices and `pe` edges occurring in `n` disjoint
+/// instances. Lets the discovery loop score deferred expansion children
+/// without materializing their instance lists.
+///
+/// # Panics
+/// Panics if called with [`EvalMethod::SetCover`] — use
+/// [`set_cover_value`], which needs example sets.
+pub fn evaluate_counts(
+    method: EvalMethod,
+    ctx: &GraphContext,
+    pv: usize,
+    pe: usize,
+    n: usize,
+) -> f64 {
     match method {
         EvalMethod::Size => {
             let g_size = (ctx.vertices + ctx.edges) as f64;
@@ -108,14 +130,30 @@ pub fn evaluate(method: EvalMethod, ctx: &GraphContext, sub: &Substructure) -> f
 /// SUBDUE's set-cover value: (positives containing S + negatives not
 /// containing S) / total examples.
 pub fn set_cover_value(pattern: &Graph, positives: &[Graph], negatives: &[Graph]) -> f64 {
-    let pos_hit = positives
-        .iter()
-        .filter(|g| has_embedding(pattern, g))
-        .count();
-    let neg_miss = negatives
-        .iter()
-        .filter(|g| !has_embedding(pattern, g))
-        .count();
+    set_cover_value_counted(pattern, positives, negatives, &mut 0)
+}
+
+/// As [`set_cover_value`], counting into `fingerprint_rejects` the VF2
+/// existence checks the per-vertex fingerprint filter
+/// ([`tnet_graph::fingerprint`]) skipped. A fingerprint reject proves no
+/// embedding exists, so the value is identical to an unfiltered
+/// evaluation.
+pub fn set_cover_value_counted(
+    pattern: &Graph,
+    positives: &[Graph],
+    negatives: &[Graph],
+    fingerprint_rejects: &mut usize,
+) -> f64 {
+    let pfps = graph_fingerprints(pattern);
+    let mut contains = |g: &&Graph| {
+        if !may_embed(&pfps, *g) {
+            *fingerprint_rejects += 1;
+            return false;
+        }
+        has_embedding(pattern, *g)
+    };
+    let pos_hit = positives.iter().filter(|g| contains(g)).count();
+    let neg_miss = negatives.iter().filter(|g| !contains(g)).count();
     let total = positives.len() + negatives.len();
     if total == 0 {
         return 0.0;

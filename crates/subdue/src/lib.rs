@@ -28,7 +28,7 @@ pub use discover::{
     discover, discover_arena_with, discover_core, discover_with, SubdueConfig, SubdueError,
     SubdueOutput,
 };
-pub use eval::{evaluate, set_cover_value, EvalMethod, GraphContext};
+pub use eval::{evaluate, set_cover_value, set_cover_value_counted, EvalMethod, GraphContext};
 pub use inexact::{coalesce_fuzzy, edit_distance_bounded, fuzzy_match};
 pub use substructure::{
     expand, expand_counted, initial_substructures, Instance, SubdueStats, Substructure,

@@ -61,6 +61,12 @@ pub struct ExtKey {
 impl ExtKey {
     const NEW: usize = usize::MAX;
 
+    /// True if this extension appends a new endpoint vertex (one slot is
+    /// outside the instance).
+    fn adds_vertex(&self) -> bool {
+        self.src == Self::NEW || self.dst == Self::NEW
+    }
+
     /// The child pattern this key induces: the parent plus one edge (and
     /// possibly one appended vertex, whose slot index lines up with the
     /// appended `map` entry of every instance grown with this key).
@@ -97,6 +103,17 @@ impl Instance {
     /// vertex (callers enumerate incident edges, so a grown instance is
     /// always connected to this one).
     pub fn extended<G: GraphView>(&self, g: &G, e: EdgeId) -> Option<(Instance, ExtKey)> {
+        let key = self.probe_extension(g, e)?;
+        Some((self.materialize_extension(g, e, &key), key))
+    }
+
+    /// Probe stage of [`Instance::extended`]: classifies how `e` attaches
+    /// (rejecting reused edges and non-incident ones) without cloning any
+    /// of the instance's three vectors. [`expand_counted`] uses this to
+    /// dedup and cap-check an extension *before* paying for
+    /// [`Instance::materialize_extension`] — on dense expansions most
+    /// attempts die here.
+    pub fn probe_extension<G: GraphView>(&self, g: &G, e: EdgeId) -> Option<ExtKey> {
         if self.edges.binary_search(&e).is_ok() {
             return None;
         }
@@ -107,34 +124,40 @@ impl Instance {
         } else {
             self.map.iter().position(|&u| u == d)
         };
-        let mut map = self.map.clone();
-        let key = match (spos, dpos) {
-            (Some(a), Some(b)) => ExtKey {
+        match (spos, dpos) {
+            (Some(a), Some(b)) => Some(ExtKey {
                 src: a,
                 dst: b,
                 elabel: l.0,
                 new_label: 0,
-            },
-            (Some(a), None) => {
-                map.push(d);
-                ExtKey {
-                    src: a,
-                    dst: ExtKey::NEW,
-                    elabel: l.0,
-                    new_label: g.vertex_label(d).0,
-                }
-            }
-            (None, Some(b)) => {
-                map.push(s);
-                ExtKey {
-                    src: ExtKey::NEW,
-                    dst: b,
-                    elabel: l.0,
-                    new_label: g.vertex_label(s).0,
-                }
-            }
-            (None, None) => return None,
-        };
+            }),
+            (Some(a), None) => Some(ExtKey {
+                src: a,
+                dst: ExtKey::NEW,
+                elabel: l.0,
+                new_label: g.vertex_label(d).0,
+            }),
+            (None, Some(b)) => Some(ExtKey {
+                src: ExtKey::NEW,
+                dst: b,
+                elabel: l.0,
+                new_label: g.vertex_label(s).0,
+            }),
+            (None, None) => None,
+        }
+    }
+
+    /// Materialize stage of [`Instance::extended`]: builds the grown
+    /// instance for an edge that [`Instance::probe_extension`] accepted
+    /// with `key`.
+    pub fn materialize_extension<G: GraphView>(&self, g: &G, e: EdgeId, key: &ExtKey) -> Instance {
+        let (s, d, _) = g.edge(e);
+        let mut map = self.map.clone();
+        if key.dst == ExtKey::NEW {
+            map.push(d);
+        } else if key.src == ExtKey::NEW {
+            map.push(s);
+        }
         let mut vertices = self.vertices.clone();
         for v in [s, d] {
             if let Err(pos) = vertices.binary_search(&v) {
@@ -144,14 +167,11 @@ impl Instance {
         let mut edges = self.edges.clone();
         let pos = edges.binary_search(&e).unwrap_err();
         edges.insert(pos, e);
-        Some((
-            Instance {
-                vertices,
-                edges,
-                map,
-            },
-            key,
-        ))
+        Instance {
+            vertices,
+            edges,
+            map,
+        }
     }
 
     /// True if this instance shares a vertex with `other`.
@@ -200,15 +220,32 @@ impl Substructure {
     }
 
     /// Greedy maximal set of pairwise vertex-disjoint instances ("without
-    /// allowing overlap", as the paper's experiments ran).
+    /// allowing overlap", as the paper's experiments ran). Vertex ids are
+    /// dense, so "used" is a `u64` bitset — one load + mask per probe
+    /// instead of a hash lookup. This runs once per (candidate,
+    /// evaluation) in the beam loop, which made the hashing version a
+    /// profile hotspot on instance-heavy graphs.
     pub fn disjoint_instances(&self) -> Vec<&Instance> {
-        let mut used: FxHashSet<VertexId> = FxHashSet::default();
+        let max_id = self
+            .instances
+            .iter()
+            .filter_map(|i| i.vertices.last())
+            .map(|v| v.0 as usize)
+            .max()
+            .unwrap_or(0);
+        let mut used = vec![0u64; max_id / 64 + 1];
         let mut out = Vec::new();
         for inst in &self.instances {
-            if inst.vertices.iter().any(|v| used.contains(v)) {
+            if inst
+                .vertices
+                .iter()
+                .any(|v| used[v.0 as usize / 64] >> (v.0 % 64) & 1 == 1)
+            {
                 continue;
             }
-            used.extend(inst.vertices.iter().copied());
+            for v in &inst.vertices {
+                used[v.0 as usize / 64] |= 1u64 << (v.0 % 64);
+            }
             out.push(inst);
         }
         out
@@ -266,6 +303,10 @@ pub struct SubdueStats {
     /// Child pattern graphs derived — one per distinct extension key, not
     /// one per grown instance, which is the point of keying.
     pub patterns_derived: usize,
+    /// Set-cover VF2 existence checks skipped because a pattern vertex
+    /// had no fingerprint-compatible example vertex
+    /// ([`tnet_graph::fingerprint::may_embed`] said no).
+    pub fingerprint_rejects: usize,
 }
 
 impl SubdueStats {
@@ -278,6 +319,10 @@ impl SubdueStats {
         );
         metrics.add("subdue.embeddings_spilled", self.embeddings_spilled as u64);
         metrics.add("subdue.patterns_derived", self.patterns_derived as u64);
+        metrics.add(
+            "subdue.fingerprint_rejects",
+            self.fingerprint_rejects as u64,
+        );
     }
 }
 
@@ -289,39 +334,178 @@ pub fn expand<G: GraphView>(g: &G, sub: &Substructure) -> Vec<Substructure> {
     expand_counted(g, sub, &mut SubdueStats::default())
 }
 
-/// As [`expand`], accumulating counters into `stats`.
-///
-/// Grown instances are first bucketed by [`ExtKey`] — how the new edge
-/// attaches relative to the instance's pattern mapping — which determines
-/// the child pattern up to the shared parent, so the pattern graph (and
-/// its invariant hash) is derived once per key instead of once per
-/// instance. Keys whose patterns land in the same isomorphism class are
-/// then merged, translating instance maps onto the class representative's
-/// vertex order so descendants keep extending consistently.
+/// As [`expand`], accumulating counters into `stats`. Equivalent to
+/// materializing every child of [`expand_deferred`].
 pub fn expand_counted<G: GraphView>(
     g: &G,
     sub: &Substructure,
     stats: &mut SubdueStats,
 ) -> Vec<Substructure> {
+    expand_deferred(g, sub, stats)
+        .into_iter()
+        .map(|child| {
+            let instances = child.materialize(g, sub);
+            Substructure {
+                pattern: child.pattern,
+                instances,
+                value: 0.0,
+            }
+        })
+        .collect()
+}
+
+/// One grown-but-unbuilt instance: the parent instance's index plus the
+/// extension edge. Everything else about the grown instance (vertex set,
+/// edge set, map) is derivable from those two values and the group's
+/// [`ExtKey`].
+type Ext = (u32, EdgeId);
+
+/// A keyed group of deferred instances inside a [`DeferredChild`].
+struct DeferredGroup {
+    key: ExtKey,
+    /// Translation onto the class representative's vertex order:
+    /// representative map slot `i` reads this group's own map slot
+    /// `perm[i]`. `None` for the representative group itself.
+    perm: Option<Vec<u32>>,
+    exts: Vec<Ext>,
+}
+
+/// An expansion child whose instance lists have not been materialized.
+///
+/// The beam search evaluates every child of an expansion but keeps only
+/// the few that enter the beam or the best list, so building full
+/// [`Instance`] vectors (three allocations each) for all of them is
+/// mostly wasted work — on dense graphs hundreds of thousands per
+/// search. A deferred child carries `(parent instance, edge)` pairs
+/// instead; [`DeferredChild::disjoint_count`] scores it in place and
+/// [`DeferredChild::materialize`] builds real instances only for
+/// survivors, producing exactly what the eager path produced.
+pub struct DeferredChild {
+    pub pattern: Graph,
+    groups: Vec<DeferredGroup>,
+    /// Instance count after the [`MAX_INSTANCES`] cap.
+    count: usize,
+}
+
+fn bit_test(used: &[u64], v: VertexId) -> bool {
+    used[v.0 as usize / 64] >> (v.0 % 64) & 1 == 1
+}
+
+fn bit_set(used: &mut [u64], v: VertexId) {
+    used[v.0 as usize / 64] |= 1u64 << (v.0 % 64);
+}
+
+impl DeferredChild {
+    /// Size of the pattern as SUBDUE counts it: vertices + edges.
+    pub fn size(&self) -> usize {
+        self.pattern.size()
+    }
+
+    /// Number of instances a materialization would produce.
+    pub fn instance_count(&self) -> usize {
+        self.count
+    }
+
+    /// Greedy vertex-disjoint instance count, identical to materializing
+    /// and calling [`Substructure::disjoint_count`]: a grown instance's
+    /// vertex set is its parent's plus the extension edge's endpoints,
+    /// and the greedy scan runs in the same materialization order.
+    pub fn disjoint_count<G: GraphView>(&self, g: &G, parent: &Substructure) -> usize {
+        let mut max_id = 0usize;
+        for group in &self.groups {
+            for &(ii, e) in &group.exts {
+                let inst = &parent.instances[ii as usize];
+                if let Some(v) = inst.vertices.last() {
+                    max_id = max_id.max(v.0 as usize);
+                }
+                let (s, d, _) = g.edge(e);
+                max_id = max_id.max(s.0 as usize).max(d.0 as usize);
+            }
+        }
+        let mut used = vec![0u64; max_id / 64 + 1];
+        let mut n = 0usize;
+        for group in &self.groups {
+            for &(ii, e) in &group.exts {
+                let inst = &parent.instances[ii as usize];
+                let (s, d, _) = g.edge(e);
+                if inst.vertices.iter().any(|&v| bit_test(&used, v))
+                    || bit_test(&used, s)
+                    || bit_test(&used, d)
+                {
+                    continue;
+                }
+                for &v in &inst.vertices {
+                    bit_set(&mut used, v);
+                }
+                bit_set(&mut used, s);
+                bit_set(&mut used, d);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Builds the concrete instance list (in the order and under the cap
+    /// the eager expansion used).
+    pub fn materialize<G: GraphView>(&self, g: &G, parent: &Substructure) -> Vec<Instance> {
+        let mut out = Vec::with_capacity(self.count);
+        for group in &self.groups {
+            for &(ii, e) in &group.exts {
+                let mut inst =
+                    parent.instances[ii as usize].materialize_extension(g, e, &group.key);
+                if let Some(perm) = &group.perm {
+                    inst.map = perm.iter().map(|&i| inst.map[i as usize]).collect();
+                }
+                out.push(inst);
+            }
+        }
+        out
+    }
+}
+
+/// The expansion core behind [`expand_counted`]: grown instances are
+/// bucketed by [`ExtKey`] — how the new edge attaches relative to the
+/// instance's pattern mapping — which determines the child pattern up to
+/// the shared parent, so the pattern graph (and its invariant hash) is
+/// derived once per key instead of once per instance. Keys whose
+/// patterns land in the same isomorphism class are then merged; the map
+/// translation onto the class representative's vertex order is recorded
+/// as a permutation and applied at materialization.
+pub fn expand_deferred<G: GraphView>(
+    g: &G,
+    sub: &Substructure,
+    stats: &mut SubdueStats,
+) -> Vec<DeferredChild> {
     let mut key_index: FxHashMap<ExtKey, usize> = FxHashMap::default();
-    let mut groups: Vec<(ExtKey, Vec<Instance>)> = Vec::new();
+    let mut groups: Vec<(ExtKey, Vec<Ext>)> = Vec::new();
     let mut seen: FxHashSet<(u64, usize)> = FxHashSet::default();
-    for inst in &sub.instances {
+    fn edge_hash(e: EdgeId) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = tnet_graph::hash::FxHasher::default();
+        e.hash(&mut hasher);
+        hasher.finish()
+    }
+    for (ii, inst) in sub.instances.iter().enumerate() {
+        // Commutative set hash of the parent's edge ids: the grown edge
+        // set's hash is then one XOR per attempt instead of rehashing
+        // the whole list.
+        let base = inst.edges.iter().fold(0u64, |a, &e| a ^ edge_hash(e));
         for &v in &inst.vertices {
             for e in g.incident_edges(v) {
-                let Some((grown, key)) = inst.extended(g, e) else {
+                // Probe first: the key, dedup hash, and cap check all
+                // come from the parent's vectors plus `e`; nothing is
+                // allocated per attempt. On dense expansions most
+                // attempts are duplicates and die here.
+                let Some(key) = inst.probe_extension(g, e) else {
                     continue;
                 };
                 // Cheap structural dedup across the whole expansion:
-                // hash of the sorted edge list (+ vertex count) is exact
-                // because edge ids are unique.
-                let h = {
-                    use std::hash::{Hash, Hasher};
-                    let mut hasher = tnet_graph::hash::FxHasher::default();
-                    grown.edges.hash(&mut hasher);
-                    hasher.finish() ^ grown.vertices.len() as u64
-                };
-                if !seen.insert((h, grown.edges.len())) {
+                // hash of the grown edge set plus the grown vertex count
+                // is exact (up to 64-bit collisions) because edge ids
+                // are unique.
+                let h =
+                    base ^ edge_hash(e) ^ (inst.vertices.len() + key.adds_vertex() as usize) as u64;
+                if !seen.insert((h, inst.edges.len() + 1)) {
                     continue;
                 }
                 stats.embeddings_extended += 1;
@@ -331,7 +515,7 @@ pub fn expand_counted<G: GraphView>(
                 });
                 let group = &mut groups[gi].1;
                 if group.len() < MAX_INSTANCES {
-                    group.push(grown);
+                    group.push((ii as u32, e));
                 } else {
                     stats.embeddings_spilled += 1;
                 }
@@ -339,38 +523,47 @@ pub fn expand_counted<G: GraphView>(
         }
     }
     let mut classes: IsoClassMap<usize> = IsoClassMap::new();
-    let mut out: Vec<Substructure> = Vec::new();
-    for (key, instances) in groups {
+    let mut out: Vec<DeferredChild> = Vec::new();
+    for (key, mut exts) in groups {
         let pattern = key.child_pattern(&sub.pattern);
         stats.patterns_derived += 1;
         let slot = classes.entry_or_insert_with(&pattern, || usize::MAX);
         if *slot == usize::MAX {
             *slot = out.len();
-            out.push(Substructure {
+            let count = exts.len();
+            out.push(DeferredChild {
                 pattern,
-                instances,
-                value: 0.0,
+                groups: vec![DeferredGroup {
+                    key,
+                    perm: None,
+                    exts,
+                }],
+                count,
             });
         } else {
-            let existing = &mut out[*slot];
-            // Same class, different vertex order: translate this group's
-            // maps through an isomorphism onto the representative. (Equal
+            let child = &mut out[*slot];
+            // Same class, different vertex order: record the isomorphism
+            // onto the representative as a map permutation. (Equal
             // vertex/edge counts make any monomorphism a bijection.)
-            let iso = Matcher::new(&existing.pattern)
+            let iso = Matcher::new(&child.pattern)
                 .find(&pattern, Find::First)
                 .pop()
                 .expect("patterns share an isomorphism class");
-            for mut inst in instances {
-                inst.map = existing
-                    .pattern
-                    .vertices()
-                    .map(|pv| inst.map[iso.image(pv).index()])
-                    .collect();
-                if existing.instances.len() < MAX_INSTANCES {
-                    existing.instances.push(inst);
-                } else {
-                    stats.embeddings_spilled += 1;
-                }
+            let perm: Vec<u32> = child
+                .pattern
+                .vertices()
+                .map(|pv| iso.image(pv).index() as u32)
+                .collect();
+            let kept = exts.len().min(MAX_INSTANCES.saturating_sub(child.count));
+            stats.embeddings_spilled += exts.len() - kept;
+            exts.truncate(kept);
+            child.count += kept;
+            if kept > 0 {
+                child.groups.push(DeferredGroup {
+                    key,
+                    perm: Some(perm),
+                    exts,
+                });
             }
         }
     }

@@ -91,8 +91,8 @@ fn gspan_propagated_matches_scratch() {
     let cfg = |cap: usize| GspanConfig {
         min_support: Support::Count(4),
         max_edges: 4,
-        memory_budget: None,
         embedding_cap: cap,
+        ..Default::default()
     };
     let scratch = mine_dfs(&txns, &cfg(0)).unwrap();
     for cap in [256usize, 2] {
