@@ -100,6 +100,47 @@ grep -q 'fsg.bitset_intersections' /tmp/tnet_ci_trace.out
 grep -q 'exec.chunk_items' /tmp/tnet_ci_trace.out
 rm -f /tmp/tnet_ci_trace.out
 
+echo "== neighborhood smoke: mine --mode neighborhood, trace, thread invariance"
+# The r-hop neighborhood miner runs on the un-partitioned OD graph; its
+# counters flow through the unified namespace, its pattern output is
+# byte-identical at any thread count, and its trace export round-trips
+# through the new `tnet trace` summarizer.
+NBHD_TRACE=/tmp/tnet_ci_nbhd_trace.json
+NBHD_ARGS=(mine --scale 0.01 --mode neighborhood --radius 1 --support 3 \
+    --max-edges 3)
+"$TNET" "${NBHD_ARGS[@]}" --verbose true --trace --trace-json "$NBHD_TRACE" \
+    > /tmp/tnet_ci_nbhd.out 2>/dev/null
+grep -q 'frequent neighborhood patterns' /tmp/tnet_ci_nbhd.out
+grep -q 'nbhd.centers' /tmp/tnet_ci_nbhd.out
+grep -q 'nbhd.iso_tests' /tmp/tnet_ci_nbhd.out
+grep -q 'nbhd.fingerprint_rejects' /tmp/tnet_ci_nbhd.out
+"$TNET" "${NBHD_ARGS[@]}" --threads 1 > /tmp/tnet_ci_nbhd_t1.out 2>/dev/null
+"$TNET" "${NBHD_ARGS[@]}" --threads 2 > /tmp/tnet_ci_nbhd_t2.out 2>/dev/null
+"$TNET" "${NBHD_ARGS[@]}" --threads 8 > /tmp/tnet_ci_nbhd_t8.out 2>/dev/null
+diff /tmp/tnet_ci_nbhd_t1.out /tmp/tnet_ci_nbhd_t2.out
+diff /tmp/tnet_ci_nbhd_t1.out /tmp/tnet_ci_nbhd_t8.out
+# `tnet trace` summarizes the export...
+"$TNET" trace --input "$NBHD_TRACE" > /tmp/tnet_ci_nbhd_sum.out
+grep -q 'total wall' /tmp/tnet_ci_nbhd_sum.out
+grep -q 'nbhd.centers' /tmp/tnet_ci_nbhd_sum.out
+# ...and refuses a truncated one with a single stderr line, exit 1 —
+# never a panic (satellite contract from PR 2).
+head -c 40 "$NBHD_TRACE" > /tmp/tnet_ci_nbhd_trunc.json
+set +e
+"$TNET" trace --input /tmp/tnet_ci_nbhd_trunc.json \
+    > /dev/null 2> /tmp/tnet_ci_nbhd_trunc.err
+code=$?
+set -e
+test "$code" -eq 1
+test "$(wc -l < /tmp/tnet_ci_nbhd_trunc.err)" -eq 1
+# The export satisfies the shared tnet-trace/v1 validator.
+cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
+    --validate-trace "$NBHD_TRACE"
+rm -f "$NBHD_TRACE" /tmp/tnet_ci_nbhd.out /tmp/tnet_ci_nbhd_t1.out \
+    /tmp/tnet_ci_nbhd_t2.out /tmp/tnet_ci_nbhd_t8.out \
+    /tmp/tnet_ci_nbhd_sum.out /tmp/tnet_ci_nbhd_trunc.json \
+    /tmp/tnet_ci_nbhd_trunc.err
+
 echo "== bench smoke: miner report emits valid JSON, iso_tests under gate"
 # The smoke run times all three miners once, writes the report, and exits
 # non-zero if FSG's deterministic iso_tests counter on the default
@@ -107,8 +148,11 @@ echo "== bench smoke: miner report emits valid JSON, iso_tests under gate"
 # itself asserts that frozen-vs-arena and every per-technique toggle
 # (bitset TIDs off, fingerprints off) mine byte-identical pattern sets.
 # --validate re-parses the emitted file and checks all miners are
-# present, the data-layout counters are live, and the per-technique
-# off/on wall ratios clear the slowdown floor.
+# present, the data-layout counters are live, the per-technique
+# off/on wall ratios clear the slowdown floor, and the
+# partition-vs-neighborhood block has live rows (a completed
+# neighborhood run per row; the committed full report must also carry
+# the ≥10× scaled row).
 BENCH_OUT=/tmp/tnet_ci_bench.json
 cargo run --release -q -p tnet-bench --offline --bin bench_miners -- \
     --smoke --out "$BENCH_OUT"

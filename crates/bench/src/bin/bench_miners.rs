@@ -35,11 +35,15 @@ use tnet_core::pipeline::Pipeline;
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{EdgeLabeling, VertexLabeling};
 use tnet_exec::{Exec, MetricsRegistry, Span, Tracer};
-use tnet_fsg::{mine, mine_arena_with, mine_source, mine_with, FsgConfig, Support};
+use tnet_fsg::{
+    mine, mine_arena_with, mine_neighborhoods, mine_source, mine_with, FsgConfig, NbhdConfig,
+    Support,
+};
 use tnet_graph::frozen::{FrozenStats, TxnSet};
 use tnet_graph::graph::Graph;
 use tnet_graph::rng::StdRng;
 use tnet_gspan::{mine_dfs, mine_dfs_with, GspanConfig};
+use tnet_partition::single_graph::mine_single_graph;
 use tnet_partition::split::{split_graph, Strategy};
 use tnet_subdue::{discover, discover_with, SubdueConfig};
 
@@ -396,6 +400,96 @@ fn support_count_row(
     ])
 }
 
+/// Head-to-head on the same OD graph: Algorithm 1 (partition + FSG,
+/// support = transactions containing the pattern) against the r-hop
+/// neighborhood miner (support = centers whose induced neighborhood
+/// embeds the pattern). The support definitions differ, so pattern
+/// counts are reported side by side rather than asserted equal; the
+/// row's point is the wall-clock story — partitioning replicates work
+/// per repetition and per transaction, the neighborhood miner walks one
+/// shared CSR. The scaled row (`scale_factor` ≥ 10, full runs only) is
+/// the regime where per-transaction replication stops being viable.
+fn partition_vs_neighborhood_row(name: &str, scale: f64, seed: u64, samples: usize) -> Json {
+    let p = Pipeline::synthetic(scale, seed);
+    let od = p.od_graph(EdgeLabeling::GrossWeight, VertexLabeling::Uniform);
+    let mut g = od.graph;
+    g.dedup_edges();
+    let exec = Exec::new(1);
+    let fsg_cfg = FsgConfig::default()
+        .with_support(Support::Count(4))
+        .with_max_edges(3)
+        .with_memory_budget(512 << 20);
+    // Two repetitions, as the CLI defaults: Algorithm 1 re-splits and
+    // re-mines per repetition to recover patterns lost at partition
+    // boundaries, so its wall scales with the repetition count.
+    let mine_partition = || {
+        mine_single_graph(
+            &g,
+            10,
+            2,
+            Strategy::BreadthFirst,
+            42,
+            &exec,
+            |t, e| match mine_with(t, &fsg_cfg, e) {
+                Ok(out) => out
+                    .patterns
+                    .into_iter()
+                    .map(|p| (p.graph, p.support))
+                    .collect(),
+                Err(_) => Vec::new(),
+            },
+        )
+    };
+    let tp = bench(&format!("pvn/{name}/partition"), samples, mine_partition);
+    let part = mine_partition();
+    let nbhd_cfg = NbhdConfig::default()
+        .with_radius(1)
+        .with_support(Support::Count(4))
+        .with_max_edges(3);
+    let tn = bench(&format!("pvn/{name}/neighborhood"), samples, || {
+        mine_neighborhoods(&g, &nbhd_cfg, &exec).unwrap()
+    });
+    let nb = mine_neighborhoods(&g, &nbhd_cfg, &exec).unwrap();
+    // Patterns only the neighborhood miner surfaces. The two support
+    // definitions differ, so this mixes genuine partition-boundary
+    // losses with definitional gaps — reported as one recall-flavored
+    // number, not gated.
+    let neighborhood_only = nb
+        .patterns
+        .iter()
+        .filter(|np| {
+            !part
+                .iter()
+                .any(|pp| tnet_graph::iso::are_isomorphic(&pp.pattern, &np.graph))
+        })
+        .count();
+    Json::obj([
+        ("workload", Json::Str(name.into())),
+        ("scale_factor", Json::Num(scale / 0.015)),
+        ("vertices", Json::Num(g.vertex_count() as f64)),
+        ("edges", Json::Num(g.edge_count() as f64)),
+        ("wall_ms_partition", Json::Num(tp.best_ms())),
+        ("wall_ms_neighborhood", Json::Num(tn.best_ms())),
+        (
+            "partition_over_neighborhood",
+            Json::Num(tp.best_ms() / tn.best_ms().max(1e-9)),
+        ),
+        ("patterns_partition", Json::Num(part.len() as f64)),
+        ("patterns_neighborhood", Json::Num(nb.patterns.len() as f64)),
+        (
+            "patterns_neighborhood_only",
+            Json::Num(neighborhood_only as f64),
+        ),
+        ("nbhd_centers", Json::Num(nb.stats.centers as f64)),
+        ("nbhd_iso_tests", Json::Num(nb.stats.iso_tests as f64)),
+        (
+            "nbhd_fingerprint_rejects",
+            Json::Num(nb.stats.fingerprint_rejects as f64),
+        ),
+        ("nbhd_soa_bytes", Json::Num(nb.stats.soa_bytes as f64)),
+    ])
+}
+
 /// One extra, untimed pass over every miner with a live tracer and
 /// registry attached: the per-phase wall breakdown and the unified
 /// counter namespace embedded in the report as a `tnet-trace/v1` block.
@@ -515,6 +609,43 @@ fn validate(path: &str) -> Result<(), String> {
                     are never populated on the bench workload"
             .into());
     }
+    // Partition-vs-neighborhood head-to-head: the block must be
+    // present, every row's neighborhood run must have completed (live
+    // centers, recorded wall), and a full (non-smoke) report must carry
+    // the ≥10× scaled row.
+    let pvn = match doc.get("partition_vs_neighborhood") {
+        Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+        Some(Json::Arr(_)) => return Err("partition_vs_neighborhood block is empty".into()),
+        _ => return Err("report has no 'partition_vs_neighborhood' block".into()),
+    };
+    let mut max_scale = 0.0f64;
+    for row in pvn {
+        let centers = num(row, "nbhd_centers")
+            .map_err(|_| "partition_vs_neighborhood row missing 'nbhd_centers'".to_string())?;
+        if centers <= 0.0 {
+            return Err("partition_vs_neighborhood row has nbhd_centers = 0 — the \
+                        neighborhood miner never enumerated a center"
+                .into());
+        }
+        let wall = num(row, "wall_ms_neighborhood").map_err(|_| {
+            "partition_vs_neighborhood row missing 'wall_ms_neighborhood'".to_string()
+        })?;
+        if wall <= 0.0 {
+            return Err(
+                "partition_vs_neighborhood row has wall_ms_neighborhood = 0 — \
+                        the neighborhood run did not complete"
+                    .into(),
+            );
+        }
+        max_scale = max_scale.max(num(row, "scale_factor").unwrap_or(0.0));
+    }
+    let is_smoke = matches!(doc.get("smoke"), Some(Json::Bool(true)));
+    if !is_smoke && max_scale < 10.0 {
+        return Err(format!(
+            "full report's partition_vs_neighborhood block has no ≥10× scaled row \
+             (max scale_factor {max_scale:.1})"
+        ));
+    }
     // Fingerprint reject-rate sanity: every FSG row must report the
     // counter, and the dense large_txn workload (present in non-smoke
     // reports) must actually reject something from the scratch path.
@@ -585,6 +716,19 @@ fn main() -> ExitCode {
     }
     let gspan_rows = vec![gspan_row("default", &default_txns, 4, 4, samples)];
     let support_count = support_count_row("default", &default_txns, 4, 4, samples);
+    let mut pvn_rows = vec![partition_vs_neighborhood_row(
+        "base", 0.015, opts.seed, samples,
+    )];
+    if !opts.smoke {
+        // The ≥10× scaled OD graph: the regime where partitioning's
+        // per-transaction replication stops being viable.
+        pvn_rows.push(partition_vs_neighborhood_row(
+            "scaled_10x",
+            0.15,
+            opts.seed,
+            samples,
+        ));
+    }
     let subdue_vertices = if opts.smoke { 25 } else { 50 };
     let subdue_rows = vec![subdue_row(0.015, opts.seed, subdue_vertices, samples)];
 
@@ -608,6 +752,7 @@ fn main() -> ExitCode {
         ("smoke", Json::Bool(opts.smoke)),
         ("trace", trace),
         ("support_count", support_count),
+        ("partition_vs_neighborhood", Json::Arr(pvn_rows)),
         ("disabled_span_ns_per_op", Json::Num(disabled_ns)),
         (
             "miners",

@@ -10,6 +10,7 @@ pub mod serve;
 pub mod stats;
 pub mod subdue;
 pub mod temporal;
+pub mod trace;
 
 use crate::args::ArgError;
 use crate::error::CliError;

@@ -32,9 +32,13 @@ COMMANDS:
               --scale F --seed N --out PATH
     stats     dataset description (Sec 3 statistics)
               --input CSV | --scale F --seed N
-    mine      frequent patterns via partition + FSG (Algorithm 1)
-              --labeling gw|th|td --strategy bf|df --partitions N
-              --support N --max-edges N --reps N --top N --maximal true
+    mine      frequent patterns on the OD graph
+              --mode partition (Algorithm 1: partition + FSG, default)
+                --strategy bf|df --partitions N --reps N
+              --mode neighborhood (r-hop neighborhood miner, no partitioning)
+                --radius N
+              --labeling gw|th|td --support N --max-edges N
+              --top N --maximal true
     subdue    SUBDUE substructure discovery on a truncated OD graph
               --labeling gw|th|td --vertices N --eval mdl|size
               --beam N --best N --max-size N --passes N
@@ -48,6 +52,8 @@ COMMANDS:
     serve     long-lived pattern-mining daemon (JSON lines over TCP)
               --port N --port-file PATH --publish-interval-ms N
               --batch N --cache N --shutdown-on-stdin-eof true|false
+    trace     summarize a tnet-trace/v1 JSON file (from --trace-json)
+              --input PATH
     help      this message
 
 mine, subdue, temporal and report also take --threads N to size the
@@ -95,6 +101,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "lanes" => commands::lanes::run(&args),
         "report" => commands::report::run(&args),
         "serve" => commands::serve::run(&args),
+        "trace" => commands::trace::run(&args),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -192,6 +199,77 @@ mod tests {
         };
         assert!(metrics.contains_key("fsg.iso_tests"), "{metrics:?}");
         assert!(metrics.contains_key("exec.tasks"), "{metrics:?}");
+    }
+
+    /// Regression for the trace-summary path: a truncated or
+    /// hand-edited trace file must surface as a one-line runtime error
+    /// (exit 1), never a panic from unwrapping `nanos` and friends.
+    #[test]
+    fn malformed_trace_json_is_a_one_line_runtime_error() {
+        let dir = std::env::temp_dir();
+        let cases: &[(&str, &str, &str)] = &[
+            // Truncated mid-document (a crashed writer).
+            (
+                "tnet_test_trace_truncated.json",
+                r#"{"schema": "tnet-trace/v1", "root": {"label": "mine", "na"#,
+                "malformed trace JSON",
+            ),
+            // Hand-edited: nanos replaced by a string.
+            (
+                "tnet_test_trace_bad_nanos.json",
+                r#"{"schema": "tnet-trace/v1", "metrics": {},
+                    "root": {"label": "mine", "nanos": "fast", "count": 1, "children": []}}"#,
+                "'nanos' is not a non-negative integer",
+            ),
+            // Hand-edited: a child span lost its label.
+            (
+                "tnet_test_trace_bad_child.json",
+                r#"{"schema": "tnet-trace/v1", "metrics": {"exec.tasks": 4},
+                    "root": {"label": "mine", "nanos": 5, "count": 1,
+                             "children": [{"nanos": 2, "count": 1, "children": []}]}}"#,
+                "children[0]: missing 'label' string",
+            ),
+            // Wrong schema tag entirely.
+            (
+                "tnet_test_trace_bad_schema.json",
+                r#"{"schema": "not-a-trace", "metrics": {}, "root": {}}"#,
+                "unexpected schema",
+            ),
+        ];
+        for (name, text, want) in cases {
+            let path = dir.join(name);
+            std::fs::write(&path, text).unwrap();
+            let e = run(&argv(&format!("trace --input {}", path.display()))).unwrap_err();
+            let _ = std::fs::remove_file(&path);
+            assert_eq!(e.exit_code(), 1, "{name}: runtime, not usage: {e}");
+            let msg = e.to_string();
+            assert!(!msg.contains('\n'), "{name}: one stderr line: {msg:?}");
+            assert!(msg.contains(want), "{name}: {msg}");
+        }
+        // Missing file is also a runtime error; missing --input is usage.
+        let e = run(&argv("trace --input /nonexistent/trace.json")).unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+        let e = run(&argv("trace")).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    /// A trace written by `--trace-json` summarizes cleanly.
+    #[test]
+    fn trace_summarizes_a_real_trace_json() {
+        let path = std::env::temp_dir().join("tnet_test_trace_real.json");
+        let path_s = path.to_string_lossy().into_owned();
+        run(&argv(&format!(
+            "mine --scale 0.01 --partitions 4 --support 3 --max-edges 3 --reps 1 \
+             --trace-json {path_s}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let summary = commands::trace::summarize(&text).unwrap();
+        assert!(summary.contains("mine"), "{summary}");
+        assert!(summary.contains("--- metrics ---"), "{summary}");
+        assert!(summary.contains("fsg.iso_tests"), "{summary}");
+        assert!(summary.contains("total wall"), "{summary}");
     }
 
     #[test]

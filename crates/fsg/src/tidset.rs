@@ -17,20 +17,61 @@
 //! toggling [`crate::FsgConfig::tid_bitsets`] is output-invariant —
 //! pinned by the `prop`-gated differential tests.
 
+/// A TID outside the declared transaction universe was passed to
+/// [`TidBitset::try_from_sorted`]. Carries both sides of the violated
+/// bound so the failure is diagnosable at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TidOutOfUniverse {
+    /// The offending transaction id.
+    pub tid: u32,
+    /// The universe size it must be strictly below.
+    pub universe: usize,
+}
+
+impl std::fmt::Display for TidOutOfUniverse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TID {} out of universe (expected < {})",
+            self.tid, self.universe
+        )
+    }
+}
+
+impl std::error::Error for TidOutOfUniverse {}
+
 /// Fixed-universe TID bitset: bit `t` of `words[t / 64]` is transaction
 /// `t`'s membership.
+#[derive(Debug)]
 pub struct TidBitset {
     words: Vec<u64>,
 }
 
 impl TidBitset {
     /// Builds the bitset of `tids` over a `universe`-transaction set.
+    ///
+    /// Caller contract: every TID must be `< universe`. The miner
+    /// upholds this by construction — TID lists index the transaction
+    /// slice whose length is the universe — so violations are logic
+    /// bugs, reported as a panic that names the offending TID and the
+    /// bound (not an uncontextualized slice-index panic).
     pub fn from_sorted(tids: &[u32], universe: usize) -> TidBitset {
+        Self::try_from_sorted(tids, universe)
+            .unwrap_or_else(|e| panic!("TidBitset::from_sorted: {e}"))
+    }
+
+    /// As [`TidBitset::from_sorted`], surfacing an out-of-universe TID
+    /// as a typed error instead of panicking — for callers building
+    /// bitsets from data they did not derive themselves.
+    pub fn try_from_sorted(tids: &[u32], universe: usize) -> Result<TidBitset, TidOutOfUniverse> {
         let mut words = vec![0u64; universe.div_ceil(64)];
         for &t in tids {
+            if (t as usize) >= universe {
+                return Err(TidOutOfUniverse { tid: t, universe });
+            }
             words[t as usize / 64] |= 1u64 << (t % 64);
         }
-        TidBitset { words }
+        Ok(TidBitset { words })
     }
 
     /// The backing words, low TIDs first.
@@ -119,6 +160,38 @@ mod tests {
                 "universe={universe}"
             );
         }
+    }
+
+    /// Regression: an out-of-universe TID used to be an
+    /// uncontextualized slice-index panic (or, for TIDs inside the last
+    /// word, a silently-set ghost bit beyond the universe). Now it is a
+    /// typed error naming both sides of the violated bound.
+    #[test]
+    fn out_of_universe_tid_is_a_typed_error() {
+        let err = TidBitset::try_from_sorted(&[0, 3, 200], 100).unwrap_err();
+        assert_eq!(
+            err,
+            TidOutOfUniverse {
+                tid: 200,
+                universe: 100
+            }
+        );
+        assert_eq!(err.to_string(), "TID 200 out of universe (expected < 100)");
+        // In-word but out-of-universe (universe 5 → one word, TID 7
+        // fits the word): rejected, never a ghost bit.
+        let err = TidBitset::try_from_sorted(&[7], 5).unwrap_err();
+        assert_eq!(err.tid, 7);
+        // Valid inputs still round-trip.
+        let ok = TidBitset::try_from_sorted(&[0, 3, 99], 100).unwrap();
+        assert_eq!(materialize(ok.words()), vec![0, 3, 99]);
+    }
+
+    /// The infallible constructor upholds the documented contract with
+    /// a contextual panic, not a bare index-out-of-bounds.
+    #[test]
+    #[should_panic(expected = "TID 200 out of universe (expected < 100)")]
+    fn from_sorted_panics_with_context() {
+        let _ = TidBitset::from_sorted(&[200], 100);
     }
 
     /// Pins the density crossover: one TID per 64-transaction word.

@@ -104,16 +104,18 @@ pub fn plant_patterns(
     let mut g = Graph::new();
     for pat in patterns {
         for _ in 0..copies {
-            // Disjoint copy of the pattern.
-            let mut vmap: Vec<(VertexId, VertexId)> = Vec::new();
+            // Disjoint copy of the pattern. The vertex remap is a dense
+            // index-addressed table: arena ids are small stable
+            // integers, and a per-edge linear scan would make planting
+            // quadratic in pattern size on scaled workloads.
+            let max_idx = pat.vertices().map(|v| v.index()).max().unwrap_or(0);
+            let mut vmap: Vec<VertexId> = vec![VertexId(u32::MAX); max_idx + 1];
             for v in pat.vertices() {
-                let nv = g.add_vertex(pat.vertex_label(v));
-                vmap.push((v, nv));
+                vmap[v.index()] = g.add_vertex(pat.vertex_label(v));
             }
-            let lookup = |v: VertexId| vmap.iter().find(|(o, _)| *o == v).unwrap().1;
             for e in pat.edges() {
                 let (s, d, l) = pat.edge(e);
-                g.add_edge(lookup(s), lookup(d), l);
+                g.add_edge(vmap[s.index()], vmap[d.index()], l);
             }
         }
     }
@@ -253,6 +255,58 @@ mod tests {
         for p in &pats {
             assert!(has_embedding(p, &planted.graph));
             assert!(count_disjoint(p, &planted.graph) >= 5);
+        }
+    }
+
+    /// The dense index-addressed vertex remap must reproduce the
+    /// pre-optimization linear-scan (`vmap.iter().find`) remap byte for
+    /// byte on the calibrated planted workload: same vertex ids, same
+    /// edge insertion order, same noise draws.
+    #[test]
+    fn plant_patterns_matches_linear_scan_reference() {
+        let pats = vec![
+            shapes::hub_and_spoke(3, 0, 1),
+            shapes::chain(4, 0, 2),
+            shapes::cycle(3, 0, 3),
+        ];
+        let (copies, noise, noise_labels, seed) = (50, 40, 2u32, 11u64);
+        let fast = plant_patterns(&pats, copies, noise, noise_labels, seed);
+
+        // Reference: the old quadratic implementation, verbatim.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Graph::new();
+        for pat in &pats {
+            for _ in 0..copies {
+                let mut vmap: Vec<(VertexId, VertexId)> = Vec::new();
+                for v in pat.vertices() {
+                    let nv = g.add_vertex(pat.vertex_label(v));
+                    vmap.push((v, nv));
+                }
+                let lookup = |v: VertexId| vmap.iter().find(|(o, _)| *o == v).unwrap().1;
+                for e in pat.edges() {
+                    let (s, d, l) = pat.edge(e);
+                    g.add_edge(lookup(s), lookup(d), l);
+                }
+            }
+        }
+        let vs: Vec<VertexId> = g.vertices().collect();
+        for _ in 0..noise {
+            let s = vs[rng.gen_range(0..vs.len())];
+            let mut d = vs[rng.gen_range(0..vs.len())];
+            while d == s {
+                d = vs[rng.gen_range(0..vs.len())];
+            }
+            g.add_edge(s, d, ELabel(rng.gen_range(0..noise_labels)));
+        }
+
+        assert_eq!(fast.graph.vertex_count(), g.vertex_count());
+        assert_eq!(fast.graph.edge_count(), g.edge_count());
+        let fa: Vec<_> = fast.graph.edges().map(|e| fast.graph.edge(e)).collect();
+        let fb: Vec<_> = g.edges().map(|e| g.edge(e)).collect();
+        assert_eq!(fa, fb);
+        for (a, b) in fast.graph.vertices().zip(g.vertices()) {
+            assert_eq!(a, b);
+            assert_eq!(fast.graph.vertex_label(a), g.vertex_label(b));
         }
     }
 

@@ -18,6 +18,14 @@ use std::sync::{Arc, Mutex};
 
 /// Shared named-counter registry. Cheap to clone; all clones observe the
 /// same counters.
+///
+/// Poisoning: the report supervisor runs sections under `catch_unwind`,
+/// so a section that panics while folding counters (e.g. via a panic
+/// failpoint) poisons this mutex but leaves the map itself consistent —
+/// every mutation is a single `BTreeMap` call with no invariant spanning
+/// the unlock. All lock sites therefore recover the guard from a
+/// poisoned mutex instead of propagating the panic into every later
+/// section's counter flush.
 #[derive(Clone, Default)]
 pub struct MetricsRegistry {
     inner: Arc<Mutex<BTreeMap<String, u64>>>,
@@ -28,9 +36,14 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Locks the counter map, recovering from poisoning (see type docs).
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, u64>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Adds `delta` to the counter `name` (registering it at zero first).
     pub fn add(&self, name: &str, delta: u64) {
-        let mut m = self.inner.lock().unwrap();
+        let mut m = self.lock();
         match m.get_mut(name) {
             Some(v) => *v = v.saturating_add(delta),
             None => {
@@ -43,7 +56,7 @@ impl MetricsRegistry {
     /// `value`. For peaks (`fsg.peak_candidate_bytes`, `gspan.max_depth`)
     /// where summing runs would be meaningless.
     pub fn record_max(&self, name: &str, value: u64) {
-        let mut m = self.inner.lock().unwrap();
+        let mut m = self.lock();
         match m.get_mut(name) {
             Some(v) => *v = (*v).max(value),
             None => {
@@ -54,13 +67,13 @@ impl MetricsRegistry {
 
     /// Current value of one counter (0 when absent).
     pub fn get(&self, name: &str) -> u64 {
-        self.inner.lock().unwrap().get(name).copied().unwrap_or(0)
+        self.lock().get(name).copied().unwrap_or(0)
     }
 
     /// Copies out all counters, sorted by name (BTreeMap order) — the
     /// deterministic export surface for JSON and text reports.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.inner.lock().unwrap().clone()
+        self.lock().clone()
     }
 
     /// Renders `name  value` lines, aligned, sorted by name.
@@ -114,6 +127,30 @@ mod tests {
         m.add("x", u64::MAX - 1);
         m.add("x", 5);
         assert_eq!(m.get("x"), u64::MAX);
+    }
+
+    /// Regression: a supervised section that panics while holding the
+    /// metrics mutex (the `catch_unwind` report path) used to poison it
+    /// and crash every later section's counter flush with
+    /// `PoisonError`. All operations must keep working afterwards.
+    #[test]
+    fn survives_mutex_poisoned_by_panicking_holder() {
+        let m = MetricsRegistry::new();
+        m.add("exec.tasks", 1);
+        let m2 = m.clone();
+        let panicked = std::thread::spawn(move || {
+            let _guard = m2.inner.lock().unwrap();
+            panic!("section panic while holding the metrics lock");
+        })
+        .join();
+        assert!(panicked.is_err(), "holder thread must have panicked");
+        assert!(m.inner.is_poisoned());
+        // Every later "section" still flushes and reads counters.
+        m.add("exec.tasks", 2);
+        m.record_max("fsg.peak_candidate_bytes", 7);
+        assert_eq!(m.get("exec.tasks"), 3);
+        assert_eq!(m.snapshot().get("fsg.peak_candidate_bytes"), Some(&7));
+        assert!(m.render().contains("exec.tasks"));
     }
 
     #[test]

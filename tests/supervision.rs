@@ -122,6 +122,30 @@ fn injected_panic_is_isolated_to_the_subdue_sections() {
     assert!(out.text.contains("sections: 9 ok, 0 degraded, 3 failed\n"));
 }
 
+/// Regression for the metrics registry after a caught panic: later
+/// sections' counter flushes (`record_into` → `MetricsRegistry::add`)
+/// must keep working, and the registry must stay readable, even though
+/// a supervised section panicked mid-run. With a poison-propagating
+/// registry this test dies in the first post-panic flush.
+#[test]
+fn counter_flushes_survive_a_panicked_section() {
+    let _g = ArmGuard::arm("subdue::beam_eval=panic");
+    let p = report_pipeline();
+    let exec = Exec::new(4);
+    let out = p.full_report_supervised(SCALE, 42, &exec, &SupervisorConfig::default());
+    assert_eq!(out.failed, 3, "summary: {}", out.text);
+    // Sections after the panicking ones flushed their counters: the
+    // miners that ran post-panic recorded work into the shared registry.
+    let snap = exec.metrics().snapshot();
+    assert!(
+        snap.keys().any(|k| k.starts_with("fsg.")),
+        "post-panic FSG sections flushed no counters: {snap:?}"
+    );
+    // And the registry still accepts writes and reads.
+    exec.metrics().add("test.after_panic", 1);
+    assert_eq!(exec.metrics().get("test.after_panic"), 1);
+}
+
 #[test]
 fn injected_fsg_error_fails_the_temporal_section() {
     let _g = ArmGuard::arm("fsg::candidate_gen=err");
