@@ -70,7 +70,7 @@ rm -f /tmp/tnet_ci_fault.csv /tmp/tnet_ci_fault.err \
 # Unarmed control: full success and a clean summary.
 echo "-- unarmed control"
 out=$("$TNET" "${REPORT_ARGS[@]}")
-grep -q '^sections: 12 ok, 0 degraded, 0 failed$' <<<"$out"
+grep -q '^sections: 13 ok, 0 degraded, 0 failed$' <<<"$out"
 
 echo "== frozen-vs-arena differential: miners agree across representations"
 # FSG, gSpan, and SUBDUE mined through the frozen-CSR snapshot must match
@@ -140,6 +140,50 @@ rm -f "$NBHD_TRACE" /tmp/tnet_ci_nbhd.out /tmp/tnet_ci_nbhd_t1.out \
     /tmp/tnet_ci_nbhd_t2.out /tmp/tnet_ci_nbhd_t8.out \
     /tmp/tnet_ci_nbhd_sum.out /tmp/tnet_ci_nbhd_trunc.json \
     /tmp/tnet_ci_nbhd_trunc.err
+
+echo "== temporal smoke: sliding windows, incremental ≡ full, flow patterns"
+# A sliding day-granularity session run: the session summary and flow
+# report print, and the incremental path's pattern output (per-window
+# counts, merged top-N) is byte-identical to full per-window re-mining.
+# The diff runs without --verbose: work counters (iso tests, embeddings)
+# legitimately differ between the two counting paths; patterns must not.
+TEMPORAL_ARGS=(temporal --scale 0.01 --granularity day --window 3 \
+    --slide 1 --support 3 --max-edges 2)
+"$TNET" "${TEMPORAL_ARGS[@]}" --flow true --incremental true \
+    > /tmp/tnet_ci_temporal_inc.out 2>/dev/null
+grep -q '^session: .* incremental' /tmp/tnet_ci_temporal_inc.out
+grep -q '^flow patterns:' /tmp/tnet_ci_temporal_inc.out
+grep -q '^planted structure surfaced at day granularity:' \
+    /tmp/tnet_ci_temporal_inc.out
+"$TNET" "${TEMPORAL_ARGS[@]}" --flow true --incremental false \
+    > /tmp/tnet_ci_temporal_full.out 2>/dev/null
+# Only the mode header and session lines may differ between the paths.
+diff <(grep -vE '^session|mode\)$' /tmp/tnet_ci_temporal_inc.out) \
+     <(grep -vE '^session|mode\)$' /tmp/tnet_ci_temporal_full.out)
+# ...and the incremental output is thread-invariant.
+"$TNET" "${TEMPORAL_ARGS[@]}" --threads 8 \
+    > /tmp/tnet_ci_temporal_t8.out 2>/dev/null
+diff <(grep -v '^flow\|^planted\|^  flow\|^  cycle' \
+        /tmp/tnet_ci_temporal_inc.out) /tmp/tnet_ci_temporal_t8.out
+# Inverted dates (delivery before pickup) are a typed error: one stderr
+# line, exit 1, never a panic. CSV ingest catches this case first; the
+# partition-layer TemporalError covers non-CSV paths (unit-tested).
+"$TNET" gen --scale 0.005 --seed 42 --out /tmp/tnet_ci_temporal.csv \
+    >/dev/null
+head -n 1 /tmp/tnet_ci_temporal.csv > /tmp/tnet_ci_temporal_bad.csv
+echo '1,5,1,44.5,-88.0,41.9,-87.6,200,30000,8,TL' \
+    >> /tmp/tnet_ci_temporal_bad.csv
+set +e
+"$TNET" temporal --input /tmp/tnet_ci_temporal_bad.csv --granularity day \
+    > /dev/null 2> /tmp/tnet_ci_temporal_bad.err
+code=$?
+set -e
+test "$code" -eq 1
+test "$(wc -l < /tmp/tnet_ci_temporal_bad.err)" -eq 1
+grep -q 'precedes requested pickup' /tmp/tnet_ci_temporal_bad.err
+rm -f /tmp/tnet_ci_temporal_inc.out /tmp/tnet_ci_temporal_full.out \
+    /tmp/tnet_ci_temporal_t8.out /tmp/tnet_ci_temporal.csv \
+    /tmp/tnet_ci_temporal_bad.csv /tmp/tnet_ci_temporal_bad.err
 
 echo "== bench smoke: miner report emits valid JSON, iso_tests under gate"
 # The smoke run times all three miners once, writes the report, and exits

@@ -17,10 +17,13 @@ fn main() {
     let scheme = BinScheme::fit_width_transactions(txns).expect("binning fits");
 
     bench("fsg_temporal/partition_table2", 3, || {
-        temporal_partition(txns, &scheme, &TemporalOptions::default()).len()
+        temporal_partition(txns, &scheme, &TemporalOptions::default())
+            .expect("valid dates")
+            .len()
     });
 
-    let transactions = temporal_partition(txns, &scheme, &TemporalOptions::default());
+    let transactions =
+        temporal_partition(txns, &scheme, &TemporalOptions::default()).expect("valid dates");
     let filtered = filter_by_vertex_labels(transactions.clone(), 12);
     let cfg_ok = FsgConfig::default()
         .with_support(Support::Fraction(0.05))

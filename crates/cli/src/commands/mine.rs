@@ -6,7 +6,6 @@ use crate::args::{ArgError, Args};
 use crate::commands::{load_transactions, obs_context, parse_labeling};
 use crate::error::CliError;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use tnet_core::patterns::{classify, interestingness};
 use tnet_data::binning::BinScheme;
 use tnet_data::od_graph::{build_od_graph, VertexLabeling};
 use tnet_fsg::{mine_with, FsgConfig, NbhdConfig, Support};
@@ -89,7 +88,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     // Frozen-graph counters are process-global; the delta around the
     // mining call isolates this command's freezes and CSR lookups.
     let frozen_before = FrozenStats::snapshot();
-    let mut patterns: Vec<SingleGraphPattern> = if mode == "neighborhood" {
+    let patterns: Vec<SingleGraphPattern> = if mode == "neighborhood" {
         let cfg = NbhdConfig::default()
             .with_radius(radius)
             .with_support(Support::Count(support))
@@ -210,50 +209,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             frozen_delta.adj_binary_searches,
         );
     }
-    if maximal {
-        // Keep only patterns not embedded in another mined pattern.
-        let graphs: Vec<_> = patterns.iter().map(|p| p.pattern.clone()).collect();
-        patterns = patterns
-            .into_iter()
-            .enumerate()
-            .filter(|(i, p)| {
-                !graphs.iter().enumerate().any(|(j, q)| {
-                    j != *i
-                        && q.edge_count() > p.pattern.edge_count()
-                        && tnet_graph::iso::has_embedding(&p.pattern, q)
-                })
-            })
-            .map(|(_, p)| p)
-            .collect();
-        println!("{} after maximal filtering", patterns.len());
-    }
-    patterns.sort_by(|a, b| {
-        interestingness(&b.pattern, b.support)
-            .total()
-            .total_cmp(&interestingness(&a.pattern, a.support).total())
-    });
-    println!("top {top} by interestingness:");
-    for p in patterns.iter().take(top) {
-        println!(
-            "  support {:>5}  {} edges  {:<14} score {:.0}",
-            p.support,
-            p.pattern.edge_count(),
-            classify(&p.pattern).name(),
-            interestingness(&p.pattern, p.support).total()
-        );
-    }
-    // Optional Graphviz export of the top patterns.
-    if let Some(dir) = args.get("dot-dir") {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| CliError::Runtime(format!("cannot create {dir}: {e}")))?;
-        for (i, p) in patterns.iter().take(top).enumerate() {
-            let name = format!("pattern_{i:03}");
-            let path = std::path::Path::new(dir).join(format!("{name}.dot"));
-            std::fs::write(&path, tnet_graph::dot::to_dot(&p.pattern, &name))
-                .map_err(|e| CliError::Runtime(format!("cannot write {}: {e}", path.display())))?;
-        }
-        println!("wrote {} .dot files to {dir}", patterns.len().min(top));
-    }
+    crate::commands::report_patterns(patterns, maximal, top, args.get("dot-dir"))?;
     eprintln!("[exec] {} threads: {}", exec.threads(), exec.counters());
     drop(total);
     if let Some(o) = &obs {

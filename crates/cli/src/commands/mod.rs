@@ -97,6 +97,62 @@ pub fn load_transactions(args: &crate::args::Args) -> Result<Vec<Transaction>, C
     Ok(tnet_data::synth::generate(&cfg).transactions)
 }
 
+/// Shared tail of the mining commands (`mine`, windowed `temporal`):
+/// optional maximal filtering, interestingness ranking, the top-N
+/// table, and optional Graphviz export of the top patterns.
+pub fn report_patterns(
+    mut patterns: Vec<tnet_partition::single_graph::SingleGraphPattern>,
+    maximal: bool,
+    top: usize,
+    dot_dir: Option<&str>,
+) -> Result<(), CliError> {
+    use tnet_core::patterns::{classify, interestingness};
+    if maximal {
+        // Keep only patterns not embedded in another reported pattern.
+        let graphs: Vec<_> = patterns.iter().map(|p| p.pattern.clone()).collect();
+        patterns = patterns
+            .into_iter()
+            .enumerate()
+            .filter(|(i, p)| {
+                !graphs.iter().enumerate().any(|(j, q)| {
+                    j != *i
+                        && q.edge_count() > p.pattern.edge_count()
+                        && tnet_graph::iso::has_embedding(&p.pattern, q)
+                })
+            })
+            .map(|(_, p)| p)
+            .collect();
+        println!("{} after maximal filtering", patterns.len());
+    }
+    patterns.sort_by(|a, b| {
+        interestingness(&b.pattern, b.support)
+            .total()
+            .total_cmp(&interestingness(&a.pattern, a.support).total())
+    });
+    println!("top {top} by interestingness:");
+    for p in patterns.iter().take(top) {
+        println!(
+            "  support {:>5}  {} edges  {:<14} score {:.0}",
+            p.support,
+            p.pattern.edge_count(),
+            classify(&p.pattern).name(),
+            interestingness(&p.pattern, p.support).total()
+        );
+    }
+    if let Some(dir) = dot_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Runtime(format!("cannot create {dir}: {e}")))?;
+        for (i, p) in patterns.iter().take(top).enumerate() {
+            let name = format!("pattern_{i:03}");
+            let path = std::path::Path::new(dir).join(format!("{name}.dot"));
+            std::fs::write(&path, tnet_graph::dot::to_dot(&p.pattern, &name))
+                .map_err(|e| CliError::Runtime(format!("cannot write {}: {e}", path.display())))?;
+        }
+        println!("wrote {} .dot files to {dir}", patterns.len().min(top));
+    }
+    Ok(())
+}
+
 /// Parses an edge-labeling name (`gw` / `th` / `td`).
 pub fn parse_labeling(name: &str) -> Result<tnet_data::od_graph::EdgeLabeling, ArgError> {
     use tnet_data::od_graph::EdgeLabeling::*;

@@ -114,7 +114,7 @@ fn report_with_injected_panic_still_succeeds() {
         "missing failure notice:\n{stdout}"
     );
     assert!(
-        stdout.contains("sections: 11 ok, 0 degraded, 1 failed"),
+        stdout.contains("sections: 12 ok, 0 degraded, 1 failed"),
         "missing summary:\n{stdout}"
     );
 }

@@ -12,6 +12,7 @@ use tnet_data::binning::BinFitError;
 use tnet_data::csv::CsvError;
 use tnet_fsg::FsgError;
 use tnet_gspan::GspanError;
+use tnet_partition::TemporalError;
 use tnet_subdue::SubdueError;
 use tnet_tabular::EmError;
 
@@ -58,6 +59,10 @@ pub enum PipelineError {
     /// client should back off and retry, so this is the one serving
     /// error marked retryable.
     Overloaded { message: String },
+    /// Temporal partitioning rejected the transaction set at ingest
+    /// (inverted pickup/delivery dates, a date span over the bucketing
+    /// cap, or a degenerate window spec).
+    Temporal(TemporalError),
 }
 
 impl PipelineError {
@@ -96,6 +101,7 @@ impl PipelineError {
             PipelineError::Protocol { .. } => "protocol",
             PipelineError::Corruption { .. } => "corruption",
             PipelineError::Overloaded { .. } => "overloaded",
+            PipelineError::Temporal(_) => "temporal",
         }
     }
 
@@ -142,6 +148,7 @@ impl fmt::Display for PipelineError {
                 "corrupt durable state in {path} at byte {offset}: {message}"
             ),
             PipelineError::Overloaded { message } => write!(f, "overloaded: {message}"),
+            PipelineError::Temporal(e) => write!(f, "temporal partition: {e}"),
         }
     }
 }
@@ -157,6 +164,12 @@ impl From<CsvError> for PipelineError {
 impl From<BinFitError> for PipelineError {
     fn from(e: BinFitError) -> Self {
         PipelineError::BinFit(e)
+    }
+}
+
+impl From<TemporalError> for PipelineError {
+    fn from(e: TemporalError) -> Self {
+        PipelineError::Temporal(e)
     }
 }
 

@@ -324,6 +324,28 @@ impl Pipeline {
                     Ok(conventional::run_cluster(txns, 9, iterations, seed, c.exec)?.to_string())
                 }),
             ),
+            (
+                "E16: temporal windows and flow patterns",
+                Box::new(move |c: &SectionCtx| {
+                    // Degraded: §6.1's recovery again — raise support,
+                    // shrink the pattern cap.
+                    let (support, max_edges) = match c.effort {
+                        Effort::Normal => (Support::Count(5), 3),
+                        Effort::Degraded => (Support::Count(10), 2),
+                    };
+                    Ok(format!(
+                        "{}\n",
+                        temporal::run_windowed_flows(
+                            txns,
+                            self.dataset.as_ref(),
+                            support,
+                            max_edges,
+                            c.budget,
+                            c.exec,
+                        )?
+                    ))
+                }),
+            ),
         ];
         let outer = exec.threads().min(sections.len()).max(1);
         let inner = (exec.threads() / outer).max(1);

@@ -109,6 +109,10 @@ pub struct Dataset {
     pub planted_hub_pairs: Vec<(LatLon, LatLon)>,
     /// OD pairs that belong to planted chain routes.
     pub planted_chain_pairs: Vec<(LatLon, LatLon)>,
+    /// Planted circular (deadhead-return) routes: each entry is the
+    /// location sequence of one cycle, in shipping order. Drives the
+    /// flow-pattern recall checks in `tnet-temporal`.
+    pub planted_cycles: Vec<Vec<LatLon>>,
 }
 
 /// Regional mixture used to place locations. The Midwest/Northeast
@@ -158,9 +162,50 @@ fn sample_zipf(cum: &[f64], rng: &mut StdRng) -> usize {
     cum.partition_point(|&c| c < t).min(cum.len() - 1)
 }
 
+/// A rejected generator configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthConfigError {
+    /// A structural invariant on the counts failed; the message is the
+    /// violated constraint.
+    Constraint(&'static str),
+    /// `air_freight` shipments cannot exceed `transactions`.
+    AirFreightExceedsTransactions { air: usize, transactions: usize },
+    /// Air-freight shipments were requested but the OD pair set does not
+    /// contain the planted air lane `(0, 1)`.
+    AirPairMissing,
+}
+
+impl std::fmt::Display for SynthConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthConfigError::Constraint(msg) => write!(f, "{msg}"),
+            SynthConfigError::AirFreightExceedsTransactions { air, transactions } => write!(
+                f,
+                "air_freight ({air}) exceeds total transactions ({transactions})"
+            ),
+            SynthConfigError::AirPairMissing => {
+                write!(f, "air freight requested but the (0, 1) air lane is absent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthConfigError {}
+
 /// Generates the dataset for `cfg`. Deterministic for a given seed.
+///
+/// # Panics
+/// On an invalid configuration; [`try_generate`] is the non-panicking
+/// form.
 pub fn generate(cfg: &SynthConfig) -> Dataset {
-    validate_config(cfg);
+    try_generate(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Generates the dataset for `cfg`, rejecting invalid configurations
+/// with a typed error instead of panicking. Deterministic for a given
+/// seed.
+pub fn try_generate(cfg: &SynthConfig) -> Result<Dataset, SynthConfigError> {
+    validate_config(cfg)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // --- 1. Locations -----------------------------------------------------
@@ -203,6 +248,7 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
     let mut pair_set: HashSet<(usize, usize)> = HashSet::new();
     let mut planted_hub_pairs: Vec<(LatLon, LatLon)> = Vec::new();
     let mut planted_chain_pairs: Vec<(LatLon, LatLon)> = Vec::new();
+    let mut planted_cycles: Vec<Vec<LatLon>> = Vec::new();
     let mut periodic_pairs: HashSet<(usize, usize)> = HashSet::new();
     let push_pair =
         |s: usize, d: usize, pairs: &mut Vec<(usize, usize)>, set: &mut HashSet<(usize, usize)>| {
@@ -214,8 +260,10 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
             }
         };
 
-    // 3a. Air pair.
-    push_pair(0, 1, &mut pairs, &mut pair_set);
+    // 3a. Air pair — only when air-freight outliers will ship on it.
+    if cfg.air_freight > 0 {
+        push_pair(0, 1, &mut pairs, &mut pair_set);
+    }
 
     // 3b. Planted hub-and-spoke structures: an origin delivering to its
     // nearest destinations (a factory's delivery fan, Figure 2's shape).
@@ -265,13 +313,18 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
         for c in 0..n_cycles {
             let len = rng.gen_range(3..=5.min(overlap.len()));
             let start = (c * 29) % overlap.len();
+            let mut cycle: Vec<LatLon> = Vec::with_capacity(len);
             for k in 0..len {
                 let a = overlap[(start + k) % overlap.len()];
                 let b = overlap[(start + (k + 1) % len) % overlap.len()];
+                cycle.push(locs[a]);
                 if push_pair(a, b, &mut pairs, &mut pair_set) {
                     periodic_pairs.insert((a, b));
                 }
             }
+            // The cycle's lanes all exist (pushed now or earlier), so the
+            // structure is present in the data either way.
+            planted_cycles.push(cycle);
         }
     }
 
@@ -434,9 +487,15 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
         .map(|v| v.max(1))
         .collect();
     // The air pair's shipments are emitted separately as hand-crafted
-    // outliers; it must not consume regular volume.
-    let air_idx = pairs.iter().position(|&p| p == (0, 1)).unwrap();
-    volumes[air_idx] = 0;
+    // outliers; it must not consume regular volume. The pair is absent
+    // (by construction) when no air freight was requested.
+    let air_idx = pairs.iter().position(|&p| p == (0, 1));
+    if cfg.air_freight > 0 && air_idx.is_none() {
+        return Err(SynthConfigError::AirPairMissing);
+    }
+    if let Some(ai) = air_idx {
+        volumes[ai] = 0;
+    }
     // Exact total: trim or pad (never touching the air pair).
     loop {
         let total: usize = volumes.iter().sum();
@@ -444,7 +503,7 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
             std::cmp::Ordering::Equal => break,
             std::cmp::Ordering::Less => {
                 let i = rng.gen_range(0..volumes.len());
-                if i != air_idx {
+                if Some(i) != air_idx {
                     volumes[i] += 1;
                 }
             }
@@ -519,11 +578,12 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
         next_id += 1;
     }
 
-    Dataset {
+    Ok(Dataset {
         transactions: txns,
         planted_hub_pairs,
         planted_chain_pairs,
-    }
+        planted_cycles,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -617,19 +677,45 @@ fn make_txn(
     t
 }
 
-fn validate_config(cfg: &SynthConfig) {
-    assert!(cfg.locations >= 8, "need at least 8 locations");
-    assert!(cfg.origins >= 3 && cfg.origins <= cfg.locations);
-    assert!(cfg.destinations >= 3 && cfg.destinations <= cfg.locations);
-    assert!(
+fn validate_config(cfg: &SynthConfig) -> Result<(), SynthConfigError> {
+    let check = |ok: bool, msg: &'static str| {
+        if ok {
+            Ok(())
+        } else {
+            Err(SynthConfigError::Constraint(msg))
+        }
+    };
+    check(cfg.locations >= 8, "need at least 8 locations")?;
+    check(
+        cfg.origins >= 3 && cfg.origins <= cfg.locations,
+        "origins must be in 3..=locations",
+    )?;
+    check(
+        cfg.destinations >= 3 && cfg.destinations <= cfg.locations,
+        "destinations must be in 3..=locations",
+    )?;
+    check(
         cfg.origins + cfg.destinations >= cfg.locations,
-        "every location must play at least one role"
-    );
-    assert!(cfg.mega_hub_out < cfg.destinations);
-    assert!(cfg.mega_sink_in < cfg.origins);
-    assert!(cfg.od_pairs >= cfg.destinations.max(cfg.origins));
-    assert!(cfg.transactions > cfg.od_pairs, "need multi-shipment pairs");
-    assert!(cfg.days >= 14);
+        "every location must play at least one role",
+    )?;
+    check(
+        cfg.mega_hub_out < cfg.destinations,
+        "mega_hub_out too large",
+    )?;
+    check(cfg.mega_sink_in < cfg.origins, "mega_sink_in too large")?;
+    check(
+        cfg.od_pairs >= cfg.destinations.max(cfg.origins),
+        "od_pairs below role counts",
+    )?;
+    check(cfg.transactions > cfg.od_pairs, "need multi-shipment pairs")?;
+    check(cfg.days >= 14, "need at least 14 days")?;
+    if cfg.air_freight > cfg.transactions {
+        return Err(SynthConfigError::AirFreightExceedsTransactions {
+            air: cfg.air_freight,
+            transactions: cfg.transactions,
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -742,5 +828,52 @@ mod tests {
         let mut cfg = SynthConfig::scaled(0.02);
         cfg.transactions = cfg.od_pairs; // must exceed
         generate(&cfg);
+    }
+
+    #[test]
+    fn try_generate_returns_typed_errors() {
+        let mut cfg = SynthConfig::scaled(0.02);
+        cfg.transactions = cfg.od_pairs;
+        assert!(matches!(
+            try_generate(&cfg),
+            Err(SynthConfigError::Constraint("need multi-shipment pairs"))
+        ));
+        let mut cfg = SynthConfig::scaled(0.02);
+        cfg.air_freight = cfg.transactions + 1;
+        assert!(matches!(
+            try_generate(&cfg),
+            Err(SynthConfigError::AirFreightExceedsTransactions { .. })
+        ));
+    }
+
+    #[test]
+    fn air_free_config_generates_without_panic() {
+        // The air lane (0, 1) is omitted entirely when no air freight is
+        // requested; this used to hit `position(...).unwrap()`.
+        let mut cfg = SynthConfig::scaled(0.02);
+        cfg.air_freight = 0;
+        let ds = try_generate(&cfg).unwrap();
+        assert_eq!(ds.transactions.len(), cfg.transactions);
+        assert!(
+            !ds.transactions
+                .iter()
+                .any(|t| t.total_distance > 3_000.0 && t.transit_hours < 24.0),
+            "no air outliers should ship"
+        );
+    }
+
+    #[test]
+    fn planted_cycles_recorded_with_live_lanes() {
+        let cfg = SynthConfig::scaled(0.05);
+        let ds = generate(&cfg);
+        assert!(!ds.planted_cycles.is_empty());
+        let od: HashSet<(LatLon, LatLon)> = ds.transactions.iter().map(|t| t.od_pair()).collect();
+        for cycle in &ds.planted_cycles {
+            assert!(cycle.len() >= 3);
+            for k in 0..cycle.len() {
+                let lane = (cycle[k], cycle[(k + 1) % cycle.len()]);
+                assert!(od.contains(&lane), "cycle lane without shipments");
+            }
+        }
     }
 }

@@ -25,6 +25,7 @@ pub mod extend;
 pub mod maximal;
 pub mod miner;
 pub mod nbhd;
+pub mod session;
 pub mod tidset;
 pub mod types;
 
@@ -36,4 +37,5 @@ pub use nbhd::{
     mine_frozen, mine_neighborhoods, NbhdConfig, NbhdError, NbhdIndex, NbhdOutput, NbhdPattern,
     NbhdStats, NbhdView,
 };
+pub use session::{MineSession, SessionStats};
 pub use types::{FrequentPattern, FsgConfig, FsgError, FsgOutput, MiningStats, Support};

@@ -1,0 +1,132 @@
+//! Window-to-window transaction deltas over a shared frozen [`TxnSet`].
+//!
+//! Consecutive temporal windows over one frozen transaction universe are
+//! contiguous index ranges, so the change between them is two ranges:
+//! transactions **retired** (left the window) and **added** (entered
+//! it). The incremental mining session consumes this instead of
+//! re-freezing per window — the PR-6 deleted-edge overlay generalized
+//! from one graph to a transaction universe.
+
+use crate::frozen::TxnSet;
+
+/// The difference between consecutive windows `[prev_lo, prev_hi)` and
+/// `[lo, hi)` of one [`TxnSet`], with edge volumes for churn decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Previous window.
+    pub prev_lo: usize,
+    pub prev_hi: usize,
+    /// Current window.
+    pub lo: usize,
+    pub hi: usize,
+    /// Transactions retired from the front: `[prev_lo, min(lo, prev_hi))`.
+    pub retired_txns: usize,
+    /// Transactions added at the back: `[max(prev_hi, lo), hi)`.
+    pub added_txns: usize,
+    /// Packed edges in the retired range.
+    pub retired_edges: usize,
+    /// Packed edges in the added range.
+    pub added_edges: usize,
+}
+
+impl GraphDelta {
+    /// Computes the delta between a forward-sliding pair of windows.
+    /// Windows must move forward (`prev_lo <= lo` and `prev_hi <= hi`),
+    /// which is how a window driver emits them.
+    pub fn between(
+        set: &TxnSet,
+        (prev_lo, prev_hi): (usize, usize),
+        (lo, hi): (usize, usize),
+    ) -> GraphDelta {
+        assert!(prev_lo <= prev_hi && lo <= hi, "malformed window ranges");
+        assert!(prev_lo <= lo && prev_hi <= hi, "windows must move forward");
+        let retired_hi = lo.min(prev_hi);
+        let added_lo = prev_hi.max(lo);
+        GraphDelta {
+            prev_lo,
+            prev_hi,
+            lo,
+            hi,
+            retired_txns: retired_hi - prev_lo,
+            added_txns: hi - added_lo,
+            retired_edges: set.edge_count_in(prev_lo, retired_hi),
+            added_edges: set.edge_count_in(added_lo, hi),
+        }
+    }
+
+    /// The shared transaction range `[overlap_lo, overlap_hi)`; empty
+    /// when the windows are disjoint (tumbling).
+    pub fn overlap(&self) -> (usize, usize) {
+        let lo = self.lo.max(self.prev_lo);
+        let hi = self.hi.min(self.prev_hi);
+        (lo, hi.max(lo))
+    }
+
+    /// Changed transactions as a fraction of the current window size
+    /// (`retired + added` over `hi - lo`; 0 for an empty window). The
+    /// session's churn threshold compares against this.
+    pub fn churn(&self) -> f64 {
+        let size = self.hi - self.lo;
+        if size == 0 {
+            return 0.0;
+        }
+        (self.retired_txns + self.added_txns) as f64 / size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ELabel, Graph, VLabel};
+
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let vs: Vec<_> = (0..=n).map(|i| g.add_vertex(VLabel(i as u32))).collect();
+        for i in 0..n {
+            g.add_edge(vs[i], vs[i + 1], ELabel(0));
+        }
+        g
+    }
+
+    #[test]
+    fn sliding_delta_splits_ranges() {
+        // 6 transactions with 1..=6 edges.
+        let txns: Vec<Graph> = (1..=6).map(chain).collect();
+        let set = TxnSet::freeze(&txns);
+        let d = GraphDelta::between(&set, (0, 4), (2, 6));
+        assert_eq!(d.retired_txns, 2);
+        assert_eq!(d.added_txns, 2);
+        assert_eq!(d.retired_edges, 1 + 2);
+        assert_eq!(d.added_edges, 5 + 6);
+        assert_eq!(d.overlap(), (2, 4));
+        assert!((d.churn() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tumbling_delta_has_no_overlap() {
+        let txns: Vec<Graph> = (1..=6).map(chain).collect();
+        let set = TxnSet::freeze(&txns);
+        let d = GraphDelta::between(&set, (0, 3), (3, 6));
+        assert_eq!(d.retired_txns, 3);
+        assert_eq!(d.added_txns, 3);
+        let (olo, ohi) = d.overlap();
+        assert_eq!(olo, ohi);
+        assert!((d.churn() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slice_views_match_direct_views() {
+        use crate::view::{GraphView, TxnSource};
+        let txns: Vec<Graph> = (1..=5).map(chain).collect();
+        let set = TxnSet::freeze(&txns);
+        let slice = set.slice(1, 4);
+        assert_eq!(slice.txn_count(), 3);
+        for i in 0..3 {
+            let a = slice.txn(i);
+            let b = set.get(i + 1);
+            assert_eq!(a.edge_count(), b.edge_count());
+            assert_eq!(a.vertex_count(), b.vertex_count());
+        }
+        assert_eq!(set.edge_count_in(1, 4), 2 + 3 + 4);
+    }
+}

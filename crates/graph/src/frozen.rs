@@ -524,6 +524,66 @@ impl TxnSet {
     pub fn iter(&self) -> impl Iterator<Item = TxnRef<'_>> {
         (0..self.len()).map(|i| self.get(i))
     }
+
+    /// A [`TxnSource`] view of the contiguous transaction range
+    /// `lo..hi`, re-numbered from 0. Windows over a shared frozen set
+    /// mine through this without re-freezing.
+    pub fn slice(&self, lo: usize, hi: usize) -> TxnSlice<'_> {
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of range"
+        );
+        TxnSlice { set: self, lo, hi }
+    }
+
+    /// Total packed edges across transactions `lo..hi`.
+    pub fn edge_count_in(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi && hi <= self.len());
+        (self.e_off[hi] - self.e_off[lo]) as usize
+    }
+}
+
+/// A contiguous window `lo..hi` of a [`TxnSet`], itself a [`TxnSource`]
+/// with transactions re-numbered from 0. Copy-cheap: borrows the set's
+/// arenas.
+#[derive(Clone, Copy)]
+pub struct TxnSlice<'a> {
+    set: &'a TxnSet,
+    lo: usize,
+    hi: usize,
+}
+
+impl<'a> TxnSlice<'a> {
+    /// First transaction index of the window in the backing set.
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// One past the last transaction index in the backing set.
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+
+    /// The backing set.
+    pub fn set(&self) -> &'a TxnSet {
+        self.set
+    }
+}
+
+impl TxnSource for TxnSlice<'_> {
+    type View<'a>
+        = TxnRef<'a>
+    where
+        Self: 'a;
+
+    fn txn_count(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    fn txn(&self, i: usize) -> Self::View<'_> {
+        debug_assert!(i < self.hi - self.lo);
+        self.set.get(self.lo + i)
+    }
 }
 
 impl TxnSource for TxnSet {

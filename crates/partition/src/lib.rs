@@ -10,13 +10,16 @@
 //! * [`temporal`] — per-day active-edge partitioning with component
 //!   splitting, edge dedup, and size filtering (§6);
 //! * [`summary`] — transaction-set summaries in the exact shape of the
-//!   paper's Tables 2 and 3.
+//!   paper's Tables 2 and 3;
+//! * [`window`] — multi-granularity (hour/day/week) units and
+//!   tumbling/sliding windows over them (ROADMAP item 3).
 
 pub mod multilevel;
 pub mod single_graph;
 pub mod split;
 pub mod summary;
 pub mod temporal;
+pub mod window;
 
 pub use multilevel::{
     multilevel_partition, split_by_partition, split_graph_multilevel, MultilevelConfig,
@@ -25,4 +28,7 @@ pub use multilevel::{
 pub use single_graph::{mine_single_graph, SingleGraphPattern};
 pub use split::{split_graph, Strategy};
 pub use summary::{summarize_set, TransactionSetSummary};
-pub use temporal::{daily_graphs, filter_by_vertex_labels, temporal_partition, TemporalOptions};
+pub use temporal::{
+    daily_graphs, filter_by_vertex_labels, temporal_partition, TemporalError, TemporalOptions,
+};
+pub use window::{unit_partition, Granularity, UnitPartition, WindowSpec};

@@ -17,6 +17,82 @@ use tnet_data::model::{LatLon, Transaction};
 use tnet_graph::graph::{ELabel, Graph, VLabel, VertexId};
 use tnet_graph::traverse::split_components;
 
+/// Largest pickup-to-delivery span (in days) the bucketing pipeline will
+/// allocate for. One corrupted far-future delivery date would otherwise
+/// allocate a bucket per day of the gap; ~10 years comfortably covers any
+/// real shipment ledger.
+pub const MAX_SPAN_DAYS: u64 = 3_700;
+
+/// Ingest-time validation failure for the temporal pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TemporalError {
+    /// A transaction's requested delivery precedes its requested pickup.
+    /// Bucketing such a set used to underflow `last.day() - first.day()`
+    /// in unsigned arithmetic (debug panic / absurd allocation in
+    /// release).
+    InvertedDates { id: u64, pickup: u32, delivery: u32 },
+    /// The pickup-to-delivery span of the set exceeds [`MAX_SPAN_DAYS`]
+    /// — almost certainly a corrupted date, and allocating one bucket
+    /// per day of the gap would dominate memory.
+    SpanTooLarge { days: u64, cap: u64 },
+    /// A window specification was degenerate (zero width or slide).
+    BadWindow { width: usize, slide: usize },
+}
+
+impl std::fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemporalError::InvertedDates {
+                id,
+                pickup,
+                delivery,
+            } => write!(
+                f,
+                "transaction {id}: delivery day {delivery} precedes pickup day {pickup}"
+            ),
+            TemporalError::SpanTooLarge { days, cap } => write!(
+                f,
+                "transaction set spans {days} days, over the {cap}-day bucketing cap"
+            ),
+            TemporalError::BadWindow { width, slide } => write!(
+                f,
+                "window width {width} / slide {slide} must both be at least 1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+/// Validates every transaction's date pair and the overall span before
+/// any per-day (or per-unit) bucket allocation. Returns the day span.
+pub(crate) fn validate_dates(txns: &[Transaction]) -> Result<u64, TemporalError> {
+    let mut first = u32::MAX;
+    let mut last = 0u32;
+    for t in txns {
+        if t.req_delivery.day() < t.req_pickup.day() {
+            return Err(TemporalError::InvertedDates {
+                id: t.id,
+                pickup: t.req_pickup.day(),
+                delivery: t.req_delivery.day(),
+            });
+        }
+        first = first.min(t.req_pickup.day());
+        last = last.max(t.req_delivery.day());
+    }
+    if txns.is_empty() {
+        return Ok(0);
+    }
+    let days = (last - first) as u64 + 1;
+    if days > MAX_SPAN_DAYS {
+        return Err(TemporalError::SpanTooLarge {
+            days,
+            cap: MAX_SPAN_DAYS,
+        });
+    }
+    Ok(days)
+}
+
 /// Options for the §6 pipeline.
 #[derive(Clone, Debug)]
 pub struct TemporalOptions {
@@ -41,9 +117,15 @@ impl Default for TemporalOptions {
 
 /// The per-day graph transactions before the component/dedup pipeline —
 /// what Table 2 summarizes.
-pub fn daily_graphs(txns: &[Transaction], scheme: &BinScheme) -> Vec<Graph> {
+///
+/// # Errors
+/// [`TemporalError::InvertedDates`] when any transaction's delivery
+/// precedes its pickup; [`TemporalError::SpanTooLarge`] when the set
+/// spans more than [`MAX_SPAN_DAYS`] days.
+pub fn daily_graphs(txns: &[Transaction], scheme: &BinScheme) -> Result<Vec<Graph>, TemporalError> {
+    let span = validate_dates(txns)? as usize;
     if txns.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Global location -> label mapping so "the same edge ... may appear in
     // several graph transactions" with identical labels across days.
@@ -57,10 +139,10 @@ pub fn daily_graphs(txns: &[Transaction], scheme: &BinScheme) -> Vec<Graph> {
         })
     };
     let first = txns.iter().map(|t| t.req_pickup).min().unwrap();
-    let last = txns.iter().map(|t| t.req_delivery).max().unwrap();
 
     // Bucket transactions by active day to avoid a full scan per day.
-    let span = (last.day() - first.day() + 1) as usize;
+    // `validate_dates` already bounded the span and rejected inverted
+    // pairs, so the subtraction below cannot underflow.
     let mut by_day: Vec<Vec<&Transaction>> = vec![Vec::new(); span];
     for t in txns {
         for d in t.req_pickup.day()..=t.req_delivery.day() {
@@ -88,17 +170,12 @@ pub fn daily_graphs(txns: &[Transaction], scheme: &BinScheme) -> Vec<Graph> {
             out.push(g);
         }
     }
-    out
+    Ok(out)
 }
 
-/// Runs the full §6 pipeline: daily graphs → component split → edge dedup
-/// → minimum-size filter. Returns the FSG-ready transaction set.
-pub fn temporal_partition(
-    txns: &[Transaction],
-    scheme: &BinScheme,
-    opts: &TemporalOptions,
-) -> Vec<Graph> {
-    let mut graphs = daily_graphs(txns, scheme);
+/// Applies the post-bucketing §6 pipeline stages to a batch of graphs:
+/// component split → edge dedup → minimum-size filter.
+pub(crate) fn refine_graphs(mut graphs: Vec<Graph>, opts: &TemporalOptions) -> Vec<Graph> {
     if opts.split_components {
         graphs = graphs.iter().flat_map(split_components).collect();
     }
@@ -109,6 +186,19 @@ pub fn temporal_partition(
     }
     graphs.retain(|g| g.edge_count() >= opts.min_edges);
     graphs
+}
+
+/// Runs the full §6 pipeline: daily graphs → component split → edge dedup
+/// → minimum-size filter. Returns the FSG-ready transaction set.
+///
+/// # Errors
+/// As [`daily_graphs`].
+pub fn temporal_partition(
+    txns: &[Transaction],
+    scheme: &BinScheme,
+    opts: &TemporalOptions,
+) -> Result<Vec<Graph>, TemporalError> {
+    Ok(refine_graphs(daily_graphs(txns, scheme)?, opts))
 }
 
 /// Keeps only transactions whose distinct-vertex-label count is below
@@ -157,7 +247,7 @@ mod tests {
     fn active_window_spans_days() {
         // One shipment active days 2..=4 appears in three daily graphs.
         let txns = vec![txn(1, A, B, 2, 4, 30_000.0)];
-        let graphs = daily_graphs(&txns, &BinScheme::paper_defaults());
+        let graphs = daily_graphs(&txns, &BinScheme::paper_defaults()).unwrap();
         assert_eq!(graphs.len(), 3);
         for g in &graphs {
             assert_eq!(g.edge_count(), 1);
@@ -168,7 +258,7 @@ mod tests {
     #[test]
     fn location_labels_consistent_across_days() {
         let txns = vec![txn(1, A, B, 0, 0, 30_000.0), txn(2, A, C, 3, 3, 30_000.0)];
-        let graphs = daily_graphs(&txns, &BinScheme::paper_defaults());
+        let graphs = daily_graphs(&txns, &BinScheme::paper_defaults()).unwrap();
         assert_eq!(graphs.len(), 2);
         // A's label must be identical in both daily graphs.
         let label_a_day0 = {
@@ -196,7 +286,8 @@ mod tests {
             &txns,
             &BinScheme::paper_defaults(),
             &TemporalOptions::default(),
-        );
+        )
+        .unwrap();
         // Component {A,B,C} has 2 edges (kept); component {D,E} has 1
         // edge (dropped).
         assert_eq!(parts.len(), 1);
@@ -216,7 +307,8 @@ mod tests {
             &txns,
             &BinScheme::paper_defaults(),
             &TemporalOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].edge_count(), 2);
     }
@@ -231,7 +323,8 @@ mod tests {
             &txns,
             &BinScheme::paper_defaults(),
             &TemporalOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].edge_count(), 2);
     }
@@ -248,7 +341,8 @@ mod tests {
             &txns,
             &BinScheme::paper_defaults(),
             &TemporalOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(parts.len(), 2);
         let kept = filter_by_vertex_labels(parts, 3);
         assert!(kept.is_empty(), "both transactions have 3 distinct labels");
@@ -256,12 +350,56 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        assert!(daily_graphs(&[], &BinScheme::paper_defaults()).is_empty());
+        assert!(daily_graphs(&[], &BinScheme::paper_defaults())
+            .unwrap()
+            .is_empty());
         assert!(temporal_partition(
             &[],
             &BinScheme::paper_defaults(),
             &TemporalOptions::default()
         )
+        .unwrap()
         .is_empty());
+    }
+
+    #[test]
+    fn inverted_dates_rejected() {
+        // Every delivery precedes the first pickup: the old span
+        // computation underflowed `last.day() - first.day()`.
+        let txns = vec![
+            txn(1, A, B, 10, 3, 30_000.0),
+            txn(2, B, C, 12, 12, 30_000.0),
+        ];
+        let err = daily_graphs(&txns, &BinScheme::paper_defaults()).unwrap_err();
+        assert_eq!(
+            err,
+            TemporalError::InvertedDates {
+                id: 1,
+                pickup: 10,
+                delivery: 3
+            }
+        );
+        assert!(temporal_partition(
+            &txns,
+            &BinScheme::paper_defaults(),
+            &TemporalOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn far_future_delivery_capped() {
+        // One corrupted delivery date used to allocate a bucket per day
+        // of the gap; the span cap turns it into a typed error instead.
+        let txns = vec![
+            txn(1, A, B, 0, 1, 30_000.0),
+            txn(2, B, C, 2, 2_000_000, 30_000.0),
+        ];
+        let err = daily_graphs(&txns, &BinScheme::paper_defaults()).unwrap_err();
+        assert!(
+            matches!(err, TemporalError::SpanTooLarge { days, cap }
+                if days == 2_000_001 && cap == MAX_SPAN_DAYS),
+            "{err:?}"
+        );
     }
 }

@@ -1,0 +1,529 @@
+//! Flow-pattern detection across consecutive windows.
+//!
+//! After Kosyfaki et al. ("Flow Motifs in Interaction Networks" /
+//! spatio-temporal flow patterns): a *flow* is weight moving along a
+//! short path whose hops occur in consecutive time windows — freight
+//! arriving at a terminal in window `w` and leaving it in window
+//! `w + 1`. On top of the path flows, the detector reports the three
+//! structure families the synthetic generator plants:
+//!
+//! * **hub surges** — an origin whose windowed out-weight spikes far
+//!   above its own cross-window baseline (weekly-periodic planted hub
+//!   lanes surface at day granularity and vanish at week granularity);
+//! * **deadhead cycles** — 2- and 3-cycles whose legs complete within a
+//!   bounded run of consecutive windows (circular repositioning
+//!   routes);
+//! * **air-freight outliers** — the §7 anomaly rule: very long
+//!   distance covered in under a day.
+
+use std::collections::{HashMap, HashSet};
+use tnet_data::model::{LatLon, Transaction};
+use tnet_data::Dataset;
+use tnet_partition::WindowSpec;
+
+/// Detector thresholds. The defaults are tuned for the synthetic
+/// dataset family at any scale.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Heaviest OD edges kept per window when joining path flows.
+    pub top_edges_per_window: usize,
+    /// Minimum flow value (pounds) for a path flow to be reported.
+    pub min_flow_weight: f64,
+    /// Reported path flows are the top this-many by value.
+    pub max_flows: usize,
+    /// A window's out-weight must exceed `surge_factor x` the origin's
+    /// per-window baseline to count as a surge.
+    pub surge_factor: f64,
+    /// Cycle legs must complete within this many consecutive windows.
+    pub cycle_window_span: usize,
+    /// Longest cycle reported (the generator plants 3- to 5-cycles).
+    pub max_cycle_len: usize,
+    /// Nodes with more in-range out-neighbors than this are never used
+    /// as cycle hops — keeps the mega-hub from exploding the search.
+    pub cycle_max_degree: usize,
+    /// Air-freight outlier rule: distance above this ...
+    pub outlier_distance: f64,
+    /// ... covered in under this many transit hours.
+    pub outlier_hours: f64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig {
+            top_edges_per_window: 64,
+            min_flow_weight: 1.0,
+            max_flows: 50,
+            surge_factor: 3.0,
+            cycle_window_span: 3,
+            max_cycle_len: 5,
+            cycle_max_degree: 24,
+            outlier_distance: 3_000.0,
+            outlier_hours: 24.0,
+        }
+    }
+}
+
+/// Weight moving along a 2- or 3-hop path across consecutive windows.
+/// `value` is the bottleneck (minimum hop) weight.
+#[derive(Clone, Debug)]
+pub struct FlowPath {
+    /// `path.len() - 1` hops; hop `i` occurs in window `window_lo + i`.
+    pub path: Vec<LatLon>,
+    pub window_lo: usize,
+    pub value: f64,
+}
+
+/// An origin whose out-weight in one window spikes above its own
+/// cross-window baseline.
+#[derive(Clone, Debug)]
+pub struct HubSurge {
+    pub hub: LatLon,
+    pub window: usize,
+    pub out_weight: f64,
+    /// Mean per-window out-weight of this origin over the whole run.
+    pub baseline: f64,
+}
+
+/// A 2- or 3-cycle whose legs complete within a bounded window span.
+#[derive(Clone, Debug)]
+pub struct CycleEvent {
+    pub locs: Vec<LatLon>,
+    /// The window each leg occurred in (non-decreasing).
+    pub windows: Vec<usize>,
+}
+
+/// Everything [`detect_flows`] found.
+#[derive(Debug, Default)]
+pub struct FlowReport {
+    /// Number of windows examined.
+    pub windows: usize,
+    pub flows: Vec<FlowPath>,
+    pub surges: Vec<HubSurge>,
+    pub cycles: Vec<CycleEvent>,
+    /// Transaction ids matching the air-freight outlier rule.
+    pub outliers: Vec<u64>,
+}
+
+/// How many of the generator's planted structures the detector
+/// surfaced — the per-granularity recovery scorecard.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowAttribution {
+    /// Distinct planted hub origins / how many of them surged.
+    pub hubs_planted: usize,
+    pub hubs_surfaced: usize,
+    /// Planted circular routes / how many appear as cycle events.
+    pub cycles_planted: usize,
+    pub cycles_surfaced: usize,
+    /// Transactions matching the outlier rule / how many were reported.
+    pub outliers_planted: usize,
+    pub outliers_found: usize,
+}
+
+/// Runs the detector over `txns` windowed by `spec`. Each transaction
+/// is charged to the window(s) containing its **starting** unit (its
+/// pickup at the spec's granularity), so no weight is double-counted
+/// within one window sequence.
+pub fn detect_flows(txns: &[Transaction], spec: &WindowSpec, cfg: &FlowConfig) -> FlowReport {
+    let mut report = FlowReport::default();
+    if txns.is_empty() {
+        return report;
+    }
+    let units_of: Vec<u64> = txns
+        .iter()
+        .map(|t| spec.granularity.active_units(t).0)
+        .collect();
+    let first = *units_of.iter().min().unwrap();
+    let last = *units_of.iter().max().unwrap();
+    let units = (last - first + 1) as usize;
+    let windows = spec.windows(units);
+    report.windows = windows.len();
+
+    // Per-window OD weight aggregation.
+    let mut od: Vec<HashMap<(LatLon, LatLon), f64>> = vec![HashMap::new(); windows.len()];
+    for (t, &u) in txns.iter().zip(&units_of) {
+        let unit = (u - first) as usize;
+        for (w, &(lo, hi)) in windows.iter().enumerate() {
+            if unit >= lo && unit < hi {
+                *od[w].entry((t.origin, t.dest)).or_insert(0.0) += t.gross_weight;
+            }
+        }
+    }
+
+    report.flows = path_flows(&od, cfg);
+    report.surges = hub_surges(&od, cfg);
+    report.cycles = deadhead_cycles(&od, cfg);
+    report.outliers = txns
+        .iter()
+        .filter(|t| t.total_distance > cfg.outlier_distance && t.transit_hours < cfg.outlier_hours)
+        .map(|t| t.id)
+        .collect();
+    report
+}
+
+/// Scores `report` against the generator's planted structures.
+pub fn attribute(report: &FlowReport, ds: &Dataset, cfg: &FlowConfig) -> FlowAttribution {
+    let hub_origins: HashSet<LatLon> = ds.planted_hub_pairs.iter().map(|&(o, _)| o).collect();
+    let surged: HashSet<LatLon> = report.surges.iter().map(|s| s.hub).collect();
+    let cycle_sets: Vec<HashSet<LatLon>> = report
+        .cycles
+        .iter()
+        .map(|c| c.locs.iter().copied().collect())
+        .collect();
+    let cycles_surfaced = ds
+        .planted_cycles
+        .iter()
+        .filter(|planted| {
+            let pset: HashSet<LatLon> = planted.iter().copied().collect();
+            // A detected cycle event covering a subset of the planted
+            // route's stops counts: the route's 2-leg backhauls are its
+            // observable signature at short window spans.
+            cycle_sets.iter().any(|c| c.is_subset(&pset))
+        })
+        .count();
+    let outliers_planted = ds
+        .transactions
+        .iter()
+        .filter(|t| t.total_distance > cfg.outlier_distance && t.transit_hours < cfg.outlier_hours)
+        .count();
+    FlowAttribution {
+        hubs_planted: hub_origins.len(),
+        hubs_surfaced: hub_origins.intersection(&surged).count(),
+        cycles_planted: ds.planted_cycles.len(),
+        cycles_surfaced,
+        outliers_planted,
+        outliers_found: report.outliers.len(),
+    }
+}
+
+/// The heaviest `cfg.top_edges_per_window` edges of one window, weight
+/// descending (deterministic: ties break on insertion-independent
+/// coordinate order).
+fn top_edges(od: &HashMap<(LatLon, LatLon), f64>, cap: usize) -> Vec<(LatLon, LatLon, f64)> {
+    let mut edges: Vec<(LatLon, LatLon, f64)> = od.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
+    edges.sort_by(|x, y| {
+        y.2.partial_cmp(&x.2)
+            .unwrap()
+            .then_with(|| key(x.0, x.1).cmp(&key(y.0, y.1)))
+    });
+    edges.truncate(cap);
+    edges
+}
+
+/// Stable ordering key for an OD pair (fixed-point coordinates).
+fn key(a: LatLon, b: LatLon) -> (u64, u64) {
+    (loc_key(a), loc_key(b))
+}
+
+fn loc_key(l: LatLon) -> u64 {
+    // LatLon hashes by its fixed-point representation; reuse the same
+    // bits for a total order.
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    l.hash(&mut h);
+    h.finish()
+}
+
+fn path_flows(od: &[HashMap<(LatLon, LatLon), f64>], cfg: &FlowConfig) -> Vec<FlowPath> {
+    let tops: Vec<Vec<(LatLon, LatLon, f64)>> = od
+        .iter()
+        .map(|m| top_edges(m, cfg.top_edges_per_window))
+        .collect();
+    // Index each window's top edges by source for the path join.
+    let by_src: Vec<HashMap<LatLon, Vec<(LatLon, f64)>>> = tops
+        .iter()
+        .map(|edges| {
+            let mut m: HashMap<LatLon, Vec<(LatLon, f64)>> = HashMap::new();
+            for &(a, b, w) in edges {
+                m.entry(a).or_default().push((b, w));
+            }
+            m
+        })
+        .collect();
+    let mut flows = Vec::new();
+    for w in 0..od.len().saturating_sub(1) {
+        for &(a, b, w1) in &tops[w] {
+            let Some(nexts) = by_src[w + 1].get(&b) else {
+                continue;
+            };
+            for &(c, w2) in nexts {
+                if c == a {
+                    continue; // ping-pong: that's a deadhead cycle, not a flow
+                }
+                let v2 = w1.min(w2);
+                if v2 >= cfg.min_flow_weight {
+                    flows.push(FlowPath {
+                        path: vec![a, b, c],
+                        window_lo: w,
+                        value: v2,
+                    });
+                }
+                // Third hop in the window after next.
+                let Some(thirds) = od.get(w + 2).and_then(|_| by_src.get(w + 2)) else {
+                    continue;
+                };
+                if let Some(ds) = thirds.get(&c) {
+                    for &(d, w3) in ds {
+                        if d == b {
+                            continue;
+                        }
+                        let v3 = v2.min(w3);
+                        if v3 >= cfg.min_flow_weight {
+                            flows.push(FlowPath {
+                                path: vec![a, b, c, d],
+                                window_lo: w,
+                                value: v3,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flows.sort_by(|x, y| {
+        y.value
+            .partial_cmp(&x.value)
+            .unwrap()
+            .then_with(|| x.window_lo.cmp(&y.window_lo))
+            .then_with(|| x.path.len().cmp(&y.path.len()))
+    });
+    flows.truncate(cfg.max_flows);
+    flows
+}
+
+fn hub_surges(od: &[HashMap<(LatLon, LatLon), f64>], cfg: &FlowConfig) -> Vec<HubSurge> {
+    if od.len() < 2 {
+        return Vec::new();
+    }
+    // Per-origin out-weight per window.
+    let mut out: HashMap<LatLon, Vec<f64>> = HashMap::new();
+    for (w, m) in od.iter().enumerate() {
+        for (&(a, _), &wt) in m {
+            out.entry(a).or_insert_with(|| vec![0.0; od.len()])[w] += wt;
+        }
+    }
+    let mut surges = Vec::new();
+    for (hub, per_window) in &out {
+        let baseline = per_window.iter().sum::<f64>() / per_window.len() as f64;
+        if baseline <= 0.0 {
+            continue;
+        }
+        for (w, &wt) in per_window.iter().enumerate() {
+            if wt > cfg.surge_factor * baseline {
+                surges.push(HubSurge {
+                    hub: *hub,
+                    window: w,
+                    out_weight: wt,
+                    baseline,
+                });
+            }
+        }
+    }
+    surges.sort_by(|x, y| {
+        (y.out_weight / y.baseline)
+            .partial_cmp(&(x.out_weight / x.baseline))
+            .unwrap()
+            .then_with(|| x.window.cmp(&y.window))
+            .then_with(|| loc_key(x.hub).cmp(&loc_key(y.hub)))
+    });
+    surges
+}
+
+/// Directed simple cycles of length 2..=`max_cycle_len` whose legs are
+/// all active within some run of `cycle_window_span` consecutive
+/// windows (a repositioning loop completed within the span). Search is
+/// a bounded DFS per span range: rotations are deduped by forcing the
+/// minimal-key node first, hub nodes above `cycle_max_degree` in-range
+/// out-neighbors are never hops, and each range has a step budget.
+fn deadhead_cycles(od: &[HashMap<(LatLon, LatLon), f64>], cfg: &FlowConfig) -> Vec<CycleEvent> {
+    let span = cfg.cycle_window_span.max(1);
+    let mut cycles: Vec<CycleEvent> = Vec::new();
+    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    for w1 in 0..od.len() {
+        let hi = (w1 + span).min(od.len());
+        // Earliest active window in the range per OD pair.
+        let mut first_win: HashMap<(LatLon, LatLon), usize> = HashMap::new();
+        for w in (w1..hi).rev() {
+            for &e in od[w].keys() {
+                first_win.insert(e, w);
+            }
+        }
+        let mut adj: HashMap<LatLon, Vec<LatLon>> = HashMap::new();
+        for &(a, b) in first_win.keys() {
+            if a != b {
+                adj.entry(a).or_default().push(b);
+            }
+        }
+        adj.retain(|_, ns| {
+            ns.sort_by_key(|&n| loc_key(n));
+            ns.len() <= cfg.cycle_max_degree
+        });
+        let mut starts: Vec<LatLon> = adj.keys().copied().collect();
+        starts.sort_by_key(|&s| loc_key(s));
+        let mut budget = 100_000usize;
+        for &start in &starts {
+            let skey = loc_key(start);
+            // path holds the vertices visited so far, starting at `start`.
+            let mut path = vec![start];
+            let mut stack = vec![adj[&start].clone().into_iter()];
+            while let Some(iter) = stack.last_mut() {
+                if budget == 0 {
+                    break;
+                }
+                budget -= 1;
+                let Some(next) = iter.next() else {
+                    stack.pop();
+                    path.pop();
+                    continue;
+                };
+                if next == start {
+                    if path.len() >= 2 {
+                        let sig: Vec<u64> = path.iter().map(|&v| loc_key(v)).collect();
+                        if seen.insert(sig) {
+                            let windows: Vec<usize> = path
+                                .iter()
+                                .zip(path.iter().cycle().skip(1))
+                                .map(|(&u, &v)| first_win[&(u, v)])
+                                .collect();
+                            cycles.push(CycleEvent {
+                                locs: path.clone(),
+                                windows,
+                            });
+                        }
+                    }
+                    continue;
+                }
+                // Canonical rotation: every other node outranks `start`.
+                if loc_key(next) <= skey || path.contains(&next) {
+                    continue;
+                }
+                if path.len() + 1 < cfg.max_cycle_len.max(2) {
+                    if let Some(ns) = adj.get(&next) {
+                        path.push(next);
+                        stack.push(ns.clone().into_iter());
+                    }
+                } else if path.len() + 1 == cfg.max_cycle_len.max(2)
+                    && adj.get(&next).is_some_and(|ns| ns.contains(&start))
+                {
+                    // Final hop: only closing back to the start matters.
+                    path.push(next);
+                    stack.push(vec![start].into_iter());
+                }
+            }
+        }
+    }
+    cycles.sort_by(|x, y| {
+        x.windows[0]
+            .cmp(&y.windows[0])
+            .then_with(|| x.locs.len().cmp(&y.locs.len()))
+            .then_with(|| loc_key(x.locs[0]).cmp(&loc_key(y.locs[0])))
+    });
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tnet_data::model::{Date, TransMode};
+    use tnet_data::{generate, SynthConfig};
+    use tnet_partition::Granularity;
+
+    fn txn(id: u64, o: (f64, f64), d: (f64, f64), day: u32, weight: f64) -> Transaction {
+        Transaction {
+            id,
+            req_pickup: Date(day),
+            req_delivery: Date(day + 1),
+            origin: LatLon::new(o.0, o.1),
+            dest: LatLon::new(d.0, d.1),
+            total_distance: 500.0,
+            gross_weight: weight,
+            transit_hours: 20.0,
+            mode: TransMode::Truckload,
+        }
+    }
+
+    const A: (f64, f64) = (44.5, -88.0);
+    const B: (f64, f64) = (41.9, -87.6);
+    const C: (f64, f64) = (39.1, -84.5);
+
+    fn day_spec(width: usize, slide: usize) -> WindowSpec {
+        WindowSpec::new(Granularity::Day, width, slide).unwrap()
+    }
+
+    #[test]
+    fn two_hop_flow_across_consecutive_windows() {
+        // A->B on day 0, B->C on day 1: a 2-hop flow for width-1 windows.
+        let txns = vec![txn(1, A, B, 0, 40_000.0), txn(2, B, C, 1, 30_000.0)];
+        let report = detect_flows(&txns, &day_spec(1, 1), &FlowConfig::default());
+        assert_eq!(report.windows, 2);
+        let f = report
+            .flows
+            .iter()
+            .find(|f| f.path.len() == 3)
+            .expect("2-hop flow");
+        assert_eq!(f.window_lo, 0);
+        assert!((f.value - 30_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadhead_two_cycle_detected() {
+        let txns = vec![txn(1, A, B, 0, 40_000.0), txn(2, B, A, 1, 1_000.0)];
+        let report = detect_flows(&txns, &day_spec(1, 1), &FlowConfig::default());
+        assert_eq!(report.cycles.len(), 1);
+        assert_eq!(report.cycles[0].locs.len(), 2);
+    }
+
+    #[test]
+    fn hub_surge_needs_a_spike() {
+        // A ships every day at 10k, then 100k on day 4.
+        let mut txns: Vec<Transaction> = (0..4).map(|d| txn(d as u64, A, B, d, 10_000.0)).collect();
+        txns.push(txn(9, A, C, 4, 100_000.0));
+        let report = detect_flows(&txns, &day_spec(1, 1), &FlowConfig::default());
+        assert_eq!(report.surges.len(), 1);
+        assert_eq!(report.surges[0].window, 4);
+    }
+
+    #[test]
+    fn outlier_rule_matches_air_freight() {
+        let mut t = txn(7, A, C, 0, 2_000.0);
+        t.total_distance = 4_200.0;
+        t.transit_hours = 9.0;
+        let report = detect_flows(&[t], &day_spec(1, 1), &FlowConfig::default());
+        assert_eq!(report.outliers, vec![7]);
+    }
+
+    #[test]
+    fn synthetic_attribution_matches_granularity_to_structure() {
+        let ds = generate(&SynthConfig::scaled(0.02));
+        let cfg = FlowConfig::default();
+        // Day granularity: weekly-periodic hub lanes concentrate one
+        // day a week, spiking far above their per-day baseline.
+        let day = detect_flows(&ds.transactions, &day_spec(1, 1), &cfg);
+        let day_attr = attribute(&day, &ds, &cfg);
+        assert!(day_attr.hubs_planted > 0 && day_attr.cycles_planted > 0);
+        assert!(
+            day_attr.hubs_surfaced > 0,
+            "weekly-periodic hub lanes must surge at day granularity \
+             ({}/{} surfaced)",
+            day_attr.hubs_surfaced,
+            day_attr.hubs_planted
+        );
+        // Week granularity: every leg of a circular route ships within
+        // one week (random weekly phases), so the loop closes inside a
+        // single window.
+        let week_spec = WindowSpec::new(Granularity::Week, 1, 1).unwrap();
+        let week = detect_flows(&ds.transactions, &week_spec, &cfg);
+        let week_attr = attribute(&week, &ds, &cfg);
+        assert!(
+            week_attr.cycles_surfaced > 0,
+            "planted circular routes must close as deadhead cycles at \
+             week granularity ({}/{} surfaced)",
+            week_attr.cycles_surfaced,
+            week_attr.cycles_planted
+        );
+        assert_eq!(day_attr.outliers_found, day_attr.outliers_planted);
+        assert_eq!(
+            day_attr.outliers_found, 3,
+            "three planted air-freight outliers"
+        );
+    }
+}

@@ -154,12 +154,13 @@ fn shape_classification_over_mined_output() {
 
 #[test]
 fn full_report_smoke() {
-    // The complete E1..E15 run at a tiny scale must succeed and mention
+    // The complete E1..E16 run at a tiny scale must succeed and mention
     // every experiment header.
     let p = Pipeline::synthetic(0.012, 42);
     let report = p.full_report(0.012, 42);
     for header in [
-        "E1:", "E2:", "E3:", "E4:", "E5:", "E8:", "E9:", "E10:", "E11:", "E12:", "E13:", "E14/E15:",
+        "E1:", "E2:", "E3:", "E4:", "E5:", "E8:", "E9:", "E10:", "E11:", "E12:", "E13:",
+        "E14/E15:", "E16:",
     ] {
         assert!(report.contains(header), "report missing {header}");
     }

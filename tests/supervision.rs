@@ -47,7 +47,7 @@ impl Drop for ArmGuard<'_> {
 }
 
 const SCALE: f64 = 0.008;
-const SECTIONS: usize = 12;
+const SECTIONS: usize = 13;
 
 fn report_pipeline() -> Pipeline {
     Pipeline::synthetic(SCALE, 42)
@@ -97,7 +97,7 @@ fn injected_error_fails_one_section_and_the_rest_complete() {
     assert!(out.text.contains("=== E12: association rules"));
     assert!(
         out.text
-            .ends_with("sections: 11 ok, 0 degraded, 1 failed\n"),
+            .ends_with("sections: 12 ok, 0 degraded, 1 failed\n"),
         "missing summary line:\n{}",
         out.text
     );
@@ -119,7 +119,7 @@ fn injected_panic_is_isolated_to_the_subdue_sections() {
     );
     // The panic did not take the report down: later sections rendered.
     assert!(out.text.contains("=== E13: classification"));
-    assert!(out.text.contains("sections: 9 ok, 0 degraded, 3 failed\n"));
+    assert!(out.text.contains("sections: 10 ok, 0 degraded, 3 failed\n"));
 }
 
 /// Regression for the metrics registry after a caught panic: later
@@ -151,9 +151,10 @@ fn injected_fsg_error_fails_the_temporal_section() {
     let _g = ArmGuard::arm("fsg::candidate_gen=err");
     let p = report_pipeline();
     let out = p.full_report_supervised(SCALE, 42, &Exec::new(4), &SupervisorConfig::default());
-    // Only the temporal chain propagates FSG errors (Algorithm 1's
-    // partition runners treat a failed partition as yielding nothing).
-    assert_eq!(out.failed, 1, "summary: {}", out.text);
+    // Only the sections that propagate FSG errors fail: the §6 temporal
+    // chain and the E16 windowed sessions (Algorithm 1's partition
+    // runners treat a failed partition as yielding nothing).
+    assert_eq!(out.failed, 2, "summary: {}", out.text);
     assert!(
         out.text
             .contains("injected fault at failpoint `fsg::candidate_gen`"),
@@ -163,6 +164,9 @@ fn injected_fsg_error_fails_the_temporal_section() {
     assert!(out
         .text
         .contains("=== E9-E11: temporal partitioning and filtered mining ==="));
+    assert!(out
+        .text
+        .contains("=== E16: temporal windows and flow patterns ==="));
 }
 
 #[test]
@@ -294,7 +298,7 @@ fn unarmed_report_is_byte_identical_at_1_2_8_threads() {
     );
     assert!(outcome
         .text
-        .ends_with("sections: 12 ok, 0 degraded, 0 failed\n"));
+        .ends_with("sections: 13 ok, 0 degraded, 0 failed\n"));
     let baseline = scrub_durations(&outcome.text);
     for threads in [2usize, 8] {
         let run =
